@@ -1,0 +1,63 @@
+//! Criterion bench: buffer-ORAM operations (load / serve / aggregate /
+//! drain) — the DRAM-side cost of steps ③–⑦.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fedora_crypto::aead::Key;
+use fedora_oram::buffer::BufferOram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CAPACITY: usize = 512;
+const ENTRY_BYTES: usize = 64;
+
+fn loaded_buffer() -> (BufferOram, StdRng) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut buf = BufferOram::new(CAPACITY, ENTRY_BYTES, Key::from_bytes([3; 32]), &mut rng);
+    for id in 0..256u64 {
+        buf.load_entry(id, &[1u8; ENTRY_BYTES], &mut rng).expect("capacity");
+    }
+    (buf, rng)
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer_oram");
+
+    group.bench_function("serve", |b| {
+        let (mut buf, mut rng) = loaded_buffer();
+        b.iter(|| {
+            let id = rng.gen_range(0..256u64);
+            buf.serve(id, &mut rng).expect("loaded")
+        });
+    });
+
+    group.bench_function("aggregate", |b| {
+        let (mut buf, mut rng) = loaded_buffer();
+        let grad = vec![0.5f32; ENTRY_BYTES / 4];
+        b.iter(|| {
+            let id = rng.gen_range(0..256u64);
+            buf.aggregate(id, &grad, 1.0, &mut rng).expect("loaded")
+        });
+    });
+
+    group.bench_function("load_64_drain", |b| {
+        let rng = StdRng::seed_from_u64(7);
+        b.iter_batched(
+            || {
+                let mut r = rng.clone();
+                (BufferOram::new(CAPACITY, ENTRY_BYTES, Key::from_bytes([4; 32]), &mut r), r)
+            },
+            |(mut buf, mut r)| {
+                for id in 0..64u64 {
+                    buf.load_entry(id, &[1u8; ENTRY_BYTES], &mut r).expect("capacity");
+                }
+                buf.drain_round(&mut r).expect("drain")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_buffer);
+criterion_main!(benches);

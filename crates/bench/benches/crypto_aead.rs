@@ -1,0 +1,46 @@
+//! Criterion bench: ChaCha20-Poly1305 AEAD and group-tree path crypto at
+//! bucket-sized payloads (the per-path cost the latency model charges as
+//! `crypto_ns_per_byte`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedora_crypto::aead::{ChaCha20Poly1305, Key, Nonce};
+use fedora_crypto::group::GroupTreeCipher;
+
+fn bench_aead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_aead");
+    let aead = ChaCha20Poly1305::new(&Key::from_bytes([7; 32]));
+    for size in [512usize, 4096, 16_384] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encrypt", size), &data, |b, data| {
+            let mut ctr = 0u64;
+            b.iter(|| {
+                ctr += 1;
+                aead.encrypt(&Nonce::from_u64_pair(1, ctr), data, b"bucket")
+            });
+        });
+        let ct = aead.encrypt(&Nonce::from_u64_pair(1, 0), &data, b"bucket");
+        group.bench_with_input(BenchmarkId::new("decrypt", size), &ct, |b, ct| {
+            b.iter(|| {
+                aead.decrypt(&Nonce::from_u64_pair(1, 0), ct, b"bucket")
+                    .expect("authentic")
+            });
+        });
+    }
+
+    group.bench_function("group_tree_path_20_levels", |b| {
+        let mut cipher = GroupTreeCipher::new(Key::from_bytes([9; 32]));
+        let payloads: Vec<Vec<u8>> = (0..20).map(|_| vec![0u8; 496]).collect();
+        let ids: Vec<u32> = (0..20).collect();
+        let dirs = vec![false; 19];
+        let enc = cipher.encrypt_fresh_path(&payloads, &ids, &dirs);
+        b.iter(|| {
+            let dec = cipher.decrypt_path(&enc, &ids, &dirs).expect("authentic");
+            dec.payloads.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aead);
+criterion_main!(benches);

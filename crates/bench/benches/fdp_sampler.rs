@@ -1,0 +1,34 @@
+//! Criterion bench: the ε-FDP sampler at realistic chunk sizes.
+//!
+//! The controller samples one `k` per 16 Ki-request chunk per round; the
+//! PDF construction is O(K) in log-space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedora_fdp::{FdpMechanism, YShape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fdp_sampler");
+    for k_max in [1_000u64, 16_384, 100_000] {
+        group.bench_with_input(BenchmarkId::new("uniform_eps1", k_max), &k_max, |b, &k_max| {
+            let mech = FdpMechanism::new(1.0, YShape::Uniform).expect("valid");
+            let mut rng = StdRng::seed_from_u64(3);
+            let k_union = k_max / 3;
+            b.iter(|| mech.sample_k(k_union, k_max, &mut rng));
+        });
+    }
+    group.bench_function("pow5_eps05_16k", |b| {
+        let mech = FdpMechanism::new(0.5, YShape::pow5()).expect("valid");
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| mech.sample_k(5_000, 16_384, &mut rng));
+    });
+    group.bench_function("pdf_only_16k", |b| {
+        let mech = FdpMechanism::new(1.0, YShape::Uniform).expect("valid");
+        b.iter(|| mech.pdf(5_000, 16_384).expect("valid"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampler);
+criterion_main!(benches);

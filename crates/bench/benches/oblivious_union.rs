@@ -1,0 +1,41 @@
+//! Criterion bench: the O(K²) oblivious union and its chunked variant —
+//! the §4.2 "linear scanning overhead" the 16 Ki chunking bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fedora_oblivious::union::{oblivious_union, ChunkedUnion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn requests(n: usize, domain: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n).map(|_| rng.gen_range(0..domain)).collect()
+}
+
+fn bench_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oblivious_union");
+    for n in [256usize, 1024, 4096] {
+        let reqs = requests(n, n as u64 / 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("monolithic", n), &reqs, |b, reqs| {
+            b.iter(|| oblivious_union(reqs, reqs.len()));
+        });
+    }
+    // Chunked: same 4096 requests, 512-request chunks → 8× less scanning.
+    let reqs = requests(4096, 2048);
+    group.bench_function("chunked_4096_by_512", |b| {
+        let plan = ChunkedUnion::new(512);
+        b.iter(|| plan.union_chunks(&reqs));
+    });
+    // Sort-based O(K log² K) alternative at the same sizes.
+    for n in [256usize, 1024, 4096] {
+        let reqs = requests(n, n as u64 / 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sort_based", n), &reqs, |b, reqs| {
+            b.iter(|| fedora_oblivious::sorted_union::sorted_oblivious_union(reqs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_union);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion bench: Path ORAM accesses vs RAW ORAM AO/EO operations.
+//!
+//! The micro-level justification for FEDORA's main-ORAM choice: an AO
+//! fetch does half the device work of a Path ORAM access, and EO cost is
+//! amortized over `A` insertions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fedora_crypto::aead::Key;
+use fedora_oram::path_oram::PathOram;
+use fedora_oram::raw::{RawOram, RawOramConfig};
+use fedora_oram::ring::{RingOram, RingOramConfig};
+use fedora_oram::store::DramBucketStore;
+use fedora_oram::TreeGeometry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const BLOCKS: u64 = 1024;
+const BLOCK_BYTES: usize = 64;
+
+fn path_oram() -> (PathOram<DramBucketStore>, StdRng) {
+    let geo = TreeGeometry::for_blocks(BLOCKS, BLOCK_BYTES, 4);
+    let store = DramBucketStore::with_default_dram(geo, Key::from_bytes([1; 32]));
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut oram = PathOram::new(store, BLOCKS, &mut rng);
+    for id in 0..BLOCKS {
+        oram.write(id, vec![id as u8; BLOCK_BYTES], &mut rng).expect("init");
+    }
+    (oram, rng)
+}
+
+fn raw_oram(a: u32) -> (RawOram<DramBucketStore>, StdRng) {
+    let geo = TreeGeometry::for_blocks(BLOCKS, BLOCK_BYTES, 8);
+    let store = DramBucketStore::with_default_dram(geo, Key::from_bytes([2; 32]));
+    let mut rng = StdRng::seed_from_u64(2);
+    let oram = RawOram::new(
+        store,
+        BLOCKS,
+        RawOramConfig { eviction_period: a },
+        |id| vec![id as u8; BLOCK_BYTES],
+        &mut rng,
+    );
+    (oram, rng)
+}
+
+fn bench_oram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oram_access");
+
+    group.bench_function("path_oram_read", |b| {
+        let (mut oram, mut rng) = path_oram();
+        b.iter(|| {
+            let id = rng.gen_range(0..BLOCKS);
+            oram.read(id, &mut rng).expect("read")
+        });
+    });
+
+    group.bench_function("raw_oram_vanilla_access_a5", |b| {
+        let (mut oram, mut rng) = raw_oram(5);
+        b.iter(|| {
+            let id = rng.gen_range(0..BLOCKS);
+            oram.access(id, None, &mut rng).expect("access")
+        });
+    });
+
+    group.bench_function("raw_oram_fetch_insert_a16", |b| {
+        // The FEDORA phase pair: AO fetch out, insert back (EO every 16).
+        let (mut oram, mut rng) = raw_oram(16);
+        b.iter(|| {
+            let id = rng.gen_range(0..BLOCKS);
+            let blk = oram.fetch(id, &mut rng).expect("fetch");
+            oram.insert(id, blk.payload, &mut rng).expect("insert");
+        });
+    });
+
+    group.bench_function("raw_oram_dummy_fetch", |b| {
+        let (mut oram, mut rng) = raw_oram(16);
+        b.iter(|| oram.dummy_fetch(&mut rng).expect("dummy"));
+    });
+
+    group.bench_function("ring_oram_access", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut oram = RingOram::new(
+            BLOCKS,
+            BLOCK_BYTES,
+            RingOramConfig::classic(),
+            Key::from_bytes([3; 32]),
+            |id| vec![id as u8; BLOCK_BYTES],
+            &mut rng,
+        );
+        b.iter(|| {
+            let id = rng.gen_range(0..BLOCKS);
+            oram.access(id, None, &mut rng).expect("access")
+        });
+    });
+
+    group.bench_function("raw_oram_eo_access", |b| {
+        let (oram, rng) = raw_oram(1_000_000);
+        b.iter_batched(
+            || (oram.clone(), rng.clone()),
+            |(mut o, mut r)| {
+                for id in 0..8u64 {
+                    let blk = o.fetch(id, &mut r).expect("fetch");
+                    o.insert(id, blk.payload, &mut r).expect("insert");
+                }
+                o.eo_access().expect("eo")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_oram);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench: one full FEDORA round (steps ①–⑦) vs Path ORAM+ on
+//! the simulated devices — the end-to-end server cost per round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedora::baseline::PathOramPlus;
+use fedora::config::{FedoraConfig, PrivacyConfig, TableSpec};
+use fedora::server::FedoraServer;
+use fedora_fl::modes::FedAvg;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TABLE: u64 = 4096;
+const REQUESTS: usize = 256;
+
+fn request_stream(rng: &mut StdRng) -> Vec<u64> {
+    // Zipf-ish duplicates: half the requests hit a 64-entry head.
+    (0..REQUESTS)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                rng.gen_range(0..64)
+            } else {
+                rng.gen_range(0..TABLE)
+            }
+        })
+        .collect()
+}
+
+fn run_fedora_round(server: &mut FedoraServer, reqs: &[u64], rng: &mut StdRng) {
+    server.begin_round(reqs, rng).expect("round");
+    let mut mode = FedAvg;
+    for &id in reqs.iter().take(32) {
+        let _ = server.serve(id, rng).expect("serve");
+        let _ = server
+            .aggregate(&mode, id, &[0.1f32; 8], 1, rng)
+            .expect("aggregate");
+    }
+    server.end_round(&mut mode, 1.0, rng).expect("end");
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_pipeline");
+    group.sample_size(20);
+
+    for (name, privacy) in [
+        ("fedora_eps1", PrivacyConfig::with_epsilon(1.0)),
+        ("fedora_eps0_vanilla", PrivacyConfig::perfect()),
+        ("fedora_dedup_no_privacy", PrivacyConfig::none()),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut config = FedoraConfig::for_testing(TableSpec::tiny(TABLE), REQUESTS);
+            config.privacy = privacy.clone();
+            let mut server = FedoraServer::new(config, |id| vec![id as u8; 32], &mut rng);
+            let reqs = request_stream(&mut rng);
+            b.iter(|| run_fedora_round(&mut server, &reqs, &mut rng));
+        });
+    }
+
+    group.bench_function("path_oram_plus_round", |b| {
+        let mut rng = StdRng::seed_from_u64(10);
+        let config = FedoraConfig::for_testing(TableSpec::tiny(TABLE), REQUESTS);
+        let mut baseline = PathOramPlus::new(config, |id| vec![id as u8; 32], &mut rng);
+        let reqs = request_stream(&mut rng);
+        b.iter(|| {
+            baseline.begin_round(&reqs, &mut rng).expect("round");
+            let mut mode = FedAvg;
+            baseline.end_round(&mut mode, 1.0, &mut rng).expect("end")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

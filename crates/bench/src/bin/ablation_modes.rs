@@ -1,0 +1,72 @@
+//! §4.3 operation-mode ablation: the same FL workload trained through the
+//! FEDORA pipeline under each supported `Pre`/`Post` aggregation mode
+//! (FedAvg, FedAdam, EANA, LazyDP), comparing final model quality and
+//! showing that every mode runs unmodified over the buffer ORAM's
+//! aggregation slots.
+
+use fedora::training::{train_with_fedora_mode, TrainingConfig};
+use fedora_fdp::ProtectionMode;
+use fedora_fl::client::LocalTrainer;
+use fedora_fl::datasets::{Dataset, SyntheticConfig};
+use fedora_fl::model::{DlrmConfig, DlrmModel, Pooling};
+use fedora_fl::modes::{AggregationMode, Eana, FedAdam, FedAvg, LazyDp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run<M: AggregationMode>(
+    label: &str,
+    mut mode: M,
+    dataset: &Dataset,
+    server_lr: f32,
+    rounds: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(404);
+    let mut model = DlrmModel::new(
+        DlrmConfig {
+            num_items: dataset.config().num_items,
+            embedding_dim: 8,
+            hidden_dim: 16,
+            use_private_history: true,
+            pooling: Pooling::Mean,
+        },
+        &mut StdRng::seed_from_u64(405),
+    );
+    let cfg = TrainingConfig {
+        users_per_round: 24,
+        rounds,
+        server_lr,
+        trainer: LocalTrainer { lr: 0.2, epochs: 2, ..Default::default() },
+        protection: Some((ProtectionMode::HideValue, 1.0)),
+    };
+    let out = train_with_fedora_mode(&mut model, dataset, &cfg, &mut mode, &mut rng)
+        .expect("pipeline run");
+    println!(
+        "{:<28} AUC {:.4}   reduced {:>5.1}%  dummy {:>5.2}%  lost {:>5.2}%",
+        label,
+        out.auc,
+        out.reduced_accesses * 100.0,
+        out.dummy_rate * 100.0,
+        out.lost_rate * 100.0
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rounds = if quick { 8 } else { 30 };
+
+    let mut cfg = SyntheticConfig::movielens_like();
+    cfg.num_users = 96;
+    cfg.num_items = 256;
+    cfg.samples_per_user = 12;
+    cfg.test_samples = 1500;
+    let dataset = Dataset::generate(cfg);
+
+    println!("Operation-mode ablation (MovieLens-like, eps = 1, {rounds} rounds):\n");
+    run("FedAvg (Eq. 1)", FedAvg, &dataset, 2.0, rounds);
+    // Adam's normalized steps want a smaller server LR.
+    run("FedAdam", FedAdam::new(), &dataset, 0.05, rounds);
+    run("EANA (clip 1.0, sigma 0.01)", Eana::new(1.0, 0.01), &dataset, 2.0, rounds);
+    run("LazyDP (clip 1.0, sigma 0.01)", LazyDp::new(1.0, 0.01), &dataset, 2.0, rounds);
+    println!("\nAll four modes run unmodified through the buffer ORAM (Eq. 4);");
+    println!("the DP modes (EANA/LazyDP) trade a little AUC for gradient privacy.");
+}

@@ -1,0 +1,58 @@
+//! Stash-occupancy study: the empirical grounding of §4.4's privacy
+//! analysis ("the same proofs for stash overflow can be used").
+//!
+//! Measures the stash high-water mark of FEDORA's RAW ORAM across
+//! eviction periods `A` and round shapes, on the live (simulated-device)
+//! ORAM. The paper's argument is that deferring EO accesses to the write
+//! phase leaves end-of-round stash occupancy exactly where vanilla RAW
+//! ORAM would have it; this harness shows occupancy stays small and scales
+//! with `A`, not with the table.
+
+use fedora_crypto::aead::Key;
+use fedora_oram::raw::{RawOram, RawOramConfig};
+use fedora_oram::store::DramBucketStore;
+use fedora_oram::TreeGeometry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn measure(blocks: u64, z: usize, a: u32, rounds: usize, per_round: usize, seed: u64) -> (usize, usize) {
+    let geo = TreeGeometry::for_blocks(blocks, 16, z);
+    let store = DramBucketStore::with_default_dram(geo, Key::from_bytes([6; 32]));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut oram = RawOram::new(
+        store,
+        blocks,
+        RawOramConfig { eviction_period: a },
+        |_| vec![0u8; 16],
+        &mut rng,
+    );
+    for _ in 0..rounds {
+        // Read phase: fetch a working set (stash untouched — Opt. 1).
+        let mut ids: Vec<u64> = (0..per_round).map(|_| rng.gen_range(0..blocks)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let fetched: Vec<_> = ids.iter().map(|&id| oram.fetch(id, &mut rng).expect("fetch")).collect();
+        // Write phase: insert back; EO every A.
+        for blk in fetched {
+            oram.insert(blk.id, blk.payload, &mut rng).expect("insert");
+        }
+    }
+    (oram.stash_high_water(), oram.stash_len())
+}
+
+fn main() {
+    println!("Stash occupancy of FEDORA's RAW ORAM (high-water / end-state), 40 rounds:\n");
+    println!("{:>8} {:>4} {:>4} {:>12} {:>18} {:>14}", "Blocks", "Z", "A", "Reqs/round", "High water", "End of run");
+    for &(blocks, z) in &[(1024u64, 8usize), (4096, 8), (4096, 16)] {
+        for &a in &[4u32, 8, 16, 32] {
+            if a > 2 * z as u32 {
+                continue;
+            }
+            let (high, end) = measure(blocks, z, a, 40, 64, 1000 + a as u64);
+            println!("{blocks:>8} {z:>4} {a:>4} {:>12} {high:>18} {end:>14}", 64);
+        }
+    }
+    println!("\nReading the table: high-water stays O(working set + A), independent");
+    println!("of the table size — the §4.4 invariant that lets FEDORA defer every");
+    println!("EO access to the write phase without overflow risk.");
+}

@@ -1,0 +1,58 @@
+//! §3.2 strawman comparison: vanilla ORAM (Strawman 1) vs the naive dedup
+//! optimization (Strawman 2) vs ε-FDP, measured on the *simulated* FEDORA
+//! pipeline (real ORAM, real devices) at reduced scale.
+//!
+//! Demonstrates the leakage argument concretely: Strawman 2's access count
+//! reveals whether all users requested the same entry; Strawman 1 and the
+//! ε-FDP configurations bound that leakage at the cost of extra accesses.
+
+use fedora::config::{FedoraConfig, PrivacyConfig, TableSpec};
+use fedora::server::FedoraServer;
+use fedora_fl::modes::FedAvg;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(privacy: PrivacyConfig, requests: &[u64], seed: u64) -> (usize, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut config = FedoraConfig::for_testing(TableSpec::tiny(1024), 256);
+    config.privacy = privacy;
+    let mut server = FedoraServer::new(config, |id| vec![id as u8; 32], &mut rng);
+    let report = server.begin_round(requests, &mut rng).expect("round fits");
+    let mut mode = FedAvg;
+    let report_end = server.end_round(&mut mode, 1.0, &mut rng).expect("round ends");
+    (report.k_accesses, report_end.ssd.pages_read + report_end.ssd.pages_written)
+}
+
+fn main() {
+    // Two worlds the adversary wants to distinguish: everyone requests the
+    // SAME entry vs everyone requests DIFFERENT entries.
+    let same: Vec<u64> = vec![7; 64];
+    let diff: Vec<u64> = (0..64).collect();
+
+    println!("Strawman comparison on the simulated pipeline (64 requests):\n");
+    println!(
+        "{:<34} {:>14} {:>14} {:>10}",
+        "Design", "k (same)", "k (diff)", "Leaks?"
+    );
+    type MakePrivacy = fn() -> PrivacyConfig;
+    let configs: [(&str, MakePrivacy); 4] = [
+        ("Strawman 1: vanilla ORAM (e=0)", PrivacyConfig::perfect),
+        ("Strawman 2: naive dedup (e=inf)", PrivacyConfig::none),
+        ("FEDORA e=1", || PrivacyConfig::with_epsilon(1.0)),
+        ("FEDORA e=0.1", || PrivacyConfig::with_epsilon(0.1)),
+    ];
+    for (label, make) in configs {
+        let (k_same, io_same) = run(make(), &same, 100);
+        let (k_diff, io_diff) = run(make(), &diff, 101);
+        let leaks = if label.contains("Strawman 2") { "YES" } else { "bounded" };
+        println!(
+            "{:<34} {:>7} ({:>4}p) {:>7} ({:>4}p) {:>10}",
+            label, k_same, io_same, k_diff, io_diff, leaks
+        );
+    }
+    println!();
+    println!("Strawman 2's k jumps from 1 to 64 between the two worlds — an");
+    println!("unbounded (eps = inf) leak. Strawman 1 always reads 64 (perfect");
+    println!("privacy, maximal I/O). The e-FDP rows stay close to the cheap");
+    println!("dedup cost while keeping the distributions e^eps-close.");
+}

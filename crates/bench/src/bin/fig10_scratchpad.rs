@@ -1,0 +1,57 @@
+//! Figure 10: normalized training latency with vs without the 4-KiB
+//! on-chip scratchpad (the "No Secure SRAM" ablation, §6.6).
+
+use fedora::analytic::fedora_round;
+use fedora::config::{FedoraConfig, TableSpec};
+use fedora::latency::LatencyModel;
+use fedora_bench::workload::summarize_all_parallel;
+use fedora_fdp::FdpMechanism;
+
+const CHUNK: usize = 16 * 1024;
+
+fn main() {
+    let model = LatencyModel::default();
+    let mech = FdpMechanism::new(1.0, fedora_fdp::YShape::Uniform).expect("valid");
+    let pairs = [
+        (TableSpec::small(), 10_000usize),
+        (TableSpec::medium(), 100_000),
+        (TableSpec::large(), 1_000_000),
+    ];
+
+    println!("Figure 10: round latency without the scratchpad, normalized to with-scratchpad");
+    println!(
+        "{:<22} {:>16} {:>16} {:>12}",
+        "Config", "With SRAM (s)", "No SRAM (s)", "Slowdown"
+    );
+    for (table, k_total) in pairs {
+        let config = FedoraConfig::paper_tuned(table, k_total);
+        let a = config.raw.eviction_period;
+        let scans = fedora_oblivious::union::requests_scan_cost(k_total, CHUNK);
+        // Geomean over workloads (as in the other figures), generated in
+        // parallel across threads.
+        let mut ln_with = 0.0;
+        let mut ln_without = 0.0;
+        for (_w, summary) in summarize_all_parallel(table.num_entries, k_total, &mech, CHUNK, 10) {
+            let counts = fedora_round(&config.geometry, summary.k_accesses, a, 4096);
+            let with = model
+                .analytic_round_latency(&config, &counts, k_total as u64, scans, true)
+                .total_s();
+            let without = model
+                .analytic_round_latency(&config, &counts, k_total as u64, scans, false)
+                .total_s();
+            ln_with += with.ln();
+            ln_without += without.ln();
+        }
+        let with = (ln_with / 5.0).exp();
+        let without = (ln_without / 5.0).exp();
+        println!(
+            "{:<22} {:>16.2} {:>16.2} {:>11.2}x",
+            format!("{} / {}K", table.name, k_total / 1000),
+            with,
+            without,
+            without / with
+        );
+    }
+    println!("\nShape check: the scratchpad helps most when blocks are small");
+    println!("(Small/Medium ~1.5x in the paper) and least for Large blocks.");
+}

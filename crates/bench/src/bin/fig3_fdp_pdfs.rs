@@ -1,0 +1,66 @@
+//! Figure 3: sample ε-FDP PDFs with different ε and Y shapes.
+//!
+//! Reproduces the six panels (k_union = 30, K = 100) as ASCII histograms
+//! and prints the dummy/lost expectations behind Observations 1–4.
+
+use fedora_fdp::{FdpMechanism, YShape};
+
+const K_UNION: u64 = 30;
+const K_MAX: u64 = 100;
+
+fn render_panel(title: &str, mech: &FdpMechanism) {
+    println!("--- {title} ---");
+    let pdf = mech.pdf(K_UNION, K_MAX).expect("valid panel config");
+    // Bucket the 100 points into 50 columns for display.
+    let cols = 50;
+    let per = K_MAX as usize / cols;
+    let max_p = pdf.iter().cloned().fold(0.0, f64::max).max(1e-12);
+    for row in (1..=10).rev() {
+        let threshold = row as f64 / 10.0;
+        let mut line = String::with_capacity(cols);
+        for c in 0..cols {
+            let p: f64 = pdf[c * per..(c + 1) * per].iter().sum::<f64>() / per as f64;
+            line.push(if p / max_p >= threshold { '#' } else { ' ' });
+        }
+        println!("|{line}|");
+    }
+    let mut axis = vec![b' '; cols];
+    axis[(K_UNION as usize / per).min(cols - 1)] = b'U'; // k_union
+    axis[cols - 1] = b'K';
+    println!("+{}+", "-".repeat(cols));
+    println!(" {}", String::from_utf8(axis).expect("ascii"));
+    let dummies = mech.expected_dummies(K_UNION, K_MAX).expect("valid");
+    let lost = mech.expected_lost(K_UNION, K_MAX).expect("valid");
+    println!("  E[dummy] = {dummies:8.3}   E[lost] = {lost:7.3}\n");
+}
+
+fn main() {
+    println!("Figure 3: PDFs of k with k_union = {K_UNION}, K = {K_MAX}");
+    println!("(U marks k_union on the x-axis; K marks the right edge)\n");
+
+    let panels: [(&str, FdpMechanism); 6] = [
+        (
+            "(a) eps=99999, Y=uniform  [Strawman 2: k = k_union]",
+            FdpMechanism::new(99_999.0, YShape::Uniform).expect("valid"),
+        ),
+        (
+            "(b) eps=0.5, Y=square[K/4, K]",
+            FdpMechanism::new(0.5, YShape::square_upper_three_quarters()).expect("valid"),
+        ),
+        ("(c) eps=3.0, Y=uniform", FdpMechanism::new(3.0, YShape::Uniform).expect("valid")),
+        ("(d) eps=0.5, Y=pow (i^5)", FdpMechanism::new(0.5, YShape::pow5()).expect("valid")),
+        ("(e) eps=1.0, Y=uniform", FdpMechanism::new(1.0, YShape::Uniform).expect("valid")),
+        (
+            "(f) eps=0.5, Y=delta at K  [Strawman 1: k = K, perfect FDP]",
+            FdpMechanism::new(0.5, YShape::DeltaAtK).expect("valid"),
+        ),
+    ];
+    for (title, mech) in &panels {
+        render_panel(title, mech);
+    }
+
+    println!("Observation 1: (a-e) read far fewer than K = {K_MAX} accesses.");
+    println!("Observation 2: shrinking eps (c->e) widens both tails.");
+    println!("Observation 3: pow/delta shapes (d, f) trade losses for dummies.");
+    println!("Observation 4: (a) degenerates to Strawman 2, (f) to Strawman 1.");
+}

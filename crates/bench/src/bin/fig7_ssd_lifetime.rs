@@ -1,0 +1,94 @@
+//! Figure 7: expected SSD lifetime of Path ORAM+ vs FEDORA (ε = 0, ε = 1)
+//! across table sizes, update counts, and workloads.
+//!
+//! Counts come from the validated closed forms in `fedora::analytic`
+//! (DESIGN.md §2); the per-workload access totals come from generated
+//! request streams with the datasets' duplicate structure.
+
+use fedora::analytic::{fedora_round, lifetime_months, path_oram_plus_round};
+use fedora::config::{FedoraConfig, TableSpec};
+use fedora_bench::Workload;
+use fedora_fdp::FdpMechanism;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUND_PERIOD_S: f64 = 120.0;
+const CHUNK: usize = 16 * 1024;
+
+fn fmt_months(m: f64) -> String {
+    if m.is_infinite() {
+        "inf".into()
+    } else if m >= 120.0 {
+        format!("{:.1}y", m / 12.0)
+    } else if m >= 1.0 {
+        format!("{m:.1}mo")
+    } else {
+        format!("{:.1}d", m * 30.44)
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let updates = [10_000usize, 100_000, 1_000_000];
+
+    println!("Figure 7: expected SSD lifetime (SSD sized to the ORAM; {ROUND_PERIOD_S} s rounds)");
+    for k_total in updates {
+        println!("\n=== {k_total} updates per round ===");
+        println!(
+            "{:<8} {:<32} {:>14} {:>14} {:>14}",
+            "Table", "Workload", "PathORAM+", "FEDORA(e=0)", "FEDORA(e=1)"
+        );
+        for table in TableSpec::paper_presets() {
+            let geo = table.geometry();
+            let a = FedoraConfig::tuned_eviction_period(&geo);
+            let profile = fedora_storage::SsdProfile::pm9a1_like();
+
+            // Path ORAM+ and FEDORA(ε=0) are workload-independent ("All"):
+            // both perform one access per request.
+            let base = path_oram_plus_round(&geo, k_total as u64, 4096);
+            let base_life = lifetime_months(&profile, &geo, &base, ROUND_PERIOD_S);
+            let fed0 = fedora_round(&geo, k_total as u64, a, 4096);
+            let fed0_life = lifetime_months(&profile, &geo, &fed0, ROUND_PERIOD_S);
+            println!(
+                "{:<8} {:<32} {:>14} {:>14} {:>14}",
+                table.name,
+                "All",
+                fmt_months(base_life),
+                fmt_months(fed0_life),
+                "-"
+            );
+
+            let mech = FdpMechanism::new(1.0, fedora_fdp::YShape::Uniform).expect("valid");
+            let mut geomean = 0.0f64;
+            let mut n = 0;
+            for w in Workload::all() {
+                let stream = w.generate(table.num_entries, k_total, &mut rng);
+                let summary = stream.summarize(&mech, CHUNK, &mut rng);
+                let fed1 = fedora_round(&geo, summary.k_accesses, a, 4096);
+                let fed1_life = lifetime_months(&profile, &geo, &fed1, ROUND_PERIOD_S);
+                println!(
+                    "{:<8} {:<32} {:>14} {:>14} {:>14}",
+                    table.name,
+                    w.label(),
+                    "-",
+                    "-",
+                    fmt_months(fed1_life)
+                );
+                geomean += fed1_life.ln();
+                n += 1;
+            }
+            let geomean = (geomean / n as f64).exp();
+            println!(
+                "{:<8} {:<32} {:>14} {:>14} {:>14}   [e=1 vs PathORAM+: {:.0}x, vs e=0: {:.2}x]",
+                table.name,
+                "Geomean (e=1)",
+                "-",
+                "-",
+                fmt_months(geomean),
+                geomean / base_life,
+                geomean / fed0_life,
+            );
+        }
+    }
+    println!("\nReference lines: 2 years = 24 months, 5 years = 60 months.");
+}

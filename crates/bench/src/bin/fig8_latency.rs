@@ -1,0 +1,86 @@
+//! Figure 8: per-round latency overhead relative to the 2-minute FL round.
+//!
+//! Uses the analytic latency model (SSD batched path I/O + DRAM buffer
+//! traffic + controller compute) with access totals from per-workload
+//! request streams.
+
+use fedora::analytic::{fedora_round, path_oram_plus_round};
+use fedora::config::{FedoraConfig, TableSpec};
+use fedora::latency::LatencyModel;
+use fedora_bench::Workload;
+use fedora_fdp::FdpMechanism;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CHUNK: usize = 16 * 1024;
+
+fn union_scan_slots(k: usize) -> u64 {
+    fedora_oblivious::union::requests_scan_cost(k, CHUNK)
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let model = LatencyModel::default();
+    let updates = [10_000usize, 100_000, 1_000_000];
+
+    println!("Figure 8: round overhead w.r.t. the 2-minute FL round");
+    for k_total in updates {
+        println!("\n=== {k_total} updates per round ===");
+        println!(
+            "{:<8} {:<32} {:>12} {:>13} {:>13}",
+            "Table", "Workload", "PathORAM+", "FEDORA(e=0)", "FEDORA(e=1)"
+        );
+        for table in TableSpec::paper_presets() {
+            let config = FedoraConfig::paper_tuned(table, k_total);
+            let geo = config.geometry;
+            let a = config.raw.eviction_period;
+            let scans = union_scan_slots(k_total);
+
+            // Path ORAM+: K accesses each phase, all path read+write. It
+            // needs no union (it reads per request), so no scan term.
+            let base_counts = path_oram_plus_round(&geo, k_total as u64, 4096);
+            let base =
+                model.analytic_round_latency(&config, &base_counts, k_total as u64, 0, true);
+
+            let fed0_counts = fedora_round(&geo, k_total as u64, a, 4096);
+            let fed0 =
+                model.analytic_round_latency(&config, &fed0_counts, k_total as u64, scans, true);
+
+            // ε=1: geomean across workloads.
+            let mech = FdpMechanism::new(1.0, fedora_fdp::YShape::Uniform).expect("valid");
+            let mut ln_sum = 0.0;
+            let mut rows = Vec::new();
+            for w in Workload::all() {
+                let stream = w.generate(table.num_entries, k_total, &mut rng);
+                let summary = stream.summarize(&mech, CHUNK, &mut rng);
+                let counts = fedora_round(&geo, summary.k_accesses, a, 4096);
+                let lat =
+                    model.analytic_round_latency(&config, &counts, k_total as u64, scans, true);
+                ln_sum += lat.overhead_fraction().ln();
+                rows.push((w.label(), lat.overhead_fraction()));
+            }
+            let geo_mean = (ln_sum / rows.len() as f64).exp();
+
+            println!(
+                "{:<8} {:<32} {:>11.1}% {:>12.1}% {:>12.1}%",
+                table.name,
+                "All / Geomean(e=1)",
+                base.overhead_fraction() * 100.0,
+                fed0.overhead_fraction() * 100.0,
+                geo_mean * 100.0
+            );
+            for (label, overhead) in rows {
+                println!(
+                    "{:<8} {:<32} {:>12} {:>13} {:>12.1}%",
+                    table.name, label, "-", "-", overhead * 100.0
+                );
+            }
+            println!(
+                "{:<8} improvement: e=1 vs PathORAM+ {:.1}x, vs e=0 {:.1}x",
+                table.name,
+                base.overhead_fraction() / geo_mean,
+                fed0.overhead_fraction() / geo_mean
+            );
+        }
+    }
+}

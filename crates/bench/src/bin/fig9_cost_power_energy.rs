@@ -1,0 +1,102 @@
+//! Figure 9: estimated hardware cost, power, and energy per round,
+//! normalized by the DRAM-based alternative that holds the main ORAM in
+//! DRAM.
+//!
+//! Pairs each table size with its paper update count (Small/10K,
+//! Medium/100K, Large/1M) as in the figure.
+
+use fedora::analytic::{fedora_round, lifetime_months, path_oram_plus_round, ssd_busy_ns};
+use fedora::config::{FedoraConfig, TableSpec};
+use fedora::cost::CostModel;
+use fedora_bench::Workload;
+use fedora_fdp::FdpMechanism;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const CHUNK: usize = 16 * 1024;
+
+struct Row {
+    label: String,
+    hw: f64,
+    power: f64,
+    energy: f64,
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let cost = CostModel::default();
+    let pairs = [
+        (TableSpec::small(), 10_000usize),
+        (TableSpec::medium(), 100_000),
+        (TableSpec::large(), 1_000_000),
+    ];
+
+    println!("Figure 9: hardware cost / power / energy per round, % of the DRAM-based design");
+    for (table, k_total) in pairs {
+        let geo = table.geometry();
+        let a = FedoraConfig::tuned_eviction_period(&geo);
+        let tree_bytes = geo.tree_bytes(4096);
+        // Auxiliary DRAM: buffer ORAM + VTree + position map (~2% of tree).
+        let aux_dram = tree_bytes / 50;
+        let dram_ref = cost.dram_design(tree_bytes, aux_dram);
+
+        let mut rows: Vec<Row> = Vec::new();
+        let make = |label: String, counts: &fedora::analytic::RoundCounts| {
+            let life = lifetime_months(&cost.ssd, &geo, counts, cost.round_period_s);
+            let busy = ssd_busy_ns(&cost.ssd, counts) as f64 / 1e9;
+            let design = cost.ssd_design(tree_bytes, aux_dram, busy, life);
+            let n = CostModel::normalized(&design, &dram_ref);
+            Row {
+                label,
+                hw: n.hardware_usd * 100.0,
+                power: n.avg_power_w * 100.0,
+                energy: n.energy_per_round_j * 100.0,
+            }
+        };
+
+        rows.push(make(
+            "PathORAM+ (All)".into(),
+            &path_oram_plus_round(&geo, k_total as u64, 4096),
+        ));
+        rows.push(make(
+            "FEDORA e=0 (All)".into(),
+            &fedora_round(&geo, k_total as u64, a, 4096),
+        ));
+        let mech = FdpMechanism::new(1.0, fedora_fdp::YShape::Uniform).expect("valid");
+        let mut ln = [0.0f64; 3];
+        for w in Workload::all() {
+            let stream = w.generate(table.num_entries, k_total, &mut rng);
+            let summary = stream.summarize(&mech, CHUNK, &mut rng);
+            let r = make(
+                format!("FEDORA e=1 ({})", w.label()),
+                &fedora_round(&geo, summary.k_accesses, a, 4096),
+            );
+            ln[0] += r.hw.ln();
+            ln[1] += r.power.ln();
+            ln[2] += r.energy.ln();
+            rows.push(r);
+        }
+        rows.push(Row {
+            label: "FEDORA e=1 (Geomean)".into(),
+            hw: (ln[0] / 5.0).exp(),
+            power: (ln[1] / 5.0).exp(),
+            energy: (ln[2] / 5.0).exp(),
+        });
+
+        println!("\n=== {} table, {k_total} updates per round ===", table.name);
+        println!("{:<44} {:>10} {:>10} {:>12}", "Design", "HW cost", "Power", "Energy/rnd");
+        for r in &rows {
+            println!(
+                "{:<44} {:>9.1}% {:>9.1}% {:>11.1}%",
+                r.label, r.hw, r.power, r.energy
+            );
+        }
+        let g = rows.last().expect("geomean row");
+        println!(
+            "    FEDORA e=1 saves {:.1}x HW cost, {:.1}x power, {:.1}x energy vs DRAM-based",
+            100.0 / g.hw,
+            100.0 / g.power,
+            100.0 / g.energy
+        );
+    }
+}

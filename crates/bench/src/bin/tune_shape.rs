@@ -1,0 +1,48 @@
+//! Y-shape tuning sweep (Observation 3 as a deployment tool).
+//!
+//! Recommends a shape for each (ε, cost-weights) cell and prints the
+//! expected dummy/lost split — the concrete knob a FEDORA operator turns
+//! when deciding how much accuracy to trade for SSD traffic.
+
+use fedora_fdp::tuning::{recommend_shape, CostWeights};
+use fedora_fdp::YShape;
+
+fn shape_label(shape: &YShape) -> String {
+    match shape {
+        YShape::Uniform => "uniform".into(),
+        YShape::DeltaAtK => "delta@K".into(),
+        YShape::Pow { exponent } => format!("pow({exponent})"),
+        YShape::Square { lo_frac, hi_frac } => format!("square[{lo_frac},{hi_frac}]"),
+        YShape::Custom(_) => "custom".into(),
+    }
+}
+
+fn main() {
+    let (k_union, k_max) = (30u64, 100u64);
+    println!("Y-shape recommendations at k_union = {k_union}, K = {k_max}:\n");
+    println!(
+        "{:>6} {:<22} {:>18} {:>12} {:>10}",
+        "eps", "cost regime", "recommended Y", "E[dummy]", "E[lost]"
+    );
+    for eps in [0.1, 0.5, 1.0, 3.0] {
+        for (label, weights) in [
+            ("performance-first", CostWeights::performance_first()),
+            ("balanced", CostWeights { dummy: 1.0, lost: 1.0 }),
+            ("accuracy-first", CostWeights::accuracy_first()),
+            ("never-lose", CostWeights { dummy: 0.01, lost: 1e6 }),
+        ] {
+            let rec = recommend_shape(eps, k_union, k_max, &weights).expect("searchable");
+            println!(
+                "{:>6} {:<22} {:>18} {:>12.3} {:>10.3}",
+                eps,
+                label,
+                shape_label(&rec.shape),
+                rec.expected_dummies,
+                rec.expected_lost
+            );
+        }
+    }
+    println!("\nReading the table: cheap-loss regimes pick uniform-ish shapes");
+    println!("(few dummies); expensive-loss regimes climb toward pow/delta,");
+    println!("re-deriving Strawman 1 as the infinite-loss-cost limit.");
+}

@@ -1,0 +1,24 @@
+//! Shared harness code for regenerating every table and figure of the
+//! FEDORA paper (see DESIGN.md §3 for the experiment index).
+//!
+//! The binaries in `src/bin/` each regenerate one figure/table:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig3_fdp_pdfs` | Figure 3 (ε-FDP PDFs) |
+//! | `fig7_ssd_lifetime` | Figure 7 (SSD lifetime) |
+//! | `fig8_latency` | Figure 8 (round-latency overhead) |
+//! | `fig9_cost_power_energy` | Figure 9 (cost/power/energy vs DRAM) |
+//! | `fig10_scratchpad` | Figure 10 (scratchpad ablation) |
+//! | `table1_fl_accuracy` | Table 1 (access reduction + AUC) |
+//! | `ablation_bucket_size` | §6.6 bucket-size discussion |
+//! | `ablation_strawmen` | §3.2 strawman comparison |
+//! | `ablation_modes` | §4.3 operation modes through the live pipeline |
+//! | `ablation_stash_occupancy` | §4.4 stash-occupancy argument |
+//! | `tune_shape` | §3.3 Observation 3 as a tuning tool |
+//!
+//! Criterion micro-benches live in `benches/`.
+
+pub mod workload;
+
+pub use workload::{RequestStream, Workload};

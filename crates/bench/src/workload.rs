@@ -1,0 +1,340 @@
+//! Paper-scale request-stream generators for the performance figures.
+//!
+//! Figures 7–9 need request streams with the *duplicate structure* of the
+//! paper's five workloads (Kaggle, Taobao/MovieLens × hide-val/hide-#),
+//! scaled to K ∈ {10 K, 100 K, 1 M} requests over tables of up to 250 M
+//! entries. Only the per-chunk union sizes matter for the counting models,
+//! so the generators here use fast (non-oblivious) hashing — the *secure*
+//! union lives in `fedora-oblivious` and is exercised by the simulated
+//! pipeline and its benches.
+//!
+//! "Hide #" workloads pad every user to exactly 100 requests with a
+//! reserved dummy feature value (§3.1): dummies collapse to one union
+//! entry, which is why skewed datasets enjoy enormous access reductions
+//! (Table 1's 91–99 %).
+
+use std::collections::HashSet;
+
+use fedora_fdp::FdpMechanism;
+use rand::Rng;
+
+/// Samples an approximately Zipf(s)-distributed index in `[0, n)` without
+/// a CDF table (continuous inverse-CDF approximation; fine for workload
+/// statistics over hundreds of millions of ids).
+pub fn approx_zipf<R: Rng>(n: u64, s: f64, rng: &mut R) -> u64 {
+    debug_assert!(n > 0);
+    if s <= 1.001 {
+        // Near-uniform tail behaviour: mix a light head with uniform.
+        let u: f64 = rng.gen();
+        if u < 0.2 {
+            // Head: first ~1000 ids, 1/x-ish.
+            let v: f64 = rng.gen();
+            let head = (1000.0f64.powf(v)) as u64;
+            return head.min(n - 1);
+        }
+        return rng.gen_range(0..n);
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    // Inverse CDF of p(x) ∝ x^(−s) on [1, n].
+    let exp = 1.0 - s;
+    let x = ((n as f64).powf(exp) * u + (1.0 - u)).powf(1.0 / exp);
+    (x as u64 - 1).min(n - 1)
+}
+
+/// One of the paper's five evaluation workloads (Fig. 7/8 legends).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Criteo-Kaggle, hide-value mode.
+    Kaggle,
+    /// Taobao, hide individual feature values.
+    TaobaoHideVal,
+    /// MovieLens, hide individual feature values.
+    MovielensHideVal,
+    /// MovieLens, hide the number of feature values (pad to 100).
+    MovielensHideCount,
+    /// Taobao, hide the number of feature values (pad to 100).
+    TaobaoHideCount,
+}
+
+impl Workload {
+    /// All five, in the paper's legend order.
+    pub fn all() -> [Workload; 5] {
+        [
+            Workload::Kaggle,
+            Workload::TaobaoHideVal,
+            Workload::MovielensHideVal,
+            Workload::MovielensHideCount,
+            Workload::TaobaoHideCount,
+        ]
+    }
+
+    /// Figure-legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Workload::Kaggle => "Kaggle",
+            Workload::TaobaoHideVal => "Taobao (Hide priv val)",
+            Workload::MovielensHideVal => "Movielens (Hide priv val)",
+            Workload::MovielensHideCount => "Movielens (Hide # of priv val)",
+            Workload::TaobaoHideCount => "Taobao (Hide # of priv val)",
+        }
+    }
+
+    /// Whether this workload pads every user to a fixed request count.
+    pub fn pads_to(&self) -> Option<usize> {
+        match self {
+            Workload::MovielensHideCount | Workload::TaobaoHideCount => Some(100),
+            _ => None,
+        }
+    }
+
+    fn zipf_exponent(&self) -> f64 {
+        match self {
+            Workload::Kaggle => 1.05,
+            Workload::TaobaoHideVal | Workload::TaobaoHideCount => 1.3,
+            Workload::MovielensHideVal | Workload::MovielensHideCount => 1.15,
+        }
+    }
+
+    /// Draws one user's real feature count.
+    fn history_len<R: Rng>(&self, rng: &mut R) -> usize {
+        let lognormal = |median: f64, sigma: f64, max: usize, rng: &mut R| {
+            let n = fedora_fl::modes::standard_normal(rng);
+            ((median.ln() + sigma * n).exp().round() as usize).clamp(1, max)
+        };
+        match self {
+            Workload::Kaggle => 24,
+            Workload::MovielensHideVal | Workload::MovielensHideCount => {
+                lognormal(30.0, 0.8, 200, rng)
+            }
+            Workload::TaobaoHideVal | Workload::TaobaoHideCount => {
+                if rng.gen::<f64>() < 0.35 {
+                    0
+                } else {
+                    lognormal(6.0, 1.6, 400, rng)
+                }
+            }
+        }
+    }
+
+    /// Generates a request stream of (at least) `k_total` requests over a
+    /// table of `table_entries` ids, by concatenating users until the
+    /// target is met.
+    pub fn generate<R: Rng>(&self, table_entries: u64, k_total: usize, rng: &mut R) -> RequestStream {
+        let mut requests = Vec::with_capacity(k_total + 128);
+        let dummy_value = table_entries - 1; // the reserved padding value
+        let s = self.zipf_exponent();
+        while requests.len() < k_total {
+            let real = self.history_len(rng);
+            match self.pads_to() {
+                Some(n) => {
+                    let real = real.min(n);
+                    for _ in 0..real {
+                        requests.push(approx_zipf(table_entries, s, rng));
+                    }
+                    for _ in real..n {
+                        requests.push(dummy_value);
+                    }
+                }
+                None => {
+                    for _ in 0..real.max(1) {
+                        requests.push(approx_zipf(table_entries, s, rng));
+                    }
+                }
+            }
+        }
+        requests.truncate(k_total);
+        RequestStream { requests }
+    }
+}
+
+/// A generated request stream.
+#[derive(Clone, Debug)]
+pub struct RequestStream {
+    /// The flat per-round request list (all selected users concatenated).
+    pub requests: Vec<u64>,
+}
+
+/// Per-round access totals after the FDP mechanism.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessSummary {
+    /// Total requests `K`.
+    pub k_requests: u64,
+    /// Σ per-chunk unique entries.
+    pub k_union: u64,
+    /// Σ per-chunk sampled accesses `k`.
+    pub k_accesses: u64,
+    /// Dummy accesses.
+    pub dummies: u64,
+    /// Lost entries.
+    pub lost: u64,
+}
+
+impl RequestStream {
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Per-chunk `(K_c, k_union_c)` pairs under `chunk_size` chunking.
+    pub fn chunk_unions(&self, chunk_size: usize) -> Vec<(usize, usize)> {
+        self.requests
+            .chunks(chunk_size)
+            .map(|c| {
+                let unique: HashSet<u64> = c.iter().copied().collect();
+                (c.len(), unique.len())
+            })
+            .collect()
+    }
+
+    /// Applies the FDP mechanism chunk by chunk, returning the round's
+    /// access totals (what the lifetime/latency models consume).
+    pub fn summarize<R: Rng>(
+        &self,
+        mechanism: &FdpMechanism,
+        chunk_size: usize,
+        rng: &mut R,
+    ) -> AccessSummary {
+        let mut summary = AccessSummary { k_requests: self.requests.len() as u64, ..Default::default() };
+        for (k_c, union_c) in self.chunk_unions(chunk_size) {
+            if k_c == 0 {
+                continue;
+            }
+            let k = mechanism.sample_k(union_c as u64, k_c as u64, rng);
+            summary.k_union += union_c as u64;
+            summary.k_accesses += k;
+            summary.dummies += k.saturating_sub(union_c as u64);
+            summary.lost += (union_c as u64).saturating_sub(k);
+        }
+        summary
+    }
+}
+
+/// Generates and summarizes all five workloads in parallel (one thread
+/// each, via `crossbeam::scope`), deterministically: each workload gets a
+/// seed derived from `base_seed` and its index, so results match the
+/// sequential order regardless of scheduling.
+pub fn summarize_all_parallel(
+    table_entries: u64,
+    k_total: usize,
+    mechanism: &FdpMechanism,
+    chunk_size: usize,
+    base_seed: u64,
+) -> Vec<(Workload, AccessSummary)> {
+    use rand::SeedableRng;
+    let workloads = Workload::all();
+    let mut results: Vec<Option<(Workload, AccessSummary)>> = vec![None; workloads.len()];
+    crossbeam::thread::scope(|scope| {
+        for (i, (w, slot)) in workloads.iter().zip(results.iter_mut()).enumerate() {
+            let mech = mechanism.clone();
+            scope.spawn(move |_| {
+                let mut rng =
+                    rand::rngs::StdRng::seed_from_u64(base_seed.wrapping_add(i as u64 * 7919));
+                let stream = w.generate(table_entries, k_total, &mut rng);
+                let summary = stream.summarize(&mech, chunk_size, &mut rng);
+                *slot = Some((*w, summary));
+            });
+        }
+    })
+    .expect("workload threads do not panic");
+    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn zipf_in_range_and_skewed() {
+        let mut r = rng();
+        let mut head = 0;
+        for _ in 0..10_000 {
+            let x = approx_zipf(1_000_000, 1.3, &mut r);
+            assert!(x < 1_000_000);
+            if x < 100 {
+                head += 1;
+            }
+        }
+        assert!(head > 2_000, "zipf(1.3) head mass too small: {head}");
+    }
+
+    #[test]
+    fn streams_hit_target_length() {
+        let mut r = rng();
+        for w in Workload::all() {
+            let s = w.generate(1_000_000, 10_000, &mut r);
+            assert_eq!(s.len(), 10_000, "{}", w.label());
+        }
+    }
+
+    #[test]
+    fn hide_count_padding_collapses() {
+        let mut r = rng();
+        let s = Workload::TaobaoHideCount.generate(10_000_000, 20_000, &mut r);
+        let unions = s.chunk_unions(16 * 1024);
+        let total_union: usize = unions.iter().map(|(_, u)| u).sum();
+        // Taobao hide-#: most requests are the shared dummy value.
+        assert!(
+            (total_union as f64) < 0.12 * s.len() as f64,
+            "union {total_union} of {} too large",
+            s.len()
+        );
+    }
+
+    #[test]
+    fn hide_val_reduction_moderate() {
+        let mut r = rng();
+        let s = Workload::MovielensHideVal.generate(10_000_000, 100_000, &mut r);
+        let total_union: usize = s.chunk_unions(16 * 1024).iter().map(|(_, u)| u).sum();
+        let ratio = total_union as f64 / s.len() as f64;
+        assert!(
+            (0.2..0.8).contains(&ratio),
+            "hide-val union ratio {ratio} outside the plausible band"
+        );
+    }
+
+    #[test]
+    fn summary_epsilon_inf_equals_union() {
+        let mut r = rng();
+        let s = Workload::Kaggle.generate(1_000_000, 50_000, &mut r);
+        let m = FdpMechanism::no_privacy();
+        let sum = s.summarize(&m, 16 * 1024, &mut r);
+        assert_eq!(sum.k_accesses, sum.k_union);
+        assert_eq!(sum.dummies, 0);
+        assert_eq!(sum.lost, 0);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let mech = FdpMechanism::no_privacy();
+        let results = summarize_all_parallel(1_000_000, 20_000, &mech, 16 * 1024, 99);
+        assert_eq!(results.len(), 5);
+        for (i, (w, summary)) in results.iter().enumerate() {
+            // Reproduce sequentially with the same derived seed.
+            let mut rng = StdRng::seed_from_u64(99u64.wrapping_add(i as u64 * 7919));
+            let stream = w.generate(1_000_000, 20_000, &mut rng);
+            let expected = stream.summarize(&mech, 16 * 1024, &mut rng);
+            assert_eq!(*summary, expected, "{}", w.label());
+        }
+    }
+
+    #[test]
+    fn summary_epsilon_zero_reads_everything() {
+        let mut r = rng();
+        let s = Workload::Kaggle.generate(1_000_000, 20_000, &mut r);
+        let m = FdpMechanism::vanilla();
+        let sum = s.summarize(&m, 16 * 1024, &mut r);
+        assert_eq!(sum.k_accesses, sum.k_requests);
+        assert_eq!(sum.lost, 0);
+    }
+}

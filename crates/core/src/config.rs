@@ -1,0 +1,252 @@
+//! System configuration: table presets and the full FEDORA parameter set.
+
+use fedora_fdp::{FdpMechanism, YShape};
+use fedora_oram::raw::RawOramConfig;
+use fedora_oram::TreeGeometry;
+use fedora_storage::profile::{SsdProfile, SSD_PAGE_BYTES};
+use fedora_storage::Scratchpad;
+
+/// An embedding-table specification (the paper's §6.1 table sizes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableSpec {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Number of embedding entries (rows).
+    pub num_entries: u64,
+    /// Bytes per entry.
+    pub entry_bytes: usize,
+}
+
+impl TableSpec {
+    /// The paper's Small table: 10 M entries × 64 B.
+    pub fn small() -> Self {
+        TableSpec { name: "Small", num_entries: 10_000_000, entry_bytes: 64 }
+    }
+
+    /// The paper's Medium table: 50 M entries × 128 B.
+    pub fn medium() -> Self {
+        TableSpec { name: "Medium", num_entries: 50_000_000, entry_bytes: 128 }
+    }
+
+    /// The paper's Large table: 250 M entries × 256 B.
+    pub fn large() -> Self {
+        TableSpec { name: "Large", num_entries: 250_000_000, entry_bytes: 256 }
+    }
+
+    /// All three paper presets.
+    pub fn paper_presets() -> [TableSpec; 3] {
+        [Self::small(), Self::medium(), Self::large()]
+    }
+
+    /// A tiny table for tests and the simulated pipeline.
+    pub fn tiny(num_entries: u64) -> Self {
+        TableSpec { name: "Tiny", num_entries, entry_bytes: 32 }
+    }
+
+    /// Raw table size in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.num_entries * self.entry_bytes as u64
+    }
+
+    /// The tree geometry FEDORA provisions for this table: `Z` sized so a
+    /// bucket fills whole 4-KiB pages (§6.6: "make the bucket size a
+    /// multiple of 4 KB"), one block per entry.
+    pub fn geometry(&self) -> TreeGeometry {
+        self.geometry_for_bucket_pages(1)
+    }
+
+    /// Geometry with a bucket spanning `pages` SSD pages (the §6.6 bucket-
+    /// size ablation uses 1 and 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages == 0` or no block fits.
+    pub fn geometry_for_bucket_pages(&self, pages: usize) -> TreeGeometry {
+        assert!(pages > 0, "bucket must span at least one page");
+        let budget = pages * SSD_PAGE_BYTES - fedora_crypto::aead::TAG_LEN;
+        let slot = fedora_oram::bucket::SLOT_META_BYTES + self.entry_bytes;
+        let z = budget / slot;
+        assert!(z > 0, "entry too large for bucket");
+        TreeGeometry::for_blocks(self.num_entries, self.entry_bytes, z)
+    }
+}
+
+/// Which entries to read when the mechanism picks `k < k_union` (§4.2:
+/// "FEDORA has the liberty to choose which k entries to read").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// The first `k` entries in union order — the paper prototype's choice.
+    #[default]
+    FirstK,
+    /// A uniformly random `k`-subset.
+    Random,
+    /// The `k` entries with the most requests this round (obliviously
+    /// sorted by the union's per-entry counts), minimizing the number of
+    /// *requests* that go unserved.
+    PopularFirst,
+}
+
+/// The privacy configuration of a FEDORA deployment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PrivacyConfig {
+    /// The ε-FDP mechanism (ε and the Y shape).
+    pub mechanism: FdpMechanism,
+    /// Oblivious-union chunk size.
+    pub chunk_size: usize,
+}
+
+impl PrivacyConfig {
+    /// ε-FDP at `epsilon` with a uniform shape and the paper's 16 Ki chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon < 0`.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        PrivacyConfig {
+            mechanism: FdpMechanism::new(epsilon, YShape::Uniform)
+                .expect("non-negative epsilon"),
+            chunk_size: fedora_fdp::ChunkPlan::PAPER_DEFAULT,
+        }
+    }
+
+    /// Perfect privacy (Strawman 1 behaviour: `k = K` always).
+    pub fn perfect() -> Self {
+        PrivacyConfig {
+            mechanism: FdpMechanism::vanilla(),
+            chunk_size: fedora_fdp::ChunkPlan::PAPER_DEFAULT,
+        }
+    }
+
+    /// No privacy (Strawman 2 behaviour: `k = k_union` always).
+    pub fn none() -> Self {
+        PrivacyConfig {
+            mechanism: FdpMechanism::no_privacy(),
+            chunk_size: fedora_fdp::ChunkPlan::PAPER_DEFAULT,
+        }
+    }
+}
+
+/// The full FEDORA system configuration.
+#[derive(Clone, Debug)]
+pub struct FedoraConfig {
+    /// The embedding table.
+    pub table: TableSpec,
+    /// Main-ORAM geometry (derived from the table unless overridden).
+    pub geometry: TreeGeometry,
+    /// RAW ORAM parameters (eviction period `A`).
+    pub raw: RawOramConfig,
+    /// Privacy settings.
+    pub privacy: PrivacyConfig,
+    /// Buffer-ORAM capacity: the maximum requests per round (max clients ×
+    /// max features per client, both public).
+    pub max_requests_per_round: usize,
+    /// SSD device profile.
+    pub ssd: SsdProfile,
+    /// TEE scratchpad (None-equivalent: `Scratchpad::none()` for the
+    /// Fig. 10 ablation).
+    pub scratchpad: Scratchpad,
+    /// Entry-selection strategy for lossy rounds.
+    pub selection: SelectionStrategy,
+}
+
+impl FedoraConfig {
+    /// The paper's tuned configuration for a table preset.
+    pub fn paper_tuned(table: TableSpec, max_requests_per_round: usize) -> Self {
+        let geometry = table.geometry();
+        FedoraConfig {
+            table,
+            geometry,
+            raw: RawOramConfig { eviction_period: Self::tuned_eviction_period(&geometry) },
+            privacy: PrivacyConfig::with_epsilon(1.0),
+            max_requests_per_round,
+            ssd: SsdProfile::pm9a1_like(),
+            scratchpad: Scratchpad::paper_default(),
+            selection: SelectionStrategy::FirstK,
+        }
+    }
+
+    /// A small configuration for tests: tiny trees, small chunks, fast EOs.
+    pub fn for_testing(table: TableSpec, max_requests_per_round: usize) -> Self {
+        let geometry = TreeGeometry::for_blocks(table.num_entries, table.entry_bytes, 8);
+        FedoraConfig {
+            table,
+            geometry,
+            raw: RawOramConfig { eviction_period: 4 },
+            privacy: PrivacyConfig::with_epsilon(1.0),
+            max_requests_per_round,
+            ssd: SsdProfile::pm9a1_like(),
+            scratchpad: Scratchpad::paper_default(),
+            selection: SelectionStrategy::FirstK,
+        }
+    }
+
+    /// The paper's tuning rule for the eviction period: `A = 2Z` (the
+    /// Ring-ORAM-style bound under ≤50 % provisioning). At the 4-KiB
+    /// bucket of the Small table (`Z = 46`) this yields the paper's
+    /// maximum of `A = 92`; larger buckets push `A` further (§6.6).
+    pub fn tuned_eviction_period(geometry: &TreeGeometry) -> u32 {
+        (2 * geometry.z() as u32).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_sizes() {
+        assert_eq!(TableSpec::small().data_bytes(), 640_000_000);
+        assert_eq!(TableSpec::medium().data_bytes(), 6_400_000_000);
+        assert_eq!(TableSpec::large().data_bytes(), 64_000_000_000);
+    }
+
+    #[test]
+    fn geometry_buckets_fill_pages() {
+        for spec in TableSpec::paper_presets() {
+            let g = spec.geometry();
+            assert_eq!(g.pages_per_bucket(4096), 1, "{}", spec.name);
+            // Bucket nearly fills the page (> 90% utilization).
+            assert!(g.bucket_stored_bytes() > 3600, "{}", spec.name);
+            assert!(g.capacity_blocks() >= spec.num_entries, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn small_table_z_and_a() {
+        // 64-B entries: slot = 24 + 64 = 88; (4096-16)/88 = 46 slots, and
+        // A = 2Z = 92 — exactly the paper's "up to 92".
+        let g = TableSpec::small().geometry();
+        assert_eq!(g.z(), 46);
+        assert_eq!(FedoraConfig::tuned_eviction_period(&g), 92);
+    }
+
+    #[test]
+    fn larger_buckets_allow_larger_a() {
+        let small = TableSpec::small();
+        let g1 = small.geometry_for_bucket_pages(1);
+        let g4 = small.geometry_for_bucket_pages(4);
+        assert!(g4.z() > g1.z());
+        assert!(
+            FedoraConfig::tuned_eviction_period(&g4)
+                > FedoraConfig::tuned_eviction_period(&g1)
+        );
+    }
+
+    #[test]
+    fn oram_amplification_in_paper_range() {
+        // The ORAM tree is 1.5–8× the raw data (§3.2); power-of-two leaf
+        // rounding can push a config slightly past the nominal ceiling.
+        for spec in TableSpec::paper_presets() {
+            let g = spec.geometry();
+            let amp = g.tree_bytes(4096) as f64 / spec.data_bytes() as f64;
+            assert!((1.5..=8.6).contains(&amp), "{}: amplification {amp}", spec.name);
+        }
+    }
+
+    #[test]
+    fn privacy_presets() {
+        assert_eq!(PrivacyConfig::perfect().mechanism.epsilon(), 0.0);
+        assert!(PrivacyConfig::none().mechanism.epsilon().is_infinite());
+        assert_eq!(PrivacyConfig::with_epsilon(1.0).mechanism.epsilon(), 1.0);
+    }
+}

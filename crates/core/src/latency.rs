@@ -1,0 +1,238 @@
+//! The per-round latency model (Fig. 8) and the scratchpad ablation
+//! (Fig. 10).
+//!
+//! End-to-end FL latency is dominated by user-side training and network
+//! communication, which the paper (following Google's production numbers)
+//! takes as a fixed **2 minutes per round**. FEDORA adds server-side
+//! overhead on top: SSD path I/O, DRAM traffic (buffer ORAM, VTree),
+//! controller compute (the O(K²) oblivious union, AEAD en/decryption), and
+//! — when the TEE has no scratchpad — extra oblivious scans during EO
+//! eviction.
+
+use fedora_storage::stats::DeviceStats;
+
+use crate::config::FedoraConfig;
+use crate::server::RoundReport;
+
+/// The fixed FL round time the overhead is measured against (§6.1).
+pub const FL_ROUND_BASE_S: f64 = 120.0;
+
+/// Controller compute-cost parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyParams {
+    /// Cost of one oblivious-union slot visit (compare + cmov), ns.
+    pub union_slot_ns: f64,
+    /// AEAD throughput cost, ns per byte (ChaCha20-Poly1305 in software
+    /// runs at a few GB/s).
+    pub crypto_ns_per_byte: f64,
+    /// Payload-restructuring cost during an EO (present with or without a
+    /// scratchpad): ns per byte moved at DRAM bandwidth.
+    pub evict_move_ns_per_byte: f64,
+    /// Oblivious candidate-selection cost when **no** scratchpad exists:
+    /// selection degenerates to O(path_slots²) compare-and-cmov pairs over
+    /// DRAM-resident metadata; ns per slot pair. With the scratchpad the
+    /// metadata is staged on-chip and this term vanishes.
+    pub evict_pair_ns: f64,
+}
+
+impl Default for LatencyParams {
+    fn default() -> Self {
+        LatencyParams {
+            union_slot_ns: 1.0,
+            crypto_ns_per_byte: 0.35,
+            evict_move_ns_per_byte: 0.05,
+            evict_pair_ns: 24.0,
+        }
+    }
+}
+
+/// One round's latency decomposition.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RoundLatency {
+    /// SSD busy time, ns.
+    pub ssd_ns: f64,
+    /// DRAM busy time (buffer ORAM + VTree), ns.
+    pub dram_ns: f64,
+    /// Controller compute (union + crypto), ns.
+    pub controller_ns: f64,
+    /// Eviction-scan time (the part the scratchpad accelerates), ns.
+    pub eviction_ns: f64,
+}
+
+impl RoundLatency {
+    /// Total added latency in nanoseconds.
+    pub fn total_ns(&self) -> f64 {
+        self.ssd_ns + self.dram_ns + self.controller_ns + self.eviction_ns
+    }
+
+    /// Total added latency in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.total_ns() / 1e9
+    }
+
+    /// Overhead relative to the 2-minute FL round (the Fig. 8 y-axis).
+    pub fn overhead_fraction(&self) -> f64 {
+        self.total_s() / FL_ROUND_BASE_S
+    }
+}
+
+/// The latency model.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyModel {
+    /// Compute-cost parameters.
+    pub params: LatencyParams,
+}
+
+impl LatencyModel {
+    /// Computes one round's latency from its report and the system
+    /// configuration (simulated-device path).
+    pub fn round_latency(&self, report: &RoundReport, config: &FedoraConfig) -> RoundLatency {
+        let dram = report.buffer_dram.merged(&report.vtree_dram);
+        RoundLatency {
+            ssd_ns: report.ssd.busy_ns as f64,
+            dram_ns: dram.busy_ns as f64,
+            controller_ns: self.controller_ns(report.union_scan_slots, &report.ssd, &dram),
+            eviction_ns: self.eviction_ns(
+                report.eo_accesses,
+                config,
+                config.scratchpad.fits(config.ssd.page_bytes),
+            ),
+        }
+    }
+
+    /// Controller compute: union scans + AEAD over all moved bytes.
+    pub fn controller_ns(&self, union_scan_slots: u64, ssd: &DeviceStats, dram: &DeviceStats) -> f64 {
+        let crypto_bytes =
+            (ssd.bytes_read + ssd.bytes_written + dram.bytes_read + dram.bytes_written) as f64;
+        union_scan_slots as f64 * self.params.union_slot_ns
+            + crypto_bytes * self.params.crypto_ns_per_byte
+    }
+
+    /// Eviction-selection time for `eo_accesses` EO accesses.
+    ///
+    /// Both configurations pay for moving the path's slot payloads
+    /// (linear in bytes). Without the scratchpad, candidate *selection*
+    /// additionally degenerates to an oblivious O(path_slots²) scan over
+    /// DRAM-resident metadata — the dominant term for small blocks, where
+    /// many slots fit a path; with large blocks the SSD transfer dwarfs it
+    /// (the Fig. 10 shape).
+    pub fn eviction_ns(&self, eo_accesses: u64, config: &FedoraConfig, has_scratchpad: bool) -> f64 {
+        let geo = &config.geometry;
+        let path_slots = geo.num_levels() as f64 * geo.z() as f64;
+        let slot_bytes = (fedora_oram::bucket::SLOT_META_BYTES + geo.block_bytes()) as f64;
+        let move_cost = path_slots * slot_bytes * self.params.evict_move_ns_per_byte;
+        let select_cost = if has_scratchpad {
+            0.0
+        } else {
+            path_slots * path_slots * self.params.evict_pair_ns
+        };
+        eo_accesses as f64 * (move_cost + select_cost)
+    }
+
+    /// Analytic-path latency for paper-scale configs: combine
+    /// [`crate::analytic`] counts with this model.
+    pub fn analytic_round_latency(
+        &self,
+        config: &FedoraConfig,
+        counts: &crate::analytic::RoundCounts,
+        k_requests: u64,
+        union_scan_slots: u64,
+        has_scratchpad: bool,
+    ) -> RoundLatency {
+        let page = config.ssd.page_bytes;
+        let ssd_ns = crate::analytic::ssd_busy_ns(&config.ssd, counts) as f64;
+        // DRAM traffic ≈ buffer ORAM moving 2× entry bytes per request
+        // through a log-depth tree, plus VTree bits (negligible bytes but
+        // counted per access).
+        let buffer_geo = fedora_oram::TreeGeometry::for_blocks(
+            config.max_requests_per_round.max(2) as u64,
+            2 * config.table.entry_bytes + 8,
+            4,
+        );
+        let buffer_path_bytes =
+            buffer_geo.num_levels() as u64 * buffer_geo.bucket_stored_bytes() as u64;
+        // Loads (k) + serves (K) + aggregates (K, read+write) + drain (k).
+        let k = counts.path_reads.saturating_sub(counts.path_writes); // AO count
+        let buffer_accesses = 2 * k + 3 * k_requests;
+        let dram_bytes = buffer_accesses * 2 * buffer_path_bytes;
+        let dram_ns = dram_bytes as f64 / 20.0; // 20 B/ns DDR5-like
+        let ssd_stats = DeviceStats {
+            pages_read: counts.pages_read,
+            pages_written: counts.pages_written,
+            bytes_read: counts.pages_read * page as u64,
+            bytes_written: counts.pages_written * page as u64,
+            busy_ns: ssd_ns as u64,
+        };
+        let dram_stats = DeviceStats {
+            pages_read: buffer_accesses,
+            pages_written: buffer_accesses,
+            bytes_read: dram_bytes / 2,
+            bytes_written: dram_bytes / 2,
+            busy_ns: dram_ns as u64,
+        };
+        RoundLatency {
+            ssd_ns,
+            dram_ns,
+            controller_ns: self.controller_ns(union_scan_slots, &ssd_stats, &dram_stats),
+            eviction_ns: self.eviction_ns(counts.path_writes, config, has_scratchpad),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::fedora_round;
+    use crate::config::{FedoraConfig, TableSpec};
+
+    fn config() -> FedoraConfig {
+        FedoraConfig::paper_tuned(TableSpec::small(), 100_000)
+    }
+
+    #[test]
+    fn overhead_fraction_is_relative_to_2min() {
+        let lat = RoundLatency { ssd_ns: 12e9, ..Default::default() };
+        assert!((lat.overhead_fraction() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_scratchpad_costs_more() {
+        let m = LatencyModel::default();
+        let cfg = config();
+        let with = m.eviction_ns(100, &cfg, true);
+        let without = m.eviction_ns(100, &cfg, false);
+        assert!(without > 10.0 * with, "with {with} vs without {without}");
+        assert!(with > 0.0);
+    }
+
+    #[test]
+    fn fig10_shape_small_blocks_hurt_more() {
+        // The *relative* slowdown from losing the scratchpad shrinks as
+        // blocks grow (§6.6 / Fig. 10).
+        let m = LatencyModel::default();
+        let slowdown = |spec: TableSpec, k: u64| {
+            let cfg = FedoraConfig::paper_tuned(spec, 1_000_000);
+            let a = cfg.raw.eviction_period;
+            let counts = fedora_round(&cfg.geometry, k, a, 4096);
+            let scans = k * 16 * 1024; // chunked union cost
+            let with = m
+                .analytic_round_latency(&cfg, &counts, k, scans, true)
+                .total_ns();
+            let without = m
+                .analytic_round_latency(&cfg, &counts, k, scans, false)
+                .total_ns();
+            without / with
+        };
+        let small = slowdown(TableSpec::small(), 10_000);
+        let large = slowdown(TableSpec::large(), 1_000_000);
+        assert!(small > large, "small {small} should exceed large {large}");
+        assert!(small > 1.2 && small < 2.0, "small-table slowdown {small}");
+        assert!(large < 1.3, "large-table slowdown {large}");
+    }
+
+    #[test]
+    fn latency_components_sum() {
+        let lat = RoundLatency { ssd_ns: 1.0, dram_ns: 2.0, controller_ns: 3.0, eviction_ns: 4.0 };
+        assert_eq!(lat.total_ns(), 10.0);
+    }
+}

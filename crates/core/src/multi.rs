@@ -1,0 +1,238 @@
+//! Multi-table FEDORA: one protected main ORAM per private sparse
+//! feature.
+//!
+//! Production recommendation models use many embedding tables (§2.1 —
+//! one per sparse feature). The paper's pipeline protects a single private
+//! table; this module composes several [`FedoraServer`]s so a model with
+//! multiple private features runs each table's round under its own ORAM
+//! and its own ε-FDP noise. Privacy composes per *feature value*: a value
+//! belongs to exactly one table, so tables compose in parallel (the same
+//! argument as request chunks within a table, §4.2).
+
+use fedora_fl::modes::AggregationMode;
+use rand::Rng;
+
+use crate::config::FedoraConfig;
+use crate::server::{FedoraError, FedoraServer, RoundReport};
+
+/// Identifier of one private table (the sparse-feature index).
+pub type TableId = usize;
+
+/// A table's configuration together with its row initializer.
+pub type TableInit<'a> = (FedoraConfig, Box<dyn FnMut(u64) -> Vec<u8> + 'a>);
+
+/// Several private tables, each behind its own FEDORA pipeline.
+pub struct MultiTableServer {
+    tables: Vec<FedoraServer>,
+}
+
+/// Per-round report across all tables.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MultiRoundReport {
+    /// One report per table, indexed by [`TableId`].
+    pub per_table: Vec<RoundReport>,
+}
+
+impl MultiRoundReport {
+    /// Total main-ORAM accesses across tables.
+    pub fn total_accesses(&self) -> usize {
+        self.per_table.iter().map(|r| r.k_accesses).sum()
+    }
+
+    /// Total requests across tables.
+    pub fn total_requests(&self) -> usize {
+        self.per_table.iter().map(|r| r.k_requests).sum()
+    }
+}
+
+impl MultiTableServer {
+    /// Builds one pipeline per `(config, init)` pair.
+    pub fn new<R: Rng>(configs: Vec<TableInit<'_>>, rng: &mut R) -> Self {
+        let tables = configs
+            .into_iter()
+            .map(|(config, init)| FedoraServer::new(config, init, rng))
+            .collect();
+        MultiTableServer { tables }
+    }
+
+    /// Number of protected tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Access to one table's pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is out of range.
+    pub fn table(&self, table: TableId) -> &FedoraServer {
+        &self.tables[table]
+    }
+
+    /// Begins a round on every table. `requests[t]` is table `t`'s flat
+    /// request list; tables with no requests this round still run an
+    /// (empty) round so the round counter stays aligned.
+    ///
+    /// # Errors
+    ///
+    /// The first table error aborts (configuration bug).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len() != num_tables()`.
+    pub fn begin_round<R: Rng>(
+        &mut self,
+        requests: &[Vec<u64>],
+        rng: &mut R,
+    ) -> Result<MultiRoundReport, FedoraError> {
+        assert_eq!(requests.len(), self.tables.len(), "one request list per table");
+        let mut out = MultiRoundReport::default();
+        for (server, reqs) in self.tables.iter_mut().zip(requests) {
+            out.per_table.push(server.begin_round(reqs, rng)?);
+        }
+        Ok(out)
+    }
+
+    /// Serves one entry of one table.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FedoraServer::serve`].
+    pub fn serve<R: Rng>(
+        &mut self,
+        table: TableId,
+        id: u64,
+        rng: &mut R,
+    ) -> Result<Option<Vec<u8>>, FedoraError> {
+        self.tables[table].serve(id, rng)
+    }
+
+    /// Aggregates a gradient into one table.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FedoraServer::aggregate`].
+    pub fn aggregate<M: AggregationMode, R: Rng>(
+        &mut self,
+        table: TableId,
+        mode: &M,
+        id: u64,
+        gradient: &[f32],
+        n_samples: u32,
+        rng: &mut R,
+    ) -> Result<bool, FedoraError> {
+        self.tables[table].aggregate(mode, id, gradient, n_samples, rng)
+    }
+
+    /// Ends the round on every table.
+    ///
+    /// # Errors
+    ///
+    /// The first table error aborts.
+    pub fn end_round<M: AggregationMode, R: Rng>(
+        &mut self,
+        mode: &mut M,
+        server_lr: f32,
+        rng: &mut R,
+    ) -> Result<MultiRoundReport, FedoraError> {
+        let mut out = MultiRoundReport::default();
+        for server in &mut self.tables {
+            out.per_table.push(server.end_round(mode, server_lr, rng)?);
+        }
+        Ok(out)
+    }
+
+    /// Combined SSD statistics across all tables' main ORAMs.
+    pub fn ssd_stats(&self) -> fedora_storage::stats::DeviceStats {
+        self.tables
+            .iter()
+            .map(|t| t.ssd_stats())
+            .fold(fedora_storage::stats::DeviceStats::new(), |acc, s| acc.merged(&s))
+    }
+}
+
+impl core::fmt::Debug for MultiTableServer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MultiTableServer")
+            .field("tables", &self.tables.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FedoraConfig, PrivacyConfig, TableSpec};
+    use fedora_fl::modes::FedAvg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn multi(seed: u64) -> (MultiTableServer, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cfg_a = FedoraConfig::for_testing(TableSpec::tiny(128), 32);
+        cfg_a.privacy = PrivacyConfig::none();
+        let mut cfg_b = FedoraConfig::for_testing(TableSpec::tiny(256), 32);
+        cfg_b.privacy = PrivacyConfig::none();
+        let s = MultiTableServer::new(
+            vec![
+                (cfg_a, Box::new(|id| vec![id as u8; 32])),
+                (cfg_b, Box::new(|id| vec![(id as u8).wrapping_mul(2); 32])),
+            ],
+            &mut rng,
+        );
+        (s, rng)
+    }
+
+    #[test]
+    fn tables_are_independent() {
+        let (mut s, mut rng) = multi(1);
+        let report = s
+            .begin_round(&[vec![5, 5, 9], vec![5, 11]], &mut rng)
+            .unwrap();
+        assert_eq!(report.per_table.len(), 2);
+        assert_eq!(report.per_table[0].k_union, 2);
+        assert_eq!(report.per_table[1].k_union, 2);
+        // Same id, different tables, different contents.
+        assert_eq!(s.serve(0, 5, &mut rng).unwrap().unwrap(), vec![5u8; 32]);
+        assert_eq!(s.serve(1, 5, &mut rng).unwrap().unwrap(), vec![10u8; 32]);
+        let mut mode = FedAvg;
+        s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn totals_aggregate_across_tables() {
+        let (mut s, mut rng) = multi(2);
+        let report = s.begin_round(&[vec![1, 2, 3], vec![4, 5]], &mut rng).unwrap();
+        assert_eq!(report.total_requests(), 5);
+        assert_eq!(report.total_accesses(), 5); // eps = inf: k = k_union
+        let mut mode = FedAvg;
+        s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        assert!(s.ssd_stats().pages_read > 0);
+    }
+
+    #[test]
+    fn updates_stay_in_their_table() {
+        let (mut s, mut rng) = multi(3);
+        s.begin_round(&[vec![0], vec![0]], &mut rng).unwrap();
+        let mode = FedAvg;
+        s.aggregate(0, &mode, 0, &[1.0; 8], 1, &mut rng).unwrap();
+        let mut mode = FedAvg;
+        s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        // Table 0's entry 0 moved; table 1's entry 0 did not.
+        s.begin_round(&[vec![0], vec![0]], &mut rng).unwrap();
+        let a = s.serve(0, 0, &mut rng).unwrap().unwrap();
+        let b = s.serve(1, 0, &mut rng).unwrap().unwrap();
+        let a0 = f32::from_le_bytes(a[..4].try_into().unwrap());
+        let b0 = f32::from_le_bytes(b[..4].try_into().unwrap());
+        assert!((a0 - 1.0).abs() < 1e-6, "table 0 updated: {a0}");
+        assert_eq!(b0, 0.0, "table 1 untouched");
+        s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn request_list_arity_checked() {
+        let (mut s, mut rng) = multi(4);
+        let _ = s.begin_round(&[vec![1]], &mut rng);
+    }
+}

@@ -1,0 +1,287 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//!
+//! This is the cipher FEDORA uses for every encrypted off-chip structure.
+//! Nonces are never random: they are derived deterministically from the
+//! (public) identity of the encrypted group and its write counter, which is
+//! exactly what the group-based counter scheme of [`crate::group`] provides.
+
+use crate::chacha20::{self, NONCE_LEN};
+use crate::poly1305;
+
+/// Authentication tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// A 256-bit AEAD key.
+///
+/// Holds the secret key material; intentionally does not implement
+/// `Display`, and its `Debug` output is redacted.
+#[derive(Clone)]
+pub struct Key([u8; 32]);
+
+impl Key {
+    /// Creates a key from raw bytes.
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Key(bytes)
+    }
+
+    /// Derives a distinct subkey for a named component (e.g. "main-oram",
+    /// "vtree") so every tree uses an independent key, as the prototype
+    /// does. Derivation is one ChaCha20 block keyed by the master key.
+    pub fn derive_subkey(&self, label: &str) -> Key {
+        let mut nonce = [0u8; NONCE_LEN];
+        let label_bytes = label.as_bytes();
+        let take = label_bytes.len().min(NONCE_LEN);
+        nonce[..take].copy_from_slice(&label_bytes[..take]);
+        // Mix remaining label bytes into the counter.
+        let mut counter = 0u32;
+        for &b in &label_bytes[take..] {
+            counter = counter.wrapping_mul(257).wrapping_add(b as u32);
+        }
+        let block = chacha20::block(&self.0, counter, &nonce);
+        let mut sub = [0u8; 32];
+        sub.copy_from_slice(&block[..32]);
+        Key(sub)
+    }
+
+    fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl core::fmt::Debug for Key {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("Key(<redacted>)")
+    }
+}
+
+/// A 96-bit nonce. Must be unique per (key, encryption); the group counter
+/// scheme guarantees this by construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Nonce([u8; NONCE_LEN]);
+
+impl Nonce {
+    /// Creates a nonce from raw bytes.
+    pub fn from_bytes(bytes: [u8; NONCE_LEN]) -> Self {
+        Nonce(bytes)
+    }
+
+    /// Builds a nonce from a 32-bit domain value and a 64-bit counter —
+    /// the (group-id, write-counter) encoding used by the tree cipher.
+    pub fn from_u64_pair(domain: u32, counter: u64) -> Self {
+        let mut bytes = [0u8; NONCE_LEN];
+        bytes[..4].copy_from_slice(&domain.to_le_bytes());
+        bytes[4..].copy_from_slice(&counter.to_le_bytes());
+        Nonce(bytes)
+    }
+
+    fn as_bytes(&self) -> &[u8; NONCE_LEN] {
+        &self.0
+    }
+}
+
+/// Error returned when AEAD decryption fails authentication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AeadError;
+
+impl core::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("authentication tag mismatch")
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+/// The ChaCha20-Poly1305 AEAD cipher.
+///
+/// # Example
+///
+/// ```
+/// use fedora_crypto::aead::{ChaCha20Poly1305, Key, Nonce};
+/// # fn main() -> Result<(), fedora_crypto::aead::AeadError> {
+/// let aead = ChaCha20Poly1305::new(&Key::from_bytes([0u8; 32]));
+/// let nonce = Nonce::from_u64_pair(3, 17);
+/// let ct = aead.encrypt(&nonce, b"hello", b"ad");
+/// assert_eq!(aead.decrypt(&nonce, &ct, b"ad")?, b"hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChaCha20Poly1305 {
+    key: Key,
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates the AEAD from a key.
+    pub fn new(key: &Key) -> Self {
+        ChaCha20Poly1305 { key: key.clone() }
+    }
+
+    /// Encrypts `plaintext` with associated data `aad`, returning
+    /// `ciphertext ‖ tag` (length `plaintext.len() + TAG_LEN`).
+    pub fn encrypt(&self, nonce: &Nonce, plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        chacha20::xor_stream(self.key.as_bytes(), 1, nonce.as_bytes(), &mut out);
+        let tag = self.compute_tag(nonce, &out, aad);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts `ciphertext ‖ tag` produced by [`encrypt`](Self::encrypt).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AeadError`] if the tag does not verify (wrong key, nonce,
+    /// AAD, or tampered ciphertext) or the input is shorter than a tag.
+    pub fn decrypt(&self, nonce: &Nonce, ciphertext_and_tag: &[u8], aad: &[u8]) -> Result<Vec<u8>, AeadError> {
+        if ciphertext_and_tag.len() < TAG_LEN {
+            return Err(AeadError);
+        }
+        let split = ciphertext_and_tag.len() - TAG_LEN;
+        let (ct, tag_bytes) = ciphertext_and_tag.split_at(split);
+        let expected = self.compute_tag(nonce, ct, aad);
+        let actual: [u8; TAG_LEN] = tag_bytes.try_into().expect("exactly TAG_LEN bytes");
+        if !poly1305::verify(&expected, &actual) {
+            return Err(AeadError);
+        }
+        let mut out = ct.to_vec();
+        chacha20::xor_stream(self.key.as_bytes(), 1, nonce.as_bytes(), &mut out);
+        Ok(out)
+    }
+
+    /// RFC 8439 §2.8 MAC construction: Poly1305 over
+    /// `aad ‖ pad ‖ ct ‖ pad ‖ len(aad) ‖ len(ct)` with a one-time key from
+    /// ChaCha20 block 0.
+    fn compute_tag(&self, nonce: &Nonce, ciphertext: &[u8], aad: &[u8]) -> [u8; TAG_LEN] {
+        let block0 = chacha20::block(self.key.as_bytes(), 0, nonce.as_bytes());
+        let otk: [u8; 32] = block0[..32].try_into().expect("32 bytes");
+
+        let mut mac_data = Vec::with_capacity(aad.len() + ciphertext.len() + 32);
+        mac_data.extend_from_slice(aad);
+        mac_data.resize(mac_data.len().div_ceil(16) * 16, 0);
+        mac_data.extend_from_slice(ciphertext);
+        mac_data.resize(mac_data.len().div_ceil(16) * 16, 0);
+        mac_data.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+        mac_data.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+        poly1305::authenticate(&otk, &mac_data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 8439 §2.8.2 AEAD test vector.
+    #[test]
+    fn rfc8439_aead_vector() {
+        let key_bytes: [u8; 32] = hex(
+            "808182838485868788898a8b8c8d8e8f 909192939495969798999a9b9c9d9e9f",
+        )
+        .try_into()
+        .unwrap();
+        let nonce = Nonce::from_bytes(hex("070000004041424344454647").try_into().unwrap());
+        let aad = hex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+
+        let aead = ChaCha20Poly1305::new(&Key::from_bytes(key_bytes));
+        let out = aead.encrypt(&nonce, plaintext, &aad);
+        let tag = &out[out.len() - TAG_LEN..];
+        let expected_tag = hex("1ae10b594f09e26a7e902ecbd0600691");
+        assert_eq!(tag, &expected_tag[..]);
+
+        let back = aead.decrypt(&nonce, &out, &aad).unwrap();
+        assert_eq!(back, plaintext);
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let aead = ChaCha20Poly1305::new(&Key::from_bytes([1u8; 32]));
+        let nonce = Nonce::from_u64_pair(0, 0);
+        let mut ct = aead.encrypt(&nonce, b"secret block", b"");
+        ct[0] ^= 1;
+        assert_eq!(aead.decrypt(&nonce, &ct, b""), Err(AeadError));
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let aead = ChaCha20Poly1305::new(&Key::from_bytes([1u8; 32]));
+        let nonce = Nonce::from_u64_pair(0, 0);
+        let ct = aead.encrypt(&nonce, b"secret block", b"bucket-7");
+        assert!(aead.decrypt(&nonce, &ct, b"bucket-8").is_err());
+        assert!(aead.decrypt(&nonce, &ct, b"bucket-7").is_ok());
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let aead = ChaCha20Poly1305::new(&Key::from_bytes([1u8; 32]));
+        let ct = aead.encrypt(&Nonce::from_u64_pair(1, 1), b"data", b"");
+        assert!(aead.decrypt(&Nonce::from_u64_pair(1, 2), &ct, b"").is_err());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let aead = ChaCha20Poly1305::new(&Key::from_bytes([1u8; 32]));
+        assert_eq!(aead.decrypt(&Nonce::from_u64_pair(0, 0), &[0u8; 5], b""), Err(AeadError));
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip() {
+        let aead = ChaCha20Poly1305::new(&Key::from_bytes([1u8; 32]));
+        let nonce = Nonce::from_u64_pair(9, 9);
+        let ct = aead.encrypt(&nonce, b"", b"meta");
+        assert_eq!(ct.len(), TAG_LEN);
+        assert_eq!(aead.decrypt(&nonce, &ct, b"meta").unwrap(), b"");
+    }
+
+    #[test]
+    fn subkeys_are_independent() {
+        let master = Key::from_bytes([5u8; 32]);
+        let a = master.derive_subkey("main-oram");
+        let b = master.derive_subkey("vtree");
+        let aead_a = ChaCha20Poly1305::new(&a);
+        let aead_b = ChaCha20Poly1305::new(&b);
+        let nonce = Nonce::from_u64_pair(0, 0);
+        let ct = aead_a.encrypt(&nonce, b"x", b"");
+        assert!(aead_b.decrypt(&nonce, &ct, b"").is_err());
+        // Deterministic derivation.
+        let a2 = master.derive_subkey("main-oram");
+        assert!(ChaCha20Poly1305::new(&a2).decrypt(&nonce, &ct, b"").is_ok());
+    }
+
+    #[test]
+    fn long_label_subkey() {
+        let master = Key::from_bytes([5u8; 32]);
+        let a = master.derive_subkey("a-very-long-component-label-beyond-nonce");
+        let b = master.derive_subkey("a-very-long-component-label-beyond-nonc!");
+        let nonce = Nonce::from_u64_pair(0, 0);
+        let ct = ChaCha20Poly1305::new(&a).encrypt(&nonce, b"x", b"");
+        assert!(ChaCha20Poly1305::new(&b).decrypt(&nonce, &ct, b"").is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip(key in proptest::array::uniform32(any::<u8>()),
+                     domain: u32, counter: u64,
+                     pt in proptest::collection::vec(any::<u8>(), 0..300),
+                     aad in proptest::collection::vec(any::<u8>(), 0..50)) {
+            let aead = ChaCha20Poly1305::new(&Key::from_bytes(key));
+            let nonce = Nonce::from_u64_pair(domain, counter);
+            let ct = aead.encrypt(&nonce, &pt, &aad);
+            prop_assert_eq!(ct.len(), pt.len() + TAG_LEN);
+            prop_assert_eq!(aead.decrypt(&nonce, &ct, &aad).unwrap(), pt);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! From-scratch cryptographic substrate for FEDORA.
+//!
+//! The paper's prototype encrypts every off-chip data structure (main ORAM,
+//! buffer ORAM, position map, VTree) and verifies freshness/integrity with a
+//! counter scheme tailored to tree data (§5.2). This crate provides all of
+//! that with no external dependencies:
+//!
+//! * [`chacha20`] — the ChaCha20 stream cipher (RFC 8439).
+//! * [`poly1305`] — the Poly1305 one-time authenticator (RFC 8439).
+//! * [`aead`] — the ChaCha20-Poly1305 AEAD composition.
+//! * [`flat`] — the same grouping applied to flat arrays (position map,
+//!   VTree): 512-byte data groups under a hierarchical counter chain
+//!   rooted in one on-chip counter.
+//! * [`group`] — the paper's group-based tree encryption: nodes are grouped
+//!   into 512-byte units that share one counter and one tag; each group's
+//!   counter lives in its *parent* group, and only the root counter needs
+//!   on-chip (scratchpad) storage — no Merkle tree required.
+//! * [`counter`] — the main-ORAM write-counter scheme: because SSD writes
+//!   only happen during EO accesses in a *predetermined* order, one root
+//!   counter (total EO count) determines every bucket's write count.
+//!
+//! The paper uses libsodium; we re-implement the same AEAD so the whole
+//! stack is one language and auditable (see DESIGN.md §2).
+//!
+//! # Example
+//!
+//! ```
+//! use fedora_crypto::aead::{ChaCha20Poly1305, Key, Nonce};
+//!
+//! let key = Key::from_bytes([7u8; 32]);
+//! let aead = ChaCha20Poly1305::new(&key);
+//! let nonce = Nonce::from_u64_pair(1, 2);
+//! let ct = aead.encrypt(&nonce, b"bucket bytes", b"bucket-id:42");
+//! let pt = aead.decrypt(&nonce, &ct, b"bucket-id:42").unwrap();
+//! assert_eq!(pt, b"bucket bytes");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod counter;
+pub mod flat;
+pub mod group;
+pub mod poly1305;
+
+pub use aead::{AeadError, ChaCha20Poly1305, Key, Nonce, TAG_LEN};

@@ -1,0 +1,59 @@
+//! ε-FDP: feature-level differential privacy for ORAM access counts
+//! (paper §3).
+//!
+//! The only thing FEDORA's ORAM leaks is *how many* main-ORAM accesses a
+//! round performs (`k`). ε-FDP bounds what that number reveals about any
+//! single user feature value: the controller samples `k` from the
+//! exponential-mechanism distribution
+//!
+//! ```text
+//! p_i ∝ Y_i · exp(−ε·|k_union − i| / 2),   1 ≤ i ≤ K
+//! ```
+//!
+//! where `k_union` is the secret number of unique requested entries, `K`
+//! the public total number of requests, and the `Y_i` a public shape that
+//! trades performance (dummy accesses when `k > k_union`) against accuracy
+//! (lost entries when `k < k_union`).
+//!
+//! * [`shape`] — the `Y` shapes from Figure 3 (uniform, square, pow,
+//!   delta) plus custom tables.
+//! * [`mechanism`] — the log-space sampler and its distribution; the DP
+//!   ratio bound `p_i(d)/p_i(d′) ≤ e^ε` is checked by property tests.
+//! * [`chunking`] — splitting large request batches into chunks processed
+//!   independently (parallel composition keeps the round at ε-FDP).
+//! * [`accountant`] — group privacy (hiding `n` values at once costs
+//!   `ε/n` per value) and round bookkeeping.
+//! * [`tuning`] — automatic Y-shape selection given the deployment's
+//!   relative cost of dummy accesses vs lost entries (Observation 3 as
+//!   tooling).
+//!
+//! The two strawmen of §3.2 are special cases (checked by tests):
+//! `Y = delta(K)` gives vanilla ORAM (`k = K` always, ε irrelevant — perfect
+//! FDP), and `ε → ∞` gives the naive dedup optimization (`k = k_union`
+//! always — no FDP).
+//!
+//! # Example
+//!
+//! ```
+//! use fedora_fdp::{FdpMechanism, YShape};
+//! use rand::SeedableRng;
+//!
+//! let mech = FdpMechanism::new(1.0, YShape::Uniform).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let k = mech.sample_k(30, 100, &mut rng);
+//! assert!(k >= 1 && k <= 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accountant;
+pub mod chunking;
+pub mod mechanism;
+pub mod shape;
+pub mod tuning;
+
+pub use accountant::{FdpAccountant, ProtectionMode};
+pub use chunking::ChunkPlan;
+pub use mechanism::{FdpError, FdpMechanism};
+pub use shape::YShape;

@@ -1,0 +1,361 @@
+//! The ε-FDP exponential mechanism over access counts (paper §3.3, Eq. 3).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::shape::YShape;
+
+/// Errors from mechanism construction or use.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FdpError {
+    /// ε must be non-negative (∞ is allowed and means "no privacy").
+    NegativeEpsilon(f64),
+    /// The shape assigns zero weight everywhere — no `k` can be sampled.
+    UnsatisfiableShape,
+    /// `k_union` must lie in `1..=K`.
+    BadKUnion {
+        /// The offending `k_union`.
+        k_union: u64,
+        /// The batch size `K`.
+        k_max: u64,
+    },
+}
+
+impl core::fmt::Display for FdpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FdpError::NegativeEpsilon(e) => write!(f, "epsilon {e} is negative"),
+            FdpError::UnsatisfiableShape => f.write_str("Y shape has zero weight everywhere"),
+            FdpError::BadKUnion { k_union, k_max } => {
+                write!(f, "k_union {k_union} outside 1..={k_max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FdpError {}
+
+/// The ε-FDP sampler for the number of main-ORAM accesses `k`.
+///
+/// `epsilon = f64::INFINITY` degenerates to always choosing `k = k_union`
+/// (Strawman 2); `YShape::DeltaAtK` degenerates to always choosing `k = K`
+/// (Strawman 1, where ε may be 0 for perfect FDP).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FdpMechanism {
+    epsilon: f64,
+    shape: YShape,
+}
+
+impl FdpMechanism {
+    /// Creates a mechanism.
+    ///
+    /// # Errors
+    ///
+    /// [`FdpError::NegativeEpsilon`] for `epsilon < 0`.
+    pub fn new(epsilon: f64, shape: YShape) -> Result<Self, FdpError> {
+        if epsilon < 0.0 || epsilon.is_nan() {
+            return Err(FdpError::NegativeEpsilon(epsilon));
+        }
+        Ok(FdpMechanism { epsilon, shape })
+    }
+
+    /// The vanilla-ORAM configuration (Strawman 1): always `k = K`,
+    /// perfect FDP (ε = 0).
+    pub fn vanilla() -> Self {
+        FdpMechanism { epsilon: 0.0, shape: YShape::DeltaAtK }
+    }
+
+    /// The no-privacy configuration (Strawman 2): always `k = k_union`.
+    pub fn no_privacy() -> Self {
+        FdpMechanism { epsilon: f64::INFINITY, shape: YShape::Uniform }
+    }
+
+    /// The configured ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The configured shape.
+    pub fn shape(&self) -> &YShape {
+        &self.shape
+    }
+
+    /// The PDF of `k` over `1..=K` given the secret `k_union` (Eq. 3),
+    /// computed in log-space for numerical stability at large `K`.
+    ///
+    /// # Errors
+    ///
+    /// [`FdpError::BadKUnion`] / [`FdpError::UnsatisfiableShape`].
+    pub fn pdf(&self, k_union: u64, k_max: u64) -> Result<Vec<f64>, FdpError> {
+        if k_union < 1 || k_union > k_max {
+            return Err(FdpError::BadKUnion { k_union, k_max });
+        }
+        if self.epsilon.is_infinite() {
+            // Degenerate point mass at k_union.
+            let mut p = vec![0.0; k_max as usize];
+            p[(k_union - 1) as usize] = 1.0;
+            return Ok(p);
+        }
+        let mut ln_p = Vec::with_capacity(k_max as usize);
+        let mut max_ln = f64::NEG_INFINITY;
+        for i in 1..=k_max {
+            let lw = self.shape.ln_weight(i, k_max);
+            let v = lw - self.epsilon * (k_union as f64 - i as f64).abs() / 2.0;
+            if v > max_ln {
+                max_ln = v;
+            }
+            ln_p.push(v);
+        }
+        if max_ln.is_infinite() {
+            return Err(FdpError::UnsatisfiableShape);
+        }
+        let mut p: Vec<f64> = ln_p.into_iter().map(|v| (v - max_ln).exp()).collect();
+        let total: f64 = p.iter().sum();
+        for v in &mut p {
+            *v /= total;
+        }
+        Ok(p)
+    }
+
+    /// Samples `k` from the PDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs are invalid (see [`pdf`](Self::pdf)) — the
+    /// controller validates `k_union` structurally before sampling.
+    pub fn sample_k<R: Rng>(&self, k_union: u64, k_max: u64, rng: &mut R) -> u64 {
+        let p = self.pdf(k_union, k_max).expect("valid mechanism inputs");
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (idx, &prob) in p.iter().enumerate() {
+            acc += prob;
+            if u < acc {
+                return idx as u64 + 1;
+            }
+        }
+        k_max // floating-point residue: the tail belongs to the last bucket
+    }
+
+    /// Expected number of dummy accesses `E[max(0, k − k_union)]`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`pdf`](Self::pdf).
+    pub fn expected_dummies(&self, k_union: u64, k_max: u64) -> Result<f64, FdpError> {
+        let p = self.pdf(k_union, k_max)?;
+        Ok(p.iter()
+            .enumerate()
+            .map(|(idx, &prob)| prob * ((idx as f64 + 1.0) - k_union as f64).max(0.0))
+            .sum())
+    }
+
+    /// Expected number of lost entries `E[max(0, k_union − k)]`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`pdf`](Self::pdf).
+    pub fn expected_lost(&self, k_union: u64, k_max: u64) -> Result<f64, FdpError> {
+        let p = self.pdf(k_union, k_max)?;
+        Ok(p.iter()
+            .enumerate()
+            .map(|(idx, &prob)| prob * (k_union as f64 - (idx as f64 + 1.0)).max(0.0))
+            .sum())
+    }
+
+    /// The worst-case log-ratio `max_i |ln p_i(k_union) − ln p_i(k_union′)|`
+    /// between neighboring inputs — the quantity the ε-FDP proof bounds by
+    /// ε. Exposed for tests and the privacy-audit example.
+    ///
+    /// # Errors
+    ///
+    /// As for [`pdf`](Self::pdf).
+    pub fn worst_case_log_ratio(
+        &self,
+        k_union: u64,
+        k_union_neighbor: u64,
+        k_max: u64,
+    ) -> Result<f64, FdpError> {
+        let p = self.pdf(k_union, k_max)?;
+        let q = self.pdf(k_union_neighbor, k_max)?;
+        let mut worst = 0.0f64;
+        for (a, b) in p.iter().zip(q.iter()) {
+            if *a > 0.0 && *b > 0.0 {
+                worst = worst.max((a.ln() - b.ln()).abs());
+            } else if (*a > 0.0) != (*b > 0.0) {
+                return Ok(f64::INFINITY);
+            }
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn pdf_normalizes() {
+        let m = FdpMechanism::new(1.0, YShape::Uniform).unwrap();
+        let p = m.pdf(30, 100).unwrap();
+        assert_eq!(p.len(), 100);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pdf_peaks_at_k_union() {
+        let m = FdpMechanism::new(2.0, YShape::Uniform).unwrap();
+        let p = m.pdf(30, 100).unwrap();
+        let argmax = p
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0 as u64
+            + 1;
+        assert_eq!(argmax, 30);
+    }
+
+    #[test]
+    fn strawman1_always_reads_k() {
+        let m = FdpMechanism::vanilla();
+        let mut r = rng();
+        for ku in [1u64, 30, 100] {
+            assert_eq!(m.sample_k(ku, 100, &mut r), 100);
+        }
+        // And its distribution is input-independent: perfect FDP.
+        assert_eq!(m.worst_case_log_ratio(30, 31, 100).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn strawman2_always_reads_k_union() {
+        let m = FdpMechanism::no_privacy();
+        let mut r = rng();
+        assert_eq!(m.sample_k(30, 100, &mut r), 30);
+        assert_eq!(m.sample_k(99, 100, &mut r), 99);
+        // And it leaks unboundedly.
+        assert_eq!(m.worst_case_log_ratio(30, 31, 100).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn ratio_bound_holds_uniform() {
+        for eps in [0.1, 0.5, 1.0, 3.0] {
+            let m = FdpMechanism::new(eps, YShape::Uniform).unwrap();
+            for ku in [2u64, 30, 99] {
+                let r = m.worst_case_log_ratio(ku, ku + 1, 100).unwrap();
+                assert!(r <= eps + 1e-9, "eps={eps} ku={ku} ratio={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_bound_holds_pow_and_square() {
+        for shape in [YShape::pow5(), YShape::square_upper_three_quarters()] {
+            let m = FdpMechanism::new(0.5, shape).unwrap();
+            for ku in [26u64, 50, 99] {
+                let r = m.worst_case_log_ratio(ku, ku + 1, 100).unwrap();
+                assert!(r <= 0.5 + 1e-9, "ku={ku} ratio={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_epsilon_spreads_distribution() {
+        let tight = FdpMechanism::new(3.0, YShape::Uniform).unwrap();
+        let loose = FdpMechanism::new(0.3, YShape::Uniform).unwrap();
+        let pt = tight.pdf(30, 100).unwrap();
+        let pl = loose.pdf(30, 100).unwrap();
+        assert!(pt[29] > pl[29], "tight puts more mass on k_union");
+        assert!(
+            tight.expected_dummies(30, 100).unwrap() < loose.expected_dummies(30, 100).unwrap()
+        );
+    }
+
+    #[test]
+    fn pow_shape_biases_toward_dummies() {
+        // Observation 3: pow trades accuracy losses for dummy accesses.
+        let uni = FdpMechanism::new(0.5, YShape::Uniform).unwrap();
+        let pow = FdpMechanism::new(0.5, YShape::pow5()).unwrap();
+        let lost_uni = uni.expected_lost(30, 100).unwrap();
+        let lost_pow = pow.expected_lost(30, 100).unwrap();
+        let dum_uni = uni.expected_dummies(30, 100).unwrap();
+        let dum_pow = pow.expected_dummies(30, 100).unwrap();
+        assert!(lost_pow < lost_uni, "pow loses less: {lost_pow} vs {lost_uni}");
+        assert!(dum_pow > dum_uni, "pow pads more: {dum_pow} vs {dum_uni}");
+    }
+
+    #[test]
+    fn sampling_matches_pdf() {
+        let m = FdpMechanism::new(1.0, YShape::Uniform).unwrap();
+        let mut r = rng();
+        let n = 20_000;
+        let mut histo = vec![0u64; 100];
+        for _ in 0..n {
+            histo[(m.sample_k(30, 100, &mut r) - 1) as usize] += 1;
+        }
+        let p = m.pdf(30, 100).unwrap();
+        for i in 0..100 {
+            let expected = p[i] * n as f64;
+            if expected > 50.0 {
+                let got = histo[i] as f64;
+                assert!(
+                    (got - expected).abs() < 6.0 * expected.sqrt(),
+                    "bin {i}: got {got}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(matches!(
+            FdpMechanism::new(-1.0, YShape::Uniform),
+            Err(FdpError::NegativeEpsilon(_))
+        ));
+        let m = FdpMechanism::new(1.0, YShape::Uniform).unwrap();
+        assert!(matches!(m.pdf(0, 10), Err(FdpError::BadKUnion { .. })));
+        assert!(matches!(m.pdf(11, 10), Err(FdpError::BadKUnion { .. })));
+        let dead = FdpMechanism::new(1.0, YShape::Custom(vec![0.0; 5])).unwrap();
+        assert_eq!(dead.pdf(3, 5), Err(FdpError::UnsatisfiableShape));
+    }
+
+    #[test]
+    fn large_k_numerically_stable() {
+        let m = FdpMechanism::new(1.0, YShape::Uniform).unwrap();
+        let p = m.pdf(500_000, 1_000_000).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// The core ε-FDP guarantee, as a property over random configs.
+        #[test]
+        fn dp_ratio_bound(eps in 0.05f64..4.0, ku in 2u64..99, pow in 0.0f64..4.0) {
+            let m = FdpMechanism::new(eps, YShape::Pow { exponent: pow }).unwrap();
+            let r = m.worst_case_log_ratio(ku, ku + 1, 100).unwrap();
+            prop_assert!(r <= eps + 1e-9, "ratio {r} exceeds eps {eps}");
+            let r2 = m.worst_case_log_ratio(ku, ku - 1, 100).unwrap();
+            prop_assert!(r2 <= eps + 1e-9);
+        }
+
+        #[test]
+        fn sampled_k_in_range(eps in 0.05f64..4.0, ku in 1u64..100, seed: u64) {
+            let m = FdpMechanism::new(eps, YShape::Uniform).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let k = m.sample_k(ku, 100, &mut rng);
+            prop_assert!((1..=100).contains(&k));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The `Y` shape: the public prior over access counts (Figure 3).
+//!
+//! `Y_i` weights the exponential mechanism's preference for reading `i`
+//! entries. A shape biased toward large `i` ("pow", "delta at K") trades
+//! performance for accuracy (more dummies, fewer losses — Observation 3);
+//! `Y = delta(K)` recovers the vanilla ORAM (Strawman 1, Observation 4).
+
+use serde::{Deserialize, Serialize};
+
+/// The `Y_i` weight shape over `1 ≤ i ≤ K`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum YShape {
+    /// `Y_i = 1` for all `i` (Figure 3 a, c, e).
+    Uniform,
+    /// `Y_i = 1` for `lo ≤ i ≤ hi` (fractions of `K`), else 0
+    /// (Figure 3 b uses `[0.25, 1.0]`).
+    Square {
+        /// Lower bound as a fraction of `K` (inclusive).
+        lo_frac: f64,
+        /// Upper bound as a fraction of `K` (inclusive).
+        hi_frac: f64,
+    },
+    /// `Y_i = i^p` (Figure 3 d uses `p = 5`).
+    Pow {
+        /// The exponent `p`.
+        exponent: f64,
+    },
+    /// `Y_i = 1` only at `i = K` (Figure 3 f — Strawman 1 / vanilla ORAM).
+    DeltaAtK,
+    /// Explicit per-`i` weights; index 0 corresponds to `i = 1`. Entries
+    /// beyond the table are treated as 0.
+    Custom(Vec<f64>),
+}
+
+impl YShape {
+    /// The natural log of `Y_i` for a batch of `k_max = K` requests.
+    /// Returns `f64::NEG_INFINITY` where `Y_i = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside `1..=k_max`.
+    pub fn ln_weight(&self, i: u64, k_max: u64) -> f64 {
+        assert!(i >= 1 && i <= k_max, "i={i} outside 1..={k_max}");
+        match self {
+            YShape::Uniform => 0.0,
+            YShape::Square { lo_frac, hi_frac } => {
+                let lo = (lo_frac * k_max as f64).floor() as u64;
+                let hi = (hi_frac * k_max as f64).ceil() as u64;
+                if i >= lo.max(1) && i <= hi.min(k_max) {
+                    0.0
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+            YShape::Pow { exponent } => exponent * (i as f64).ln(),
+            YShape::DeltaAtK => {
+                if i == k_max {
+                    0.0
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+            YShape::Custom(table) => {
+                let w = table.get((i - 1) as usize).copied().unwrap_or(0.0);
+                if w > 0.0 {
+                    w.ln()
+                } else {
+                    f64::NEG_INFINITY
+                }
+            }
+        }
+    }
+
+    /// Whether the shape admits at least one `i` with positive weight.
+    pub fn is_satisfiable(&self, k_max: u64) -> bool {
+        (1..=k_max).any(|i| self.ln_weight(i, k_max).is_finite())
+    }
+
+    /// The Figure 3(d) shape: `Y_i = i⁵`.
+    pub fn pow5() -> Self {
+        YShape::Pow { exponent: 5.0 }
+    }
+
+    /// The Figure 3(b) shape: `Y_i = 1` for `K/4 ≤ i ≤ K`.
+    pub fn square_upper_three_quarters() -> Self {
+        YShape::Square { lo_frac: 0.25, hi_frac: 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_flat() {
+        for i in 1..=10 {
+            assert_eq!(YShape::Uniform.ln_weight(i, 10), 0.0);
+        }
+    }
+
+    #[test]
+    fn square_masks_outside() {
+        let s = YShape::Square { lo_frac: 0.25, hi_frac: 1.0 };
+        assert!(s.ln_weight(24, 100).is_infinite());
+        assert_eq!(s.ln_weight(25, 100), 0.0);
+        assert_eq!(s.ln_weight(100, 100), 0.0);
+    }
+
+    #[test]
+    fn pow_increases() {
+        let s = YShape::pow5();
+        assert!(s.ln_weight(2, 100) < s.ln_weight(50, 100));
+        assert!((s.ln_weight(10, 100) - 5.0 * 10f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_only_at_k() {
+        let s = YShape::DeltaAtK;
+        assert!(s.ln_weight(99, 100).is_infinite());
+        assert_eq!(s.ln_weight(100, 100), 0.0);
+    }
+
+    #[test]
+    fn custom_table() {
+        let s = YShape::Custom(vec![0.0, 2.0, 0.5]);
+        assert!(s.ln_weight(1, 5).is_infinite());
+        assert!((s.ln_weight(2, 5) - 2f64.ln()).abs() < 1e-12);
+        assert!((s.ln_weight(3, 5) - 0.5f64.ln()).abs() < 1e-12);
+        assert!(s.ln_weight(4, 5).is_infinite(), "beyond table is zero");
+    }
+
+    #[test]
+    fn satisfiability() {
+        assert!(YShape::Uniform.is_satisfiable(1));
+        assert!(YShape::DeltaAtK.is_satisfiable(5));
+        assert!(!YShape::Custom(vec![0.0, 0.0]).is_satisfiable(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_i_panics() {
+        YShape::Uniform.ln_weight(0, 10);
+    }
+}

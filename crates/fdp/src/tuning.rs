@@ -1,0 +1,182 @@
+//! Y-shape tuning: choosing the performance/accuracy trade-off
+//! (Observation 3, §3.3).
+//!
+//! The `Y_i` prior is a free design parameter: for a given ε it trades the
+//! chance of *dummy* accesses (performance) against *lost* entries
+//! (accuracy). This module turns the observation into tooling — given a
+//! deployment's relative cost of a dummy access vs a lost entry, it
+//! searches the standard shape families and recommends the cheapest one.
+//! Because `Y` is public, tuning it leaks nothing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mechanism::{FdpError, FdpMechanism};
+use crate::shape::YShape;
+
+/// Relative cost of the two failure modes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostWeights {
+    /// Cost of one dummy (wasted) main-ORAM access.
+    pub dummy: f64,
+    /// Cost of one lost (unread) entry.
+    pub lost: f64,
+}
+
+impl CostWeights {
+    /// Performance-dominated deployment: losses are cheap to tolerate.
+    pub fn performance_first() -> Self {
+        CostWeights { dummy: 1.0, lost: 0.2 }
+    }
+
+    /// Accuracy-dominated deployment: losses are expensive.
+    pub fn accuracy_first() -> Self {
+        CostWeights { dummy: 0.2, lost: 5.0 }
+    }
+}
+
+/// Expected per-round cost of a mechanism at a working point.
+///
+/// # Errors
+///
+/// Propagates [`FdpError`] from the distribution computation.
+pub fn expected_cost(
+    mechanism: &FdpMechanism,
+    k_union: u64,
+    k_max: u64,
+    weights: &CostWeights,
+) -> Result<f64, FdpError> {
+    Ok(weights.dummy * mechanism.expected_dummies(k_union, k_max)?
+        + weights.lost * mechanism.expected_lost(k_union, k_max)?)
+}
+
+/// The result of a shape search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShapeRecommendation {
+    /// The winning shape.
+    pub shape: YShape,
+    /// Its expected cost at the working point.
+    pub cost: f64,
+    /// The expected dummy/lost split at the working point.
+    pub expected_dummies: f64,
+    /// Expected lost entries.
+    pub expected_lost: f64,
+}
+
+/// Searches the standard shape families (uniform, `pow(p)` over a grid,
+/// `square[lo, 1]` over a grid, delta-at-K) and returns the cheapest for
+/// the given ε, working point, and cost weights.
+///
+/// # Errors
+///
+/// Propagates [`FdpError`] (invalid ε or working point).
+pub fn recommend_shape(
+    epsilon: f64,
+    k_union: u64,
+    k_max: u64,
+    weights: &CostWeights,
+) -> Result<ShapeRecommendation, FdpError> {
+    let mut candidates: Vec<YShape> = vec![YShape::Uniform, YShape::DeltaAtK];
+    for p in [0.5, 1.0, 2.0, 3.0, 5.0, 8.0] {
+        candidates.push(YShape::Pow { exponent: p });
+    }
+    for lo in [0.1, 0.25, 0.5, 0.75] {
+        // Only admissible if the window can still contain k_union-ish
+        // values; the window itself is public.
+        candidates.push(YShape::Square { lo_frac: lo, hi_frac: 1.0 });
+    }
+
+    let mut best: Option<ShapeRecommendation> = None;
+    for shape in candidates {
+        if !shape.is_satisfiable(k_max) {
+            continue;
+        }
+        let mech = FdpMechanism::new(epsilon, shape.clone())?;
+        // Square shapes can make the PDF unsatisfiable only if all-zero,
+        // handled above; cost may still be huge, which the comparison
+        // handles naturally.
+        let cost = match expected_cost(&mech, k_union, k_max, weights) {
+            Ok(c) => c,
+            Err(FdpError::UnsatisfiableShape) => continue,
+            Err(e) => return Err(e),
+        };
+        let rec = ShapeRecommendation {
+            expected_dummies: mech.expected_dummies(k_union, k_max)?,
+            expected_lost: mech.expected_lost(k_union, k_max)?,
+            shape,
+            cost,
+        };
+        match &best {
+            None => best = Some(rec),
+            Some(b) if rec.cost < b.cost => best = Some(rec),
+            _ => {}
+        }
+    }
+    best.ok_or(FdpError::UnsatisfiableShape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_cost_combines_both_terms() {
+        let mech = FdpMechanism::new(1.0, YShape::Uniform).expect("valid");
+        let d = mech.expected_dummies(30, 100).expect("valid");
+        let l = mech.expected_lost(30, 100).expect("valid");
+        let c = expected_cost(&mech, 30, 100, &CostWeights { dummy: 2.0, lost: 3.0 })
+            .expect("valid");
+        assert!((c - (2.0 * d + 3.0 * l)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_first_prefers_upward_bias() {
+        // When losses are expensive, the recommendation must lose less
+        // than the uniform shape does.
+        let rec = recommend_shape(0.5, 30, 100, &CostWeights::accuracy_first()).expect("found");
+        let uniform = FdpMechanism::new(0.5, YShape::Uniform).expect("valid");
+        let uniform_lost = uniform.expected_lost(30, 100).expect("valid");
+        assert!(
+            rec.expected_lost < uniform_lost,
+            "recommended {:?} loses {} vs uniform {}",
+            rec.shape,
+            rec.expected_lost,
+            uniform_lost
+        );
+    }
+
+    #[test]
+    fn performance_first_avoids_delta() {
+        // When dummies are expensive, always-read-K is the worst choice.
+        let rec =
+            recommend_shape(0.5, 30, 100, &CostWeights::performance_first()).expect("found");
+        assert_ne!(rec.shape, YShape::DeltaAtK);
+        let delta = FdpMechanism::new(0.5, YShape::DeltaAtK).expect("valid");
+        let delta_cost =
+            expected_cost(&delta, 30, 100, &CostWeights::performance_first()).expect("valid");
+        assert!(rec.cost < delta_cost);
+    }
+
+    #[test]
+    fn extreme_lost_cost_approaches_strawman1() {
+        // With astronomically expensive losses, delta-at-K (never lose)
+        // wins — Observation 4's degenerate corner.
+        let rec = recommend_shape(
+            0.5,
+            30,
+            100,
+            &CostWeights { dummy: 1e-6, lost: 1e9 },
+        )
+        .expect("found");
+        assert!(rec.expected_lost < 1e-6, "{:?}", rec);
+    }
+
+    #[test]
+    fn recommendation_is_consistent() {
+        let w = CostWeights { dummy: 1.0, lost: 1.0 };
+        let rec = recommend_shape(1.0, 50, 200, &w).expect("found");
+        // Recomputing the winner's cost matches.
+        let mech = FdpMechanism::new(1.0, rec.shape.clone()).expect("valid");
+        let cost = expected_cost(&mech, 50, 200, &w).expect("valid");
+        assert!((cost - rec.cost).abs() < 1e-9);
+    }
+}

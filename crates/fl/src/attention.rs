@@ -1,0 +1,338 @@
+//! Target-aware attention pooling over history embeddings — the Deep
+//! Interest Network (DIN) style head the paper's §2.1 model family
+//! includes ("an MLP or a Transformer-like network").
+//!
+//! Mean pooling ([`crate::model::DlrmModel`]'s default) weighs every
+//! history item equally; DIN-style attention scores each history item
+//! against the *target* item and pools with softmax weights:
+//!
+//! ```text
+//! q   = Q · e_target                      (learned query projection)
+//! s_j = ⟨e_hist_j, q⟩ / √d                (relevance scores)
+//! w   = softmax(s)
+//! pooled = Σ_j w_j · e_hist_j
+//! ```
+//!
+//! Everything is manual forward/backward with finite-difference-checked
+//! gradients, like the rest of the substrate. From FEDORA's perspective
+//! the pooling choice is client-side and invisible to the server: the
+//! same embedding rows are downloaded/uploaded either way, so the ORAM
+//! pipeline and the ε-FDP accounting are unchanged.
+
+use crate::linalg::{dot, Matrix};
+
+/// The attention head: one learned `d × d` query projection.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttentionPooling {
+    q: Matrix,
+}
+
+/// Cached activations for the backward pass.
+#[derive(Clone, Debug)]
+pub struct AttentionCache {
+    target: Vec<f32>,
+    history: Vec<Vec<f32>>,
+    query: Vec<f32>,
+    weights: Vec<f32>,
+}
+
+impl AttentionCache {
+    /// The softmax attention weights (one per history item).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+}
+
+/// Gradients of one attention forward/backward.
+#[derive(Clone, Debug)]
+pub struct AttentionGrads {
+    /// Gradient w.r.t. the query projection `Q`.
+    pub d_q: Matrix,
+    /// Gradient w.r.t. the target embedding.
+    pub d_target: Vec<f32>,
+    /// Gradient w.r.t. each history embedding.
+    pub d_history: Vec<Vec<f32>>,
+}
+
+impl AttentionPooling {
+    /// Creates the head with a near-identity initialization (attention
+    /// starts close to dot-product relevance).
+    pub fn new<R: rand::Rng>(dim: usize, rng: &mut R) -> Self {
+        let scale = 0.05 / (dim as f32).sqrt();
+        let q = Matrix::from_fn(dim, dim, |r, c| {
+            let noise: f32 = rng.gen_range(-scale..scale);
+            if r == c {
+                1.0 + noise
+            } else {
+                noise
+            }
+        });
+        AttentionPooling { q }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.q.rows()
+    }
+
+    /// The query projection (for optimizer updates).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// Applies a gradient step to `Q`.
+    pub fn apply(&mut self, alpha: f32, d_q: &Matrix) {
+        self.q.add_scaled(alpha, d_q);
+    }
+
+    /// Forward pass: pools `history` embeddings with target-aware softmax
+    /// attention. Empty histories pool to the zero vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn forward(&self, target: &[f32], history: &[Vec<f32>]) -> (Vec<f32>, AttentionCache) {
+        let d = self.dim();
+        assert_eq!(target.len(), d, "target dimension");
+        for h in history {
+            assert_eq!(h.len(), d, "history dimension");
+        }
+        if history.is_empty() {
+            return (
+                vec![0.0; d],
+                AttentionCache {
+                    target: target.to_vec(),
+                    history: Vec::new(),
+                    query: vec![0.0; d],
+                    weights: Vec::new(),
+                },
+            );
+        }
+        let query = self.q.matvec(target);
+        let inv_sqrt_d = 1.0 / (d as f32).sqrt();
+        let scores: Vec<f32> = history.iter().map(|h| dot(h, &query) * inv_sqrt_d).collect();
+        // Stable softmax.
+        let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();
+        let total: f32 = exps.iter().sum();
+        let weights: Vec<f32> = exps.iter().map(|e| e / total).collect();
+        let mut pooled = vec![0.0; d];
+        for (w, h) in weights.iter().zip(history) {
+            for (p, x) in pooled.iter_mut().zip(h) {
+                *p += w * x;
+            }
+        }
+        (
+            pooled,
+            AttentionCache {
+                target: target.to_vec(),
+                history: history.to_vec(),
+                query,
+                weights,
+            },
+        )
+    }
+
+    /// Backward pass: given `d_pooled = ∂L/∂pooled`, returns gradients for
+    /// `Q`, the target embedding, and every history embedding.
+    pub fn backward(&self, cache: &AttentionCache, d_pooled: &[f32]) -> AttentionGrads {
+        let d = self.dim();
+        assert_eq!(d_pooled.len(), d, "gradient dimension");
+        let n = cache.history.len();
+        if n == 0 {
+            return AttentionGrads {
+                d_q: Matrix::zeros(d, d),
+                d_target: vec![0.0; d],
+                d_history: Vec::new(),
+            };
+        }
+        let inv_sqrt_d = 1.0 / (d as f32).sqrt();
+
+        // dL/dw_j = ⟨d_pooled, h_j⟩
+        let dw: Vec<f32> = cache.history.iter().map(|h| dot(d_pooled, h)).collect();
+        // Softmax Jacobian: dL/ds_j = w_j (dw_j − Σ_i w_i dw_i)
+        let mix: f32 = cache.weights.iter().zip(&dw).map(|(w, g)| w * g).sum();
+        let ds: Vec<f32> = cache.weights.iter().zip(&dw).map(|(w, g)| w * (g - mix)).collect();
+
+        // dL/dh_j = w_j · d_pooled + ds_j · q / √d
+        let d_history: Vec<Vec<f32>> = cache
+            .history
+            .iter()
+            .enumerate()
+            .map(|(j, _)| {
+                let mut g = vec![0.0; d];
+                for (gi, (dp, qi)) in g.iter_mut().zip(d_pooled.iter().zip(&cache.query)) {
+                    *gi = cache.weights[j] * dp + ds[j] * qi * inv_sqrt_d;
+                }
+                g
+            })
+            .collect();
+
+        // dL/dq = Σ_j ds_j · h_j / √d
+        let mut d_query = vec![0.0; d];
+        for (j, h) in cache.history.iter().enumerate() {
+            for (dq, x) in d_query.iter_mut().zip(h) {
+                *dq += ds[j] * x * inv_sqrt_d;
+            }
+        }
+        // q = Q · target  ⇒  dL/dQ = d_query ⊗ targetᵀ, dL/dtarget = Qᵀ d_query
+        let mut d_q = Matrix::zeros(d, d);
+        d_q.add_outer(1.0, &d_query, &cache.target);
+        let d_target = self.q.matvec_t(&d_query);
+
+        AttentionGrads { d_q, d_target, d_history }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const D: usize = 6;
+
+    fn setup(seed: u64) -> (AttentionPooling, Vec<f32>, Vec<Vec<f32>>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let att = AttentionPooling::new(D, &mut rng);
+        let target: Vec<f32> = (0..D).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let history: Vec<Vec<f32>> = (0..4)
+            .map(|_| (0..D).map(|_| rng.gen_range(-1.0..1.0f32)).collect())
+            .collect();
+        (att, target, history, rng)
+    }
+
+    /// Scalar loss for gradient checking: L = Σ c_i · pooled_i.
+    fn loss(att: &AttentionPooling, target: &[f32], history: &[Vec<f32>], c: &[f32]) -> f32 {
+        let (pooled, _) = att.forward(target, history);
+        dot(&pooled, c)
+    }
+
+    #[test]
+    fn weights_are_a_distribution() {
+        let (att, target, history, _) = setup(1);
+        let (_, cache) = att.forward(&target, &history);
+        let sum: f32 = cache.weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(cache.weights().iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn pooled_is_convex_combination() {
+        let (att, target, history, _) = setup(2);
+        let (pooled, cache) = att.forward(&target, &history);
+        // pooled must lie within the per-coordinate min/max of history.
+        for i in 0..D {
+            let lo = history.iter().map(|h| h[i]).fold(f32::INFINITY, f32::min);
+            let hi = history.iter().map(|h| h[i]).fold(f32::NEG_INFINITY, f32::max);
+            assert!(pooled[i] >= lo - 1e-5 && pooled[i] <= hi + 1e-5, "coord {i}");
+        }
+        assert_eq!(cache.weights().len(), history.len());
+    }
+
+    #[test]
+    fn relevant_items_get_more_weight() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let att = AttentionPooling::new(D, &mut rng); // near-identity Q
+        let target = vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let aligned = target.clone();
+        let orthogonal = vec![0.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+        let (_, cache) = att.forward(&target, &[aligned, orthogonal]);
+        assert!(
+            cache.weights()[0] > cache.weights()[1],
+            "aligned item must dominate: {:?}",
+            cache.weights()
+        );
+    }
+
+    #[test]
+    fn empty_history_pools_to_zero() {
+        let (att, target, _, _) = setup(4);
+        let (pooled, cache) = att.forward(&target, &[]);
+        assert_eq!(pooled, vec![0.0; D]);
+        let grads = att.backward(&cache, &[1.0; D]);
+        assert!(grads.d_history.is_empty());
+        assert_eq!(grads.d_target, vec![0.0; D]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (mut att, target, history, mut rng) = setup(5);
+        let c: Vec<f32> = (0..D).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (pooled, cache) = att.forward(&target, &history);
+        let _ = pooled;
+        let grads = att.backward(&cache, &c);
+        let eps = 1e-3f32;
+
+        // Q[1][2]
+        let orig = att.q.get(1, 2);
+        att.q.set(1, 2, orig + eps);
+        let lp = loss(&att, &target, &history, &c);
+        att.q.set(1, 2, orig - eps);
+        let lm = loss(&att, &target, &history, &c);
+        att.q.set(1, 2, orig);
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!(
+            (fd - grads.d_q.get(1, 2)).abs() < 5e-3,
+            "dQ: fd={fd} analytic={}",
+            grads.d_q.get(1, 2)
+        );
+
+        // target[3]
+        let mut t2 = target.clone();
+        t2[3] += eps;
+        let lp = loss(&att, &t2, &history, &c);
+        t2[3] = target[3] - eps;
+        let lm = loss(&att, &t2, &history, &c);
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!(
+            (fd - grads.d_target[3]).abs() < 5e-3,
+            "dtarget: fd={fd} analytic={}",
+            grads.d_target[3]
+        );
+
+        // history[2][1]
+        let mut h2 = history.clone();
+        h2[2][1] += eps;
+        let lp = loss(&att, &target, &h2, &c);
+        h2[2][1] = history[2][1] - eps;
+        let lm = loss(&att, &target, &h2, &c);
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!(
+            (fd - grads.d_history[2][1]).abs() < 5e-3,
+            "dhist: fd={fd} analytic={}",
+            grads.d_history[2][1]
+        );
+    }
+
+    #[test]
+    fn attention_is_trainable() {
+        // Train Q so the pooled vector matches a fixed target vector from
+        // a fixed input: loss must fall.
+        let (mut att, target, history, mut rng) = setup(6);
+        let goal: Vec<f32> = (0..D).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let mse = |att: &AttentionPooling| -> f32 {
+            let (pooled, _) = att.forward(&target, &history);
+            pooled.iter().zip(&goal).map(|(p, g)| (p - g) * (p - g)).sum()
+        };
+        let before = mse(&att);
+        for _ in 0..200 {
+            let (pooled, cache) = att.forward(&target, &history);
+            let d_pooled: Vec<f32> =
+                pooled.iter().zip(&goal).map(|(p, g)| 2.0 * (p - g)).collect();
+            let grads = att.backward(&cache, &d_pooled);
+            att.apply(-0.1, &grads.d_q);
+        }
+        let after = mse(&att);
+        assert!(after < before, "training must reduce loss: {before} -> {after}");
+    }
+
+    #[test]
+    fn single_item_history_passthrough() {
+        let (att, target, history, _) = setup(7);
+        let solo = vec![history[0].clone()];
+        let (pooled, cache) = att.forward(&target, &solo);
+        assert_eq!(cache.weights(), &[1.0]);
+        assert_eq!(pooled, history[0]);
+    }
+}

@@ -1,0 +1,300 @@
+//! Client-side local training (paper §2.2, step ⑤ of Figure 4).
+//!
+//! Each selected user downloads the dense model and the embedding rows
+//! matching their private data, runs a few epochs of local SGD, and uploads
+//! the *delta* between their trained weights and the downloaded ones (the
+//! paper's "gradient", footnote 1).
+
+use std::collections::HashMap;
+
+use crate::datasets::Sample;
+use crate::linalg::Matrix;
+use crate::model::{DenseParams, DlrmModel};
+
+/// One client's upload after local training.
+#[derive(Clone, Debug)]
+pub struct ClientUpdate {
+    /// Delta of the dense parameters.
+    pub dense_delta: DenseParams,
+    /// Deltas of the public item-table rows this client touched.
+    pub item_deltas: Vec<(u64, Vec<f32>)>,
+    /// Deltas of the private history-table rows this client touched —
+    /// these flow back through the buffer ORAM.
+    pub history_deltas: Vec<(u64, Vec<f32>)>,
+    /// Delta of the attention query projection (attention pooling only;
+    /// a public dense parameter, aggregated conventionally).
+    pub attention_delta: Option<Matrix>,
+    /// Number of local samples (`n_t^c`, the FedAvg weight).
+    pub n_samples: u32,
+}
+
+/// What a client does with a history entry the FDP mechanism lost
+/// (§4.2's mitigation strategies: "using a random/default value or simply
+/// dropping the corresponding training sample").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LostRowStrategy {
+    /// Substitute the default (zero) vector — the paper prototype's
+    /// choice.
+    #[default]
+    DefaultValue,
+    /// Drop the lost feature value from the history entirely (the history
+    /// shrinks; with a fully-lost history the sample effectively trains
+    /// without the private branch).
+    Drop,
+}
+
+/// Local-training hyperparameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LocalTrainer {
+    /// Local SGD learning rate.
+    pub lr: f32,
+    /// Local epochs over the user's samples.
+    pub epochs: u32,
+    /// Lost-entry mitigation.
+    pub lost_rows: LostRowStrategy,
+}
+
+impl Default for LocalTrainer {
+    fn default() -> Self {
+        LocalTrainer { lr: 0.1, epochs: 1, lost_rows: LostRowStrategy::DefaultValue }
+    }
+}
+
+impl LocalTrainer {
+    /// Runs local training for one client.
+    ///
+    /// `global` is the downloaded model snapshot. `history_rows` maps each
+    /// history item id to the row downloaded through the buffer ORAM —
+    /// `None` marks an entry lost to the FDP mechanism, for which the
+    /// default-value strategy (zeros) applies. When `history_rows` is
+    /// `None` entirely, the client uses the model's own table (the
+    /// reference/non-ORAM path).
+    ///
+    /// Returns `None` if the client has no training samples (it then
+    /// contributes nothing this round — a dropout).
+    pub fn train(
+        &self,
+        global: &DlrmModel,
+        samples: &[Sample],
+        history: &[u64],
+        history_rows: Option<&HashMap<u64, Option<Vec<f32>>>>,
+    ) -> Option<ClientUpdate> {
+        if samples.is_empty() {
+            return None;
+        }
+        // Local copy of everything the client trains. Under the Drop
+        // strategy, lost entries leave the effective history; under
+        // DefaultValue they stay with a zero row.
+        let mut effective_history: Vec<u64> = history.to_vec();
+        let mut local = global.clone();
+        if let Some(rows) = history_rows {
+            let d = global.config().embedding_dim;
+            if self.lost_rows == LostRowStrategy::Drop {
+                effective_history
+                    .retain(|h| matches!(rows.get(h), Some(Some(_))));
+            }
+            for &h in &effective_history {
+                match rows.get(&h) {
+                    Some(Some(row)) => local.set_history_row(h, row),
+                    // Lost entry: the default-value strategy (zeros).
+                    Some(None) => local.set_history_row(h, &vec![0.0; d]),
+                    // Not downloaded at all (shouldn't happen; be safe).
+                    None => local.set_history_row(h, &vec![0.0; d]),
+                }
+            }
+        }
+        let history = &effective_history[..];
+
+        let mut touched_items: Vec<u64> = Vec::new();
+        for _ in 0..self.epochs {
+            for s in samples {
+                let cache = local.forward_local(s.target_item, history, s.dense);
+                let grads = local.backward(&cache, s.label as u8 as f32);
+                local.dense_mut().add_scaled(-self.lr, &grads.dense);
+                local.update_item_row(grads.item_row.0, -self.lr, &grads.item_row.1);
+                if !touched_items.contains(&grads.item_row.0) {
+                    touched_items.push(grads.item_row.0);
+                }
+                for (id, g) in &grads.history_rows {
+                    local.update_history_row(*id, -self.lr, g);
+                }
+                if let Some(d_q) = &grads.attention_q {
+                    local.update_attention(-self.lr, d_q);
+                }
+            }
+        }
+
+        // Deltas vs. the downloaded snapshot.
+        let mut dense_delta = local.dense().clone();
+        dense_delta.add_scaled(-1.0, global.dense());
+
+        let d = global.config().embedding_dim;
+        let item_deltas: Vec<(u64, Vec<f32>)> = touched_items
+            .into_iter()
+            .map(|id| {
+                let mut delta = local.item_row(id).to_vec();
+                for (x, y) in delta.iter_mut().zip(global.item_row(id)) {
+                    *x -= y;
+                }
+                (id, delta)
+            })
+            .collect();
+        let history_deltas: Vec<(u64, Vec<f32>)> = history
+            .iter()
+            .map(|&id| {
+                let mut delta = local.history_row(id).to_vec();
+                // Delta vs what the client downloaded (which may be zeros
+                // for lost entries) — the server applies it to the real row.
+                let baseline: Vec<f32> = match history_rows {
+                    Some(rows) => match rows.get(&id) {
+                        Some(Some(row)) => row.clone(),
+                        _ => vec![0.0; d],
+                    },
+                    None => global.history_row(id).to_vec(),
+                };
+                for (x, y) in delta.iter_mut().zip(&baseline) {
+                    *x -= y;
+                }
+                (id, delta)
+            })
+            .collect();
+
+        let attention_delta = match (local.attention(), global.attention()) {
+            (Some(local_att), Some(global_att)) => {
+                let mut delta = local_att.q().clone();
+                delta.add_scaled(-1.0, global_att.q());
+                Some(delta)
+            }
+            _ => None,
+        };
+
+        Some(ClientUpdate {
+            dense_delta,
+            item_deltas,
+            history_deltas,
+            attention_delta,
+            n_samples: samples.len() as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DlrmConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (DlrmModel, Vec<Sample>, Vec<u64>) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let model = DlrmModel::new(DlrmConfig::tiny(64), &mut rng);
+        let history = vec![3u64, 9, 17];
+        let samples = vec![
+            Sample { user: 0, target_item: 5, dense: 0.2, label: true },
+            Sample { user: 0, target_item: 8, dense: 0.2, label: false },
+            Sample { user: 0, target_item: 5, dense: 0.2, label: true },
+        ];
+        (model, samples, history)
+    }
+
+    #[test]
+    fn empty_samples_is_dropout() {
+        let (model, _, history) = setup();
+        let t = LocalTrainer::default();
+        assert!(t.train(&model, &[], &history, None).is_none());
+    }
+
+    #[test]
+    fn update_has_expected_shape() {
+        let (model, samples, history) = setup();
+        let t = LocalTrainer::default();
+        let u = t.train(&model, &samples, &history, None).unwrap();
+        assert_eq!(u.n_samples, 3);
+        assert_eq!(u.history_deltas.len(), 3);
+        let touched: Vec<u64> = u.item_deltas.iter().map(|(id, _)| *id).collect();
+        assert!(touched.contains(&5) && touched.contains(&8));
+        assert_eq!(u.item_deltas.len(), 2, "each item delta reported once");
+    }
+
+    #[test]
+    fn deltas_are_nonzero_after_training() {
+        let (model, samples, history) = setup();
+        let t = LocalTrainer { lr: 0.2, epochs: 2, ..Default::default() };
+        let u = t.train(&model, &samples, &history, None).unwrap();
+        let dense_norm: f32 = u.dense_delta.w2.iter().map(|x| x * x).sum();
+        assert!(dense_norm > 0.0, "dense delta must move");
+        assert!(u.history_deltas.iter().any(|(_, d)| d.iter().any(|&x| x != 0.0)));
+    }
+
+    #[test]
+    fn applying_deltas_reduces_local_loss() {
+        let (mut model, samples, history) = setup();
+        let loss_before: f32 = samples
+            .iter()
+            .map(|s| DlrmModel::bce_loss(&model.forward_local(s.target_item, &history, s.dense), s.label as u8 as f32))
+            .sum();
+        let t = LocalTrainer { lr: 0.2, epochs: 4, ..Default::default() };
+        let u = t.train(&model, &samples, &history, None).unwrap();
+        model.dense_mut().add_scaled(1.0, &u.dense_delta);
+        for (id, delta) in &u.item_deltas {
+            model.update_item_row(*id, 1.0, delta);
+        }
+        for (id, delta) in &u.history_deltas {
+            model.update_history_row(*id, 1.0, delta);
+        }
+        let loss_after: f32 = samples
+            .iter()
+            .map(|s| DlrmModel::bce_loss(&model.forward_local(s.target_item, &history, s.dense), s.label as u8 as f32))
+            .sum();
+        assert!(loss_after < loss_before, "{loss_before} -> {loss_after}");
+    }
+
+    #[test]
+    fn downloaded_rows_override_table() {
+        let (model, samples, history) = setup();
+        let t = LocalTrainer::default();
+        // Provide zero rows for everything: deltas are computed vs zeros.
+        let rows: HashMap<u64, Option<Vec<f32>>> =
+            history.iter().map(|&h| (h, Some(vec![0.0; 8]))).collect();
+        let u_zero = t.train(&model, &samples, &history, Some(&rows)).unwrap();
+        let u_table = t.train(&model, &samples, &history, None).unwrap();
+        // Different baselines → different history deltas.
+        assert_ne!(u_zero.history_deltas, u_table.history_deltas);
+    }
+
+    #[test]
+    fn lost_rows_use_default_value() {
+        let (model, samples, history) = setup();
+        let t = LocalTrainer::default();
+        let mut rows: HashMap<u64, Option<Vec<f32>>> =
+            history.iter().map(|&h| (h, Some(model.history_row(h).to_vec()))).collect();
+        rows.insert(3, None); // entry 3 lost to FDP
+        let u = t.train(&model, &samples, &history, Some(&rows)).unwrap();
+        assert!(u.history_deltas.iter().any(|(id, _)| *id == 3));
+    }
+
+    #[test]
+    fn drop_strategy_shrinks_history() {
+        let (model, samples, history) = setup();
+        let t = LocalTrainer { lost_rows: LostRowStrategy::Drop, ..Default::default() };
+        let mut rows: HashMap<u64, Option<Vec<f32>>> =
+            history.iter().map(|&h| (h, Some(model.history_row(h).to_vec()))).collect();
+        rows.insert(3, None); // entry 3 lost to FDP
+        let u = t.train(&model, &samples, &history, Some(&rows)).unwrap();
+        // The dropped entry produces no upload.
+        assert!(!u.history_deltas.iter().any(|(id, _)| *id == 3));
+        assert_eq!(u.history_deltas.len(), history.len() - 1);
+    }
+
+    #[test]
+    fn drop_strategy_with_everything_lost_still_trains() {
+        let (model, samples, history) = setup();
+        let t = LocalTrainer { lost_rows: LostRowStrategy::Drop, ..Default::default() };
+        let rows: HashMap<u64, Option<Vec<f32>>> =
+            history.iter().map(|&h| (h, None)).collect();
+        let u = t.train(&model, &samples, &history, Some(&rows)).unwrap();
+        assert!(u.history_deltas.is_empty());
+        // Dense model still moves (the sample trains without the branch).
+        assert!(u.dense_delta.w2.iter().any(|&x| x != 0.0));
+    }
+}

@@ -1,0 +1,49 @@
+//! Federated-learning substrate for FEDORA.
+//!
+//! The paper trains DLRM-style recommendation models with federated
+//! learning (FL): each round a subset of users downloads the current model,
+//! trains locally, and uploads gradients that the server aggregates
+//! (FedAvg, Eq. 1 — generalized to programmable `Pre`/`Post` functions,
+//! Eq. 4). This crate is that substrate, built from scratch:
+//!
+//! * [`linalg`] — the small dense-vector/matrix kernel the model needs.
+//! * [`model`] — a DLRM-lite recommendation model: a *private* behavioral
+//!   history embedding table (the one FEDORA protects), a public target-item
+//!   table, and an MLP head, with manual forward/backward.
+//! * [`modes`] — the FL operation modes of §4.3 as `Pre`/`Post` pairs:
+//!   [`modes::FedAvg`], [`modes::FedAdam`], [`modes::Eana`] (DP noise at
+//!   update), [`modes::LazyDp`] (staleness-scaled DP noise).
+//! * [`client`] — local training: per-user SGD producing embedding-row and
+//!   dense-parameter deltas plus the sample count `n_t^c`.
+//! * [`datasets`] — synthetic dataset generators with MovieLens/Taobao/
+//!   Kaggle-like statistics (Zipf item popularity, heavy-tailed history
+//!   lengths, planted-model labels). See DESIGN.md §2 for why these
+//!   substitute for the real datasets.
+//! * [`attention`] — DIN-style target-aware attention pooling over
+//!   history embeddings (the "Transformer-like" end of §2.1's model
+//!   family), with manually derived gradients.
+//! * [`secagg`] — pairwise-mask secure aggregation (Bonawitz et al.),
+//!   demonstrating the paper's §2.2 compatibility claim: the server only
+//!   ever sees summed gradients.
+//! * [`metrics`] — ROC-AUC, the paper's model-quality metric.
+//! * [`sim`] — a reference (non-ORAM) FL loop used for the `pub` baseline
+//!   and for validating the FEDORA pipeline end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod client;
+pub mod datasets;
+pub mod linalg;
+pub mod metrics;
+pub mod model;
+pub mod modes;
+pub mod secagg;
+pub mod sim;
+
+pub use client::{ClientUpdate, LocalTrainer};
+pub use datasets::{Dataset, DatasetKind, Sample, SyntheticConfig};
+pub use metrics::roc_auc;
+pub use model::{DlrmConfig, DlrmModel};
+pub use modes::{AggregationMode, FedAdam, FedAvg};

@@ -1,0 +1,262 @@
+//! Minimal dense linear algebra for the recommendation model.
+//!
+//! Row-major matrices over `f32`, plus the vector kernels the MLP's manual
+//! backward pass needs. Deliberately tiny: the models here are small enough
+//! that clarity beats BLAS.
+
+/// A row-major dense matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix from a closure over `(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f32>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The flat row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `y = W·x` (matrix–vector product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows)
+            .map(|r| dot(self.row(r), x))
+            .collect()
+    }
+
+    /// `y = Wᵀ·x` (transposed matrix–vector product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for (r, &s) in x.iter().enumerate() {
+            let row = self.row(r);
+            for (yc, w) in y.iter_mut().zip(row) {
+                *yc += w * s;
+            }
+        }
+        y
+    }
+
+    /// Rank-1 update `W += α·u·vᵀ` (the gradient accumulation of a linear
+    /// layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn add_outer(&mut self, alpha: f32, u: &[f32], v: &[f32]) {
+        assert_eq!(u.len(), self.rows, "outer u dimension mismatch");
+        assert_eq!(v.len(), self.cols, "outer v dimension mismatch");
+        for (r, &ur) in u.iter().enumerate() {
+            let base = r * self.cols;
+            for (c, &vc) in v.iter().enumerate() {
+                self.data[base + c] += alpha * ur * vc;
+            }
+        }
+    }
+
+    /// `W += α·G` element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, alpha: f32, g: &Matrix) {
+        assert_eq!((self.rows, self.cols), (g.rows, g.cols), "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&g.data) {
+            *a += alpha * b;
+        }
+    }
+}
+
+/// Dot product.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `a += α·b` element-wise.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn axpy(alpha: f32, b: &[f32], a: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "axpy dimension mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+}
+
+/// Scales a vector in place.
+pub fn scale(a: &mut [f32], alpha: f32) {
+    for x in a.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// The ℓ₂ norm.
+pub fn l2_norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// The logistic sigmoid, numerically stable on both tails.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// ReLU.
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Derivative of ReLU (subgradient 0 at 0).
+pub fn relu_grad(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_known() {
+        let w = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32); // [[0,1,2],[3,4,5]]
+        assert_eq!(w.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 12.0]);
+        assert_eq!(w.matvec(&[1.0, 0.0, 0.0]), vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose() {
+        let w = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(w.matvec_t(&[1.0, 0.0]), vec![0.0, 1.0, 2.0]);
+        assert_eq!(w.matvec_t(&[0.0, 1.0]), vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn outer_update() {
+        let mut w = Matrix::zeros(2, 2);
+        w.add_outer(2.0, &[1.0, 0.5], &[3.0, 4.0]);
+        assert_eq!(w.get(0, 0), 6.0);
+        assert_eq!(w.get(0, 1), 8.0);
+        assert_eq!(w.get(1, 0), 3.0);
+        assert_eq!(w.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn add_scaled_matches_axpy() {
+        let mut w = Matrix::zeros(1, 3);
+        let g = Matrix::from_fn(1, 3, |_, c| c as f32);
+        w.add_scaled(-0.5, &g);
+        assert_eq!(w.data(), &[0.0, -0.5, -1.0]);
+    }
+
+    #[test]
+    fn sigmoid_stable() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!(sigmoid(-1000.0).is_finite());
+        assert!(sigmoid(1000.0).is_finite());
+    }
+
+    #[test]
+    fn vector_ops() {
+        let mut a = vec![1.0, 2.0];
+        axpy(0.5, &[2.0, 4.0], &mut a);
+        assert_eq!(a, vec![2.0, 4.0]);
+        scale(&mut a, 0.25);
+        assert_eq!(a, vec![0.5, 1.0]);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn relu_and_grad() {
+        assert_eq!(relu(-2.0), 0.0);
+        assert_eq!(relu(2.0), 2.0);
+        assert_eq!(relu_grad(-1.0), 0.0);
+        assert_eq!(relu_grad(1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,245 @@
+//! Model-quality metrics: ROC-AUC (the paper's Table 1 metric).
+
+/// Computes the area under the ROC curve from `(score, label)` pairs.
+///
+/// Uses the rank-statistic (Mann–Whitney U) formulation with midrank tie
+/// handling, which is exact and `O(n log n)`.
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+///
+/// # Example
+///
+/// ```
+/// use fedora_fl::metrics::roc_auc;
+/// let auc = roc_auc(&[(0.9, true), (0.8, false), (0.7, true), (0.1, false)]);
+/// assert!((auc - 0.75).abs() < 1e-9);
+/// ```
+pub fn roc_auc(scored: &[(f32, bool)]) -> f64 {
+    let pos = scored.iter().filter(|(_, l)| *l).count();
+    let neg = scored.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    let mut sorted: Vec<(f32, bool)> = scored.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores must not be NaN"));
+
+    // Midranks over ties.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < sorted.len() {
+        let mut j = i;
+        while j < sorted.len() && sorted[j].0 == sorted[i].0 {
+            j += 1;
+        }
+        // Ranks i+1 ..= j (1-based); midrank:
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        for item in &sorted[i..j] {
+            if item.1 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j;
+    }
+    let pos_f = pos as f64;
+    let neg_f = neg as f64;
+    (rank_sum_pos - pos_f * (pos_f + 1.0) / 2.0) / (pos_f * neg_f)
+}
+
+/// Accuracy at a fixed 0.5 threshold (a secondary sanity metric).
+pub fn accuracy(scored: &[(f32, bool)]) -> f64 {
+    if scored.is_empty() {
+        return 0.0;
+    }
+    let correct = scored
+        .iter()
+        .filter(|(s, l)| (*s >= 0.5) == *l)
+        .count();
+    correct as f64 / scored.len() as f64
+}
+
+/// Normalized entropy (NE): mean BCE divided by the entropy of the base
+/// rate — the standard industrial CTR metric (< 1.0 beats predicting the
+/// prior; lower is better). Returns `f64::NAN` when a class is absent.
+pub fn normalized_entropy(scored: &[(f32, bool)]) -> f64 {
+    let n = scored.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    let p = scored.iter().filter(|(_, l)| *l).count() as f64 / n as f64;
+    if p == 0.0 || p == 1.0 {
+        return f64::NAN;
+    }
+    let base = -(p * p.ln() + (1.0 - p) * (1.0 - p).ln());
+    mean_bce(scored) / base
+}
+
+/// Expected calibration error over `bins` equal-width probability bins:
+/// the mean |predicted − observed| positive rate, weighted by bin mass.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+pub fn calibration_error(scored: &[(f32, bool)], bins: usize) -> f64 {
+    assert!(bins > 0, "need at least one bin");
+    if scored.is_empty() {
+        return 0.0;
+    }
+    let mut sum_pred = vec![0.0f64; bins];
+    let mut sum_label = vec![0.0f64; bins];
+    let mut count = vec![0u32; bins];
+    for (s, l) in scored {
+        let b = ((*s as f64 * bins as f64) as usize).min(bins - 1);
+        sum_pred[b] += *s as f64;
+        sum_label[b] += *l as u8 as f64;
+        count[b] += 1;
+    }
+    let n = scored.len() as f64;
+    (0..bins)
+        .filter(|&b| count[b] > 0)
+        .map(|b| {
+            let c = count[b] as f64;
+            (c / n) * ((sum_pred[b] / c) - (sum_label[b] / c)).abs()
+        })
+        .sum()
+}
+
+/// Mean binary cross-entropy of probability scores.
+pub fn mean_bce(scored: &[(f32, bool)]) -> f64 {
+    if scored.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = scored
+        .iter()
+        .map(|(s, l)| {
+            let p = (*s as f64).clamp(1e-7, 1.0 - 1e-7);
+            if *l {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / scored.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let auc = roc_auc(&[(0.9, true), (0.8, true), (0.2, false), (0.1, false)]);
+        assert!((auc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking() {
+        let auc = roc_auc(&[(0.1, true), (0.2, true), (0.8, false), (0.9, false)]);
+        assert!(auc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_ranking_is_half() {
+        // All scores identical: AUC must be exactly 0.5 via midranks.
+        let auc = roc_auc(&[(0.5, true), (0.5, false), (0.5, true), (0.5, false)]);
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_classes() {
+        assert_eq!(roc_auc(&[(0.9, true), (0.3, true)]), 0.5);
+        assert_eq!(roc_auc(&[(0.9, false)]), 0.5);
+        assert_eq!(roc_auc(&[]), 0.5);
+    }
+
+    #[test]
+    fn matches_bruteforce_pair_counting() {
+        let data = [
+            (0.1, false),
+            (0.35, true),
+            (0.2, false),
+            (0.8, true),
+            (0.35, false),
+            (0.6, false),
+            (0.7, true),
+        ];
+        // Brute force: P(score_pos > score_neg) + 0.5 P(tie).
+        let mut wins = 0.0;
+        let mut total = 0.0;
+        for (sp, lp) in &data {
+            if !lp {
+                continue;
+            }
+            for (sn, ln) in &data {
+                if *ln {
+                    continue;
+                }
+                total += 1.0;
+                if sp > sn {
+                    wins += 1.0;
+                } else if sp == sn {
+                    wins += 0.5;
+                }
+            }
+        }
+        assert!((roc_auc(&data) - wins / total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_threshold() {
+        let acc = accuracy(&[(0.9, true), (0.4, false), (0.6, false), (0.2, true)]);
+        assert!((acc - 0.5).abs() < 1e-12);
+        assert_eq!(accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn bce_prefers_confident_correct() {
+        let good = mean_bce(&[(0.99, true), (0.01, false)]);
+        let bad = mean_bce(&[(0.01, true), (0.99, false)]);
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn ne_below_one_beats_the_prior() {
+        // A well-calibrated informative model.
+        let good = [(0.9f32, true), (0.9, true), (0.1, false), (0.1, false)];
+        assert!(normalized_entropy(&good) < 1.0);
+        // Predicting the prior exactly gives NE = 1.
+        let prior = [(0.5f32, true), (0.5, false), (0.5, true), (0.5, false)];
+        assert!((normalized_entropy(&prior) - 1.0).abs() < 1e-9);
+        assert!(normalized_entropy(&[(0.5, true)]).is_nan());
+    }
+
+    #[test]
+    fn calibration_error_detects_overconfidence() {
+        // Perfectly calibrated 0.5 predictions.
+        let calibrated = [(0.5f32, true), (0.5, false)];
+        assert!(calibration_error(&calibrated, 10) < 1e-9);
+        // Overconfident wrong predictions.
+        let overconfident = [(0.95f32, false), (0.95, false)];
+        assert!(calibration_error(&overconfident, 10) > 0.9);
+        assert_eq!(calibration_error(&[], 10), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn auc_in_unit_interval(data in proptest::collection::vec((0.0f32..1.0, any::<bool>()), 0..100)) {
+            let auc = roc_auc(&data);
+            prop_assert!((0.0..=1.0).contains(&auc));
+        }
+
+        #[test]
+        fn auc_invariant_to_monotone_transform(data in proptest::collection::vec((0.01f32..0.99, any::<bool>()), 2..60)) {
+            let a = roc_auc(&data);
+            let transformed: Vec<(f32, bool)> = data.iter().map(|(s, l)| (s * s, *l)).collect();
+            let b = roc_auc(&transformed);
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,656 @@
+//! A DLRM-lite recommendation model with manual backprop.
+//!
+//! Architecture (a scaled-down [DLRM]): two embedding tables — the *public*
+//! target-item table and the *private* behavioral-history table (the one
+//! whose accesses FEDORA protects) — feed an MLP head:
+//!
+//! ```text
+//! e_t = emb_item(target),  e_h = mean_j emb_hist(history_j)
+//! x = [ e_t ‖ e_h ‖ ⟨e_t, e_h⟩ ‖ dense ]
+//! logit = w2 · relu(W1·x + b1) + b2,   p = sigmoid(logit)
+//! ```
+//!
+//! The explicit dot-product feature is DLRM's pairwise interaction term;
+//! it is what lets the two tables learn a matrix-factorization-style
+//! affinity instead of relying on the MLP to discover multiplication.
+//!
+//! trained with binary cross-entropy. The `pub` baseline of Table 1 is the
+//! same model with the history branch zeroed (no private features).
+//!
+//! [DLRM]: https://arxiv.org/abs/1906.00091
+
+use rand::Rng;
+
+use crate::attention::{AttentionCache, AttentionPooling};
+use crate::linalg::{dot, relu, relu_grad, sigmoid, Matrix};
+
+/// How the history embeddings are pooled (§2.1's model family: mean
+/// pooling for the classic DLRM shape, target-aware attention for the
+/// DIN/Transformer-like end).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Pooling {
+    /// Unweighted mean of the history rows.
+    #[default]
+    Mean,
+    /// DIN-style target-aware softmax attention
+    /// ([`crate::attention::AttentionPooling`]).
+    Attention,
+}
+
+/// Model hyperparameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DlrmConfig {
+    /// Item-domain cardinality (height of both embedding tables).
+    pub num_items: u64,
+    /// Embedding dimension `d`.
+    pub embedding_dim: usize,
+    /// MLP hidden width.
+    pub hidden_dim: usize,
+    /// Whether the private history branch is used (`false` = the `pub`
+    /// baseline that trains on non-private features only).
+    pub use_private_history: bool,
+    /// How history embeddings are pooled.
+    pub pooling: Pooling,
+}
+
+impl DlrmConfig {
+    /// A small config suitable for tests.
+    pub fn tiny(num_items: u64) -> Self {
+        DlrmConfig {
+            num_items,
+            embedding_dim: 8,
+            hidden_dim: 16,
+            use_private_history: true,
+            pooling: Pooling::Mean,
+        }
+    }
+
+    /// MLP input dimension: target emb + history emb + interaction dot +
+    /// 1 dense feature.
+    pub fn input_dim(&self) -> usize {
+        2 * self.embedding_dim + 2
+    }
+}
+
+/// The dense (non-embedding) parameters — trained with conventional FL.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseParams {
+    /// First layer weights, `hidden × input`.
+    pub w1: Matrix,
+    /// First layer bias.
+    pub b1: Vec<f32>,
+    /// Output layer weights, length `hidden`.
+    pub w2: Vec<f32>,
+    /// Output bias.
+    pub b2: f32,
+}
+
+impl DenseParams {
+    fn zeros_like(&self) -> DenseParams {
+        DenseParams {
+            w1: Matrix::zeros(self.w1.rows(), self.w1.cols()),
+            b1: vec![0.0; self.b1.len()],
+            w2: vec![0.0; self.w2.len()],
+            b2: 0.0,
+        }
+    }
+
+    /// `self += α · other`, the FedAvg server update for dense params.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, alpha: f32, other: &DenseParams) {
+        self.w1.add_scaled(alpha, &other.w1);
+        crate::linalg::axpy(alpha, &other.b1, &mut self.b1);
+        crate::linalg::axpy(alpha, &other.w2, &mut self.w2);
+        self.b2 += alpha * other.b2;
+    }
+}
+
+/// Gradients of one forward/backward pass.
+#[derive(Clone, Debug)]
+pub struct Gradients {
+    /// Dense-parameter gradients.
+    pub dense: DenseParams,
+    /// Gradient w.r.t. the target item's embedding row.
+    pub item_row: (u64, Vec<f32>),
+    /// Gradients w.r.t. each history row (one per distinct history item).
+    pub history_rows: Vec<(u64, Vec<f32>)>,
+    /// Gradient w.r.t. the attention query projection (attention pooling
+    /// only).
+    pub attention_q: Option<Matrix>,
+}
+
+/// The model.
+#[derive(Clone, Debug)]
+pub struct DlrmModel {
+    config: DlrmConfig,
+    item_table: Matrix,
+    history_table: Matrix,
+    dense: DenseParams,
+    attention: Option<AttentionPooling>,
+}
+
+/// Cached activations needed by the backward pass.
+#[derive(Clone, Debug)]
+pub struct ForwardCache {
+    x: Vec<f32>,
+    pre1: Vec<f32>,
+    h1: Vec<f32>,
+    prob: f32,
+    target_item: u64,
+    history: Vec<u64>,
+    attention: Option<AttentionCache>,
+}
+
+impl ForwardCache {
+    /// The predicted probability.
+    pub fn prob(&self) -> f32 {
+        self.prob
+    }
+}
+
+impl DlrmModel {
+    /// Creates a model with small random initial weights.
+    pub fn new<R: Rng>(config: DlrmConfig, rng: &mut R) -> Self {
+        let d = config.embedding_dim;
+        let scale_emb = 0.1 / (d as f32).sqrt();
+        let item_table =
+            Matrix::from_fn(config.num_items as usize, d, |_, _| rng.gen_range(-scale_emb..scale_emb));
+        let history_table =
+            Matrix::from_fn(config.num_items as usize, d, |_, _| rng.gen_range(-scale_emb..scale_emb));
+        let fan_in = config.input_dim() as f32;
+        let s1 = (2.0 / fan_in).sqrt();
+        let w1 = Matrix::from_fn(config.hidden_dim, config.input_dim(), |_, _| {
+            rng.gen_range(-s1..s1)
+        });
+        let s2 = (2.0 / config.hidden_dim as f32).sqrt();
+        let w2 = (0..config.hidden_dim).map(|_| rng.gen_range(-s2..s2)).collect();
+        let attention = match config.pooling {
+            Pooling::Mean => None,
+            Pooling::Attention => Some(AttentionPooling::new(d, rng)),
+        };
+        DlrmModel {
+            config,
+            item_table,
+            history_table,
+            dense: DenseParams { w1, b1: vec![0.0; config.hidden_dim], w2, b2: 0.0 },
+            attention,
+        }
+    }
+
+    /// The attention head (attention pooling only).
+    pub fn attention(&self) -> Option<&AttentionPooling> {
+        self.attention.as_ref()
+    }
+
+    /// Applies a gradient step to the attention query projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model does not use attention pooling.
+    pub fn update_attention(&mut self, alpha: f32, d_q: &Matrix) {
+        self.attention
+            .as_mut()
+            .expect("model has no attention head")
+            .apply(alpha, d_q);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DlrmConfig {
+        &self.config
+    }
+
+    /// The dense parameters.
+    pub fn dense(&self) -> &DenseParams {
+        &self.dense
+    }
+
+    /// Mutable dense parameters (server aggregation target).
+    pub fn dense_mut(&mut self) -> &mut DenseParams {
+        &mut self.dense
+    }
+
+    /// One history-table row.
+    pub fn history_row(&self, id: u64) -> &[f32] {
+        self.history_table.row(id as usize)
+    }
+
+    /// Overwrites one history-table row (used to sync the model with the
+    /// main-ORAM contents for evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn set_history_row(&mut self, id: u64, row: &[f32]) {
+        assert_eq!(row.len(), self.config.embedding_dim, "row dimension");
+        let d = self.config.embedding_dim;
+        let base = id as usize * d;
+        self.history_table.data_mut()[base..base + d].copy_from_slice(row);
+    }
+
+    /// One item-table row.
+    pub fn item_row(&self, id: u64) -> &[f32] {
+        self.item_table.row(id as usize)
+    }
+
+    /// Applies a delta to one item-table row.
+    pub fn update_item_row(&mut self, id: u64, alpha: f32, delta: &[f32]) {
+        let d = self.config.embedding_dim;
+        let base = id as usize * d;
+        for (w, g) in self.item_table.data_mut()[base..base + d].iter_mut().zip(delta) {
+            *w += alpha * g;
+        }
+    }
+
+    /// Applies a delta to one history-table row.
+    pub fn update_history_row(&mut self, id: u64, alpha: f32, delta: &[f32]) {
+        let d = self.config.embedding_dim;
+        let base = id as usize * d;
+        for (w, g) in self.history_table.data_mut()[base..base + d].iter_mut().zip(delta) {
+            *w += alpha * g;
+        }
+    }
+
+    /// Pools the given history rows per the configured strategy. Entries
+    /// may be fewer than the full history when the FDP mechanism lost
+    /// some. Returns the pooled vector and (for attention) the cache its
+    /// backward pass needs.
+    fn pool(&self, target_item: u64, rows: &[&[f32]]) -> (Vec<f32>, Option<AttentionCache>) {
+        let d = self.config.embedding_dim;
+        if rows.is_empty() {
+            return (vec![0.0; d], None);
+        }
+        match (&self.config.pooling, &self.attention) {
+            (Pooling::Mean, _) => {
+                let mut out = vec![0.0; d];
+                for row in rows {
+                    crate::linalg::axpy(1.0, row, &mut out);
+                }
+                crate::linalg::scale(&mut out, 1.0 / rows.len() as f32);
+                (out, None)
+            }
+            (Pooling::Attention, Some(att)) => {
+                let owned: Vec<Vec<f32>> = rows.iter().map(|r| r.to_vec()).collect();
+                let target = self.item_table.row(target_item as usize);
+                let (pooled, cache) = att.forward(target, &owned);
+                (pooled, Some(cache))
+            }
+            (Pooling::Attention, None) => unreachable!("attention model always has a head"),
+        }
+    }
+
+    /// Forward pass with explicitly supplied history rows — what a FEDORA
+    /// client runs on entries downloaded through the buffer ORAM. Rows must
+    /// be in the same order as `history`; a `None` row means the entry was
+    /// lost (the default-value strategy substitutes zeros).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history.len() != history_rows.len()`.
+    pub fn forward_with_history(
+        &self,
+        target_item: u64,
+        history: &[u64],
+        history_rows: &[Option<Vec<f32>>],
+        dense_feature: f32,
+    ) -> ForwardCache {
+        assert_eq!(history.len(), history_rows.len(), "one row per history item");
+        let d = self.config.embedding_dim;
+        let zero = vec![0.0; d];
+        let resolved: Vec<&[f32]> = history_rows
+            .iter()
+            .map(|r| r.as_deref().unwrap_or(&zero))
+            .collect();
+        let (pooled, att_cache) = if self.config.use_private_history && !resolved.is_empty() {
+            self.pool(target_item, &resolved)
+        } else {
+            (vec![0.0; d], None)
+        };
+        self.forward_inner(target_item, history.to_vec(), pooled, att_cache, dense_feature)
+    }
+
+    /// Forward pass using the model's own history table (reference FL path
+    /// and evaluation).
+    pub fn forward_local(
+        &self,
+        target_item: u64,
+        history: &[u64],
+        dense_feature: f32,
+    ) -> ForwardCache {
+        let d = self.config.embedding_dim;
+        let (pooled, att_cache) = if self.config.use_private_history && !history.is_empty() {
+            let rows: Vec<&[f32]> =
+                history.iter().map(|&h| self.history_table.row(h as usize)).collect();
+            self.pool(target_item, &rows)
+        } else {
+            (vec![0.0; d], None)
+        };
+        self.forward_inner(target_item, history.to_vec(), pooled, att_cache, dense_feature)
+    }
+
+    fn forward_inner(
+        &self,
+        target_item: u64,
+        history: Vec<u64>,
+        pooled: Vec<f32>,
+        attention: Option<AttentionCache>,
+        dense_feature: f32,
+    ) -> ForwardCache {
+        let item_emb = self.item_table.row(target_item as usize);
+        let mut x = Vec::with_capacity(self.config.input_dim());
+        x.extend_from_slice(item_emb);
+        x.extend_from_slice(&pooled);
+        x.push(dot(item_emb, &pooled)); // DLRM pairwise interaction
+        x.push(dense_feature);
+        let mut pre1 = self.dense.w1.matvec(&x);
+        for (p, b) in pre1.iter_mut().zip(&self.dense.b1) {
+            *p += b;
+        }
+        let h1: Vec<f32> = pre1.iter().map(|&v| relu(v)).collect();
+        let logit = dot(&self.dense.w2, &h1) + self.dense.b2;
+        ForwardCache { x, pre1, h1, prob: sigmoid(logit), target_item, history, attention }
+    }
+
+    /// Backward pass for binary cross-entropy: returns all gradients.
+    /// Gradients of the history branch are split equally across the
+    /// history rows (mean-pooling's Jacobian).
+    pub fn backward(&self, cache: &ForwardCache, label: f32) -> Gradients {
+        let d = self.config.embedding_dim;
+        // dL/dlogit for BCE with sigmoid.
+        let dlogit = cache.prob - label;
+
+        let mut dense = self.dense.zeros_like();
+        // Output layer.
+        for (g, h) in dense.w2.iter_mut().zip(&cache.h1) {
+            *g = dlogit * h;
+        }
+        dense.b2 = dlogit;
+        // Hidden layer.
+        let dh1: Vec<f32> = self.dense.w2.iter().map(|&w| dlogit * w).collect();
+        let dpre1: Vec<f32> = dh1
+            .iter()
+            .zip(&cache.pre1)
+            .map(|(&g, &p)| g * relu_grad(p))
+            .collect();
+        dense.w1.add_outer(1.0, &dpre1, &cache.x);
+        dense.b1.copy_from_slice(&dpre1);
+        // Input gradient. Layout of x: [item | pooled | dot | dense], so
+        // the interaction feature routes gradient into both embeddings.
+        let dx = self.dense.w1.matvec_t(&dpre1);
+        let item_emb = &cache.x[..d];
+        let pooled = &cache.x[d..2 * d];
+        let ddot = dx[2 * d];
+
+        let mut item_grad = dx[..d].to_vec();
+        for (g, p) in item_grad.iter_mut().zip(pooled) {
+            *g += ddot * p;
+        }
+        let mut history_rows = Vec::new();
+        let mut attention_q = None;
+        if self.config.use_private_history && !cache.history.is_empty() {
+            let dpool: Vec<f32> = dx[d..2 * d]
+                .iter()
+                .zip(item_emb)
+                .map(|(&v, &e)| v + ddot * e)
+                .collect();
+            match &cache.attention {
+                None => {
+                    // Mean pooling: the Jacobian splits equally.
+                    let inv = 1.0 / cache.history.len() as f32;
+                    for &h in &cache.history {
+                        let g: Vec<f32> = dpool.iter().map(|&v| v * inv).collect();
+                        history_rows.push((h, g));
+                    }
+                }
+                Some(att_cache) => {
+                    let att = self.attention.as_ref().expect("attention model has a head");
+                    let grads = att.backward(att_cache, &dpool);
+                    for (&h, g) in cache.history.iter().zip(grads.d_history) {
+                        history_rows.push((h, g));
+                    }
+                    // The target embedding also feeds the attention query.
+                    for (g, a) in item_grad.iter_mut().zip(&grads.d_target) {
+                        *g += a;
+                    }
+                    attention_q = Some(grads.d_q);
+                }
+            }
+        }
+        Gradients { dense, item_row: (cache.target_item, item_grad), history_rows, attention_q }
+    }
+
+    /// Binary cross-entropy loss of a cached forward pass.
+    pub fn bce_loss(cache: &ForwardCache, label: f32) -> f32 {
+        let p = cache.prob.clamp(1e-7, 1.0 - 1e-7);
+        -(label * p.ln() + (1.0 - label) * (1.0 - p).ln())
+    }
+
+    /// Serializes one history row into the byte format stored in the main
+    /// ORAM (little-endian f32s).
+    pub fn history_row_bytes(&self, id: u64) -> Vec<u8> {
+        self.history_row(id).iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    /// Parses a main-ORAM payload back into an f32 row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the byte length is not `4·embedding_dim`.
+    pub fn row_from_bytes(&self, bytes: &[u8]) -> Vec<f32> {
+        assert_eq!(bytes.len(), 4 * self.config.embedding_dim, "payload size");
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> DlrmModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DlrmModel::new(DlrmConfig::tiny(32), &mut rng)
+    }
+
+    #[test]
+    fn forward_produces_probability() {
+        let m = model(1);
+        let c = m.forward_local(3, &[1, 2, 5], 0.5);
+        assert!(c.prob() > 0.0 && c.prob() < 1.0);
+    }
+
+    #[test]
+    fn pub_mode_ignores_history() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = DlrmConfig { use_private_history: false, ..DlrmConfig::tiny(32) };
+        let m = DlrmModel::new(cfg, &mut rng);
+        let a = m.forward_local(3, &[1, 2], 0.5).prob();
+        let b = m.forward_local(3, &[7, 9, 11], 0.5).prob();
+        assert_eq!(a, b, "history must not influence the pub model");
+    }
+
+    #[test]
+    fn forward_with_history_matches_local() {
+        let m = model(3);
+        let hist = [1u64, 4, 9];
+        let rows: Vec<Option<Vec<f32>>> =
+            hist.iter().map(|&h| Some(m.history_row(h).to_vec())).collect();
+        let a = m.forward_local(2, &hist, 0.3).prob();
+        let b = m.forward_with_history(2, &hist, &rows, 0.3).prob();
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lost_rows_default_to_zero() {
+        let m = model(4);
+        let hist = [1u64, 4];
+        let rows = vec![Some(m.history_row(1).to_vec()), None];
+        let c = m.forward_with_history(2, &hist, &rows, 0.3);
+        assert!(c.prob().is_finite());
+    }
+
+    /// Finite-difference check of every gradient component.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut m = model(5);
+        let (target, hist, dense_feat, label) = (3u64, vec![1u64, 7], 0.25f32, 1.0f32);
+        let cache = m.forward_local(target, &hist, dense_feat);
+        let grads = m.backward(&cache, label);
+        let eps = 1e-3f32;
+
+        // w1[0][0]
+        let orig = m.dense.w1.get(0, 0);
+        m.dense_mut().w1.set(0, 0, orig + eps);
+        let lp = DlrmModel::bce_loss(&m.forward_local(target, &hist, dense_feat), label);
+        m.dense_mut().w1.set(0, 0, orig - eps);
+        let lm = DlrmModel::bce_loss(&m.forward_local(target, &hist, dense_feat), label);
+        m.dense_mut().w1.set(0, 0, orig);
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!(
+            (fd - grads.dense.w1.get(0, 0)).abs() < 1e-2,
+            "w1 grad: fd={fd} analytic={}",
+            grads.dense.w1.get(0, 0)
+        );
+
+        // b2
+        let orig_b2 = m.dense.b2;
+        m.dense_mut().b2 = orig_b2 + eps;
+        let lp = DlrmModel::bce_loss(&m.forward_local(target, &hist, dense_feat), label);
+        m.dense_mut().b2 = orig_b2 - eps;
+        let lm = DlrmModel::bce_loss(&m.forward_local(target, &hist, dense_feat), label);
+        m.dense_mut().b2 = orig_b2;
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!((fd - grads.dense.b2).abs() < 1e-2, "b2 grad: fd={fd}");
+
+        // history row 1, component 0.
+        let row = m.history_row(1).to_vec();
+        let mut bumped = row.clone();
+        bumped[0] += eps;
+        m.set_history_row(1, &bumped);
+        let lp = DlrmModel::bce_loss(&m.forward_local(target, &hist, dense_feat), label);
+        bumped[0] = row[0] - eps;
+        m.set_history_row(1, &bumped);
+        let lm = DlrmModel::bce_loss(&m.forward_local(target, &hist, dense_feat), label);
+        m.set_history_row(1, &row);
+        let fd = (lp - lm) / (2.0 * eps);
+        let analytic = grads.history_rows.iter().find(|(id, _)| *id == 1).unwrap().1[0];
+        assert!((fd - analytic).abs() < 1e-2, "hist grad: fd={fd} analytic={analytic}");
+
+        // item row, component 0.
+        let irow = m.item_row(target).to_vec();
+        let mut ibumped = irow.clone();
+        ibumped[0] += eps;
+        let d = m.config().embedding_dim;
+        let base = target as usize * d;
+        m.item_table.data_mut()[base] = ibumped[0];
+        let lp = DlrmModel::bce_loss(&m.forward_local(target, &hist, dense_feat), label);
+        m.item_table.data_mut()[base] = irow[0] - eps;
+        let lm = DlrmModel::bce_loss(&m.forward_local(target, &hist, dense_feat), label);
+        m.item_table.data_mut()[base] = irow[0];
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!((fd - grads.item_row.1[0]).abs() < 1e-2, "item grad: fd={fd}");
+    }
+
+    #[test]
+    fn attention_model_gradcheck() {
+        // Finite-difference check through the *full* model with attention
+        // pooling: the history-row gradient now routes through softmax
+        // attention and the interaction feature.
+        let mut rng = StdRng::seed_from_u64(15);
+        let cfg = DlrmConfig { pooling: Pooling::Attention, ..DlrmConfig::tiny(32) };
+        let mut m = DlrmModel::new(cfg, &mut rng);
+        let (target, hist, feat, label) = (3u64, vec![1u64, 7, 12], 0.25f32, 1.0f32);
+        let cache = m.forward_local(target, &hist, feat);
+        assert!(cache.attention.is_some(), "attention cache must be recorded");
+        let grads = m.backward(&cache, label);
+        assert!(grads.attention_q.is_some());
+        let eps = 1e-3f32;
+
+        // History row 7, component 2.
+        let row = m.history_row(7).to_vec();
+        let mut bumped = row.clone();
+        bumped[2] += eps;
+        m.set_history_row(7, &bumped);
+        let lp = DlrmModel::bce_loss(&m.forward_local(target, &hist, feat), label);
+        bumped[2] = row[2] - eps;
+        m.set_history_row(7, &bumped);
+        let lm = DlrmModel::bce_loss(&m.forward_local(target, &hist, feat), label);
+        m.set_history_row(7, &row);
+        let fd = (lp - lm) / (2.0 * eps);
+        let analytic = grads.history_rows.iter().find(|(id, _)| *id == 7).unwrap().1[2];
+        assert!((fd - analytic).abs() < 1e-2, "hist grad via attention: fd={fd} vs {analytic}");
+
+        // Attention Q[0][1].
+        let q00 = m.attention().unwrap().q().get(0, 1);
+        let mut dq = Matrix::zeros(8, 8);
+        dq.set(0, 1, 1.0);
+        m.update_attention(eps, &dq);
+        let lp = DlrmModel::bce_loss(&m.forward_local(target, &hist, feat), label);
+        m.update_attention(-2.0 * eps, &dq);
+        let lm = DlrmModel::bce_loss(&m.forward_local(target, &hist, feat), label);
+        m.update_attention(eps, &dq); // restore
+        assert!((m.attention().unwrap().q().get(0, 1) - q00).abs() < 1e-6);
+        let fd = (lp - lm) / (2.0 * eps);
+        let analytic = grads.attention_q.as_ref().unwrap().get(0, 1);
+        assert!((fd - analytic).abs() < 1e-2, "dQ: fd={fd} vs {analytic}");
+
+        // Item row (target) picks up the attention-query term too.
+        let irow = m.item_row(target).to_vec();
+        let d = m.config().embedding_dim;
+        let base = target as usize * d;
+        m.item_table.data_mut()[base] = irow[0] + eps;
+        let lp = DlrmModel::bce_loss(&m.forward_local(target, &hist, feat), label);
+        m.item_table.data_mut()[base] = irow[0] - eps;
+        let lm = DlrmModel::bce_loss(&m.forward_local(target, &hist, feat), label);
+        m.item_table.data_mut()[base] = irow[0];
+        let fd = (lp - lm) / (2.0 * eps);
+        assert!(
+            (fd - grads.item_row.1[0]).abs() < 1e-2,
+            "item grad with attention: fd={fd} vs {}",
+            grads.item_row.1[0]
+        );
+    }
+
+    #[test]
+    fn mean_model_has_no_attention_gradient() {
+        let m = model(16);
+        let cache = m.forward_local(2, &[1, 3], 0.1);
+        let grads = m.backward(&cache, 0.0);
+        assert!(grads.attention_q.is_none());
+        assert!(m.attention().is_none());
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let mut m = model(6);
+        let (target, hist, feat, label) = (3u64, vec![1u64, 7], 0.25f32, 1.0f32);
+        let l0 = DlrmModel::bce_loss(&m.forward_local(target, &hist, feat), label);
+        let lr = 0.5f32;
+        for _ in 0..20 {
+            let cache = m.forward_local(target, &hist, feat);
+            let g = m.backward(&cache, label);
+            m.dense.add_scaled(-lr, &g.dense);
+            m.update_item_row(g.item_row.0, -lr, &g.item_row.1);
+            for (id, gh) in &g.history_rows {
+                m.update_history_row(*id, -lr, gh);
+            }
+        }
+        let l1 = DlrmModel::bce_loss(&m.forward_local(target, &hist, feat), label);
+        assert!(l1 < l0, "loss must decrease: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn row_bytes_roundtrip() {
+        let m = model(7);
+        let bytes = m.history_row_bytes(5);
+        assert_eq!(bytes.len(), 4 * m.config().embedding_dim);
+        let row = m.row_from_bytes(&bytes);
+        assert_eq!(row, m.history_row(5));
+    }
+}

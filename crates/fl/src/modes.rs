@@ -1,0 +1,375 @@
+//! FL operation modes as programmable `Pre`/`Post` functions (paper §4.3).
+//!
+//! The buffer ORAM accumulates `Σ_c Pre(Δθ_t^c)` per entry and applies
+//! `Post` to the aggregate right before the main-ORAM update (Eq. 4):
+//!
+//! ```text
+//! θ_{t+1} = θ_t − η · Post( Σ_c Pre(Δθ_t^c) )
+//! ```
+//!
+//! Implementations provided, following the paper's catalogue:
+//!
+//! * [`FedAvg`] — `Pre(x) = n_c·x`, `Post(x) = x / n_t` (Eq. 1); the weight
+//!   accumulator in the buffer block carries `n_t`, so users dropping out
+//!   mid-round are handled for free.
+//! * [`FedAdam`] — `Post` applies a server-side Adam step using per-entry
+//!   first/second moments (extra per-block slots in a real deployment,
+//!   server-side state here).
+//! * [`Eana`] — DP-SGD-style mode: `Pre` clips each user's gradient to ℓ₂
+//!   norm `C`, `Post` adds `N(0, σ²C²)` noise.
+//! * [`LazyDp`] — like EANA but noise scaled by `r`, the number of rounds
+//!   since the entry was last updated (tracked per entry).
+//!
+//! Gaussian noise uses a Box–Muller transform (no extra dependencies).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use crate::linalg::l2_norm;
+
+/// Samples one standard normal via Box–Muller.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A programmable aggregation mode: the `Pre`/`Post` pair of Eq. 4.
+///
+/// `pre` runs on each client's per-entry gradient before it enters the
+/// buffer-ORAM accumulator and returns the weight to add to the entry's
+/// accumulator slot; `post` runs on the summed gradient at round end and
+/// must return the delta to apply to the entry (the caller multiplies by
+/// the learning rate).
+pub trait AggregationMode {
+    /// Transforms one client's gradient in place; returns the weight
+    /// contribution for the entry's accumulator.
+    fn pre(&self, grad: &mut [f32], n_samples: u32) -> f64;
+
+    /// Transforms the aggregated gradient in place, given the accumulated
+    /// weight. `entry_id` lets stateful modes (Adam moments, LazyDP
+    /// staleness) track per-entry state.
+    fn post<R: Rng>(&mut self, entry_id: u64, agg: &mut [f32], weight: f64, rng: &mut R);
+
+    /// Hook called once per round for modes that track staleness.
+    fn on_round_end(&mut self) {}
+}
+
+/// FedAvg (Eq. 1): weighted averaging by sample count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FedAvg;
+
+impl AggregationMode for FedAvg {
+    fn pre(&self, grad: &mut [f32], n_samples: u32) -> f64 {
+        for g in grad.iter_mut() {
+            *g *= n_samples as f32;
+        }
+        n_samples as f64
+    }
+
+    fn post<R: Rng>(&mut self, _entry_id: u64, agg: &mut [f32], weight: f64, _rng: &mut R) {
+        if weight > 0.0 {
+            let inv = (1.0 / weight) as f32;
+            for g in agg.iter_mut() {
+                *g *= inv;
+            }
+        }
+    }
+}
+
+/// Server-side Adam (FedAdam) over FedAvg-style aggregates.
+#[derive(Clone, Debug)]
+pub struct FedAdam {
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    moments: HashMap<u64, (Vec<f64>, Vec<f64>, u64)>,
+}
+
+impl FedAdam {
+    /// Creates FedAdam with the standard (β₁, β₂, ε) = (0.9, 0.999, 1e-8).
+    pub fn new() -> Self {
+        FedAdam { beta1: 0.9, beta2: 0.999, eps: 1e-8, moments: HashMap::new() }
+    }
+
+    /// Number of entries with tracked moments.
+    pub fn tracked_entries(&self) -> usize {
+        self.moments.len()
+    }
+}
+
+impl Default for FedAdam {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AggregationMode for FedAdam {
+    fn pre(&self, grad: &mut [f32], n_samples: u32) -> f64 {
+        for g in grad.iter_mut() {
+            *g *= n_samples as f32;
+        }
+        n_samples as f64
+    }
+
+    fn post<R: Rng>(&mut self, entry_id: u64, agg: &mut [f32], weight: f64, _rng: &mut R) {
+        if weight > 0.0 {
+            let inv = (1.0 / weight) as f32;
+            for g in agg.iter_mut() {
+                *g *= inv;
+            }
+        }
+        let dim = agg.len();
+        let (m, v, t) = self.moments.entry(entry_id).or_insert_with(|| {
+            (vec![0.0; dim], vec![0.0; dim], 0)
+        });
+        *t += 1;
+        let bc1 = 1.0 - self.beta1.powi(*t as i32);
+        let bc2 = 1.0 - self.beta2.powi(*t as i32);
+        for i in 0..dim {
+            let g = agg[i] as f64;
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = m[i] / bc1;
+            let v_hat = v[i] / bc2;
+            agg[i] = (m_hat / (v_hat.sqrt() + self.eps)) as f32;
+        }
+    }
+}
+
+/// EANA: clip each client's gradient to ℓ₂ norm `C`, add `N(0, σ²C²)` to
+/// the aggregate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Eana {
+    /// Clipping norm `C`.
+    pub clip_norm: f32,
+    /// Noise multiplier `σ`.
+    pub sigma: f64,
+}
+
+impl Eana {
+    /// Creates the mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive `clip_norm` or negative `sigma`.
+    pub fn new(clip_norm: f32, sigma: f64) -> Self {
+        assert!(clip_norm > 0.0, "clip norm must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        Eana { clip_norm, sigma }
+    }
+}
+
+impl AggregationMode for Eana {
+    fn pre(&self, grad: &mut [f32], _n_samples: u32) -> f64 {
+        // Pre(x) = x / max(1, ‖x‖₂ / C)
+        let norm = l2_norm(grad);
+        let divisor = (norm / self.clip_norm).max(1.0);
+        for g in grad.iter_mut() {
+            *g /= divisor;
+        }
+        1.0
+    }
+
+    fn post<R: Rng>(&mut self, _entry_id: u64, agg: &mut [f32], weight: f64, rng: &mut R) {
+        if weight > 0.0 {
+            let inv = (1.0 / weight) as f32;
+            for g in agg.iter_mut() {
+                *g *= inv;
+            }
+        }
+        let std = self.sigma * self.clip_norm as f64;
+        for g in agg.iter_mut() {
+            *g += (std * standard_normal(rng)) as f32;
+        }
+    }
+}
+
+/// LazyDP: EANA-style noise scaled by √r where `r` is the number of rounds
+/// since the entry was last updated (so infrequently-touched entries get
+/// the noise they "missed").
+#[derive(Clone, Debug)]
+pub struct LazyDp {
+    inner: Eana,
+    round: u64,
+    last_updated: HashMap<u64, u64>,
+}
+
+impl LazyDp {
+    /// Creates the mode.
+    pub fn new(clip_norm: f32, sigma: f64) -> Self {
+        LazyDp { inner: Eana::new(clip_norm, sigma), round: 0, last_updated: HashMap::new() }
+    }
+
+    /// The staleness `r` an update to `entry_id` would see this round.
+    pub fn staleness(&self, entry_id: u64) -> u64 {
+        self.round - self.last_updated.get(&entry_id).copied().unwrap_or(0) + 1
+    }
+}
+
+impl AggregationMode for LazyDp {
+    fn pre(&self, grad: &mut [f32], n_samples: u32) -> f64 {
+        self.inner.pre(grad, n_samples)
+    }
+
+    fn post<R: Rng>(&mut self, entry_id: u64, agg: &mut [f32], weight: f64, rng: &mut R) {
+        if weight > 0.0 {
+            let inv = (1.0 / weight) as f32;
+            for g in agg.iter_mut() {
+                *g *= inv;
+            }
+        }
+        let r = self.staleness(entry_id);
+        // Post(x) = x + N(0, r·σ²C²·I)
+        let std = (r as f64).sqrt() * self.inner.sigma * self.inner.clip_norm as f64;
+        for g in agg.iter_mut() {
+            *g += (std * standard_normal(rng)) as f32;
+        }
+        self.last_updated.insert(entry_id, self.round + 1);
+    }
+
+    fn on_round_end(&mut self) {
+        self.round += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn fedavg_weighted_average() {
+        let mut mode = FedAvg;
+        let mut r = rng();
+        // Client A: grad [1,1], n=2. Client B: grad [4,0], n=1.
+        let mut ga = vec![1.0, 1.0];
+        let wa = mode.pre(&mut ga, 2);
+        let mut gb = vec![4.0, 0.0];
+        let wb = mode.pre(&mut gb, 1);
+        let mut agg = vec![ga[0] + gb[0], ga[1] + gb[1]];
+        mode.post(0, &mut agg, wa + wb, &mut r);
+        assert!((agg[0] - 2.0).abs() < 1e-6); // (2*1 + 1*4)/3
+        assert!((agg[1] - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fedavg_zero_weight_safe() {
+        let mut mode = FedAvg;
+        let mut r = rng();
+        let mut agg = vec![0.0, 0.0];
+        mode.post(0, &mut agg, 0.0, &mut r);
+        assert_eq!(agg, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn eana_clips_large_gradients() {
+        let mode = Eana::new(1.0, 0.0);
+        let mut g = vec![3.0, 4.0]; // norm 5 -> clipped to norm 1
+        mode.pre(&mut g, 10);
+        assert!((l2_norm(&g) - 1.0).abs() < 1e-6);
+        // Small gradients pass through.
+        let mut g2 = vec![0.3, 0.4];
+        mode.pre(&mut g2, 10);
+        assert!((l2_norm(&g2) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eana_noise_statistics() {
+        let mut mode = Eana::new(2.0, 1.5);
+        let mut r = rng();
+        let n = 5000;
+        let mut sum = 0.0f64;
+        let mut sumsq = 0.0f64;
+        for i in 0..n {
+            let mut agg = vec![0.0f32];
+            mode.post(i, &mut agg, 1.0, &mut r);
+            sum += agg[0] as f64;
+            sumsq += (agg[0] as f64).powi(2);
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        let expected_var = (1.5f64 * 2.0).powi(2); // (σC)² = 9
+        assert!(mean.abs() < 0.3, "mean {mean}");
+        assert!((var - expected_var).abs() < 1.0, "var {var} vs {expected_var}");
+    }
+
+    #[test]
+    fn lazydp_staleness_grows() {
+        let mut mode = LazyDp::new(1.0, 1.0);
+        let mut r = rng();
+        assert_eq!(mode.staleness(5), 1);
+        // Entry 5 updated in round 0.
+        let mut agg = vec![0.0f32];
+        mode.post(5, &mut agg, 1.0, &mut r);
+        mode.on_round_end();
+        mode.on_round_end();
+        mode.on_round_end();
+        // 3 rounds later, staleness is 3 + ... entry updated at round 1.
+        assert_eq!(mode.staleness(5), 3);
+        // Never-updated entry has staleness round+1.
+        assert_eq!(mode.staleness(9), 4);
+    }
+
+    #[test]
+    fn lazydp_noise_scales_with_staleness() {
+        // With sigma=1, C=1: fresh entry gets var 1; stale-by-9 gets var 9.
+        let mut r = rng();
+        let n = 4000;
+        let measure = |stale_rounds: u64, r: &mut StdRng| -> f64 {
+            let mut sumsq = 0.0;
+            for i in 0..n {
+                let mut mode = LazyDp::new(1.0, 1.0);
+                for _ in 0..stale_rounds {
+                    mode.on_round_end();
+                }
+                let mut agg = vec![0.0f32];
+                mode.post(i, &mut agg, 1.0, r);
+                sumsq += (agg[0] as f64).powi(2);
+            }
+            sumsq / n as f64
+        };
+        let fresh = measure(0, &mut r);
+        let stale = measure(8, &mut r);
+        assert!((fresh - 1.0).abs() < 0.2, "fresh var {fresh}");
+        assert!((stale - 9.0).abs() < 1.5, "stale var {stale}");
+    }
+
+    #[test]
+    fn fedadam_normalizes_step_size() {
+        let mut mode = FedAdam::new();
+        let mut r = rng();
+        // Repeated identical gradients: Adam step approaches ±1.
+        let mut last = 0.0;
+        for _ in 0..50 {
+            let mut agg = vec![5.0f32];
+            mode.post(3, &mut agg, 1.0, &mut r);
+            last = agg[0];
+        }
+        assert!((last - 1.0).abs() < 0.1, "adam step {last}");
+        assert_eq!(mode.tracked_entries(), 1);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 20000;
+        let (mut s, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = standard_normal(&mut r);
+            s += x;
+            s2 += x * x;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

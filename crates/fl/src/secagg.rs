@@ -1,0 +1,358 @@
+//! Secure aggregation (SecAgg) for client gradients (paper §2.2).
+//!
+//! FL is commonly deployed with SecAgg so the server only ever sees the
+//! *sum* of client updates, never an individual gradient. FEDORA is
+//! compatible with SecAgg; this module provides the classic pairwise-mask
+//! construction (Bonawitz et al.) the compatibility claim refers to:
+//!
+//! * every ordered client pair `(i, j)` derives a shared mask vector from
+//!   a shared seed (here: a ChaCha20 PRG keyed by a pairwise key);
+//! * client `i` **adds** the mask for each `j > i` and **subtracts** it
+//!   for each `j < i`; summed over all clients the masks cancel exactly;
+//! * gradients are carried in fixed-point (`u64` wrapping arithmetic), so
+//!   cancellation is bit-exact, not approximate;
+//! * if a client drops out after masking, the survivors' masks toward it
+//!   no longer cancel; the recovery step reconstructs the dropped client's
+//!   pairwise masks and removes them (the seed-reveal phase of the real
+//!   protocol, simplified to a trusted dealer here).
+
+use fedora_crypto::chacha20;
+
+/// Fixed-point scale: values are rounded to multiples of `1 / SCALE`.
+pub const SCALE: f64 = 1u64.wrapping_shl(24) as f64; // 2^24
+
+/// Errors from secure aggregation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SecAggError {
+    /// A masked update had the wrong vector length.
+    LengthMismatch {
+        /// Supplied length.
+        got: usize,
+        /// Expected length.
+        want: usize,
+    },
+    /// A client id outside the group was referenced.
+    UnknownClient {
+        /// The offending client id.
+        id: u32,
+    },
+}
+
+impl core::fmt::Display for SecAggError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SecAggError::LengthMismatch { got, want } => {
+                write!(f, "masked update length {got}, expected {want}")
+            }
+            SecAggError::UnknownClient { id } => write!(f, "client {id} not in the group"),
+        }
+    }
+}
+
+impl std::error::Error for SecAggError {}
+
+/// One client's masked, fixed-point update.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaskedUpdate {
+    /// The submitting client.
+    pub client: u32,
+    /// Masked fixed-point words.
+    pub words: Vec<u64>,
+}
+
+/// A SecAgg group: the set of clients selected for one round and the
+/// round-scoped pairwise key material.
+///
+/// # Example
+///
+/// ```
+/// use fedora_fl::secagg::SecAggGroup;
+///
+/// let group = SecAggGroup::new(&[1, 2, 3], 0, [7u8; 32]);
+/// let a = group.mask(1, &[1.0, -2.0]).unwrap();
+/// let b = group.mask(2, &[0.5, 0.25]).unwrap();
+/// let c = group.mask(3, &[-0.5, 1.75]).unwrap();
+/// let sum = group.aggregate(&[a, b, c], &[]).unwrap();
+/// assert!((sum[0] - 1.0).abs() < 1e-5);
+/// assert!((sum[1] - 0.0).abs() < 1e-5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SecAggGroup {
+    clients: Vec<u32>,
+    round: u64,
+    /// Round key material (in the real protocol, agreed via key exchange;
+    /// modeled as a dealer-provided group secret).
+    group_secret: [u8; 32],
+}
+
+impl SecAggGroup {
+    /// Creates a group for one round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is empty or contains duplicates.
+    pub fn new(clients: &[u32], round: u64, group_secret: [u8; 32]) -> Self {
+        assert!(!clients.is_empty(), "a SecAgg group needs clients");
+        let mut sorted = clients.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), clients.len(), "duplicate client ids");
+        SecAggGroup { clients: sorted, round, group_secret }
+    }
+
+    /// The group's clients (sorted).
+    pub fn clients(&self) -> &[u32] {
+        &self.clients
+    }
+
+    fn contains(&self, id: u32) -> bool {
+        self.clients.binary_search(&id).is_ok()
+    }
+
+    /// The pairwise mask between clients `a < b` for a vector of `len`
+    /// words: a ChaCha20 keystream keyed by (group secret, a, b, round).
+    fn pairwise_mask(&self, a: u32, b: u32, len: usize) -> Vec<u64> {
+        debug_assert!(a < b);
+        let mut nonce = [0u8; 12];
+        nonce[..4].copy_from_slice(&a.to_le_bytes());
+        nonce[4..8].copy_from_slice(&b.to_le_bytes());
+        nonce[8..].copy_from_slice(&(self.round as u32).to_le_bytes());
+        let mut bytes = vec![0u8; len * 8];
+        chacha20::xor_stream(&self.group_secret, (self.round >> 32) as u32, &nonce, &mut bytes);
+        bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect()
+    }
+
+    /// Quantizes to fixed point.
+    fn quantize(values: &[f32]) -> Vec<u64> {
+        values
+            .iter()
+            .map(|&v| ((v as f64 * SCALE).round() as i64) as u64)
+            .collect()
+    }
+
+    /// Dequantizes a (wrapped) fixed-point sum.
+    fn dequantize(words: &[u64]) -> Vec<f64> {
+        words.iter().map(|&w| (w as i64) as f64 / SCALE).collect()
+    }
+
+    /// Masks one client's gradient vector.
+    ///
+    /// # Errors
+    ///
+    /// [`SecAggError::UnknownClient`] when `client` is not in the group.
+    pub fn mask(&self, client: u32, gradient: &[f32]) -> Result<MaskedUpdate, SecAggError> {
+        if !self.contains(client) {
+            return Err(SecAggError::UnknownClient { id: client });
+        }
+        let mut words = Self::quantize(gradient);
+        for &other in &self.clients {
+            if other == client {
+                continue;
+            }
+            let (lo, hi) = (client.min(other), client.max(other));
+            let mask = self.pairwise_mask(lo, hi, words.len());
+            for (w, m) in words.iter_mut().zip(&mask) {
+                if client == lo {
+                    *w = w.wrapping_add(*m);
+                } else {
+                    *w = w.wrapping_sub(*m);
+                }
+            }
+        }
+        Ok(MaskedUpdate { client, words })
+    }
+
+    /// Aggregates masked updates. `dropped` lists clients that masked
+    /// their update but failed to submit it: their orphaned pairwise masks
+    /// are reconstructed and removed (the protocol's unmask/recovery
+    /// round).
+    ///
+    /// Returns the exact sum of the submitted clients' gradients.
+    ///
+    /// # Errors
+    ///
+    /// [`SecAggError::LengthMismatch`] on ragged vectors;
+    /// [`SecAggError::UnknownClient`] for ids outside the group.
+    pub fn aggregate(
+        &self,
+        updates: &[MaskedUpdate],
+        dropped: &[u32],
+    ) -> Result<Vec<f64>, SecAggError> {
+        let len = updates.first().map(|u| u.words.len()).unwrap_or(0);
+        let mut acc = vec![0u64; len];
+        let mut submitted = Vec::with_capacity(updates.len());
+        for u in updates {
+            if u.words.len() != len {
+                return Err(SecAggError::LengthMismatch { got: u.words.len(), want: len });
+            }
+            if !self.contains(u.client) {
+                return Err(SecAggError::UnknownClient { id: u.client });
+            }
+            submitted.push(u.client);
+            for (a, w) in acc.iter_mut().zip(&u.words) {
+                *a = a.wrapping_add(*w);
+            }
+        }
+        for &d in dropped {
+            if !self.contains(d) {
+                return Err(SecAggError::UnknownClient { id: d });
+            }
+        }
+        // Remove masks between each submitted client and each dropped
+        // client (those are the ones that no longer cancel).
+        for &alive in &submitted {
+            for &dead in dropped {
+                if alive == dead {
+                    continue;
+                }
+                let (lo, hi) = (alive.min(dead), alive.max(dead));
+                let mask = self.pairwise_mask(lo, hi, len);
+                for (a, m) in acc.iter_mut().zip(&mask) {
+                    // `alive` applied +mask if it was `lo`, −mask if `hi`;
+                    // undo that contribution.
+                    if alive == lo {
+                        *a = a.wrapping_sub(*m);
+                    } else {
+                        *a = a.wrapping_add(*m);
+                    }
+                }
+            }
+        }
+        Ok(Self::dequantize(&acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(n: u32, round: u64) -> SecAggGroup {
+        let clients: Vec<u32> = (0..n).collect();
+        SecAggGroup::new(&clients, round, [0x11; 32])
+    }
+
+    #[test]
+    fn masks_cancel_exactly() {
+        let g = group(5, 0);
+        let grads: Vec<Vec<f32>> = (0..5)
+            .map(|i| vec![i as f32 * 0.5, -(i as f32), 1.0 / (i + 1) as f32])
+            .collect();
+        let updates: Vec<MaskedUpdate> =
+            (0..5).map(|i| g.mask(i, &grads[i as usize]).unwrap()).collect();
+        let sum = g.aggregate(&updates, &[]).unwrap();
+        for d in 0..3 {
+            let expected: f64 = grads.iter().map(|v| v[d] as f64).sum();
+            assert!((sum[d] - expected).abs() < 1e-5, "dim {d}: {} vs {expected}", sum[d]);
+        }
+    }
+
+    #[test]
+    fn single_update_is_hidden() {
+        // A masked update alone looks nothing like the gradient.
+        let g = group(3, 1);
+        let masked = g.mask(0, &[1.0, 2.0, 3.0]).unwrap();
+        let raw = SecAggGroup::quantize(&[1.0, 2.0, 3.0]);
+        assert_ne!(masked.words, raw, "mask must hide the raw values");
+    }
+
+    #[test]
+    fn dropout_recovery() {
+        let g = group(4, 2);
+        let grads: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32 + 0.25; 2]).collect();
+        let updates: Vec<MaskedUpdate> =
+            (0..4).map(|i| g.mask(i, &grads[i as usize]).unwrap()).collect();
+        // Client 2 masked but never submitted.
+        let submitted = [updates[0].clone(), updates[1].clone(), updates[3].clone()];
+        let sum = g.aggregate(&submitted, &[2]).unwrap();
+        let expected: f64 = [0usize, 1, 3].iter().map(|&i| grads[i][0] as f64).sum();
+        assert!((sum[0] - expected).abs() < 1e-5, "{} vs {expected}", sum[0]);
+    }
+
+    #[test]
+    fn forgetting_dropout_corrupts_sum() {
+        // Without the recovery step, the orphaned masks poison the sum —
+        // the failure the unmask round exists to fix.
+        let g = group(3, 3);
+        let updates: Vec<MaskedUpdate> =
+            (0..3).map(|i| g.mask(i, &[1.0]).unwrap()).collect();
+        let bad = g.aggregate(&updates[..2], &[]).unwrap();
+        assert!((bad[0] - 2.0).abs() > 1.0, "orphaned masks should corrupt: {}", bad[0]);
+        let good = g.aggregate(&updates[..2], &[2]).unwrap();
+        assert!((good[0] - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rounds_produce_independent_masks() {
+        let g0 = group(2, 0);
+        let g1 = group(2, 1);
+        let m0 = g0.mask(0, &[0.0]).unwrap();
+        let m1 = g1.mask(0, &[0.0]).unwrap();
+        assert_ne!(m0.words, m1.words, "masks must be fresh per round");
+    }
+
+    #[test]
+    fn unknown_client_rejected() {
+        let g = group(3, 0);
+        assert_eq!(g.mask(9, &[0.0]), Err(SecAggError::UnknownClient { id: 9 }));
+        let u = g.mask(0, &[0.0]).unwrap();
+        assert!(matches!(
+            g.aggregate(&[u], &[9]),
+            Err(SecAggError::UnknownClient { id: 9 })
+        ));
+    }
+
+    #[test]
+    fn ragged_updates_rejected() {
+        let g = group(2, 0);
+        let a = g.mask(0, &[1.0, 2.0]).unwrap();
+        let b = g.mask(1, &[1.0]).unwrap();
+        assert!(matches!(
+            g.aggregate(&[a, b], &[]),
+            Err(SecAggError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn quantization_precision() {
+        let g = group(2, 0);
+        let vals = [0.123456f32, -9.875, 1e-6];
+        let a = g.mask(0, &vals).unwrap();
+        let b = g.mask(1, &[0.0, 0.0, 0.0]).unwrap();
+        let sum = g.aggregate(&[a, b], &[]).unwrap();
+        for (s, v) in sum.iter().zip(&vals) {
+            assert!((s - *v as f64).abs() < 1.0 / SCALE * 2.0, "{s} vs {v}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn sum_always_recovered(
+            grads in proptest::collection::vec(
+                proptest::collection::vec(-100.0f32..100.0, 4), 2..8),
+            round in 0u64..1000,
+        ) {
+            let n = grads.len() as u32;
+            let clients: Vec<u32> = (0..n).collect();
+            let g = SecAggGroup::new(&clients, round, [0x42; 32]);
+            let updates: Vec<MaskedUpdate> = grads
+                .iter()
+                .enumerate()
+                .map(|(i, v)| g.mask(i as u32, v).unwrap())
+                .collect();
+            let sum = g.aggregate(&updates, &[]).unwrap();
+            for d in 0..4 {
+                let expected: f64 = grads.iter().map(|v| v[d] as f64).sum();
+                prop_assert!((sum[d] - expected).abs() < 1e-3);
+            }
+        }
+    }
+}

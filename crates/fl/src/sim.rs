@@ -1,0 +1,237 @@
+//! The reference (non-ORAM) federated-learning loop.
+//!
+//! This is conventional FedAvg over the full model — what an FL system
+//! would do if privacy of the embedding accesses were not a concern. It
+//! serves as (a) the `pub` baseline of Table 1 (run with
+//! `use_private_history = false`), and (b) the correctness reference the
+//! FEDORA pipeline (in the `fedora` crate) is validated against: with
+//! ε = ∞ the two must produce near-identical training trajectories.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::client::LocalTrainer;
+use crate::datasets::Dataset;
+use crate::metrics::roc_auc;
+use crate::model::DlrmModel;
+use crate::modes::{AggregationMode, FedAvg};
+
+/// Configuration of the reference FL loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlSimConfig {
+    /// Users selected per round.
+    pub users_per_round: usize,
+    /// Total training rounds.
+    pub rounds: usize,
+    /// Server learning rate η applied to `Post(Σ Pre(Δθ))`.
+    pub server_lr: f32,
+    /// Local trainer settings.
+    pub trainer: LocalTrainer,
+}
+
+impl Default for FlSimConfig {
+    fn default() -> Self {
+        FlSimConfig {
+            users_per_round: 32,
+            rounds: 40,
+            server_lr: 2.0,
+            trainer: LocalTrainer { lr: 0.2, epochs: 2, ..Default::default() },
+        }
+    }
+}
+
+/// Runs conventional FedAvg and returns the test AUC after each round.
+pub fn run_reference_fl<R: Rng>(
+    model: &mut DlrmModel,
+    dataset: &Dataset,
+    config: &FlSimConfig,
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut mode = FedAvg;
+    let mut aucs = Vec::with_capacity(config.rounds);
+    let all_users: Vec<u32> = (0..dataset.users().len() as u32).collect();
+
+    for _ in 0..config.rounds {
+        let selected: Vec<u32> = all_users
+            .choose_multiple(rng, config.users_per_round)
+            .copied()
+            .collect();
+
+        // Collect client updates.
+        let mut dense_acc: Option<crate::model::DenseParams> = None;
+        let mut attention_acc: Option<crate::linalg::Matrix> = None;
+        let mut dense_weight = 0.0f64;
+        // (id -> (sum, weight)) accumulators for both tables.
+        let mut item_acc: std::collections::HashMap<u64, (Vec<f32>, f64)> = Default::default();
+        let mut hist_acc: std::collections::HashMap<u64, (Vec<f32>, f64)> = Default::default();
+
+        for &user in &selected {
+            let ud = dataset.user(user);
+            let Some(update) = config.trainer.train(model, &ud.train, &ud.history, None) else {
+                continue;
+            };
+            let n = update.n_samples;
+            // Dense params: weighted FedAvg.
+            let mut dd = update.dense_delta;
+            // Scale by n (Pre), accumulate.
+            let scale = n as f32;
+            dd.w1.data_mut().iter_mut().for_each(|x| *x *= scale);
+            dd.b1.iter_mut().for_each(|x| *x *= scale);
+            dd.w2.iter_mut().for_each(|x| *x *= scale);
+            dd.b2 *= scale;
+            match &mut dense_acc {
+                None => dense_acc = Some(dd),
+                Some(acc) => acc.add_scaled(1.0, &dd),
+            }
+            if let Some(mut ad) = update.attention_delta {
+                ad.data_mut().iter_mut().for_each(|x| *x *= scale);
+                match &mut attention_acc {
+                    None => attention_acc = Some(ad),
+                    Some(acc) => acc.add_scaled(1.0, &ad),
+                }
+            }
+            dense_weight += n as f64;
+
+            for (id, mut g) in update.item_deltas {
+                let w = mode.pre(&mut g, n);
+                let entry = item_acc.entry(id).or_insert_with(|| (vec![0.0; g.len()], 0.0));
+                crate::linalg::axpy(1.0, &g, &mut entry.0);
+                entry.1 += w;
+            }
+            for (id, mut g) in update.history_deltas {
+                let w = mode.pre(&mut g, n);
+                let entry = hist_acc.entry(id).or_insert_with(|| (vec![0.0; g.len()], 0.0));
+                crate::linalg::axpy(1.0, &g, &mut entry.0);
+                entry.1 += w;
+            }
+        }
+
+        // Server update.
+        if let Some(mut acc) = dense_acc {
+            let inv = (1.0 / dense_weight.max(1.0)) as f32;
+            acc.w1.data_mut().iter_mut().for_each(|x| *x *= inv);
+            acc.b1.iter_mut().for_each(|x| *x *= inv);
+            acc.w2.iter_mut().for_each(|x| *x *= inv);
+            acc.b2 *= inv;
+            model.dense_mut().add_scaled(config.server_lr, &acc);
+        }
+        if let Some(mut acc) = attention_acc {
+            let inv = (1.0 / dense_weight.max(1.0)) as f32;
+            acc.data_mut().iter_mut().for_each(|x| *x *= inv);
+            model.update_attention(config.server_lr, &acc);
+        }
+        for (id, (mut g, w)) in item_acc {
+            mode.post(id, &mut g, w, rng);
+            model.update_item_row(id, config.server_lr, &g);
+        }
+        for (id, (mut g, w)) in hist_acc {
+            mode.post(id, &mut g, w, rng);
+            model.update_history_row(id, config.server_lr, &g);
+        }
+        mode.on_round_end();
+
+        aucs.push(evaluate_auc(model, dataset));
+    }
+    aucs
+}
+
+/// Evaluates the model's ROC-AUC on the dataset's test split.
+pub fn evaluate_auc(model: &DlrmModel, dataset: &Dataset) -> f64 {
+    let scored: Vec<(f32, bool)> = dataset
+        .test()
+        .iter()
+        .map(|s| {
+            let hist = &dataset.user(s.user).history;
+            (model.forward_local(s.target_item, hist, s.dense).prob(), s.label)
+        })
+        .collect();
+    roc_auc(&scored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::SyntheticConfig;
+    use crate::model::{DlrmConfig, Pooling};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_dataset() -> Dataset {
+        let mut cfg = SyntheticConfig::movielens_like();
+        cfg.num_users = 96;
+        cfg.num_items = 256;
+        cfg.samples_per_user = 12;
+        cfg.test_samples = 1200;
+        Dataset::generate(cfg)
+    }
+
+    #[test]
+    fn training_improves_auc_with_private_features() {
+        let dataset = small_dataset();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut model = DlrmModel::new(
+            DlrmConfig { num_items: 256, embedding_dim: 8, hidden_dim: 16, use_private_history: true, pooling: Pooling::Mean },
+            &mut rng,
+        );
+        let cfg = FlSimConfig { users_per_round: 24, ..Default::default() };
+        let aucs = run_reference_fl(&mut model, &dataset, &cfg, &mut rng);
+        let last = *aucs.last().unwrap();
+        assert!(last > 0.62, "private-feature AUC too low: {last}");
+        assert!(last > aucs[0] - 0.02, "training should not regress: {aucs:?}");
+    }
+
+    #[test]
+    fn private_features_beat_pub_baseline() {
+        let dataset = small_dataset();
+        let cfg = FlSimConfig { users_per_round: 24, ..Default::default() };
+
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut private_model = DlrmModel::new(
+            DlrmConfig { num_items: 256, embedding_dim: 8, hidden_dim: 16, use_private_history: true, pooling: Pooling::Mean },
+            &mut rng,
+        );
+        let auc_private =
+            *run_reference_fl(&mut private_model, &dataset, &cfg, &mut rng).last().unwrap();
+
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut pub_model = DlrmModel::new(
+            DlrmConfig { num_items: 256, embedding_dim: 8, hidden_dim: 16, use_private_history: false, pooling: Pooling::Mean },
+            &mut rng,
+        );
+        let auc_pub = *run_reference_fl(&mut pub_model, &dataset, &cfg, &mut rng).last().unwrap();
+
+        assert!(
+            auc_private > auc_pub + 0.03,
+            "private {auc_private} must beat pub {auc_pub} (Table 1's headline)"
+        );
+    }
+
+    #[test]
+    fn attention_pooling_trains_end_to_end() {
+        let dataset = small_dataset();
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut model = DlrmModel::new(
+            DlrmConfig {
+                num_items: 256,
+                embedding_dim: 8,
+                hidden_dim: 16,
+                use_private_history: true,
+                pooling: Pooling::Attention,
+            },
+            &mut rng,
+        );
+        let cfg = FlSimConfig { users_per_round: 24, rounds: 20, ..Default::default() };
+        let aucs = run_reference_fl(&mut model, &dataset, &cfg, &mut rng);
+        let last = *aucs.last().unwrap();
+        assert!(last > 0.58, "attention model AUC too low: {last}");
+    }
+
+    #[test]
+    fn evaluate_auc_runs_on_untrained_model() {
+        let dataset = small_dataset();
+        let mut rng = StdRng::seed_from_u64(23);
+        let model = DlrmModel::new(DlrmConfig::tiny(256), &mut rng);
+        let auc = evaluate_auc(&model, &dataset);
+        assert!((0.3..=0.7).contains(&auc), "untrained AUC should hover near 0.5: {auc}");
+    }
+}

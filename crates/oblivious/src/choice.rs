@@ -1,0 +1,154 @@
+//! A branchless boolean.
+//!
+//! [`Choice`] wraps a `u64` that is always `0` or `1` and is combined with
+//! other values only through arithmetic/bitwise operations, never through
+//! control flow. [`core::hint::black_box`] is applied at construction so the
+//! optimizer cannot constant-fold a secret-derived condition back into a
+//! branch.
+
+use core::hint::black_box;
+use core::ops::{BitAnd, BitOr, BitXor, Not};
+
+/// A constant-time boolean: internally `0u64` (false) or `1u64` (true).
+///
+/// `Choice` deliberately does **not** implement `PartialEq` against `bool` or
+/// `Deref` to `bool`; converting to a real branchable boolean requires the
+/// explicit — and greppable — [`Choice::unwrap_leaky`].
+///
+/// # Example
+///
+/// ```
+/// use fedora_oblivious::Choice;
+///
+/// let a = Choice::from_bool(true);
+/// let b = Choice::from_bool(false);
+/// assert_eq!((a & b).unwrap_leaky(), false);
+/// assert_eq!((a | b).unwrap_leaky(), true);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Choice(u64);
+
+impl Choice {
+    /// The constant-time `true`.
+    pub const TRUE: Choice = Choice(1);
+    /// The constant-time `false`.
+    pub const FALSE: Choice = Choice(0);
+
+    /// Creates a `Choice` from a `bool`.
+    ///
+    /// The input is laundered through [`black_box`] so later arithmetic on
+    /// the wrapped value is not folded into a branch.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        Choice(black_box(b as u64))
+    }
+
+    /// Creates a `Choice` from the low bit of `w`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `w` is 0 or 1.
+    #[inline]
+    pub fn from_word(w: u64) -> Self {
+        debug_assert!(w <= 1, "Choice word must be 0 or 1, got {w}");
+        Choice(black_box(w & 1))
+    }
+
+    /// Returns the wrapped word (0 or 1). Constant-time.
+    #[inline]
+    pub fn to_word(self) -> u64 {
+        self.0
+    }
+
+    /// Returns an all-zeros or all-ones mask. Constant-time.
+    #[inline]
+    pub fn to_mask(self) -> u64 {
+        self.0.wrapping_neg()
+    }
+
+    /// Escapes to a branchable `bool`.
+    ///
+    /// Named `leaky` because any `if` taken on the result is visible to a
+    /// timing adversary; call sites must only do this with values that are
+    /// public (or have already been made public by the protocol, like the
+    /// FDP-noised access count `k`).
+    #[inline]
+    pub fn unwrap_leaky(self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl From<bool> for Choice {
+    fn from(b: bool) -> Self {
+        Choice::from_bool(b)
+    }
+}
+
+impl BitAnd for Choice {
+    type Output = Choice;
+    #[inline]
+    fn bitand(self, rhs: Choice) -> Choice {
+        Choice(self.0 & rhs.0)
+    }
+}
+
+impl BitOr for Choice {
+    type Output = Choice;
+    #[inline]
+    fn bitor(self, rhs: Choice) -> Choice {
+        Choice(self.0 | rhs.0)
+    }
+}
+
+impl BitXor for Choice {
+    type Output = Choice;
+    #[inline]
+    fn bitxor(self, rhs: Choice) -> Choice {
+        Choice(self.0 ^ rhs.0)
+    }
+}
+
+impl Not for Choice {
+    type Output = Choice;
+    #[inline]
+    fn not(self) -> Choice {
+        Choice(self.0 ^ 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bool_roundtrip() {
+        assert!(Choice::from_bool(true).unwrap_leaky());
+        assert!(!Choice::from_bool(false).unwrap_leaky());
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(Choice::TRUE.to_mask(), u64::MAX);
+        assert_eq!(Choice::FALSE.to_mask(), 0);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let t = Choice::TRUE;
+        let f = Choice::FALSE;
+        assert!((t & t).unwrap_leaky());
+        assert!(!(t & f).unwrap_leaky());
+        assert!((t | f).unwrap_leaky());
+        assert!(!(f | f).unwrap_leaky());
+        assert!((t ^ f).unwrap_leaky());
+        assert!(!(t ^ t).unwrap_leaky());
+        assert!((!f).unwrap_leaky());
+        assert!(!(!t).unwrap_leaky());
+    }
+
+    #[test]
+    fn from_word_low_bit() {
+        assert!(Choice::from_word(1).unwrap_leaky());
+        assert!(!Choice::from_word(0).unwrap_leaky());
+    }
+}

@@ -1,0 +1,53 @@
+//! Constant-time, data-oblivious primitives for the FEDORA controller.
+//!
+//! Everything the FEDORA controller does with secret-dependent data must not
+//! branch on, or index memory by, the secret. This crate provides the small
+//! vocabulary of constant-time operations the rest of the system is written
+//! in:
+//!
+//! * [`Choice`] — a branchless boolean whose value the optimizer cannot see
+//!   through (the same idea as the `subtle` crate, reimplemented here so the
+//!   whole stack is dependency-free and auditable).
+//! * [`select`] — constant-time selection (`cond ? a : b`) for integers and
+//!   byte slices.
+//! * [`union`] — the paper's §4.2 oblivious union: an *O(K²)* linear scan
+//!   that computes the union of the K requested embedding indices without
+//!   revealing duplicate structure, plus the chunked variant used when K is
+//!   large.
+//! * [`sort`] — a bitonic sorting network (data-independent schedule of
+//!   compare-and-swaps), used by eviction logic and by tests.
+//! * [`sorted_union`] — the O(K log² K) sort-based union alternative,
+//!   quantifying the paper's choice of the chunked quadratic scan.
+//! * [`scan`] — oblivious full-array scans: lookup/update of one element by
+//!   touching every element.
+//!
+//! # Threat model
+//!
+//! The adversary observes addresses, sizes, and timing of every memory access
+//! outside the secure controller (paper §4.1). The primitives here always
+//! touch the same sequence of addresses regardless of the secret values; only
+//! register-level arithmetic depends on secrets.
+//!
+//! # Example
+//!
+//! ```
+//! use fedora_oblivious::{union::oblivious_union, Choice};
+//!
+//! let requests = [42u64, 7, 42, 38, 42, 38];
+//! let u = oblivious_union(&requests, requests.len());
+//! assert_eq!(u.len_real(), 3); // {7, 38, 42}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod choice;
+pub mod scan;
+pub mod select;
+pub mod sort;
+pub mod sorted_union;
+pub mod union;
+
+pub use choice::Choice;
+pub use select::{ct_eq_u64, ct_ge_u64, ct_lt_u64, select_u64, select_usize};
+pub use union::{oblivious_union, ChunkedUnion, UnionSet};

@@ -1,0 +1,174 @@
+//! Oblivious whole-array scans.
+//!
+//! Reading or writing *one* element of an off-chip array by its secret index
+//! leaks the index. These helpers instead touch **every** element and use
+//! constant-time selection to extract/update only the wanted one — the
+//! pattern the paper uses for its position map and eviction scans when no
+//! secure scratchpad is available (§6.6).
+
+use crate::select::{cmov_bytes, ct_eq_u64, select_u64};
+use crate::Choice;
+
+/// Obliviously reads `array[index]` by scanning the whole array.
+///
+/// Returns 0 if `index >= array.len()` (out-of-range reads are
+/// indistinguishable from in-range ones).
+///
+/// # Example
+///
+/// ```
+/// use fedora_oblivious::scan::oblivious_read_u64;
+/// let a = [10u64, 20, 30];
+/// assert_eq!(oblivious_read_u64(&a, 1), 20);
+/// ```
+pub fn oblivious_read_u64(array: &[u64], index: u64) -> u64 {
+    let mut out = 0u64;
+    for (i, &v) in array.iter().enumerate() {
+        let hit = ct_eq_u64(i as u64, index);
+        out = select_u64(hit, v, out);
+    }
+    out
+}
+
+/// Obliviously writes `value` into `array[index]`, scanning the whole array.
+/// Out-of-range indices write nothing but still scan everything.
+pub fn oblivious_write_u64(array: &mut [u64], index: u64, value: u64) {
+    for (i, v) in array.iter_mut().enumerate() {
+        let hit = ct_eq_u64(i as u64, index);
+        *v = select_u64(hit, value, *v);
+    }
+}
+
+/// Obliviously copies the `index`-th fixed-size record out of a flat byte
+/// buffer of `record_len`-byte records.
+///
+/// # Panics
+///
+/// Panics if `out.len() != record_len` or if `buf.len()` is not a multiple of
+/// `record_len`.
+pub fn oblivious_read_record(buf: &[u8], record_len: usize, index: u64, out: &mut [u8]) {
+    assert_eq!(out.len(), record_len, "output must be one record long");
+    assert_eq!(buf.len() % record_len, 0, "buffer not a whole number of records");
+    for (i, rec) in buf.chunks_exact(record_len).enumerate() {
+        let hit = ct_eq_u64(i as u64, index);
+        cmov_bytes(hit, out, rec);
+    }
+}
+
+/// Obliviously writes a record into the `index`-th slot of a flat buffer.
+///
+/// # Panics
+///
+/// Panics if `src.len() != record_len` or `buf.len()` is not a multiple of
+/// `record_len`.
+pub fn oblivious_write_record(buf: &mut [u8], record_len: usize, index: u64, src: &[u8]) {
+    assert_eq!(src.len(), record_len, "source must be one record long");
+    assert_eq!(buf.len() % record_len, 0, "buffer not a whole number of records");
+    for (i, rec) in buf.chunks_exact_mut(record_len).enumerate() {
+        let hit = ct_eq_u64(i as u64, index);
+        cmov_bytes(hit, rec, src);
+    }
+}
+
+/// Obliviously counts how many elements equal `needle`.
+pub fn oblivious_count_eq(array: &[u64], needle: u64) -> u64 {
+    let mut count = 0u64;
+    for &v in array {
+        count += ct_eq_u64(v, needle).to_word();
+    }
+    count
+}
+
+/// Obliviously finds the index of the first element equal to `needle`.
+/// Returns `array.len() as u64` when absent. The scan always visits every
+/// element.
+pub fn oblivious_find_first(array: &[u64], needle: u64) -> u64 {
+    let mut found = Choice::FALSE;
+    let mut idx = array.len() as u64;
+    for (i, &v) in array.iter().enumerate() {
+        let hit = ct_eq_u64(v, needle) & !found;
+        idx = select_u64(hit, i as u64, idx);
+        found = found | hit;
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_each_index() {
+        let a = [5u64, 6, 7, 8];
+        for i in 0..4 {
+            assert_eq!(oblivious_read_u64(&a, i as u64), a[i]);
+        }
+        assert_eq!(oblivious_read_u64(&a, 99), 0);
+    }
+
+    #[test]
+    fn write_each_index() {
+        let mut a = [0u64; 4];
+        for i in 0..4u64 {
+            oblivious_write_u64(&mut a, i, i + 100);
+        }
+        assert_eq!(a, [100, 101, 102, 103]);
+        oblivious_write_u64(&mut a, 99, 7); // out of range: no-op
+        assert_eq!(a, [100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let mut buf = vec![0u8; 4 * 8];
+        for i in 0..4u64 {
+            let rec = [i as u8 + 1; 8];
+            oblivious_write_record(&mut buf, 8, i, &rec);
+        }
+        let mut out = [0u8; 8];
+        oblivious_read_record(&buf, 8, 2, &mut out);
+        assert_eq!(out, [3u8; 8]);
+    }
+
+    #[test]
+    fn count_and_find() {
+        let a = [1u64, 2, 2, 3, 2];
+        assert_eq!(oblivious_count_eq(&a, 2), 3);
+        assert_eq!(oblivious_find_first(&a, 2), 1);
+        assert_eq!(oblivious_find_first(&a, 9), a.len() as u64);
+        assert_eq!(oblivious_count_eq(&a, 9), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn record_len_mismatch_panics() {
+        let mut out = [0u8; 4];
+        oblivious_read_record(&[0u8; 16], 8, 0, &mut out);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn read_matches_index(v in proptest::collection::vec(any::<u64>(), 1..64), idx in 0usize..64) {
+            prop_assume!(idx < v.len());
+            prop_assert_eq!(oblivious_read_u64(&v, idx as u64), v[idx]);
+        }
+
+        #[test]
+        fn write_then_read(mut v in proptest::collection::vec(any::<u64>(), 1..64), idx in 0usize..64, val: u64) {
+            prop_assume!(idx < v.len());
+            oblivious_write_u64(&mut v, idx as u64, val);
+            prop_assert_eq!(v[idx], val);
+        }
+
+        #[test]
+        fn find_first_matches_position(v in proptest::collection::vec(0u64..8, 0..32), needle in 0u64..8) {
+            let expected = v.iter().position(|&x| x == needle).map(|p| p as u64).unwrap_or(v.len() as u64);
+            prop_assert_eq!(oblivious_find_first(&v, needle), expected);
+        }
+    }
+}

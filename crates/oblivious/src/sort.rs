@@ -1,0 +1,142 @@
+//! Bitonic sorting network: a sort whose compare-and-swap schedule depends
+//! only on the input *length*, never on the values.
+//!
+//! Used by eviction logic (deterministic ordering of stash candidates) and by
+//! tests that need an oblivious sort to compare traces against.
+
+use crate::select::{cswap_u64, ct_lt_u64};
+
+/// Sorts `(key, value)` pairs ascending by key with a bitonic network.
+///
+/// The schedule of compared index pairs is a function of `data.len()` only.
+/// Non-power-of-two lengths are handled by virtually padding with `u64::MAX`
+/// keys (the pad elements are materialized to keep the access pattern fixed).
+///
+/// # Example
+///
+/// ```
+/// use fedora_oblivious::sort::bitonic_sort_pairs;
+/// let mut v = vec![(3u64, 30u64), (1, 10), (2, 20)];
+/// bitonic_sort_pairs(&mut v);
+/// assert_eq!(v, vec![(1, 10), (2, 20), (3, 30)]);
+/// ```
+#[allow(clippy::ptr_arg)] // the network pads to a power of two in place
+pub fn bitonic_sort_pairs(data: &mut Vec<(u64, u64)>) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    let padded = n.next_power_of_two();
+    data.resize(padded, (u64::MAX, u64::MAX));
+
+    let mut k = 2;
+    while k <= padded {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..padded {
+                let l = i ^ j;
+                if l > i {
+                    let ascending = (i & k) == 0;
+                    let (a_key, b_key) = (data[i].0, data[l].0);
+                    let out_of_order = if ascending {
+                        ct_lt_u64(b_key, a_key)
+                    } else {
+                        ct_lt_u64(a_key, b_key)
+                    };
+                    // Split borrow to swap both key and value.
+                    let (lo, hi) = data.split_at_mut(l);
+                    let (ka, va) = (&mut lo[i].0, &mut lo[i].1);
+                    let (kb, vb) = (&mut hi[0].0, &mut hi[0].1);
+                    cswap_u64(out_of_order, ka, kb);
+                    cswap_u64(out_of_order, va, vb);
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    data.truncate(n);
+}
+
+/// Sorts a slice of `u64` keys ascending with the bitonic network.
+pub fn bitonic_sort(keys: &mut [u64]) {
+    let mut pairs: Vec<(u64, u64)> = keys.iter().map(|&k| (k, 0)).collect();
+    bitonic_sort_pairs(&mut pairs);
+    for (dst, (k, _)) in keys.iter_mut().zip(pairs) {
+        *dst = k;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_power_of_two() {
+        let mut v: Vec<u64> = vec![8, 3, 5, 1, 9, 2, 7, 4];
+        bitonic_sort(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn sorts_non_power_of_two() {
+        let mut v: Vec<u64> = vec![5, 1, 4, 2, 3];
+        bitonic_sort(&mut v);
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        let mut v: Vec<u64> = vec![2, 2, 1, 1, 3, 3, 2];
+        bitonic_sort(&mut v);
+        assert_eq!(v, vec![1, 1, 2, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut v: Vec<u64> = vec![];
+        bitonic_sort(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![42u64];
+        bitonic_sort(&mut v);
+        assert_eq!(v, vec![42]);
+    }
+
+    #[test]
+    fn pairs_carry_values() {
+        let mut v = vec![(10u64, 100u64), (5, 50), (7, 70), (5, 51)];
+        bitonic_sort_pairs(&mut v);
+        let keys: Vec<u64> = v.iter().map(|p| p.0).collect();
+        assert_eq!(keys, vec![5, 5, 7, 10]);
+        // Both 5-keyed values survive.
+        let vals: Vec<u64> = v.iter().map(|p| p.1).collect();
+        assert!(vals.contains(&50) && vals.contains(&51) && vals.contains(&70));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn matches_std_sort(mut v in proptest::collection::vec(0u64..1000, 0..64)) {
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            bitonic_sort(&mut v);
+            prop_assert_eq!(v, expected);
+        }
+
+        #[test]
+        fn is_permutation(v in proptest::collection::vec(any::<u64>().prop_filter("no max", |x| *x != u64::MAX), 0..48)) {
+            let mut sorted = v.clone();
+            bitonic_sort(&mut sorted);
+            let mut a = v;
+            a.sort_unstable();
+            let mut b = sorted;
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Sort-based oblivious union: the `O(K log² K)` alternative to the
+//! paper's `O(K²)` linear scan (§4.2).
+//!
+//! The classic construction: (1) bitonic-sort the requests — the
+//! compare-and-swap schedule depends only on `K`; (2) in one linear pass,
+//! replace every element equal to its predecessor with the [`EMPTY_SLOT`]
+//! sentinel using constant-time selection; (3) obliviously *compact* the
+//! survivors to the front with a data-independent permutation network
+//! (sorting by the sentinel flag), yielding exactly the [`UnionSet`]
+//! layout the controller expects.
+//!
+//! The paper chunks the quadratic scan instead (16 Ki chunks) because the
+//! scan is branch-free, cache-friendly, and simple to audit; this module
+//! exists to quantify that choice — see the `oblivious_union` Criterion
+//! bench for the crossover.
+
+use crate::sort::bitonic_sort_pairs;
+use crate::union::{UnionSet, EMPTY_SLOT};
+
+/// Computes the oblivious union of `requests` via sort + dedup + oblivious
+/// compaction. Produces the same set as
+/// [`crate::union::oblivious_union`], but in first-*sorted* order rather
+/// than first-seen order (both orders are deterministic functions of the
+/// multiset, so downstream FDP accounting is unaffected).
+///
+/// # Example
+///
+/// ```
+/// use fedora_oblivious::sorted_union::sorted_oblivious_union;
+/// let u = sorted_oblivious_union(&[9, 3, 9, 1, 3]);
+/// assert_eq!(u.len_real(), 3);
+/// assert_eq!(u.real_entries(), &[1, 3, 9]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any request equals [`EMPTY_SLOT`] (reserved sentinel).
+pub fn sorted_oblivious_union(requests: &[u64]) -> UnionSet {
+    for &r in requests {
+        assert_ne!(r, EMPTY_SLOT, "EMPTY_SLOT sentinel is reserved");
+    }
+    if requests.is_empty() {
+        return UnionSet::with_capacity(0);
+    }
+
+    // (1) Oblivious sort. Pair the value with nothing (second slot reused
+    // later for the dedup flag).
+    let mut pairs: Vec<(u64, u64)> = requests.iter().map(|&r| (r, 0)).collect();
+    bitonic_sort_pairs(&mut pairs);
+
+    // (2) Linear dedup: equal-to-predecessor entries become the sentinel.
+    // Constant-time: every element is visited and rewritten via select.
+    let mut deduped: Vec<u64> = Vec::with_capacity(pairs.len());
+    let mut prev = EMPTY_SLOT;
+    for (v, _) in &pairs {
+        let dup = crate::select::ct_eq_u64(*v, prev);
+        deduped.push(crate::select::select_u64(dup, EMPTY_SLOT, *v));
+        prev = *v;
+    }
+
+    // (3) Oblivious compaction: sort by (is_sentinel, value) — the
+    // sentinel is u64::MAX so a plain value sort already moves survivors
+    // to the front in ascending order.
+    let mut compact: Vec<(u64, u64)> = deduped.into_iter().map(|v| (v, 0)).collect();
+    bitonic_sort_pairs(&mut compact);
+
+    // Materialize the UnionSet: survivors first, sentinels after. The
+    // count is accumulated arithmetically.
+    let mut set = UnionSet::with_capacity(requests.len());
+    for (i, (v, _)) in compact.iter().enumerate() {
+        set.write_slot(i, *v);
+    }
+    set.recount();
+    set
+}
+
+/// Slot-visit cost of the sort-based union: two bitonic sorts of `k`
+/// elements (`k/2 · log²(k)`-ish compare-and-swaps each) plus one linear
+/// pass — the number to compare against
+/// [`crate::union::requests_scan_cost`].
+pub fn sorted_scan_cost(k: usize) -> u64 {
+    if k <= 1 {
+        return k as u64;
+    }
+    let n = k.next_power_of_two() as u64;
+    let log = n.trailing_zeros() as u64;
+    // Bitonic network size: n/4 · log · (log + 1) comparators per sort.
+    let per_sort = n / 4 * log * (log + 1);
+    2 * per_sort + k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::union::oblivious_union;
+
+    #[test]
+    fn matches_linear_scan_union() {
+        let reqs = [42u64, 7, 42, 38, 42, 38, 7, 7];
+        let sorted = sorted_oblivious_union(&reqs);
+        let linear = oblivious_union(&reqs, reqs.len());
+        assert_eq!(sorted.len_real(), linear.len_real());
+        let mut a = sorted.real_entries().to_vec();
+        let mut b = linear.real_entries().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_is_sorted_and_padded() {
+        let u = sorted_oblivious_union(&[5, 1, 5, 3, 1]);
+        assert_eq!(u.real_entries(), &[1, 3, 5]);
+        assert_eq!(&u.slots()[3..], &[EMPTY_SLOT, EMPTY_SLOT]);
+    }
+
+    #[test]
+    fn all_unique_and_all_same() {
+        let uniq: Vec<u64> = (0..17).rev().collect();
+        let u = sorted_oblivious_union(&uniq);
+        assert_eq!(u.len_real(), 17);
+        assert_eq!(u.real_entries(), (0..17).collect::<Vec<_>>().as_slice());
+
+        let same = [9u64; 25];
+        let u = sorted_oblivious_union(&same);
+        assert_eq!(u.len_real(), 1);
+        assert_eq!(u.real_entries(), &[9]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let u = sorted_oblivious_union(&[]);
+        assert_eq!(u.len_real(), 0);
+        assert_eq!(u.capacity(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sentinel_rejected() {
+        sorted_oblivious_union(&[EMPTY_SLOT]);
+    }
+
+    #[test]
+    fn cost_crossover_favors_sort_for_large_k() {
+        use crate::union::requests_scan_cost;
+        // The quadratic scan wins for small chunks; the sort wins at scale.
+        assert!(sorted_scan_cost(64) > requests_scan_cost(64, 64) / 4);
+        assert!(sorted_scan_cost(65536) < requests_scan_cost(65536, 65536) / 100);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::union::oblivious_union;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn agrees_with_linear_scan(reqs in proptest::collection::vec(0u64..100, 0..80)) {
+            let sorted = sorted_oblivious_union(&reqs);
+            let linear = oblivious_union(&reqs, reqs.len());
+            prop_assert_eq!(sorted.len_real(), linear.len_real());
+            let mut a = sorted.real_entries().to_vec();
+            let mut b = linear.real_entries().to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Data blocks: one embedding-table entry plus its ORAM bookkeeping.
+
+/// A data block: the unit the ORAM moves around. In FEDORA one block is one
+/// embedding-table entry (64–256 bytes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// The logical block id (embedding row index).
+    pub id: u64,
+    /// The leaf this block is currently assigned to.
+    pub leaf: u64,
+    /// The payload (embedding vector bytes).
+    pub payload: Vec<u8>,
+}
+
+impl Block {
+    /// Creates a block.
+    pub fn new(id: u64, leaf: u64, payload: Vec<u8>) -> Self {
+        Block { id, leaf, payload }
+    }
+
+    /// Creates a zero-filled block.
+    pub fn zeroed(id: u64, leaf: u64, block_bytes: usize) -> Self {
+        Block { id, leaf, payload: vec![0u8; block_bytes] }
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let b = Block::new(3, 7, vec![1, 2, 3]);
+        assert_eq!(b.id, 3);
+        assert_eq!(b.leaf, 7);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn zeroed_is_zero() {
+        let b = Block::zeroed(1, 0, 16);
+        assert_eq!(b.payload, vec![0u8; 16]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Tree geometry: node indexing, path computation, and bucket/page layout.
+
+use fedora_crypto::aead::TAG_LEN;
+
+use crate::bucket::SLOT_META_BYTES;
+
+/// Shape of an ORAM tree: depth, bucket arity `Z`, and block payload size.
+///
+/// Levels are numbered from the root (level 0) to the leaves (level
+/// [`depth`](TreeGeometry::depth)); nodes use the usual heap numbering
+/// (`node(l, i) = 2^l − 1 + i`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeGeometry {
+    depth: u32,
+    z: usize,
+    block_bytes: usize,
+}
+
+impl TreeGeometry {
+    /// Creates a geometry with an explicit depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > 40`, `z == 0`, or `block_bytes == 0`.
+    pub fn new(depth: u32, z: usize, block_bytes: usize) -> Self {
+        assert!(depth <= 40, "depth {depth} unreasonably deep");
+        assert!(z > 0, "bucket must hold at least one block");
+        assert!(block_bytes > 0, "blocks must be non-empty");
+        TreeGeometry { depth, z, block_bytes }
+    }
+
+    /// Creates the smallest geometry that holds `num_blocks` blocks at
+    /// ≤ 50 % slot utilization — the provisioning rule that keeps stash
+    /// occupancy bounded for both small-`Z` Path ORAM (`Z = 4` gives the
+    /// classic one-block-per-leaf shape) and the large-`Z` page-filling
+    /// buckets FEDORA uses on the SSD (§3.2's 1.5–8× memory amplification).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_blocks == 0` or the arguments are degenerate.
+    pub fn for_blocks(num_blocks: u64, block_bytes: usize, z: usize) -> Self {
+        assert!(num_blocks > 0, "need at least one block");
+        let leaves = (2 * num_blocks).div_ceil(z as u64).next_power_of_two().max(2);
+        let depth = leaves.trailing_zeros();
+        Self::new(depth, z, block_bytes)
+    }
+
+    /// Tree depth (leaves live at this level; root is level 0).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Number of leaves, `2^depth`.
+    pub fn num_leaves(&self) -> u64 {
+        1u64 << self.depth
+    }
+
+    /// Number of buckets in the tree, `2^(depth+1) − 1`.
+    pub fn num_nodes(&self) -> u64 {
+        (1u64 << (self.depth + 1)) - 1
+    }
+
+    /// Number of levels, `depth + 1`.
+    pub fn num_levels(&self) -> u32 {
+        self.depth + 1
+    }
+
+    /// Blocks per bucket.
+    pub fn z(&self) -> usize {
+        self.z
+    }
+
+    /// Block payload size in bytes.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    /// Total block capacity of the tree (`Z · num_nodes`).
+    pub fn capacity_blocks(&self) -> u64 {
+        self.z as u64 * self.num_nodes()
+    }
+
+    /// Plaintext bucket size: `Z` slots of metadata + payload.
+    pub fn bucket_plain_bytes(&self) -> usize {
+        self.z * (SLOT_META_BYTES + self.block_bytes)
+    }
+
+    /// Stored (encrypted) bucket size: plaintext + AEAD tag.
+    pub fn bucket_stored_bytes(&self) -> usize {
+        self.bucket_plain_bytes() + TAG_LEN
+    }
+
+    /// Number of device pages one bucket occupies.
+    pub fn pages_per_bucket(&self, page_bytes: usize) -> u64 {
+        (self.bucket_stored_bytes() as u64).div_ceil(page_bytes as u64)
+    }
+
+    /// Total stored tree size in bytes (page-aligned per bucket).
+    pub fn tree_bytes(&self, page_bytes: usize) -> u64 {
+        self.num_nodes() * self.pages_per_bucket(page_bytes) * page_bytes as u64
+    }
+
+    /// Heap index of the node at `(level, index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the tree.
+    pub fn node_at(&self, level: u32, index: u64) -> u64 {
+        assert!(level <= self.depth, "level {level} beyond depth {}", self.depth);
+        assert!(index < (1u64 << level), "index {index} out of range at level {level}");
+        (1u64 << level) - 1 + index
+    }
+
+    /// `(level, index)` coordinates of a heap node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the tree.
+    pub fn coords_of(&self, node: u64) -> (u32, u64) {
+        assert!(node < self.num_nodes(), "node {node} outside tree");
+        let level = 63 - (node + 1).leading_zeros();
+        (level, node + 1 - (1u64 << level))
+    }
+
+    /// Heap indices of the buckets along the path from root to `leaf`,
+    /// root first. Length is `depth + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf >= num_leaves()`.
+    pub fn path_nodes(&self, leaf: u64) -> Vec<u64> {
+        assert!(leaf < self.num_leaves(), "leaf {leaf} out of range");
+        (0..=self.depth)
+            .map(|level| self.node_at(level, leaf >> (self.depth - level)))
+            .collect()
+    }
+
+    /// Whether the bucket at heap index `node` lies on the path to `leaf`.
+    pub fn on_path(&self, node: u64, leaf: u64) -> bool {
+        let (level, index) = self.coords_of(node);
+        leaf >> (self.depth - level) == index
+    }
+
+    /// The deepest level at which the paths to `leaf_a` and `leaf_b` still
+    /// share a bucket — the criterion for greedy Path ORAM eviction.
+    pub fn common_depth(&self, leaf_a: u64, leaf_b: u64) -> u32 {
+        let differing = leaf_a ^ leaf_b;
+        if differing == 0 {
+            self.depth
+        } else {
+            // The highest set bit of the XOR marks the first divergence;
+            // for leaves < 2^depth it is at most depth − 1.
+            let msb = 63 - differing.leading_zeros(); // 0-based from LSB
+            self.depth - (msb + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_blocks_sizes_tree() {
+        // Z=4: 2·100/4 = 50 → 64 leaves.
+        let g = TreeGeometry::for_blocks(100, 64, 4);
+        assert_eq!(g.num_leaves(), 64);
+        assert_eq!(g.depth(), 6);
+        assert!(g.capacity_blocks() >= 2 * 100, "≤50% utilization");
+        // Large Z packs more blocks per bucket into a shallower tree.
+        let big = TreeGeometry::for_blocks(100, 64, 46);
+        assert!(big.depth() < g.depth());
+        assert!(big.capacity_blocks() >= 2 * 100);
+    }
+
+    #[test]
+    fn node_indexing_roundtrip() {
+        let g = TreeGeometry::new(4, 4, 64);
+        for node in 0..g.num_nodes() {
+            let (l, i) = g.coords_of(node);
+            assert_eq!(g.node_at(l, i), node);
+        }
+    }
+
+    #[test]
+    fn path_structure() {
+        let g = TreeGeometry::new(3, 4, 64);
+        let path = g.path_nodes(5); // leaf bits 101
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[0], 0); // root
+        // leaf node index = 2^3 - 1 + 5 = 12
+        assert_eq!(*path.last().unwrap(), 12);
+        // Consecutive parent/child relation.
+        for w in path.windows(2) {
+            assert!(w[1] == 2 * w[0] + 1 || w[1] == 2 * w[0] + 2);
+        }
+    }
+
+    #[test]
+    fn on_path_consistent_with_path_nodes() {
+        let g = TreeGeometry::new(4, 4, 64);
+        for leaf in 0..g.num_leaves() {
+            let path = g.path_nodes(leaf);
+            for node in 0..g.num_nodes() {
+                assert_eq!(g.on_path(node, leaf), path.contains(&node));
+            }
+        }
+    }
+
+    #[test]
+    fn common_depth_examples() {
+        let g = TreeGeometry::new(3, 4, 64);
+        assert_eq!(g.common_depth(0b101, 0b101), 3);
+        assert_eq!(g.common_depth(0b101, 0b100), 2);
+        assert_eq!(g.common_depth(0b101, 0b111), 1);
+        assert_eq!(g.common_depth(0b101, 0b001), 0);
+    }
+
+    #[test]
+    fn bucket_layout_fits_pages() {
+        // Z=4, block=64: plain = 4*(24+64) = 352, stored = 368 → 1 page.
+        let g = TreeGeometry::new(5, 4, 64);
+        assert_eq!(g.bucket_plain_bytes(), 352);
+        assert_eq!(g.bucket_stored_bytes(), 368);
+        assert_eq!(g.pages_per_bucket(4096), 1);
+        // Z=46, block=64: stored = 46*88+16 = 4064+16 = 4064? compute:
+        let g2 = TreeGeometry::new(5, 46, 64);
+        assert_eq!(g2.pages_per_bucket(4096), 1);
+        let g3 = TreeGeometry::new(5, 64, 64);
+        assert_eq!(g3.pages_per_bucket(4096), 2);
+    }
+
+    #[test]
+    fn tree_bytes_page_aligned() {
+        let g = TreeGeometry::new(2, 4, 64);
+        assert_eq!(g.tree_bytes(4096), 7 * 4096);
+    }
+
+    #[test]
+    #[should_panic]
+    fn leaf_out_of_range_panics() {
+        TreeGeometry::new(2, 4, 64).path_nodes(4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn common_depth_matches_bruteforce(depth in 1u32..10, a in 0u64..1024, b in 0u64..1024) {
+            let g = TreeGeometry::new(depth, 4, 64);
+            let leaves = g.num_leaves();
+            let (a, b) = (a % leaves, b % leaves);
+            let pa = g.path_nodes(a);
+            let pb = g.path_nodes(b);
+            let brute = pa.iter().zip(pb.iter()).take_while(|(x, y)| x == y).count() as u32 - 1;
+            prop_assert_eq!(g.common_depth(a, b), brute);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! The position map: block id → assigned leaf.
+//!
+//! FEDORA keeps the position map in (encrypted, untrusted) DRAM. The map's
+//! *content* is secret; its access pattern during controller operation is
+//! made data-independent either by the scratchpad-resident working set or by
+//! oblivious scans (the §6.6 ablation). Here the map is a dense array with
+//! access counting; the latency model charges for its accesses, and an
+//! optional oblivious mode performs real whole-array scans for small maps.
+
+use fedora_oblivious::scan::{oblivious_read_u64, oblivious_write_u64};
+use rand::Rng;
+
+/// Dense position map for `n` blocks.
+#[derive(Clone, Debug)]
+pub struct PositionMap {
+    leaves: Vec<u64>,
+    accesses: u64,
+    oblivious: bool,
+}
+
+impl PositionMap {
+    /// Creates a map of `num_blocks` entries with uniformly random leaves
+    /// in `[0, num_leaves)`.
+    pub fn random<R: Rng>(num_blocks: u64, num_leaves: u64, rng: &mut R) -> Self {
+        PositionMap {
+            leaves: (0..num_blocks).map(|_| rng.gen_range(0..num_leaves)).collect(),
+            accesses: 0,
+            oblivious: false,
+        }
+    }
+
+    /// Switches the map into oblivious-scan mode: every get/set touches the
+    /// entire array. Only sensible for small maps (used by tests and the
+    /// no-scratchpad ablation).
+    pub fn set_oblivious(&mut self, oblivious: bool) {
+        self.oblivious = oblivious;
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.leaves.len() as u64
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Number of get/set operations performed (for the latency model).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Size of the map in bytes (8 bytes per entry).
+    pub fn size_bytes(&self) -> u64 {
+        self.leaves.len() as u64 * 8
+    }
+
+    /// Looks up the leaf of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (callers validate ids at the API
+    /// boundary; an out-of-range id here is a bug).
+    pub fn get(&mut self, id: u64) -> u64 {
+        self.accesses += 1;
+        if self.oblivious {
+            oblivious_read_u64(&self.leaves, id)
+        } else {
+            self.leaves[id as usize]
+        }
+    }
+
+    /// Updates the leaf of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range in non-oblivious mode.
+    pub fn set(&mut self, id: u64, leaf: u64) {
+        self.accesses += 1;
+        if self.oblivious {
+            oblivious_write_u64(&mut self.leaves, id, leaf);
+        } else {
+            self.leaves[id as usize] = leaf;
+        }
+    }
+
+    /// Looks up and atomically remaps `id` to `new_leaf`, returning the old
+    /// leaf — the canonical ORAM access-start operation.
+    pub fn get_and_remap(&mut self, id: u64, new_leaf: u64) -> u64 {
+        let old = self.get(id);
+        self.set(id, new_leaf);
+        old
+    }
+}
+
+/// A position map held **encrypted** in DRAM using the paper's §5.2
+/// group-based scheme ([`fedora_crypto::flat::FlatGroupStore`]): 64
+/// positions per 512-byte group, counters chained up to one on-chip root
+/// counter. Every access decrypts/verifies the group's counter chain and
+/// (on `set`) re-encrypts it — the faithful (and slower) alternative to
+/// the plaintext-mirror [`PositionMap`], used where the DRAM itself is
+/// untrusted.
+pub struct EncryptedPositionMap {
+    store: fedora_crypto::flat::FlatGroupStore,
+    dram: fedora_storage::SimDram,
+    num_positions: u64,
+    accesses: u64,
+}
+
+impl EncryptedPositionMap {
+    /// Positions per encryption group.
+    pub const PER_GROUP: u64 = (fedora_crypto::flat::GROUP_BYTES / 8) as u64;
+
+    /// Creates a map of `num_positions` entries with uniformly random
+    /// leaves in `[0, num_leaves)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_positions == 0`.
+    pub fn random<R: Rng>(
+        num_positions: u64,
+        num_leaves: u64,
+        key: fedora_crypto::aead::Key,
+        rng: &mut R,
+    ) -> Self {
+        assert!(num_positions > 0, "need at least one position");
+        let groups = num_positions.div_ceil(Self::PER_GROUP) as usize;
+        let mut store = fedora_crypto::flat::FlatGroupStore::new(key, groups);
+        for g in 0..groups {
+            let mut plain = vec![0u8; fedora_crypto::flat::GROUP_BYTES];
+            for slot in 0..Self::PER_GROUP {
+                let idx = g as u64 * Self::PER_GROUP + slot;
+                if idx >= num_positions {
+                    break;
+                }
+                let leaf = rng.gen_range(0..num_leaves);
+                let at = (slot * 8) as usize;
+                plain[at..at + 8].copy_from_slice(&leaf.to_le_bytes());
+            }
+            store.write_group(g, &plain).expect("provisioned");
+        }
+        let dram = fedora_storage::SimDram::new(
+            fedora_storage::DramProfile::default(),
+            store.total_bytes() as u64,
+        );
+        EncryptedPositionMap { store, dram, num_positions, accesses: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.num_positions
+    }
+
+    /// Whether the map is empty (never true; see `random`).
+    pub fn is_empty(&self) -> bool {
+        self.num_positions == 0
+    }
+
+    /// Accesses performed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Off-chip bytes the encrypted map occupies (ciphertext + counter
+    /// groups + tags).
+    pub fn stored_bytes(&self) -> u64 {
+        self.store.total_bytes() as u64
+    }
+
+    /// DRAM traffic statistics.
+    pub fn device_stats(&self) -> fedora_storage::DeviceStats {
+        *self.dram.stats()
+    }
+
+    fn charge(&mut self, write: bool) {
+        // One group transits the bus per operation.
+        let bytes = fedora_crypto::flat::GROUP_BYTES as u64 + 16;
+        let mut buf = vec![0u8; bytes as usize];
+        let _ = self.dram.read(0, &mut buf);
+        if write {
+            let _ = self.dram.write(0, &buf);
+        }
+    }
+
+    /// Looks up the leaf of `id`, verifying the group's counter chain.
+    ///
+    /// # Errors
+    ///
+    /// [`fedora_crypto::flat::FlatStoreError`] on tamper/replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&mut self, id: u64) -> Result<u64, fedora_crypto::flat::FlatStoreError> {
+        assert!(id < self.num_positions, "id {id} out of range");
+        self.accesses += 1;
+        self.charge(false);
+        let group = (id / Self::PER_GROUP) as usize;
+        let plain = self.store.read_group(group)?;
+        let at = ((id % Self::PER_GROUP) * 8) as usize;
+        Ok(u64::from_le_bytes(plain[at..at + 8].try_into().expect("8 bytes")))
+    }
+
+    /// Updates the leaf of `id` (read-modify-write of its group).
+    ///
+    /// # Errors
+    ///
+    /// [`fedora_crypto::flat::FlatStoreError`] on tamper/replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set(&mut self, id: u64, leaf: u64) -> Result<(), fedora_crypto::flat::FlatStoreError> {
+        assert!(id < self.num_positions, "id {id} out of range");
+        self.accesses += 1;
+        self.charge(true);
+        let group = (id / Self::PER_GROUP) as usize;
+        let mut plain = self.store.read_group(group)?;
+        let at = ((id % Self::PER_GROUP) * 8) as usize;
+        plain[at..at + 8].copy_from_slice(&leaf.to_le_bytes());
+        self.store.write_group(group, &plain)
+    }
+
+    /// Test/attack hook into the underlying store.
+    pub fn store_mut(&mut self) -> &mut fedora_crypto::flat::FlatGroupStore {
+        &mut self.store
+    }
+}
+
+impl core::fmt::Debug for EncryptedPositionMap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EncryptedPositionMap")
+            .field("positions", &self.num_positions)
+            .field("stored_bytes", &self.stored_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn random_init_in_range() {
+        let mut r = rng();
+        let mut pm = PositionMap::random(100, 16, &mut r);
+        for id in 0..100 {
+            assert!(pm.get(id) < 16);
+        }
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut r = rng();
+        let mut pm = PositionMap::random(10, 8, &mut r);
+        pm.set(3, 7);
+        assert_eq!(pm.get(3), 7);
+    }
+
+    #[test]
+    fn get_and_remap_returns_old() {
+        let mut r = rng();
+        let mut pm = PositionMap::random(10, 8, &mut r);
+        pm.set(0, 2);
+        assert_eq!(pm.get_and_remap(0, 5), 2);
+        assert_eq!(pm.get(0), 5);
+    }
+
+    #[test]
+    fn oblivious_mode_equivalent() {
+        let mut r = rng();
+        let mut pm = PositionMap::random(32, 16, &mut r);
+        let baseline: Vec<u64> = (0..32).map(|i| pm.get(i)).collect();
+        pm.set_oblivious(true);
+        for (i, &exp) in baseline.iter().enumerate() {
+            assert_eq!(pm.get(i as u64), exp);
+        }
+        pm.set(9, 3);
+        assert_eq!(pm.get(9), 3);
+    }
+
+    #[test]
+    fn access_counting() {
+        let mut r = rng();
+        let mut pm = PositionMap::random(4, 4, &mut r);
+        let before = pm.accesses();
+        pm.get(0);
+        pm.set(1, 0);
+        pm.get_and_remap(2, 1);
+        assert_eq!(pm.accesses() - before, 4);
+    }
+
+    #[test]
+    fn encrypted_map_roundtrip() {
+        let mut r = rng();
+        let key = fedora_crypto::aead::Key::from_bytes([0x21; 32]);
+        let mut pm = EncryptedPositionMap::random(300, 64, key, &mut r);
+        for id in 0..300 {
+            assert!(pm.get(id).unwrap() < 64);
+        }
+        pm.set(5, 63).unwrap();
+        pm.set(299, 1).unwrap();
+        assert_eq!(pm.get(5).unwrap(), 63);
+        assert_eq!(pm.get(299).unwrap(), 1);
+        assert_eq!(pm.accesses(), 300 + 4);
+        assert!(pm.device_stats().bytes_read > 0);
+    }
+
+    #[test]
+    fn encrypted_map_detects_replay() {
+        let mut r = rng();
+        let key = fedora_crypto::aead::Key::from_bytes([0x22; 32]);
+        let mut pm = EncryptedPositionMap::random(128, 16, key, &mut r);
+        pm.set(0, 7).unwrap();
+        let old = pm.store_mut().snapshot(0, 0);
+        pm.set(0, 9).unwrap();
+        pm.store_mut().tamper(0, 0, old);
+        assert!(pm.get(0).is_err(), "rolled-back group must fail");
+    }
+
+    #[test]
+    fn encrypted_map_overhead_small() {
+        let mut r = rng();
+        let key = fedora_crypto::aead::Key::from_bytes([0x23; 32]);
+        let pm = EncryptedPositionMap::random(64 * 64, 16, key, &mut r);
+        let raw = 64 * 64 * 8;
+        let overhead = pm.stored_bytes() as f64 / raw as f64 - 1.0;
+        assert!(overhead < 0.1, "overhead {overhead:.3}");
+    }
+
+    #[test]
+    fn size_bytes() {
+        let mut r = rng();
+        let pm = PositionMap::random(1000, 4, &mut r);
+        assert_eq!(pm.size_bytes(), 8000);
+    }
+}

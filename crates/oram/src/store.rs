@@ -1,0 +1,477 @@
+//! Encrypted bucket stores over simulated devices.
+//!
+//! A [`BucketStore`] owns the untrusted memory holding an ORAM tree's
+//! buckets, encrypted with ChaCha20-Poly1305 under per-bucket write-counter
+//! nonces. Two backends exist:
+//!
+//! * [`SsdBucketStore`] — buckets padded onto whole 4-KiB pages of a
+//!   [`SimSsd`]; path reads/writes use batched page I/O (the device's
+//!   internal parallelism). This backs FEDORA's main ORAM.
+//! * [`DramBucketStore`] — buckets as byte ranges of a [`SimDram`]. This
+//!   backs the buffer ORAM and the VTree.
+//!
+//! For the main ORAM the per-bucket write counters need not be stored: RAW
+//! ORAM writes buckets only during EO accesses in a predetermined order, so
+//! the counters are recomputable from the root EO counter
+//! ([`fedora_crypto::counter::EvictionSchedule`]). The store keeps a counter
+//! array as the *runtime representation* either way; an integration test
+//! asserts the array always matches the schedule's closed form for the RAW
+//! ORAM, which is what makes the paper's Merkle-free scheme sound.
+
+use fedora_crypto::aead::{ChaCha20Poly1305, Key, Nonce, TAG_LEN};
+use fedora_storage::profile::{DramProfile, SsdProfile};
+use fedora_storage::stats::DeviceStats;
+use fedora_storage::{SimDram, SimSsd};
+
+use crate::bucket::Bucket;
+use crate::geometry::TreeGeometry;
+use crate::OramError;
+
+/// Abstract encrypted bucket storage.
+pub trait BucketStore {
+    /// The tree geometry this store was provisioned for.
+    fn geometry(&self) -> TreeGeometry;
+
+    /// Reads and decrypts one bucket.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Integrity`] when authentication fails,
+    /// [`OramError::Device`] on sizing bugs.
+    fn read_bucket(&mut self, node: u64) -> Result<Bucket, OramError>;
+
+    /// Encrypts and writes one bucket, bumping its write counter.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Device`] on sizing bugs.
+    fn write_bucket(&mut self, node: u64, bucket: &Bucket) -> Result<(), OramError>;
+
+    /// Reads the whole path to `leaf` (root first). Backends may batch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read_bucket`](Self::read_bucket).
+    fn read_path(&mut self, leaf: u64) -> Result<Vec<Bucket>, OramError> {
+        let nodes = self.geometry().path_nodes(leaf);
+        nodes.into_iter().map(|n| self.read_bucket(n)).collect()
+    }
+
+    /// Writes the whole path to `leaf` (root first). Backends may batch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`write_bucket`](Self::write_bucket).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets.len() != depth + 1`.
+    fn write_path(&mut self, leaf: u64, buckets: &[Bucket]) -> Result<(), OramError> {
+        let nodes = self.geometry().path_nodes(leaf);
+        assert_eq!(buckets.len(), nodes.len(), "one bucket per path level");
+        for (node, bucket) in nodes.into_iter().zip(buckets) {
+            self.write_bucket(node, bucket)?;
+        }
+        Ok(())
+    }
+
+    /// Writes a bucket **without** bumping its write counter — used only
+    /// for bulk initialization (re-encrypts at the current counter). Unlike
+    /// [`write_bucket`](Self::write_bucket) this is not part of the runtime
+    /// protocol, so callers typically reset device statistics afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Device`] on sizing bugs.
+    fn load_bucket(&mut self, node: u64, bucket: &Bucket) -> Result<(), OramError>;
+
+    /// The number of times `node` has been written (its encryption counter).
+    fn write_count(&self, node: u64) -> u64;
+
+    /// Device statistics of the backing store.
+    fn device_stats(&self) -> DeviceStats;
+
+    /// Resets the backing device statistics.
+    fn reset_device_stats(&mut self);
+}
+
+fn bucket_nonce(node: u64, count: u64) -> Nonce {
+    Nonce::from_u64_pair(node as u32, count)
+}
+
+fn bucket_aad(node: u64) -> [u8; 8] {
+    node.to_le_bytes()
+}
+
+/// Bucket store over the simulated SSD (page-granular, batched I/O).
+#[derive(Clone, Debug)]
+pub struct SsdBucketStore {
+    geometry: TreeGeometry,
+    aead: ChaCha20Poly1305,
+    ssd: SimSsd,
+    write_counts: Vec<u64>,
+    pages_per_bucket: u64,
+}
+
+impl SsdBucketStore {
+    /// Provisions an SSD exactly large enough for the tree and encrypts an
+    /// empty tree into it. Initialization I/O is excluded from statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree has ≥ 2³² nodes (nonce-domain limit of this
+    /// in-memory simulator; the paper-scale configs are driven analytically).
+    pub fn new(geometry: TreeGeometry, key: Key, profile: SsdProfile) -> Self {
+        assert!(geometry.num_nodes() < u32::MAX as u64, "tree too large for simulation");
+        let pages_per_bucket = geometry.pages_per_bucket(profile.page_bytes);
+        let ssd = SimSsd::new(profile, geometry.num_nodes() * pages_per_bucket);
+        let mut store = SsdBucketStore {
+            geometry,
+            aead: ChaCha20Poly1305::new(&key),
+            ssd,
+            write_counts: vec![0; geometry.num_nodes() as usize],
+            pages_per_bucket,
+        };
+        store.initialize_empty();
+        store.ssd.reset_stats();
+        store
+    }
+
+    fn initialize_empty(&mut self) {
+        let empty = Bucket::empty(self.geometry.z(), self.geometry.block_bytes());
+        for node in 0..self.geometry.num_nodes() {
+            self.put(node, &empty, 0);
+        }
+    }
+
+    /// The backing SSD (for wear/lifetime queries).
+    pub fn ssd(&self) -> &SimSsd {
+        &self.ssd
+    }
+
+    /// Mutable access to the backing SSD — the fault/attack-injection
+    /// surface used by integrity tests (bit flips, rollbacks).
+    pub fn ssd_mut(&mut self) -> &mut SimSsd {
+        &mut self.ssd
+    }
+
+    fn page_base(&self, node: u64) -> u64 {
+        node * self.pages_per_bucket
+    }
+
+    fn put(&mut self, node: u64, bucket: &Bucket, count: u64) {
+        let plain = bucket.to_bytes();
+        let mut ct = self
+            .aead
+            .encrypt(&bucket_nonce(node, count), &plain, &bucket_aad(node));
+        let page_bytes = self.ssd.profile().page_bytes;
+        ct.resize(self.pages_per_bucket as usize * page_bytes, 0);
+        let base = self.page_base(node);
+        let writes: Vec<(u64, Vec<u8>)> = ct
+            .chunks_exact(page_bytes)
+            .enumerate()
+            .map(|(i, chunk)| (base + i as u64, chunk.to_vec()))
+            .collect();
+        self.ssd.write_pages(&writes).expect("store sized for the tree");
+    }
+
+    fn decrypt(&self, node: u64, raw: &[u8]) -> Result<Bucket, OramError> {
+        let ct_len = self.geometry.bucket_plain_bytes() + TAG_LEN;
+        let count = self.write_counts[node as usize];
+        let plain = self
+            .aead
+            .decrypt(&bucket_nonce(node, count), &raw[..ct_len], &bucket_aad(node))
+            .map_err(|_| OramError::Integrity)?;
+        Ok(Bucket::from_bytes(&plain, self.geometry.z(), self.geometry.block_bytes()))
+    }
+}
+
+impl BucketStore for SsdBucketStore {
+    fn geometry(&self) -> TreeGeometry {
+        self.geometry
+    }
+
+    fn read_bucket(&mut self, node: u64) -> Result<Bucket, OramError> {
+        let base = self.page_base(node);
+        let pages: Vec<u64> = (0..self.pages_per_bucket).map(|i| base + i).collect();
+        let raw: Vec<u8> = self
+            .ssd
+            .read_pages(&pages)
+            .map_err(|_| OramError::Device)?
+            .concat();
+        self.decrypt(node, &raw)
+    }
+
+    fn write_bucket(&mut self, node: u64, bucket: &Bucket) -> Result<(), OramError> {
+        let count = self.write_counts[node as usize] + 1;
+        self.write_counts[node as usize] = count;
+        self.put(node, bucket, count);
+        Ok(())
+    }
+
+    fn read_path(&mut self, leaf: u64) -> Result<Vec<Bucket>, OramError> {
+        // One batched page read for the whole path: this is what lets the
+        // SSD's internal parallelism hide per-page latency.
+        let nodes = self.geometry.path_nodes(leaf);
+        let mut pages = Vec::with_capacity(nodes.len() * self.pages_per_bucket as usize);
+        for &node in &nodes {
+            let base = self.page_base(node);
+            pages.extend((0..self.pages_per_bucket).map(|i| base + i));
+        }
+        let raw_pages = self.ssd.read_pages(&pages).map_err(|_| OramError::Device)?;
+        let per = self.pages_per_bucket as usize;
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| {
+                let raw: Vec<u8> = raw_pages[i * per..(i + 1) * per].concat();
+                self.decrypt(node, &raw)
+            })
+            .collect()
+    }
+
+    fn write_path(&mut self, leaf: u64, buckets: &[Bucket]) -> Result<(), OramError> {
+        let nodes = self.geometry.path_nodes(leaf);
+        assert_eq!(buckets.len(), nodes.len(), "one bucket per path level");
+        let page_bytes = self.ssd.profile().page_bytes;
+        let mut writes = Vec::with_capacity(nodes.len() * self.pages_per_bucket as usize);
+        for (&node, bucket) in nodes.iter().zip(buckets) {
+            let count = self.write_counts[node as usize] + 1;
+            self.write_counts[node as usize] = count;
+            let plain = bucket.to_bytes();
+            let mut ct = self
+                .aead
+                .encrypt(&bucket_nonce(node, count), &plain, &bucket_aad(node));
+            ct.resize(self.pages_per_bucket as usize * page_bytes, 0);
+            let base = self.page_base(node);
+            for (i, chunk) in ct.chunks_exact(page_bytes).enumerate() {
+                writes.push((base + i as u64, chunk.to_vec()));
+            }
+        }
+        self.ssd.write_pages(&writes).map_err(|_| OramError::Device)
+    }
+
+    fn load_bucket(&mut self, node: u64, bucket: &Bucket) -> Result<(), OramError> {
+        let count = self.write_counts[node as usize];
+        self.put(node, bucket, count);
+        Ok(())
+    }
+
+    fn write_count(&self, node: u64) -> u64 {
+        self.write_counts[node as usize]
+    }
+
+    fn device_stats(&self) -> DeviceStats {
+        *self.ssd.stats()
+    }
+
+    fn reset_device_stats(&mut self) {
+        self.ssd.reset_stats();
+    }
+}
+
+/// Bucket store over simulated DRAM (byte-granular).
+#[derive(Clone, Debug)]
+pub struct DramBucketStore {
+    geometry: TreeGeometry,
+    aead: ChaCha20Poly1305,
+    dram: SimDram,
+    write_counts: Vec<u64>,
+    stride: u64,
+}
+
+impl DramBucketStore {
+    /// Provisions DRAM for the tree and encrypts an empty tree into it.
+    /// Initialization traffic is excluded from statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree has ≥ 2³² nodes.
+    pub fn new(geometry: TreeGeometry, key: Key, profile: DramProfile) -> Self {
+        assert!(geometry.num_nodes() < u32::MAX as u64, "tree too large for simulation");
+        let stride = geometry.bucket_stored_bytes() as u64;
+        let dram = SimDram::new(profile, geometry.num_nodes() * stride);
+        let mut store = DramBucketStore {
+            geometry,
+            aead: ChaCha20Poly1305::new(&key),
+            dram,
+            write_counts: vec![0; geometry.num_nodes() as usize],
+            stride,
+        };
+        let empty = Bucket::empty(geometry.z(), geometry.block_bytes());
+        for node in 0..geometry.num_nodes() {
+            store.put(node, &empty, 0);
+        }
+        store.dram.reset_stats();
+        store
+    }
+
+    /// Convenience constructor using the default DDR5-like profile.
+    pub fn with_default_dram(geometry: TreeGeometry, key: Key) -> Self {
+        Self::new(geometry, key, DramProfile::default())
+    }
+
+    /// The backing DRAM (for capacity/power queries).
+    pub fn dram(&self) -> &SimDram {
+        &self.dram
+    }
+
+    fn put(&mut self, node: u64, bucket: &Bucket, count: u64) {
+        let plain = bucket.to_bytes();
+        let ct = self
+            .aead
+            .encrypt(&bucket_nonce(node, count), &plain, &bucket_aad(node));
+        self.dram
+            .write(node * self.stride, &ct)
+            .expect("store sized for the tree");
+    }
+}
+
+impl BucketStore for DramBucketStore {
+    fn geometry(&self) -> TreeGeometry {
+        self.geometry
+    }
+
+    fn read_bucket(&mut self, node: u64) -> Result<Bucket, OramError> {
+        let mut raw = vec![0u8; self.stride as usize];
+        self.dram
+            .read(node * self.stride, &mut raw)
+            .map_err(|_| OramError::Device)?;
+        let count = self.write_counts[node as usize];
+        let plain = self
+            .aead
+            .decrypt(&bucket_nonce(node, count), &raw, &bucket_aad(node))
+            .map_err(|_| OramError::Integrity)?;
+        Ok(Bucket::from_bytes(&plain, self.geometry.z(), self.geometry.block_bytes()))
+    }
+
+    fn write_bucket(&mut self, node: u64, bucket: &Bucket) -> Result<(), OramError> {
+        let count = self.write_counts[node as usize] + 1;
+        self.write_counts[node as usize] = count;
+        self.put(node, bucket, count);
+        Ok(())
+    }
+
+    fn load_bucket(&mut self, node: u64, bucket: &Bucket) -> Result<(), OramError> {
+        let count = self.write_counts[node as usize];
+        self.put(node, bucket, count);
+        Ok(())
+    }
+
+    fn write_count(&self, node: u64) -> u64 {
+        self.write_counts[node as usize]
+    }
+
+    fn device_stats(&self) -> DeviceStats {
+        *self.dram.stats()
+    }
+
+    fn reset_device_stats(&mut self) {
+        self.dram.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+
+    fn geo() -> TreeGeometry {
+        TreeGeometry::new(3, 4, 32)
+    }
+
+    fn key() -> Key {
+        Key::from_bytes([7u8; 32])
+    }
+
+    #[test]
+    fn ssd_bucket_roundtrip() {
+        let mut s = SsdBucketStore::new(geo(), key(), SsdProfile::default());
+        let mut b = Bucket::empty(4, 32);
+        b.try_insert(Block::new(11, 3, vec![0xCD; 32]));
+        s.write_bucket(5, &b).unwrap();
+        let got = s.read_bucket(5).unwrap();
+        assert_eq!(got, b);
+        // Other buckets still decrypt as empty.
+        assert_eq!(s.read_bucket(0).unwrap().occupancy(), 0);
+    }
+
+    #[test]
+    fn ssd_path_roundtrip_batched() {
+        let mut s = SsdBucketStore::new(geo(), key(), SsdProfile::default());
+        let leaf = 5;
+        let mut path = s.read_path(leaf).unwrap();
+        assert_eq!(path.len(), 4);
+        path[2].try_insert(Block::new(9, leaf, vec![1u8; 32]));
+        s.write_path(leaf, &path).unwrap();
+        let again = s.read_path(leaf).unwrap();
+        assert_eq!(again[2].occupancy(), 1);
+        // Stats: two path reads + one path write of 4 pages each.
+        let stats = s.device_stats();
+        assert_eq!(stats.pages_read, 8);
+        assert_eq!(stats.pages_written, 4);
+    }
+
+    #[test]
+    fn ssd_init_excluded_from_stats() {
+        let s = SsdBucketStore::new(geo(), key(), SsdProfile::default());
+        assert_eq!(s.device_stats().pages_written, 0);
+    }
+
+    #[test]
+    fn write_counts_advance() {
+        let mut s = SsdBucketStore::new(geo(), key(), SsdProfile::default());
+        assert_eq!(s.write_count(0), 0);
+        let b = Bucket::empty(4, 32);
+        s.write_bucket(0, &b).unwrap();
+        s.write_bucket(0, &b).unwrap();
+        assert_eq!(s.write_count(0), 2);
+        assert!(s.read_bucket(0).is_ok());
+    }
+
+    #[test]
+    fn dram_bucket_roundtrip() {
+        let mut s = DramBucketStore::with_default_dram(geo(), key());
+        let mut b = Bucket::empty(4, 32);
+        b.try_insert(Block::new(2, 1, vec![0xEE; 32]));
+        s.write_bucket(3, &b).unwrap();
+        assert_eq!(s.read_bucket(3).unwrap(), b);
+    }
+
+    #[test]
+    fn dram_default_path_ops() {
+        let mut s = DramBucketStore::with_default_dram(geo(), key());
+        let path = s.read_path(2).unwrap();
+        assert_eq!(path.len(), 4);
+        s.write_path(2, &path).unwrap();
+        assert!(s.device_stats().bytes_written > 0);
+    }
+
+    #[test]
+    fn buckets_bound_to_position() {
+        // Ciphertext written at node 1 cannot be replayed at node 2 even at
+        // the same counter value: decryption must fail.
+        let mut s = DramBucketStore::with_default_dram(geo(), key());
+        let mut b = Bucket::empty(4, 32);
+        b.try_insert(Block::new(1, 1, vec![1u8; 32]));
+        s.write_bucket(1, &b).unwrap();
+        // Forge: copy node 1's ciphertext into node 2's slot (bypassing API).
+        let stride = s.geometry().bucket_stored_bytes() as u64;
+        let mut raw = vec![0u8; stride as usize];
+        s.dram.read(stride, &mut raw).unwrap();
+        s.dram.write(2 * stride, &raw).unwrap();
+        s.write_counts[2] = 1; // even matching the counter…
+        assert_eq!(s.read_bucket(2), Err(OramError::Integrity));
+    }
+
+    #[test]
+    fn stale_bucket_rejected() {
+        // Reading a bucket with an advanced counter (as after a lost write)
+        // fails authentication — freshness.
+        let mut s = DramBucketStore::with_default_dram(geo(), key());
+        let b = Bucket::empty(4, 32);
+        s.write_bucket(4, &b).unwrap();
+        s.write_counts[4] = 5; // simulate counter mismatch
+        assert_eq!(s.read_bucket(4), Err(OramError::Integrity));
+    }
+}

@@ -1,0 +1,174 @@
+//! Model-based property tests: each ORAM is driven with arbitrary
+//! operation sequences and compared against a plain `HashMap` model. Any
+//! divergence between the oblivious structure and the trivial model is a
+//! correctness bug.
+
+use std::collections::HashMap;
+
+use fedora_crypto::aead::Key;
+use fedora_oram::buffer::BufferOram;
+use fedora_oram::path_oram::PathOram;
+use fedora_oram::raw::{RawOram, RawOramConfig};
+use fedora_oram::ring::{RingOram, RingOramConfig};
+use fedora_oram::store::DramBucketStore;
+use fedora_oram::TreeGeometry;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BLOCKS: u64 = 64;
+const BLOCK_BYTES: usize = 8;
+
+/// An abstract operation against a key-value ORAM.
+#[derive(Clone, Debug)]
+enum Op {
+    Read(u64),
+    Write(u64, u8),
+    Dummy,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..BLOCKS).prop_map(Op::Read),
+        ((0..BLOCKS), any::<u8>()).prop_map(|(id, v)| Op::Write(id, v)),
+        Just(Op::Dummy),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn path_oram_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 1..120), seed: u64) {
+        let geo = TreeGeometry::for_blocks(BLOCKS, BLOCK_BYTES, 4);
+        let store = DramBucketStore::with_default_dram(geo, Key::from_bytes([1; 32]));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut oram = PathOram::new(store, BLOCKS, &mut rng);
+        let mut model: HashMap<u64, u8> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Read(id) => {
+                    let got = oram.read(id, &mut rng).expect("read");
+                    let want = model.get(&id).copied().unwrap_or(0);
+                    prop_assert_eq!(got[0], want, "block {} diverged", id);
+                }
+                Op::Write(id, v) => {
+                    oram.write(id, vec![v; BLOCK_BYTES], &mut rng).expect("write");
+                    model.insert(id, v);
+                }
+                Op::Dummy => oram.dummy_access(&mut rng).expect("dummy"),
+            }
+        }
+        // Full final audit.
+        for id in 0..BLOCKS {
+            let got = oram.read(id, &mut rng).expect("read");
+            prop_assert_eq!(got[0], model.get(&id).copied().unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn raw_oram_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 1..120), seed: u64, a in 1u32..12) {
+        let geo = TreeGeometry::for_blocks(BLOCKS, BLOCK_BYTES, 8);
+        let store = DramBucketStore::with_default_dram(geo, Key::from_bytes([2; 32]));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut oram = RawOram::new(
+            store,
+            BLOCKS,
+            RawOramConfig { eviction_period: a },
+            |_| vec![0u8; BLOCK_BYTES],
+            &mut rng,
+        );
+        let mut model: HashMap<u64, u8> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Read(id) => {
+                    let got = oram.access(id, None, &mut rng).expect("access");
+                    prop_assert_eq!(got[0], model.get(&id).copied().unwrap_or(0));
+                }
+                Op::Write(id, v) => {
+                    oram.access(id, Some(vec![v; BLOCK_BYTES]), &mut rng).expect("access");
+                    model.insert(id, v);
+                }
+                Op::Dummy => oram.dummy_fetch(&mut rng).expect("dummy"),
+            }
+        }
+        // Counters remain derivable from the root EO counter.
+        prop_assert!(oram.counters_match_schedule());
+        // Final audit via the FEDORA phase pair.
+        for id in 0..BLOCKS {
+            let blk = oram.fetch(id, &mut rng).expect("fetch");
+            prop_assert_eq!(blk.payload[0], model.get(&id).copied().unwrap_or(0));
+            oram.insert(id, blk.payload, &mut rng).expect("insert");
+        }
+    }
+
+    #[test]
+    fn ring_oram_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 1..80), seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut oram = RingOram::new(
+            BLOCKS,
+            BLOCK_BYTES,
+            RingOramConfig::classic(),
+            Key::from_bytes([4; 32]),
+            |_| vec![0u8; BLOCK_BYTES],
+            &mut rng,
+        );
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Read(id) => {
+                    let got = oram.access(id, None, &mut rng).expect("access");
+                    prop_assert_eq!(got[0], model.get(&id).copied().unwrap_or(0));
+                }
+                Op::Write(id, v) => {
+                    oram.access(id, Some(vec![v; BLOCK_BYTES]), &mut rng).expect("access");
+                    model.insert(id, v);
+                }
+                Op::Dummy => {} // Ring has no separate dummy op here.
+            }
+        }
+        for id in 0..BLOCKS {
+            let got = oram.access(id, None, &mut rng).expect("access");
+            prop_assert_eq!(got[0], model.get(&id).copied().unwrap_or(0));
+        }
+    }
+
+    #[test]
+    fn buffer_oram_matches_model(
+        loads in proptest::collection::vec((0u64..1000, any::<u8>()), 1..24),
+        aggs in proptest::collection::vec((0usize..24, -10.0f32..10.0), 0..48),
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut buf = BufferOram::new(32, 8, Key::from_bytes([3; 32]), &mut rng);
+        // Model: id -> (entry byte, grad sum, weight).
+        let mut model: Vec<(u64, u8, f32, f64)> = Vec::new();
+        for (id, v) in &loads {
+            if model.iter().any(|(mid, ..)| mid == id) {
+                continue; // protocol loads each unique id once
+            }
+            buf.load_entry(*id, &[*v; 8], &mut rng).expect("capacity 32 >= 24");
+            model.push((*id, *v, 0.0, 0.0));
+        }
+        for (slot, g) in &aggs {
+            if model.is_empty() {
+                break;
+            }
+            let idx = *slot % model.len();
+            let (id, _, grad, weight) = &mut model[idx];
+            buf.aggregate(*id, &[*g, 0.0], 1.0, &mut rng).expect("loaded");
+            *grad += *g;
+            *weight += 1.0;
+        }
+        let drained = buf.drain_round(&mut rng).expect("drain");
+        prop_assert_eq!(drained.entries.len(), model.len());
+        for want in &model {
+            let got = drained.entries.iter().find(|e| e.id == want.0).expect("present");
+            prop_assert_eq!(got.entry[0], want.1);
+            prop_assert!((got.gradient[0] - want.2).abs() < 1e-4);
+            prop_assert!((got.weight - want.3).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! A file-backed SSD: the same page-granular contract as
+//! [`crate::SimSsd`], persisted to a real file so experiments can exceed
+//! RAM (the paper's artifact keeps its ORAMs on an NVMe drive for the same
+//! reason).
+//!
+//! Latency/wear/power accounting uses the same [`SsdProfile`] model — the
+//! host filesystem's own timing is *not* measured, so results remain
+//! deterministic and host-independent. The file is sparse where pages have
+//! never been written.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::profile::SsdProfile;
+use crate::ssd::SsdError;
+use crate::stats::DeviceStats;
+
+/// Errors from file-backed SSD operations.
+#[derive(Debug)]
+pub enum FileSsdError {
+    /// A semantic device error (range/length), as for the in-memory model.
+    Device(SsdError),
+    /// Host I/O failure.
+    Io(std::io::Error),
+}
+
+impl From<SsdError> for FileSsdError {
+    fn from(e: SsdError) -> Self {
+        FileSsdError::Device(e)
+    }
+}
+
+impl From<std::io::Error> for FileSsdError {
+    fn from(e: std::io::Error) -> Self {
+        FileSsdError::Io(e)
+    }
+}
+
+impl core::fmt::Display for FileSsdError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FileSsdError::Device(e) => write!(f, "device: {e}"),
+            FileSsdError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FileSsdError {}
+
+/// A page-granular SSD persisted in a host file.
+#[derive(Debug)]
+pub struct FileSsd {
+    profile: SsdProfile,
+    file: File,
+    path: PathBuf,
+    num_pages: u64,
+    stats: DeviceStats,
+}
+
+impl FileSsd {
+    /// Creates (or truncates) the backing file and sizes it to
+    /// `num_pages` zero pages (sparse where supported).
+    ///
+    /// # Errors
+    ///
+    /// Host I/O errors propagate.
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        profile: SsdProfile,
+        num_pages: u64,
+    ) -> Result<Self, FileSsdError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path.as_ref())?;
+        file.set_len(num_pages * profile.page_bytes as u64)?;
+        Ok(FileSsd {
+            profile,
+            file,
+            path: path.as_ref().to_owned(),
+            num_pages,
+            stats: DeviceStats::new(),
+        })
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Device capacity in pages.
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.num_pages * self.profile.page_bytes as u64
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &SsdProfile {
+        &self.profile
+    }
+
+    /// Accumulated statistics (modeled, not host-measured).
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Resets the statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = DeviceStats::new();
+    }
+
+    fn check(&self, page: u64, len: Option<usize>) -> Result<(), SsdError> {
+        if page >= self.num_pages {
+            return Err(SsdError::OutOfRange { page, capacity: self.num_pages });
+        }
+        if let Some(got) = len {
+            if got != self.profile.page_bytes {
+                return Err(SsdError::BadLength { got, want: self.profile.page_bytes });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one page.
+    ///
+    /// # Errors
+    ///
+    /// Range errors as [`FileSsdError::Device`]; host failures as
+    /// [`FileSsdError::Io`].
+    pub fn read_page(&mut self, page: u64) -> Result<Vec<u8>, FileSsdError> {
+        self.check(page, None)?;
+        let pb = self.profile.page_bytes;
+        let mut buf = vec![0u8; pb];
+        self.file.seek(SeekFrom::Start(page * pb as u64))?;
+        self.file.read_exact(&mut buf)?;
+        self.stats.record_read(pb as u64, self.profile.read_latency_ns);
+        Ok(buf)
+    }
+
+    /// Writes one page.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read_page`](Self::read_page).
+    pub fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), FileSsdError> {
+        self.check(page, Some(data.len()))?;
+        let pb = self.profile.page_bytes;
+        self.file.seek(SeekFrom::Start(page * pb as u64))?;
+        self.file.write_all(data)?;
+        self.stats.record_write(pb as u64, self.profile.write_latency_ns);
+        Ok(())
+    }
+
+    /// Fraction of write endurance consumed (modeled).
+    pub fn wear_fraction(&self) -> f64 {
+        self.stats.bytes_written as f64 / self.profile.endurance_bytes(self.capacity_bytes())
+    }
+
+    /// Removes the backing file. Call when done; dropping does not delete
+    /// (so crashed experiments can be inspected).
+    ///
+    /// # Errors
+    ///
+    /// Host I/O errors propagate.
+    pub fn remove(self) -> Result<(), FileSsdError> {
+        let path = self.path.clone();
+        drop(self.file);
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fedora-file-ssd-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_pages() {
+        let path = temp_path("roundtrip");
+        let mut ssd = FileSsd::create(&path, SsdProfile::pm9a1_like(), 8).unwrap();
+        ssd.write_page(3, &vec![0xAB; 4096]).unwrap();
+        ssd.write_page(7, &vec![0xCD; 4096]).unwrap();
+        assert_eq!(ssd.read_page(3).unwrap()[0], 0xAB);
+        assert_eq!(ssd.read_page(7).unwrap()[0], 0xCD);
+        assert_eq!(ssd.read_page(0).unwrap(), vec![0u8; 4096]);
+        ssd.remove().unwrap();
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let path = temp_path("bounds");
+        let mut ssd = FileSsd::create(&path, SsdProfile::pm9a1_like(), 2).unwrap();
+        assert!(matches!(
+            ssd.read_page(2),
+            Err(FileSsdError::Device(SsdError::OutOfRange { .. }))
+        ));
+        assert!(matches!(
+            ssd.write_page(0, &[0u8; 7]),
+            Err(FileSsdError::Device(SsdError::BadLength { .. }))
+        ));
+        ssd.remove().unwrap();
+    }
+
+    #[test]
+    fn stats_use_model_latency() {
+        let path = temp_path("stats");
+        let profile = SsdProfile::pm9a1_like();
+        let mut ssd = FileSsd::create(&path, profile, 4).unwrap();
+        ssd.write_page(0, &vec![1; 4096]).unwrap();
+        ssd.read_page(0).unwrap();
+        assert_eq!(ssd.stats().pages_written, 1);
+        assert_eq!(ssd.stats().pages_read, 1);
+        assert_eq!(
+            ssd.stats().busy_ns,
+            profile.read_latency_ns + profile.write_latency_ns
+        );
+        assert!(ssd.wear_fraction() > 0.0);
+        ssd.remove().unwrap();
+    }
+
+    #[test]
+    fn file_persists_across_reopen() {
+        let path = temp_path("persist");
+        {
+            let mut ssd = FileSsd::create(&path, SsdProfile::pm9a1_like(), 4).unwrap();
+            ssd.write_page(1, &vec![0x42; 4096]).unwrap();
+            // Dropping without remove() keeps the file.
+        }
+        // Re-open without truncation.
+        let mut file = OpenOptions::new().read(true).open(&path).unwrap();
+        let mut buf = vec![0u8; 4096];
+        file.seek(SeekFrom::Start(4096)).unwrap();
+        file.read_exact(&mut buf).unwrap();
+        assert_eq!(buf[0], 0x42);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

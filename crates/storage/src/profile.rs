@@ -1,0 +1,152 @@
+//! Device parameter profiles: latency, endurance, power, and cost constants.
+//!
+//! Defaults follow the paper's §6.1/§6.5 numbers: endurance of 5.4 PB
+//! written per TB of capacity (Solidigm D7-P5620 rating the paper cites),
+//! SSD active power of 6.2 W (Samsung 980 PRO data sheet), DRAM at
+//! 375 mW/GB, and hardware prices of $0.10/GB (SSD) vs $3.15/GB (DRAM).
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per SSD page (the device's read/write granularity).
+pub const SSD_PAGE_BYTES: usize = 4096;
+
+/// One TB in bytes (decimal, as endurance ratings use).
+pub const TB: f64 = 1e12;
+/// One GB in bytes (decimal).
+pub const GB: f64 = 1e9;
+
+/// Latency/endurance/power/cost parameters of a simulated SSD.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SsdProfile {
+    /// Page size in bytes (fixed 4 KiB on real NVMe consumer drives).
+    pub page_bytes: usize,
+    /// Latency of one 4-KiB page read, nanoseconds (QD1).
+    pub read_latency_ns: u64,
+    /// Latency of one 4-KiB page write, nanoseconds (QD1, SLC-cached).
+    pub write_latency_ns: u64,
+    /// Internal parallelism: number of page operations the device can
+    /// overlap. Batch latency = ceil(n / parallelism) × per-op latency.
+    pub parallelism: u32,
+    /// Endurance: total bytes writable per byte of capacity (the paper's
+    /// 5.4 PB/TB ⇒ 5400).
+    pub endurance_writes_per_byte: f64,
+    /// Active power draw in watts while reading/writing.
+    pub active_power_w: f64,
+    /// Hardware cost in dollars per GB.
+    pub cost_per_gb: f64,
+}
+
+impl SsdProfile {
+    /// A PM9A1-like consumer NVMe profile with the paper's endurance,
+    /// power, and cost constants.
+    pub fn pm9a1_like() -> Self {
+        SsdProfile {
+            page_bytes: SSD_PAGE_BYTES,
+            read_latency_ns: 70_000, // ~70 µs QD1 4K random read (TLC NAND)
+            write_latency_ns: 20_000, // ~20 µs into the SLC write cache
+            parallelism: 8,
+            endurance_writes_per_byte: 5400.0, // 5.4 PB per TB
+            active_power_w: 6.2,
+            cost_per_gb: 0.10,
+        }
+    }
+
+    /// Total bytes that may be written to a device of `capacity_bytes`
+    /// before it wears out.
+    pub fn endurance_bytes(&self, capacity_bytes: u64) -> f64 {
+        capacity_bytes as f64 * self.endurance_writes_per_byte
+    }
+
+    /// Latency for a batch of `n` page reads issued together.
+    pub fn batch_read_ns(&self, n: u64) -> u64 {
+        n.div_ceil(self.parallelism as u64) * self.read_latency_ns
+    }
+
+    /// Latency for a batch of `n` page writes issued together.
+    pub fn batch_write_ns(&self, n: u64) -> u64 {
+        n.div_ceil(self.parallelism as u64) * self.write_latency_ns
+    }
+}
+
+impl Default for SsdProfile {
+    fn default() -> Self {
+        Self::pm9a1_like()
+    }
+}
+
+/// Latency/power/cost parameters of simulated DRAM.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DramProfile {
+    /// Latency of one random access (row activation + transfer), ns.
+    pub access_latency_ns: u64,
+    /// Sequential bandwidth in bytes per nanosecond (GB/s ≈ B/ns).
+    pub bandwidth_bytes_per_ns: f64,
+    /// Static power in watts per GB (the paper's 375 mW/GB).
+    pub static_power_w_per_gb: f64,
+    /// Hardware cost in dollars per GB.
+    pub cost_per_gb: f64,
+}
+
+impl DramProfile {
+    /// A DDR5-like profile with the paper's power and cost constants.
+    pub fn ddr5_like() -> Self {
+        DramProfile {
+            access_latency_ns: 100,
+            bandwidth_bytes_per_ns: 20.0, // 20 GB/s effective per channel
+            static_power_w_per_gb: 0.375,
+            cost_per_gb: 3.15,
+        }
+    }
+
+    /// Latency of one access of `bytes` bytes.
+    pub fn access_ns(&self, bytes: u64) -> u64 {
+        self.access_latency_ns + (bytes as f64 / self.bandwidth_bytes_per_ns) as u64
+    }
+}
+
+impl Default for DramProfile {
+    fn default() -> Self {
+        Self::ddr5_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let ssd = SsdProfile::default();
+        assert_eq!(ssd.page_bytes, 4096);
+        assert!((ssd.endurance_writes_per_byte - 5400.0).abs() < 1e-9);
+        assert!((ssd.active_power_w - 6.2).abs() < 1e-9);
+        assert!((ssd.cost_per_gb - 0.10).abs() < 1e-9);
+        let dram = DramProfile::default();
+        assert!((dram.static_power_w_per_gb - 0.375).abs() < 1e-9);
+        assert!((dram.cost_per_gb - 3.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn endurance_scales_with_capacity() {
+        let ssd = SsdProfile::default();
+        let one_tb = ssd.endurance_bytes(1_000_000_000_000);
+        assert!((one_tb - 5.4e15).abs() / 5.4e15 < 1e-9, "5.4 PB per TB");
+    }
+
+    #[test]
+    fn batch_latency_respects_parallelism() {
+        let ssd = SsdProfile { parallelism: 4, ..SsdProfile::default() };
+        assert_eq!(ssd.batch_read_ns(1), ssd.read_latency_ns);
+        assert_eq!(ssd.batch_read_ns(4), ssd.read_latency_ns);
+        assert_eq!(ssd.batch_read_ns(5), 2 * ssd.read_latency_ns);
+        assert_eq!(ssd.batch_write_ns(8), 2 * ssd.write_latency_ns);
+        assert_eq!(ssd.batch_write_ns(0), 0);
+    }
+
+    #[test]
+    fn dram_access_latency_has_base_and_bandwidth() {
+        let d = DramProfile::default();
+        assert_eq!(d.access_ns(0), 100);
+        assert!(d.access_ns(20_000) >= 100 + 999);
+    }
+}

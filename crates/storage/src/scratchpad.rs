@@ -1,0 +1,163 @@
+//! The TEE's on-chip scratchpad model (paper §5.1, Fig. 10 ablation).
+//!
+//! FEDORA assumes a TEE with a small (4-KiB) on-chip SRAM scratchpad that is
+//! safe from external observation. The scratchpad holds the encryption key,
+//! the root counter, and a scratch area that accelerates EO-access path
+//! eviction. This model is a *budget*: components register their
+//! allocations and the controller asks whether a working set fits; when it
+//! does not (the "No Secure SRAM" configuration), the eviction falls back to
+//! oblivious full scans in DRAM and the latency model charges accordingly.
+
+/// Default scratchpad capacity assumed by the paper: 4 KiB.
+pub const DEFAULT_SCRATCHPAD_BYTES: usize = 4096;
+
+/// Error returned when an allocation does not fit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScratchpadFull {
+    /// Bytes requested.
+    pub requested: usize,
+    /// Bytes still free.
+    pub available: usize,
+}
+
+impl core::fmt::Display for ScratchpadFull {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "scratchpad allocation of {} bytes exceeds the {} bytes available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for ScratchpadFull {}
+
+/// The on-chip SRAM budget.
+///
+/// # Example
+///
+/// ```
+/// use fedora_storage::Scratchpad;
+/// let mut sp = Scratchpad::new(4096);
+/// sp.allocate("aead-key", 32).unwrap();
+/// sp.allocate("root-counter", 8).unwrap();
+/// assert!(sp.available() <= 4096 - 40);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Scratchpad {
+    capacity: usize,
+    allocations: Vec<(String, usize)>,
+}
+
+impl Scratchpad {
+    /// Creates a scratchpad with `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        Scratchpad { capacity, allocations: Vec::new() }
+    }
+
+    /// The paper's default 4-KiB scratchpad.
+    pub fn paper_default() -> Self {
+        Self::new(DEFAULT_SCRATCHPAD_BYTES)
+    }
+
+    /// A zero-byte scratchpad: the "No Secure SRAM" ablation of Fig. 10.
+    pub fn none() -> Self {
+        Self::new(0)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> usize {
+        self.allocations.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Bytes still free.
+    pub fn available(&self) -> usize {
+        self.capacity - self.used()
+    }
+
+    /// Registers a named allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`ScratchpadFull`] if `bytes` exceeds the free space.
+    pub fn allocate(&mut self, name: &str, bytes: usize) -> Result<(), ScratchpadFull> {
+        if bytes > self.available() {
+            return Err(ScratchpadFull { requested: bytes, available: self.available() });
+        }
+        self.allocations.push((name.to_owned(), bytes));
+        Ok(())
+    }
+
+    /// Releases a named allocation (all entries with that name). Returns
+    /// the number of bytes freed.
+    pub fn release(&mut self, name: &str) -> usize {
+        let before = self.used();
+        self.allocations.retain(|(n, _)| n != name);
+        before - self.used()
+    }
+
+    /// Whether a transient working set of `bytes` would fit right now —
+    /// the query the eviction path uses to pick its strategy.
+    pub fn fits(&self, bytes: usize) -> bool {
+        bytes <= self.available()
+    }
+
+    /// The registered allocations (name, bytes), in allocation order.
+    pub fn allocations(&self) -> &[(String, usize)] {
+        &self.allocations
+    }
+}
+
+impl Default for Scratchpad {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release() {
+        let mut sp = Scratchpad::new(100);
+        sp.allocate("a", 60).unwrap();
+        assert_eq!(sp.available(), 40);
+        assert!(sp.allocate("b", 50).is_err());
+        sp.allocate("b", 40).unwrap();
+        assert_eq!(sp.available(), 0);
+        assert_eq!(sp.release("a"), 60);
+        assert_eq!(sp.available(), 60);
+    }
+
+    #[test]
+    fn none_fits_nothing() {
+        let sp = Scratchpad::none();
+        assert!(!sp.fits(1));
+        assert!(sp.fits(0));
+    }
+
+    #[test]
+    fn paper_default_is_4k() {
+        assert_eq!(Scratchpad::paper_default().capacity(), 4096);
+    }
+
+    #[test]
+    fn release_missing_name_is_zero() {
+        let mut sp = Scratchpad::new(10);
+        assert_eq!(sp.release("ghost"), 0);
+    }
+
+    #[test]
+    fn error_reports_sizes() {
+        let mut sp = Scratchpad::new(10);
+        let err = sp.allocate("big", 20).unwrap_err();
+        assert_eq!(err, ScratchpadFull { requested: 20, available: 10 });
+        assert!(!format!("{err}").is_empty());
+    }
+}

@@ -1,0 +1,370 @@
+//! The simulated SSD: a page-granular block device with wear accounting.
+//!
+//! `SimSsd` stores real bytes (the ORAM tree actually lives here during
+//! experiments) and enforces the block-device contract the paper's
+//! optimizations are designed around: all transfers are whole 4-KiB pages,
+//! writes are what wear the device out, and reads/writes have asymmetric
+//! latency.
+
+use crate::profile::SsdProfile;
+use crate::stats::DeviceStats;
+
+/// Error from SSD operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SsdError {
+    /// Page index beyond the device capacity.
+    OutOfRange {
+        /// The offending page index.
+        page: u64,
+        /// Device capacity in pages.
+        capacity: u64,
+    },
+    /// Buffer length does not equal the page size.
+    BadLength {
+        /// The buffer length supplied.
+        got: usize,
+        /// The required page size.
+        want: usize,
+    },
+}
+
+impl core::fmt::Display for SsdError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SsdError::OutOfRange { page, capacity } => {
+                write!(f, "page {page} out of range (capacity {capacity} pages)")
+            }
+            SsdError::BadLength { got, want } => {
+                write!(f, "buffer length {got} does not match page size {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SsdError {}
+
+/// A simulated NVMe SSD.
+///
+/// # Example
+///
+/// ```
+/// use fedora_storage::{SimSsd, SsdProfile};
+/// # fn main() -> Result<(), fedora_storage::ssd::SsdError> {
+/// let mut ssd = SimSsd::new(SsdProfile::pm9a1_like(), 8);
+/// ssd.write_page(0, &vec![7u8; 4096])?;
+/// assert_eq!(ssd.read_page(0)?[0], 7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimSsd {
+    profile: SsdProfile,
+    pages: Vec<u8>,
+    num_pages: u64,
+    stats: DeviceStats,
+}
+
+impl SimSsd {
+    /// Creates a zero-filled SSD with `num_pages` pages.
+    pub fn new(profile: SsdProfile, num_pages: u64) -> Self {
+        SimSsd {
+            pages: vec![0u8; num_pages as usize * profile.page_bytes],
+            num_pages,
+            profile,
+            stats: DeviceStats::new(),
+        }
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &SsdProfile {
+        &self.profile
+    }
+
+    /// Device capacity in pages.
+    pub fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.num_pages * self.profile.page_bytes as u64
+    }
+
+    /// Accumulated access statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (not the data).
+    pub fn reset_stats(&mut self) {
+        self.stats = DeviceStats::new();
+    }
+
+    fn check(&self, page: u64, len: Option<usize>) -> Result<(), SsdError> {
+        if page >= self.num_pages {
+            return Err(SsdError::OutOfRange { page, capacity: self.num_pages });
+        }
+        if let Some(got) = len {
+            if got != self.profile.page_bytes {
+                return Err(SsdError::BadLength { got, want: self.profile.page_bytes });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one page.
+    ///
+    /// # Errors
+    ///
+    /// [`SsdError::OutOfRange`] if `page` exceeds capacity.
+    pub fn read_page(&mut self, page: u64) -> Result<Vec<u8>, SsdError> {
+        self.check(page, None)?;
+        let pb = self.profile.page_bytes;
+        let start = page as usize * pb;
+        self.stats.record_read(pb as u64, self.profile.read_latency_ns);
+        Ok(self.pages[start..start + pb].to_vec())
+    }
+
+    /// Writes one page.
+    ///
+    /// # Errors
+    ///
+    /// [`SsdError::OutOfRange`] or [`SsdError::BadLength`].
+    pub fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), SsdError> {
+        self.check(page, Some(data.len()))?;
+        let pb = self.profile.page_bytes;
+        let start = page as usize * pb;
+        self.pages[start..start + pb].copy_from_slice(data);
+        self.stats.record_write(pb as u64, self.profile.write_latency_ns);
+        Ok(())
+    }
+
+    /// Reads a batch of pages, modeling the device's internal parallelism:
+    /// the recorded busy time for the batch is `batch_read_ns(n)` rather
+    /// than `n × read_latency_ns`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first out-of-range page; earlier pages in the batch are
+    /// still counted as read.
+    pub fn read_pages(&mut self, pages: &[u64]) -> Result<Vec<Vec<u8>>, SsdError> {
+        let mut out = Vec::with_capacity(pages.len());
+        let pb = self.profile.page_bytes;
+        for &page in pages {
+            self.check(page, None)?;
+            let start = page as usize * pb;
+            out.push(self.pages[start..start + pb].to_vec());
+            // Count the page; batch time is added below.
+            self.stats.pages_read += 1;
+            self.stats.bytes_read += pb as u64;
+        }
+        self.stats.busy_ns += self.profile.batch_read_ns(pages.len() as u64);
+        Ok(out)
+    }
+
+    /// Writes a batch of pages with batched latency accounting.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first invalid page/buffer.
+    pub fn write_pages(&mut self, writes: &[(u64, Vec<u8>)]) -> Result<(), SsdError> {
+        let pb = self.profile.page_bytes;
+        for (page, data) in writes {
+            self.check(*page, Some(data.len()))?;
+            let start = *page as usize * pb;
+            self.pages[start..start + pb].copy_from_slice(data);
+            self.stats.pages_written += 1;
+            self.stats.bytes_written += pb as u64;
+        }
+        self.stats.busy_ns += self.profile.batch_write_ns(writes.len() as u64);
+        Ok(())
+    }
+
+    /// Fraction of the device's write endurance consumed so far, in
+    /// [0, ∞) — values above 1.0 mean the device has worn out.
+    pub fn wear_fraction(&self) -> f64 {
+        self.stats.bytes_written as f64 / self.profile.endurance_bytes(self.capacity_bytes())
+    }
+
+    /// Injects a fault: flips `bit` of the given page in place, as a NAND
+    /// bit error or a malicious device would. The next read of the page
+    /// returns the corrupted bytes — upper layers must catch it via their
+    /// authentication tags.
+    ///
+    /// # Errors
+    ///
+    /// [`SsdError::OutOfRange`] for bad pages.
+    pub fn inject_bitflip(&mut self, page: u64, bit: u32) -> Result<(), SsdError> {
+        self.check(page, None)?;
+        let pb = self.profile.page_bytes;
+        let idx = page as usize * pb + (bit as usize / 8) % pb;
+        self.pages[idx] ^= 1 << (bit % 8);
+        Ok(())
+    }
+
+    /// Injects a rollback fault: overwrites `page` with `snapshot` (a
+    /// previously captured page image), modeling a replay attack by a
+    /// malicious device.
+    ///
+    /// # Errors
+    ///
+    /// [`SsdError::OutOfRange`] / [`SsdError::BadLength`].
+    pub fn inject_rollback(&mut self, page: u64, snapshot: &[u8]) -> Result<(), SsdError> {
+        self.check(page, Some(snapshot.len()))?;
+        let pb = self.profile.page_bytes;
+        let start = page as usize * pb;
+        self.pages[start..start + pb].copy_from_slice(snapshot);
+        Ok(())
+    }
+
+    /// Reads a page without touching statistics (the adversary's own
+    /// snapshot for a later [`inject_rollback`](Self::inject_rollback)).
+    ///
+    /// # Errors
+    ///
+    /// [`SsdError::OutOfRange`] for bad pages.
+    pub fn snapshot_page(&self, page: u64) -> Result<Vec<u8>, SsdError> {
+        self.check(page, None)?;
+        let pb = self.profile.page_bytes;
+        let start = page as usize * pb;
+        Ok(self.pages[start..start + pb].to_vec())
+    }
+
+    /// Expected device lifetime in months, extrapolating the observed write
+    /// rate over `elapsed_seconds` of (simulated) wall-clock time.
+    ///
+    /// Returns `f64::INFINITY` when nothing has been written.
+    pub fn projected_lifetime_months(&self, elapsed_seconds: f64) -> f64 {
+        if self.stats.bytes_written == 0 {
+            return f64::INFINITY;
+        }
+        let write_rate = self.stats.bytes_written as f64 / elapsed_seconds; // bytes/s
+        let seconds = self.profile.endurance_bytes(self.capacity_bytes()) / write_rate;
+        seconds / (30.44 * 24.0 * 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ssd(pages: u64) -> SimSsd {
+        SimSsd::new(SsdProfile::pm9a1_like(), pages)
+    }
+
+    #[test]
+    fn roundtrip_page() {
+        let mut s = ssd(4);
+        let data = vec![0x5A; 4096];
+        s.write_page(2, &data).unwrap();
+        assert_eq!(s.read_page(2).unwrap(), data);
+        assert_eq!(s.read_page(0).unwrap(), vec![0u8; 4096]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut s = ssd(4);
+        assert!(matches!(s.read_page(4), Err(SsdError::OutOfRange { .. })));
+        assert!(matches!(
+            s.write_page(9, &vec![0; 4096]),
+            Err(SsdError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let mut s = ssd(4);
+        assert!(matches!(
+            s.write_page(0, &[0u8; 100]),
+            Err(SsdError::BadLength { got: 100, want: 4096 })
+        ));
+    }
+
+    #[test]
+    fn stats_track_wear() {
+        let mut s = ssd(4);
+        for _ in 0..10 {
+            s.write_page(0, &vec![1; 4096]).unwrap();
+        }
+        assert_eq!(s.stats().pages_written, 10);
+        assert_eq!(s.stats().bytes_written, 40960);
+        assert!(s.wear_fraction() > 0.0);
+    }
+
+    #[test]
+    fn batch_reads_faster_than_serial() {
+        let mut a = ssd(16);
+        let mut b = ssd(16);
+        let pages: Vec<u64> = (0..16).collect();
+        a.read_pages(&pages).unwrap();
+        for p in &pages {
+            b.read_page(*p).unwrap();
+        }
+        assert_eq!(a.stats().pages_read, b.stats().pages_read);
+        assert!(a.stats().busy_ns < b.stats().busy_ns);
+    }
+
+    #[test]
+    fn batch_write_counts_pages() {
+        let mut s = ssd(8);
+        let writes: Vec<(u64, Vec<u8>)> = (0..4).map(|p| (p, vec![p as u8; 4096])).collect();
+        s.write_pages(&writes).unwrap();
+        assert_eq!(s.stats().pages_written, 4);
+        for p in 0..4u64 {
+            assert_eq!(s.read_page(p).unwrap()[0], p as u8);
+        }
+    }
+
+    #[test]
+    fn lifetime_projection() {
+        let mut s = ssd(256); // 1 MiB device
+        // Write 100 pages over 10 simulated seconds.
+        for i in 0..100u64 {
+            s.write_page(i % 256, &vec![0; 4096]).unwrap();
+        }
+        let months = s.projected_lifetime_months(10.0);
+        // endurance = 1MiB*5400 ≈ 5.66e9 bytes; rate = 40960 B/s
+        // lifetime ≈ 1.38e5 s ≈ 0.05 months
+        assert!(months > 0.01 && months < 1.0, "got {months}");
+        let fresh = ssd(4);
+        assert!(fresh.projected_lifetime_months(10.0).is_infinite());
+    }
+
+    #[test]
+    fn bitflip_corrupts_page() {
+        let mut s = ssd(2);
+        s.write_page(0, &vec![0xAA; 4096]).unwrap();
+        s.inject_bitflip(0, 3).unwrap();
+        let page = s.read_page(0).unwrap();
+        assert_eq!(page[0], 0xAA ^ 0b1000);
+        assert!(s.inject_bitflip(9, 0).is_err());
+    }
+
+    #[test]
+    fn rollback_restores_old_image() {
+        let mut s = ssd(2);
+        s.write_page(1, &vec![1; 4096]).unwrap();
+        let old = s.snapshot_page(1).unwrap();
+        s.write_page(1, &vec![2; 4096]).unwrap();
+        s.inject_rollback(1, &old).unwrap();
+        assert_eq!(s.read_page(1).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn snapshot_does_not_count_stats() {
+        let mut s = ssd(2);
+        s.write_page(0, &vec![5; 4096]).unwrap();
+        let reads_before = s.stats().pages_read;
+        let _ = s.snapshot_page(0).unwrap();
+        assert_eq!(s.stats().pages_read, reads_before);
+    }
+
+    #[test]
+    fn reset_stats_keeps_data() {
+        let mut s = ssd(2);
+        s.write_page(1, &vec![3; 4096]).unwrap();
+        s.reset_stats();
+        assert_eq!(s.stats().pages_written, 0);
+        assert_eq!(s.read_page(1).unwrap()[0], 3);
+    }
+}

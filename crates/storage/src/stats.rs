@@ -1,0 +1,143 @@
+//! Device access statistics.
+//!
+//! Every simulated device maintains a [`DeviceStats`]; the lifetime, latency,
+//! power, and cost figures are all computed from these counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Access counters for one device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Number of page (or transaction) reads.
+    pub pages_read: u64,
+    /// Number of page (or transaction) writes.
+    pub pages_written: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written — the quantity that wears an SSD out.
+    pub bytes_written: u64,
+    /// Simulated time the device spent busy, in nanoseconds.
+    pub busy_ns: u64,
+}
+
+impl DeviceStats {
+    /// A zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read of `bytes` taking `ns` nanoseconds.
+    pub fn record_read(&mut self, bytes: u64, ns: u64) {
+        self.pages_read += 1;
+        self.bytes_read += bytes;
+        self.busy_ns += ns;
+    }
+
+    /// Records a write of `bytes` taking `ns` nanoseconds.
+    pub fn record_write(&mut self, bytes: u64, ns: u64) {
+        self.pages_written += 1;
+        self.bytes_written += bytes;
+        self.busy_ns += ns;
+    }
+
+    /// Element-wise difference (`self - earlier`), for measuring one phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier.
+    pub fn since(&self, earlier: &DeviceStats) -> DeviceStats {
+        debug_assert!(self.pages_read >= earlier.pages_read);
+        DeviceStats {
+            pages_read: self.pages_read - earlier.pages_read,
+            pages_written: self.pages_written - earlier.pages_written,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn merged(&self, other: &DeviceStats) -> DeviceStats {
+        DeviceStats {
+            pages_read: self.pages_read + other.pages_read,
+            pages_written: self.pages_written + other.pages_written,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+            busy_ns: self.busy_ns + other.busy_ns,
+        }
+    }
+
+    /// Busy time in seconds.
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_ns as f64 / 1e9
+    }
+}
+
+impl core::fmt::Display for DeviceStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} bytes_read={} bytes_written={} busy={:.3}ms",
+            self.pages_read,
+            self.pages_written,
+            self.bytes_read,
+            self.bytes_written,
+            self.busy_ns as f64 / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = DeviceStats::new();
+        s.record_read(4096, 1000);
+        s.record_read(4096, 1000);
+        s.record_write(4096, 2000);
+        assert_eq!(s.pages_read, 2);
+        assert_eq!(s.pages_written, 1);
+        assert_eq!(s.bytes_read, 8192);
+        assert_eq!(s.bytes_written, 4096);
+        assert_eq!(s.busy_ns, 4000);
+    }
+
+    #[test]
+    fn since_diffs() {
+        let mut s = DeviceStats::new();
+        s.record_write(100, 10);
+        let snapshot = s;
+        s.record_write(200, 20);
+        let d = s.since(&snapshot);
+        assert_eq!(d.pages_written, 1);
+        assert_eq!(d.bytes_written, 200);
+        assert_eq!(d.busy_ns, 20);
+    }
+
+    #[test]
+    fn merged_sums() {
+        let mut a = DeviceStats::new();
+        a.record_read(1, 1);
+        let mut b = DeviceStats::new();
+        b.record_write(2, 2);
+        let m = a.merged(&b);
+        assert_eq!(m.pages_read, 1);
+        assert_eq!(m.pages_written, 1);
+        assert_eq!(m.bytes_read, 1);
+        assert_eq!(m.bytes_written, 2);
+    }
+
+    #[test]
+    fn busy_seconds_converts() {
+        let mut s = DeviceStats::new();
+        s.record_read(1, 1_500_000_000);
+        assert!((s.busy_seconds() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{}", DeviceStats::new()).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! SSD lifetime study on the *simulated* device: run real FEDORA and
+//! Path ORAM+ rounds against the in-memory SSD model and project device
+//! lifetime from the measured wear — then check the analytic closed forms
+//! used for the paper-scale figures against the measurement.
+//!
+//! Run with: `cargo run --release -p fedora --example ssd_lifetime_study`
+
+use fedora::analytic::{fedora_round, path_oram_plus_round};
+use fedora::baseline::PathOramPlus;
+use fedora::config::{FedoraConfig, PrivacyConfig, TableSpec};
+use fedora::server::FedoraServer;
+use fedora_fl::modes::FedAvg;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROUNDS: usize = 20;
+const REQUESTS_PER_ROUND: usize = 200;
+const ROUND_PERIOD_S: f64 = 120.0;
+
+fn requests(rng: &mut StdRng, table: u64) -> Vec<u64> {
+    (0..REQUESTS_PER_ROUND)
+        .map(|_| if rng.gen_bool(0.6) { rng.gen_range(0..32) } else { rng.gen_range(0..table) })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = TableSpec::tiny(4096);
+
+    // --- FEDORA at ε = 1 on the simulated SSD ---
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut config = FedoraConfig::for_testing(table, REQUESTS_PER_ROUND);
+    config.privacy = PrivacyConfig::with_epsilon(1.0);
+    let mut server = FedoraServer::new(config.clone(), |_| vec![0u8; 32], &mut rng);
+    let mut mode = FedAvg;
+    let mut total_k = 0u64;
+    for _ in 0..ROUNDS {
+        let reqs = requests(&mut rng, table.num_entries);
+        let rep = server.begin_round(&reqs, &mut rng)?;
+        total_k += rep.k_accesses as u64;
+        server.end_round(&mut mode, 1.0, &mut rng)?;
+    }
+    let fed_stats = server.ssd_stats();
+    let fed_life = server
+        .main_oram()
+        .store()
+        .ssd()
+        .projected_lifetime_months(ROUNDS as f64 * ROUND_PERIOD_S);
+
+    // --- Path ORAM+ on the same workload ---
+    let mut rng = StdRng::seed_from_u64(12);
+    let config2 = FedoraConfig::for_testing(table, REQUESTS_PER_ROUND);
+    let mut baseline = PathOramPlus::new(config2.clone(), |_| vec![0u8; 32], &mut rng);
+    for _ in 0..ROUNDS {
+        let reqs = requests(&mut rng, table.num_entries);
+        baseline.begin_round(&reqs, &mut rng)?;
+        baseline.end_round(&mut mode, 1.0, &mut rng)?;
+    }
+    let base_stats = baseline.ssd_stats();
+
+    println!("Simulated-device wear over {ROUNDS} rounds of {REQUESTS_PER_ROUND} requests:");
+    println!(
+        "  FEDORA(e=1):  {:>9} pages read, {:>8} pages written  -> lifetime {:.1} months",
+        fed_stats.pages_read, fed_stats.pages_written, fed_life
+    );
+    println!(
+        "  PathORAM+:    {:>9} pages read, {:>8} pages written",
+        base_stats.pages_read, base_stats.pages_written
+    );
+    println!(
+        "  write reduction: {:.0}x",
+        base_stats.pages_written as f64 / fed_stats.pages_written.max(1) as f64
+    );
+
+    // --- Validate the analytic closed forms against the measurement ---
+    let geo = config.geometry;
+    let a = config.raw.eviction_period;
+    let fed_pred = fedora_round(&geo, total_k, a, 4096);
+    let base_pred = path_oram_plus_round(&geo, (ROUNDS * REQUESTS_PER_ROUND) as u64, 4096);
+    println!("\nAnalytic model vs measurement (whole run):");
+    println!(
+        "  FEDORA    pages written: predicted {:>8}, measured {:>8}",
+        fed_pred.pages_written, fed_stats.pages_written
+    );
+    println!(
+        "  PathORAM+ pages written: predicted {:>8}, measured {:>8}",
+        base_pred.pages_written, base_stats.pages_written
+    );
+    let err = (fed_pred.pages_written as f64 - fed_stats.pages_written as f64).abs()
+        / fed_stats.pages_written.max(1) as f64;
+    println!("  FEDORA prediction error: {:.1}%", err * 100.0);
+    Ok(())
+}
