@@ -14,7 +14,8 @@ fn loaded_buffer() -> (BufferOram, StdRng) {
     let mut rng = StdRng::seed_from_u64(6);
     let mut buf = BufferOram::new(CAPACITY, ENTRY_BYTES, Key::from_bytes([3; 32]), &mut rng);
     for id in 0..256u64 {
-        buf.load_entry(id, &[1u8; ENTRY_BYTES], &mut rng).expect("capacity");
+        buf.load_entry(id, &[1u8; ENTRY_BYTES], &mut rng)
+            .expect("capacity");
     }
     (buf, rng)
 }
@@ -44,11 +45,15 @@ fn bench_buffer(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut r = rng.clone();
-                (BufferOram::new(CAPACITY, ENTRY_BYTES, Key::from_bytes([4; 32]), &mut r), r)
+                (
+                    BufferOram::new(CAPACITY, ENTRY_BYTES, Key::from_bytes([4; 32]), &mut r),
+                    r,
+                )
             },
             |(mut buf, mut r)| {
                 for id in 0..64u64 {
-                    buf.load_entry(id, &[1u8; ENTRY_BYTES], &mut r).expect("capacity");
+                    buf.load_entry(id, &[1u8; ENTRY_BYTES], &mut r)
+                        .expect("capacity");
                 }
                 buf.drain_round(&mut r).expect("drain")
             },

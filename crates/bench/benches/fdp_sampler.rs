@@ -11,12 +11,16 @@ use rand::SeedableRng;
 fn bench_sampler(c: &mut Criterion) {
     let mut group = c.benchmark_group("fdp_sampler");
     for k_max in [1_000u64, 16_384, 100_000] {
-        group.bench_with_input(BenchmarkId::new("uniform_eps1", k_max), &k_max, |b, &k_max| {
-            let mech = FdpMechanism::new(1.0, YShape::Uniform).expect("valid");
-            let mut rng = StdRng::seed_from_u64(3);
-            let k_union = k_max / 3;
-            b.iter(|| mech.sample_k(k_union, k_max, &mut rng));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("uniform_eps1", k_max),
+            &k_max,
+            |b, &k_max| {
+                let mech = FdpMechanism::new(1.0, YShape::Uniform).expect("valid");
+                let mut rng = StdRng::seed_from_u64(3);
+                let k_union = k_max / 3;
+                b.iter(|| mech.sample_k(k_union, k_max, &mut rng));
+            },
+        );
     }
     group.bench_function("pow5_eps05_16k", |b| {
         let mech = FdpMechanism::new(0.5, YShape::pow5()).expect("valid");

@@ -23,7 +23,8 @@ fn path_oram() -> (PathOram<DramBucketStore>, StdRng) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut oram = PathOram::new(store, BLOCKS, &mut rng);
     for id in 0..BLOCKS {
-        oram.write(id, vec![id as u8; BLOCK_BYTES], &mut rng).expect("init");
+        oram.write(id, vec![id as u8; BLOCK_BYTES], &mut rng)
+            .expect("init");
     }
     (oram, rng)
 }

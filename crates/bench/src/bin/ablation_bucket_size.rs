@@ -38,12 +38,7 @@ fn main() {
         config.geometry = geo;
         config.raw.eviction_period = a;
         let counts = fedora_round(&geo, summary.k_accesses, a, 4096);
-        let life = lifetime_months(
-            &config.ssd,
-            &geo,
-            &counts,
-            fedora::latency::FL_ROUND_BASE_S,
-        );
+        let life = lifetime_months(&config.ssd, &geo, &counts, fedora::latency::FL_ROUND_BASE_S);
         let lat = model
             .analytic_round_latency(&config, &counts, k_total as u64, scans, true)
             .total_s();
@@ -52,7 +47,11 @@ fn main() {
                 baseline = Some((life, lat));
                 String::new()
             }
-            Some((l0, t0)) => format!("  [{:+.0}% life, {:+.0}% latency]", (life / l0 - 1.0) * 100.0, (lat / t0 - 1.0) * 100.0),
+            Some((l0, t0)) => format!(
+                "  [{:+.0}% life, {:+.0}% latency]",
+                (life / l0 - 1.0) * 100.0,
+                (lat / t0 - 1.0) * 100.0
+            ),
         };
         println!(
             "{:<12} {:>6} {:>6} {:>8} {:>16.1} {:>14.2}{note}",

@@ -35,7 +35,11 @@ fn run<M: AggregationMode>(
         users_per_round: 24,
         rounds,
         server_lr,
-        trainer: LocalTrainer { lr: 0.2, epochs: 2, ..Default::default() },
+        trainer: LocalTrainer {
+            lr: 0.2,
+            epochs: 2,
+            ..Default::default()
+        },
         protection: Some((ProtectionMode::HideValue, 1.0)),
     };
     let out = train_with_fedora_mode(&mut model, dataset, &cfg, &mut mode, &mut rng)
@@ -65,8 +69,20 @@ fn main() {
     run("FedAvg (Eq. 1)", FedAvg, &dataset, 2.0, rounds);
     // Adam's normalized steps want a smaller server LR.
     run("FedAdam", FedAdam::new(), &dataset, 0.05, rounds);
-    run("EANA (clip 1.0, sigma 0.01)", Eana::new(1.0, 0.01), &dataset, 2.0, rounds);
-    run("LazyDP (clip 1.0, sigma 0.01)", LazyDp::new(1.0, 0.01), &dataset, 2.0, rounds);
+    run(
+        "EANA (clip 1.0, sigma 0.01)",
+        Eana::new(1.0, 0.01),
+        &dataset,
+        2.0,
+        rounds,
+    );
+    run(
+        "LazyDP (clip 1.0, sigma 0.01)",
+        LazyDp::new(1.0, 0.01),
+        &dataset,
+        2.0,
+        rounds,
+    );
     println!("\nAll four modes run unmodified through the buffer ORAM (Eq. 4);");
     println!("the DP modes (EANA/LazyDP) trade a little AUC for gradient privacy.");
 }

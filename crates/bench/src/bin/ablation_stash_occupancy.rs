@@ -15,7 +15,14 @@ use fedora_oram::TreeGeometry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn measure(blocks: u64, z: usize, a: u32, rounds: usize, per_round: usize, seed: u64) -> (usize, usize) {
+fn measure(
+    blocks: u64,
+    z: usize,
+    a: u32,
+    rounds: usize,
+    per_round: usize,
+    seed: u64,
+) -> (usize, usize) {
     let geo = TreeGeometry::for_blocks(blocks, 16, z);
     let store = DramBucketStore::with_default_dram(geo, Key::from_bytes([6; 32]));
     let mut rng = StdRng::seed_from_u64(seed);
@@ -31,7 +38,10 @@ fn measure(blocks: u64, z: usize, a: u32, rounds: usize, per_round: usize, seed:
         let mut ids: Vec<u64> = (0..per_round).map(|_| rng.gen_range(0..blocks)).collect();
         ids.sort_unstable();
         ids.dedup();
-        let fetched: Vec<_> = ids.iter().map(|&id| oram.fetch(id, &mut rng).expect("fetch")).collect();
+        let fetched: Vec<_> = ids
+            .iter()
+            .map(|&id| oram.fetch(id, &mut rng).expect("fetch"))
+            .collect();
         // Write phase: insert back; EO every A.
         for blk in fetched {
             oram.insert(blk.id, blk.payload, &mut rng).expect("insert");
@@ -42,7 +52,10 @@ fn measure(blocks: u64, z: usize, a: u32, rounds: usize, per_round: usize, seed:
 
 fn main() {
     println!("Stash occupancy of FEDORA's RAW ORAM (high-water / end-state), 40 rounds:\n");
-    println!("{:>8} {:>4} {:>4} {:>12} {:>18} {:>14}", "Blocks", "Z", "A", "Reqs/round", "High water", "End of run");
+    println!(
+        "{:>8} {:>4} {:>4} {:>12} {:>18} {:>14}",
+        "Blocks", "Z", "A", "Reqs/round", "High water", "End of run"
+    );
     for &(blocks, z) in &[(1024u64, 8usize), (4096, 8), (4096, 16)] {
         for &a in &[4u32, 8, 16, 32] {
             if a > 2 * z as u32 {

@@ -19,8 +19,13 @@ fn run(privacy: PrivacyConfig, requests: &[u64], seed: u64) -> (usize, u64) {
     let mut server = FedoraServer::new(config, |id| vec![id as u8; 32], &mut rng);
     let report = server.begin_round(requests, &mut rng).expect("round fits");
     let mut mode = FedAvg;
-    let report_end = server.end_round(&mut mode, 1.0, &mut rng).expect("round ends");
-    (report.k_accesses, report_end.ssd.pages_read + report_end.ssd.pages_written)
+    let report_end = server
+        .end_round(&mut mode, 1.0, &mut rng)
+        .expect("round ends");
+    (
+        report.k_accesses,
+        report_end.ssd.pages_read + report_end.ssd.pages_written,
+    )
 }
 
 fn main() {
@@ -44,7 +49,11 @@ fn main() {
     for (label, make) in configs {
         let (k_same, io_same) = run(make(), &same, 100);
         let (k_diff, io_diff) = run(make(), &diff, 101);
-        let leaks = if label.contains("Strawman 2") { "YES" } else { "bounded" };
+        let leaks = if label.contains("Strawman 2") {
+            "YES"
+        } else {
+            "bounded"
+        };
         println!(
             "{:<34} {:>7} ({:>4}p) {:>7} ({:>4}p) {:>10}",
             label, k_same, io_same, k_diff, io_diff, leaks

@@ -47,9 +47,18 @@ fn main() {
             "(b) eps=0.5, Y=square[K/4, K]",
             FdpMechanism::new(0.5, YShape::square_upper_three_quarters()).expect("valid"),
         ),
-        ("(c) eps=3.0, Y=uniform", FdpMechanism::new(3.0, YShape::Uniform).expect("valid")),
-        ("(d) eps=0.5, Y=pow (i^5)", FdpMechanism::new(0.5, YShape::pow5()).expect("valid")),
-        ("(e) eps=1.0, Y=uniform", FdpMechanism::new(1.0, YShape::Uniform).expect("valid")),
+        (
+            "(c) eps=3.0, Y=uniform",
+            FdpMechanism::new(3.0, YShape::Uniform).expect("valid"),
+        ),
+        (
+            "(d) eps=0.5, Y=pow (i^5)",
+            FdpMechanism::new(0.5, YShape::pow5()).expect("valid"),
+        ),
+        (
+            "(e) eps=1.0, Y=uniform",
+            FdpMechanism::new(1.0, YShape::Uniform).expect("valid"),
+        ),
         (
             "(f) eps=0.5, Y=delta at K  [Strawman 1: k = K, perfect FDP]",
             FdpMechanism::new(0.5, YShape::DeltaAtK).expect("valid"),

@@ -39,8 +39,7 @@ fn main() {
             // Path ORAM+: K accesses each phase, all path read+write. It
             // needs no union (it reads per request), so no scan term.
             let base_counts = path_oram_plus_round(&geo, k_total as u64, 4096);
-            let base =
-                model.analytic_round_latency(&config, &base_counts, k_total as u64, 0, true);
+            let base = model.analytic_round_latency(&config, &base_counts, k_total as u64, 0, true);
 
             let fed0_counts = fedora_round(&geo, k_total as u64, a, 4096);
             let fed0 =
@@ -72,7 +71,11 @@ fn main() {
             for (label, overhead) in rows {
                 println!(
                     "{:<8} {:<32} {:>12} {:>13} {:>12.1}%",
-                    table.name, label, "-", "-", overhead * 100.0
+                    table.name,
+                    label,
+                    "-",
+                    "-",
+                    overhead * 100.0
                 );
             }
             println!(

@@ -83,8 +83,14 @@ fn main() {
             energy: (ln[2] / 5.0).exp(),
         });
 
-        println!("\n=== {} table, {k_total} updates per round ===", table.name);
-        println!("{:<44} {:>10} {:>10} {:>12}", "Design", "HW cost", "Power", "Energy/rnd");
+        println!(
+            "\n=== {} table, {k_total} updates per round ===",
+            table.name
+        );
+        println!(
+            "{:<44} {:>10} {:>10} {:>12}",
+            "Design", "HW cost", "Power", "Energy/rnd"
+        );
         for r in &rows {
             println!(
                 "{:<44} {:>9.1}% {:>9.1}% {:>11.1}%",

@@ -78,7 +78,11 @@ fn main() {
             users_per_round,
             rounds,
             server_lr: 2.0,
-            trainer: LocalTrainer { lr: 0.2, epochs: 2, ..Default::default() },
+            trainer: LocalTrainer {
+                lr: 0.2,
+                epochs: 2,
+                ..Default::default()
+            },
         };
         let pub_auc = *run_reference_fl(&mut pub_model, &dataset, &sim, &mut rng)
             .last()
@@ -95,7 +99,10 @@ fn main() {
 
         for (mode_label, protection) in [
             ("hide priv val", None::<ProtectionMode>),
-            ("hide # of priv vals", Some(ProtectionMode::HideValueCount { padded_count: 100 })),
+            (
+                "hide # of priv vals",
+                Some(ProtectionMode::HideValueCount { padded_count: 100 }),
+            ),
         ] {
             println!("  -- {mode_label} --");
             for eps in [f64::INFINITY, 1.0, 0.1] {
@@ -106,7 +113,10 @@ fn main() {
                 };
                 // ε=∞ in hide-# mode still pads the request stream.
                 let prot = if eps.is_infinite() && protection.is_some() {
-                    Some((ProtectionMode::HideValueCount { padded_count: 100 }, f64::INFINITY))
+                    Some((
+                        ProtectionMode::HideValueCount { padded_count: 100 },
+                        f64::INFINITY,
+                    ))
                 } else {
                     prot
                 };
@@ -114,14 +124,22 @@ fn main() {
                     users_per_round,
                     rounds,
                     server_lr: 2.0,
-                    trainer: LocalTrainer { lr: 0.2, epochs: 2, ..Default::default() },
+                    trainer: LocalTrainer {
+                        lr: 0.2,
+                        epochs: 2,
+                        ..Default::default()
+                    },
                     protection: prot,
                 };
                 let mut model = fresh_model(&dataset, true, 777);
                 let mut rng = StdRng::seed_from_u64(2024);
-                let outcome = train_with_fedora(&mut model, &dataset, &cfg, &mut rng)
-                    .expect("pipeline run");
-                let eps_label = if eps.is_infinite() { "inf".into() } else { format!("{eps}") };
+                let outcome =
+                    train_with_fedora(&mut model, &dataset, &cfg, &mut rng).expect("pipeline run");
+                let eps_label = if eps.is_infinite() {
+                    "inf".into()
+                } else {
+                    format!("{eps}")
+                };
                 row(kind.label(), &eps_label, &outcome);
             }
         }

@@ -27,9 +27,21 @@ fn main() {
     for eps in [0.1, 0.5, 1.0, 3.0] {
         for (label, weights) in [
             ("performance-first", CostWeights::performance_first()),
-            ("balanced", CostWeights { dummy: 1.0, lost: 1.0 }),
+            (
+                "balanced",
+                CostWeights {
+                    dummy: 1.0,
+                    lost: 1.0,
+                },
+            ),
             ("accuracy-first", CostWeights::accuracy_first()),
-            ("never-lose", CostWeights { dummy: 0.01, lost: 1e6 }),
+            (
+                "never-lose",
+                CostWeights {
+                    dummy: 0.01,
+                    lost: 1e6,
+                },
+            ),
         ] {
             let rec = recommend_shape(eps, k_union, k_max, &weights).expect("searchable");
             println!(

@@ -16,6 +16,7 @@
 //! | `ablation_modes` | §4.3 operation modes through the live pipeline |
 //! | `ablation_stash_occupancy` | §4.4 stash-occupancy argument |
 //! | `tune_shape` | §3.3 Observation 3 as a tuning tool |
+//! | `fault_campaign` | chaos-injection fault-tolerance campaign (this reproduction's addition) |
 //!
 //! Criterion micro-benches live in `benches/`.
 

@@ -119,7 +119,12 @@ impl Workload {
     /// Generates a request stream of (at least) `k_total` requests over a
     /// table of `table_entries` ids, by concatenating users until the
     /// target is met.
-    pub fn generate<R: Rng>(&self, table_entries: u64, k_total: usize, rng: &mut R) -> RequestStream {
+    pub fn generate<R: Rng>(
+        &self,
+        table_entries: u64,
+        k_total: usize,
+        rng: &mut R,
+    ) -> RequestStream {
         let mut requests = Vec::with_capacity(k_total + 128);
         let dummy_value = table_entries - 1; // the reserved padding value
         let s = self.zipf_exponent();
@@ -199,7 +204,10 @@ impl RequestStream {
         chunk_size: usize,
         rng: &mut R,
     ) -> AccessSummary {
-        let mut summary = AccessSummary { k_requests: self.requests.len() as u64, ..Default::default() };
+        let mut summary = AccessSummary {
+            k_requests: self.requests.len() as u64,
+            ..Default::default()
+        };
         for (k_c, union_c) in self.chunk_unions(chunk_size) {
             if k_c == 0 {
                 continue;
@@ -241,7 +249,10 @@ pub fn summarize_all_parallel(
         }
     })
     .expect("workload threads do not panic");
-    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
 }
 
 #[cfg(test)]

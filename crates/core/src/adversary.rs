@@ -52,7 +52,11 @@ pub fn frequency_attack(observed_rows: &[u64], true_top: &[u64]) -> f64 {
     }
     let mut ranked: Vec<(u64, u64)> = counts.into_iter().collect();
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    let guessed: Vec<u64> = ranked.iter().take(true_top.len()).map(|(id, _)| *id).collect();
+    let guessed: Vec<u64> = ranked
+        .iter()
+        .take(true_top.len())
+        .map(|(id, _)| *id)
+        .collect();
     let hits = true_top.iter().filter(|t| guessed.contains(t)).count();
     hits as f64 / true_top.len() as f64
 }
@@ -74,6 +78,7 @@ pub fn trace_attack(observed_leaves: &[u64], true_top: &[u64]) -> f64 {
 ///
 /// Under ε-FDP the advantage is bounded by `(e^ε − 1)/(e^ε + 1)`
 /// (the standard DP hypothesis-testing bound for balanced priors).
+#[allow(clippy::expect_used)] // k_union ≤ k_max by the caller's contract
 pub fn count_attack<R: Rng>(
     mechanism: &FdpMechanism,
     k_union: u64,
@@ -94,7 +99,10 @@ pub fn count_attack<R: Rng>(
             correct += 1;
         }
     }
-    AttackOutcome { trials, success_rate: correct as f64 / trials as f64 }
+    AttackOutcome {
+        trials,
+        success_rate: correct as f64 / trials as f64,
+    }
 }
 
 /// The DP bound on a single-observation distinguisher's success rate with
@@ -156,7 +164,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mech = FdpMechanism::no_privacy();
         let out = count_attack(&mech, 30, 100, 2000, &mut rng);
-        assert!(out.success_rate > 0.99, "deterministic k must leak: {:?}", out);
+        assert!(
+            out.success_rate > 0.99,
+            "deterministic k must leak: {:?}",
+            out
+        );
     }
 
     #[test]

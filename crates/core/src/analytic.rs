@@ -139,8 +139,12 @@ mod tests {
         let profile = SsdProfile::pm9a1_like();
         let a = crate::config::FedoraConfig::tuned_eviction_period(&geo);
         let fed = lifetime_months(&profile, &geo, &fedora_round(&geo, 100_000, a, 4096), 120.0);
-        let base =
-            lifetime_months(&profile, &geo, &path_oram_plus_round(&geo, 100_000, 4096), 120.0);
+        let base = lifetime_months(
+            &profile,
+            &geo,
+            &path_oram_plus_round(&geo, 100_000, 4096),
+            120.0,
+        );
         assert!(base < 2.0, "baseline {base} months should be dire");
         assert!(fed > 10.0 * base, "FEDORA {fed} vs baseline {base}");
     }

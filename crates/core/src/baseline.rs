@@ -7,11 +7,11 @@
 //! full path read *and* write, which is what wears the SSD out (Fig. 7)
 //! and inflates latency (Fig. 8).
 
+use fedora_fl::modes::AggregationMode;
 use fedora_oram::buffer::{BufferError, BufferOram};
 use fedora_oram::path_oram::PathOram;
 use fedora_oram::store::{BucketStore, SsdBucketStore};
 use fedora_storage::stats::DeviceStats;
-use fedora_fl::modes::AggregationMode;
 use rand::Rng;
 
 use crate::config::FedoraConfig;
@@ -43,11 +43,16 @@ impl PathOramPlus {
         rng: &mut R,
     ) -> Self {
         let key = fedora_crypto::aead::Key::from_bytes([0x6A; 32]);
-        let store =
-            SsdBucketStore::new(config.geometry, key.derive_subkey("baseline-main"), config.ssd);
+        let store = SsdBucketStore::new(
+            config.geometry,
+            key.derive_subkey("baseline-main"),
+            config.ssd,
+        );
         let mut main = PathOram::new(store, config.table.num_entries, rng);
         for id in 0..config.table.num_entries {
-            main.write(id, init(id), rng).expect("init within provisioned tree");
+            #[allow(clippy::expect_used)] // construction: tree sized for the table
+            main.write(id, init(id), rng)
+                .expect("init within provisioned tree");
         }
         main.store_mut().reset_device_stats();
         let buffer = BufferOram::new(
@@ -56,7 +61,13 @@ impl PathOramPlus {
             key.derive_subkey("baseline-buffer"),
             rng,
         );
-        PathOramPlus { config, main, buffer, active: None, completed: Vec::new() }
+        PathOramPlus {
+            config,
+            main,
+            buffer,
+            active: None,
+            completed: Vec::new(),
+        }
     }
 
     /// The configuration.
@@ -95,7 +106,10 @@ impl PathOramPlus {
             });
         }
         let mut state = ActiveRound {
-            report: RoundReport { k_requests: requests.len(), ..Default::default() },
+            report: RoundReport {
+                k_requests: requests.len(),
+                ..Default::default()
+            },
             ssd_before: self.main.store().device_stats(),
             buffer_before: self.buffer.device_stats(),
         };
@@ -181,7 +195,7 @@ impl PathOramPlus {
             let mut values: Vec<f32> = entry
                 .entry
                 .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .map(crate::convert::le_f32)
                 .collect();
             for (v, g) in values.iter_mut().zip(&agg) {
                 *v += server_lr * g;
@@ -250,8 +264,10 @@ mod tests {
         b.end_round(&mut mode, 1.0, &mut rng).unwrap();
         b.begin_round(&[0], &mut rng).unwrap();
         let bytes = b.serve(0, &mut rng).unwrap();
-        let vals: Vec<f32> =
-            bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+        let vals: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
         assert_eq!(vals, vec![1.0; 8]);
         b.end_round(&mut mode, 1.0, &mut rng).unwrap();
     }

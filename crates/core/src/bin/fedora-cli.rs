@@ -45,7 +45,9 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got '{}'", args[i]))?;
-        let value = args.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
         flags.insert(key.to_owned(), value.clone());
         i += 2;
     }
@@ -98,10 +100,20 @@ fn cmd_lifetime(flags: &HashMap<String, String>) -> Result<(), String> {
     let fed = fedora_round(&geo, effective_k(updates, epsilon), a, 4096);
     let base_life = lifetime_months(&profile, &geo, &base, 120.0);
     let fed_life = lifetime_months(&profile, &geo, &fed, 120.0);
-    println!("{} table, {updates} updates/round, eps = {epsilon}:", table.name);
-    println!("  ORAM on SSD: {:.1} GB (Z = {}, A = {a})", geo.tree_bytes(4096) as f64 / 1e9, geo.z());
+    println!(
+        "{} table, {updates} updates/round, eps = {epsilon}:",
+        table.name
+    );
+    println!(
+        "  ORAM on SSD: {:.1} GB (Z = {}, A = {a})",
+        geo.tree_bytes(4096) as f64 / 1e9,
+        geo.z()
+    );
     println!("  Path ORAM+ lifetime: {base_life:.2} months");
-    println!("  FEDORA lifetime:     {fed_life:.2} months  ({:.0}x)", fed_life / base_life);
+    println!(
+        "  FEDORA lifetime:     {fed_life:.2} months  ({:.0}x)",
+        fed_life / base_life
+    );
     Ok(())
 }
 
@@ -114,11 +126,18 @@ fn cmd_latency(flags: &HashMap<String, String>) -> Result<(), String> {
     let scans = fedora_oblivious::union::requests_scan_cost(updates as usize, 16 * 1024);
 
     let base_counts = path_oram_plus_round(&config.geometry, updates, 4096);
-    let fed_counts =
-        fedora_round(&config.geometry, effective_k(updates, epsilon), config.raw.eviction_period, 4096);
+    let fed_counts = fedora_round(
+        &config.geometry,
+        effective_k(updates, epsilon),
+        config.raw.eviction_period,
+        4096,
+    );
     let base = model.analytic_round_latency(&config, &base_counts, updates, 0, true);
     let fed = model.analytic_round_latency(&config, &fed_counts, updates, scans, true);
-    println!("{} table, {updates} updates/round, eps = {epsilon}:", table.name);
+    println!(
+        "{} table, {updates} updates/round, eps = {epsilon}:",
+        table.name
+    );
     println!(
         "  Path ORAM+: {:.2} s added per round ({:.1}% of a 2-min round)",
         base.total_s(),
@@ -148,7 +167,11 @@ fn cmd_round(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(String::as_str)
         .unwrap_or("7,19,7,42,7,230")
         .split(',')
-        .map(|s| s.trim().parse().map_err(|_| format!("bad request id '{s}'")))
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("bad request id '{s}'"))
+        })
         .collect::<Result<_, _>>()?;
     if let Some(&bad) = requests.iter().find(|&&r| r >= entries) {
         return Err(format!("request {bad} outside table of {entries} entries"));
@@ -168,11 +191,22 @@ fn cmd_round(flags: &HashMap<String, String>) -> Result<(), String> {
         .begin_round(&requests, &mut rng)
         .map_err(|e| e.to_string())?;
     let mut mode = FedAvg;
-    let done = server.end_round(&mut mode, 1.0, &mut rng).map_err(|e| e.to_string())?;
+    let done = server
+        .end_round(&mut mode, 1.0, &mut rng)
+        .map_err(|e| e.to_string())?;
     println!("Round over {} entries at eps = {epsilon}:", entries);
-    println!("  K = {} requests, k_union = {}, k = {} accesses", done.k_requests, done.k_union, done.k_accesses);
-    println!("  dummies = {}, lost = {}, EO accesses = {}", done.dummies, done.lost, done.eo_accesses);
-    println!("  SSD: {} pages read, {} pages written", done.ssd.pages_read, done.ssd.pages_written);
+    println!(
+        "  K = {} requests, k_union = {}, k = {} accesses",
+        done.k_requests, done.k_union, done.k_accesses
+    );
+    println!(
+        "  dummies = {}, lost = {}, EO accesses = {}",
+        done.dummies, done.lost, done.eo_accesses
+    );
+    println!(
+        "  SSD: {} pages read, {} pages written",
+        done.ssd.pages_read, done.ssd.pages_written
+    );
     Ok(())
 }
 

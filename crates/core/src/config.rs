@@ -20,17 +20,29 @@ pub struct TableSpec {
 impl TableSpec {
     /// The paper's Small table: 10 M entries × 64 B.
     pub fn small() -> Self {
-        TableSpec { name: "Small", num_entries: 10_000_000, entry_bytes: 64 }
+        TableSpec {
+            name: "Small",
+            num_entries: 10_000_000,
+            entry_bytes: 64,
+        }
     }
 
     /// The paper's Medium table: 50 M entries × 128 B.
     pub fn medium() -> Self {
-        TableSpec { name: "Medium", num_entries: 50_000_000, entry_bytes: 128 }
+        TableSpec {
+            name: "Medium",
+            num_entries: 50_000_000,
+            entry_bytes: 128,
+        }
     }
 
     /// The paper's Large table: 250 M entries × 256 B.
     pub fn large() -> Self {
-        TableSpec { name: "Large", num_entries: 250_000_000, entry_bytes: 256 }
+        TableSpec {
+            name: "Large",
+            num_entries: 250_000_000,
+            entry_bytes: 256,
+        }
     }
 
     /// All three paper presets.
@@ -40,7 +52,11 @@ impl TableSpec {
 
     /// A tiny table for tests and the simulated pipeline.
     pub fn tiny(num_entries: u64) -> Self {
-        TableSpec { name: "Tiny", num_entries, entry_bytes: 32 }
+        TableSpec {
+            name: "Tiny",
+            num_entries,
+            entry_bytes: 32,
+        }
     }
 
     /// Raw table size in bytes.
@@ -101,10 +117,10 @@ impl PrivacyConfig {
     /// # Panics
     ///
     /// Panics if `epsilon < 0`.
+    #[allow(clippy::expect_used)] // the panic is this function's documented contract
     pub fn with_epsilon(epsilon: f64) -> Self {
         PrivacyConfig {
-            mechanism: FdpMechanism::new(epsilon, YShape::Uniform)
-                .expect("non-negative epsilon"),
+            mechanism: FdpMechanism::new(epsilon, YShape::Uniform).expect("non-negative epsilon"),
             chunk_size: fedora_fdp::ChunkPlan::PAPER_DEFAULT,
         }
     }
@@ -122,6 +138,39 @@ impl PrivacyConfig {
         PrivacyConfig {
             mechanism: FdpMechanism::no_privacy(),
             chunk_size: fedora_fdp::ChunkPlan::PAPER_DEFAULT,
+        }
+    }
+}
+
+/// Fault-tolerance policy for the server's round pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultToleranceConfig {
+    /// Transactional rounds: snapshot ORAM state at `begin_round` and roll
+    /// back to it when an unrecoverable integrity failure aborts the round.
+    /// Costs a full in-memory clone of the main + buffer ORAMs per round.
+    pub transactional: bool,
+    /// Bucket-read retries before quarantining (0 = fail immediately).
+    pub max_read_retries: u32,
+    /// Older counters probed when classifying rollback vs corruption.
+    pub rollback_window: u64,
+}
+
+impl Default for FaultToleranceConfig {
+    fn default() -> Self {
+        FaultToleranceConfig {
+            transactional: false,
+            max_read_retries: fedora_oram::store::DEFAULT_RETRY_LIMIT,
+            rollback_window: fedora_oram::store::DEFAULT_ROLLBACK_WINDOW,
+        }
+    }
+}
+
+impl FaultToleranceConfig {
+    /// Transactional rounds with the default retry/classification budget.
+    pub fn transactional() -> Self {
+        FaultToleranceConfig {
+            transactional: true,
+            ..Self::default()
         }
     }
 }
@@ -147,6 +196,8 @@ pub struct FedoraConfig {
     pub scratchpad: Scratchpad,
     /// Entry-selection strategy for lossy rounds.
     pub selection: SelectionStrategy,
+    /// Fault-tolerance policy (round transactions, retry budget).
+    pub fault_tolerance: FaultToleranceConfig,
 }
 
 impl FedoraConfig {
@@ -156,12 +207,15 @@ impl FedoraConfig {
         FedoraConfig {
             table,
             geometry,
-            raw: RawOramConfig { eviction_period: Self::tuned_eviction_period(&geometry) },
+            raw: RawOramConfig {
+                eviction_period: Self::tuned_eviction_period(&geometry),
+            },
             privacy: PrivacyConfig::with_epsilon(1.0),
             max_requests_per_round,
             ssd: SsdProfile::pm9a1_like(),
             scratchpad: Scratchpad::paper_default(),
             selection: SelectionStrategy::FirstK,
+            fault_tolerance: FaultToleranceConfig::default(),
         }
     }
 
@@ -177,6 +231,7 @@ impl FedoraConfig {
             ssd: SsdProfile::pm9a1_like(),
             scratchpad: Scratchpad::paper_default(),
             selection: SelectionStrategy::FirstK,
+            fault_tolerance: FaultToleranceConfig::default(),
         }
     }
 
@@ -227,8 +282,7 @@ mod tests {
         let g4 = small.geometry_for_bucket_pages(4);
         assert!(g4.z() > g1.z());
         assert!(
-            FedoraConfig::tuned_eviction_period(&g4)
-                > FedoraConfig::tuned_eviction_period(&g1)
+            FedoraConfig::tuned_eviction_period(&g4) > FedoraConfig::tuned_eviction_period(&g1)
         );
     }
 
@@ -239,7 +293,11 @@ mod tests {
         for spec in TableSpec::paper_presets() {
             let g = spec.geometry();
             let amp = g.tree_bytes(4096) as f64 / spec.data_bytes() as f64;
-            assert!((1.5..=8.6).contains(&amp), "{}: amplification {amp}", spec.name);
+            assert!(
+                (1.5..=8.6).contains(&amp),
+                "{}: amplification {amp}",
+                spec.name
+            );
         }
     }
 

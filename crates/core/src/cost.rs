@@ -137,7 +137,11 @@ mod tests {
         // Paper: 6–22× cheaper hardware, 1.9–23× less power/energy.
         assert!(norm.hardware_usd < 0.2, "hw {:.3}", norm.hardware_usd);
         assert!(norm.avg_power_w < 0.6, "power {:.3}", norm.avg_power_w);
-        assert!(norm.energy_per_round_j < 0.6, "energy {:.3}", norm.energy_per_round_j);
+        assert!(
+            norm.energy_per_round_j < 0.6,
+            "energy {:.3}",
+            norm.energy_per_round_j
+        );
     }
 
     #[test]
@@ -154,7 +158,11 @@ mod tests {
         let base = m.ssd_design(tree, tree / 50, busy, life);
         let dram = m.dram_design(tree, tree / 50);
         let norm = CostModel::normalized(&base, &dram);
-        assert!(norm.hardware_usd > 1.0, "baseline hw {:.3}", norm.hardware_usd);
+        assert!(
+            norm.hardware_usd > 1.0,
+            "baseline hw {:.3}",
+            norm.hardware_usd
+        );
     }
 
     #[test]

@@ -101,7 +101,12 @@ impl LatencyModel {
     }
 
     /// Controller compute: union scans + AEAD over all moved bytes.
-    pub fn controller_ns(&self, union_scan_slots: u64, ssd: &DeviceStats, dram: &DeviceStats) -> f64 {
+    pub fn controller_ns(
+        &self,
+        union_scan_slots: u64,
+        ssd: &DeviceStats,
+        dram: &DeviceStats,
+    ) -> f64 {
         let crypto_bytes =
             (ssd.bytes_read + ssd.bytes_written + dram.bytes_read + dram.bytes_written) as f64;
         union_scan_slots as f64 * self.params.union_slot_ns
@@ -116,7 +121,12 @@ impl LatencyModel {
     /// DRAM-resident metadata — the dominant term for small blocks, where
     /// many slots fit a path; with large blocks the SSD transfer dwarfs it
     /// (the Fig. 10 shape).
-    pub fn eviction_ns(&self, eo_accesses: u64, config: &FedoraConfig, has_scratchpad: bool) -> f64 {
+    pub fn eviction_ns(
+        &self,
+        eo_accesses: u64,
+        config: &FedoraConfig,
+        has_scratchpad: bool,
+    ) -> f64 {
         let geo = &config.geometry;
         let path_slots = geo.num_levels() as f64 * geo.z() as f64;
         let slot_bytes = (fedora_oram::bucket::SLOT_META_BYTES + geo.block_bytes()) as f64;
@@ -162,6 +172,7 @@ impl LatencyModel {
             bytes_read: counts.pages_read * page as u64,
             bytes_written: counts.pages_written * page as u64,
             busy_ns: ssd_ns as u64,
+            ..DeviceStats::default()
         };
         let dram_stats = DeviceStats {
             pages_read: buffer_accesses,
@@ -169,6 +180,7 @@ impl LatencyModel {
             bytes_read: dram_bytes / 2,
             bytes_written: dram_bytes / 2,
             busy_ns: dram_ns as u64,
+            ..DeviceStats::default()
         };
         RoundLatency {
             ssd_ns,
@@ -191,7 +203,10 @@ mod tests {
 
     #[test]
     fn overhead_fraction_is_relative_to_2min() {
-        let lat = RoundLatency { ssd_ns: 12e9, ..Default::default() };
+        let lat = RoundLatency {
+            ssd_ns: 12e9,
+            ..Default::default()
+        };
         assert!((lat.overhead_fraction() - 0.1).abs() < 1e-9);
     }
 
@@ -232,7 +247,12 @@ mod tests {
 
     #[test]
     fn latency_components_sum() {
-        let lat = RoundLatency { ssd_ns: 1.0, dram_ns: 2.0, controller_ns: 3.0, eviction_ns: 4.0 };
+        let lat = RoundLatency {
+            ssd_ns: 1.0,
+            dram_ns: 2.0,
+            controller_ns: 3.0,
+            eviction_ns: 4.0,
+        };
         assert_eq!(lat.total_ns(), 10.0);
     }
 }

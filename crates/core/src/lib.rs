@@ -61,6 +61,19 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub(crate) mod convert {
+    //! Infallible little-endian field decoding for fixed-layout entries.
+    //! Lengths are layout invariants; the panic is centralized here rather
+    //! than scattered through fallible-looking `expect` calls.
+
+    /// Decodes a little-endian `f32` from an exactly-4-byte field.
+    #[allow(clippy::expect_used)]
+    pub(crate) fn le_f32(bytes: &[u8]) -> f32 {
+        f32::from_le_bytes(bytes.try_into().expect("4-byte field"))
+    }
+}
 
 pub mod adversary;
 pub mod analytic;

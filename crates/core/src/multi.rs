@@ -85,7 +85,11 @@ impl MultiTableServer {
         requests: &[Vec<u64>],
         rng: &mut R,
     ) -> Result<MultiRoundReport, FedoraError> {
-        assert_eq!(requests.len(), self.tables.len(), "one request list per table");
+        assert_eq!(
+            requests.len(),
+            self.tables.len(),
+            "one request list per table"
+        );
         let mut out = MultiRoundReport::default();
         for (server, reqs) in self.tables.iter_mut().zip(requests) {
             out.per_table.push(server.begin_round(reqs, rng)?);
@@ -147,7 +151,9 @@ impl MultiTableServer {
         self.tables
             .iter()
             .map(|t| t.ssd_stats())
-            .fold(fedora_storage::stats::DeviceStats::new(), |acc, s| acc.merged(&s))
+            .fold(fedora_storage::stats::DeviceStats::new(), |acc, s| {
+                acc.merged(&s)
+            })
     }
 }
 
@@ -202,7 +208,9 @@ mod tests {
     #[test]
     fn totals_aggregate_across_tables() {
         let (mut s, mut rng) = multi(2);
-        let report = s.begin_round(&[vec![1, 2, 3], vec![4, 5]], &mut rng).unwrap();
+        let report = s
+            .begin_round(&[vec![1, 2, 3], vec![4, 5]], &mut rng)
+            .unwrap();
         assert_eq!(report.total_requests(), 5);
         assert_eq!(report.total_accesses(), 5); // eps = inf: k = k_union
         let mut mode = FedAvg;

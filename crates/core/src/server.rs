@@ -2,14 +2,16 @@
 
 use std::collections::HashSet;
 
+use fedora_crypto::IntegrityError;
 use fedora_fdp::{ChunkPlan, FdpAccountant};
+use fedora_fl::modes::AggregationMode;
 use fedora_oblivious::union::{oblivious_union, requests_scan_cost};
 use fedora_oram::buffer::{BufferError, BufferOram};
 use fedora_oram::raw::RawOram;
-use fedora_oram::store::{BucketStore, SsdBucketStore};
+use fedora_oram::store::{BucketStore, IntegrityStats, ScrubReport, SsdBucketStore};
 use fedora_oram::OramError;
 use fedora_storage::stats::DeviceStats;
-use fedora_fl::modes::AggregationMode;
+use fedora_storage::{FaultConfig, FaultStats};
 use rand::Rng;
 
 use crate::config::{FedoraConfig, SelectionStrategy};
@@ -37,6 +39,15 @@ pub enum FedoraError {
     Oram(OramError),
     /// Buffer-ORAM failure.
     Buffer(BufferError),
+    /// A transactional round hit an unrecoverable integrity failure and
+    /// was rolled back to its start-of-round snapshot. The round's
+    /// requests were *not* applied; the caller may retry the round.
+    RoundAborted {
+        /// What kind of integrity violation forced the abort.
+        kind: IntegrityError,
+        /// The bucket (tree node) that failed authentication.
+        node: u64,
+    },
 }
 
 impl From<OramError> for FedoraError {
@@ -62,6 +73,12 @@ impl core::fmt::Display for FedoraError {
             FedoraError::RoundInProgress => f.write_str("a round is already in progress"),
             FedoraError::Oram(e) => write!(f, "main ORAM: {e}"),
             FedoraError::Buffer(e) => write!(f, "buffer ORAM: {e}"),
+            FedoraError::RoundAborted { kind, node } => {
+                write!(
+                    f,
+                    "round aborted and rolled back: bucket {node} failed with {kind}"
+                )
+            }
         }
     }
 }
@@ -92,6 +109,28 @@ pub struct RoundReport {
     pub buffer_dram: DeviceStats,
     /// VTree DRAM activity for this round.
     pub vtree_dram: DeviceStats,
+    /// Integrity events (detections, retries, recoveries, quarantines)
+    /// observed on the main ORAM during this round.
+    pub integrity: IntegrityStats,
+}
+
+/// The record of one aborted (rolled-back) transactional round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundAbort {
+    /// The integrity violation that forced the abort.
+    pub kind: IntegrityError,
+    /// The bucket that exhausted its retry budget.
+    pub node: u64,
+    /// The partial report at abort time (its `integrity` field holds the
+    /// detections counted before the state was rewound).
+    pub report: RoundReport,
+}
+
+/// Start-of-round copy of the ORAM state, restored on abort.
+#[derive(Clone, Debug)]
+struct RoundSnapshot {
+    main: RawOram<SsdBucketStore>,
+    buffer: BufferOram,
 }
 
 /// Snapshot of device stats at round start (to compute deltas).
@@ -102,7 +141,9 @@ struct RoundState {
     buffer_before: DeviceStats,
     vtree_before: DeviceStats,
     eo_before: u64,
+    integrity_before: IntegrityStats,
     lost_ids: HashSet<u64>,
+    snapshot: Option<Box<RoundSnapshot>>,
 }
 
 /// The FEDORA server.
@@ -114,6 +155,10 @@ pub struct FedoraServer {
     accountant: FdpAccountant,
     active: Option<RoundState>,
     completed: Vec<RoundReport>,
+    aborts: Vec<RoundAbort>,
+    /// Entry ids whose blocks were destroyed by a bucket repair; they are
+    /// excluded (served as lost) until re-initialized out of band.
+    quarantined_ids: HashSet<u64>,
 }
 
 impl FedoraServer {
@@ -125,7 +170,10 @@ impl FedoraServer {
         rng: &mut R,
     ) -> Self {
         let key = fedora_crypto::aead::Key::from_bytes([0x5E; 32]);
-        let store = SsdBucketStore::new(config.geometry, key.derive_subkey("main-oram"), config.ssd);
+        let mut store =
+            SsdBucketStore::new(config.geometry, key.derive_subkey("main-oram"), config.ssd);
+        store.set_retry_limit(config.fault_tolerance.max_read_retries);
+        store.set_rollback_window(config.fault_tolerance.rollback_window);
         let main = RawOram::new(store, config.table.num_entries, config.raw, init, rng);
         let buffer = BufferOram::new(
             config.max_requests_per_round,
@@ -142,6 +190,8 @@ impl FedoraServer {
             accountant: FdpAccountant::new(),
             active: None,
             completed: Vec::new(),
+            aborts: Vec::new(),
+            quarantined_ids: HashSet::new(),
         }
     }
 
@@ -175,6 +225,70 @@ impl FedoraServer {
         &self.buffer
     }
 
+    /// Aborted (rolled-back) rounds, in order.
+    pub fn aborts(&self) -> &[RoundAbort] {
+        &self.aborts
+    }
+
+    /// Cumulative main-ORAM integrity counters. Note: an abort rewinds
+    /// the store (and these counters) to the round-start snapshot; the
+    /// pre-rewind deltas live in [`Self::aborts`].
+    pub fn integrity_stats(&self) -> IntegrityStats {
+        self.main.store().integrity_stats()
+    }
+
+    /// Arms seeded fault injection on the main ORAM's SSD.
+    pub fn arm_faults(&mut self, config: FaultConfig) {
+        self.main.store_mut().arm_faults(config);
+    }
+
+    /// Disarms fault injection.
+    pub fn disarm_faults(&mut self) {
+        self.main.store_mut().disarm_faults();
+    }
+
+    /// Counters of faults actually injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.main.store().fault_stats()
+    }
+
+    /// Quarantined main-ORAM buckets (failed reads pending repair).
+    pub fn quarantined_buckets(&self) -> Vec<u64> {
+        self.main.store().quarantined_nodes()
+    }
+
+    /// Entry ids lost to bucket repairs, excluded from future rounds.
+    pub fn quarantined_entries(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.quarantined_ids.iter().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Verifies every main-ORAM bucket's MAC (background scrubbing).
+    /// Must be called between rounds.
+    ///
+    /// # Errors
+    ///
+    /// [`FedoraError::RoundInProgress`] during a round.
+    pub fn scrub(&mut self) -> Result<ScrubReport, FedoraError> {
+        if self.active.is_some() {
+            return Err(FedoraError::RoundInProgress);
+        }
+        Ok(self.main.scrub())
+    }
+
+    /// Repairs one quarantined bucket in place (empties it and clears its
+    /// valid bits); blocks that lived there become missing and their
+    /// entries are quarantined lazily on the next fetch.
+    ///
+    /// # Errors
+    ///
+    /// Device errors propagate.
+    pub fn repair_bucket(&mut self, node: u64) -> Result<(), FedoraError> {
+        self.main.repair_bucket(node)?;
+        Ok(())
+    }
+
     /// Steps ①–④ of Figure 4: oblivious union (chunked), ε-FDP choice of
     /// `k`, and the read phase moving entries into the buffer ORAM.
     /// Returns the partial report (read-side numbers).
@@ -198,15 +312,45 @@ impl FedoraServer {
                 max: self.config.max_requests_per_round,
             });
         }
+        let snapshot = if self.config.fault_tolerance.transactional {
+            Some(Box::new(RoundSnapshot {
+                main: self.main.clone(),
+                buffer: self.buffer.clone(),
+            }))
+        } else {
+            None
+        };
         let mut state = RoundState {
-            report: RoundReport { k_requests: requests.len(), ..Default::default() },
+            report: RoundReport {
+                k_requests: requests.len(),
+                ..Default::default()
+            },
             ssd_before: self.main.store().device_stats(),
             buffer_before: self.buffer.device_stats(),
             vtree_before: self.main.vtree().device_stats(),
             eo_before: self.main.eo_count(),
+            integrity_before: self.main.store().integrity_stats(),
             lost_ids: HashSet::new(),
+            snapshot,
         };
 
+        match self.read_phase(requests, &mut state, rng) {
+            Ok(()) => {
+                let partial = state.report.clone();
+                self.active = Some(state);
+                Ok(partial)
+            }
+            Err(e) => Err(self.abort_round(state, e)),
+        }
+    }
+
+    /// Steps ①–③ proper: chunked union, FDP `k`, and the buffer loads.
+    fn read_phase<R: Rng>(
+        &mut self,
+        requests: &[u64],
+        state: &mut RoundState,
+        rng: &mut R,
+    ) -> Result<(), FedoraError> {
         for chunk in requests.chunks(self.chunk_plan.chunk_size()) {
             if chunk.is_empty() {
                 continue;
@@ -223,8 +367,7 @@ impl FedoraServer {
                 .config
                 .privacy
                 .mechanism
-                .sample_k(k_union as u64, chunk.len() as u64, rng)
-                as usize;
+                .sample_k(k_union as u64, chunk.len() as u64, rng) as usize;
             state.report.k_accesses += k;
 
             // ③ Read phase: pick which entries to read per the configured
@@ -239,9 +382,27 @@ impl FedoraServer {
                     // the performance cost of chunking the paper describes.
                     self.main.dummy_fetch(rng)?;
                     self.buffer.load_dummy(rng)?;
+                } else if self.quarantined_ids.contains(&id) {
+                    // Degraded mode: the entry's block was destroyed by a
+                    // bucket repair. Keep the observable access pattern
+                    // (same path read + buffer slot) but serve it as lost.
+                    self.main.dummy_fetch(rng)?;
+                    self.buffer.load_dummy(rng)?;
+                    state.report.lost += 1;
+                    state.lost_ids.insert(id);
                 } else {
-                    let block = self.main.fetch(id, rng)?;
-                    self.buffer.load_entry(id, &block.payload, rng)?;
+                    match self.main.fetch(id, rng) {
+                        Ok(block) => self.buffer.load_entry(id, &block.payload, rng)?,
+                        Err(OramError::MissingBlock { id }) => {
+                            // Lazy quarantine: the path read happened but
+                            // the block is gone (its bucket was repaired).
+                            self.quarantined_ids.insert(id);
+                            self.buffer.load_dummy(rng)?;
+                            state.report.lost += 1;
+                            state.lost_ids.insert(id);
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
                 }
             }
             // Lost entries (k < k_union): not read this round.
@@ -256,10 +417,45 @@ impl FedoraServer {
                 self.buffer.load_dummy(rng)?;
             }
         }
+        Ok(())
+    }
 
-        let partial = state.report.clone();
-        self.active = Some(state);
-        Ok(partial)
+    /// Handles a mid-round failure. Integrity failures under transactional
+    /// mode roll the ORAMs back to the round-start snapshot, heal the
+    /// offending bucket, and surface as [`FedoraError::RoundAborted`];
+    /// everything else propagates unchanged (non-transactional mode keeps
+    /// the cheap fail-fast behaviour).
+    fn abort_round(&mut self, mut state: RoundState, err: FedoraError) -> FedoraError {
+        let FedoraError::Oram(OramError::Integrity { kind, node }) = err else {
+            return err;
+        };
+        let Some(snap) = state.snapshot.take() else {
+            return err;
+        };
+        // Record what this round observed before rewinding the counters.
+        state.report.integrity = self
+            .main
+            .store()
+            .integrity_stats()
+            .since(&state.integrity_before);
+        // Probe the failed bucket before rewinding: an in-flight fault
+        // heals on re-read (no repair needed), while persistent damage
+        // predates the snapshot, survives the restore, and must be
+        // repaired on the restored state or every retry aborts again.
+        let persistent = self.main.store_mut().read_bucket(node).is_err();
+        self.main = snap.main;
+        self.buffer = snap.buffer;
+        if persistent {
+            if let Err(e) = self.main.repair_bucket(node) {
+                return FedoraError::Oram(e);
+            }
+        }
+        self.aborts.push(RoundAbort {
+            kind,
+            node,
+            report: state.report,
+        });
+        FedoraError::RoundAborted { kind, node }
     }
 
     /// Orders the union's entries per the selection strategy. Runs inside
@@ -355,6 +551,20 @@ impl FedoraServer {
         rng: &mut R,
     ) -> Result<RoundReport, FedoraError> {
         let mut state = self.active.take().ok_or(FedoraError::NoActiveRound)?;
+        match self.write_phase(mode, server_lr, &mut state, rng) {
+            Ok(report) => Ok(report),
+            Err(e) => Err(self.abort_round(state, e)),
+        }
+    }
+
+    /// Step ⑦ proper: the drain + writeback loop and report finalization.
+    fn write_phase<M: AggregationMode, R: Rng>(
+        &mut self,
+        mode: &mut M,
+        server_lr: f32,
+        state: &mut RoundState,
+        rng: &mut R,
+    ) -> Result<RoundReport, FedoraError> {
         let drained = self.buffer.drain_round(rng)?;
         for entry in drained.entries {
             let mut agg = entry.gradient;
@@ -364,7 +574,7 @@ impl FedoraServer {
             let mut values: Vec<f32> = entry
                 .entry
                 .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .map(crate::convert::le_f32)
                 .collect();
             for (v, g) in values.iter_mut().zip(&agg) {
                 *v += server_lr * g;
@@ -382,9 +592,15 @@ impl FedoraServer {
         state.report.ssd = self.main.store().device_stats().since(&state.ssd_before);
         state.report.buffer_dram = self.buffer.device_stats().since(&state.buffer_before);
         state.report.vtree_dram = self.main.vtree().device_stats().since(&state.vtree_before);
-        self.accountant.record_round(self.config.privacy.mechanism.epsilon());
+        state.report.integrity = self
+            .main
+            .store()
+            .integrity_stats()
+            .since(&state.integrity_before);
+        self.accountant
+            .record_round(self.config.privacy.mechanism.epsilon());
         self.completed.push(state.report.clone());
-        Ok(state.report)
+        Ok(state.report.clone())
     }
 
     /// Reads the whole table out of the main ORAM (fetch + reinsert each
@@ -397,9 +613,21 @@ impl FedoraServer {
     pub fn snapshot_table<R: Rng>(&mut self, rng: &mut R) -> Result<Vec<Vec<u8>>, FedoraError> {
         let mut out = Vec::with_capacity(self.config.table.num_entries as usize);
         for id in 0..self.config.table.num_entries {
-            let block = self.main.fetch(id, rng)?;
-            out.push(block.payload.clone());
-            self.main.insert(id, block.payload, rng)?;
+            if self.quarantined_ids.contains(&id) {
+                out.push(vec![0; self.config.table.entry_bytes]);
+                continue;
+            }
+            match self.main.fetch(id, rng) {
+                Ok(block) => {
+                    out.push(block.payload.clone());
+                    self.main.insert(id, block.payload, rng)?;
+                }
+                Err(OramError::MissingBlock { id }) => {
+                    self.quarantined_ids.insert(id);
+                    out.push(vec![0; self.config.table.entry_bytes]);
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
         Ok(out)
     }
@@ -478,7 +706,10 @@ mod tests {
         // Next round: entry 0 should now decode as 2.0s.
         s.begin_round(&[0], &mut rng).unwrap();
         let bytes = s.serve(0, &mut rng).unwrap().unwrap();
-        let vals: Vec<f32> = bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+        let vals: Vec<f32> = bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
         assert_eq!(vals, vec![2.0; dim]);
         s.end_round(&mut mode, 1.0, &mut rng).unwrap();
     }
@@ -500,11 +731,9 @@ mod tests {
         // Force losses with a shape that always picks k=1.
         let mut rng = StdRng::seed_from_u64(18);
         let mut config = FedoraConfig::for_testing(TableSpec::tiny(128), 64);
-        config.privacy.mechanism = fedora_fdp::FdpMechanism::new(
-            f64::INFINITY,
-            fedora_fdp::YShape::Custom(vec![1.0]),
-        )
-        .unwrap();
+        config.privacy.mechanism =
+            fedora_fdp::FdpMechanism::new(f64::INFINITY, fedora_fdp::YShape::Custom(vec![1.0]))
+                .unwrap();
         // ε=∞ picks k=k_union; to force loss use ε=0-ish with delta at 1:
         config.privacy.mechanism =
             fedora_fdp::FdpMechanism::new(0.0, fedora_fdp::YShape::Custom(vec![1.0])).unwrap();
@@ -587,7 +816,10 @@ mod tests {
         let before = s.ssd_stats();
         s.begin_round(&[1, 2, 3, 4, 5, 6, 7, 8], &mut rng).unwrap();
         let after_read = s.ssd_stats().since(&before);
-        assert_eq!(after_read.bytes_written, 0, "Opt. 1+2: read phase never writes");
+        assert_eq!(
+            after_read.bytes_written, 0,
+            "Opt. 1+2: read phase never writes"
+        );
         assert!(after_read.bytes_read > 0);
         let mut mode = FedAvg;
         s.end_round(&mut mode, 1.0, &mut rng).unwrap();
@@ -666,5 +898,116 @@ mod tests {
         // Table still intact afterwards.
         let table2 = s.snapshot_table(&mut rng).unwrap();
         assert_eq!(table, table2);
+    }
+
+    #[test]
+    fn transient_faults_retried_transparently() {
+        let (mut s, mut rng) = server(None);
+        s.arm_faults(FaultConfig::chaos(7, 0.0, 0.0, 1.0));
+        s.begin_round(&[3, 4, 5], &mut rng).unwrap();
+        assert_eq!(s.serve(3, &mut rng).unwrap().unwrap(), vec![3u8; 32]);
+        let mut mode = FedAvg;
+        let report = s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        assert!(
+            report.integrity.transient_retries > 0,
+            "{:?}",
+            report.integrity
+        );
+        assert!(s.aborts().is_empty());
+        assert!(s.fault_stats().transients > 0);
+    }
+
+    #[test]
+    fn transactional_round_aborts_rolls_back_and_recovers() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut config = FedoraConfig::for_testing(TableSpec::tiny(128), 64);
+        config.privacy = PrivacyConfig::none();
+        config.fault_tolerance = crate::config::FaultToleranceConfig::transactional();
+        let mut s = FedoraServer::new(config, |id| vec![id as u8; 32], &mut rng);
+
+        // Every read attempt gets an in-flight bit flip: the retry budget
+        // exhausts and the round must abort.
+        s.arm_faults(FaultConfig::chaos(11, 1.0, 0.0, 0.0));
+        let reqs = [10u64, 20, 30];
+        let err = s.begin_round(&reqs, &mut rng).unwrap_err();
+        assert!(matches!(err, FedoraError::RoundAborted { .. }), "{err}");
+        assert_eq!(s.aborts().len(), 1);
+        assert!(s.aborts()[0].report.integrity.detected_corruption > 0);
+        assert!(s.reports().is_empty(), "aborted round must not complete");
+
+        // The rollback restored a consistent state: with injection off the
+        // same round succeeds and serves correct data (entries that lived
+        // in a repaired bucket degrade to lost, never to wrong bytes).
+        s.disarm_faults();
+        let mut mode = FedAvg;
+        for _ in 0..3 {
+            s.begin_round(&reqs, &mut rng).unwrap();
+            for &id in &reqs {
+                if let Some(bytes) = s.serve(id, &mut rng).unwrap() {
+                    assert_eq!(bytes, vec![id as u8; 32]);
+                } else {
+                    assert!(s.quarantined_entries().contains(&id));
+                }
+            }
+            s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        }
+        assert_eq!(s.reports().len(), 3, "forward progress after the abort");
+    }
+
+    #[test]
+    fn non_transactional_integrity_error_propagates() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let mut config = FedoraConfig::for_testing(TableSpec::tiny(128), 64);
+        config.privacy = PrivacyConfig::none();
+        config.fault_tolerance.max_read_retries = 0;
+        let mut s = FedoraServer::new(config, |id| vec![id as u8; 32], &mut rng);
+        s.arm_faults(FaultConfig::chaos(13, 1.0, 0.0, 0.0));
+        let err = s.begin_round(&[1, 2], &mut rng).unwrap_err();
+        assert!(
+            matches!(err, FedoraError::Oram(OramError::Integrity { .. })),
+            "no transaction: the raw error surfaces ({err})"
+        );
+        assert!(s.aborts().is_empty());
+    }
+
+    #[test]
+    fn degraded_mode_excludes_quarantined_entries() {
+        let (mut s, mut rng) = server(None);
+        // Destroy every tree bucket: all non-stash blocks become missing.
+        let nodes = s.main_oram().store().geometry().num_nodes();
+        for node in 0..nodes {
+            s.repair_bucket(node).unwrap();
+        }
+        let reqs = [10u64, 20, 30, 40, 50, 60, 70, 80];
+        let mut mode = FedAvg;
+        s.begin_round(&reqs, &mut rng).unwrap();
+        let mut lost = 0;
+        for &id in &reqs {
+            match s.serve(id, &mut rng).unwrap() {
+                Some(bytes) => assert_eq!(bytes, vec![id as u8; 32], "stash survivor"),
+                None => lost += 1,
+            }
+        }
+        s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        assert!(lost >= 1, "emptied tree must lose some requested entries");
+        assert_eq!(s.quarantined_entries().len(), lost);
+        // The next round still proceeds, with the same entries excluded.
+        s.begin_round(&reqs, &mut rng).unwrap();
+        for &id in s.quarantined_entries().clone().iter() {
+            assert!(s.serve(id, &mut rng).unwrap().is_none());
+        }
+        s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn scrub_only_between_rounds() {
+        let (mut s, mut rng) = server(None);
+        s.begin_round(&[1], &mut rng).unwrap();
+        assert!(matches!(s.scrub(), Err(FedoraError::RoundInProgress)));
+        let mut mode = FedAvg;
+        s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        let report = s.scrub().unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.checked > 0);
     }
 }

@@ -43,7 +43,11 @@ impl Default for TrainingConfig {
             users_per_round: 32,
             rounds: 40,
             server_lr: 2.0,
-            trainer: LocalTrainer { lr: 0.2, epochs: 2, ..Default::default() },
+            trainer: LocalTrainer {
+                lr: 0.2,
+                epochs: 2,
+                ..Default::default()
+            },
             protection: Some((ProtectionMode::HideValue, 1.0)),
         }
     }
@@ -137,11 +141,7 @@ pub fn train_with_fedora_mode<M: AggregationMode, R: Rng>(
 
     // The main ORAM takes over the history table.
     let init_model = model.clone();
-    let mut server = FedoraServer::new(
-        fed_config,
-        |id| init_model.history_row_bytes(id),
-        rng,
-    );
+    let mut server = FedoraServer::new(fed_config, |id| init_model.history_row_bytes(id), rng);
     let all_users: Vec<u32> = (0..dataset.users().len() as u32).collect();
     let mut outcome = TrainingOutcome::default();
 
@@ -194,8 +194,9 @@ pub fn train_with_fedora_mode<M: AggregationMode, R: Rng>(
             }
             let history: Vec<u64> = reqs[..*real].to_vec();
             let ud = dataset.user(*user);
-            let Some(update) =
-                config.trainer.train(model, &ud.train, &history, Some(&rows))
+            let Some(update) = config
+                .trainer
+                .train(model, &ud.train, &history, Some(&rows))
             else {
                 continue;
             };
@@ -226,7 +227,9 @@ pub fn train_with_fedora_mode<M: AggregationMode, R: Rng>(
             dense_weight += n as f64;
             for (id, mut g) in update.item_deltas {
                 let w = FedAvg.pre(&mut g, n);
-                let entry = item_acc.entry(id).or_insert_with(|| (vec![0.0; g.len()], 0.0));
+                let entry = item_acc
+                    .entry(id)
+                    .or_insert_with(|| (vec![0.0; g.len()], 0.0));
                 fedora_fl::linalg::axpy(1.0, &g, &mut entry.0);
                 entry.1 += w;
             }
@@ -299,7 +302,13 @@ mod tests {
     fn tiny_model(seed: u64) -> DlrmModel {
         let mut rng = StdRng::seed_from_u64(seed);
         DlrmModel::new(
-            DlrmConfig { num_items: 128, embedding_dim: 8, hidden_dim: 16, use_private_history: true, pooling: Pooling::Mean },
+            DlrmConfig {
+                num_items: 128,
+                embedding_dim: 8,
+                hidden_dim: 16,
+                use_private_history: true,
+                pooling: Pooling::Mean,
+            },
             &mut rng,
         )
     }

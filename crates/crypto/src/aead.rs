@@ -132,7 +132,12 @@ impl ChaCha20Poly1305 {
     ///
     /// Returns [`AeadError`] if the tag does not verify (wrong key, nonce,
     /// AAD, or tampered ciphertext) or the input is shorter than a tag.
-    pub fn decrypt(&self, nonce: &Nonce, ciphertext_and_tag: &[u8], aad: &[u8]) -> Result<Vec<u8>, AeadError> {
+    pub fn decrypt(
+        &self,
+        nonce: &Nonce,
+        ciphertext_and_tag: &[u8],
+        aad: &[u8],
+    ) -> Result<Vec<u8>, AeadError> {
         if ciphertext_and_tag.len() < TAG_LEN {
             return Err(AeadError);
         }
@@ -181,11 +186,10 @@ mod tests {
     /// RFC 8439 §2.8.2 AEAD test vector.
     #[test]
     fn rfc8439_aead_vector() {
-        let key_bytes: [u8; 32] = hex(
-            "808182838485868788898a8b8c8d8e8f 909192939495969798999a9b9c9d9e9f",
-        )
-        .try_into()
-        .unwrap();
+        let key_bytes: [u8; 32] =
+            hex("808182838485868788898a8b8c8d8e8f 909192939495969798999a9b9c9d9e9f")
+                .try_into()
+                .unwrap();
         let nonce = Nonce::from_bytes(hex("070000004041424344454647").try_into().unwrap());
         let aad = hex("50515253c0c1c2c3c4c5c6c7");
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
@@ -228,7 +232,10 @@ mod tests {
     #[test]
     fn truncated_input_rejected() {
         let aead = ChaCha20Poly1305::new(&Key::from_bytes([1u8; 32]));
-        assert_eq!(aead.decrypt(&Nonce::from_u64_pair(0, 0), &[0u8; 5], b""), Err(AeadError));
+        assert_eq!(
+            aead.decrypt(&Nonce::from_u64_pair(0, 0), &[0u8; 5], b""),
+            Err(AeadError)
+        );
     }
 
     #[test]

@@ -76,7 +76,12 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
 /// xor_stream(&key, 0, &nonce, &mut data);
 /// assert_eq!(&data, b"attack at dawn");
 /// ```
-pub fn xor_stream(key: &[u8; KEY_LEN], initial_counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+pub fn xor_stream(
+    key: &[u8; KEY_LEN],
+    initial_counter: u32,
+    nonce: &[u8; NONCE_LEN],
+    data: &mut [u8],
+) {
     for (block_idx, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
         let counter = initial_counter.wrapping_add(block_idx as u32);
         let ks = block(key, counter, nonce);

@@ -76,7 +76,11 @@ impl EvictionSchedule {
     ///
     /// Panics if `level > depth` or `index >= 2^level`.
     pub fn writes_to_bucket(&self, level: u32, index: u64, eo_count: u64) -> u64 {
-        assert!(level <= self.depth, "level {level} beyond depth {}", self.depth);
+        assert!(
+            level <= self.depth,
+            "level {level} beyond depth {}",
+            self.depth
+        );
         let width = 1u64 << level;
         assert!(index < width, "index {index} out of range at level {level}");
         let phase = bit_reverse(index, level);

@@ -90,7 +90,10 @@ impl FlatGroupStore {
         // ceil(prev / 64) counter groups, until one group remains.
         let mut sizes = vec![num_groups];
         while *sizes.last().expect("non-empty") > 1 {
-            let next = sizes.last().expect("non-empty").div_ceil(COUNTERS_PER_GROUP);
+            let next = sizes
+                .last()
+                .expect("non-empty")
+                .div_ceil(COUNTERS_PER_GROUP);
             sizes.push(next);
             if next == 1 {
                 break;
@@ -191,7 +194,10 @@ impl FlatGroupStore {
     /// [`FlatStoreError::OutOfRange`] for bad indices.
     pub fn read_group(&self, group: usize) -> Result<Vec<u8>, FlatStoreError> {
         if group >= self.num_groups {
-            return Err(FlatStoreError::OutOfRange { group, capacity: self.num_groups });
+            return Err(FlatStoreError::OutOfRange {
+                group,
+                capacity: self.num_groups,
+            });
         }
         // Walk top-down: verify each counter group on the chain and check
         // that the stored counter matches the working mirror (a mismatch
@@ -240,7 +246,10 @@ impl FlatGroupStore {
     pub fn write_group(&mut self, group: usize, data: &[u8]) -> Result<(), FlatStoreError> {
         assert_eq!(data.len(), GROUP_BYTES, "one full group per write");
         if group >= self.num_groups {
-            return Err(FlatStoreError::OutOfRange { group, capacity: self.num_groups });
+            return Err(FlatStoreError::OutOfRange {
+                group,
+                capacity: self.num_groups,
+            });
         }
         // Bump and re-seal level 0.
         self.counters[0][group] += 1;
@@ -359,7 +368,10 @@ mod tests {
         let old_ctr_page = s.snapshot(1, 0);
         s.write_group(3, &[2; GROUP_BYTES]).unwrap();
         s.tamper(1, 0, old_ctr_page);
-        assert!(matches!(s.read_group(3), Err(FlatStoreError::Authentication { .. })));
+        assert!(matches!(
+            s.read_group(3),
+            Err(FlatStoreError::Authentication { .. })
+        ));
     }
 
     #[test]
@@ -376,7 +388,10 @@ mod tests {
     #[test]
     fn out_of_range_rejected() {
         let mut s = store(4);
-        assert!(matches!(s.read_group(4), Err(FlatStoreError::OutOfRange { .. })));
+        assert!(matches!(
+            s.read_group(4),
+            Err(FlatStoreError::OutOfRange { .. })
+        ));
         assert!(matches!(
             s.write_group(9, &[0; GROUP_BYTES]),
             Err(FlatStoreError::OutOfRange { .. })
@@ -390,7 +405,9 @@ mod tests {
         let mut model: Vec<Vec<u8>> = vec![vec![0u8; GROUP_BYTES]; 70];
         let mut x = 0x9e3779b97f4a7c15u64;
         for _ in 0..300 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let g = (x >> 33) as usize % 70;
             if x & 1 == 0 {
                 let fill = (x >> 8) as u8;

@@ -1,0 +1,70 @@
+//! Typed integrity-violation classification.
+//!
+//! FEDORA's counter scheme (see [`crate::counter`]) makes every AEAD
+//! decryption a freshness *and* integrity check: the nonce encodes the
+//! expected write counter, so a tag mismatch means the ciphertext is not
+//! the bytes written at that counter. The storage layer refines a bare
+//! [`crate::AeadError`] into one of three [`IntegrityError`] kinds by
+//! probing — retrying the read (transient), re-trying older counters
+//! (rollback), or concluding corruption — so recovery policy can differ
+//! per kind: transients are retried, rollbacks and corruption quarantine
+//! the bucket.
+
+/// Classified integrity failure for one authenticated unit (bucket/group).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IntegrityError {
+    /// Tag mismatch not explained by any plausible counter: the stored
+    /// bytes were altered (bit rot, torn write, active tampering).
+    Corruption,
+    /// The ciphertext authenticates under an *older* write counter: a
+    /// stale version was replayed (rollback attack or lost write).
+    Rollback,
+    /// The device reported a retryable failure; the data itself may be
+    /// intact.
+    Transient,
+}
+
+impl IntegrityError {
+    /// Whether retrying the same operation can succeed without repair.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, IntegrityError::Transient)
+    }
+}
+
+impl core::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IntegrityError::Corruption => write!(f, "corruption (tag mismatch at current counter)"),
+            IntegrityError::Rollback => write!(f, "rollback (stale version authenticates)"),
+            IntegrityError::Transient => write!(f, "transient device failure"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_transient_is_retryable() {
+        assert!(IntegrityError::Transient.is_retryable());
+        assert!(!IntegrityError::Corruption.is_retryable());
+        assert!(!IntegrityError::Rollback.is_retryable());
+    }
+
+    #[test]
+    fn display_distinct() {
+        let texts: Vec<String> = [
+            IntegrityError::Corruption,
+            IntegrityError::Rollback,
+            IntegrityError::Transient,
+        ]
+        .iter()
+        .map(|e| e.to_string())
+        .collect();
+        assert_ne!(texts[0], texts[1]);
+        assert_ne!(texts[1], texts[2]);
+    }
+}

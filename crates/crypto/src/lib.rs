@@ -43,6 +43,8 @@ pub mod chacha20;
 pub mod counter;
 pub mod flat;
 pub mod group;
+pub mod integrity;
 pub mod poly1305;
 
 pub use aead::{AeadError, ChaCha20Poly1305, Key, Nonce, TAG_LEN};
+pub use integrity::IntegrityError;

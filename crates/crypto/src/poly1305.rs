@@ -198,11 +198,10 @@ mod tests {
     /// RFC 8439 §2.5.2 test vector.
     #[test]
     fn rfc8439_tag_vector() {
-        let key: [u8; 32] = hex(
-            "85d6be7857556d337f4452fe42d506a8 0103808afb0db2fd4abff6af4149f51b",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            hex("85d6be7857556d337f4452fe42d506a8 0103808afb0db2fd4abff6af4149f51b")
+                .try_into()
+                .unwrap();
         let msg = b"Cryptographic Forum Research Group";
         let tag = authenticate(&key, msg);
         let expected: [u8; 16] = hex("a8061dc1305136c6c22b8baf0c0127a9").try_into().unwrap();
@@ -226,7 +225,10 @@ mod tests {
 
     #[test]
     fn tag_changes_with_key() {
-        assert_ne!(authenticate(&[1u8; 32], b"m"), authenticate(&[2u8; 32], b"m"));
+        assert_ne!(
+            authenticate(&[1u8; 32], b"m"),
+            authenticate(&[2u8; 32], b"m")
+        );
     }
 
     #[test]

@@ -62,12 +62,18 @@ impl FdpMechanism {
     /// The vanilla-ORAM configuration (Strawman 1): always `k = K`,
     /// perfect FDP (ε = 0).
     pub fn vanilla() -> Self {
-        FdpMechanism { epsilon: 0.0, shape: YShape::DeltaAtK }
+        FdpMechanism {
+            epsilon: 0.0,
+            shape: YShape::DeltaAtK,
+        }
     }
 
     /// The no-privacy configuration (Strawman 2): always `k = k_union`.
     pub fn no_privacy() -> Self {
-        FdpMechanism { epsilon: f64::INFINITY, shape: YShape::Uniform }
+        FdpMechanism {
+            epsilon: f64::INFINITY,
+            shape: YShape::Uniform,
+        }
     }
 
     /// The configured ε.
@@ -285,7 +291,10 @@ mod tests {
         let lost_pow = pow.expected_lost(30, 100).unwrap();
         let dum_uni = uni.expected_dummies(30, 100).unwrap();
         let dum_pow = pow.expected_dummies(30, 100).unwrap();
-        assert!(lost_pow < lost_uni, "pow loses less: {lost_pow} vs {lost_uni}");
+        assert!(
+            lost_pow < lost_uni,
+            "pow loses less: {lost_pow} vs {lost_uni}"
+        );
         assert!(dum_pow > dum_uni, "pow pads more: {dum_pow} vs {dum_uni}");
     }
 

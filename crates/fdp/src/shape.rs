@@ -83,7 +83,10 @@ impl YShape {
 
     /// The Figure 3(b) shape: `Y_i = 1` for `K/4 ≤ i ≤ K`.
     pub fn square_upper_three_quarters() -> Self {
-        YShape::Square { lo_frac: 0.25, hi_frac: 1.0 }
+        YShape::Square {
+            lo_frac: 0.25,
+            hi_frac: 1.0,
+        }
     }
 }
 
@@ -100,7 +103,10 @@ mod tests {
 
     #[test]
     fn square_masks_outside() {
-        let s = YShape::Square { lo_frac: 0.25, hi_frac: 1.0 };
+        let s = YShape::Square {
+            lo_frac: 0.25,
+            hi_frac: 1.0,
+        };
         assert!(s.ln_weight(24, 100).is_infinite());
         assert_eq!(s.ln_weight(25, 100), 0.0);
         assert_eq!(s.ln_weight(100, 100), 0.0);

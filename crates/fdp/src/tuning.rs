@@ -25,12 +25,18 @@ pub struct CostWeights {
 impl CostWeights {
     /// Performance-dominated deployment: losses are cheap to tolerate.
     pub fn performance_first() -> Self {
-        CostWeights { dummy: 1.0, lost: 0.2 }
+        CostWeights {
+            dummy: 1.0,
+            lost: 0.2,
+        }
     }
 
     /// Accuracy-dominated deployment: losses are expensive.
     pub fn accuracy_first() -> Self {
-        CostWeights { dummy: 0.2, lost: 5.0 }
+        CostWeights {
+            dummy: 0.2,
+            lost: 5.0,
+        }
     }
 }
 
@@ -82,7 +88,10 @@ pub fn recommend_shape(
     for lo in [0.1, 0.25, 0.5, 0.75] {
         // Only admissible if the window can still contain k_union-ish
         // values; the window itself is public.
-        candidates.push(YShape::Square { lo_frac: lo, hi_frac: 1.0 });
+        candidates.push(YShape::Square {
+            lo_frac: lo,
+            hi_frac: 1.0,
+        });
     }
 
     let mut best: Option<ShapeRecommendation> = None;
@@ -123,8 +132,16 @@ mod tests {
         let mech = FdpMechanism::new(1.0, YShape::Uniform).expect("valid");
         let d = mech.expected_dummies(30, 100).expect("valid");
         let l = mech.expected_lost(30, 100).expect("valid");
-        let c = expected_cost(&mech, 30, 100, &CostWeights { dummy: 2.0, lost: 3.0 })
-            .expect("valid");
+        let c = expected_cost(
+            &mech,
+            30,
+            100,
+            &CostWeights {
+                dummy: 2.0,
+                lost: 3.0,
+            },
+        )
+        .expect("valid");
         assert!((c - (2.0 * d + 3.0 * l)).abs() < 1e-9);
     }
 
@@ -147,8 +164,7 @@ mod tests {
     #[test]
     fn performance_first_avoids_delta() {
         // When dummies are expensive, always-read-K is the worst choice.
-        let rec =
-            recommend_shape(0.5, 30, 100, &CostWeights::performance_first()).expect("found");
+        let rec = recommend_shape(0.5, 30, 100, &CostWeights::performance_first()).expect("found");
         assert_ne!(rec.shape, YShape::DeltaAtK);
         let delta = FdpMechanism::new(0.5, YShape::DeltaAtK).expect("valid");
         let delta_cost =
@@ -164,7 +180,10 @@ mod tests {
             0.5,
             30,
             100,
-            &CostWeights { dummy: 1e-6, lost: 1e9 },
+            &CostWeights {
+                dummy: 1e-6,
+                lost: 1e9,
+            },
         )
         .expect("found");
         assert!(rec.expected_lost < 1e-6, "{:?}", rec);
@@ -172,7 +191,10 @@ mod tests {
 
     #[test]
     fn recommendation_is_consistent() {
-        let w = CostWeights { dummy: 1.0, lost: 1.0 };
+        let w = CostWeights {
+            dummy: 1.0,
+            lost: 1.0,
+        };
         let rec = recommend_shape(1.0, 50, 200, &w).expect("found");
         // Recomputing the winner's cost matches.
         let mech = FdpMechanism::new(1.0, rec.shape.clone()).expect("valid");

@@ -110,7 +110,10 @@ impl AttentionPooling {
         }
         let query = self.q.matvec(target);
         let inv_sqrt_d = 1.0 / (d as f32).sqrt();
-        let scores: Vec<f32> = history.iter().map(|h| dot(h, &query) * inv_sqrt_d).collect();
+        let scores: Vec<f32> = history
+            .iter()
+            .map(|h| dot(h, &query) * inv_sqrt_d)
+            .collect();
         // Stable softmax.
         let max = scores.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = scores.iter().map(|s| (s - max).exp()).collect();
@@ -152,7 +155,12 @@ impl AttentionPooling {
         let dw: Vec<f32> = cache.history.iter().map(|h| dot(d_pooled, h)).collect();
         // Softmax Jacobian: dL/ds_j = w_j (dw_j − Σ_i w_i dw_i)
         let mix: f32 = cache.weights.iter().zip(&dw).map(|(w, g)| w * g).sum();
-        let ds: Vec<f32> = cache.weights.iter().zip(&dw).map(|(w, g)| w * (g - mix)).collect();
+        let ds: Vec<f32> = cache
+            .weights
+            .iter()
+            .zip(&dw)
+            .map(|(w, g)| w * (g - mix))
+            .collect();
 
         // dL/dh_j = w_j · d_pooled + ds_j · q / √d
         let d_history: Vec<Vec<f32>> = cache
@@ -180,7 +188,11 @@ impl AttentionPooling {
         d_q.add_outer(1.0, &d_query, &cache.target);
         let d_target = self.q.matvec_t(&d_query);
 
-        AttentionGrads { d_q, d_target, d_history }
+        AttentionGrads {
+            d_q,
+            d_target,
+            d_history,
+        }
     }
 }
 
@@ -224,8 +236,14 @@ mod tests {
         // pooled must lie within the per-coordinate min/max of history.
         for i in 0..D {
             let lo = history.iter().map(|h| h[i]).fold(f32::INFINITY, f32::min);
-            let hi = history.iter().map(|h| h[i]).fold(f32::NEG_INFINITY, f32::max);
-            assert!(pooled[i] >= lo - 1e-5 && pooled[i] <= hi + 1e-5, "coord {i}");
+            let hi = history
+                .iter()
+                .map(|h| h[i])
+                .fold(f32::NEG_INFINITY, f32::max);
+            assert!(
+                pooled[i] >= lo - 1e-5 && pooled[i] <= hi + 1e-5,
+                "coord {i}"
+            );
         }
         assert_eq!(cache.weights().len(), history.len());
     }
@@ -313,18 +331,28 @@ mod tests {
         let goal: Vec<f32> = (0..D).map(|_| rng.gen_range(-0.5..0.5)).collect();
         let mse = |att: &AttentionPooling| -> f32 {
             let (pooled, _) = att.forward(&target, &history);
-            pooled.iter().zip(&goal).map(|(p, g)| (p - g) * (p - g)).sum()
+            pooled
+                .iter()
+                .zip(&goal)
+                .map(|(p, g)| (p - g) * (p - g))
+                .sum()
         };
         let before = mse(&att);
         for _ in 0..200 {
             let (pooled, cache) = att.forward(&target, &history);
-            let d_pooled: Vec<f32> =
-                pooled.iter().zip(&goal).map(|(p, g)| 2.0 * (p - g)).collect();
+            let d_pooled: Vec<f32> = pooled
+                .iter()
+                .zip(&goal)
+                .map(|(p, g)| 2.0 * (p - g))
+                .collect();
             let grads = att.backward(&cache, &d_pooled);
             att.apply(-0.1, &grads.d_q);
         }
         let after = mse(&att);
-        assert!(after < before, "training must reduce loss: {before} -> {after}");
+        assert!(
+            after < before,
+            "training must reduce loss: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub struct LocalTrainer {
 
 impl Default for LocalTrainer {
     fn default() -> Self {
-        LocalTrainer { lr: 0.1, epochs: 1, lost_rows: LostRowStrategy::DefaultValue }
+        LocalTrainer {
+            lr: 0.1,
+            epochs: 1,
+            lost_rows: LostRowStrategy::DefaultValue,
+        }
     }
 }
 
@@ -90,8 +94,7 @@ impl LocalTrainer {
         if let Some(rows) = history_rows {
             let d = global.config().embedding_dim;
             if self.lost_rows == LostRowStrategy::Drop {
-                effective_history
-                    .retain(|h| matches!(rows.get(h), Some(Some(_))));
+                effective_history.retain(|h| matches!(rows.get(h), Some(Some(_))));
             }
             for &h in &effective_history {
                 match rows.get(&h) {
@@ -190,9 +193,24 @@ mod tests {
         let model = DlrmModel::new(DlrmConfig::tiny(64), &mut rng);
         let history = vec![3u64, 9, 17];
         let samples = vec![
-            Sample { user: 0, target_item: 5, dense: 0.2, label: true },
-            Sample { user: 0, target_item: 8, dense: 0.2, label: false },
-            Sample { user: 0, target_item: 5, dense: 0.2, label: true },
+            Sample {
+                user: 0,
+                target_item: 5,
+                dense: 0.2,
+                label: true,
+            },
+            Sample {
+                user: 0,
+                target_item: 8,
+                dense: 0.2,
+                label: false,
+            },
+            Sample {
+                user: 0,
+                target_item: 5,
+                dense: 0.2,
+                label: true,
+            },
         ];
         (model, samples, history)
     }
@@ -219,11 +237,18 @@ mod tests {
     #[test]
     fn deltas_are_nonzero_after_training() {
         let (model, samples, history) = setup();
-        let t = LocalTrainer { lr: 0.2, epochs: 2, ..Default::default() };
+        let t = LocalTrainer {
+            lr: 0.2,
+            epochs: 2,
+            ..Default::default()
+        };
         let u = t.train(&model, &samples, &history, None).unwrap();
         let dense_norm: f32 = u.dense_delta.w2.iter().map(|x| x * x).sum();
         assert!(dense_norm > 0.0, "dense delta must move");
-        assert!(u.history_deltas.iter().any(|(_, d)| d.iter().any(|&x| x != 0.0)));
+        assert!(u
+            .history_deltas
+            .iter()
+            .any(|(_, d)| d.iter().any(|&x| x != 0.0)));
     }
 
     #[test]
@@ -231,9 +256,18 @@ mod tests {
         let (mut model, samples, history) = setup();
         let loss_before: f32 = samples
             .iter()
-            .map(|s| DlrmModel::bce_loss(&model.forward_local(s.target_item, &history, s.dense), s.label as u8 as f32))
+            .map(|s| {
+                DlrmModel::bce_loss(
+                    &model.forward_local(s.target_item, &history, s.dense),
+                    s.label as u8 as f32,
+                )
+            })
             .sum();
-        let t = LocalTrainer { lr: 0.2, epochs: 4, ..Default::default() };
+        let t = LocalTrainer {
+            lr: 0.2,
+            epochs: 4,
+            ..Default::default()
+        };
         let u = t.train(&model, &samples, &history, None).unwrap();
         model.dense_mut().add_scaled(1.0, &u.dense_delta);
         for (id, delta) in &u.item_deltas {
@@ -244,7 +278,12 @@ mod tests {
         }
         let loss_after: f32 = samples
             .iter()
-            .map(|s| DlrmModel::bce_loss(&model.forward_local(s.target_item, &history, s.dense), s.label as u8 as f32))
+            .map(|s| {
+                DlrmModel::bce_loss(
+                    &model.forward_local(s.target_item, &history, s.dense),
+                    s.label as u8 as f32,
+                )
+            })
             .sum();
         assert!(loss_after < loss_before, "{loss_before} -> {loss_after}");
     }
@@ -266,8 +305,10 @@ mod tests {
     fn lost_rows_use_default_value() {
         let (model, samples, history) = setup();
         let t = LocalTrainer::default();
-        let mut rows: HashMap<u64, Option<Vec<f32>>> =
-            history.iter().map(|&h| (h, Some(model.history_row(h).to_vec()))).collect();
+        let mut rows: HashMap<u64, Option<Vec<f32>>> = history
+            .iter()
+            .map(|&h| (h, Some(model.history_row(h).to_vec())))
+            .collect();
         rows.insert(3, None); // entry 3 lost to FDP
         let u = t.train(&model, &samples, &history, Some(&rows)).unwrap();
         assert!(u.history_deltas.iter().any(|(id, _)| *id == 3));
@@ -276,9 +317,14 @@ mod tests {
     #[test]
     fn drop_strategy_shrinks_history() {
         let (model, samples, history) = setup();
-        let t = LocalTrainer { lost_rows: LostRowStrategy::Drop, ..Default::default() };
-        let mut rows: HashMap<u64, Option<Vec<f32>>> =
-            history.iter().map(|&h| (h, Some(model.history_row(h).to_vec()))).collect();
+        let t = LocalTrainer {
+            lost_rows: LostRowStrategy::Drop,
+            ..Default::default()
+        };
+        let mut rows: HashMap<u64, Option<Vec<f32>>> = history
+            .iter()
+            .map(|&h| (h, Some(model.history_row(h).to_vec())))
+            .collect();
         rows.insert(3, None); // entry 3 lost to FDP
         let u = t.train(&model, &samples, &history, Some(&rows)).unwrap();
         // The dropped entry produces no upload.
@@ -289,9 +335,11 @@ mod tests {
     #[test]
     fn drop_strategy_with_everything_lost_still_trains() {
         let (model, samples, history) = setup();
-        let t = LocalTrainer { lost_rows: LostRowStrategy::Drop, ..Default::default() };
-        let rows: HashMap<u64, Option<Vec<f32>>> =
-            history.iter().map(|&h| (h, None)).collect();
+        let t = LocalTrainer {
+            lost_rows: LostRowStrategy::Drop,
+            ..Default::default()
+        };
+        let rows: HashMap<u64, Option<Vec<f32>>> = history.iter().map(|&h| (h, None)).collect();
         let u = t.train(&model, &samples, &history, Some(&rows)).unwrap();
         assert!(u.history_deltas.is_empty());
         // Dense model still moves (the sample trains without the branch).

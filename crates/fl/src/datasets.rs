@@ -122,7 +122,12 @@ impl SyntheticConfig {
             num_users: 512,
             num_items: 2048,
             zipf_exponent: 1.1,
-            history_len: HistoryLen::HeavyTail { median: 30.0, sigma: 0.8, max: 200, empty_prob: 0.02 },
+            history_len: HistoryLen::HeavyTail {
+                median: 30.0,
+                sigma: 0.8,
+                max: 200,
+                empty_prob: 0.02,
+            },
             samples_per_user: 16,
             test_samples: 4096,
             preference_weight: 4.0,
@@ -138,7 +143,12 @@ impl SyntheticConfig {
             num_users: 512,
             num_items: 2048,
             zipf_exponent: 1.3,
-            history_len: HistoryLen::HeavyTail { median: 6.0, sigma: 1.6, max: 400, empty_prob: 0.35 },
+            history_len: HistoryLen::HeavyTail {
+                median: 6.0,
+                sigma: 1.6,
+                max: 400,
+                empty_prob: 0.35,
+            },
             samples_per_user: 16,
             test_samples: 4096,
             preference_weight: 1.5,
@@ -219,8 +229,9 @@ impl Dataset {
                     .collect()
             })
             .collect();
-        let popularity: Vec<f64> =
-            (0..config.num_items).map(|_| standard_normal(&mut rng)).collect();
+        let popularity: Vec<f64> = (0..config.num_items)
+            .map(|_| standard_normal(&mut rng))
+            .collect();
         let zipf = ZipfSampler::new(config.num_items, config.zipf_exponent);
         // Base Zipf weights for taste-biased history sampling.
         let zipf_weight: Vec<f64> = (0..config.num_items)
@@ -236,7 +247,12 @@ impl Dataset {
 
             let len = match config.history_len {
                 HistoryLen::Fixed(n) => n,
-                HistoryLen::HeavyTail { median, sigma, max, empty_prob } => {
+                HistoryLen::HeavyTail {
+                    median,
+                    sigma,
+                    max,
+                    empty_prob,
+                } => {
                     if rng.gen::<f64>() < empty_prob {
                         0
                     } else {
@@ -250,8 +266,7 @@ impl Dataset {
             let mut history: Vec<u64> = if len > 0 {
                 let weights: Vec<f64> = (0..config.num_items as usize)
                     .map(|i| {
-                        let aff: f64 =
-                            taste.iter().zip(&latents[i]).map(|(a, b)| a * b).sum();
+                        let aff: f64 = taste.iter().zip(&latents[i]).map(|(a, b)| a * b).sum();
                         zipf_weight[i] * (TASTE_BIAS * aff).exp()
                     })
                     .collect();
@@ -286,10 +301,16 @@ impl Dataset {
                     + config.popularity_weight * popularity[target as usize]
                     + 0.5 * standard_normal(rng);
                 let p = 1.0 / (1.0 + (-score).exp());
-                Sample { user, target_item: target, dense, label: rng.gen::<f64>() < p }
+                Sample {
+                    user,
+                    target_item: target,
+                    dense,
+                    label: rng.gen::<f64>() < p,
+                }
             };
-            let train: Vec<Sample> =
-                (0..config.samples_per_user).map(|_| make_sample(&mut rng)).collect();
+            let train: Vec<Sample> = (0..config.samples_per_user)
+                .map(|_| make_sample(&mut rng))
+                .collect();
             users.push(UserData { history, train });
             tastes.push(taste);
         }
@@ -318,7 +339,11 @@ impl Dataset {
             });
         }
 
-        Dataset { config, users, test }
+        Dataset {
+            config,
+            users,
+            test,
+        }
     }
 
     /// The generator configuration.
@@ -366,7 +391,12 @@ impl Dataset {
     /// Mean and maximum history length — the skew statistics that drive
     /// the "hide #" results.
     pub fn history_stats(&self) -> (f64, usize) {
-        let max = self.users.iter().map(|u| u.history.len()).max().unwrap_or(0);
+        let max = self
+            .users
+            .iter()
+            .map(|u| u.history.len())
+            .max()
+            .unwrap_or(0);
         let mean = self.users.iter().map(|u| u.history.len()).sum::<usize>() as f64
             / self.users.len().max(1) as f64;
         (mean, max)
@@ -385,7 +415,12 @@ mod tests {
         for _ in 0..20_000 {
             counts[z.sample(&mut rng) as usize] += 1;
         }
-        assert!(counts[0] > counts[99] * 5, "head {} tail {}", counts[0], counts[99]);
+        assert!(
+            counts[0] > counts[99] * 5,
+            "head {} tail {}",
+            counts[0],
+            counts[99]
+        );
         // All ids reachable in principle; none out of range.
         assert_eq!(counts.iter().sum::<u64>(), 20_000);
     }
@@ -411,7 +446,10 @@ mod tests {
         let empty = d.users().iter().filter(|u| u.history.is_empty()).count();
         assert!(empty > d.users().len() / 5, "only {empty} empty histories");
         let (mean, max) = d.history_stats();
-        assert!(max as f64 > 8.0 * mean, "max {max} mean {mean} not heavy-tailed");
+        assert!(
+            max as f64 > 8.0 * mean,
+            "max {max} mean {mean} not heavy-tailed"
+        );
     }
 
     #[test]

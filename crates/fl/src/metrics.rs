@@ -50,10 +50,7 @@ pub fn accuracy(scored: &[(f32, bool)]) -> f64 {
     if scored.is_empty() {
         return 0.0;
     }
-    let correct = scored
-        .iter()
-        .filter(|(s, l)| (*s >= 0.5) == *l)
-        .count();
+    let correct = scored.iter().filter(|(s, l)| (*s >= 0.5) == *l).count();
     correct as f64 / scored.len() as f64
 }
 

@@ -156,17 +156,21 @@ impl DlrmModel {
     pub fn new<R: Rng>(config: DlrmConfig, rng: &mut R) -> Self {
         let d = config.embedding_dim;
         let scale_emb = 0.1 / (d as f32).sqrt();
-        let item_table =
-            Matrix::from_fn(config.num_items as usize, d, |_, _| rng.gen_range(-scale_emb..scale_emb));
-        let history_table =
-            Matrix::from_fn(config.num_items as usize, d, |_, _| rng.gen_range(-scale_emb..scale_emb));
+        let item_table = Matrix::from_fn(config.num_items as usize, d, |_, _| {
+            rng.gen_range(-scale_emb..scale_emb)
+        });
+        let history_table = Matrix::from_fn(config.num_items as usize, d, |_, _| {
+            rng.gen_range(-scale_emb..scale_emb)
+        });
         let fan_in = config.input_dim() as f32;
         let s1 = (2.0 / fan_in).sqrt();
         let w1 = Matrix::from_fn(config.hidden_dim, config.input_dim(), |_, _| {
             rng.gen_range(-s1..s1)
         });
         let s2 = (2.0 / config.hidden_dim as f32).sqrt();
-        let w2 = (0..config.hidden_dim).map(|_| rng.gen_range(-s2..s2)).collect();
+        let w2 = (0..config.hidden_dim)
+            .map(|_| rng.gen_range(-s2..s2))
+            .collect();
         let attention = match config.pooling {
             Pooling::Mean => None,
             Pooling::Attention => Some(AttentionPooling::new(d, rng)),
@@ -175,7 +179,12 @@ impl DlrmModel {
             config,
             item_table,
             history_table,
-            dense: DenseParams { w1, b1: vec![0.0; config.hidden_dim], w2, b2: 0.0 },
+            dense: DenseParams {
+                w1,
+                b1: vec![0.0; config.hidden_dim],
+                w2,
+                b2: 0.0,
+            },
             attention,
         }
     }
@@ -239,7 +248,10 @@ impl DlrmModel {
     pub fn update_item_row(&mut self, id: u64, alpha: f32, delta: &[f32]) {
         let d = self.config.embedding_dim;
         let base = id as usize * d;
-        for (w, g) in self.item_table.data_mut()[base..base + d].iter_mut().zip(delta) {
+        for (w, g) in self.item_table.data_mut()[base..base + d]
+            .iter_mut()
+            .zip(delta)
+        {
             *w += alpha * g;
         }
     }
@@ -248,7 +260,10 @@ impl DlrmModel {
     pub fn update_history_row(&mut self, id: u64, alpha: f32, delta: &[f32]) {
         let d = self.config.embedding_dim;
         let base = id as usize * d;
-        for (w, g) in self.history_table.data_mut()[base..base + d].iter_mut().zip(delta) {
+        for (w, g) in self.history_table.data_mut()[base..base + d]
+            .iter_mut()
+            .zip(delta)
+        {
             *w += alpha * g;
         }
     }
@@ -296,7 +311,11 @@ impl DlrmModel {
         history_rows: &[Option<Vec<f32>>],
         dense_feature: f32,
     ) -> ForwardCache {
-        assert_eq!(history.len(), history_rows.len(), "one row per history item");
+        assert_eq!(
+            history.len(),
+            history_rows.len(),
+            "one row per history item"
+        );
         let d = self.config.embedding_dim;
         let zero = vec![0.0; d];
         let resolved: Vec<&[f32]> = history_rows
@@ -308,7 +327,13 @@ impl DlrmModel {
         } else {
             (vec![0.0; d], None)
         };
-        self.forward_inner(target_item, history.to_vec(), pooled, att_cache, dense_feature)
+        self.forward_inner(
+            target_item,
+            history.to_vec(),
+            pooled,
+            att_cache,
+            dense_feature,
+        )
     }
 
     /// Forward pass using the model's own history table (reference FL path
@@ -321,13 +346,21 @@ impl DlrmModel {
     ) -> ForwardCache {
         let d = self.config.embedding_dim;
         let (pooled, att_cache) = if self.config.use_private_history && !history.is_empty() {
-            let rows: Vec<&[f32]> =
-                history.iter().map(|&h| self.history_table.row(h as usize)).collect();
+            let rows: Vec<&[f32]> = history
+                .iter()
+                .map(|&h| self.history_table.row(h as usize))
+                .collect();
             self.pool(target_item, &rows)
         } else {
             (vec![0.0; d], None)
         };
-        self.forward_inner(target_item, history.to_vec(), pooled, att_cache, dense_feature)
+        self.forward_inner(
+            target_item,
+            history.to_vec(),
+            pooled,
+            att_cache,
+            dense_feature,
+        )
     }
 
     fn forward_inner(
@@ -350,7 +383,15 @@ impl DlrmModel {
         }
         let h1: Vec<f32> = pre1.iter().map(|&v| relu(v)).collect();
         let logit = dot(&self.dense.w2, &h1) + self.dense.b2;
-        ForwardCache { x, pre1, h1, prob: sigmoid(logit), target_item, history, attention }
+        ForwardCache {
+            x,
+            pre1,
+            h1,
+            prob: sigmoid(logit),
+            target_item,
+            history,
+            attention,
+        }
     }
 
     /// Backward pass for binary cross-entropy: returns all gradients.
@@ -418,7 +459,12 @@ impl DlrmModel {
                 }
             }
         }
-        Gradients { dense, item_row: (cache.target_item, item_grad), history_rows, attention_q }
+        Gradients {
+            dense,
+            item_row: (cache.target_item, item_grad),
+            history_rows,
+            attention_q,
+        }
     }
 
     /// Binary cross-entropy loss of a cached forward pass.
@@ -430,7 +476,10 @@ impl DlrmModel {
     /// Serializes one history row into the byte format stored in the main
     /// ORAM (little-endian f32s).
     pub fn history_row_bytes(&self, id: u64) -> Vec<u8> {
-        self.history_row(id).iter().flat_map(|v| v.to_le_bytes()).collect()
+        self.history_row(id)
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect()
     }
 
     /// Parses a main-ORAM payload back into an f32 row.
@@ -468,7 +517,10 @@ mod tests {
     #[test]
     fn pub_mode_ignores_history() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = DlrmConfig { use_private_history: false, ..DlrmConfig::tiny(32) };
+        let cfg = DlrmConfig {
+            use_private_history: false,
+            ..DlrmConfig::tiny(32)
+        };
         let m = DlrmModel::new(cfg, &mut rng);
         let a = m.forward_local(3, &[1, 2], 0.5).prob();
         let b = m.forward_local(3, &[7, 9, 11], 0.5).prob();
@@ -479,8 +531,10 @@ mod tests {
     fn forward_with_history_matches_local() {
         let m = model(3);
         let hist = [1u64, 4, 9];
-        let rows: Vec<Option<Vec<f32>>> =
-            hist.iter().map(|&h| Some(m.history_row(h).to_vec())).collect();
+        let rows: Vec<Option<Vec<f32>>> = hist
+            .iter()
+            .map(|&h| Some(m.history_row(h).to_vec()))
+            .collect();
         let a = m.forward_local(2, &hist, 0.3).prob();
         let b = m.forward_with_history(2, &hist, &rows, 0.3).prob();
         assert!((a - b).abs() < 1e-6);
@@ -539,8 +593,16 @@ mod tests {
         let lm = DlrmModel::bce_loss(&m.forward_local(target, &hist, dense_feat), label);
         m.set_history_row(1, &row);
         let fd = (lp - lm) / (2.0 * eps);
-        let analytic = grads.history_rows.iter().find(|(id, _)| *id == 1).unwrap().1[0];
-        assert!((fd - analytic).abs() < 1e-2, "hist grad: fd={fd} analytic={analytic}");
+        let analytic = grads
+            .history_rows
+            .iter()
+            .find(|(id, _)| *id == 1)
+            .unwrap()
+            .1[0];
+        assert!(
+            (fd - analytic).abs() < 1e-2,
+            "hist grad: fd={fd} analytic={analytic}"
+        );
 
         // item row, component 0.
         let irow = m.item_row(target).to_vec();
@@ -554,7 +616,10 @@ mod tests {
         let lm = DlrmModel::bce_loss(&m.forward_local(target, &hist, dense_feat), label);
         m.item_table.data_mut()[base] = irow[0];
         let fd = (lp - lm) / (2.0 * eps);
-        assert!((fd - grads.item_row.1[0]).abs() < 1e-2, "item grad: fd={fd}");
+        assert!(
+            (fd - grads.item_row.1[0]).abs() < 1e-2,
+            "item grad: fd={fd}"
+        );
     }
 
     #[test]
@@ -563,11 +628,17 @@ mod tests {
         // pooling: the history-row gradient now routes through softmax
         // attention and the interaction feature.
         let mut rng = StdRng::seed_from_u64(15);
-        let cfg = DlrmConfig { pooling: Pooling::Attention, ..DlrmConfig::tiny(32) };
+        let cfg = DlrmConfig {
+            pooling: Pooling::Attention,
+            ..DlrmConfig::tiny(32)
+        };
         let mut m = DlrmModel::new(cfg, &mut rng);
         let (target, hist, feat, label) = (3u64, vec![1u64, 7, 12], 0.25f32, 1.0f32);
         let cache = m.forward_local(target, &hist, feat);
-        assert!(cache.attention.is_some(), "attention cache must be recorded");
+        assert!(
+            cache.attention.is_some(),
+            "attention cache must be recorded"
+        );
         let grads = m.backward(&cache, label);
         assert!(grads.attention_q.is_some());
         let eps = 1e-3f32;
@@ -583,8 +654,16 @@ mod tests {
         let lm = DlrmModel::bce_loss(&m.forward_local(target, &hist, feat), label);
         m.set_history_row(7, &row);
         let fd = (lp - lm) / (2.0 * eps);
-        let analytic = grads.history_rows.iter().find(|(id, _)| *id == 7).unwrap().1[2];
-        assert!((fd - analytic).abs() < 1e-2, "hist grad via attention: fd={fd} vs {analytic}");
+        let analytic = grads
+            .history_rows
+            .iter()
+            .find(|(id, _)| *id == 7)
+            .unwrap()
+            .1[2];
+        assert!(
+            (fd - analytic).abs() < 1e-2,
+            "hist grad via attention: fd={fd} vs {analytic}"
+        );
 
         // Attention Q[0][1].
         let q00 = m.attention().unwrap().q().get(0, 1);

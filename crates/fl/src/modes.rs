@@ -91,7 +91,12 @@ pub struct FedAdam {
 impl FedAdam {
     /// Creates FedAdam with the standard (β₁, β₂, ε) = (0.9, 0.999, 1e-8).
     pub fn new() -> Self {
-        FedAdam { beta1: 0.9, beta2: 0.999, eps: 1e-8, moments: HashMap::new() }
+        FedAdam {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            moments: HashMap::new(),
+        }
     }
 
     /// Number of entries with tracked moments.
@@ -122,9 +127,10 @@ impl AggregationMode for FedAdam {
             }
         }
         let dim = agg.len();
-        let (m, v, t) = self.moments.entry(entry_id).or_insert_with(|| {
-            (vec![0.0; dim], vec![0.0; dim], 0)
-        });
+        let (m, v, t) = self
+            .moments
+            .entry(entry_id)
+            .or_insert_with(|| (vec![0.0; dim], vec![0.0; dim], 0));
         *t += 1;
         let bc1 = 1.0 - self.beta1.powi(*t as i32);
         let bc2 = 1.0 - self.beta2.powi(*t as i32);
@@ -200,7 +206,11 @@ pub struct LazyDp {
 impl LazyDp {
     /// Creates the mode.
     pub fn new(clip_norm: f32, sigma: f64) -> Self {
-        LazyDp { inner: Eana::new(clip_norm, sigma), round: 0, last_updated: HashMap::new() }
+        LazyDp {
+            inner: Eana::new(clip_norm, sigma),
+            round: 0,
+            last_updated: HashMap::new(),
+        }
     }
 
     /// The staleness `r` an update to `entry_id` would see this round.
@@ -298,7 +308,10 @@ mod tests {
         let var = sumsq / n as f64 - mean * mean;
         let expected_var = (1.5f64 * 2.0).powi(2); // (σC)² = 9
         assert!(mean.abs() < 0.3, "mean {mean}");
-        assert!((var - expected_var).abs() < 1.0, "var {var} vs {expected_var}");
+        assert!(
+            (var - expected_var).abs() < 1.0,
+            "var {var} vs {expected_var}"
+        );
     }
 
     #[test]

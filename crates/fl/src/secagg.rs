@@ -36,6 +36,13 @@ pub enum SecAggError {
         /// The offending client id.
         id: u32,
     },
+    /// A client was reported dropped but also submitted an update; its
+    /// masks cancelled normally, so "recovering" them would corrupt the
+    /// sum. The round must be re-reported consistently.
+    ConflictingDropout {
+        /// The client both submitted and reported dropped.
+        id: u32,
+    },
 }
 
 impl core::fmt::Display for SecAggError {
@@ -45,6 +52,12 @@ impl core::fmt::Display for SecAggError {
                 write!(f, "masked update length {got}, expected {want}")
             }
             SecAggError::UnknownClient { id } => write!(f, "client {id} not in the group"),
+            SecAggError::ConflictingDropout { id } => {
+                write!(
+                    f,
+                    "client {id} both submitted an update and was reported dropped"
+                )
+            }
         }
     }
 }
@@ -97,7 +110,11 @@ impl SecAggGroup {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), clients.len(), "duplicate client ids");
-        SecAggGroup { clients: sorted, round, group_secret }
+        SecAggGroup {
+            clients: sorted,
+            round,
+            group_secret,
+        }
     }
 
     /// The group's clients (sorted).
@@ -118,7 +135,12 @@ impl SecAggGroup {
         nonce[4..8].copy_from_slice(&b.to_le_bytes());
         nonce[8..].copy_from_slice(&(self.round as u32).to_le_bytes());
         let mut bytes = vec![0u8; len * 8];
-        chacha20::xor_stream(&self.group_secret, (self.round >> 32) as u32, &nonce, &mut bytes);
+        chacha20::xor_stream(
+            &self.group_secret,
+            (self.round >> 32) as u32,
+            &nonce,
+            &mut bytes,
+        );
         bytes
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
@@ -171,11 +193,14 @@ impl SecAggGroup {
     /// round).
     ///
     /// Returns the exact sum of the submitted clients' gradients.
+    /// Duplicate ids in `dropped` are collapsed (recovery is idempotent).
     ///
     /// # Errors
     ///
     /// [`SecAggError::LengthMismatch`] on ragged vectors;
-    /// [`SecAggError::UnknownClient`] for ids outside the group.
+    /// [`SecAggError::UnknownClient`] for ids outside the group;
+    /// [`SecAggError::ConflictingDropout`] when a dropped id also appears
+    /// among the submitted updates.
     pub fn aggregate(
         &self,
         updates: &[MaskedUpdate],
@@ -186,7 +211,10 @@ impl SecAggGroup {
         let mut submitted = Vec::with_capacity(updates.len());
         for u in updates {
             if u.words.len() != len {
-                return Err(SecAggError::LengthMismatch { got: u.words.len(), want: len });
+                return Err(SecAggError::LengthMismatch {
+                    got: u.words.len(),
+                    want: len,
+                });
             }
             if !self.contains(u.client) {
                 return Err(SecAggError::UnknownClient { id: u.client });
@@ -196,18 +224,24 @@ impl SecAggGroup {
                 *a = a.wrapping_add(*w);
             }
         }
-        for &d in dropped {
+        // A client can only drop once: duplicate reports must not trigger
+        // a second (sum-corrupting) unmask, and a dropout report for a
+        // client whose update *was* aggregated is a protocol violation.
+        let mut dropped = dropped.to_vec();
+        dropped.sort_unstable();
+        dropped.dedup();
+        for &d in &dropped {
             if !self.contains(d) {
                 return Err(SecAggError::UnknownClient { id: d });
+            }
+            if submitted.contains(&d) {
+                return Err(SecAggError::ConflictingDropout { id: d });
             }
         }
         // Remove masks between each submitted client and each dropped
         // client (those are the ones that no longer cancel).
         for &alive in &submitted {
-            for &dead in dropped {
-                if alive == dead {
-                    continue;
-                }
+            for &dead in &dropped {
                 let (lo, hi) = (alive.min(dead), alive.max(dead));
                 let mask = self.pairwise_mask(lo, hi, len);
                 for (a, m) in acc.iter_mut().zip(&mask) {
@@ -240,12 +274,17 @@ mod tests {
         let grads: Vec<Vec<f32>> = (0..5)
             .map(|i| vec![i as f32 * 0.5, -(i as f32), 1.0 / (i + 1) as f32])
             .collect();
-        let updates: Vec<MaskedUpdate> =
-            (0..5).map(|i| g.mask(i, &grads[i as usize]).unwrap()).collect();
+        let updates: Vec<MaskedUpdate> = (0..5)
+            .map(|i| g.mask(i, &grads[i as usize]).unwrap())
+            .collect();
         let sum = g.aggregate(&updates, &[]).unwrap();
         for d in 0..3 {
             let expected: f64 = grads.iter().map(|v| v[d] as f64).sum();
-            assert!((sum[d] - expected).abs() < 1e-5, "dim {d}: {} vs {expected}", sum[d]);
+            assert!(
+                (sum[d] - expected).abs() < 1e-5,
+                "dim {d}: {} vs {expected}",
+                sum[d]
+            );
         }
     }
 
@@ -262,8 +301,9 @@ mod tests {
     fn dropout_recovery() {
         let g = group(4, 2);
         let grads: Vec<Vec<f32>> = (0..4).map(|i| vec![i as f32 + 0.25; 2]).collect();
-        let updates: Vec<MaskedUpdate> =
-            (0..4).map(|i| g.mask(i, &grads[i as usize]).unwrap()).collect();
+        let updates: Vec<MaskedUpdate> = (0..4)
+            .map(|i| g.mask(i, &grads[i as usize]).unwrap())
+            .collect();
         // Client 2 masked but never submitted.
         let submitted = [updates[0].clone(), updates[1].clone(), updates[3].clone()];
         let sum = g.aggregate(&submitted, &[2]).unwrap();
@@ -276,10 +316,13 @@ mod tests {
         // Without the recovery step, the orphaned masks poison the sum —
         // the failure the unmask round exists to fix.
         let g = group(3, 3);
-        let updates: Vec<MaskedUpdate> =
-            (0..3).map(|i| g.mask(i, &[1.0]).unwrap()).collect();
+        let updates: Vec<MaskedUpdate> = (0..3).map(|i| g.mask(i, &[1.0]).unwrap()).collect();
         let bad = g.aggregate(&updates[..2], &[]).unwrap();
-        assert!((bad[0] - 2.0).abs() > 1.0, "orphaned masks should corrupt: {}", bad[0]);
+        assert!(
+            (bad[0] - 2.0).abs() > 1.0,
+            "orphaned masks should corrupt: {}",
+            bad[0]
+        );
         let good = g.aggregate(&updates[..2], &[2]).unwrap();
         assert!((good[0] - 2.0).abs() < 1e-5);
     }
@@ -313,6 +356,52 @@ mod tests {
             g.aggregate(&[a, b], &[]),
             Err(SecAggError::LengthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn all_clients_drop() {
+        // Nobody submitted: there is nothing to unmask and the sum of
+        // zero gradients is empty. Must not panic or corrupt.
+        let g = group(4, 5);
+        for i in 0..4 {
+            let _ = g.mask(i, &[1.0, 2.0]).unwrap();
+        }
+        let sum = g.aggregate(&[], &[0, 1, 2, 3]).unwrap();
+        assert!(sum.is_empty());
+    }
+
+    #[test]
+    fn duplicate_dropout_report_is_idempotent() {
+        // Two survivors each report client 2's dropout; the recovery must
+        // run once, not twice (a double unmask corrupts the sum).
+        let g = group(3, 6);
+        let grads: Vec<Vec<f32>> = (0..3).map(|i| vec![i as f32 + 0.5; 2]).collect();
+        let updates: Vec<MaskedUpdate> = (0..3)
+            .map(|i| g.mask(i, &grads[i as usize]).unwrap())
+            .collect();
+        let submitted = [updates[0].clone(), updates[1].clone()];
+        let once = g.aggregate(&submitted, &[2]).unwrap();
+        let twice = g.aggregate(&submitted, &[2, 2]).unwrap();
+        assert_eq!(once, twice);
+        let expected = grads[0][0] as f64 + grads[1][0] as f64;
+        assert!(
+            (twice[0] - expected).abs() < 1e-5,
+            "{} vs {expected}",
+            twice[0]
+        );
+    }
+
+    #[test]
+    fn dropout_after_submission_rejected() {
+        // A "dropped" client whose update is in the aggregate had its
+        // masks cancel normally; unmasking it anyway would poison the sum,
+        // so the conflicting report is an error, not a silent corruption.
+        let g = group(3, 7);
+        let updates: Vec<MaskedUpdate> = (0..3).map(|i| g.mask(i, &[1.0]).unwrap()).collect();
+        assert_eq!(
+            g.aggregate(&updates, &[1]),
+            Err(SecAggError::ConflictingDropout { id: 1 })
+        );
     }
 
     #[test]

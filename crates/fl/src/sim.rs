@@ -35,7 +35,11 @@ impl Default for FlSimConfig {
             users_per_round: 32,
             rounds: 40,
             server_lr: 2.0,
-            trainer: LocalTrainer { lr: 0.2, epochs: 2, ..Default::default() },
+            trainer: LocalTrainer {
+                lr: 0.2,
+                epochs: 2,
+                ..Default::default()
+            },
         }
     }
 }
@@ -94,13 +98,17 @@ pub fn run_reference_fl<R: Rng>(
 
             for (id, mut g) in update.item_deltas {
                 let w = mode.pre(&mut g, n);
-                let entry = item_acc.entry(id).or_insert_with(|| (vec![0.0; g.len()], 0.0));
+                let entry = item_acc
+                    .entry(id)
+                    .or_insert_with(|| (vec![0.0; g.len()], 0.0));
                 crate::linalg::axpy(1.0, &g, &mut entry.0);
                 entry.1 += w;
             }
             for (id, mut g) in update.history_deltas {
                 let w = mode.pre(&mut g, n);
-                let entry = hist_acc.entry(id).or_insert_with(|| (vec![0.0; g.len()], 0.0));
+                let entry = hist_acc
+                    .entry(id)
+                    .or_insert_with(|| (vec![0.0; g.len()], 0.0));
                 crate::linalg::axpy(1.0, &g, &mut entry.0);
                 entry.1 += w;
             }
@@ -142,7 +150,10 @@ pub fn evaluate_auc(model: &DlrmModel, dataset: &Dataset) -> f64 {
         .iter()
         .map(|s| {
             let hist = &dataset.user(s.user).history;
-            (model.forward_local(s.target_item, hist, s.dense).prob(), s.label)
+            (
+                model.forward_local(s.target_item, hist, s.dense).prob(),
+                s.label,
+            )
         })
         .collect();
     roc_auc(&scored)
@@ -170,35 +181,65 @@ mod tests {
         let dataset = small_dataset();
         let mut rng = StdRng::seed_from_u64(21);
         let mut model = DlrmModel::new(
-            DlrmConfig { num_items: 256, embedding_dim: 8, hidden_dim: 16, use_private_history: true, pooling: Pooling::Mean },
+            DlrmConfig {
+                num_items: 256,
+                embedding_dim: 8,
+                hidden_dim: 16,
+                use_private_history: true,
+                pooling: Pooling::Mean,
+            },
             &mut rng,
         );
-        let cfg = FlSimConfig { users_per_round: 24, ..Default::default() };
+        let cfg = FlSimConfig {
+            users_per_round: 24,
+            ..Default::default()
+        };
         let aucs = run_reference_fl(&mut model, &dataset, &cfg, &mut rng);
         let last = *aucs.last().unwrap();
         assert!(last > 0.62, "private-feature AUC too low: {last}");
-        assert!(last > aucs[0] - 0.02, "training should not regress: {aucs:?}");
+        assert!(
+            last > aucs[0] - 0.02,
+            "training should not regress: {aucs:?}"
+        );
     }
 
     #[test]
     fn private_features_beat_pub_baseline() {
         let dataset = small_dataset();
-        let cfg = FlSimConfig { users_per_round: 24, ..Default::default() };
+        let cfg = FlSimConfig {
+            users_per_round: 24,
+            ..Default::default()
+        };
 
         let mut rng = StdRng::seed_from_u64(22);
         let mut private_model = DlrmModel::new(
-            DlrmConfig { num_items: 256, embedding_dim: 8, hidden_dim: 16, use_private_history: true, pooling: Pooling::Mean },
+            DlrmConfig {
+                num_items: 256,
+                embedding_dim: 8,
+                hidden_dim: 16,
+                use_private_history: true,
+                pooling: Pooling::Mean,
+            },
             &mut rng,
         );
-        let auc_private =
-            *run_reference_fl(&mut private_model, &dataset, &cfg, &mut rng).last().unwrap();
+        let auc_private = *run_reference_fl(&mut private_model, &dataset, &cfg, &mut rng)
+            .last()
+            .unwrap();
 
         let mut rng = StdRng::seed_from_u64(22);
         let mut pub_model = DlrmModel::new(
-            DlrmConfig { num_items: 256, embedding_dim: 8, hidden_dim: 16, use_private_history: false, pooling: Pooling::Mean },
+            DlrmConfig {
+                num_items: 256,
+                embedding_dim: 8,
+                hidden_dim: 16,
+                use_private_history: false,
+                pooling: Pooling::Mean,
+            },
             &mut rng,
         );
-        let auc_pub = *run_reference_fl(&mut pub_model, &dataset, &cfg, &mut rng).last().unwrap();
+        let auc_pub = *run_reference_fl(&mut pub_model, &dataset, &cfg, &mut rng)
+            .last()
+            .unwrap();
 
         assert!(
             auc_private > auc_pub + 0.03,
@@ -220,7 +261,11 @@ mod tests {
             },
             &mut rng,
         );
-        let cfg = FlSimConfig { users_per_round: 24, rounds: 20, ..Default::default() };
+        let cfg = FlSimConfig {
+            users_per_round: 24,
+            rounds: 20,
+            ..Default::default()
+        };
         let aucs = run_reference_fl(&mut model, &dataset, &cfg, &mut rng);
         let last = *aucs.last().unwrap();
         assert!(last > 0.58, "attention model AUC too low: {last}");
@@ -232,6 +277,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         let model = DlrmModel::new(DlrmConfig::tiny(256), &mut rng);
         let auc = evaluate_auc(&model, &dataset);
-        assert!((0.3..=0.7).contains(&auc), "untrained AUC should hover near 0.5: {auc}");
+        assert!(
+            (0.3..=0.7).contains(&auc),
+            "untrained AUC should hover near 0.5: {auc}"
+        );
     }
 }

@@ -48,7 +48,11 @@ pub fn oblivious_write_u64(array: &mut [u64], index: u64, value: u64) {
 /// `record_len`.
 pub fn oblivious_read_record(buf: &[u8], record_len: usize, index: u64, out: &mut [u8]) {
     assert_eq!(out.len(), record_len, "output must be one record long");
-    assert_eq!(buf.len() % record_len, 0, "buffer not a whole number of records");
+    assert_eq!(
+        buf.len() % record_len,
+        0,
+        "buffer not a whole number of records"
+    );
     for (i, rec) in buf.chunks_exact(record_len).enumerate() {
         let hit = ct_eq_u64(i as u64, index);
         cmov_bytes(hit, out, rec);
@@ -63,7 +67,11 @@ pub fn oblivious_read_record(buf: &[u8], record_len: usize, index: u64, out: &mu
 /// `record_len`.
 pub fn oblivious_write_record(buf: &mut [u8], record_len: usize, index: u64, src: &[u8]) {
     assert_eq!(src.len(), record_len, "source must be one record long");
-    assert_eq!(buf.len() % record_len, 0, "buffer not a whole number of records");
+    assert_eq!(
+        buf.len() % record_len,
+        0,
+        "buffer not a whole number of records"
+    );
     for (i, rec) in buf.chunks_exact_mut(record_len).enumerate() {
         let hit = ct_eq_u64(i as u64, index);
         cmov_bytes(hit, rec, src);

@@ -20,7 +20,11 @@ impl Block {
 
     /// Creates a zero-filled block.
     pub fn zeroed(id: u64, leaf: u64, block_bytes: usize) -> Self {
-        Block { id, leaf, payload: vec![0u8; block_bytes] }
+        Block {
+            id,
+            leaf,
+            payload: vec![0u8; block_bytes],
+        }
     }
 
     /// Payload length in bytes.

@@ -24,7 +24,10 @@ pub struct Slot {
 impl Slot {
     /// An invalid (empty) slot of the right payload size.
     pub fn empty(block_bytes: usize) -> Self {
-        Slot { valid: false, block: Block::zeroed(0, 0, block_bytes) }
+        Slot {
+            valid: false,
+            block: Block::zeroed(0, 0, block_bytes),
+        }
     }
 }
 
@@ -38,7 +41,10 @@ pub struct Bucket {
 impl Bucket {
     /// Creates an empty bucket with `z` slots of `block_bytes` payloads.
     pub fn empty(z: usize, block_bytes: usize) -> Self {
-        Bucket { slots: vec![Slot::empty(block_bytes); z], block_bytes }
+        Bucket {
+            slots: vec![Slot::empty(block_bytes); z],
+            block_bytes,
+        }
     }
 
     /// Number of slots.
@@ -73,7 +79,11 @@ impl Bucket {
     ///
     /// Panics if the payload size disagrees with the bucket's block size.
     pub fn try_insert(&mut self, block: Block) -> bool {
-        assert_eq!(block.payload.len(), self.block_bytes, "payload size mismatch");
+        assert_eq!(
+            block.payload.len(),
+            self.block_bytes,
+            "payload size mismatch"
+        );
         for slot in &mut self.slots {
             if !slot.valid {
                 *slot = Slot { valid: true, block };
@@ -130,11 +140,14 @@ impl Bucket {
         assert_eq!(bytes.len(), z * slot_len, "bucket byte size mismatch");
         let mut slots = Vec::with_capacity(z);
         for chunk in bytes.chunks_exact(slot_len) {
-            let id = u64::from_le_bytes(chunk[0..8].try_into().expect("8 bytes"));
-            let leaf = u64::from_le_bytes(chunk[8..16].try_into().expect("8 bytes"));
+            let id = crate::convert::le_u64(&chunk[0..8]);
+            let leaf = crate::convert::le_u64(&chunk[8..16]);
             let valid = chunk[16] != 0;
             let payload = chunk[SLOT_META_BYTES..].to_vec();
-            slots.push(Slot { valid, block: Block { id, leaf, payload } });
+            slots.push(Slot {
+                valid,
+                block: Block { id, leaf, payload },
+            });
         }
         Bucket { slots, block_bytes }
     }

@@ -76,6 +76,7 @@ pub struct AggregatedEntry {
 }
 
 /// The buffer ORAM.
+#[derive(Clone)]
 pub struct BufferOram {
     oram: PathOram<DramBucketStore>,
     key: Key,
@@ -138,7 +139,9 @@ impl BufferOram {
     pub fn reconfigure<R: Rng>(&mut self, capacity: usize, rng: &mut R) -> Result<(), BufferError> {
         assert!(capacity > 0, "capacity must be positive");
         if !self.loaded.is_empty() {
-            return Err(BufferError::CapacityExceeded { capacity: self.capacity });
+            return Err(BufferError::CapacityExceeded {
+                capacity: self.capacity,
+            });
         }
         let block_bytes = 2 * self.entry_bytes + AGG_META_BYTES;
         let geo = TreeGeometry::for_blocks(capacity as u64, block_bytes, 4);
@@ -201,13 +204,16 @@ impl BufferOram {
         let entry = block[..self.entry_bytes].to_vec();
         let gradient: Vec<f32> = block[self.entry_bytes..2 * self.entry_bytes]
             .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .map(crate::convert::le_f32)
             .collect();
         let weight =
-            f32::from_le_bytes(block[2 * self.entry_bytes..2 * self.entry_bytes + 4]
-                .try_into()
-                .expect("4 bytes")) as f64;
-        AggregatedEntry { id, entry, gradient, weight }
+            crate::convert::le_f32(&block[2 * self.entry_bytes..2 * self.entry_bytes + 4]) as f64;
+        AggregatedEntry {
+            id,
+            entry,
+            gradient,
+            weight,
+        }
     }
 
     /// Loads one entry fetched from the main ORAM (step ③): places it in
@@ -221,10 +227,17 @@ impl BufferOram {
     /// # Panics
     ///
     /// Panics if `entry.len()` disagrees with the configured entry size.
-    pub fn load_entry<R: Rng>(&mut self, id: u64, entry: &[u8], rng: &mut R) -> Result<(), BufferError> {
+    pub fn load_entry<R: Rng>(
+        &mut self,
+        id: u64,
+        entry: &[u8],
+        rng: &mut R,
+    ) -> Result<(), BufferError> {
         assert_eq!(entry.len(), self.entry_bytes, "entry size mismatch");
         if self.loaded.len() >= self.capacity {
-            return Err(BufferError::CapacityExceeded { capacity: self.capacity });
+            return Err(BufferError::CapacityExceeded {
+                capacity: self.capacity,
+            });
         }
         let slot = self.loaded.len() as u64;
         let zeros = vec![0f32; self.entry_bytes / 4];
@@ -244,7 +257,9 @@ impl BufferOram {
     /// [`BufferError::CapacityExceeded`] when the round overflows.
     pub fn load_dummy<R: Rng>(&mut self, rng: &mut R) -> Result<(), BufferError> {
         if self.loaded.len() >= self.capacity {
-            return Err(BufferError::CapacityExceeded { capacity: self.capacity });
+            return Err(BufferError::CapacityExceeded {
+                capacity: self.capacity,
+            });
         }
         let slot = self.loaded.len() as u64;
         let zeros = vec![0f32; self.entry_bytes / 4];
@@ -287,7 +302,11 @@ impl BufferOram {
         weight: f64,
         rng: &mut R,
     ) -> Result<(), BufferError> {
-        assert_eq!(gradient.len() * 4, self.entry_bytes, "gradient size mismatch");
+        assert_eq!(
+            gradient.len() * 4,
+            self.entry_bytes,
+            "gradient size mismatch"
+        );
         let slot = self.slot_of(id)?;
         let block = self.oram.read(slot, rng)?;
         let mut agg = self.decode(id, &block);
@@ -357,7 +376,8 @@ mod tests {
     #[test]
     fn load_and_serve() {
         let (mut b, mut rng) = buffer(8);
-        b.load_entry(42, &entry([1.0, 2.0, 3.0, 4.0]), &mut rng).unwrap();
+        b.load_entry(42, &entry([1.0, 2.0, 3.0, 4.0]), &mut rng)
+            .unwrap();
         let got = b.serve(42, &mut rng).unwrap();
         assert_eq!(f32s(&got), vec![1.0, 2.0, 3.0, 4.0]);
     }
@@ -382,9 +402,12 @@ mod tests {
     #[test]
     fn aggregation_accumulates() {
         let (mut b, mut rng) = buffer(4);
-        b.load_entry(7, &entry([1.0, 1.0, 1.0, 1.0]), &mut rng).unwrap();
-        b.aggregate(7, &[0.5, 0.0, -0.5, 1.0], 2.0, &mut rng).unwrap();
-        b.aggregate(7, &[0.5, 1.0, 0.5, -1.0], 3.0, &mut rng).unwrap();
+        b.load_entry(7, &entry([1.0, 1.0, 1.0, 1.0]), &mut rng)
+            .unwrap();
+        b.aggregate(7, &[0.5, 0.0, -0.5, 1.0], 2.0, &mut rng)
+            .unwrap();
+        b.aggregate(7, &[0.5, 1.0, 0.5, -1.0], 3.0, &mut rng)
+            .unwrap();
         let drained = b.drain_round(&mut rng).unwrap();
         assert_eq!(drained.entries.len(), 1);
         assert_eq!(drained.dummy_count, 0);
@@ -404,7 +427,8 @@ mod tests {
         assert_eq!(b.loaded_len(), 0);
         assert!(b.drain_round(&mut rng).unwrap().entries.is_empty());
         // Slots are reusable next round.
-        b.load_entry(2, &entry([9.0, 0.0, 0.0, 0.0]), &mut rng).unwrap();
+        b.load_entry(2, &entry([9.0, 0.0, 0.0, 0.0]), &mut rng)
+            .unwrap();
         assert_eq!(f32s(&b.serve(2, &mut rng).unwrap())[0], 9.0);
     }
 
@@ -412,7 +436,8 @@ mod tests {
     fn duplicate_serves_allowed() {
         // K requests > k_union entries: duplicates hit the same slot.
         let (mut b, mut rng) = buffer(4);
-        b.load_entry(5, &entry([2.0, 0.0, 0.0, 0.0]), &mut rng).unwrap();
+        b.load_entry(5, &entry([2.0, 0.0, 0.0, 0.0]), &mut rng)
+            .unwrap();
         for _ in 0..10 {
             assert_eq!(f32s(&b.serve(5, &mut rng).unwrap())[0], 2.0);
         }
@@ -421,7 +446,8 @@ mod tests {
     #[test]
     fn reconfigure_between_rounds() {
         let (mut b, mut rng) = buffer(4);
-        b.load_entry(1, &entry([1.0, 0.0, 0.0, 0.0]), &mut rng).unwrap();
+        b.load_entry(1, &entry([1.0, 0.0, 0.0, 0.0]), &mut rng)
+            .unwrap();
         // Mid-round reconfiguration is refused.
         assert!(b.reconfigure(16, &mut rng).is_err());
         b.drain_round(&mut rng).unwrap();
@@ -437,7 +463,8 @@ mod tests {
     #[test]
     fn dummies_tracked_and_drained() {
         let (mut b, mut rng) = buffer(4);
-        b.load_entry(1, &entry([1.0, 0.0, 0.0, 0.0]), &mut rng).unwrap();
+        b.load_entry(1, &entry([1.0, 0.0, 0.0, 0.0]), &mut rng)
+            .unwrap();
         b.load_dummy(&mut rng).unwrap();
         b.load_dummy(&mut rng).unwrap();
         assert_eq!(b.loaded_len(), 3);
@@ -471,7 +498,8 @@ mod tests {
         // n_t reflects only survivors (dynamic adjustment of Eq. 1).
         let (mut b, mut rng) = buffer(4);
         b.load_entry(3, &entry([0.0; 4]), &mut rng).unwrap();
-        b.aggregate(3, &[1.0, 0.0, 0.0, 0.0], 1.0, &mut rng).unwrap();
+        b.aggregate(3, &[1.0, 0.0, 0.0, 0.0], 1.0, &mut rng)
+            .unwrap();
         // Second user drops out: no call.
         let e = &b.drain_round(&mut rng).unwrap().entries[0];
         assert!((e.weight - 1.0).abs() < 1e-6);

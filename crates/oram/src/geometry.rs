@@ -26,7 +26,11 @@ impl TreeGeometry {
         assert!(depth <= 40, "depth {depth} unreasonably deep");
         assert!(z > 0, "bucket must hold at least one block");
         assert!(block_bytes > 0, "blocks must be non-empty");
-        TreeGeometry { depth, z, block_bytes }
+        TreeGeometry {
+            depth,
+            z,
+            block_bytes,
+        }
     }
 
     /// Creates the smallest geometry that holds `num_blocks` blocks at
@@ -40,7 +44,10 @@ impl TreeGeometry {
     /// Panics if `num_blocks == 0` or the arguments are degenerate.
     pub fn for_blocks(num_blocks: u64, block_bytes: usize, z: usize) -> Self {
         assert!(num_blocks > 0, "need at least one block");
-        let leaves = (2 * num_blocks).div_ceil(z as u64).next_power_of_two().max(2);
+        let leaves = (2 * num_blocks)
+            .div_ceil(z as u64)
+            .next_power_of_two()
+            .max(2);
         let depth = leaves.trailing_zeros();
         Self::new(depth, z, block_bytes)
     }
@@ -106,8 +113,15 @@ impl TreeGeometry {
     ///
     /// Panics if the coordinates are outside the tree.
     pub fn node_at(&self, level: u32, index: u64) -> u64 {
-        assert!(level <= self.depth, "level {level} beyond depth {}", self.depth);
-        assert!(index < (1u64 << level), "index {index} out of range at level {level}");
+        assert!(
+            level <= self.depth,
+            "level {level} beyond depth {}",
+            self.depth
+        );
+        assert!(
+            index < (1u64 << level),
+            "index {index} out of range at level {level}"
+        );
         (1u64 << level) - 1 + index
     }
 
@@ -188,7 +202,7 @@ mod tests {
         let path = g.path_nodes(5); // leaf bits 101
         assert_eq!(path.len(), 4);
         assert_eq!(path[0], 0); // root
-        // leaf node index = 2^3 - 1 + 5 = 12
+                                // leaf node index = 2^3 - 1 + 5 = 12
         assert_eq!(*path.last().unwrap(), 12);
         // Consecutive parent/child relation.
         for w in path.windows(2) {

@@ -47,6 +47,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod block;
 pub mod bucket;
@@ -60,6 +61,25 @@ pub mod ring;
 pub mod stash;
 pub mod store;
 pub mod vtree;
+
+pub(crate) mod convert {
+    //! Infallible little-endian field decoding for fixed-layout
+    //! serialization. Lengths are invariants of the layouts, so a mismatch
+    //! is a programming bug, not runtime input — the panic is centralized
+    //! here instead of scattering `expect` calls through fallible paths.
+
+    /// Decodes a little-endian `u64` from an exactly-8-byte field.
+    #[allow(clippy::expect_used)]
+    pub(crate) fn le_u64(bytes: &[u8]) -> u64 {
+        u64::from_le_bytes(bytes.try_into().expect("8-byte field"))
+    }
+
+    /// Decodes a little-endian `f32` from an exactly-4-byte field.
+    #[allow(clippy::expect_used)]
+    pub(crate) fn le_f32(bytes: &[u8]) -> f32 {
+        f32::from_le_bytes(bytes.try_into().expect("4-byte field"))
+    }
+}
 
 pub use block::Block;
 pub use bucket::Bucket;
@@ -88,8 +108,14 @@ pub enum OramError {
     },
     /// The backing device failed (programming error in sizing).
     Device,
-    /// Decryption/authentication of a bucket failed.
-    Integrity,
+    /// Decryption/authentication of a bucket failed and retries (if any)
+    /// were exhausted; the failure is classified and locates the bucket.
+    Integrity {
+        /// What kind of violation was detected.
+        kind: fedora_crypto::IntegrityError,
+        /// Heap index of the offending bucket.
+        node: u64,
+    },
     /// The requested block was not found where the invariant says it must
     /// be (tree or stash) — indicates corruption or a protocol bug.
     MissingBlock {
@@ -108,7 +134,9 @@ impl core::fmt::Display for OramError {
                 write!(f, "payload length {got} does not match block size {want}")
             }
             OramError::Device => f.write_str("backing device error"),
-            OramError::Integrity => f.write_str("bucket failed authentication"),
+            OramError::Integrity { kind, node } => {
+                write!(f, "bucket {node} failed authentication: {kind}")
+            }
             OramError::MissingBlock { id } => {
                 write!(f, "block {id} missing from assigned path and stash")
             }

@@ -96,7 +96,10 @@ impl<S: BucketStore> PathOram<S> {
 
     fn check_id(&self, id: u64) -> Result<(), OramError> {
         if id >= self.num_blocks {
-            return Err(OramError::BlockOutOfRange { id, capacity: self.num_blocks });
+            return Err(OramError::BlockOutOfRange {
+                id,
+                capacity: self.num_blocks,
+            });
         }
         Ok(())
     }
@@ -113,7 +116,10 @@ impl<S: BucketStore> PathOram<S> {
         let geo = self.store.geometry();
         if let Some(p) = &new_payload {
             if p.len() != geo.block_bytes() {
-                return Err(OramError::BadPayloadLength { got: p.len(), want: geo.block_bytes() });
+                return Err(OramError::BadPayloadLength {
+                    got: p.len(),
+                    want: geo.block_bytes(),
+                });
             }
         }
         let new_leaf = rng.gen_range(0..geo.num_leaves());
@@ -146,7 +152,9 @@ impl<S: BucketStore> PathOram<S> {
         // ⑤ Greedy write-back, deepest level first.
         let mut out_path = vec![Bucket::empty(geo.z(), geo.block_bytes()); path.len()];
         for level in (0..=geo.depth()).rev() {
-            let candidates = self.stash.drain_for_bucket(leaf, level, geo.depth(), geo.z());
+            let candidates = self
+                .stash
+                .drain_for_bucket(leaf, level, geo.depth(), geo.z());
             let bucket = &mut out_path[level as usize];
             for block in candidates {
                 let inserted = bucket.try_insert(block);
@@ -196,7 +204,10 @@ impl<S: BucketStore> PathOram<S> {
         }
         let mut out_path = vec![Bucket::empty(geo.z(), geo.block_bytes()); path.len()];
         for level in (0..=geo.depth()).rev() {
-            for block in self.stash.drain_for_bucket(leaf, level, geo.depth(), geo.z()) {
+            for block in self
+                .stash
+                .drain_for_bucket(leaf, level, geo.depth(), geo.z())
+            {
                 let inserted = out_path[level as usize].try_insert(block);
                 debug_assert!(inserted, "drain_for_bucket respects capacity");
             }
@@ -262,7 +273,11 @@ mod tests {
                 o.write(id, val.clone(), &mut rng).unwrap();
                 model[id as usize] = val;
             } else {
-                assert_eq!(o.read(id, &mut rng).unwrap(), model[id as usize], "step {step}");
+                assert_eq!(
+                    o.read(id, &mut rng).unwrap(),
+                    model[id as usize],
+                    "step {step}"
+                );
             }
         }
     }
@@ -352,8 +367,16 @@ mod tests {
         // Chi-square-ish sanity: every leaf within 5 sigma of uniform.
         let sigma = expected.sqrt();
         for l in 0..leaves {
-            assert!((ha[l] - expected).abs() < 5.0 * sigma, "A leaf {l}: {}", ha[l]);
-            assert!((hb[l] - expected).abs() < 5.0 * sigma, "B leaf {l}: {}", hb[l]);
+            assert!(
+                (ha[l] - expected).abs() < 5.0 * sigma,
+                "A leaf {l}: {}",
+                ha[l]
+            );
+            assert!(
+                (hb[l] - expected).abs() < 5.0 * sigma,
+                "B leaf {l}: {}",
+                hb[l]
+            );
         }
     }
 }

@@ -23,7 +23,9 @@ impl PositionMap {
     /// in `[0, num_leaves)`.
     pub fn random<R: Rng>(num_blocks: u64, num_leaves: u64, rng: &mut R) -> Self {
         PositionMap {
-            leaves: (0..num_blocks).map(|_| rng.gen_range(0..num_leaves)).collect(),
+            leaves: (0..num_blocks)
+                .map(|_| rng.gen_range(0..num_leaves))
+                .collect(),
             accesses: 0,
             oblivious: false,
         }
@@ -118,6 +120,7 @@ impl EncryptedPositionMap {
     /// # Panics
     ///
     /// Panics if `num_positions == 0`.
+    #[allow(clippy::expect_used)] // store sized for `groups` two lines up
     pub fn random<R: Rng>(
         num_positions: u64,
         num_leaves: u64,
@@ -144,7 +147,12 @@ impl EncryptedPositionMap {
             fedora_storage::DramProfile::default(),
             store.total_bytes() as u64,
         );
-        EncryptedPositionMap { store, dram, num_positions, accesses: 0 }
+        EncryptedPositionMap {
+            store,
+            dram,
+            num_positions,
+            accesses: 0,
+        }
     }
 
     /// Number of entries.
@@ -199,7 +207,7 @@ impl EncryptedPositionMap {
         let group = (id / Self::PER_GROUP) as usize;
         let plain = self.store.read_group(group)?;
         let at = ((id % Self::PER_GROUP) * 8) as usize;
-        Ok(u64::from_le_bytes(plain[at..at + 8].try_into().expect("8 bytes")))
+        Ok(crate::convert::le_u64(&plain[at..at + 8]))
     }
 
     /// Updates the leaf of `id` (read-modify-write of its group).

@@ -52,7 +52,9 @@ impl RawOramConfig {
 
     /// FEDORA's tuned period for 4-KiB buckets (`A` up to 92; §4.4).
     pub fn fedora_tuned() -> Self {
-        RawOramConfig { eviction_period: 92 }
+        RawOramConfig {
+            eviction_period: 92,
+        }
     }
 }
 
@@ -109,7 +111,10 @@ impl<S: BucketStore> RawOram<S> {
         mut init: F,
         rng: &mut R,
     ) -> Self {
-        assert!(config.eviction_period > 0, "eviction period must be positive");
+        assert!(
+            config.eviction_period > 0,
+            "eviction period must be positive"
+        );
         let geo = store.geometry();
         assert!(
             2 * num_blocks <= geo.capacity_blocks(),
@@ -142,6 +147,7 @@ impl<S: BucketStore> RawOram<S> {
             }
         }
         for (node, bucket) in buckets.iter().enumerate() {
+            #[allow(clippy::expect_used)] // pre-injector, tree sized exactly
             store
                 .load_bucket(node as u64, bucket)
                 .expect("bulk load within provisioned tree");
@@ -203,6 +209,29 @@ impl<S: BucketStore> RawOram<S> {
         self.schedule
     }
 
+    /// Repairs an unrecoverable bucket: re-encrypts it *empty* at its
+    /// current write counter and clears the VTree's valid bits for it, so
+    /// the tree decrypts cleanly again. Blocks that resided in the bucket
+    /// are lost — later fetches of those ids report
+    /// [`OramError::MissingBlock`], which callers use to quarantine the
+    /// affected entries (degraded mode) rather than abort.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Device`] on sizing bugs in the backing store.
+    pub fn repair_bucket(&mut self, node: u64) -> Result<(), OramError> {
+        self.store.repair_bucket(node)?;
+        let z = self.store.geometry().z();
+        self.vtree.set_bucket(node, &vec![false; z]);
+        Ok(())
+    }
+
+    /// Verifies every bucket's MAC in the backing store (retrying
+    /// recoverable faults) and reports unrecoverable buckets.
+    pub fn scrub(&mut self) -> crate::store::ScrubReport {
+        self.store.scrub()
+    }
+
     /// Current stash occupancy.
     pub fn stash_len(&self) -> usize {
         self.stash.len()
@@ -225,7 +254,10 @@ impl<S: BucketStore> RawOram<S> {
 
     fn check_id(&self, id: u64) -> Result<(), OramError> {
         if id >= self.num_blocks {
-            return Err(OramError::BlockOutOfRange { id, capacity: self.num_blocks });
+            return Err(OramError::BlockOutOfRange {
+                id,
+                capacity: self.num_blocks,
+            });
         }
         Ok(())
     }
@@ -283,11 +315,19 @@ impl<S: BucketStore> RawOram<S> {
     ///
     /// [`OramError::BlockOutOfRange`] / [`OramError::BadPayloadLength`] on
     /// malformed input; store errors propagate from the EO.
-    pub fn insert<R: Rng>(&mut self, id: u64, payload: Vec<u8>, rng: &mut R) -> Result<(), OramError> {
+    pub fn insert<R: Rng>(
+        &mut self,
+        id: u64,
+        payload: Vec<u8>,
+        rng: &mut R,
+    ) -> Result<(), OramError> {
         self.check_id(id)?;
         let geo = self.store.geometry();
         if payload.len() != geo.block_bytes() {
-            return Err(OramError::BadPayloadLength { got: payload.len(), want: geo.block_bytes() });
+            return Err(OramError::BadPayloadLength {
+                got: payload.len(),
+                want: geo.block_bytes(),
+            });
         }
         let new_leaf = rng.gen_range(0..geo.num_leaves());
         self.position.set(id, new_leaf);
@@ -348,7 +388,10 @@ impl<S: BucketStore> RawOram<S> {
 
         let mut out_path = vec![Bucket::empty(geo.z(), geo.block_bytes()); nodes.len()];
         for level in (0..=geo.depth()).rev() {
-            for block in self.stash.drain_for_bucket(leaf, level, geo.depth(), geo.z()) {
+            for block in self
+                .stash
+                .drain_for_bucket(leaf, level, geo.depth(), geo.z())
+            {
                 let inserted = out_path[level as usize].try_insert(block);
                 debug_assert!(inserted, "drain_for_bucket respects capacity");
             }
@@ -423,7 +466,9 @@ impl<S: BucketStore> RawOram<S> {
         for node in 0..geo.num_nodes() {
             let (level, index) = geo.coords_of(node);
             if self.store.write_count(node)
-                != self.schedule.writes_to_bucket(level, index, self.eo_counter.get())
+                != self
+                    .schedule
+                    .writes_to_bucket(level, index, self.eo_counter.get())
             {
                 return false;
             }
@@ -441,11 +486,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn oram(
-        blocks: u64,
-        a: u32,
-        seed: u64,
-    ) -> (RawOram<DramBucketStore>, StdRng) {
+    fn oram(blocks: u64, a: u32, seed: u64) -> (RawOram<DramBucketStore>, StdRng) {
         let geo = TreeGeometry::for_blocks(blocks, 16, 8);
         let store = DramBucketStore::with_default_dram(geo, Key::from_bytes([2; 32]));
         let mut rng = StdRng::seed_from_u64(seed);
@@ -515,8 +556,10 @@ mod tests {
             let mut unique = ids.clone();
             unique.sort_unstable();
             unique.dedup();
-            let fetched: Vec<Block> =
-                unique.iter().map(|&id| o.fetch(id, &mut rng).unwrap()).collect();
+            let fetched: Vec<Block> = unique
+                .iter()
+                .map(|&id| o.fetch(id, &mut rng).unwrap())
+                .collect();
             for mut b in fetched {
                 b.payload[0] = b.payload[0].wrapping_add(1);
                 o.insert(b.id, b.payload, &mut rng).unwrap();

@@ -69,8 +69,9 @@ impl RecursivePositionMap {
         let base_len = n;
 
         // The real positions.
-        let positions: Vec<u64> =
-            (0..num_positions).map(|_| rng.gen_range(0..num_leaves)).collect();
+        let positions: Vec<u64> = (0..num_positions)
+            .map(|_| rng.gen_range(0..num_leaves))
+            .collect();
 
         // Build levels from the innermost (base) outward. Level `i` data
         // is consumed by level `i-1`'s ORAM; the outermost level's data is
@@ -113,6 +114,7 @@ impl RecursivePositionMap {
                         let v = values.get(idx).copied().unwrap_or(0);
                         payload[s * 8..(s + 1) * 8].copy_from_slice(&v.to_le_bytes());
                     }
+                    #[allow(clippy::expect_used)] // construction: sized for num_blocks
                     oram.write(b, payload, rng).expect("provisioned");
                 }
                 // Record where each block of THIS oram now lives, for the
@@ -176,9 +178,7 @@ impl RecursivePositionMap {
     ) -> Result<u64, OramError> {
         self.accesses += 1;
         let payload = self.levels[level].read(block, rng)?;
-        Ok(u64::from_le_bytes(
-            payload[slot * 8..(slot + 1) * 8].try_into().expect("8 bytes"),
-        ))
+        Ok(crate::convert::le_u64(&payload[slot * 8..(slot + 1) * 8]))
     }
 
     fn write_packed<R: Rng>(
@@ -209,7 +209,10 @@ impl RecursivePositionMap {
     /// propagate.
     pub fn get<R: Rng>(&mut self, id: u64, rng: &mut R) -> Result<u64, OramError> {
         if id >= self.num_positions {
-            return Err(OramError::BlockOutOfRange { id, capacity: self.num_positions });
+            return Err(OramError::BlockOutOfRange {
+                id,
+                capacity: self.num_positions,
+            });
         }
         if self.levels.is_empty() {
             return Ok(self.base[id as usize]);
@@ -238,7 +241,10 @@ impl RecursivePositionMap {
     /// As for [`get`](Self::get); additionally validates the leaf range.
     pub fn set<R: Rng>(&mut self, id: u64, leaf: u64, rng: &mut R) -> Result<(), OramError> {
         if id >= self.num_positions {
-            return Err(OramError::BlockOutOfRange { id, capacity: self.num_positions });
+            return Err(OramError::BlockOutOfRange {
+                id,
+                capacity: self.num_positions,
+            });
         }
         assert!(leaf < self.num_leaves, "leaf {leaf} out of range");
         if self.levels.is_empty() {

@@ -98,9 +98,15 @@ impl RingOram {
         mut init: F,
         rng: &mut R,
     ) -> Self {
-        assert!(config.z > 0 && config.s > 0 && config.a > 0, "degenerate config");
+        assert!(
+            config.z > 0 && config.s > 0 && config.a > 0,
+            "degenerate config"
+        );
         let geometry = TreeGeometry::for_blocks(num_blocks, block_bytes, config.z);
-        assert!(2 * num_blocks <= geometry.capacity_blocks(), "over-provisioned");
+        assert!(
+            2 * num_blocks <= geometry.capacity_blocks(),
+            "over-provisioned"
+        );
         let slots_per_bucket = (config.z + config.s) as u64;
         // Slot ciphertext: id (8) + payload + tag.
         let slot_stride = (8 + block_bytes + TAG_LEN) as u64;
@@ -206,20 +212,32 @@ impl RingOram {
         let nonce = Nonce::from_u64_pair(node as u32, version * 64 + phys as u64);
         let aad = [node.to_le_bytes(), (phys as u64).to_le_bytes()].concat();
         let ct = self.aead.encrypt(&nonce, &plain, &aad);
+        #[allow(clippy::expect_used)] // DRAM sized for every slot at construction
         self.dram
             .write(self.slot_offset(node, phys), &ct)
             .expect("provisioned");
     }
 
-    fn read_slot(&mut self, node: u64, phys: usize, version: u64) -> Result<(u64, Vec<u8>), OramError> {
+    fn read_slot(
+        &mut self,
+        node: u64,
+        phys: usize,
+        version: u64,
+    ) -> Result<(u64, Vec<u8>), OramError> {
         let mut ct = vec![0u8; self.slot_stride as usize];
         self.dram
             .read(self.slot_offset(node, phys), &mut ct)
             .map_err(|_| OramError::Device)?;
         let nonce = Nonce::from_u64_pair(node as u32, version * 64 + phys as u64);
         let aad = [node.to_le_bytes(), (phys as u64).to_le_bytes()].concat();
-        let plain = self.aead.decrypt(&nonce, &ct, &aad).map_err(|_| OramError::Integrity)?;
-        let id = u64::from_le_bytes(plain[..8].try_into().expect("8 bytes"));
+        let plain = self
+            .aead
+            .decrypt(&nonce, &ct, &aad)
+            .map_err(|_| OramError::Integrity {
+                kind: fedora_crypto::IntegrityError::Corruption,
+                node,
+            })?;
+        let id = crate::convert::le_u64(&plain[..8]);
         Ok((id, plain[8..].to_vec()))
     }
 
@@ -243,7 +261,12 @@ impl RingOram {
         let slot_plan: Vec<(usize, Option<&Block>)> = perm
             .iter()
             .enumerate()
-            .map(|(logical, &phys)| (phys, blocks.get(logical).filter(|_| logical < self.config.z)))
+            .map(|(logical, &phys)| {
+                (
+                    phys,
+                    blocks.get(logical).filter(|_| logical < self.config.z),
+                )
+            })
             .collect();
         for (phys, block) in slot_plan {
             match block {
@@ -297,6 +320,7 @@ impl RingOram {
     ///
     /// [`OramError::BlockOutOfRange`] / [`OramError::BadPayloadLength`] on
     /// bad input; device errors propagate.
+    #[allow(clippy::expect_used)] // permutation invariants: slot_of is a bijection
     pub fn access<R: Rng>(
         &mut self,
         id: u64,
@@ -304,7 +328,10 @@ impl RingOram {
         rng: &mut R,
     ) -> Result<Vec<u8>, OramError> {
         if id >= self.num_blocks {
-            return Err(OramError::BlockOutOfRange { id, capacity: self.num_blocks });
+            return Err(OramError::BlockOutOfRange {
+                id,
+                capacity: self.num_blocks,
+            });
         }
         if let Some(p) = &new_payload {
             if p.len() != self.geometry.block_bytes() {
@@ -408,7 +435,8 @@ impl RingOram {
             let meta = self.meta[node as usize].clone();
             for home in 0..self.config.z {
                 if let Some(id) = meta.ids[home] {
-                    let (slot_id, payload) = self.read_slot(node, meta.slot_of[home], meta.version)?;
+                    let (slot_id, payload) =
+                        self.read_slot(node, meta.slot_of[home], meta.version)?;
                     self.slots_read += 1;
                     debug_assert_eq!(slot_id, id);
                     let blk_leaf = self.position.get(id);
@@ -518,7 +546,10 @@ mod tests {
             per_access < full_bucket * 0.9,
             "per-access slots {per_access} not better than full buckets {full_bucket}"
         );
-        assert!(per_access >= levels as f64, "cannot read fewer than L+1 slots");
+        assert!(
+            per_access >= levels as f64,
+            "cannot read fewer than L+1 slots"
+        );
     }
 
     #[test]

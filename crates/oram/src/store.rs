@@ -18,14 +18,77 @@
 //! asserts the array always matches the schedule's closed form for the RAW
 //! ORAM, which is what makes the paper's Merkle-free scheme sound.
 
+use std::collections::BTreeSet;
+
 use fedora_crypto::aead::{ChaCha20Poly1305, Key, Nonce, TAG_LEN};
+use fedora_crypto::IntegrityError;
+use fedora_storage::fault::{FaultConfig, FaultStats};
 use fedora_storage::profile::{DramProfile, SsdProfile};
+use fedora_storage::ssd::SsdError;
 use fedora_storage::stats::DeviceStats;
 use fedora_storage::{SimDram, SimSsd};
 
 use crate::bucket::Bucket;
 use crate::geometry::TreeGeometry;
 use crate::OramError;
+
+/// How many decrypt attempts a resilient read makes beyond the first.
+pub const DEFAULT_RETRY_LIMIT: u32 = 4;
+
+/// How many older counters to probe when classifying a tag mismatch as a
+/// rollback (stale replay) versus corruption.
+pub const DEFAULT_ROLLBACK_WINDOW: u64 = 8;
+
+/// Counters of integrity events observed by a store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntegrityStats {
+    /// Tag mismatches classified as corruption (one per failed attempt).
+    pub detected_corruption: u64,
+    /// Tag mismatches classified as rollback replays.
+    pub detected_rollback: u64,
+    /// Transient device failures that were retried.
+    pub transient_retries: u64,
+    /// Reads that ultimately succeeded after at least one failed attempt.
+    pub recovered: u64,
+    /// Buckets quarantined after retries were exhausted.
+    pub quarantined: u64,
+}
+
+impl IntegrityStats {
+    /// Total faults detected (corruption + rollback + transient).
+    pub fn detected_total(&self) -> u64 {
+        self.detected_corruption + self.detected_rollback + self.transient_retries
+    }
+
+    /// Element-wise difference (`self - earlier`), for measuring one phase.
+    pub fn since(&self, earlier: &IntegrityStats) -> IntegrityStats {
+        IntegrityStats {
+            detected_corruption: self.detected_corruption - earlier.detected_corruption,
+            detected_rollback: self.detected_rollback - earlier.detected_rollback,
+            transient_retries: self.transient_retries - earlier.transient_retries,
+            recovered: self.recovered - earlier.recovered,
+            quarantined: self.quarantined - earlier.quarantined,
+        }
+    }
+}
+
+/// Outcome of a full-tree MAC verification pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Buckets examined.
+    pub checked: u64,
+    /// Buckets whose MAC verified (possibly after retries).
+    pub healthy: u64,
+    /// Buckets that failed unrecoverably, with the classified kind.
+    pub failed: Vec<(u64, IntegrityError)>,
+}
+
+impl ScrubReport {
+    /// True when every bucket verified.
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
 
 /// Abstract encrypted bucket storage.
 pub trait BucketStore {
@@ -93,6 +156,45 @@ pub trait BucketStore {
 
     /// Resets the backing device statistics.
     fn reset_device_stats(&mut self);
+
+    /// Counters of integrity events (detections, retries, quarantines).
+    fn integrity_stats(&self) -> IntegrityStats {
+        IntegrityStats::default()
+    }
+
+    /// Nodes quarantined after unrecoverable integrity failures, ascending.
+    fn quarantined_nodes(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Re-encrypts `node` as an *empty* bucket at its current counter and
+    /// clears any quarantine flag. Blocks previously resident in the bucket
+    /// are lost; callers must invalidate their mirrors (VTree) and expect
+    /// [`OramError::MissingBlock`] for the affected ids.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Device`] on sizing bugs.
+    fn repair_bucket(&mut self, node: u64) -> Result<(), OramError> {
+        let geo = self.geometry();
+        let empty = Bucket::empty(geo.z(), geo.block_bytes());
+        self.load_bucket(node, &empty)
+    }
+
+    /// Walks every bucket verifying its MAC (retrying recoverable faults)
+    /// and reports the ones that fail unrecoverably.
+    fn scrub(&mut self) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        for node in 0..self.geometry().num_nodes() {
+            report.checked += 1;
+            match self.read_bucket(node) {
+                Ok(_) => report.healthy += 1,
+                Err(OramError::Integrity { kind, node: bad }) => report.failed.push((bad, kind)),
+                Err(_) => report.failed.push((node, IntegrityError::Corruption)),
+            }
+        }
+        report
+    }
 }
 
 fn bucket_nonce(node: u64, count: u64) -> Nonce {
@@ -111,6 +213,10 @@ pub struct SsdBucketStore {
     ssd: SimSsd,
     write_counts: Vec<u64>,
     pages_per_bucket: u64,
+    retry_limit: u32,
+    rollback_window: u64,
+    integrity: IntegrityStats,
+    quarantined: BTreeSet<u64>,
 }
 
 impl SsdBucketStore {
@@ -122,7 +228,10 @@ impl SsdBucketStore {
     /// Panics if the tree has ≥ 2³² nodes (nonce-domain limit of this
     /// in-memory simulator; the paper-scale configs are driven analytically).
     pub fn new(geometry: TreeGeometry, key: Key, profile: SsdProfile) -> Self {
-        assert!(geometry.num_nodes() < u32::MAX as u64, "tree too large for simulation");
+        assert!(
+            geometry.num_nodes() < u32::MAX as u64,
+            "tree too large for simulation"
+        );
         let pages_per_bucket = geometry.pages_per_bucket(profile.page_bytes);
         let ssd = SimSsd::new(profile, geometry.num_nodes() * pages_per_bucket);
         let mut store = SsdBucketStore {
@@ -131,17 +240,52 @@ impl SsdBucketStore {
             ssd,
             write_counts: vec![0; geometry.num_nodes() as usize],
             pages_per_bucket,
+            retry_limit: DEFAULT_RETRY_LIMIT,
+            rollback_window: DEFAULT_ROLLBACK_WINDOW,
+            integrity: IntegrityStats::default(),
+            quarantined: BTreeSet::new(),
         };
         store.initialize_empty();
         store.ssd.reset_stats();
         store
     }
 
+    #[allow(clippy::expect_used)] // pre-injector, device sized exactly for the tree
     fn initialize_empty(&mut self) {
         let empty = Bucket::empty(self.geometry.z(), self.geometry.block_bytes());
         for node in 0..self.geometry.num_nodes() {
-            self.put(node, &empty, 0);
+            self.put(node, &empty, 0).expect("store sized for the tree");
         }
+    }
+
+    /// Sets how many times a failed bucket read is retried before the
+    /// bucket is quarantined (0 = fail on the first violation).
+    pub fn set_retry_limit(&mut self, retries: u32) {
+        self.retry_limit = retries;
+    }
+
+    /// Sets how many older counters are probed when classifying a tag
+    /// mismatch as rollback versus corruption.
+    pub fn set_rollback_window(&mut self, window: u64) {
+        self.rollback_window = window;
+    }
+
+    /// Arms the backing SSD's fault injector, fixing the rollback group
+    /// size to this store's bucket↔page layout so injected replays are
+    /// bucket-consistent.
+    pub fn arm_faults(&mut self, mut config: FaultConfig) {
+        config.pages_per_group = self.pages_per_bucket;
+        self.ssd.arm_faults(config);
+    }
+
+    /// Disarms the backing SSD's fault injector.
+    pub fn disarm_faults(&mut self) {
+        self.ssd.disarm_faults();
+    }
+
+    /// Counters from the backing SSD's injector (zeros when disarmed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.ssd.fault_stats()
     }
 
     /// The backing SSD (for wear/lifetime queries).
@@ -159,7 +303,7 @@ impl SsdBucketStore {
         node * self.pages_per_bucket
     }
 
-    fn put(&mut self, node: u64, bucket: &Bucket, count: u64) {
+    fn put(&mut self, node: u64, bucket: &Bucket, count: u64) -> Result<(), OramError> {
         let plain = bucket.to_bytes();
         let mut ct = self
             .aead
@@ -172,17 +316,119 @@ impl SsdBucketStore {
             .enumerate()
             .map(|(i, chunk)| (base + i as u64, chunk.to_vec()))
             .collect();
-        self.ssd.write_pages(&writes).expect("store sized for the tree");
+        self.write_pages_resilient(&writes, node)
     }
 
-    fn decrypt(&self, node: u64, raw: &[u8]) -> Result<Bucket, OramError> {
+    /// Batched write with bounded retry on transient device failures.
+    /// Retrying is idempotent: the ciphertext is already fixed, so a
+    /// repeated attempt writes the same bytes.
+    fn write_pages_resilient(
+        &mut self,
+        writes: &[(u64, Vec<u8>)],
+        blame_node: u64,
+    ) -> Result<(), OramError> {
+        let mut failures = 0u32;
+        loop {
+            match self.ssd.write_pages(writes) {
+                Ok(()) => return Ok(()),
+                Err(SsdError::Transient { .. }) => {
+                    self.integrity.transient_retries += 1;
+                    failures += 1;
+                    if failures > self.retry_limit {
+                        return Err(OramError::Integrity {
+                            kind: IntegrityError::Transient,
+                            node: blame_node,
+                        });
+                    }
+                }
+                Err(_) => return Err(OramError::Device),
+            }
+        }
+    }
+
+    /// Decrypts `raw` as `node`'s bucket at an explicit counter.
+    fn decrypt_at(&self, node: u64, raw: &[u8], count: u64) -> Option<Bucket> {
         let ct_len = self.geometry.bucket_plain_bytes() + TAG_LEN;
-        let count = self.write_counts[node as usize];
         let plain = self
             .aead
-            .decrypt(&bucket_nonce(node, count), &raw[..ct_len], &bucket_aad(node))
-            .map_err(|_| OramError::Integrity)?;
-        Ok(Bucket::from_bytes(&plain, self.geometry.z(), self.geometry.block_bytes()))
+            .decrypt(
+                &bucket_nonce(node, count),
+                &raw[..ct_len],
+                &bucket_aad(node),
+            )
+            .ok()?;
+        Some(Bucket::from_bytes(
+            &plain,
+            self.geometry.z(),
+            self.geometry.block_bytes(),
+        ))
+    }
+
+    /// Classifies a tag mismatch: if the bytes authenticate at a *recent
+    /// older* counter, a stale version was replayed (rollback); otherwise
+    /// the bytes are corrupt.
+    fn classify(&self, node: u64, raw: &[u8]) -> IntegrityError {
+        let count = self.write_counts[node as usize];
+        let lo = count.saturating_sub(self.rollback_window);
+        for c in (lo..count).rev() {
+            if self.decrypt_at(node, raw, c).is_some() {
+                return IntegrityError::Rollback;
+            }
+        }
+        IntegrityError::Corruption
+    }
+
+    /// Records a detection for one failed decrypt attempt and returns the
+    /// classified kind.
+    fn note_violation(&mut self, node: u64, raw: &[u8]) -> IntegrityError {
+        let kind = self.classify(node, raw);
+        match kind {
+            IntegrityError::Rollback => self.integrity.detected_rollback += 1,
+            _ => self.integrity.detected_corruption += 1,
+        }
+        kind
+    }
+
+    /// Reads and decrypts `node`, retrying transient failures and
+    /// re-reading on tag mismatches (in-flight faults heal on re-read).
+    /// `failures` carries violations already observed by the caller (the
+    /// batched path read) so the retry budget is shared.
+    fn read_bucket_resilient(
+        &mut self,
+        node: u64,
+        mut failures: u32,
+        mut last_kind: IntegrityError,
+    ) -> Result<Bucket, OramError> {
+        let base = self.page_base(node);
+        let pages: Vec<u64> = (0..self.pages_per_bucket).map(|i| base + i).collect();
+        while failures <= self.retry_limit {
+            match self.ssd.read_pages(&pages) {
+                Ok(raw_pages) => {
+                    let raw: Vec<u8> = raw_pages.concat();
+                    let count = self.write_counts[node as usize];
+                    if let Some(bucket) = self.decrypt_at(node, &raw, count) {
+                        if failures > 0 {
+                            self.integrity.recovered += 1;
+                        }
+                        return Ok(bucket);
+                    }
+                    last_kind = self.note_violation(node, &raw);
+                    failures += 1;
+                }
+                Err(SsdError::Transient { .. }) => {
+                    self.integrity.transient_retries += 1;
+                    last_kind = IntegrityError::Transient;
+                    failures += 1;
+                }
+                Err(_) => return Err(OramError::Device),
+            }
+        }
+        self.integrity.quarantined += 1;
+        self.quarantined.insert(node);
+        Err(OramError::Integrity {
+            kind: last_kind,
+            node,
+        })
     }
 }
 
@@ -192,42 +438,52 @@ impl BucketStore for SsdBucketStore {
     }
 
     fn read_bucket(&mut self, node: u64) -> Result<Bucket, OramError> {
-        let base = self.page_base(node);
-        let pages: Vec<u64> = (0..self.pages_per_bucket).map(|i| base + i).collect();
-        let raw: Vec<u8> = self
-            .ssd
-            .read_pages(&pages)
-            .map_err(|_| OramError::Device)?
-            .concat();
-        self.decrypt(node, &raw)
+        self.read_bucket_resilient(node, 0, IntegrityError::Corruption)
     }
 
     fn write_bucket(&mut self, node: u64, bucket: &Bucket) -> Result<(), OramError> {
         let count = self.write_counts[node as usize] + 1;
         self.write_counts[node as usize] = count;
-        self.put(node, bucket, count);
-        Ok(())
+        self.put(node, bucket, count)
     }
 
     fn read_path(&mut self, leaf: u64) -> Result<Vec<Bucket>, OramError> {
         // One batched page read for the whole path: this is what lets the
-        // SSD's internal parallelism hide per-page latency.
+        // SSD's internal parallelism hide per-page latency. Buckets that
+        // fail the batch decrypt are re-read individually (in-flight
+        // faults heal on re-read); a transient failure of the whole batch
+        // falls back to per-bucket resilient reads.
         let nodes = self.geometry.path_nodes(leaf);
         let mut pages = Vec::with_capacity(nodes.len() * self.pages_per_bucket as usize);
         for &node in &nodes {
             let base = self.page_base(node);
             pages.extend((0..self.pages_per_bucket).map(|i| base + i));
         }
-        let raw_pages = self.ssd.read_pages(&pages).map_err(|_| OramError::Device)?;
+        let raw_pages = match self.ssd.read_pages(&pages) {
+            Ok(raw) => raw,
+            Err(SsdError::Transient { .. }) => {
+                self.integrity.transient_retries += 1;
+                return nodes
+                    .iter()
+                    .map(|&node| self.read_bucket_resilient(node, 1, IntegrityError::Transient))
+                    .collect();
+            }
+            Err(_) => return Err(OramError::Device),
+        };
         let per = self.pages_per_bucket as usize;
-        nodes
-            .iter()
-            .enumerate()
-            .map(|(i, &node)| {
-                let raw: Vec<u8> = raw_pages[i * per..(i + 1) * per].concat();
-                self.decrypt(node, &raw)
-            })
-            .collect()
+        let mut out = Vec::with_capacity(nodes.len());
+        for (i, &node) in nodes.iter().enumerate() {
+            let raw: Vec<u8> = raw_pages[i * per..(i + 1) * per].concat();
+            let count = self.write_counts[node as usize];
+            match self.decrypt_at(node, &raw, count) {
+                Some(bucket) => out.push(bucket),
+                None => {
+                    let kind = self.note_violation(node, &raw);
+                    out.push(self.read_bucket_resilient(node, 1, kind)?);
+                }
+            }
+        }
+        Ok(out)
     }
 
     fn write_path(&mut self, leaf: u64, buckets: &[Bucket]) -> Result<(), OramError> {
@@ -248,13 +504,12 @@ impl BucketStore for SsdBucketStore {
                 writes.push((base + i as u64, chunk.to_vec()));
             }
         }
-        self.ssd.write_pages(&writes).map_err(|_| OramError::Device)
+        self.write_pages_resilient(&writes, nodes[0])
     }
 
     fn load_bucket(&mut self, node: u64, bucket: &Bucket) -> Result<(), OramError> {
         let count = self.write_counts[node as usize];
-        self.put(node, bucket, count);
-        Ok(())
+        self.put(node, bucket, count)
     }
 
     fn write_count(&self, node: u64) -> u64 {
@@ -267,6 +522,21 @@ impl BucketStore for SsdBucketStore {
 
     fn reset_device_stats(&mut self) {
         self.ssd.reset_stats();
+    }
+
+    fn integrity_stats(&self) -> IntegrityStats {
+        self.integrity
+    }
+
+    fn quarantined_nodes(&self) -> Vec<u64> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    fn repair_bucket(&mut self, node: u64) -> Result<(), OramError> {
+        let empty = Bucket::empty(self.geometry.z(), self.geometry.block_bytes());
+        self.load_bucket(node, &empty)?;
+        self.quarantined.remove(&node);
+        Ok(())
     }
 }
 
@@ -288,7 +558,10 @@ impl DramBucketStore {
     ///
     /// Panics if the tree has ≥ 2³² nodes.
     pub fn new(geometry: TreeGeometry, key: Key, profile: DramProfile) -> Self {
-        assert!(geometry.num_nodes() < u32::MAX as u64, "tree too large for simulation");
+        assert!(
+            geometry.num_nodes() < u32::MAX as u64,
+            "tree too large for simulation"
+        );
         let stride = geometry.bucket_stored_bytes() as u64;
         let dram = SimDram::new(profile, geometry.num_nodes() * stride);
         let mut store = DramBucketStore {
@@ -316,6 +589,7 @@ impl DramBucketStore {
         &self.dram
     }
 
+    #[allow(clippy::expect_used)] // DRAM sized for the tree at construction
     fn put(&mut self, node: u64, bucket: &Bucket, count: u64) {
         let plain = bucket.to_bytes();
         let ct = self
@@ -338,11 +612,32 @@ impl BucketStore for DramBucketStore {
             .read(node * self.stride, &mut raw)
             .map_err(|_| OramError::Device)?;
         let count = self.write_counts[node as usize];
-        let plain = self
+        match self
             .aead
             .decrypt(&bucket_nonce(node, count), &raw, &bucket_aad(node))
-            .map_err(|_| OramError::Integrity)?;
-        Ok(Bucket::from_bytes(&plain, self.geometry.z(), self.geometry.block_bytes()))
+        {
+            Ok(plain) => Ok(Bucket::from_bytes(
+                &plain,
+                self.geometry.z(),
+                self.geometry.block_bytes(),
+            )),
+            Err(_) => {
+                // Classify: bytes that authenticate at a recent older
+                // counter are a stale replay, not corruption.
+                let lo = count.saturating_sub(DEFAULT_ROLLBACK_WINDOW);
+                let stale = (lo..count).rev().any(|c| {
+                    self.aead
+                        .decrypt(&bucket_nonce(node, c), &raw, &bucket_aad(node))
+                        .is_ok()
+                });
+                let kind = if stale {
+                    IntegrityError::Rollback
+                } else {
+                    IntegrityError::Corruption
+                };
+                Err(OramError::Integrity { kind, node })
+            }
+        }
     }
 
     fn write_bucket(&mut self, node: u64, bucket: &Bucket) -> Result<(), OramError> {
@@ -461,7 +756,13 @@ mod tests {
         s.dram.read(stride, &mut raw).unwrap();
         s.dram.write(2 * stride, &raw).unwrap();
         s.write_counts[2] = 1; // even matching the counter…
-        assert_eq!(s.read_bucket(2), Err(OramError::Integrity));
+        assert_eq!(
+            s.read_bucket(2),
+            Err(OramError::Integrity {
+                kind: IntegrityError::Corruption,
+                node: 2
+            })
+        );
     }
 
     #[test]
@@ -472,6 +773,106 @@ mod tests {
         let b = Bucket::empty(4, 32);
         s.write_bucket(4, &b).unwrap();
         s.write_counts[4] = 5; // simulate counter mismatch
-        assert_eq!(s.read_bucket(4), Err(OramError::Integrity));
+                               // The old ciphertext authenticates at its true (older) counter, so
+                               // the classifier reports a rollback, not corruption.
+        assert_eq!(
+            s.read_bucket(4),
+            Err(OramError::Integrity {
+                kind: IntegrityError::Rollback,
+                node: 4
+            })
+        );
+    }
+
+    #[test]
+    fn ssd_inflight_bitflip_detected_and_recovered() {
+        let mut s = SsdBucketStore::new(geo(), key(), SsdProfile::default());
+        let mut b = Bucket::empty(4, 32);
+        b.try_insert(Block::new(1, 1, vec![0x5A; 32]));
+        s.write_bucket(3, &b).unwrap();
+        s.arm_faults(FaultConfig {
+            bitflip_per_read: 1.0,
+            ..FaultConfig::default()
+        });
+        // Every read attempt is corrupted in flight, so with retries the
+        // read keeps detecting violations; with the injector disarmed the
+        // device bytes are intact and the read succeeds.
+        let before = s.integrity_stats();
+        let err = s.read_bucket(3).unwrap_err();
+        assert!(matches!(
+            err,
+            OramError::Integrity {
+                kind: IntegrityError::Corruption,
+                node: 3
+            }
+        ));
+        let detected = s.integrity_stats().since(&before);
+        assert_eq!(
+            detected.detected_corruption,
+            u64::from(DEFAULT_RETRY_LIMIT) + 1
+        );
+        assert_eq!(s.quarantined_nodes(), vec![3]);
+        s.disarm_faults();
+        assert_eq!(s.read_bucket(3).unwrap(), b);
+        s.repair_bucket(3).unwrap();
+        assert!(s.quarantined_nodes().is_empty());
+    }
+
+    #[test]
+    fn ssd_transient_read_retried_transparently() {
+        let mut s = SsdBucketStore::new(geo(), key(), SsdProfile::default());
+        let mut b = Bucket::empty(4, 32);
+        b.try_insert(Block::new(7, 2, vec![0x11; 32]));
+        s.write_bucket(6, &b).unwrap();
+        s.arm_faults(FaultConfig {
+            transient_per_read: 1.0,
+            ..FaultConfig::default()
+        });
+        // The injector's one-shot cooldown means the in-loop retry
+        // succeeds: the caller never sees the fault.
+        assert_eq!(s.read_bucket(6).unwrap(), b);
+        let stats = s.integrity_stats();
+        assert_eq!(stats.transient_retries, 1);
+        assert_eq!(stats.recovered, 1);
+        assert!(s.quarantined_nodes().is_empty());
+    }
+
+    #[test]
+    fn ssd_persistent_rollback_classified() {
+        let mut s = SsdBucketStore::new(geo(), key(), SsdProfile::default());
+        let b = Bucket::empty(4, 32);
+        // Write twice so a pre-image at counter 1 exists, then replay it.
+        s.write_bucket(2, &b).unwrap();
+        let stale = s.ssd.snapshot_page(s.page_base(2)).unwrap();
+        s.write_bucket(2, &b).unwrap();
+        s.ssd.inject_rollback(s.page_base(2), &stale).unwrap();
+        let err = s.read_bucket(2).unwrap_err();
+        assert!(matches!(
+            err,
+            OramError::Integrity {
+                kind: IntegrityError::Rollback,
+                node: 2
+            }
+        ));
+        assert!(s.integrity_stats().detected_rollback > 0);
+        assert_eq!(s.quarantined_nodes(), vec![2]);
+    }
+
+    #[test]
+    fn scrub_reports_persistent_corruption() {
+        let mut s = SsdBucketStore::new(geo(), key(), SsdProfile::default());
+        s.set_retry_limit(1);
+        // Flip a stored bit of bucket 5 on the device itself (persistent).
+        s.ssd.inject_bitflip(s.page_base(5), 3).unwrap();
+        let report = s.scrub();
+        assert_eq!(report.checked, s.geometry().num_nodes());
+        assert_eq!(report.healthy, report.checked - 1);
+        assert_eq!(report.failed, vec![(5, IntegrityError::Corruption)]);
+        assert!(!report.is_clean());
+        // Repair re-encrypts an empty bucket: the tree scrubs clean again.
+        s.repair_bucket(5).unwrap();
+        let report = s.scrub();
+        assert!(report.is_clean());
+        assert_eq!(s.read_bucket(5).unwrap().occupancy(), 0);
     }
 }

@@ -34,7 +34,10 @@ impl VTree {
     pub fn new(geometry: TreeGeometry, profile: DramProfile) -> Self {
         let bits = geometry.num_nodes() * geometry.z() as u64;
         let bytes = bits.div_ceil(8);
-        VTree { geometry, dram: SimDram::new(profile, bytes) }
+        VTree {
+            geometry,
+            dram: SimDram::new(profile, bytes),
+        }
     }
 
     /// Creates a VTree with the default DRAM profile.
@@ -65,24 +68,32 @@ impl VTree {
     }
 
     /// Reads the valid bit of `(node, slot)`.
+    #[allow(clippy::expect_used)] // DRAM sized for every bit at construction
     pub fn get(&mut self, node: u64, slot: usize) -> bool {
         let bit = self.bit_index(node, slot);
         let mut byte = [0u8; 1];
-        self.dram.read(bit / 8, &mut byte).expect("vtree sized for tree");
+        self.dram
+            .read(bit / 8, &mut byte)
+            .expect("vtree sized for tree");
         (byte[0] >> (bit % 8)) & 1 == 1
     }
 
     /// Writes the valid bit of `(node, slot)`.
+    #[allow(clippy::expect_used)] // DRAM sized for every bit at construction
     pub fn set(&mut self, node: u64, slot: usize, valid: bool) {
         let bit = self.bit_index(node, slot);
         let mut byte = [0u8; 1];
-        self.dram.read(bit / 8, &mut byte).expect("vtree sized for tree");
+        self.dram
+            .read(bit / 8, &mut byte)
+            .expect("vtree sized for tree");
         if valid {
             byte[0] |= 1 << (bit % 8);
         } else {
             byte[0] &= !(1 << (bit % 8));
         }
-        self.dram.write(bit / 8, &byte).expect("vtree sized for tree");
+        self.dram
+            .write(bit / 8, &byte)
+            .expect("vtree sized for tree");
     }
 
     /// Reads the whole bucket's valid bits at once (mirrors a path access).

@@ -1,0 +1,225 @@
+//! A shared page-device abstraction over the in-memory and file-backed
+//! SSD models.
+//!
+//! The ORAM layers only need page-granular reads/writes plus statistics
+//! and fault-injection hooks; [`PageDevice`] captures exactly that surface
+//! so higher layers (and the chaos harness) can run against either
+//! [`crate::SimSsd`] or [`crate::file_ssd::FileSsd`] without caring which
+//! one backs the tree.
+
+use crate::fault::{FaultConfig, FaultStats};
+use crate::file_ssd::{FileSsd, FileSsdError};
+use crate::ssd::{SimSsd, SsdError};
+use crate::stats::DeviceStats;
+
+/// A page-granular block device with modeled statistics and optional
+/// fault injection.
+pub trait PageDevice {
+    /// Device-specific error type; every device can at least represent
+    /// the semantic [`SsdError`] cases (range, length, transient).
+    type Error: From<SsdError> + core::fmt::Debug + core::fmt::Display;
+
+    /// Bytes per page.
+    fn page_bytes(&self) -> usize;
+
+    /// Capacity in pages.
+    fn num_pages(&self) -> u64;
+
+    /// Reads one page.
+    ///
+    /// # Errors
+    ///
+    /// Range errors, transient injected failures, or host I/O failures.
+    fn read_page(&mut self, page: u64) -> Result<Vec<u8>, Self::Error>;
+
+    /// Writes one page (must be exactly [`page_bytes`](Self::page_bytes)
+    /// long).
+    ///
+    /// # Errors
+    ///
+    /// As for [`read_page`](Self::read_page), plus length mismatches.
+    fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), Self::Error>;
+
+    /// Reads a batch of pages, in order, with batched latency accounting.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read_page`](Self::read_page).
+    fn read_pages(&mut self, pages: &[u64]) -> Result<Vec<Vec<u8>>, Self::Error>;
+
+    /// Writes a batch of pages with batched latency accounting.
+    ///
+    /// # Errors
+    ///
+    /// As for [`write_page`](Self::write_page).
+    fn write_pages(&mut self, writes: &[(u64, Vec<u8>)]) -> Result<(), Self::Error>;
+
+    /// Accumulated device statistics.
+    fn stats(&self) -> &DeviceStats;
+
+    /// Resets the statistics counters.
+    fn reset_stats(&mut self);
+
+    /// Arms the seeded fault injector; replaces any previous injector.
+    fn arm_faults(&mut self, config: FaultConfig);
+
+    /// Disarms fault injection; subsequent I/O is fault-free.
+    fn disarm_faults(&mut self);
+
+    /// Counters from the armed injector (zeros when disarmed).
+    fn fault_stats(&self) -> FaultStats;
+}
+
+impl PageDevice for SimSsd {
+    type Error = SsdError;
+
+    fn page_bytes(&self) -> usize {
+        self.profile().page_bytes
+    }
+
+    fn num_pages(&self) -> u64 {
+        SimSsd::num_pages(self)
+    }
+
+    fn read_page(&mut self, page: u64) -> Result<Vec<u8>, SsdError> {
+        SimSsd::read_page(self, page)
+    }
+
+    fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), SsdError> {
+        SimSsd::write_page(self, page, data)
+    }
+
+    fn read_pages(&mut self, pages: &[u64]) -> Result<Vec<Vec<u8>>, SsdError> {
+        SimSsd::read_pages(self, pages)
+    }
+
+    fn write_pages(&mut self, writes: &[(u64, Vec<u8>)]) -> Result<(), SsdError> {
+        SimSsd::write_pages(self, writes)
+    }
+
+    fn stats(&self) -> &DeviceStats {
+        SimSsd::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        SimSsd::reset_stats(self)
+    }
+
+    fn arm_faults(&mut self, config: FaultConfig) {
+        SimSsd::arm_faults(self, config)
+    }
+
+    fn disarm_faults(&mut self) {
+        SimSsd::disarm_faults(self)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        SimSsd::fault_stats(self)
+    }
+}
+
+impl PageDevice for FileSsd {
+    type Error = FileSsdError;
+
+    fn page_bytes(&self) -> usize {
+        self.profile().page_bytes
+    }
+
+    fn num_pages(&self) -> u64 {
+        FileSsd::num_pages(self)
+    }
+
+    fn read_page(&mut self, page: u64) -> Result<Vec<u8>, FileSsdError> {
+        FileSsd::read_page(self, page)
+    }
+
+    fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), FileSsdError> {
+        FileSsd::write_page(self, page, data)
+    }
+
+    fn read_pages(&mut self, pages: &[u64]) -> Result<Vec<Vec<u8>>, FileSsdError> {
+        FileSsd::read_pages(self, pages)
+    }
+
+    fn write_pages(&mut self, writes: &[(u64, Vec<u8>)]) -> Result<(), FileSsdError> {
+        FileSsd::write_pages(self, writes)
+    }
+
+    fn stats(&self) -> &DeviceStats {
+        FileSsd::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        FileSsd::reset_stats(self)
+    }
+
+    fn arm_faults(&mut self, config: FaultConfig) {
+        FileSsd::arm_faults(self, config)
+    }
+
+    fn disarm_faults(&mut self) {
+        FileSsd::disarm_faults(self)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        FileSsd::fault_stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SsdProfile;
+
+    fn exercise<D: PageDevice>(dev: &mut D) {
+        let pb = dev.page_bytes();
+        dev.write_page(0, &vec![0x11; pb]).unwrap();
+        dev.write_pages(&[(1, vec![0x22; pb]), (2, vec![0x33; pb])])
+            .unwrap();
+        assert_eq!(dev.read_page(1).unwrap()[0], 0x22);
+        let batch = dev.read_pages(&[0, 2]).unwrap();
+        assert_eq!(batch[0][0], 0x11);
+        assert_eq!(batch[1][0], 0x33);
+        assert_eq!(dev.stats().pages_written, 3);
+        assert_eq!(dev.stats().pages_read, 3);
+        dev.reset_stats();
+        assert_eq!(dev.stats().pages_read, 0);
+        assert_eq!(dev.fault_stats().total(), 0);
+    }
+
+    #[test]
+    fn sim_ssd_implements_device() {
+        let mut ssd = SimSsd::new(SsdProfile::pm9a1_like(), 8);
+        exercise(&mut ssd);
+    }
+
+    #[test]
+    fn file_ssd_implements_device() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fedora-device-trait-{}", std::process::id()));
+        let mut ssd = FileSsd::create(&path, SsdProfile::pm9a1_like(), 8).unwrap();
+        exercise(&mut ssd);
+        ssd.remove().unwrap();
+    }
+
+    #[test]
+    fn armed_device_counts_transients() {
+        let mut ssd = SimSsd::new(SsdProfile::pm9a1_like(), 8);
+        let cfg = FaultConfig {
+            transient_per_read: 1.0,
+            ..FaultConfig::default()
+        };
+        PageDevice::arm_faults(&mut ssd, cfg);
+        let pb = PageDevice::page_bytes(&ssd);
+        PageDevice::write_page(&mut ssd, 0, &vec![1u8; pb]).unwrap();
+        assert!(matches!(
+            PageDevice::read_page(&mut ssd, 0),
+            Err(SsdError::Transient { page: 0 })
+        ));
+        // One-shot cooldown: the retry must succeed.
+        assert_eq!(PageDevice::read_page(&mut ssd, 0).unwrap()[0], 1);
+        assert_eq!(PageDevice::fault_stats(&ssd).transients, 1);
+        PageDevice::disarm_faults(&mut ssd);
+        assert_eq!(PageDevice::fault_stats(&ssd).total(), 0);
+    }
+}

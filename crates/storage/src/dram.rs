@@ -88,7 +88,11 @@ impl SimDram {
 
     fn check(&self, offset: u64, len: usize) -> Result<(), DramOutOfRange> {
         if offset + len as u64 > self.bytes.len() as u64 {
-            return Err(DramOutOfRange { offset, len, capacity: self.bytes.len() as u64 });
+            return Err(DramOutOfRange {
+                offset,
+                len,
+                capacity: self.bytes.len() as u64,
+            });
         }
         Ok(())
     }

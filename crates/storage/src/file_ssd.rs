@@ -12,6 +12,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::fault::{FaultConfig, FaultInjector, FaultStats, InjectedFault};
 use crate::profile::SsdProfile;
 use crate::ssd::SsdError;
 use crate::stats::DeviceStats;
@@ -56,6 +57,8 @@ pub struct FileSsd {
     path: PathBuf,
     num_pages: u64,
     stats: DeviceStats,
+    injector: Option<Box<FaultInjector>>,
+    written_once: Vec<bool>,
 }
 
 impl FileSsd {
@@ -83,7 +86,27 @@ impl FileSsd {
             path: path.as_ref().to_owned(),
             num_pages,
             stats: DeviceStats::new(),
+            injector: None,
+            written_once: vec![false; num_pages as usize],
         })
+    }
+
+    /// Arms the seeded fault injector; replaces any previous injector.
+    pub fn arm_faults(&mut self, config: FaultConfig) {
+        self.injector = Some(Box::new(FaultInjector::new(config)));
+    }
+
+    /// Disarms fault injection.
+    pub fn disarm_faults(&mut self) {
+        self.injector = None;
+    }
+
+    /// Counters from the armed injector (zeros when disarmed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector
+            .as_ref()
+            .map(|i| i.stats())
+            .unwrap_or_default()
     }
 
     /// The backing file path.
@@ -118,11 +141,17 @@ impl FileSsd {
 
     fn check(&self, page: u64, len: Option<usize>) -> Result<(), SsdError> {
         if page >= self.num_pages {
-            return Err(SsdError::OutOfRange { page, capacity: self.num_pages });
+            return Err(SsdError::OutOfRange {
+                page,
+                capacity: self.num_pages,
+            });
         }
         if let Some(got) = len {
             if got != self.profile.page_bytes {
-                return Err(SsdError::BadLength { got, want: self.profile.page_bytes });
+                return Err(SsdError::BadLength {
+                    got,
+                    want: self.profile.page_bytes,
+                });
             }
         }
         Ok(())
@@ -136,12 +165,27 @@ impl FileSsd {
     /// [`FileSsdError::Io`].
     pub fn read_page(&mut self, page: u64) -> Result<Vec<u8>, FileSsdError> {
         self.check(page, None)?;
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.should_fail_read() {
+                self.stats.faults_transient += 1;
+                return Err(SsdError::Transient { page }.into());
+            }
+        }
         let pb = self.profile.page_bytes;
         let mut buf = vec![0u8; pb];
         self.file.seek(SeekFrom::Start(page * pb as u64))?;
         self.file.read_exact(&mut buf)?;
-        self.stats.record_read(pb as u64, self.profile.read_latency_ns);
-        Ok(buf)
+        self.stats
+            .record_read(pb as u64, self.profile.read_latency_ns);
+        let mut out = vec![buf];
+        if let Some(inj) = self.injector.as_mut() {
+            match inj.corrupt_read(&[page], &mut out) {
+                Some(InjectedFault::BitFlip { .. }) => self.stats.faults_bitflip += 1,
+                Some(InjectedFault::Rollback { .. }) => self.stats.faults_rollback += 1,
+                None => {}
+            }
+        }
+        Ok(out.remove(0))
     }
 
     /// Writes one page.
@@ -151,10 +195,97 @@ impl FileSsd {
     /// As for [`read_page`](Self::read_page).
     pub fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), FileSsdError> {
         self.check(page, Some(data.len()))?;
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.should_fail_write() {
+                self.stats.faults_transient += 1;
+                return Err(SsdError::Transient { page }.into());
+            }
+        }
         let pb = self.profile.page_bytes;
+        if self.injector.is_some() {
+            let first = !self.written_once[page as usize];
+            let mut old = vec![0u8; pb];
+            self.file.seek(SeekFrom::Start(page * pb as u64))?;
+            self.file.read_exact(&mut old)?;
+            if let Some(inj) = self.injector.as_mut() {
+                inj.record_pre_write(page, &old, first);
+            }
+        }
+        self.written_once[page as usize] = true;
         self.file.seek(SeekFrom::Start(page * pb as u64))?;
         self.file.write_all(data)?;
-        self.stats.record_write(pb as u64, self.profile.write_latency_ns);
+        self.stats
+            .record_write(pb as u64, self.profile.write_latency_ns);
+        Ok(())
+    }
+
+    /// Reads a batch of pages with batched latency accounting, mirroring
+    /// [`crate::SimSsd::read_pages`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`read_page`](Self::read_page).
+    pub fn read_pages(&mut self, pages: &[u64]) -> Result<Vec<Vec<u8>>, FileSsdError> {
+        if let Some(inj) = self.injector.as_mut() {
+            if !pages.is_empty() && inj.should_fail_read() {
+                self.stats.faults_transient += 1;
+                return Err(SsdError::Transient { page: pages[0] }.into());
+            }
+        }
+        let pb = self.profile.page_bytes;
+        let mut out = Vec::with_capacity(pages.len());
+        for &page in pages {
+            self.check(page, None)?;
+            let mut buf = vec![0u8; pb];
+            self.file.seek(SeekFrom::Start(page * pb as u64))?;
+            self.file.read_exact(&mut buf)?;
+            out.push(buf);
+            self.stats.pages_read += 1;
+            self.stats.bytes_read += pb as u64;
+        }
+        self.stats.busy_ns += self.profile.batch_read_ns(pages.len() as u64);
+        if let Some(inj) = self.injector.as_mut() {
+            match inj.corrupt_read(pages, &mut out) {
+                Some(InjectedFault::BitFlip { .. }) => self.stats.faults_bitflip += 1,
+                Some(InjectedFault::Rollback { .. }) => self.stats.faults_rollback += 1,
+                None => {}
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes a batch of pages with batched latency accounting, mirroring
+    /// [`crate::SimSsd::write_pages`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`write_page`](Self::write_page).
+    pub fn write_pages(&mut self, writes: &[(u64, Vec<u8>)]) -> Result<(), FileSsdError> {
+        if let Some(inj) = self.injector.as_mut() {
+            if !writes.is_empty() && inj.should_fail_write() {
+                self.stats.faults_transient += 1;
+                return Err(SsdError::Transient { page: writes[0].0 }.into());
+            }
+        }
+        let pb = self.profile.page_bytes;
+        for (page, data) in writes {
+            self.check(*page, Some(data.len()))?;
+            if self.injector.is_some() {
+                let first = !self.written_once[*page as usize];
+                let mut old = vec![0u8; pb];
+                self.file.seek(SeekFrom::Start(*page * pb as u64))?;
+                self.file.read_exact(&mut old)?;
+                if let Some(inj) = self.injector.as_mut() {
+                    inj.record_pre_write(*page, &old, first);
+                }
+            }
+            self.written_once[*page as usize] = true;
+            self.file.seek(SeekFrom::Start(*page * pb as u64))?;
+            self.file.write_all(data)?;
+            self.stats.pages_written += 1;
+            self.stats.bytes_written += pb as u64;
+        }
+        self.stats.busy_ns += self.profile.batch_write_ns(writes.len() as u64);
         Ok(())
     }
 

@@ -37,14 +37,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod device;
 pub mod dram;
+pub mod fault;
 pub mod file_ssd;
 pub mod profile;
 pub mod scratchpad;
 pub mod ssd;
 pub mod stats;
 
+pub use device::PageDevice;
 pub use dram::SimDram;
+pub use fault::{FaultConfig, FaultInjector, FaultStats};
+pub use file_ssd::FileSsd;
 pub use profile::{DramProfile, SsdProfile};
 pub use scratchpad::Scratchpad;
 pub use ssd::SimSsd;

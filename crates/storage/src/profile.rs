@@ -42,7 +42,7 @@ impl SsdProfile {
     pub fn pm9a1_like() -> Self {
         SsdProfile {
             page_bytes: SSD_PAGE_BYTES,
-            read_latency_ns: 70_000, // ~70 µs QD1 4K random read (TLC NAND)
+            read_latency_ns: 70_000,  // ~70 µs QD1 4K random read (TLC NAND)
             write_latency_ns: 20_000, // ~20 µs into the SLC write cache
             parallelism: 8,
             endurance_writes_per_byte: 5400.0, // 5.4 PB per TB
@@ -135,7 +135,10 @@ mod tests {
 
     #[test]
     fn batch_latency_respects_parallelism() {
-        let ssd = SsdProfile { parallelism: 4, ..SsdProfile::default() };
+        let ssd = SsdProfile {
+            parallelism: 4,
+            ..SsdProfile::default()
+        };
         assert_eq!(ssd.batch_read_ns(1), ssd.read_latency_ns);
         assert_eq!(ssd.batch_read_ns(4), ssd.read_latency_ns);
         assert_eq!(ssd.batch_read_ns(5), 2 * ssd.read_latency_ns);

@@ -52,7 +52,10 @@ pub struct Scratchpad {
 impl Scratchpad {
     /// Creates a scratchpad with `capacity` bytes.
     pub fn new(capacity: usize) -> Self {
-        Scratchpad { capacity, allocations: Vec::new() }
+        Scratchpad {
+            capacity,
+            allocations: Vec::new(),
+        }
     }
 
     /// The paper's default 4-KiB scratchpad.
@@ -87,7 +90,10 @@ impl Scratchpad {
     /// [`ScratchpadFull`] if `bytes` exceeds the free space.
     pub fn allocate(&mut self, name: &str, bytes: usize) -> Result<(), ScratchpadFull> {
         if bytes > self.available() {
-            return Err(ScratchpadFull { requested: bytes, available: self.available() });
+            return Err(ScratchpadFull {
+                requested: bytes,
+                available: self.available(),
+            });
         }
         self.allocations.push((name.to_owned(), bytes));
         Ok(())
@@ -157,7 +163,13 @@ mod tests {
     fn error_reports_sizes() {
         let mut sp = Scratchpad::new(10);
         let err = sp.allocate("big", 20).unwrap_err();
-        assert_eq!(err, ScratchpadFull { requested: 20, available: 10 });
+        assert_eq!(
+            err,
+            ScratchpadFull {
+                requested: 20,
+                available: 10
+            }
+        );
         assert!(!format!("{err}").is_empty());
     }
 }

@@ -6,6 +6,7 @@
 //! writes are what wear the device out, and reads/writes have asymmetric
 //! latency.
 
+use crate::fault::{FaultConfig, FaultInjector, FaultStats, InjectedFault};
 use crate::profile::SsdProfile;
 use crate::stats::DeviceStats;
 
@@ -26,6 +27,13 @@ pub enum SsdError {
         /// The required page size.
         want: usize,
     },
+    /// A transient device failure — the operation did not happen, but an
+    /// immediate retry may succeed. Only produced when a
+    /// [`FaultInjector`](crate::fault::FaultInjector) is armed.
+    Transient {
+        /// The first page the failed operation addressed.
+        page: u64,
+    },
 }
 
 impl core::fmt::Display for SsdError {
@@ -36,6 +44,9 @@ impl core::fmt::Display for SsdError {
             }
             SsdError::BadLength { got, want } => {
                 write!(f, "buffer length {got} does not match page size {want}")
+            }
+            SsdError::Transient { page } => {
+                write!(f, "transient device failure at page {page} (retryable)")
             }
         }
     }
@@ -62,6 +73,10 @@ pub struct SimSsd {
     pages: Vec<u8>,
     num_pages: u64,
     stats: DeviceStats,
+    injector: Option<Box<FaultInjector>>,
+    /// Pages that have been written at least once (the injector needs to
+    /// know whether a pre-write image is a real previous version).
+    written_once: Vec<bool>,
 }
 
 impl SimSsd {
@@ -72,7 +87,29 @@ impl SimSsd {
             num_pages,
             profile,
             stats: DeviceStats::new(),
+            injector: None,
+            written_once: vec![false; num_pages as usize],
         }
+    }
+
+    /// Arms a fault injector: subsequent operations are perturbed per
+    /// `config`. Replaces any previously armed injector.
+    pub fn arm_faults(&mut self, config: FaultConfig) {
+        self.injector = Some(Box::new(FaultInjector::new(config)));
+    }
+
+    /// Disarms fault injection. The injection counters accumulated in
+    /// [`stats`](Self::stats) are preserved.
+    pub fn disarm_faults(&mut self) {
+        self.injector = None;
+    }
+
+    /// Injection counters of the armed injector (zeroes when disarmed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector
+            .as_ref()
+            .map(|i| i.stats())
+            .unwrap_or_default()
     }
 
     /// The device profile.
@@ -102,11 +139,17 @@ impl SimSsd {
 
     fn check(&self, page: u64, len: Option<usize>) -> Result<(), SsdError> {
         if page >= self.num_pages {
-            return Err(SsdError::OutOfRange { page, capacity: self.num_pages });
+            return Err(SsdError::OutOfRange {
+                page,
+                capacity: self.num_pages,
+            });
         }
         if let Some(got) = len {
             if got != self.profile.page_bytes {
-                return Err(SsdError::BadLength { got, want: self.profile.page_bytes });
+                return Err(SsdError::BadLength {
+                    got,
+                    want: self.profile.page_bytes,
+                });
             }
         }
         Ok(())
@@ -119,10 +162,25 @@ impl SimSsd {
     /// [`SsdError::OutOfRange`] if `page` exceeds capacity.
     pub fn read_page(&mut self, page: u64) -> Result<Vec<u8>, SsdError> {
         self.check(page, None)?;
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.should_fail_read() {
+                self.stats.faults_transient += 1;
+                return Err(SsdError::Transient { page });
+            }
+        }
         let pb = self.profile.page_bytes;
         let start = page as usize * pb;
-        self.stats.record_read(pb as u64, self.profile.read_latency_ns);
-        Ok(self.pages[start..start + pb].to_vec())
+        self.stats
+            .record_read(pb as u64, self.profile.read_latency_ns);
+        let mut out = vec![self.pages[start..start + pb].to_vec()];
+        if let Some(inj) = self.injector.as_mut() {
+            match inj.corrupt_read(&[page], &mut out) {
+                Some(InjectedFault::BitFlip { .. }) => self.stats.faults_bitflip += 1,
+                Some(InjectedFault::Rollback { .. }) => self.stats.faults_rollback += 1,
+                None => {}
+            }
+        }
+        Ok(out.remove(0))
     }
 
     /// Writes one page.
@@ -132,10 +190,22 @@ impl SimSsd {
     /// [`SsdError::OutOfRange`] or [`SsdError::BadLength`].
     pub fn write_page(&mut self, page: u64, data: &[u8]) -> Result<(), SsdError> {
         self.check(page, Some(data.len()))?;
+        if let Some(inj) = self.injector.as_mut() {
+            if inj.should_fail_write() {
+                self.stats.faults_transient += 1;
+                return Err(SsdError::Transient { page });
+            }
+        }
         let pb = self.profile.page_bytes;
         let start = page as usize * pb;
+        if let Some(inj) = self.injector.as_mut() {
+            let first = !self.written_once[page as usize];
+            inj.record_pre_write(page, &self.pages[start..start + pb], first);
+        }
+        self.written_once[page as usize] = true;
         self.pages[start..start + pb].copy_from_slice(data);
-        self.stats.record_write(pb as u64, self.profile.write_latency_ns);
+        self.stats
+            .record_write(pb as u64, self.profile.write_latency_ns);
         Ok(())
     }
 
@@ -148,6 +218,12 @@ impl SimSsd {
     /// Fails on the first out-of-range page; earlier pages in the batch are
     /// still counted as read.
     pub fn read_pages(&mut self, pages: &[u64]) -> Result<Vec<Vec<u8>>, SsdError> {
+        if let Some(inj) = self.injector.as_mut() {
+            if !pages.is_empty() && inj.should_fail_read() {
+                self.stats.faults_transient += 1;
+                return Err(SsdError::Transient { page: pages[0] });
+            }
+        }
         let mut out = Vec::with_capacity(pages.len());
         let pb = self.profile.page_bytes;
         for &page in pages {
@@ -159,6 +235,13 @@ impl SimSsd {
             self.stats.bytes_read += pb as u64;
         }
         self.stats.busy_ns += self.profile.batch_read_ns(pages.len() as u64);
+        if let Some(inj) = self.injector.as_mut() {
+            match inj.corrupt_read(pages, &mut out) {
+                Some(InjectedFault::BitFlip { .. }) => self.stats.faults_bitflip += 1,
+                Some(InjectedFault::Rollback { .. }) => self.stats.faults_rollback += 1,
+                None => {}
+            }
+        }
         Ok(out)
     }
 
@@ -168,10 +251,21 @@ impl SimSsd {
     ///
     /// Fails on the first invalid page/buffer.
     pub fn write_pages(&mut self, writes: &[(u64, Vec<u8>)]) -> Result<(), SsdError> {
+        if let Some(inj) = self.injector.as_mut() {
+            if !writes.is_empty() && inj.should_fail_write() {
+                self.stats.faults_transient += 1;
+                return Err(SsdError::Transient { page: writes[0].0 });
+            }
+        }
         let pb = self.profile.page_bytes;
         for (page, data) in writes {
             self.check(*page, Some(data.len()))?;
             let start = *page as usize * pb;
+            if let Some(inj) = self.injector.as_mut() {
+                let first = !self.written_once[*page as usize];
+                inj.record_pre_write(*page, &self.pages[start..start + pb], first);
+            }
+            self.written_once[*page as usize] = true;
             self.pages[start..start + pb].copy_from_slice(data);
             self.stats.pages_written += 1;
             self.stats.bytes_written += pb as u64;
@@ -276,7 +370,10 @@ mod tests {
         let mut s = ssd(4);
         assert!(matches!(
             s.write_page(0, &[0u8; 100]),
-            Err(SsdError::BadLength { got: 100, want: 4096 })
+            Err(SsdError::BadLength {
+                got: 100,
+                want: 4096
+            })
         ));
     }
 
@@ -318,7 +415,7 @@ mod tests {
     #[test]
     fn lifetime_projection() {
         let mut s = ssd(256); // 1 MiB device
-        // Write 100 pages over 10 simulated seconds.
+                              // Write 100 pages over 10 simulated seconds.
         for i in 0..100u64 {
             s.write_page(i % 256, &vec![0; 4096]).unwrap();
         }

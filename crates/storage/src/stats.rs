@@ -18,6 +18,12 @@ pub struct DeviceStats {
     pub bytes_written: u64,
     /// Simulated time the device spent busy, in nanoseconds.
     pub busy_ns: u64,
+    /// Bit-flip faults injected into this device's read traffic.
+    pub faults_bitflip: u64,
+    /// Rollback-replay faults injected into this device's read traffic.
+    pub faults_rollback: u64,
+    /// Transient operation failures injected on this device.
+    pub faults_transient: u64,
 }
 
 impl DeviceStats {
@@ -53,6 +59,9 @@ impl DeviceStats {
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             busy_ns: self.busy_ns - earlier.busy_ns,
+            faults_bitflip: self.faults_bitflip - earlier.faults_bitflip,
+            faults_rollback: self.faults_rollback - earlier.faults_rollback,
+            faults_transient: self.faults_transient - earlier.faults_transient,
         }
     }
 
@@ -64,7 +73,15 @@ impl DeviceStats {
             bytes_read: self.bytes_read + other.bytes_read,
             bytes_written: self.bytes_written + other.bytes_written,
             busy_ns: self.busy_ns + other.busy_ns,
+            faults_bitflip: self.faults_bitflip + other.faults_bitflip,
+            faults_rollback: self.faults_rollback + other.faults_rollback,
+            faults_transient: self.faults_transient + other.faults_transient,
         }
+    }
+
+    /// Total injected faults of any kind.
+    pub fn faults_total(&self) -> u64 {
+        self.faults_bitflip + self.faults_rollback + self.faults_transient
     }
 
     /// Busy time in seconds.

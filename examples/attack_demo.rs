@@ -41,7 +41,10 @@ fn main() {
     // --- 1. Unprotected lookups: addresses = row ids. ---
     let recovered = frequency_attack(&accesses, &hot);
     println!("1. No protection (Figure 1 strawman):");
-    println!("   adversary recovers {:.0}% of the hot feature values\n", recovered * 100.0);
+    println!(
+        "   adversary recovers {:.0}% of the hot feature values\n",
+        recovered * 100.0
+    );
 
     // --- 2. The same workload through FEDORA's main ORAM. ---
     let geo = TreeGeometry::for_blocks(TABLE, 16, 8);
@@ -49,7 +52,9 @@ fn main() {
     let mut oram = RawOram::new(
         store,
         TABLE,
-        RawOramConfig { eviction_period: 16 },
+        RawOramConfig {
+            eviction_period: 16,
+        },
         |_| vec![0u8; 16],
         &mut rng,
     );
@@ -68,7 +73,10 @@ fn main() {
 
     // --- 3. The access count under ε-FDP. ---
     println!("3. Optimal distinguisher on the access count k (30 vs 31 unique):");
-    println!("   {:>8} {:>18} {:>14}", "eps", "attack success", "DP bound");
+    println!(
+        "   {:>8} {:>18} {:>14}",
+        "eps", "attack success", "DP bound"
+    );
     for eps in [0.1, 0.5, 1.0, 2.0, f64::INFINITY] {
         let mech = if eps.is_infinite() {
             FdpMechanism::no_privacy()
@@ -76,7 +84,11 @@ fn main() {
             FdpMechanism::new(eps, YShape::Uniform).expect("valid")
         };
         let out = count_attack(&mech, 30, 100, 20_000, &mut rng);
-        let label = if eps.is_infinite() { "inf".into() } else { format!("{eps}") };
+        let label = if eps.is_infinite() {
+            "inf".into()
+        } else {
+            format!("{eps}")
+        };
         println!(
             "   {:>8} {:>17.1}% {:>13.1}%",
             label,

@@ -44,10 +44,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // pub baseline: conventional FL, no private features at all.
     let mut rng = StdRng::seed_from_u64(1);
     let mut pub_model = DlrmModel::new(
-        DlrmConfig { use_private_history: false, ..model_cfg },
+        DlrmConfig {
+            use_private_history: false,
+            ..model_cfg
+        },
         &mut rng,
     );
-    let sim = FlSimConfig { users_per_round: 24, rounds, ..Default::default() };
+    let sim = FlSimConfig {
+        users_per_round: 24,
+        rounds,
+        ..Default::default()
+    };
     let pub_auc = *run_reference_fl(&mut pub_model, &dataset, &sim, &mut rng)
         .last()
         .expect("rounds > 0");

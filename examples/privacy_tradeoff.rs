@@ -28,7 +28,9 @@ fn one_round(epsilon: f64, requests: &[u64], seed: u64) -> usize {
     let mut server = FedoraServer::new(config, |id| vec![id as u8; 32], &mut rng);
     let report = server.begin_round(requests, &mut rng).expect("round fits");
     let mut mode = FedAvg;
-    server.end_round(&mut mode, 1.0, &mut rng).expect("round ends");
+    server
+        .end_round(&mut mode, 1.0, &mut rng)
+        .expect("round ends");
     report.k_accesses
 }
 
@@ -42,9 +44,15 @@ fn main() {
         u.dedup();
         u.len()
     };
-    println!("Workload: K = {} requests, k_union = {k_union} unique entries\n", requests.len());
+    println!(
+        "Workload: K = {} requests, k_union = {k_union} unique entries\n",
+        requests.len()
+    );
 
-    println!("{:>8} {:>10} {:>22}", "eps", "k (mean)", "empirical leak bound");
+    println!(
+        "{:>8} {:>10} {:>22}",
+        "eps", "k (mean)", "empirical leak bound"
+    );
     for eps in [0.0, 0.1, 0.5, 1.0, 3.0, f64::INFINITY] {
         // Mean accesses over repeated rounds.
         let trials = 30;
@@ -64,13 +72,24 @@ fn main() {
             mech.worst_case_log_ratio(k_union as u64, k_union as u64 + 1, requests.len() as u64)
                 .expect("valid")
         };
-        let eps_label = if eps.is_infinite() { "inf".into() } else { format!("{eps}") };
-        let leak_label = if leak.is_infinite() { "UNBOUNDED".into() } else { format!("{leak:.4}") };
+        let eps_label = if eps.is_infinite() {
+            "inf".into()
+        } else {
+            format!("{eps}")
+        };
+        let leak_label = if leak.is_infinite() {
+            "UNBOUNDED".into()
+        } else {
+            format!("{leak:.4}")
+        };
         println!("{eps_label:>8} {mean_k:>10.1} {leak_label:>22}");
     }
 
     println!("\nReading the table:");
-    println!("- eps=0   always reads K = {} (vanilla ORAM, perfect privacy).", requests.len());
+    println!(
+        "- eps=0   always reads K = {} (vanilla ORAM, perfect privacy).",
+        requests.len()
+    );
     println!("- eps=inf always reads k_union = {k_union} (cheapest, leaks unboundedly).");
     println!("- In between, the mean access count interpolates while the leak");
     println!("  stays provably below eps.");

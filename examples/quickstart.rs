@@ -31,8 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alice = [7u64, 19, 42];
     let bob = [7u64, 99];
     let charlie = [42u64, 7, 230];
-    let requests: Vec<u64> =
-        alice.iter().chain(&bob).chain(&charlie).copied().collect();
+    let requests: Vec<u64> = alice.iter().chain(&bob).chain(&charlie).copied().collect();
 
     // Steps 1-3: oblivious union, ε-FDP choice of k, SSD read phase.
     let report = server.begin_round(&requests, &mut rng)?;

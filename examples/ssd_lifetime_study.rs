@@ -19,7 +19,13 @@ const ROUND_PERIOD_S: f64 = 120.0;
 
 fn requests(rng: &mut StdRng, table: u64) -> Vec<u64> {
     (0..REQUESTS_PER_ROUND)
-        .map(|_| if rng.gen_bool(0.6) { rng.gen_range(0..32) } else { rng.gen_range(0..table) })
+        .map(|_| {
+            if rng.gen_bool(0.6) {
+                rng.gen_range(0..32)
+            } else {
+                rng.gen_range(0..table)
+            }
+        })
         .collect()
 }
 

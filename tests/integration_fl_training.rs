@@ -22,7 +22,13 @@ fn dataset() -> Dataset {
 fn model(seed: u64) -> DlrmModel {
     let mut rng = StdRng::seed_from_u64(seed);
     DlrmModel::new(
-        DlrmConfig { num_items: 128, embedding_dim: 8, hidden_dim: 16, use_private_history: true, pooling: Pooling::Mean },
+        DlrmConfig {
+            num_items: 128,
+            embedding_dim: 8,
+            hidden_dim: 16,
+            use_private_history: true,
+            pooling: Pooling::Mean,
+        },
         &mut rng,
     )
 }
@@ -32,7 +38,11 @@ fn training_cfg(rounds: usize, protection: Option<(ProtectionMode, f64)>) -> Tra
         users_per_round: 16,
         rounds,
         server_lr: 2.0,
-        trainer: LocalTrainer { lr: 0.2, epochs: 1, ..Default::default() },
+        trainer: LocalTrainer {
+            lr: 0.2,
+            epochs: 1,
+            ..Default::default()
+        },
         protection,
     }
 }
@@ -51,7 +61,11 @@ fn pipeline_matches_reference_fl_at_epsilon_infinity() {
         users_per_round: 16,
         rounds,
         server_lr: 2.0,
-        trainer: LocalTrainer { lr: 0.2, epochs: 1, ..Default::default() },
+        trainer: LocalTrainer {
+            lr: 0.2,
+            epochs: 1,
+            ..Default::default()
+        },
     };
     let ref_auc = *run_reference_fl(&mut ref_model, &data, &sim, &mut rng)
         .last()
@@ -137,7 +151,15 @@ fn hide_count_mode_fixes_per_user_requests() {
     let out = train_with_fedora(
         &mut m,
         &data,
-        &training_cfg(5, Some((ProtectionMode::HideValueCount { padded_count: padded }, 1.0))),
+        &training_cfg(
+            5,
+            Some((
+                ProtectionMode::HideValueCount {
+                    padded_count: padded,
+                },
+                1.0,
+            )),
+        ),
         &mut rng,
     )
     .expect("pipeline");

@@ -17,7 +17,13 @@ fn workload(rng: &mut StdRng, rounds: usize) -> Vec<Vec<u64>> {
     (0..rounds)
         .map(|_| {
             (0..64)
-                .map(|_| if rng.gen_bool(0.5) { rng.gen_range(0..16) } else { rng.gen_range(0..TABLE) })
+                .map(|_| {
+                    if rng.gen_bool(0.5) {
+                        rng.gen_range(0..16)
+                    } else {
+                        rng.gen_range(0..TABLE)
+                    }
+                })
                 .collect()
         })
         .collect()
@@ -43,13 +49,18 @@ fn fedora_and_baseline_serve_identical_data() {
         fed.begin_round(&reqs, &mut rng_f).expect("fedora round");
         base.begin_round(&reqs, &mut rng_b).expect("baseline round");
         for &id in &reqs {
-            let f = fed.serve(id, &mut rng_f).expect("serve").expect("eps=inf never loses");
+            let f = fed
+                .serve(id, &mut rng_f)
+                .expect("serve")
+                .expect("eps=inf never loses");
             let b = base.serve(id, &mut rng_b).expect("serve");
             assert_eq!(f, b, "entry {id} diverged between systems");
         }
         let mut mode = FedAvg;
-        fed.end_round(&mut mode, 1.0, &mut rng_f).expect("fedora end");
-        base.end_round(&mut mode, 1.0, &mut rng_b).expect("baseline end");
+        fed.end_round(&mut mode, 1.0, &mut rng_f)
+            .expect("fedora end");
+        base.end_round(&mut mode, 1.0, &mut rng_b)
+            .expect("baseline end");
     }
 }
 
@@ -126,8 +137,14 @@ fn analytic_baseline_counts_match_exactly() {
     }
     let predicted = path_oram_plus_round(&geo, (rounds * 64) as u64, 4096);
     let measured = base.ssd_stats();
-    assert_eq!(predicted.pages_read, measured.pages_read, "baseline reads are exact");
-    assert_eq!(predicted.pages_written, measured.pages_written, "baseline writes are exact");
+    assert_eq!(
+        predicted.pages_read, measured.pages_read,
+        "baseline reads are exact"
+    );
+    assert_eq!(
+        predicted.pages_written, measured.pages_written,
+        "baseline writes are exact"
+    );
 }
 
 #[test]
@@ -157,10 +174,16 @@ fn all_aggregation_modes_run_through_pipeline() {
     let fedadam = drive(FedAdam::new(), 21);
     let eana = drive(Eana::new(1.0, 0.05), 22);
     let lazydp = drive(LazyDp::new(1.0, 0.05), 23);
-    for (name, vals) in
-        [("fedavg", &fedavg), ("fedadam", &fedadam), ("eana", &eana), ("lazydp", &lazydp)]
-    {
-        assert!(vals.iter().all(|v| v.is_finite()), "{name} produced non-finite values");
+    for (name, vals) in [
+        ("fedavg", &fedavg),
+        ("fedadam", &fedadam),
+        ("eana", &eana),
+        ("lazydp", &lazydp),
+    ] {
+        assert!(
+            vals.iter().all(|v| v.is_finite()),
+            "{name} produced non-finite values"
+        );
         assert!(vals.iter().any(|v| *v != 0.0), "{name} made no progress");
     }
     // Adam's normalized steps differ from FedAvg's raw means.

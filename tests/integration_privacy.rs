@@ -196,7 +196,11 @@ fn repeated_access_paths_are_unlinkable() {
     }
     // 200 accesses over 64 leaves: a linkable (fixed-leaf) pattern would
     // produce 1 distinct leaf; uniform remapping produces most of them.
-    assert!(seen.len() > 40, "only {} distinct leaves in 200 accesses", seen.len());
+    assert!(
+        seen.len() > 40,
+        "only {} distinct leaves in 200 accesses",
+        seen.len()
+    );
 }
 
 /// Dummy and real accesses are indistinguishable in device I/O.
@@ -212,7 +216,9 @@ fn dummy_and_real_round_io_identical_given_same_k() {
     let mut mode = FedAvg;
 
     let before = server.ssd_stats();
-    server.begin_round(&vec![9u64; 32], &mut rng).expect("round");
+    server
+        .begin_round(&vec![9u64; 32], &mut rng)
+        .expect("round");
     server.end_round(&mut mode, 1.0, &mut rng).expect("end");
     let same_delta = server.ssd_stats().since(&before);
 
