@@ -1,9 +1,12 @@
 //! Fault-tolerance campaign: drives the live FEDORA pipeline under
 //! seeded chaos injection and reports detection/recovery accounting.
 //!
-//! Usage: `fault_campaign [rounds] [seed] [bitflip] [rollback] [transient]`
-//! (rates are per device operation; defaults: 40 rounds, seed 7,
-//! 0.25 / 0.10 / 0.15).
+//! Usage: `fault_campaign [rounds] [seed] [bitflip] [rollback] [transient]
+//! [--metrics-out PATH]` (rates are per device operation; defaults:
+//! 40 rounds, seed 7, 0.25 / 0.10 / 0.15). With `--metrics-out` the
+//! campaign totals are written as a telemetry JSON snapshot: the live
+//! registry (oram/storage/crypto/integrity/fl series) plus
+//! `campaign.*` gauges mirroring the printed summary.
 //!
 //! The run asserts the system's invariants as it goes: every injected
 //! fault is detected exactly once, recovered reads outnumber quarantines,
@@ -20,19 +23,30 @@ const DIM: usize = 8;
 const NUM_ENTRIES: u64 = 256;
 const REQS_PER_ROUND: u64 = 48;
 
-fn arg<T: std::str::FromStr>(n: usize, default: T) -> T {
-    std::env::args()
-        .nth(n)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+fn arg<T: std::str::FromStr>(args: &[String], n: usize, default: T) -> T {
+    args.get(n).and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
 fn main() {
-    let rounds: u64 = arg(1, 40);
-    let seed: u64 = arg(2, 7);
-    let bitflip: f64 = arg(3, 0.25);
-    let rollback: f64 = arg(4, 0.10);
-    let transient: f64 = arg(5, 0.15);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Strip the one flag pair before positional parsing.
+    let metrics_out = match args.iter().position(|a| a == "--metrics-out") {
+        Some(pos) if pos + 1 < args.len() => {
+            let path = args.remove(pos + 1);
+            args.remove(pos);
+            Some(path)
+        }
+        Some(_) => {
+            eprintln!("error: --metrics-out needs a value");
+            std::process::exit(1);
+        }
+        None => None,
+    };
+    let rounds: u64 = arg(&args, 0, 40);
+    let seed: u64 = arg(&args, 1, 7);
+    let bitflip: f64 = arg(&args, 2, 0.25);
+    let rollback: f64 = arg(&args, 3, 0.10);
+    let transient: f64 = arg(&args, 4, 0.15);
 
     let mut config = FedoraConfig::for_testing(TableSpec::tiny(NUM_ENTRIES), 64);
     config.privacy = PrivacyConfig::none();
@@ -132,4 +146,34 @@ fn main() {
         "\nOK: 100% detection, zero silent corruption, {} rounds completed",
         server.reports().len()
     );
+
+    if let Some(path) = metrics_out {
+        let registry = server.registry();
+        registry
+            .gauge("campaign.injected.bitflips")
+            .set(injected.bitflips as f64);
+        registry
+            .gauge("campaign.injected.rollbacks")
+            .set(injected.rollbacks as f64);
+        registry
+            .gauge("campaign.injected.transients")
+            .set(injected.transients as f64);
+        registry
+            .gauge("campaign.recovered")
+            .set(integ.recovered as f64);
+        registry
+            .gauge("campaign.quarantined")
+            .set(integ.quarantined as f64);
+        registry
+            .gauge("campaign.aborted_rounds")
+            .set(server.aborts().len() as f64);
+        registry
+            .gauge("campaign.completed_rounds")
+            .set(server.reports().len() as f64);
+        server
+            .metrics_snapshot()
+            .write_json(std::path::Path::new(&path))
+            .expect("write --metrics-out");
+        println!("metrics written to {path}");
+    }
 }

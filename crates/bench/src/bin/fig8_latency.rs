@@ -3,6 +3,10 @@
 //! Uses the analytic latency model (SSD batched path I/O + DRAM buffer
 //! traffic + controller compute) with access totals from per-workload
 //! request streams.
+//!
+//! Usage: `fig8_latency [--metrics-out PATH]`. The flag exports every
+//! printed overhead figure as a `fig8.<table>.<updates>.*` gauge in a
+//! telemetry JSON snapshot.
 
 use fedora::analytic::{fedora_round, path_oram_plus_round};
 use fedora::config::{FedoraConfig, TableSpec};
@@ -19,6 +23,19 @@ fn union_scan_slots(k: usize) -> u64 {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_out = match args.iter().position(|a| a == "--metrics-out") {
+        Some(pos) => match args.get(pos + 1) {
+            Some(path) => Some(path.clone()),
+            None => {
+                eprintln!("error: --metrics-out needs a value");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
+    let registry = fedora_telemetry::Registry::new();
+
     let mut rng = StdRng::seed_from_u64(8);
     let model = LatencyModel::default();
     let updates = [10_000usize, 100_000, 1_000_000];
@@ -60,6 +77,22 @@ fn main() {
             }
             let geo_mean = (ln_sum / rows.len() as f64).exp();
 
+            let prefix = format!("fig8.{}.{}", table.name, k_total);
+            registry
+                .gauge(&format!("{prefix}.path_oram_plus_overhead"))
+                .set(base.overhead_fraction());
+            registry
+                .gauge(&format!("{prefix}.fedora_e0_overhead"))
+                .set(fed0.overhead_fraction());
+            registry
+                .gauge(&format!("{prefix}.fedora_e1_geomean_overhead"))
+                .set(geo_mean);
+            for (label, overhead) in &rows {
+                registry
+                    .gauge(&format!("{prefix}.e1.{label}"))
+                    .set(*overhead);
+            }
+
             println!(
                 "{:<8} {:<32} {:>11.1}% {:>12.1}% {:>12.1}%",
                 table.name,
@@ -85,5 +118,13 @@ fn main() {
                 fed0.overhead_fraction() / geo_mean
             );
         }
+    }
+
+    if let Some(path) = metrics_out {
+        registry
+            .snapshot()
+            .write_json(std::path::Path::new(&path))
+            .expect("write --metrics-out");
+        println!("\nmetrics written to {path}");
     }
 }

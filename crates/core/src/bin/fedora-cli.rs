@@ -17,6 +17,7 @@ use fedora::latency::LatencyModel;
 use fedora::server::FedoraServer;
 use fedora_fdp::{FdpMechanism, YShape};
 use fedora_fl::modes::FedAvg;
+use fedora_telemetry::{Registry, Snapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -36,6 +37,11 @@ COMMANDS:
     attack     optimal access-count distinguisher vs the DP bound
                --epsilon E  --trials N
     help       print this message
+
+Every command also accepts --metrics-out PATH to write a telemetry
+snapshot (counters, gauges, histogram percentiles, event journal) as
+single-line JSON. For `round` this is the live pipeline's full registry;
+the analytic commands export their computed figures as gauges.
 ";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -52,6 +58,17 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         i += 2;
     }
     Ok(flags)
+}
+
+/// Writes `snapshot` as JSON when `--metrics-out PATH` was given.
+fn write_metrics(flags: &HashMap<String, String>, snapshot: &Snapshot) -> Result<(), String> {
+    if let Some(path) = flags.get("metrics-out") {
+        snapshot
+            .write_json(std::path::Path::new(path))
+            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+        println!("  metrics written to {path}");
+    }
+    Ok(())
 }
 
 fn table_spec(flags: &HashMap<String, String>) -> Result<TableSpec, String> {
@@ -114,7 +131,13 @@ fn cmd_lifetime(flags: &HashMap<String, String>) -> Result<(), String> {
         "  FEDORA lifetime:     {fed_life:.2} months  ({:.0}x)",
         fed_life / base_life
     );
-    Ok(())
+    let registry = Registry::new();
+    registry
+        .gauge("model.lifetime.path_oram_plus_months")
+        .set(base_life);
+    registry.gauge("model.lifetime.fedora_months").set(fed_life);
+    registry.gauge("model.lifetime.epsilon").set(epsilon);
+    write_metrics(flags, &registry.snapshot())
 }
 
 fn cmd_latency(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -156,7 +179,16 @@ fn cmd_latency(flags: &HashMap<String, String>) -> Result<(), String> {
         fed.controller_ns / 1e9,
         fed.eviction_ns / 1e9
     );
-    Ok(())
+    let registry = Registry::new();
+    registry
+        .gauge("model.latency.path_oram_plus_s")
+        .set(base.total_s());
+    registry.gauge("model.latency.fedora_s").set(fed.total_s());
+    registry
+        .gauge("model.latency.fedora_overhead_fraction")
+        .set(fed.overhead_fraction());
+    registry.gauge("model.latency.epsilon").set(epsilon);
+    write_metrics(flags, &registry.snapshot())
 }
 
 fn cmd_round(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -190,6 +222,17 @@ fn cmd_round(flags: &HashMap<String, String>) -> Result<(), String> {
     let _report = server
         .begin_round(&requests, &mut rng)
         .map_err(|e| e.to_string())?;
+    // Exercise the full client exchange so fl.* telemetry is live: each
+    // requested entry is downloaded and a gradient is pushed back.
+    for &id in &requests {
+        let served = server.serve(id, &mut rng).map_err(|e| e.to_string())?;
+        if served.is_some() {
+            let gradient = vec![0.1f32; 8];
+            server
+                .aggregate(&FedAvg, id, &gradient, 1, &mut rng)
+                .map_err(|e| e.to_string())?;
+        }
+    }
     let mut mode = FedAvg;
     let done = server
         .end_round(&mut mode, 1.0, &mut rng)
@@ -207,7 +250,7 @@ fn cmd_round(flags: &HashMap<String, String>) -> Result<(), String> {
         "  SSD: {} pages read, {} pages written",
         done.ssd.pages_read, done.ssd.pages_written
     );
-    Ok(())
+    write_metrics(flags, &server.metrics_snapshot())
 }
 
 fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -223,7 +266,13 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("Optimal access-count distinguisher at eps = {epsilon} ({trials} trials):");
     println!("  success rate: {:.2}%", out.success_rate * 100.0);
     println!("  DP bound:     {:.2}%", dp_success_bound(epsilon) * 100.0);
-    Ok(())
+    let registry = Registry::new();
+    registry.gauge("attack.success_rate").set(out.success_rate);
+    registry
+        .gauge("attack.dp_bound")
+        .set(dp_success_bound(epsilon));
+    registry.gauge("attack.epsilon").set(epsilon);
+    write_metrics(flags, &registry.snapshot())
 }
 
 fn main() {

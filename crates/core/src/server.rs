@@ -12,6 +12,7 @@ use fedora_oram::store::{BucketStore, IntegrityStats, ScrubReport, SsdBucketStor
 use fedora_oram::OramError;
 use fedora_storage::stats::DeviceStats;
 use fedora_storage::{FaultConfig, FaultStats};
+use fedora_telemetry::{Counter, Registry, Snapshot};
 use rand::Rng;
 
 use crate::config::{FedoraConfig, SelectionStrategy};
@@ -112,6 +113,10 @@ pub struct RoundReport {
     /// Integrity events (detections, retries, recoveries, quarantines)
     /// observed on the main ORAM during this round.
     pub integrity: IntegrityStats,
+    /// Telemetry snapshot at round completion (cumulative registry state:
+    /// counters, gauges, histogram summaries — no journal events). Empty
+    /// when the server runs with a disabled registry.
+    pub metrics: Snapshot,
 }
 
 /// The record of one aborted (rolled-back) transactional round.
@@ -146,6 +151,28 @@ struct RoundState {
     snapshot: Option<Box<RoundSnapshot>>,
 }
 
+/// Telemetry handles for the FL-facing side of the round pipeline.
+#[derive(Clone, Debug, Default)]
+struct FlTelemetry {
+    rounds_completed: Counter,
+    rounds_aborted: Counter,
+    download_bytes: Counter,
+    upload_bytes: Counter,
+    lost_serves: Counter,
+}
+
+impl FlTelemetry {
+    fn attach(registry: &Registry) -> Self {
+        FlTelemetry {
+            rounds_completed: registry.counter("fl.rounds.completed"),
+            rounds_aborted: registry.counter("fl.rounds.aborted"),
+            download_bytes: registry.counter("fl.round.download_bytes"),
+            upload_bytes: registry.counter("fl.round.upload_bytes"),
+            lost_serves: registry.counter("fl.round.lost_serves"),
+        }
+    }
+}
+
 /// The FEDORA server.
 pub struct FedoraServer {
     config: FedoraConfig,
@@ -159,14 +186,30 @@ pub struct FedoraServer {
     /// Entry ids whose blocks were destroyed by a bucket repair; they are
     /// excluded (served as lost) until re-initialized out of band.
     quarantined_ids: HashSet<u64>,
+    registry: Registry,
+    telemetry: FlTelemetry,
 }
 
 impl FedoraServer {
     /// Builds the server: provisions the SSD main ORAM (bulk-loading the
-    /// embedding table produced by `init`) and the DRAM buffer ORAM.
+    /// embedding table produced by `init`) and the DRAM buffer ORAM. The
+    /// server owns an enabled telemetry [`Registry`] wired through every
+    /// layer; use [`with_telemetry`](Self::with_telemetry) with
+    /// [`Registry::disabled`] for the zero-overhead no-op sink.
     pub fn new<R: Rng, F: FnMut(u64) -> Vec<u8>>(
         config: FedoraConfig,
         init: F,
+        rng: &mut R,
+    ) -> Self {
+        Self::with_telemetry(config, init, Registry::new(), rng)
+    }
+
+    /// Builds the server with an explicit telemetry registry (pass
+    /// [`Registry::disabled`] to make every instrument a no-op).
+    pub fn with_telemetry<R: Rng, F: FnMut(u64) -> Vec<u8>>(
+        config: FedoraConfig,
+        init: F,
+        registry: Registry,
         rng: &mut R,
     ) -> Self {
         let key = fedora_crypto::aead::Key::from_bytes([0x5E; 32]);
@@ -174,14 +217,17 @@ impl FedoraServer {
             SsdBucketStore::new(config.geometry, key.derive_subkey("main-oram"), config.ssd);
         store.set_retry_limit(config.fault_tolerance.max_read_retries);
         store.set_rollback_window(config.fault_tolerance.rollback_window);
-        let main = RawOram::new(store, config.table.num_entries, config.raw, init, rng);
-        let buffer = BufferOram::new(
+        let mut main = RawOram::new(store, config.table.num_entries, config.raw, init, rng);
+        main.set_telemetry(&registry);
+        let mut buffer = BufferOram::new(
             config.max_requests_per_round,
             config.table.entry_bytes,
             key.derive_subkey("buffer-oram"),
             rng,
         );
+        buffer.set_telemetry(&registry);
         let chunk_plan = ChunkPlan::new(config.privacy.chunk_size);
+        let telemetry = FlTelemetry::attach(&registry);
         FedoraServer {
             config,
             main,
@@ -192,7 +238,20 @@ impl FedoraServer {
             completed: Vec::new(),
             aborts: Vec::new(),
             quarantined_ids: HashSet::new(),
+            registry,
+            telemetry,
         }
+    }
+
+    /// The telemetry registry every layer of this server reports into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A full snapshot of the registry (counters, gauges, histogram
+    /// summaries, and journal events).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
     }
 
     /// The configuration.
@@ -320,6 +379,13 @@ impl FedoraServer {
         } else {
             None
         };
+        self.registry.event(
+            "round.begin",
+            &[
+                ("round", (self.completed.len() as u64).into()),
+                ("k_requests", (requests.len() as u64).into()),
+            ],
+        );
         let mut state = RoundState {
             report: RoundReport {
                 k_requests: requests.len(),
@@ -450,6 +516,16 @@ impl FedoraServer {
                 return FedoraError::Oram(e);
             }
         }
+        self.telemetry.rounds_aborted.incr();
+        self.registry.event(
+            "round.abort",
+            &[
+                ("round", (self.completed.len() as u64).into()),
+                ("node", node.into()),
+                ("kind", format!("{kind:?}").into()),
+                ("persistent", persistent.into()),
+            ],
+        );
         self.aborts.push(RoundAbort {
             kind,
             node,
@@ -498,10 +574,14 @@ impl FedoraServer {
     pub fn serve<R: Rng>(&mut self, id: u64, rng: &mut R) -> Result<Option<Vec<u8>>, FedoraError> {
         let state = self.active.as_ref().ok_or(FedoraError::NoActiveRound)?;
         if state.lost_ids.contains(&id) {
+            self.telemetry.lost_serves.incr();
             return Ok(None);
         }
         match self.buffer.serve(id, rng) {
-            Ok(bytes) => Ok(Some(bytes)),
+            Ok(bytes) => {
+                self.telemetry.download_bytes.add(bytes.len() as u64);
+                Ok(Some(bytes))
+            }
             Err(BufferError::NotLoaded { id }) => Err(FedoraError::UnknownEntry { id }),
             Err(e) => Err(e.into()),
         }
@@ -523,6 +603,11 @@ impl FedoraServer {
         rng: &mut R,
     ) -> Result<bool, FedoraError> {
         let state = self.active.as_ref().ok_or(FedoraError::NoActiveRound)?;
+        // The client's upload arrived either way — count its bytes even
+        // when the entry was lost and the gradient is dropped.
+        self.telemetry
+            .upload_bytes
+            .add(core::mem::size_of_val(gradient) as u64);
         if state.lost_ids.contains(&id) {
             return Ok(false);
         }
@@ -599,6 +684,17 @@ impl FedoraServer {
             .since(&state.integrity_before);
         self.accountant
             .record_round(self.config.privacy.mechanism.epsilon());
+        self.telemetry.rounds_completed.incr();
+        self.registry.event(
+            "round.end",
+            &[
+                ("round", (self.completed.len() as u64).into()),
+                ("k_accesses", (state.report.k_accesses as u64).into()),
+                ("lost", (state.report.lost as u64).into()),
+                ("eo_accesses", state.report.eo_accesses.into()),
+            ],
+        );
+        state.report.metrics = self.registry.snapshot_lite();
         self.completed.push(state.report.clone());
         Ok(state.report.clone())
     }
@@ -997,6 +1093,73 @@ mod tests {
             assert!(s.serve(id, &mut rng).unwrap().is_none());
         }
         s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn round_report_carries_metrics_snapshot() {
+        let (mut s, mut rng) = server(None);
+        assert!(s.registry().is_enabled());
+        s.begin_round(&[1, 2, 3, 1], &mut rng).unwrap();
+        s.serve(1, &mut rng).unwrap();
+        let mode = FedAvg;
+        s.aggregate(&mode, 1, &[0.5; 8], 1, &mut rng).unwrap();
+        let mut mode = FedAvg;
+        let report = s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        let m = &report.metrics;
+        // Acceptance keys: all present and coherent with the report.
+        let access = m.histogram("oram.access.latency").expect("latency hist");
+        assert!(access.count > 0);
+        assert!(access.min <= access.p50 && access.p50 <= access.p95);
+        assert!(access.p95 <= access.p99 && access.p99 <= access.max);
+        assert_eq!(
+            m.counter("storage.pages_read"),
+            Some(s.ssd_stats().pages_read)
+        );
+        assert_eq!(
+            m.counter("storage.pages_written"),
+            Some(s.ssd_stats().pages_written)
+        );
+        assert_eq!(m.counter("fl.round.upload_bytes"), Some(8 * 4));
+        assert_eq!(m.counter("fl.round.download_bytes"), Some(32));
+        assert_eq!(m.counter("integrity.retries"), Some(0));
+        assert_eq!(m.counter("fl.rounds.completed"), Some(1));
+        // Lite snapshot: the journal stays out of per-round reports…
+        assert!(m.events.is_empty());
+        // …but the full snapshot has begin/end events.
+        let full = s.metrics_snapshot();
+        assert!(full.events.iter().any(|e| e.name == "round.begin"));
+        assert!(full.events.iter().any(|e| e.name == "round.end"));
+    }
+
+    #[test]
+    fn faults_feed_integrity_retry_counter() {
+        let (mut s, mut rng) = server(None);
+        s.arm_faults(FaultConfig::chaos(7, 0.0, 0.0, 1.0));
+        s.begin_round(&[3, 4, 5], &mut rng).unwrap();
+        let mut mode = FedAvg;
+        let report = s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        assert!(report.metrics.counter("integrity.retries").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn disabled_registry_yields_empty_snapshots() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut config = FedoraConfig::for_testing(TableSpec::tiny(128), 64);
+        config.privacy = PrivacyConfig::none();
+        let mut s = FedoraServer::with_telemetry(
+            config,
+            |id| vec![id as u8; 32],
+            fedora_telemetry::Registry::disabled(),
+            &mut rng,
+        );
+        assert!(!s.registry().is_enabled());
+        s.begin_round(&[1, 2], &mut rng).unwrap();
+        let mut mode = FedAvg;
+        let report = s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        assert_eq!(report.metrics, fedora_telemetry::Snapshot::default());
+        assert_eq!(s.metrics_snapshot(), fedora_telemetry::Snapshot::default());
+        // The pipeline itself is unaffected.
+        assert_eq!(report.k_requests, 2);
     }
 
     #[test]

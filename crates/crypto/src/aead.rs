@@ -5,6 +5,8 @@
 //! (public) identity of the encrypted group and its write counter, which is
 //! exactly what the group-based counter scheme of [`crate::group`] provides.
 
+use fedora_telemetry::{Counter, Registry};
+
 use crate::chacha20::{self, NONCE_LEN};
 use crate::poly1305;
 
@@ -108,17 +110,47 @@ impl std::error::Error for AeadError {}
 #[derive(Clone, Debug)]
 pub struct ChaCha20Poly1305 {
     key: Key,
+    telemetry: AeadTelemetry,
+}
+
+/// Registry handles counting AEAD operations (no-op by default).
+#[derive(Clone, Debug, Default)]
+struct AeadTelemetry {
+    encrypt_ops: Counter,
+    decrypt_ops: Counter,
+    auth_failures: Counter,
+}
+
+impl AeadTelemetry {
+    fn attach(registry: &Registry) -> Self {
+        AeadTelemetry {
+            encrypt_ops: registry.counter("crypto.aead.encrypt_ops"),
+            decrypt_ops: registry.counter("crypto.aead.decrypt_ops"),
+            auth_failures: registry.counter("crypto.aead.auth_failures"),
+        }
+    }
 }
 
 impl ChaCha20Poly1305 {
     /// Creates the AEAD from a key.
     pub fn new(key: &Key) -> Self {
-        ChaCha20Poly1305 { key: key.clone() }
+        ChaCha20Poly1305 {
+            key: key.clone(),
+            telemetry: AeadTelemetry::default(),
+        }
+    }
+
+    /// Counts this cipher's operations in `registry` under
+    /// `crypto.aead.{encrypt_ops,decrypt_ops,auth_failures}`. The counters
+    /// are shared atomics, so cloned ciphers keep feeding the same cells.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = AeadTelemetry::attach(registry);
     }
 
     /// Encrypts `plaintext` with associated data `aad`, returning
     /// `ciphertext ‖ tag` (length `plaintext.len() + TAG_LEN`).
     pub fn encrypt(&self, nonce: &Nonce, plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        self.telemetry.encrypt_ops.incr();
         let mut out = plaintext.to_vec();
         chacha20::xor_stream(self.key.as_bytes(), 1, nonce.as_bytes(), &mut out);
         let tag = self.compute_tag(nonce, &out, aad);
@@ -138,7 +170,9 @@ impl ChaCha20Poly1305 {
         ciphertext_and_tag: &[u8],
         aad: &[u8],
     ) -> Result<Vec<u8>, AeadError> {
+        self.telemetry.decrypt_ops.incr();
         if ciphertext_and_tag.len() < TAG_LEN {
+            self.telemetry.auth_failures.incr();
             return Err(AeadError);
         }
         let split = ciphertext_and_tag.len() - TAG_LEN;
@@ -146,6 +180,7 @@ impl ChaCha20Poly1305 {
         let expected = self.compute_tag(nonce, ct, aad);
         let actual: [u8; TAG_LEN] = tag_bytes.try_into().expect("exactly TAG_LEN bytes");
         if !poly1305::verify(&expected, &actual) {
+            self.telemetry.auth_failures.incr();
             return Err(AeadError);
         }
         let mut out = ct.to_vec();
@@ -245,6 +280,22 @@ mod tests {
         let ct = aead.encrypt(&nonce, b"", b"meta");
         assert_eq!(ct.len(), TAG_LEN);
         assert_eq!(aead.decrypt(&nonce, &ct, b"meta").unwrap(), b"");
+    }
+
+    #[test]
+    fn telemetry_counts_ops_and_failures() {
+        let registry = Registry::new();
+        let mut aead = ChaCha20Poly1305::new(&Key::from_bytes([1u8; 32]));
+        aead.set_telemetry(&registry);
+        let nonce = Nonce::from_u64_pair(0, 0);
+        let mut ct = aead.encrypt(&nonce, b"secret block", b"");
+        assert!(aead.decrypt(&nonce, &ct, b"").is_ok());
+        ct[0] ^= 1;
+        assert!(aead.decrypt(&nonce, &ct, b"").is_err());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("crypto.aead.encrypt_ops"), Some(1));
+        assert_eq!(snap.counter("crypto.aead.decrypt_ops"), Some(2));
+        assert_eq!(snap.counter("crypto.aead.auth_failures"), Some(1));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //!   protocol, simplified to a trusted dealer here).
 
 use fedora_crypto::chacha20;
+use fedora_telemetry::{Counter, Registry};
 
 /// Fixed-point scale: values are rounded to multiples of `1 / SCALE`.
 pub const SCALE: f64 = 1u64.wrapping_shl(24) as f64; // 2^24
@@ -96,6 +97,14 @@ pub struct SecAggGroup {
     /// Round key material (in the real protocol, agreed via key exchange;
     /// modeled as a dealer-provided group secret).
     group_secret: [u8; 32],
+    telemetry: SecAggTelemetry,
+}
+
+/// Telemetry handles for dropout recovery events.
+#[derive(Clone, Debug, Default)]
+struct SecAggTelemetry {
+    registry: Registry,
+    dropouts: Counter,
 }
 
 impl SecAggGroup {
@@ -114,7 +123,18 @@ impl SecAggGroup {
             clients: sorted,
             round,
             group_secret,
+            telemetry: SecAggTelemetry::default(),
         }
+    }
+
+    /// Attaches telemetry: every recovered dropout bumps
+    /// `fl.secagg.dropouts` and journals one `secagg.dropout_recovery`
+    /// event per affected aggregation.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = SecAggTelemetry {
+            registry: registry.clone(),
+            dropouts: registry.counter("fl.secagg.dropouts"),
+        };
     }
 
     /// The group's clients (sorted).
@@ -238,6 +258,17 @@ impl SecAggGroup {
                 return Err(SecAggError::ConflictingDropout { id: d });
             }
         }
+        if !dropped.is_empty() {
+            self.telemetry.dropouts.add(dropped.len() as u64);
+            self.telemetry.registry.event(
+                "secagg.dropout_recovery",
+                &[
+                    ("round", self.round.into()),
+                    ("dropped", (dropped.len() as u64).into()),
+                    ("survivors", (submitted.len() as u64).into()),
+                ],
+            );
+        }
         // Remove masks between each submitted client and each dropped
         // client (those are the ones that no longer cancel).
         for &alive in &submitted {
@@ -309,6 +340,32 @@ mod tests {
         let sum = g.aggregate(&submitted, &[2]).unwrap();
         let expected: f64 = [0usize, 1, 3].iter().map(|&i| grads[i][0] as f64).sum();
         assert!((sum[0] - expected).abs() < 1e-5, "{} vs {expected}", sum[0]);
+    }
+
+    #[test]
+    fn telemetry_counts_dropout_recoveries() {
+        let registry = Registry::new();
+        let mut g = group(4, 2);
+        g.set_telemetry(&registry);
+        let updates: Vec<MaskedUpdate> = (0..4).map(|i| g.mask(i, &[1.0, 2.0]).unwrap()).collect();
+        let submitted = [updates[0].clone(), updates[1].clone()];
+        g.aggregate(&submitted, &[2, 3]).unwrap();
+        g.aggregate(&updates, &[]).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("fl.secagg.dropouts"), Some(2));
+        let event = snap
+            .events
+            .iter()
+            .find(|e| e.name == "secagg.dropout_recovery")
+            .expect("recovery journaled");
+        assert_eq!(
+            event.field("dropped"),
+            Some(&fedora_telemetry::Value::U64(2))
+        );
+        assert_eq!(
+            event.field("survivors"),
+            Some(&fedora_telemetry::Value::U64(2))
+        );
     }
 
     #[test]

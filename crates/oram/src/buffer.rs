@@ -15,6 +15,7 @@
 use fedora_crypto::aead::Key;
 use fedora_storage::profile::DramProfile;
 use fedora_storage::stats::DeviceStats;
+use fedora_telemetry::{Counter, Registry};
 use rand::Rng;
 
 use crate::geometry::TreeGeometry;
@@ -75,6 +76,26 @@ pub struct AggregatedEntry {
     pub weight: f64,
 }
 
+/// Telemetry handles for the buffer ORAM's per-round protocol steps.
+#[derive(Clone, Debug, Default)]
+struct BufferTelemetry {
+    registry: Registry,
+    loads: Counter,
+    serves: Counter,
+    aggregates: Counter,
+}
+
+impl BufferTelemetry {
+    fn attach(registry: &Registry) -> Self {
+        BufferTelemetry {
+            registry: registry.clone(),
+            loads: registry.counter("oram.buffer.loads"),
+            serves: registry.counter("oram.buffer.serves"),
+            aggregates: registry.counter("oram.buffer.aggregates"),
+        }
+    }
+}
+
 /// The buffer ORAM.
 #[derive(Clone)]
 pub struct BufferOram {
@@ -87,6 +108,7 @@ pub struct BufferOram {
     /// controller (its DRAM footprint is the position map the latency model
     /// charges for).
     loaded: Vec<(Option<u64>, u64)>,
+    telemetry: BufferTelemetry,
 }
 
 /// Everything drained from the buffer ORAM at round end.
@@ -120,7 +142,16 @@ impl BufferOram {
             entry_bytes,
             capacity,
             loaded: Vec::new(),
+            telemetry: BufferTelemetry::default(),
         }
+    }
+
+    /// Attaches telemetry: load/serve/aggregate counters under the
+    /// `oram.buffer` prefix plus the backing DRAM store's traffic. Survives
+    /// [`reconfigure`](Self::reconfigure).
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = BufferTelemetry::attach(registry);
+        self.oram.store_mut().set_telemetry(registry);
     }
 
     /// Re-provisions the buffer ORAM for a new per-round capacity — the
@@ -147,6 +178,9 @@ impl BufferOram {
         let geo = TreeGeometry::for_blocks(capacity as u64, block_bytes, 4);
         let store = DramBucketStore::new(geo, self.key.clone(), DramProfile::default());
         self.oram = PathOram::new(store, capacity as u64, rng);
+        self.oram
+            .store_mut()
+            .set_telemetry(&self.telemetry.registry);
         self.capacity = capacity;
         Ok(())
     }
@@ -244,6 +278,7 @@ impl BufferOram {
         let block = Self::encode(entry, &zeros, 0.0);
         self.oram.write(slot, block, rng)?;
         self.loaded.push((Some(id), slot));
+        self.telemetry.loads.incr();
         Ok(())
     }
 
@@ -267,6 +302,7 @@ impl BufferOram {
         let block = Self::encode(&entry, &zeros, 0.0);
         self.oram.write(slot, block, rng)?;
         self.loaded.push((None, slot));
+        self.telemetry.loads.incr();
         Ok(())
     }
 
@@ -281,6 +317,7 @@ impl BufferOram {
     pub fn serve<R: Rng>(&mut self, id: u64, rng: &mut R) -> Result<Vec<u8>, BufferError> {
         let slot = self.slot_of(id)?;
         let block = self.oram.read(slot, rng)?;
+        self.telemetry.serves.incr();
         Ok(block[..self.entry_bytes].to_vec())
     }
 
@@ -316,6 +353,7 @@ impl BufferOram {
         agg.weight += weight;
         let new_block = Self::encode(&agg.entry, &agg.gradient, agg.weight);
         self.oram.write(slot, new_block, rng)?;
+        self.telemetry.aggregates.incr();
         Ok(())
     }
 
@@ -490,6 +528,28 @@ mod tests {
         let (b, _) = buffer(4);
         let geo = b.oram.store().geometry();
         assert_eq!(geo.block_bytes(), 2 * 16 + AGG_META_BYTES);
+    }
+
+    #[test]
+    fn telemetry_counts_round_steps_and_survives_reconfigure() {
+        let registry = Registry::new();
+        let (mut b, mut rng) = buffer(4);
+        b.set_telemetry(&registry);
+        b.load_entry(1, &entry([1.0, 0.0, 0.0, 0.0]), &mut rng)
+            .unwrap();
+        b.load_dummy(&mut rng).unwrap();
+        b.serve(1, &mut rng).unwrap();
+        b.aggregate(1, &[1.0, 0.0, 0.0, 0.0], 1.0, &mut rng)
+            .unwrap();
+        b.drain_round(&mut rng).unwrap();
+        b.reconfigure(8, &mut rng).unwrap();
+        b.load_entry(2, &entry([0.0; 4]), &mut rng).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("oram.buffer.loads"), Some(3));
+        assert_eq!(snap.counter("oram.buffer.serves"), Some(1));
+        assert_eq!(snap.counter("oram.buffer.aggregates"), Some(1));
+        // The reconfigured store keeps feeding device telemetry.
+        assert!(snap.counter("dram.store.bytes_written").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! design requires.
 
 use fedora_crypto::counter::{EvictionSchedule, RootCounter};
+use fedora_telemetry::{Counter, Gauge, Histogram, Registry};
 use rand::Rng;
 
 use crate::block::Block;
@@ -77,6 +78,36 @@ pub struct RawOramCounts {
     pub insertions: u64,
 }
 
+/// Telemetry handles for the RAW ORAM's own operations. Latencies are host
+/// wall-clock nanoseconds of the whole operation (the simulated device time
+/// stays in `DeviceStats`); the clock is never read when detached.
+#[derive(Clone, Debug, Default)]
+struct OramTelemetry {
+    access_latency: Histogram,
+    eviction_latency: Histogram,
+    ao_accesses: Counter,
+    dummy_accesses: Counter,
+    eo_accesses: Counter,
+    insertions: Counter,
+    stash_len: Gauge,
+    stash_high_water: Gauge,
+}
+
+impl OramTelemetry {
+    fn attach(registry: &Registry) -> Self {
+        OramTelemetry {
+            access_latency: registry.histogram("oram.access.latency"),
+            eviction_latency: registry.histogram("oram.eviction.latency"),
+            ao_accesses: registry.counter("oram.access.ao"),
+            dummy_accesses: registry.counter("oram.access.dummy"),
+            eo_accesses: registry.counter("oram.eviction.count"),
+            insertions: registry.counter("oram.insertions"),
+            stash_len: registry.gauge("oram.stash.len"),
+            stash_high_water: registry.gauge("oram.stash.high_water"),
+        }
+    }
+}
+
 /// A RAW ORAM over any [`BucketStore`], with VTree-backed valid flags.
 #[derive(Clone, Debug)]
 pub struct RawOram<S: BucketStore> {
@@ -93,6 +124,7 @@ pub struct RawOram<S: BucketStore> {
     counts: RawOramCounts,
     ao_trace: Vec<u64>,
     eo_trace: Vec<u64>,
+    telemetry: OramTelemetry,
 }
 
 impl<S: BucketStore> RawOram<S> {
@@ -170,7 +202,25 @@ impl<S: BucketStore> RawOram<S> {
             counts: RawOramCounts::default(),
             ao_trace: Vec::new(),
             eo_trace: Vec::new(),
+            telemetry: OramTelemetry::default(),
         }
+    }
+
+    /// Attaches telemetry: ORAM access/eviction latency histograms and
+    /// operation counters, stash occupancy gauges, VTree traversal
+    /// counters, and the backing store's device/integrity/AEAD
+    /// instrumentation all feed `registry`.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = OramTelemetry::attach(registry);
+        self.store.set_telemetry(registry);
+        self.vtree.set_telemetry(registry);
+    }
+
+    fn note_stash(&mut self) {
+        self.telemetry.stash_len.set_u64(self.stash.len() as u64);
+        self.telemetry
+            .stash_high_water
+            .set_u64(self.stash.high_water() as u64);
     }
 
     /// Number of logical blocks.
@@ -272,6 +322,8 @@ impl<S: BucketStore> RawOram<S> {
     /// MissingBlock`] if the invariant is broken (corruption).
     pub fn fetch<R: Rng>(&mut self, id: u64, _rng: &mut R) -> Result<Block, OramError> {
         self.check_id(id)?;
+        let _timer = self.telemetry.access_latency.start_timer();
+        self.telemetry.ao_accesses.incr();
         let leaf = self.position.get(id);
         self.ao_trace.push(leaf);
         self.counts.ao_accesses += 1;
@@ -283,6 +335,7 @@ impl<S: BucketStore> RawOram<S> {
         let path = self.store.read_path(leaf)?;
 
         if let Some(block) = self.stash.take(id) {
+            self.note_stash();
             return Ok(block);
         }
         for (bucket, &node) in path.iter().zip(&nodes) {
@@ -299,6 +352,8 @@ impl<S: BucketStore> RawOram<S> {
     /// A dummy AO access: reads a uniformly random path and discards it.
     /// Used for the FDP mechanism's padding accesses (`k > k_union`).
     pub fn dummy_fetch<R: Rng>(&mut self, rng: &mut R) -> Result<(), OramError> {
+        let _timer = self.telemetry.access_latency.start_timer();
+        self.telemetry.dummy_accesses.incr();
         let geo = self.store.geometry();
         let leaf = rng.gen_range(0..geo.num_leaves());
         self.ao_trace.push(leaf);
@@ -333,6 +388,8 @@ impl<S: BucketStore> RawOram<S> {
         self.position.set(id, new_leaf);
         self.stash.push(Block::new(id, new_leaf, payload));
         self.counts.insertions += 1;
+        self.telemetry.insertions.incr();
+        self.note_stash();
         self.inserts_since_eo += 1;
         if self.inserts_since_eo >= self.config.eviction_period {
             self.inserts_since_eo = 0;
@@ -351,6 +408,7 @@ impl<S: BucketStore> RawOram<S> {
     /// Store errors propagate from a triggered EO.
     pub fn insert_dummy(&mut self) -> Result<(), OramError> {
         self.counts.insertions += 1;
+        self.telemetry.insertions.incr();
         self.inserts_since_eo += 1;
         if self.inserts_since_eo >= self.config.eviction_period {
             self.inserts_since_eo = 0;
@@ -368,6 +426,8 @@ impl<S: BucketStore> RawOram<S> {
     ///
     /// Store errors propagate.
     pub fn eo_access(&mut self) -> Result<(), OramError> {
+        let _timer = self.telemetry.eviction_latency.start_timer();
+        self.telemetry.eo_accesses.incr();
         let geo = self.store.geometry();
         let e = self.eo_counter.advance();
         let leaf = self.schedule.leaf_for(e);
@@ -400,6 +460,7 @@ impl<S: BucketStore> RawOram<S> {
             let bits: Vec<bool> = bucket.slots().iter().map(|s| s.valid).collect();
             self.vtree.set_bucket(node, &bits);
         }
+        self.note_stash();
         self.store.write_path(leaf, &out_path)
     }
 
@@ -434,6 +495,7 @@ impl<S: BucketStore> RawOram<S> {
         self.position.set(id, new_leaf);
         block.leaf = new_leaf;
         self.stash.push(block);
+        self.note_stash();
 
         self.ao_since_eo += 1;
         if self.ao_since_eo >= self.config.eviction_period {
@@ -625,6 +687,59 @@ mod tests {
         let sched = o.schedule();
         let expected: Vec<u64> = (0..trace.len() as u64).map(|e| sched.leaf_for(e)).collect();
         assert_eq!(trace, expected, "EO leaves follow the public schedule");
+    }
+
+    #[test]
+    fn telemetry_mirrors_operation_counts() {
+        let registry = Registry::new();
+        let (mut o, mut rng) = oram(32, 4, 12);
+        o.set_telemetry(&registry);
+        let blocks: Vec<Block> = (0..8).map(|id| o.fetch(id, &mut rng).unwrap()).collect();
+        o.dummy_fetch(&mut rng).unwrap();
+        for b in blocks {
+            o.insert(b.id, b.payload, &mut rng).unwrap();
+        }
+        let snap = registry.snapshot();
+        let counts = o.counts();
+        assert_eq!(snap.counter("oram.access.ao"), Some(counts.ao_accesses));
+        assert_eq!(
+            snap.counter("oram.access.dummy"),
+            Some(counts.dummy_accesses)
+        );
+        assert_eq!(
+            snap.counter("oram.eviction.count"),
+            Some(counts.eo_accesses)
+        );
+        assert_eq!(snap.counter("oram.insertions"), Some(counts.insertions));
+        // One latency sample per AO/dummy access, one per EO.
+        let access = snap.histogram("oram.access.latency").expect("histogram");
+        assert_eq!(access.count, counts.ao_accesses + counts.dummy_accesses);
+        assert!(access.min <= access.p50 && access.p50 <= access.max);
+        let evict = snap.histogram("oram.eviction.latency").expect("histogram");
+        assert_eq!(evict.count, counts.eo_accesses);
+        // Stash gauges track occupancy; VTree and device traffic mirrored.
+        assert_eq!(
+            snap.gauge("oram.stash.high_water"),
+            Some(o.stash_high_water() as f64)
+        );
+        assert!(snap.counter("oram.vtree.lookups").unwrap_or(0) > 0);
+        assert!(snap.counter("dram.store.pages_read").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn detached_telemetry_changes_nothing() {
+        let (mut o, mut rng) = oram(32, 4, 13);
+        let (mut o2, mut rng2) = oram(32, 4, 13);
+        o2.set_telemetry(&Registry::disabled());
+        for id in 0..8u64 {
+            let a = o.fetch(id, &mut rng).unwrap();
+            let b = o2.fetch(id, &mut rng2).unwrap();
+            assert_eq!(a, b);
+            o.insert(id, a.payload.clone(), &mut rng).unwrap();
+            o2.insert(id, b.payload, &mut rng2).unwrap();
+        }
+        assert_eq!(o.counts(), o2.counts());
+        assert_eq!(o.store().device_stats(), o2.store().device_stats());
     }
 
     #[test]

@@ -26,7 +26,8 @@ use fedora_storage::fault::{FaultConfig, FaultStats};
 use fedora_storage::profile::{DramProfile, SsdProfile};
 use fedora_storage::ssd::SsdError;
 use fedora_storage::stats::DeviceStats;
-use fedora_storage::{SimDram, SimSsd};
+use fedora_storage::{DeviceTelemetry, SimDram, SimSsd};
+use fedora_telemetry::{Counter, Registry};
 
 use crate::bucket::Bucket;
 use crate::geometry::TreeGeometry;
@@ -157,6 +158,11 @@ pub trait BucketStore {
     /// Resets the backing device statistics.
     fn reset_device_stats(&mut self);
 
+    /// Attaches telemetry so the store mirrors its device traffic, AEAD
+    /// activity, and integrity events into `registry`. The default is a
+    /// no-op for backends without instrumentation.
+    fn set_telemetry(&mut self, _registry: &Registry) {}
+
     /// Counters of integrity events (detections, retries, quarantines).
     fn integrity_stats(&self) -> IntegrityStats {
         IntegrityStats::default()
@@ -197,6 +203,34 @@ pub trait BucketStore {
     }
 }
 
+/// Telemetry handles mirroring [`IntegrityStats`] into a registry.
+///
+/// Unlike [`IntegrityStats`] — which transactional rounds snapshot and
+/// roll back — these counters are monotonic: they keep the full fault
+/// history across round aborts.
+#[derive(Clone, Debug, Default)]
+struct IntegrityTelemetry {
+    registry: Registry,
+    retries: Counter,
+    detected_corruption: Counter,
+    detected_rollback: Counter,
+    recovered: Counter,
+    quarantined: Counter,
+}
+
+impl IntegrityTelemetry {
+    fn attach(registry: &Registry) -> Self {
+        IntegrityTelemetry {
+            registry: registry.clone(),
+            retries: registry.counter("integrity.retries"),
+            detected_corruption: registry.counter("integrity.detected_corruption"),
+            detected_rollback: registry.counter("integrity.detected_rollback"),
+            recovered: registry.counter("integrity.recovered"),
+            quarantined: registry.counter("integrity.quarantined"),
+        }
+    }
+}
+
 fn bucket_nonce(node: u64, count: u64) -> Nonce {
     Nonce::from_u64_pair(node as u32, count)
 }
@@ -217,6 +251,7 @@ pub struct SsdBucketStore {
     rollback_window: u64,
     integrity: IntegrityStats,
     quarantined: BTreeSet<u64>,
+    telemetry: IntegrityTelemetry,
 }
 
 impl SsdBucketStore {
@@ -244,6 +279,7 @@ impl SsdBucketStore {
             rollback_window: DEFAULT_ROLLBACK_WINDOW,
             integrity: IntegrityStats::default(),
             quarantined: BTreeSet::new(),
+            telemetry: IntegrityTelemetry::default(),
         };
         store.initialize_empty();
         store.ssd.reset_stats();
@@ -256,6 +292,17 @@ impl SsdBucketStore {
         for node in 0..self.geometry.num_nodes() {
             self.put(node, &empty, 0).expect("store sized for the tree");
         }
+    }
+
+    /// Attaches telemetry: the backing SSD mirrors page traffic under the
+    /// `storage` prefix, the AEAD counts its operations, and integrity
+    /// events (retries, detections, recoveries, quarantines) feed monotonic
+    /// counters plus journal entries.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.telemetry = IntegrityTelemetry::attach(registry);
+        self.ssd
+            .set_telemetry(DeviceTelemetry::attach(registry, "storage"));
+        self.aead.set_telemetry(registry);
     }
 
     /// Sets how many times a failed bucket read is retried before the
@@ -333,6 +380,7 @@ impl SsdBucketStore {
                 Ok(()) => return Ok(()),
                 Err(SsdError::Transient { .. }) => {
                     self.integrity.transient_retries += 1;
+                    self.telemetry.retries.incr();
                     failures += 1;
                     if failures > self.retry_limit {
                         return Err(OramError::Integrity {
@@ -383,9 +431,17 @@ impl SsdBucketStore {
     fn note_violation(&mut self, node: u64, raw: &[u8]) -> IntegrityError {
         let kind = self.classify(node, raw);
         match kind {
-            IntegrityError::Rollback => self.integrity.detected_rollback += 1,
-            _ => self.integrity.detected_corruption += 1,
+            IntegrityError::Rollback => {
+                self.integrity.detected_rollback += 1;
+                self.telemetry.detected_rollback.incr();
+            }
+            _ => {
+                self.integrity.detected_corruption += 1;
+                self.telemetry.detected_corruption.incr();
+            }
         }
+        // Every detected violation triggers exactly one re-read attempt.
+        self.telemetry.retries.incr();
         kind
     }
 
@@ -409,6 +465,7 @@ impl SsdBucketStore {
                     if let Some(bucket) = self.decrypt_at(node, &raw, count) {
                         if failures > 0 {
                             self.integrity.recovered += 1;
+                            self.telemetry.recovered.incr();
                         }
                         return Ok(bucket);
                     }
@@ -417,6 +474,7 @@ impl SsdBucketStore {
                 }
                 Err(SsdError::Transient { .. }) => {
                     self.integrity.transient_retries += 1;
+                    self.telemetry.retries.incr();
                     last_kind = IntegrityError::Transient;
                     failures += 1;
                 }
@@ -425,6 +483,14 @@ impl SsdBucketStore {
         }
         self.integrity.quarantined += 1;
         self.quarantined.insert(node);
+        self.telemetry.quarantined.incr();
+        self.telemetry.registry.event(
+            "integrity.quarantine",
+            &[
+                ("node", node.into()),
+                ("kind", format!("{last_kind:?}").into()),
+            ],
+        );
         Err(OramError::Integrity {
             kind: last_kind,
             node,
@@ -463,6 +529,7 @@ impl BucketStore for SsdBucketStore {
             Ok(raw) => raw,
             Err(SsdError::Transient { .. }) => {
                 self.integrity.transient_retries += 1;
+                self.telemetry.retries.incr();
                 return nodes
                     .iter()
                     .map(|&node| self.read_bucket_resilient(node, 1, IntegrityError::Transient))
@@ -522,6 +589,10 @@ impl BucketStore for SsdBucketStore {
 
     fn reset_device_stats(&mut self) {
         self.ssd.reset_stats();
+    }
+
+    fn set_telemetry(&mut self, registry: &Registry) {
+        SsdBucketStore::set_telemetry(self, registry);
     }
 
     fn integrity_stats(&self) -> IntegrityStats {
@@ -663,6 +734,12 @@ impl BucketStore for DramBucketStore {
 
     fn reset_device_stats(&mut self) {
         self.dram.reset_stats();
+    }
+
+    fn set_telemetry(&mut self, registry: &Registry) {
+        self.dram
+            .set_telemetry(DeviceTelemetry::attach(registry, "dram.store"));
+        self.aead.set_telemetry(registry);
     }
 }
 
@@ -856,6 +933,50 @@ mod tests {
         ));
         assert!(s.integrity_stats().detected_rollback > 0);
         assert_eq!(s.quarantined_nodes(), vec![2]);
+    }
+
+    #[test]
+    fn telemetry_mirrors_integrity_events() {
+        let registry = Registry::new();
+        let mut s = SsdBucketStore::new(geo(), key(), SsdProfile::default());
+        s.set_telemetry(&registry);
+        let mut b = Bucket::empty(4, 32);
+        b.try_insert(Block::new(7, 2, vec![0x11; 32]));
+        s.write_bucket(6, &b).unwrap();
+        s.arm_faults(FaultConfig {
+            transient_per_read: 1.0,
+            ..FaultConfig::default()
+        });
+        assert_eq!(s.read_bucket(6).unwrap(), b);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("integrity.retries"), Some(1));
+        assert_eq!(snap.counter("integrity.recovered"), Some(1));
+        assert_eq!(snap.counter("integrity.quarantined"), Some(0));
+        // Device traffic mirrored under the `storage` prefix, AEAD counted.
+        assert!(snap.counter("storage.pages_read").unwrap_or(0) > 0);
+        assert!(snap.counter("crypto.aead.decrypt_ops").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn telemetry_journals_quarantine() {
+        let registry = Registry::new();
+        let mut s = SsdBucketStore::new(geo(), key(), SsdProfile::default());
+        s.set_telemetry(&registry);
+        s.set_retry_limit(1);
+        s.ssd.inject_bitflip(s.page_base(5), 3).unwrap();
+        assert!(s.read_bucket(5).is_err());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("integrity.quarantined"), Some(1));
+        assert!(snap.counter("integrity.retries").unwrap_or(0) >= 1);
+        let quarantine = snap
+            .events
+            .iter()
+            .find(|e| e.name == "integrity.quarantine")
+            .expect("quarantine journaled");
+        assert_eq!(
+            quarantine.field("node"),
+            Some(&fedora_telemetry::Value::U64(5))
+        );
     }
 
     #[test]

@@ -14,7 +14,8 @@
 
 use fedora_storage::profile::DramProfile;
 use fedora_storage::stats::DeviceStats;
-use fedora_storage::SimDram;
+use fedora_storage::{DeviceTelemetry, SimDram};
+use fedora_telemetry::{Counter, Registry};
 
 use crate::geometry::TreeGeometry;
 
@@ -23,6 +24,8 @@ use crate::geometry::TreeGeometry;
 pub struct VTree {
     geometry: TreeGeometry,
     dram: SimDram,
+    lookups: Counter,
+    updates: Counter,
 }
 
 impl VTree {
@@ -37,7 +40,19 @@ impl VTree {
         VTree {
             geometry,
             dram: SimDram::new(profile, bytes),
+            lookups: Counter::noop(),
+            updates: Counter::noop(),
         }
+    }
+
+    /// Attaches telemetry: per-slot traversal counters
+    /// (`oram.vtree.lookups` / `oram.vtree.updates`) plus the backing
+    /// DRAM's traffic under the `dram.vtree` prefix.
+    pub fn set_telemetry(&mut self, registry: &Registry) {
+        self.lookups = registry.counter("oram.vtree.lookups");
+        self.updates = registry.counter("oram.vtree.updates");
+        self.dram
+            .set_telemetry(DeviceTelemetry::attach(registry, "dram.vtree"));
     }
 
     /// Creates a VTree with the default DRAM profile.
@@ -70,6 +85,7 @@ impl VTree {
     /// Reads the valid bit of `(node, slot)`.
     #[allow(clippy::expect_used)] // DRAM sized for every bit at construction
     pub fn get(&mut self, node: u64, slot: usize) -> bool {
+        self.lookups.incr();
         let bit = self.bit_index(node, slot);
         let mut byte = [0u8; 1];
         self.dram
@@ -81,6 +97,7 @@ impl VTree {
     /// Writes the valid bit of `(node, slot)`.
     #[allow(clippy::expect_used)] // DRAM sized for every bit at construction
     pub fn set(&mut self, node: u64, slot: usize, valid: bool) {
+        self.updates.incr();
         let bit = self.bit_index(node, slot);
         let mut byte = [0u8; 1];
         self.dram
@@ -174,6 +191,20 @@ mod tests {
         let mb = (bits as f64 / 8.0) * (1.0 + VTree::ENCRYPTION_OVERHEAD) / 1e6;
         // Paper says "totaling around 2–112 MB" across its configs.
         assert!(mb > 1.0 && mb < 150.0, "VTree modeled at {mb} MB");
+    }
+
+    #[test]
+    fn telemetry_counts_traversals() {
+        let registry = Registry::new();
+        let mut v = vtree();
+        v.set_telemetry(&registry);
+        v.set(0, 0, true);
+        v.set(1, 2, true);
+        assert!(v.get(0, 0));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("oram.vtree.lookups"), Some(1));
+        assert_eq!(snap.counter("oram.vtree.updates"), Some(2));
+        assert!(snap.counter("dram.vtree.bytes_read").unwrap_or(0) > 0);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::fault::{FaultConfig, FaultStats};
 use crate::file_ssd::{FileSsd, FileSsdError};
 use crate::ssd::{SimSsd, SsdError};
 use crate::stats::DeviceStats;
+use crate::telemetry::DeviceTelemetry;
 
 /// A page-granular block device with modeled statistics and optional
 /// fault injection.
@@ -57,8 +58,18 @@ pub trait PageDevice {
     /// Accumulated device statistics.
     fn stats(&self) -> &DeviceStats;
 
-    /// Resets the statistics counters.
-    fn reset_stats(&mut self);
+    /// Mutable access to the statistics block.
+    fn stats_mut(&mut self) -> &mut DeviceStats;
+
+    /// Resets the statistics counters. All devices share this one default
+    /// path through [`DeviceStats::reset`].
+    fn reset_stats(&mut self) {
+        self.stats_mut().reset();
+    }
+
+    /// Attaches telemetry handles mirroring this device's traffic into a
+    /// registry (see [`DeviceTelemetry::attach`]).
+    fn set_telemetry(&mut self, telemetry: DeviceTelemetry);
 
     /// Arms the seeded fault injector; replaces any previous injector.
     fn arm_faults(&mut self, config: FaultConfig);
@@ -101,8 +112,12 @@ impl PageDevice for SimSsd {
         SimSsd::stats(self)
     }
 
-    fn reset_stats(&mut self) {
-        SimSsd::reset_stats(self)
+    fn stats_mut(&mut self) -> &mut DeviceStats {
+        SimSsd::stats_mut(self)
+    }
+
+    fn set_telemetry(&mut self, telemetry: DeviceTelemetry) {
+        SimSsd::set_telemetry(self, telemetry)
     }
 
     fn arm_faults(&mut self, config: FaultConfig) {
@@ -149,8 +164,12 @@ impl PageDevice for FileSsd {
         FileSsd::stats(self)
     }
 
-    fn reset_stats(&mut self) {
-        FileSsd::reset_stats(self)
+    fn stats_mut(&mut self) -> &mut DeviceStats {
+        FileSsd::stats_mut(self)
+    }
+
+    fn set_telemetry(&mut self, telemetry: DeviceTelemetry) {
+        FileSsd::set_telemetry(self, telemetry)
     }
 
     fn arm_faults(&mut self, config: FaultConfig) {

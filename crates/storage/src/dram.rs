@@ -8,6 +8,7 @@
 
 use crate::profile::DramProfile;
 use crate::stats::DeviceStats;
+use crate::telemetry::DeviceTelemetry;
 
 /// Error from DRAM operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,6 +55,7 @@ pub struct SimDram {
     profile: DramProfile,
     bytes: Vec<u8>,
     stats: DeviceStats,
+    telemetry: DeviceTelemetry,
 }
 
 impl SimDram {
@@ -63,7 +65,14 @@ impl SimDram {
             bytes: vec![0u8; capacity as usize],
             profile,
             stats: DeviceStats::new(),
+            telemetry: DeviceTelemetry::noop(),
         }
+    }
+
+    /// Attaches telemetry handles mirroring this module's traffic into a
+    /// registry; for DRAM, `pages` counts accesses (transactions).
+    pub fn set_telemetry(&mut self, telemetry: DeviceTelemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The device profile.
@@ -81,9 +90,14 @@ impl SimDram {
         &self.stats
     }
 
+    /// Mutable statistics access (shares the devices' single reset path).
+    pub fn stats_mut(&mut self) -> &mut DeviceStats {
+        &mut self.stats
+    }
+
     /// Resets the statistics (not the data).
     pub fn reset_stats(&mut self) {
-        self.stats = DeviceStats::new();
+        self.stats.reset();
     }
 
     fn check(&self, offset: u64, len: usize) -> Result<(), DramOutOfRange> {
@@ -105,8 +119,9 @@ impl SimDram {
     pub fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), DramOutOfRange> {
         self.check(offset, buf.len())?;
         buf.copy_from_slice(&self.bytes[offset as usize..offset as usize + buf.len()]);
-        self.stats
-            .record_read(buf.len() as u64, self.profile.access_ns(buf.len() as u64));
+        let ns = self.profile.access_ns(buf.len() as u64);
+        self.stats.record_read(buf.len() as u64, ns);
+        self.telemetry.record_read(1, buf.len() as u64, ns);
         Ok(())
     }
 
@@ -118,8 +133,9 @@ impl SimDram {
     pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<(), DramOutOfRange> {
         self.check(offset, data.len())?;
         self.bytes[offset as usize..offset as usize + data.len()].copy_from_slice(data);
-        self.stats
-            .record_write(data.len() as u64, self.profile.access_ns(data.len() as u64));
+        let ns = self.profile.access_ns(data.len() as u64);
+        self.stats.record_write(data.len() as u64, ns);
+        self.telemetry.record_write(1, data.len() as u64, ns);
         Ok(())
     }
 

@@ -16,6 +16,7 @@ use crate::fault::{FaultConfig, FaultInjector, FaultStats, InjectedFault};
 use crate::profile::SsdProfile;
 use crate::ssd::SsdError;
 use crate::stats::DeviceStats;
+use crate::telemetry::DeviceTelemetry;
 
 /// Errors from file-backed SSD operations.
 #[derive(Debug)]
@@ -57,6 +58,7 @@ pub struct FileSsd {
     path: PathBuf,
     num_pages: u64,
     stats: DeviceStats,
+    telemetry: DeviceTelemetry,
     injector: Option<Box<FaultInjector>>,
     written_once: Vec<bool>,
 }
@@ -86,9 +88,16 @@ impl FileSsd {
             path: path.as_ref().to_owned(),
             num_pages,
             stats: DeviceStats::new(),
+            telemetry: DeviceTelemetry::noop(),
             injector: None,
             written_once: vec![false; num_pages as usize],
         })
+    }
+
+    /// Attaches telemetry handles mirroring this device's traffic into a
+    /// registry (see [`DeviceTelemetry::attach`]).
+    pub fn set_telemetry(&mut self, telemetry: DeviceTelemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Arms the seeded fault injector; replaces any previous injector.
@@ -134,9 +143,14 @@ impl FileSsd {
         &self.stats
     }
 
+    /// Mutable statistics access (the shared `PageDevice` reset path).
+    pub fn stats_mut(&mut self) -> &mut DeviceStats {
+        &mut self.stats
+    }
+
     /// Resets the statistics.
     pub fn reset_stats(&mut self) {
-        self.stats = DeviceStats::new();
+        self.stats.reset();
     }
 
     fn check(&self, page: u64, len: Option<usize>) -> Result<(), SsdError> {
@@ -168,6 +182,7 @@ impl FileSsd {
         if let Some(inj) = self.injector.as_mut() {
             if inj.should_fail_read() {
                 self.stats.faults_transient += 1;
+                self.telemetry.fault_transient();
                 return Err(SsdError::Transient { page }.into());
             }
         }
@@ -177,11 +192,19 @@ impl FileSsd {
         self.file.read_exact(&mut buf)?;
         self.stats
             .record_read(pb as u64, self.profile.read_latency_ns);
+        self.telemetry
+            .record_read(1, pb as u64, self.profile.read_latency_ns);
         let mut out = vec![buf];
         if let Some(inj) = self.injector.as_mut() {
             match inj.corrupt_read(&[page], &mut out) {
-                Some(InjectedFault::BitFlip { .. }) => self.stats.faults_bitflip += 1,
-                Some(InjectedFault::Rollback { .. }) => self.stats.faults_rollback += 1,
+                Some(InjectedFault::BitFlip { .. }) => {
+                    self.stats.faults_bitflip += 1;
+                    self.telemetry.fault_bitflip();
+                }
+                Some(InjectedFault::Rollback { .. }) => {
+                    self.stats.faults_rollback += 1;
+                    self.telemetry.fault_rollback();
+                }
                 None => {}
             }
         }
@@ -198,6 +221,7 @@ impl FileSsd {
         if let Some(inj) = self.injector.as_mut() {
             if inj.should_fail_write() {
                 self.stats.faults_transient += 1;
+                self.telemetry.fault_transient();
                 return Err(SsdError::Transient { page }.into());
             }
         }
@@ -216,6 +240,8 @@ impl FileSsd {
         self.file.write_all(data)?;
         self.stats
             .record_write(pb as u64, self.profile.write_latency_ns);
+        self.telemetry
+            .record_write(1, pb as u64, self.profile.write_latency_ns);
         Ok(())
     }
 
@@ -229,6 +255,7 @@ impl FileSsd {
         if let Some(inj) = self.injector.as_mut() {
             if !pages.is_empty() && inj.should_fail_read() {
                 self.stats.faults_transient += 1;
+                self.telemetry.fault_transient();
                 return Err(SsdError::Transient { page: pages[0] }.into());
             }
         }
@@ -243,11 +270,20 @@ impl FileSsd {
             self.stats.pages_read += 1;
             self.stats.bytes_read += pb as u64;
         }
-        self.stats.busy_ns += self.profile.batch_read_ns(pages.len() as u64);
+        let batch_ns = self.profile.batch_read_ns(pages.len() as u64);
+        self.stats.busy_ns += batch_ns;
+        self.telemetry
+            .record_read(pages.len() as u64, pages.len() as u64 * pb as u64, batch_ns);
         if let Some(inj) = self.injector.as_mut() {
             match inj.corrupt_read(pages, &mut out) {
-                Some(InjectedFault::BitFlip { .. }) => self.stats.faults_bitflip += 1,
-                Some(InjectedFault::Rollback { .. }) => self.stats.faults_rollback += 1,
+                Some(InjectedFault::BitFlip { .. }) => {
+                    self.stats.faults_bitflip += 1;
+                    self.telemetry.fault_bitflip();
+                }
+                Some(InjectedFault::Rollback { .. }) => {
+                    self.stats.faults_rollback += 1;
+                    self.telemetry.fault_rollback();
+                }
                 None => {}
             }
         }
@@ -264,6 +300,7 @@ impl FileSsd {
         if let Some(inj) = self.injector.as_mut() {
             if !writes.is_empty() && inj.should_fail_write() {
                 self.stats.faults_transient += 1;
+                self.telemetry.fault_transient();
                 return Err(SsdError::Transient { page: writes[0].0 }.into());
             }
         }
@@ -285,7 +322,13 @@ impl FileSsd {
             self.stats.pages_written += 1;
             self.stats.bytes_written += pb as u64;
         }
-        self.stats.busy_ns += self.profile.batch_write_ns(writes.len() as u64);
+        let batch_ns = self.profile.batch_write_ns(writes.len() as u64);
+        self.stats.busy_ns += batch_ns;
+        self.telemetry.record_write(
+            writes.len() as u64,
+            writes.len() as u64 * pb as u64,
+            batch_ns,
+        );
         Ok(())
     }
 

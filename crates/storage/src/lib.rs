@@ -45,6 +45,7 @@ pub mod profile;
 pub mod scratchpad;
 pub mod ssd;
 pub mod stats;
+pub mod telemetry;
 
 pub use device::PageDevice;
 pub use dram::SimDram;
@@ -54,3 +55,4 @@ pub use profile::{DramProfile, SsdProfile};
 pub use scratchpad::Scratchpad;
 pub use ssd::SimSsd;
 pub use stats::DeviceStats;
+pub use telemetry::DeviceTelemetry;

@@ -9,6 +9,7 @@
 use crate::fault::{FaultConfig, FaultInjector, FaultStats, InjectedFault};
 use crate::profile::SsdProfile;
 use crate::stats::DeviceStats;
+use crate::telemetry::DeviceTelemetry;
 
 /// Error from SSD operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,6 +74,7 @@ pub struct SimSsd {
     pages: Vec<u8>,
     num_pages: u64,
     stats: DeviceStats,
+    telemetry: DeviceTelemetry,
     injector: Option<Box<FaultInjector>>,
     /// Pages that have been written at least once (the injector needs to
     /// know whether a pre-write image is a real previous version).
@@ -87,9 +89,17 @@ impl SimSsd {
             num_pages,
             profile,
             stats: DeviceStats::new(),
+            telemetry: DeviceTelemetry::noop(),
             injector: None,
             written_once: vec![false; num_pages as usize],
         }
+    }
+
+    /// Attaches telemetry handles mirroring this device's traffic into a
+    /// registry (see [`DeviceTelemetry::attach`]). Replaces any previous
+    /// handle set; pass [`DeviceTelemetry::noop`] to detach.
+    pub fn set_telemetry(&mut self, telemetry: DeviceTelemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Arms a fault injector: subsequent operations are perturbed per
@@ -132,9 +142,14 @@ impl SimSsd {
         &self.stats
     }
 
+    /// Mutable statistics access (the shared `PageDevice` reset path).
+    pub fn stats_mut(&mut self) -> &mut DeviceStats {
+        &mut self.stats
+    }
+
     /// Resets the statistics (not the data).
     pub fn reset_stats(&mut self) {
-        self.stats = DeviceStats::new();
+        self.stats.reset();
     }
 
     fn check(&self, page: u64, len: Option<usize>) -> Result<(), SsdError> {
@@ -165,6 +180,7 @@ impl SimSsd {
         if let Some(inj) = self.injector.as_mut() {
             if inj.should_fail_read() {
                 self.stats.faults_transient += 1;
+                self.telemetry.fault_transient();
                 return Err(SsdError::Transient { page });
             }
         }
@@ -172,11 +188,19 @@ impl SimSsd {
         let start = page as usize * pb;
         self.stats
             .record_read(pb as u64, self.profile.read_latency_ns);
+        self.telemetry
+            .record_read(1, pb as u64, self.profile.read_latency_ns);
         let mut out = vec![self.pages[start..start + pb].to_vec()];
         if let Some(inj) = self.injector.as_mut() {
             match inj.corrupt_read(&[page], &mut out) {
-                Some(InjectedFault::BitFlip { .. }) => self.stats.faults_bitflip += 1,
-                Some(InjectedFault::Rollback { .. }) => self.stats.faults_rollback += 1,
+                Some(InjectedFault::BitFlip { .. }) => {
+                    self.stats.faults_bitflip += 1;
+                    self.telemetry.fault_bitflip();
+                }
+                Some(InjectedFault::Rollback { .. }) => {
+                    self.stats.faults_rollback += 1;
+                    self.telemetry.fault_rollback();
+                }
                 None => {}
             }
         }
@@ -193,6 +217,7 @@ impl SimSsd {
         if let Some(inj) = self.injector.as_mut() {
             if inj.should_fail_write() {
                 self.stats.faults_transient += 1;
+                self.telemetry.fault_transient();
                 return Err(SsdError::Transient { page });
             }
         }
@@ -206,6 +231,8 @@ impl SimSsd {
         self.pages[start..start + pb].copy_from_slice(data);
         self.stats
             .record_write(pb as u64, self.profile.write_latency_ns);
+        self.telemetry
+            .record_write(1, pb as u64, self.profile.write_latency_ns);
         Ok(())
     }
 
@@ -221,6 +248,7 @@ impl SimSsd {
         if let Some(inj) = self.injector.as_mut() {
             if !pages.is_empty() && inj.should_fail_read() {
                 self.stats.faults_transient += 1;
+                self.telemetry.fault_transient();
                 return Err(SsdError::Transient { page: pages[0] });
             }
         }
@@ -234,11 +262,20 @@ impl SimSsd {
             self.stats.pages_read += 1;
             self.stats.bytes_read += pb as u64;
         }
-        self.stats.busy_ns += self.profile.batch_read_ns(pages.len() as u64);
+        let batch_ns = self.profile.batch_read_ns(pages.len() as u64);
+        self.stats.busy_ns += batch_ns;
+        self.telemetry
+            .record_read(pages.len() as u64, pages.len() as u64 * pb as u64, batch_ns);
         if let Some(inj) = self.injector.as_mut() {
             match inj.corrupt_read(pages, &mut out) {
-                Some(InjectedFault::BitFlip { .. }) => self.stats.faults_bitflip += 1,
-                Some(InjectedFault::Rollback { .. }) => self.stats.faults_rollback += 1,
+                Some(InjectedFault::BitFlip { .. }) => {
+                    self.stats.faults_bitflip += 1;
+                    self.telemetry.fault_bitflip();
+                }
+                Some(InjectedFault::Rollback { .. }) => {
+                    self.stats.faults_rollback += 1;
+                    self.telemetry.fault_rollback();
+                }
                 None => {}
             }
         }
@@ -254,6 +291,7 @@ impl SimSsd {
         if let Some(inj) = self.injector.as_mut() {
             if !writes.is_empty() && inj.should_fail_write() {
                 self.stats.faults_transient += 1;
+                self.telemetry.fault_transient();
                 return Err(SsdError::Transient { page: writes[0].0 });
             }
         }
@@ -270,7 +308,13 @@ impl SimSsd {
             self.stats.pages_written += 1;
             self.stats.bytes_written += pb as u64;
         }
-        self.stats.busy_ns += self.profile.batch_write_ns(writes.len() as u64);
+        let batch_ns = self.profile.batch_write_ns(writes.len() as u64);
+        self.stats.busy_ns += batch_ns;
+        self.telemetry.record_write(
+            writes.len() as u64,
+            writes.len() as u64 * pb as u64,
+            batch_ns,
+        );
         Ok(())
     }
 
@@ -454,6 +498,38 @@ mod tests {
         let reads_before = s.stats().pages_read;
         let _ = s.snapshot_page(0).unwrap();
         assert_eq!(s.stats().pages_read, reads_before);
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats() {
+        use fedora_telemetry::Registry;
+        let r = Registry::new();
+        let mut s = ssd(8);
+        s.set_telemetry(crate::telemetry::DeviceTelemetry::attach(&r, "storage"));
+        s.write_page(0, &vec![1; 4096]).unwrap();
+        s.read_pages(&[0, 0]).unwrap();
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.counter("storage.pages_written"),
+            Some(s.stats().pages_written)
+        );
+        assert_eq!(
+            snap.counter("storage.pages_read"),
+            Some(s.stats().pages_read)
+        );
+        assert_eq!(
+            snap.counter("storage.bytes_read"),
+            Some(s.stats().bytes_read)
+        );
+        // One histogram sample per operation or batch: 1 write, 1 read batch.
+        assert_eq!(
+            snap.histogram("storage.write.latency").map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(
+            snap.histogram("storage.read.latency").map(|h| h.count),
+            Some(1)
+        );
     }
 
     #[test]

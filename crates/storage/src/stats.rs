@@ -32,6 +32,12 @@ impl DeviceStats {
         Self::default()
     }
 
+    /// Zeroes every counter in place — the single reset path shared by all
+    /// devices (`SimSsd`, `FileSsd`, `SimDram`) and the `PageDevice` trait.
+    pub fn reset(&mut self) {
+        *self = DeviceStats::default();
+    }
+
     /// Records a read of `bytes` taking `ns` nanoseconds.
     pub fn record_read(&mut self, bytes: u64, ns: u64) {
         self.pages_read += 1;
@@ -144,6 +150,15 @@ mod tests {
         assert_eq!(m.pages_written, 1);
         assert_eq!(m.bytes_read, 1);
         assert_eq!(m.bytes_written, 2);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place() {
+        let mut s = DeviceStats::new();
+        s.record_read(4096, 1000);
+        s.faults_bitflip = 2;
+        s.reset();
+        assert_eq!(s, DeviceStats::default());
     }
 
     #[test]

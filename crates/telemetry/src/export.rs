@@ -1,0 +1,313 @@
+//! Snapshot type and hand-rolled JSON / CSV exporters (zero dependencies).
+//!
+//! The JSON layout is the contract consumed by CI, bench drivers, and the
+//! `BENCH_*.json` trajectory files:
+//!
+//! ```json
+//! {
+//!   "schema": "fedora-telemetry/v1",
+//!   "counters": {"storage.pages_read": 123},
+//!   "gauges": {"oram.stash.len": 4.0},
+//!   "histograms": {"oram.access.latency": {"count": 9, "sum": 1, "min": 1,
+//!                   "max": 2, "mean": 1.0, "p50": 1, "p95": 2, "p99": 2}},
+//!   "events": [{"seq": 0, "name": "round.end", "fields": {"round": 1}}],
+//!   "events_dropped": 0
+//! }
+//! ```
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::histogram::HistogramSummary;
+use crate::journal::{Event, Value};
+
+/// A point-in-time copy of a registry's instruments and journal.
+///
+/// Entries are sorted by name (the registry stores them in ordered maps), so
+/// exports are deterministic and diffable.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Journal events (empty for lite snapshots).
+    pub events: Vec<Event>,
+    /// Events discarded after the journal hit its bound.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Serializes to a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"schema\":\"fedora-telemetry/v1\",\"counters\":{");
+        push_entries(&mut out, &self.counters, |out, v| {
+            out.push_str(&v.to_string())
+        });
+        out.push_str("},\"gauges\":{");
+        push_entries(&mut out, &self.gauges, |out, v| out.push_str(&json_f64(*v)));
+        out.push_str("},\"histograms\":{");
+        push_entries(&mut out, &self.histograms, |out, h| {
+            out.push_str(&format!(
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                json_f64(h.mean()),
+                h.p50,
+                h.p95,
+                h.p99
+            ))
+        });
+        out.push_str("},\"events\":[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"seq\":{},\"name\":\"{}\",\"fields\":{{",
+                e.seq,
+                escape_json(&e.name)
+            ));
+            for (j, (k, v)) in e.fields.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                out.push_str(&escape_json(k));
+                out.push_str("\":");
+                out.push_str(&json_value(v));
+            }
+            out.push_str("}}");
+        }
+        out.push_str(&format!("],\"events_dropped\":{}}}", self.events_dropped));
+        out
+    }
+
+    /// Serializes instruments (not events) to CSV with header
+    /// `kind,name,field,value`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter,{},value,{v}\n", csv_field(name)));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge,{},value,{v}\n", csv_field(name)));
+        }
+        for (name, h) in &self.histograms {
+            let name = csv_field(name);
+            for (field, v) in [
+                ("count", h.count),
+                ("sum", h.sum),
+                ("min", h.min),
+                ("max", h.max),
+                ("p50", h.p50),
+                ("p95", h.p95),
+                ("p99", h.p99),
+            ] {
+                out.push_str(&format!("histogram,{name},{field},{v}\n"));
+            }
+        }
+        out
+    }
+
+    /// Writes the JSON export (plus trailing newline) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())?;
+        f.write_all(b"\n")
+    }
+
+    /// Writes the CSV export to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+fn push_entries<T>(
+    out: &mut String,
+    entries: &[(String, T)],
+    mut emit: impl FnMut(&mut String, &T),
+) {
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape_json(k));
+        out.push_str("\":");
+        emit(out, v);
+    }
+}
+
+/// JSON-legal float formatting: non-finite values become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats without a dot; that is still a valid
+        // JSON number, so leave it as-is.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_value(v: &Value) -> String {
+    match v {
+        Value::U64(n) => n.to_string(),
+        Value::I64(n) => n.to_string(),
+        Value::F64(f) => json_f64(*f),
+        Value::Str(s) => format!("\"{}\"", escape_json(s)),
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Metric names are dot/underscore identifiers, but guard against commas and
+/// quotes anyway so the CSV never breaks.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("storage.pages_read").add(5);
+        r.gauge("oram.stash.len").set(3.0);
+        let h = r.histogram("oram.access.latency");
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        r.event(
+            "round.end",
+            &[("round", 1u64.into()), ("mode", "raw".into())],
+        );
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_contains_all_sections() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"schema\":\"fedora-telemetry/v1\""));
+        assert!(j.contains("\"storage.pages_read\":5"));
+        assert!(j.contains("\"oram.stash.len\":3"));
+        assert!(j.contains("\"oram.access.latency\":{\"count\":3"));
+        assert!(j.contains("\"p50\":"));
+        assert!(j.contains("\"name\":\"round.end\""));
+        assert!(j.contains("\"events_dropped\":0"));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let r = Registry::new();
+        r.event("weird", &[("msg", "a\"b\\c\nd".into())]);
+        let j = r.snapshot().to_json();
+        assert!(j.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn json_nonfinite_gauge_is_null() {
+        let r = Registry::new();
+        r.gauge("bad").set(f64::NAN);
+        assert!(r.snapshot().to_json().contains("\"bad\":null"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("kind,name,field,value"));
+        assert!(csv.contains("counter,storage.pages_read,value,5\n"));
+        assert!(csv.contains("histogram,oram.access.latency,count,3\n"));
+        assert!(csv.contains("histogram,oram.access.latency,p99,"));
+    }
+
+    #[test]
+    fn lookups() {
+        let s = sample();
+        assert_eq!(s.counter("storage.pages_read"), Some(5));
+        assert_eq!(s.gauge("oram.stash.len"), Some(3.0));
+        assert_eq!(s.histogram("oram.access.latency").map(|h| h.count), Some(3));
+        assert_eq!(s.counter("nope"), None);
+    }
+
+    #[test]
+    fn files_roundtrip() {
+        let dir = std::env::temp_dir();
+        let jp = dir.join("fedora_telemetry_test.json");
+        let cp = dir.join("fedora_telemetry_test.csv");
+        let s = sample();
+        s.write_json(&jp).unwrap();
+        s.write_csv(&cp).unwrap();
+        let j = std::fs::read_to_string(&jp).unwrap();
+        assert!(j.ends_with("}\n"));
+        assert!(std::fs::read_to_string(&cp)
+            .unwrap()
+            .starts_with("kind,name,field,value"));
+        let _ = std::fs::remove_file(jp);
+        let _ = std::fs::remove_file(cp);
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_shape() {
+        let j = Snapshot::default().to_json();
+        assert!(j.contains("\"counters\":{}"));
+        assert!(j.contains("\"events\":[]"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Log-bucketed histograms with percentile summaries.
+//!
+//! Values (typically latencies in nanoseconds) are binned into 64
+//! power-of-two buckets: bucket `i` covers `[2^i, 2^(i+1))` (bucket 0 also
+//! absorbs zero). Recording is a handful of relaxed atomic ops, so histograms
+//! are safe to feed from hot paths; summaries are computed lazily at
+//! snapshot time by nearest-rank selection with linear interpolation inside
+//! the winning bucket, which keeps every reported percentile within one
+//! bucket width of the exact sample quantile.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of logarithmic buckets per histogram (one per power of two of
+/// `u64`, so any nanosecond latency or byte count fits without clamping).
+pub const NUM_BUCKETS: usize = 64;
+
+/// Maps a value to its bucket index: `v ∈ [2^i, 2^(i+1)) → i`, with 0
+/// sharing bucket 0.
+pub fn bucket_index(value: u64) -> usize {
+    (63 - (value | 1).leading_zeros()) as usize
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= NUM_BUCKETS`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < NUM_BUCKETS, "bucket index out of range");
+    let lo = if index == 0 { 0 } else { 1u64 << index };
+    let hi = if index >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (index + 1)) - 1
+    };
+    (lo, hi)
+}
+
+/// Shared lock-free storage behind [`Histogram`] handles.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary. The bucket array is copied first and the count
+    /// derived from the copy, so the percentile walk is self-consistent even
+    /// if other threads keep recording.
+    pub(crate) fn summary(&self) -> HistogramSummary {
+        let buckets: [u64; NUM_BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            return HistogramSummary::default();
+        }
+        let min = self.min.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: quantile(&buckets, count, min, max, 0.50),
+            p95: quantile(&buckets, count, min, max, 0.95),
+            p99: quantile(&buckets, count, min, max, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank quantile with linear interpolation inside the winning
+/// bucket. The estimate always lands in the same bucket as the exact sample
+/// quantile, so the error is bounded by that bucket's width.
+fn quantile(buckets: &[u64; NUM_BUCKETS], count: u64, min: u64, max: u64, q: f64) -> u64 {
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c > 0 && cum + c >= rank {
+            let (lo, hi) = bucket_bounds(i);
+            let frac = (rank - cum) as f64 / c as f64;
+            let est = lo as f64 + (hi - lo) as f64 * frac;
+            // Tighten to the observed range without leaving the bucket
+            // (max/min chained instead of clamp: racy min/max must not panic).
+            return (est as u64).max(min.max(lo)).min(max.min(hi)).max(lo);
+        }
+        cum += c;
+    }
+    max
+}
+
+/// Point-in-time summary of one histogram.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wraps on overflow).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Cheap cloneable handle to a registered histogram.
+///
+/// A default-constructed (or [`Histogram::noop`]) handle drops every record
+/// on the floor — this is the disabled-registry fast path.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    /// A handle that discards all records.
+    pub fn noop() -> Self {
+        Histogram { core: None }
+    }
+
+    pub(crate) fn from_core(core: Arc<HistogramCore>) -> Self {
+        Histogram { core: Some(core) }
+    }
+
+    /// Whether records actually land anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        if let Some(core) = &self.core {
+            core.record(value);
+        }
+    }
+
+    /// Starts a drop-guard timer that records elapsed nanoseconds into this
+    /// histogram when dropped. On a no-op handle the clock is never read.
+    pub fn start_timer(&self) -> Timer {
+        Timer {
+            start: self.core.is_some().then(Instant::now),
+            hist: self.clone(),
+        }
+    }
+
+    /// Current summary (all zeros for a no-op handle).
+    pub fn summary(&self) -> HistogramSummary {
+        self.core.as_ref().map(|c| c.summary()).unwrap_or_default()
+    }
+}
+
+/// Drop guard recording elapsed wall time (monotonic clock, nanoseconds)
+/// into a [`Histogram`].
+#[derive(Debug)]
+pub struct Timer {
+    hist: Histogram,
+    start: Option<Instant>,
+}
+
+impl Timer {
+    /// Stops the timer now, recording the elapsed time (same as dropping).
+    pub fn stop(self) {}
+
+    /// Discards the timer without recording anything.
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let (Some(core), Some(start)) = (&self.hist.core, self.start) {
+            core.record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_u64() {
+        assert_eq!(bucket_bounds(0), (0, 1));
+        assert_eq!(bucket_bounds(1), (2, 3));
+        assert_eq!(bucket_bounds(10), (1024, 2047));
+        assert_eq!(bucket_bounds(63).1, u64::MAX);
+        // Adjacent buckets tile the space with no gap or overlap.
+        for i in 0..NUM_BUCKETS - 1 {
+            assert_eq!(bucket_bounds(i).1 + 1, bucket_bounds(i + 1).0);
+        }
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let h = HistogramCore::new();
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn single_value_summary() {
+        let h = HistogramCore::new();
+        h.record(1000);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, 1000);
+        assert_eq!(s.min, 1000);
+        assert_eq!(s.max, 1000);
+        // All percentiles must land in 1000's bucket [512, 1023].
+        for p in [s.p50, s.p95, s.p99] {
+            assert_eq!(bucket_index(p), bucket_index(1000));
+        }
+    }
+
+    #[test]
+    fn percentiles_ordered_and_in_range() {
+        let h = HistogramCore::new();
+        for v in 0..10_000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10_000);
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        // p50 of 0..10000 is ~5000, within bucket [4096, 8191].
+        assert_eq!(bucket_index(s.p50), bucket_index(4999));
+    }
+
+    #[test]
+    fn noop_handle_discards() {
+        let h = Histogram::noop();
+        h.record(42);
+        let t = h.start_timer();
+        drop(t);
+        assert!(!h.is_enabled());
+        assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn timer_records_elapsed() {
+        let h = Histogram::from_core(Arc::new(HistogramCore::new()));
+        h.start_timer().stop();
+        assert_eq!(h.summary().count, 1);
+        h.start_timer().cancel();
+        assert_eq!(h.summary().count, 1);
+    }
+}

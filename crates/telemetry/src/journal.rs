@@ -1,0 +1,168 @@
+//! Structured per-round event journal.
+//!
+//! Events carry a name and a small bag of typed fields, and are stamped with
+//! a registry-wide sequence number so interleavings across layers stay
+//! ordered. The journal is bounded: once [`MAX_JOURNAL_EVENTS`] is reached
+//! new events are counted as dropped instead of growing without bound, so a
+//! long training run cannot OOM the server through its own telemetry.
+
+/// Upper bound on retained events per registry.
+pub const MAX_JOURNAL_EVENTS: usize = 65_536;
+
+/// A typed event field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Text.
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One journal entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Registry-wide sequence number (dense from 0, including dropped tail).
+    pub seq: u64,
+    /// Event name, dot-separated by convention (`round.end`, `fault.detected`).
+    pub name: String,
+    /// Typed fields in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// Bounded event buffer (lives behind the registry's mutex).
+#[derive(Debug, Default)]
+pub(crate) struct Journal {
+    events: Vec<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Journal {
+    pub(crate) fn push(&mut self, name: &str, fields: &[(&str, Value)]) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.events.len() >= MAX_JOURNAL_EVENTS {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(Event {
+            seq,
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    pub(crate) fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut j = Journal::default();
+        j.push(
+            "round.end",
+            &[("round", 3u64.into()), ("mode", "raw".into())],
+        );
+        assert_eq!(j.events().len(), 1);
+        let e = &j.events()[0];
+        assert_eq!(e.seq, 0);
+        assert_eq!(e.field("round"), Some(&Value::U64(3)));
+        assert_eq!(e.field("mode"), Some(&Value::Str("raw".into())));
+        assert_eq!(e.field("missing"), None);
+    }
+
+    #[test]
+    fn bounded_with_dropped_count() {
+        let mut j = Journal::default();
+        for _ in 0..MAX_JOURNAL_EVENTS + 10 {
+            j.push("e", &[]);
+        }
+        assert_eq!(j.events().len(), MAX_JOURNAL_EVENTS);
+        assert_eq!(j.dropped(), 10);
+        // Sequence numbers keep advancing past the cap.
+        assert_eq!(
+            j.events().last().map(|e| e.seq),
+            Some(MAX_JOURNAL_EVENTS as u64 - 1)
+        );
+    }
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(true), Value::U64(1));
+        assert_eq!(Value::from(-1i64), Value::I64(-1));
+        assert_eq!(Value::from(0.5f64), Value::F64(0.5));
+        assert_eq!(Value::from("x".to_string()), Value::Str("x".into()));
+    }
+}

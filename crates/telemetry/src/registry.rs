@@ -1,0 +1,381 @@
+//! The handle-based metrics registry.
+//!
+//! A [`Registry`] is a cheap cloneable handle to shared state (or to
+//! nothing, for the disabled no-op sink). Instruments are looked up by
+//! dot-separated name; asking twice for the same name returns handles to the
+//! same underlying cell, so independent layers can contribute to one metric
+//! (e.g. every device mirrors into `storage.pages_read`). Registration is
+//! eager: a counter exists (at zero) in snapshots from the moment any layer
+//! asks for it, which keeps exported key sets stable across runs.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::export::Snapshot;
+use crate::histogram::{Histogram, HistogramCore, Timer};
+use crate::journal::{Journal, Value};
+
+/// Locks a mutex, recovering the data from a poisoned lock instead of
+/// panicking (telemetry must never take the host down).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    /// Gauges store `f64::to_bits`, giving lock-free last-writer-wins floats.
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    journal: Mutex<Journal>,
+}
+
+/// A handle to a metrics registry, or a no-op sink.
+///
+/// Cloning shares the underlying state. The [`Default`] registry is
+/// *disabled* so that plumbing telemetry through a struct never forces a
+/// live registry on callers that don't want one.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// Creates an enabled, empty registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Some(Arc::new(RegistryInner::default())),
+        }
+    }
+
+    /// Creates a disabled registry: every handle it hands out is a no-op and
+    /// snapshots are empty. This is the bounded-overhead sink for perf runs.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether this handle points at live storage.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Returns (registering if needed) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter {
+            cell: self.inner.as_ref().map(|inner| {
+                Arc::clone(
+                    lock(&inner.counters)
+                        .entry(name.to_string())
+                        .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+                )
+            }),
+        }
+    }
+
+    /// Returns (registering if needed) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge {
+            cell: self.inner.as_ref().map(|inner| {
+                Arc::clone(
+                    lock(&inner.gauges)
+                        .entry(name.to_string())
+                        .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+                )
+            }),
+        }
+    }
+
+    /// Returns (registering if needed) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.inner.as_ref() {
+            None => Histogram::noop(),
+            Some(inner) => Histogram::from_core(Arc::clone(
+                lock(&inner.histograms)
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistogramCore::new())),
+            )),
+        }
+    }
+
+    /// Opens a hierarchical span named `name`, timing the scope into the
+    /// histogram `"{name}.latency"` when the guard drops.
+    ///
+    /// Hot paths that run many times should cache the [`Histogram`] handle
+    /// and use [`Histogram::start_timer`] instead, skipping the name lookup.
+    pub fn span(&self, name: &str) -> Span {
+        Span {
+            timer: self.histogram(&format!("{name}.latency")).start_timer(),
+            name: name.to_string(),
+            registry: self.clone(),
+        }
+    }
+
+    /// Appends a structured event to the journal.
+    pub fn event(&self, name: &str, fields: &[(&str, Value)]) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.journal).push(name, fields);
+        }
+    }
+
+    /// Full point-in-time snapshot, including the event journal.
+    pub fn snapshot(&self) -> Snapshot {
+        self.snapshot_impl(true)
+    }
+
+    /// Snapshot without the event journal — cheap enough to attach to every
+    /// `RoundReport` without cloning thousands of events each round.
+    pub fn snapshot_lite(&self) -> Snapshot {
+        self.snapshot_impl(false)
+    }
+
+    fn snapshot_impl(&self, with_events: bool) -> Snapshot {
+        let Some(inner) = &self.inner else {
+            return Snapshot::default();
+        };
+        let counters = lock(&inner.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = lock(&inner.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = lock(&inner.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.summary()))
+            .collect();
+        let journal = lock(&inner.journal);
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events: if with_events {
+                journal.events().to_vec()
+            } else {
+                Vec::new()
+            },
+            events_dropped: journal.dropped(),
+        }
+    }
+}
+
+/// Monotonic `u64` counter handle (no-op when detached).
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A counter that discards increments.
+    pub fn noop() -> Self {
+        Counter { cell: None }
+    }
+
+    /// Adds 1.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when detached).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-writer-wins `f64` gauge handle (no-op when detached).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Gauge {
+    /// A gauge that discards writes.
+    pub fn noop() -> Self {
+        Gauge { cell: None }
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Sets from an integer (stored as `f64`).
+    pub fn set_u64(&self, v: u64) {
+        self.set(v as f64);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water marks).
+    pub fn set_max(&self, v: f64) {
+        if let Some(cell) = &self.cell {
+            // Relaxed CAS loop; contention on gauges is negligible.
+            let mut cur = cell.load(Ordering::Relaxed);
+            while v > f64::from_bits(cur) {
+                match cell.compare_exchange_weak(
+                    cur,
+                    v.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+    }
+
+    /// Current value (0 when detached).
+    pub fn get(&self) -> f64 {
+        self.cell
+            .as_ref()
+            .map_or(0.0, |cell| f64::from_bits(cell.load(Ordering::Relaxed)))
+    }
+}
+
+/// A hierarchical timing scope: records its lifetime into
+/// `"{name}.latency"` on drop, and can open children named under it.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    registry: Registry,
+    timer: Timer,
+}
+
+impl Span {
+    /// This span's full dotted name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Opens a child span named `"{parent}.{suffix}"`.
+    pub fn child(&self, suffix: &str) -> Span {
+        self.registry.span(&format!("{}.{suffix}", self.name))
+    }
+
+    /// Ends the span now (same as dropping it).
+    pub fn end(self) {
+        self.timer.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_cell() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.incr();
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().counter("x"), Some(3));
+    }
+
+    #[test]
+    fn disabled_registry_is_noop() {
+        let r = Registry::disabled();
+        assert!(!r.is_enabled());
+        let c = r.counter("x");
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        r.gauge("g").set(1.5);
+        r.histogram("h").record(7);
+        r.event("e", &[]);
+        let snap = r.snapshot();
+        assert_eq!(snap, Snapshot::default());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Registry::default().is_enabled());
+        let c = Counter::default();
+        c.incr();
+        assert_eq!(c.get(), 0);
+        Gauge::default().set(1.0);
+    }
+
+    #[test]
+    fn gauge_roundtrip_and_max() {
+        let r = Registry::new();
+        let g = r.gauge("occupancy");
+        g.set(0.25);
+        assert_eq!(g.get(), 0.25);
+        g.set_max(0.1);
+        assert_eq!(g.get(), 0.25);
+        g.set_max(0.9);
+        assert_eq!(g.get(), 0.9);
+        g.set_u64(7);
+        assert_eq!(g.get(), 7.0);
+    }
+
+    #[test]
+    fn eager_registration_appears_in_snapshot() {
+        let r = Registry::new();
+        let _ = r.counter("never.touched");
+        let _ = r.histogram("empty.hist");
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("never.touched"), Some(0));
+        assert_eq!(snap.histogram("empty.hist").map(|h| h.count), Some(0));
+    }
+
+    #[test]
+    fn span_records_latency_and_children() {
+        let r = Registry::new();
+        {
+            let span = r.span("oram.access");
+            let child = span.child("decrypt");
+            assert_eq!(child.name(), "oram.access.decrypt");
+            child.end();
+        }
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.histogram("oram.access.latency").map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(
+            snap.histogram("oram.access.decrypt.latency")
+                .map(|h| h.count),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn events_flow_to_snapshot() {
+        let r = Registry::new();
+        r.event("fault.detected", &[("node", 4u64.into())]);
+        let snap = r.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].name, "fault.detected");
+        // Lite snapshots skip events but keep instruments.
+        assert!(r.snapshot_lite().events.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Registry::new();
+        let r2 = r.clone();
+        r2.counter("shared").incr();
+        assert_eq!(r.snapshot().counter("shared"), Some(1));
+    }
+}

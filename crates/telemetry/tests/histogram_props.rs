@@ -1,0 +1,82 @@
+//! Property tests for the histogram bucket math (ISSUE 2 satellite).
+//!
+//! Two families of properties:
+//! 1. every recorded value lands in the bucket whose bounds contain it;
+//! 2. the reported p50/p95/p99 are within one bucket width of the exact
+//!    nearest-rank sample quantiles.
+
+use fedora_telemetry::{bucket_bounds, bucket_index, Registry, NUM_BUCKETS};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile, the definition the histogram approximates.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+fn bucket_width(value: u64) -> u64 {
+    let (lo, hi) = bucket_bounds(bucket_index(value));
+    hi - lo
+}
+
+proptest! {
+    #[test]
+    fn value_lands_in_its_bucket(value in any::<u64>()) {
+        let idx = bucket_index(value);
+        prop_assert!(idx < NUM_BUCKETS);
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= value && value <= hi,
+            "value {value} outside bucket {idx} = [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn buckets_partition_neighbourhood(value in 1..u64::MAX) {
+        // The bucket function is monotone: v-1 maps to the same or the
+        // previous bucket, never a later one.
+        prop_assert!(bucket_index(value - 1) <= bucket_index(value));
+    }
+
+    #[test]
+    fn percentiles_within_one_bucket_width(
+        mut values in proptest::collection::vec(0u64..1u64 << 48, 1..400)
+    ) {
+        let registry = Registry::new();
+        let hist = registry.histogram("test.latency");
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+
+        let summary = hist.summary();
+        prop_assert_eq!(summary.count, values.len() as u64);
+        prop_assert_eq!(summary.min, values[0]);
+        prop_assert_eq!(summary.max, *values.last().unwrap());
+
+        for (q, got) in [(0.50, summary.p50), (0.95, summary.p95), (0.99, summary.p99)] {
+            let exact = exact_quantile(&values, q);
+            let tol = bucket_width(exact);
+            let err = got.abs_diff(exact);
+            prop_assert!(
+                err <= tol,
+                "q={q}: estimate {got} vs exact {exact} (err {err} > bucket width {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered(
+        values in proptest::collection::vec(any::<u32>().prop_map(u64::from), 1..200)
+    ) {
+        let registry = Registry::new();
+        let hist = registry.histogram("test.ordered");
+        for &v in &values {
+            hist.record(v);
+        }
+        let s = hist.summary();
+        prop_assert!(s.min <= s.p50);
+        prop_assert!(s.p50 <= s.p95);
+        prop_assert!(s.p95 <= s.p99);
+        prop_assert!(s.p99 <= s.max);
+    }
+}
