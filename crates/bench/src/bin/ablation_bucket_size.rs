@@ -6,6 +6,7 @@
 use fedora::analytic::{fedora_round, lifetime_months};
 use fedora::config::{FedoraConfig, TableSpec};
 use fedora::latency::LatencyModel;
+use fedora_bench::outopts::OutputOpts;
 use fedora_bench::Workload;
 use fedora_fdp::FdpMechanism;
 use rand::rngs::StdRng;
@@ -14,6 +15,8 @@ use rand::SeedableRng;
 const CHUNK: usize = 16 * 1024;
 
 fn main() {
+    let (opts, _args) = OutputOpts::from_env();
+    let registry = opts.registry();
     let mut rng = StdRng::seed_from_u64(11);
     let model = LatencyModel::default();
     let mech = FdpMechanism::new(1.0, fedora_fdp::YShape::Uniform).expect("valid");
@@ -53,6 +56,11 @@ fn main() {
                 (lat / t0 - 1.0) * 100.0
             ),
         };
+        let prefix = format!("bucket_ablation.{}kib", 4 * pages);
+        registry
+            .gauge(&format!("{prefix}.lifetime_months"))
+            .set(life);
+        registry.gauge(&format!("{prefix}.latency_s")).set(lat);
         println!(
             "{:<12} {:>6} {:>6} {:>8} {:>16.1} {:>14.2}{note}",
             format!("{} KiB", 4 * pages),
@@ -65,4 +73,5 @@ fn main() {
     }
     println!("\nPaper reference: 4->16 KiB on Small gave +18% lifetime, +67% latency;");
     println!("larger buckets trade latency for lifetime with diminishing returns.");
+    opts.write_or_die(&registry.snapshot());
 }

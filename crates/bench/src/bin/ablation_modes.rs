@@ -4,7 +4,8 @@
 //! showing that every mode runs unmodified over the buffer ORAM's
 //! aggregation slots.
 
-use fedora::training::{train_with_fedora_mode, TrainingConfig};
+use fedora::training::{train_with_fedora_mode, TrainingConfig, TrainingOutcome};
+use fedora_bench::outopts::{metric_label, OutputOpts};
 use fedora_fdp::ProtectionMode;
 use fedora_fl::client::LocalTrainer;
 use fedora_fl::datasets::{Dataset, SyntheticConfig};
@@ -19,7 +20,7 @@ fn run<M: AggregationMode>(
     dataset: &Dataset,
     server_lr: f32,
     rounds: usize,
-) {
+) -> TrainingOutcome {
     let mut rng = StdRng::seed_from_u64(404);
     let mut model = DlrmModel::new(
         DlrmConfig {
@@ -52,11 +53,27 @@ fn run<M: AggregationMode>(
         out.dummy_rate * 100.0,
         out.lost_rate * 100.0
     );
+    out
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let (opts, args) = OutputOpts::from_env();
+    let quick = args.iter().any(|a| a == "--quick");
     let rounds = if quick { 8 } else { 30 };
+    let registry = opts.registry();
+    let record = |label: &str, out: TrainingOutcome| {
+        let prefix = format!("modes.{}", metric_label(label));
+        registry.gauge(&format!("{prefix}.auc")).set(out.auc);
+        registry
+            .gauge(&format!("{prefix}.reduced_accesses"))
+            .set(out.reduced_accesses);
+        registry
+            .gauge(&format!("{prefix}.dummy_rate"))
+            .set(out.dummy_rate);
+        registry
+            .gauge(&format!("{prefix}.lost_rate"))
+            .set(out.lost_rate);
+    };
 
     let mut cfg = SyntheticConfig::movielens_like();
     cfg.num_users = 96;
@@ -66,23 +83,36 @@ fn main() {
     let dataset = Dataset::generate(cfg);
 
     println!("Operation-mode ablation (MovieLens-like, eps = 1, {rounds} rounds):\n");
-    run("FedAvg (Eq. 1)", FedAvg, &dataset, 2.0, rounds);
-    // Adam's normalized steps want a smaller server LR.
-    run("FedAdam", FedAdam::new(), &dataset, 0.05, rounds);
-    run(
-        "EANA (clip 1.0, sigma 0.01)",
-        Eana::new(1.0, 0.01),
-        &dataset,
-        2.0,
-        rounds,
+    record(
+        "FedAvg",
+        run("FedAvg (Eq. 1)", FedAvg, &dataset, 2.0, rounds),
     );
-    run(
-        "LazyDP (clip 1.0, sigma 0.01)",
-        LazyDp::new(1.0, 0.01),
-        &dataset,
-        2.0,
-        rounds,
+    // Adam's normalized steps want a smaller server LR.
+    record(
+        "FedAdam",
+        run("FedAdam", FedAdam::new(), &dataset, 0.05, rounds),
+    );
+    record(
+        "EANA",
+        run(
+            "EANA (clip 1.0, sigma 0.01)",
+            Eana::new(1.0, 0.01),
+            &dataset,
+            2.0,
+            rounds,
+        ),
+    );
+    record(
+        "LazyDP",
+        run(
+            "LazyDP (clip 1.0, sigma 0.01)",
+            LazyDp::new(1.0, 0.01),
+            &dataset,
+            2.0,
+            rounds,
+        ),
     );
     println!("\nAll four modes run unmodified through the buffer ORAM (Eq. 4);");
     println!("the DP modes (EANA/LazyDP) trade a little AUC for gradient privacy.");
+    opts.write_or_die(&registry.snapshot());
 }

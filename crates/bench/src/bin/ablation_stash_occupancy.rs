@@ -8,10 +8,12 @@
 //! ORAM would have it; this harness shows occupancy stays small and scales
 //! with `A`, not with the table.
 
+use fedora_bench::outopts::OutputOpts;
 use fedora_crypto::aead::Key;
 use fedora_oram::raw::{RawOram, RawOramConfig};
 use fedora_oram::store::DramBucketStore;
 use fedora_oram::TreeGeometry;
+use fedora_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,6 +24,7 @@ fn measure(
     rounds: usize,
     per_round: usize,
     seed: u64,
+    registry: &Registry,
 ) -> (usize, usize) {
     let geo = TreeGeometry::for_blocks(blocks, 16, z);
     let store = DramBucketStore::with_default_dram(geo, Key::from_bytes([6; 32]));
@@ -33,6 +36,7 @@ fn measure(
         |_| vec![0u8; 16],
         &mut rng,
     );
+    oram.set_telemetry(registry);
     for _ in 0..rounds {
         // Read phase: fetch a working set (stash untouched — Opt. 1).
         let mut ids: Vec<u64> = (0..per_round).map(|_| rng.gen_range(0..blocks)).collect();
@@ -51,6 +55,8 @@ fn measure(
 }
 
 fn main() {
+    let (opts, _args) = OutputOpts::from_env();
+    let registry = opts.registry();
     println!("Stash occupancy of FEDORA's RAW ORAM (high-water / end-state), 40 rounds:\n");
     println!(
         "{:>8} {:>4} {:>4} {:>12} {:>18} {:>14}",
@@ -61,11 +67,15 @@ fn main() {
             if a > 2 * z as u32 {
                 continue;
             }
-            let (high, end) = measure(blocks, z, a, 40, 64, 1000 + a as u64);
+            let (high, end) = measure(blocks, z, a, 40, 64, 1000 + a as u64, &registry);
+            registry
+                .gauge(&format!("stash.b{blocks}.z{z}.a{a}.high_water"))
+                .set(high as f64);
             println!("{blocks:>8} {z:>4} {a:>4} {:>12} {high:>18} {end:>14}", 64);
         }
     }
     println!("\nReading the table: high-water stays O(working set + A), independent");
     println!("of the table size — the §4.4 invariant that lets FEDORA defer every");
     println!("EO access to the write phase without overflow risk.");
+    opts.write_or_die(&registry.snapshot());
 }

@@ -8,15 +8,18 @@
 
 use fedora::config::{FedoraConfig, PrivacyConfig, TableSpec};
 use fedora::server::FedoraServer;
+use fedora_bench::outopts::{metric_label, OutputOpts};
 use fedora_fl::modes::FedAvg;
+use fedora_telemetry::Registry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn run(privacy: PrivacyConfig, requests: &[u64], seed: u64) -> (usize, u64) {
+fn run(privacy: PrivacyConfig, requests: &[u64], seed: u64, registry: Registry) -> (usize, u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut config = FedoraConfig::for_testing(TableSpec::tiny(1024), 256);
     config.privacy = privacy;
-    let mut server = FedoraServer::new(config, |id| vec![id as u8; 32], &mut rng);
+    let mut server =
+        FedoraServer::with_telemetry(config, |id| vec![id as u8; 32], registry, &mut rng);
     let report = server.begin_round(requests, &mut rng).expect("round fits");
     let mut mode = FedAvg;
     let report_end = server
@@ -29,6 +32,8 @@ fn run(privacy: PrivacyConfig, requests: &[u64], seed: u64) -> (usize, u64) {
 }
 
 fn main() {
+    let (opts, _args) = OutputOpts::from_env();
+    let registry = opts.registry();
     // Two worlds the adversary wants to distinguish: everyone requests the
     // SAME entry vs everyone requests DIFFERENT entries.
     let same: Vec<u64> = vec![7; 64];
@@ -47,8 +52,15 @@ fn main() {
         ("FEDORA e=0.1", || PrivacyConfig::with_epsilon(0.1)),
     ];
     for (label, make) in configs {
-        let (k_same, io_same) = run(make(), &same, 100);
-        let (k_diff, io_diff) = run(make(), &diff, 101);
+        let (k_same, io_same) = run(make(), &same, 100, registry.clone());
+        let (k_diff, io_diff) = run(make(), &diff, 101, registry.clone());
+        let prefix = format!("strawmen.{}", metric_label(label));
+        registry
+            .gauge(&format!("{prefix}.k_same"))
+            .set(k_same as f64);
+        registry
+            .gauge(&format!("{prefix}.k_diff"))
+            .set(k_diff as f64);
         let leaks = if label.contains("Strawman 2") {
             "YES"
         } else {
@@ -64,4 +76,5 @@ fn main() {
     println!("unbounded (eps = inf) leak. Strawman 1 always reads 64 (perfect");
     println!("privacy, maximal I/O). The e-FDP rows stay close to the cheap");
     println!("dedup cost while keeping the distributions e^eps-close.");
+    opts.write_or_die(&registry.snapshot());
 }

@@ -2,7 +2,8 @@
 //! seeded chaos injection and reports detection/recovery accounting.
 //!
 //! Usage: `fault_campaign [rounds] [seed] [bitflip] [rollback] [transient]
-//! [--metrics-out PATH]` (rates are per device operation; defaults:
+//! [--metrics-out PATH] [--trace-out PATH]` (rates are per device
+//! operation; defaults:
 //! 40 rounds, seed 7, 0.25 / 0.10 / 0.15). With `--metrics-out` the
 //! campaign totals are written as a telemetry JSON snapshot: the live
 //! registry (oram/storage/crypto/integrity/fl series) plus
@@ -28,20 +29,8 @@ fn arg<T: std::str::FromStr>(args: &[String], n: usize, default: T) -> T {
 }
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // Strip the one flag pair before positional parsing.
-    let metrics_out = match args.iter().position(|a| a == "--metrics-out") {
-        Some(pos) if pos + 1 < args.len() => {
-            let path = args.remove(pos + 1);
-            args.remove(pos);
-            Some(path)
-        }
-        Some(_) => {
-            eprintln!("error: --metrics-out needs a value");
-            std::process::exit(1);
-        }
-        None => None,
-    };
+    // Strip the output flag pairs before positional parsing.
+    let (opts, args) = fedora_bench::outopts::OutputOpts::from_env();
     let rounds: u64 = arg(&args, 0, 40);
     let seed: u64 = arg(&args, 1, 7);
     let bitflip: f64 = arg(&args, 2, 0.25);
@@ -52,9 +41,10 @@ fn main() {
     config.privacy = PrivacyConfig::none();
     config.fault_tolerance.max_read_retries = 16;
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut server = FedoraServer::new(
+    let mut server = FedoraServer::with_telemetry(
         config,
         |id| (0..DIM).flat_map(|_| (id as f32).to_le_bytes()).collect(),
+        opts.registry(),
         &mut rng,
     );
 
@@ -147,7 +137,7 @@ fn main() {
         server.reports().len()
     );
 
-    if let Some(path) = metrics_out {
+    if opts.any() {
         let registry = server.registry();
         registry
             .gauge("campaign.injected.bitflips")
@@ -170,10 +160,9 @@ fn main() {
         registry
             .gauge("campaign.completed_rounds")
             .set(server.reports().len() as f64);
-        server
-            .metrics_snapshot()
-            .write_json(std::path::Path::new(&path))
-            .expect("write --metrics-out");
-        println!("metrics written to {path}");
+        if let Err(msg) = opts.write(&server.metrics_snapshot()) {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
     }
 }

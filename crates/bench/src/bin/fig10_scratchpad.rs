@@ -4,12 +4,15 @@
 use fedora::analytic::fedora_round;
 use fedora::config::{FedoraConfig, TableSpec};
 use fedora::latency::LatencyModel;
+use fedora_bench::outopts::OutputOpts;
 use fedora_bench::workload::summarize_all_parallel;
 use fedora_fdp::FdpMechanism;
 
 const CHUNK: usize = 16 * 1024;
 
 fn main() {
+    let (opts, _args) = OutputOpts::from_env();
+    let registry = opts.registry();
     let model = LatencyModel::default();
     let mech = FdpMechanism::new(1.0, fedora_fdp::YShape::Uniform).expect("valid");
     let pairs = [
@@ -44,6 +47,12 @@ fn main() {
         }
         let with = (ln_with / 5.0).exp();
         let without = (ln_without / 5.0).exp();
+        let prefix = format!("fig10.{}.{}", table.name, k_total);
+        registry.gauge(&format!("{prefix}.with_sram_s")).set(with);
+        registry.gauge(&format!("{prefix}.no_sram_s")).set(without);
+        registry
+            .gauge(&format!("{prefix}.slowdown"))
+            .set(without / with);
         println!(
             "{:<22} {:>16.2} {:>16.2} {:>11.2}x",
             format!("{} / {}K", table.name, k_total / 1000),
@@ -54,4 +63,5 @@ fn main() {
     }
     println!("\nShape check: the scratchpad helps most when blocks are small");
     println!("(Small/Medium ~1.5x in the paper) and least for Large blocks.");
+    opts.write_or_die(&registry.snapshot());
 }

@@ -3,6 +3,7 @@
 //! Reproduces the six panels (k_union = 30, K = 100) as ASCII histograms
 //! and prints the dummy/lost expectations behind Observations 1–4.
 
+use fedora_bench::outopts::{metric_label, OutputOpts};
 use fedora_fdp::{FdpMechanism, YShape};
 
 const K_UNION: u64 = 30;
@@ -35,6 +36,8 @@ fn render_panel(title: &str, mech: &FdpMechanism) {
 }
 
 fn main() {
+    let (opts, _args) = OutputOpts::from_env();
+    let registry = opts.registry();
     println!("Figure 3: PDFs of k with k_union = {K_UNION}, K = {K_MAX}");
     println!("(U marks k_union on the x-axis; K marks the right edge)\n");
 
@@ -66,10 +69,18 @@ fn main() {
     ];
     for (title, mech) in &panels {
         render_panel(title, mech);
+        let prefix = format!("fig3.{}", metric_label(title));
+        registry
+            .gauge(&format!("{prefix}.expected_dummies"))
+            .set(mech.expected_dummies(K_UNION, K_MAX).expect("valid"));
+        registry
+            .gauge(&format!("{prefix}.expected_lost"))
+            .set(mech.expected_lost(K_UNION, K_MAX).expect("valid"));
     }
 
     println!("Observation 1: (a-e) read far fewer than K = {K_MAX} accesses.");
     println!("Observation 2: shrinking eps (c->e) widens both tails.");
     println!("Observation 3: pow/delta shapes (d, f) trade losses for dummies.");
     println!("Observation 4: (a) degenerates to Strawman 2, (f) to Strawman 1.");
+    opts.write_or_die(&registry.snapshot());
 }

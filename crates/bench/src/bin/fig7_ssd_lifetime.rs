@@ -7,6 +7,7 @@
 
 use fedora::analytic::{fedora_round, lifetime_months, path_oram_plus_round};
 use fedora::config::{FedoraConfig, TableSpec};
+use fedora_bench::outopts::OutputOpts;
 use fedora_bench::Workload;
 use fedora_fdp::FdpMechanism;
 use rand::rngs::StdRng;
@@ -28,6 +29,8 @@ fn fmt_months(m: f64) -> String {
 }
 
 fn main() {
+    let (opts, _args) = OutputOpts::from_env();
+    let registry = opts.registry();
     let mut rng = StdRng::seed_from_u64(7);
     let updates = [10_000usize, 100_000, 1_000_000];
 
@@ -78,6 +81,16 @@ fn main() {
                 n += 1;
             }
             let geomean = (geomean / n as f64).exp();
+            let prefix = format!("fig7.{}.{}", table.name, k_total);
+            registry
+                .gauge(&format!("{prefix}.path_oram_plus_months"))
+                .set(base_life);
+            registry
+                .gauge(&format!("{prefix}.fedora_e0_months"))
+                .set(fed0_life);
+            registry
+                .gauge(&format!("{prefix}.fedora_e1_geomean_months"))
+                .set(geomean);
             println!(
                 "{:<8} {:<32} {:>14} {:>14} {:>14}   [e=1 vs PathORAM+: {:.0}x, vs e=0: {:.2}x]",
                 table.name,
@@ -91,4 +104,5 @@ fn main() {
         }
     }
     println!("\nReference lines: 2 years = 24 months, 5 years = 60 months.");
+    opts.write_or_die(&registry.snapshot());
 }

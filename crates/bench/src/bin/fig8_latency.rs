@@ -4,9 +4,11 @@
 //! traffic + controller compute) with access totals from per-workload
 //! request streams.
 //!
-//! Usage: `fig8_latency [--metrics-out PATH]`. The flag exports every
-//! printed overhead figure as a `fig8.<table>.<updates>.*` gauge in a
-//! telemetry JSON snapshot.
+//! Usage: `fig8_latency [--metrics-out PATH] [--trace-out PATH]`. The
+//! first flag exports every printed overhead figure as a
+//! `fig8.<table>.<updates>.*` gauge in a telemetry JSON snapshot; the
+//! second writes the (analytic, hence empty) span journal as Chrome
+//! trace-event JSON for tooling-pipeline smoke tests.
 
 use fedora::analytic::{fedora_round, path_oram_plus_round};
 use fedora::config::{FedoraConfig, TableSpec};
@@ -23,18 +25,8 @@ fn union_scan_slots(k: usize) -> u64 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let metrics_out = match args.iter().position(|a| a == "--metrics-out") {
-        Some(pos) => match args.get(pos + 1) {
-            Some(path) => Some(path.clone()),
-            None => {
-                eprintln!("error: --metrics-out needs a value");
-                std::process::exit(1);
-            }
-        },
-        None => None,
-    };
-    let registry = fedora_telemetry::Registry::new();
+    let (opts, _args) = fedora_bench::outopts::OutputOpts::from_env();
+    let registry = opts.registry();
 
     let mut rng = StdRng::seed_from_u64(8);
     let model = LatencyModel::default();
@@ -120,11 +112,6 @@ fn main() {
         }
     }
 
-    if let Some(path) = metrics_out {
-        registry
-            .snapshot()
-            .write_json(std::path::Path::new(&path))
-            .expect("write --metrics-out");
-        println!("\nmetrics written to {path}");
-    }
+    println!();
+    opts.write_or_die(&registry.snapshot());
 }

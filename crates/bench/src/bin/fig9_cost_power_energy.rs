@@ -8,6 +8,7 @@
 use fedora::analytic::{fedora_round, lifetime_months, path_oram_plus_round, ssd_busy_ns};
 use fedora::config::{FedoraConfig, TableSpec};
 use fedora::cost::CostModel;
+use fedora_bench::outopts::{metric_label, OutputOpts};
 use fedora_bench::Workload;
 use fedora_fdp::FdpMechanism;
 use rand::rngs::StdRng;
@@ -23,6 +24,8 @@ struct Row {
 }
 
 fn main() {
+    let (opts, _args) = OutputOpts::from_env();
+    let registry = opts.registry();
     let mut rng = StdRng::seed_from_u64(9);
     let cost = CostModel::default();
     let pairs = [
@@ -92,6 +95,12 @@ fn main() {
             "Design", "HW cost", "Power", "Energy/rnd"
         );
         for r in &rows {
+            let prefix = format!("fig9.{}.{}.{}", table.name, k_total, metric_label(&r.label));
+            registry.gauge(&format!("{prefix}.hw_pct")).set(r.hw);
+            registry.gauge(&format!("{prefix}.power_pct")).set(r.power);
+            registry
+                .gauge(&format!("{prefix}.energy_pct"))
+                .set(r.energy);
             println!(
                 "{:<44} {:>9.1}% {:>9.1}% {:>11.1}%",
                 r.label, r.hw, r.power, r.energy
@@ -105,4 +114,5 @@ fn main() {
             100.0 / g.energy
         );
     }
+    opts.write_or_die(&registry.snapshot());
 }

@@ -1,0 +1,351 @@
+//! Perf-trajectory harness: run a fixed workload matrix on the live
+//! pipeline and write a schema-versioned `BENCH_<date>.json`, or diff two
+//! such files for regressions.
+//!
+//! ```text
+//! perf_trajectory run [--out PATH] [--quick] [--rounds N] [--seed S]
+//!                     [--metrics-out PATH] [--trace-out PATH]
+//! perf_trajectory compare BASE.json NEW.json
+//!                     [--threshold-pct P] [--min-abs N] [--advisory]
+//! ```
+//!
+//! `run` drives one [`FedoraServer`] per matrix cell (table size × clients
+//! × aggregator) for a few rounds and records per-phase wall-times, I/O
+//! counters, and client byte traffic — every metric larger-is-worse.
+//! `--quick` shrinks the matrix to the two cells CI's `perf-smoke` job
+//! runs (the committed `BENCH_*.json` baseline uses the same preset).
+//!
+//! `compare` exits non-zero when any metric regressed beyond the threshold
+//! (default +25% and at least `--min-abs` absolute growth) or baseline
+//! coverage was lost, unless `--advisory` is given.
+
+use std::path::PathBuf;
+
+use fedora::config::{FedoraConfig, PrivacyConfig, TableSpec};
+use fedora::server::{FedoraServer, PhaseBreakdown};
+use fedora_bench::outopts::OutputOpts;
+use fedora_bench::trajectory::{compare, today_iso, Cell, Thresholds, Trajectory};
+use fedora_bench::Workload;
+use fedora_fl::modes::{AggregationMode, FedAdam, FedAvg};
+use fedora_telemetry::{Registry, Snapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const USAGE: &str = "\
+perf_trajectory — capture or diff a perf-trajectory point
+
+USAGE:
+    perf_trajectory run [--out PATH] [--quick] [--rounds N] [--seed S]
+                        [--metrics-out PATH] [--trace-out PATH]
+    perf_trajectory compare BASE.json NEW.json
+                        [--threshold-pct P] [--min-abs N] [--advisory]
+
+`run` writes BENCH_<date>.json (schema fedora-perf-trajectory/v1) from a
+fixed workload matrix on the live pipeline. `compare` diffs two such files
+and exits non-zero on regressions beyond the threshold (advisory mode
+always exits 0).
+";
+
+/// One matrix cell's shape.
+struct CellSpec {
+    entries: u64,
+    clients: usize,
+    aggregator: &'static str,
+}
+
+impl CellSpec {
+    fn id(&self) -> String {
+        format!(
+            "entries{}.clients{}.{}",
+            self.entries, self.clients, self.aggregator
+        )
+    }
+}
+
+fn matrix(quick: bool) -> Vec<CellSpec> {
+    let (entry_sizes, client_counts): (&[u64], &[usize]) = if quick {
+        (&[1024], &[4])
+    } else {
+        (&[1024, 4096, 16384], &[4, 16])
+    };
+    let mut cells = Vec::new();
+    for &entries in entry_sizes {
+        for &clients in client_counts {
+            for aggregator in ["fedavg", "fedadam"] {
+                cells.push(CellSpec {
+                    entries,
+                    clients,
+                    aggregator,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Drives `rounds` rounds of `spec` on a fresh per-cell registry (so
+/// counters don't bleed between cells) and returns the measured cell plus
+/// the cell's final snapshot.
+fn run_cell(spec: &CellSpec, rounds: usize, seed: u64, tracing: bool) -> (Cell, Snapshot) {
+    let registry = Registry::new();
+    if tracing {
+        registry.set_tracing(true);
+    }
+    let cell = match spec.aggregator {
+        "fedadam" => run_cell_mode(spec, rounds, seed, &registry, &mut FedAdam::new()),
+        _ => run_cell_mode(spec, rounds, seed, &registry, &mut FedAvg),
+    };
+    (cell, registry.snapshot())
+}
+
+fn run_cell_mode<M: AggregationMode>(
+    spec: &CellSpec,
+    rounds: usize,
+    seed: u64,
+    registry: &Registry,
+    mode: &mut M,
+) -> Cell {
+    const HISTORY_PER_CLIENT: usize = 8;
+    const DIM: usize = 8;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k_total = spec.clients * HISTORY_PER_CLIENT;
+    let mut config = FedoraConfig::for_testing(TableSpec::tiny(spec.entries), k_total.max(16));
+    config.privacy = PrivacyConfig::with_epsilon(1.0);
+    let mut server =
+        FedoraServer::with_telemetry(config, |_| vec![0u8; 4 * DIM], registry.clone(), &mut rng);
+
+    let mut phase_sums = PhaseBreakdown::default();
+    for round in 0..rounds {
+        let stream = Workload::Kaggle.generate(spec.entries, k_total, &mut rng);
+        server
+            .begin_round(&stream.requests, &mut rng)
+            .unwrap_or_else(|e| panic!("cell {}: round {round} begin: {e}", spec.id()));
+        for &id in &stream.requests {
+            let served = server
+                .serve(id, &mut rng)
+                .unwrap_or_else(|e| panic!("cell {}: serve {id}: {e}", spec.id()));
+            if served.is_some() {
+                let gradient: Vec<f32> = (0..DIM).map(|_| rng.gen_range(-0.1..0.1)).collect();
+                server
+                    .aggregate(mode, id, &gradient, 1, &mut rng)
+                    .unwrap_or_else(|e| panic!("cell {}: aggregate {id}: {e}", spec.id()));
+            }
+        }
+        let report = server
+            .end_round(mode, 1.0, &mut rng)
+            .unwrap_or_else(|e| panic!("cell {}: round {round} end: {e}", spec.id()));
+        phase_sums.union_ns += report.phases.union_ns;
+        phase_sums.fetch_ns += report.phases.fetch_ns;
+        phase_sums.serve_ns += report.phases.serve_ns;
+        phase_sums.aggregate_ns += report.phases.aggregate_ns;
+        phase_sums.write_ns += report.phases.write_ns;
+        phase_sums.round_ns += report.phases.round_ns;
+    }
+
+    let snap = server.metrics_snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0) as f64;
+    let per_round = |total: u64| total as f64 / rounds as f64;
+    let mut metrics = vec![
+        (
+            "round.latency_ns.mean".to_owned(),
+            per_round(phase_sums.round_ns),
+        ),
+        (
+            "phase.union_ns.mean".to_owned(),
+            per_round(phase_sums.union_ns),
+        ),
+        (
+            "phase.fetch_ns.mean".to_owned(),
+            per_round(phase_sums.fetch_ns),
+        ),
+        (
+            "phase.serve_ns.mean".to_owned(),
+            per_round(phase_sums.serve_ns),
+        ),
+        (
+            "phase.aggregate_ns.mean".to_owned(),
+            per_round(phase_sums.aggregate_ns),
+        ),
+        (
+            "phase.write_ns.mean".to_owned(),
+            per_round(phase_sums.write_ns),
+        ),
+        ("ssd.pages_read".to_owned(), counter("storage.pages_read")),
+        (
+            "ssd.pages_written".to_owned(),
+            counter("storage.pages_written"),
+        ),
+        (
+            "fl.download_bytes".to_owned(),
+            counter("fl.round.download_bytes"),
+        ),
+        (
+            "fl.upload_bytes".to_owned(),
+            counter("fl.round.upload_bytes"),
+        ),
+    ];
+    if let Some(h) = snap.histogram("oram.access.latency") {
+        metrics.push(("oram.access.latency_ns.p95".to_owned(), h.p95 as f64));
+    }
+    Cell {
+        id: spec.id(),
+        metrics,
+    }
+}
+
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn flag_present(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+fn cmd_run(opts: &OutputOpts, mut args: Vec<String>) -> i32 {
+    let quick = flag_present(&mut args, "--quick");
+    let out = flag_value(&mut args, "--out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", today_iso())));
+    let rounds: usize = flag_value(&mut args, "--rounds")
+        .map(|v| v.parse().unwrap_or(4))
+        .unwrap_or(4);
+    let seed: u64 = flag_value(&mut args, "--seed")
+        .map(|v| v.parse().unwrap_or(42))
+        .unwrap_or(42);
+    if !args.is_empty() {
+        eprintln!("error: unexpected arguments {args:?}\n\n{USAGE}");
+        return 2;
+    }
+
+    let mut trajectory = Trajectory::new(&today_iso());
+    let cells = matrix(quick);
+    println!(
+        "perf_trajectory: {} cells × {rounds} rounds (seed {seed}{})",
+        cells.len(),
+        if quick { ", quick preset" } else { "" }
+    );
+    // --metrics-out / --trace-out export the LAST cell's registry (each
+    // cell runs on its own registry so counters don't bleed between cells).
+    let mut last_snapshot = None;
+    for spec in &cells {
+        let (cell, snapshot) = run_cell(spec, rounds, seed, opts.trace_out.is_some());
+        let mean_ms = cell.metric("round.latency_ns.mean").unwrap_or(0.0) / 1e6;
+        println!("  {:<34} round mean {mean_ms:.3} ms", cell.id);
+        trajectory.cells.push(cell);
+        last_snapshot = Some(snapshot);
+    }
+    if let Err(e) = trajectory.write(&out) {
+        eprintln!("error: writing {}: {e}", out.display());
+        return 1;
+    }
+    println!("trajectory written to {}", out.display());
+    if let Some(snapshot) = last_snapshot {
+        opts.write_or_die(&snapshot);
+    }
+    0
+}
+
+fn cmd_compare(mut args: Vec<String>) -> i32 {
+    let advisory = flag_present(&mut args, "--advisory");
+    let thresholds = Thresholds {
+        relative: flag_value(&mut args, "--threshold-pct")
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(|p| p / 100.0)
+            .unwrap_or(Thresholds::default().relative),
+        min_absolute: flag_value(&mut args, "--min-abs")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(Thresholds::default().min_absolute),
+    };
+    let [base_path, new_path] = &args[..] else {
+        eprintln!("error: compare needs BASE.json and NEW.json\n\n{USAGE}");
+        return 2;
+    };
+    let load = |path: &str| -> Result<Trajectory, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Trajectory::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let report = match compare(&base, &new, &thresholds) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+
+    println!(
+        "compare {base_path} ({}) -> {new_path} ({}), threshold +{:.0}% / {:.0} abs",
+        base.date,
+        new.date,
+        thresholds.relative * 100.0,
+        thresholds.min_absolute
+    );
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+    for missing in &report.missing {
+        println!("MISSING: {missing} (present in baseline, absent now)");
+    }
+    for r in &report.regressions {
+        println!(
+            "REGRESSION: {}::{} {:.0} -> {:.0} ({:.2}x)",
+            r.cell,
+            r.metric,
+            r.base,
+            r.new,
+            r.ratio()
+        );
+    }
+    if report.failed() {
+        println!(
+            "{} regression(s), {} missing",
+            report.regressions.len(),
+            report.missing.len()
+        );
+        if advisory {
+            println!("advisory mode: not failing the build");
+            0
+        } else {
+            1
+        }
+    } else {
+        println!("OK: no regressions beyond threshold");
+        0
+    }
+}
+
+fn main() {
+    let (opts, args) = OutputOpts::from_env();
+    let code = match args.split_first() {
+        Some((cmd, rest)) if cmd == "run" => cmd_run(&opts, rest.to_vec()),
+        Some((cmd, rest)) if cmd == "compare" => cmd_compare(rest.to_vec()),
+        Some((cmd, _)) if cmd == "help" || cmd == "--help" || cmd == "-h" => {
+            print!("{USAGE}");
+            0
+        }
+        _ => {
+            print!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

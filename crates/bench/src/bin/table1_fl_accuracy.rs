@@ -9,6 +9,7 @@
 //! fast smoke run.
 
 use fedora::training::{train_with_fedora, TrainingConfig, TrainingOutcome};
+use fedora_bench::outopts::{metric_label, OutputOpts};
 use fedora_fdp::ProtectionMode;
 use fedora_fl::client::LocalTrainer;
 use fedora_fl::datasets::{Dataset, DatasetKind, SyntheticConfig};
@@ -57,7 +58,9 @@ fn row(label: &str, eps: &str, o: &TrainingOutcome) {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let (opts, args) = OutputOpts::from_env();
+    let quick = args.iter().any(|a| a == "--quick");
+    let registry = opts.registry();
     let rounds = if quick { 8 } else { 40 };
     let users_per_round = 32;
 
@@ -87,6 +90,9 @@ fn main() {
         let pub_auc = *run_reference_fl(&mut pub_model, &dataset, &sim, &mut rng)
             .last()
             .expect("at least one round");
+        registry
+            .gauge(&format!("table1.{}.pub.auc", metric_label(kind.label())))
+            .set(pub_auc);
         println!(
             "{:<12} {:>5} {:>11} {:>10} {:>10} {:>9.4}   (no private features)",
             kind.label(),
@@ -140,6 +146,22 @@ fn main() {
                 } else {
                     format!("{eps}")
                 };
+                let prefix = format!(
+                    "table1.{}.{}.eps_{}",
+                    metric_label(kind.label()),
+                    metric_label(mode_label),
+                    metric_label(&eps_label)
+                );
+                registry.gauge(&format!("{prefix}.auc")).set(outcome.auc);
+                registry
+                    .gauge(&format!("{prefix}.reduced_accesses"))
+                    .set(outcome.reduced_accesses);
+                registry
+                    .gauge(&format!("{prefix}.dummy_rate"))
+                    .set(outcome.dummy_rate);
+                registry
+                    .gauge(&format!("{prefix}.lost_rate"))
+                    .set(outcome.lost_rate);
                 row(kind.label(), &eps_label, &outcome);
             }
         }
@@ -148,4 +170,5 @@ fn main() {
     println!("Expected shape (paper Table 1): pub << all private rows; AUC drops only");
     println!("slightly as eps shrinks; hide-# rows save far more accesses but pay");
     println!("large dummy rates at small eps.");
+    opts.write_or_die(&registry.snapshot());
 }

@@ -4,6 +4,7 @@
 //! expected dummy/lost split — the concrete knob a FEDORA operator turns
 //! when deciding how much accuracy to trade for SSD traffic.
 
+use fedora_bench::outopts::{metric_label, OutputOpts};
 use fedora_fdp::tuning::{recommend_shape, CostWeights};
 use fedora_fdp::YShape;
 
@@ -18,6 +19,8 @@ fn shape_label(shape: &YShape) -> String {
 }
 
 fn main() {
+    let (opts, _args) = OutputOpts::from_env();
+    let registry = opts.registry();
     let (k_union, k_max) = (30u64, 100u64);
     println!("Y-shape recommendations at k_union = {k_union}, K = {k_max}:\n");
     println!(
@@ -44,6 +47,17 @@ fn main() {
             ),
         ] {
             let rec = recommend_shape(eps, k_union, k_max, &weights).expect("searchable");
+            let prefix = format!(
+                "tune.eps_{}.{}",
+                metric_label(&format!("{eps}")),
+                metric_label(label)
+            );
+            registry
+                .gauge(&format!("{prefix}.expected_dummies"))
+                .set(rec.expected_dummies);
+            registry
+                .gauge(&format!("{prefix}.expected_lost"))
+                .set(rec.expected_lost);
             println!(
                 "{:>6} {:<22} {:>18} {:>12.3} {:>10.3}",
                 eps,
@@ -57,4 +71,5 @@ fn main() {
     println!("\nReading the table: cheap-loss regimes pick uniform-ish shapes");
     println!("(few dummies); expensive-loss regimes climb toward pow/delta,");
     println!("re-deriving Strawman 1 as the infinite-loss-cost limit.");
+    opts.write_or_die(&registry.snapshot());
 }

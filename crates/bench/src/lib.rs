@@ -17,9 +17,17 @@
 //! | `ablation_stash_occupancy` | §4.4 stash-occupancy argument |
 //! | `tune_shape` | §3.3 Observation 3 as a tuning tool |
 //! | `fault_campaign` | chaos-injection fault-tolerance campaign (this reproduction's addition) |
+//! | `perf_trajectory` | perf-trajectory harness: `BENCH_<date>.json` writer + regression diff |
+//!
+//! Every binary accepts `--metrics-out PATH` (telemetry snapshot JSON) and
+//! `--trace-out PATH` (Chrome trace-event JSON for Perfetto) — see
+//! [`outopts`].
 //!
 //! Criterion micro-benches live in `benches/`.
 
+pub mod outopts;
+pub mod trajectory;
 pub mod workload;
 
+pub use outopts::OutputOpts;
 pub use workload::{RequestStream, Workload};

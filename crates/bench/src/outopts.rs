@@ -1,0 +1,183 @@
+//! Shared `--metrics-out` / `--trace-out` handling for the bench binaries.
+//!
+//! Every binary in `src/bin/` accepts the same two output flags:
+//!
+//! * `--metrics-out PATH` — write a telemetry [`Snapshot`] as single-line
+//!   JSON (counters, gauges, histogram percentiles, event journal).
+//! * `--trace-out PATH` — write the causal span journal as Chrome
+//!   trace-event JSON, loadable in <https://ui.perfetto.dev> or
+//!   `chrome://tracing`.
+//!
+//! [`OutputOpts::extract`] strips both flag pairs from an argument vector
+//! (so positional parsing stays untouched), [`OutputOpts::registry`] builds
+//! the registry the run should report into (tracing pre-enabled iff a trace
+//! was requested), and [`OutputOpts::write`] emits whatever was asked for.
+
+use std::path::PathBuf;
+
+use fedora_telemetry::{Registry, Snapshot};
+
+/// Parsed output flags shared by every bench binary.
+#[derive(Clone, Debug, Default)]
+pub struct OutputOpts {
+    /// Where to write the snapshot JSON, if requested.
+    pub metrics_out: Option<PathBuf>,
+    /// Where to write the Chrome trace-event JSON, if requested.
+    pub trace_out: Option<PathBuf>,
+}
+
+impl OutputOpts {
+    /// Strips `--metrics-out PATH` and `--trace-out PATH` pairs out of
+    /// `args`, leaving any positional arguments in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when either flag is present without a value.
+    pub fn extract(args: &mut Vec<String>) -> Result<Self, String> {
+        let mut opts = OutputOpts::default();
+        for (flag, slot) in [
+            ("--metrics-out", &mut opts.metrics_out),
+            ("--trace-out", &mut opts.trace_out),
+        ] {
+            if let Some(pos) = args.iter().position(|a| a == flag) {
+                if pos + 1 >= args.len() {
+                    return Err(format!("{flag} needs a value"));
+                }
+                let path = args.remove(pos + 1);
+                args.remove(pos);
+                *slot = Some(PathBuf::from(path));
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Extracts the flags from the process arguments (after the binary
+    /// name), exiting with a usage error on a dangling flag. Returns the
+    /// options plus the remaining positional arguments.
+    pub fn from_env() -> (Self, Vec<String>) {
+        let mut args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::extract(&mut args) {
+            Ok(opts) => (opts, args),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// An enabled registry for the run, with causal tracing pre-enabled
+    /// when `--trace-out` asked for a trace.
+    pub fn registry(&self) -> Registry {
+        let registry = Registry::new();
+        if self.trace_out.is_some() {
+            registry.set_tracing(true);
+        }
+        registry
+    }
+
+    /// True when either output was requested.
+    pub fn any(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some()
+    }
+
+    /// Writes the requested outputs from `snapshot`, printing one line per
+    /// file written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures with the offending path in the message.
+    pub fn write(&self, snapshot: &Snapshot) -> Result<(), String> {
+        if let Some(path) = &self.metrics_out {
+            snapshot
+                .write_json(path)
+                .map_err(|e| format!("--metrics-out {}: {e}", path.display()))?;
+            println!("metrics written to {}", path.display());
+        }
+        if let Some(path) = &self.trace_out {
+            snapshot
+                .write_chrome_trace(path)
+                .map_err(|e| format!("--trace-out {}: {e}", path.display()))?;
+            println!(
+                "trace written to {} (load in https://ui.perfetto.dev)",
+                path.display()
+            );
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper: write and exit(1) on failure, for binaries
+    /// without their own error plumbing.
+    pub fn write_or_die(&self, snapshot: &Snapshot) {
+        if let Err(msg) = self.write(snapshot) {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Lower-cases a free-form label into a dotted-metric-safe segment
+/// (alphanumerics kept, everything else collapsed to single `_`).
+pub fn metric_label(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut pending_sep = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            if pending_sep && !out.is_empty() {
+                out.push('_');
+            }
+            pending_sep = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            pending_sep = true;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_strips_both_flag_pairs() {
+        let mut args: Vec<String> = [
+            "40",
+            "--metrics-out",
+            "m.json",
+            "7",
+            "--trace-out",
+            "t.json",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let opts = OutputOpts::extract(&mut args).unwrap();
+        assert_eq!(args, vec!["40".to_owned(), "7".to_owned()]);
+        assert_eq!(opts.metrics_out, Some(PathBuf::from("m.json")));
+        assert_eq!(opts.trace_out, Some(PathBuf::from("t.json")));
+        assert!(opts.any());
+    }
+
+    #[test]
+    fn extract_rejects_dangling_flag() {
+        let mut args = vec!["--trace-out".to_owned()];
+        assert!(OutputOpts::extract(&mut args).is_err());
+    }
+
+    #[test]
+    fn registry_enables_tracing_only_for_trace_out() {
+        let plain = OutputOpts::default();
+        assert!(!plain.registry().tracing_enabled());
+        let traced = OutputOpts {
+            trace_out: Some(PathBuf::from("t.json")),
+            ..Default::default()
+        };
+        assert!(traced.registry().tracing_enabled());
+    }
+
+    #[test]
+    fn metric_label_collapses_punctuation() {
+        assert_eq!(metric_label("Zipf(1.2) / hot"), "zipf_1_2_hot");
+        assert_eq!(metric_label("uniform"), "uniform");
+    }
+}

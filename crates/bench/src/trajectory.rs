@@ -1,0 +1,494 @@
+//! Perf-trajectory data model: schema-versioned `BENCH_<date>.json` files
+//! plus the regression diff between two of them.
+//!
+//! A *trajectory point* is one run of the `perf_trajectory` binary's fixed
+//! workload matrix (table size × clients × aggregator). Each matrix cell
+//! records a flat list of metrics — latencies, byte counts, per-phase
+//! wall-times — all oriented **larger-is-worse**, so the comparison logic
+//! needs no per-metric direction table. Files carry a schema tag
+//! ([`SCHEMA`]) and a machine fingerprint so cross-machine diffs are
+//! detectable rather than silently misleading.
+//!
+//! [`compare`] diffs two trajectories cell-by-cell and flags every metric
+//! that regressed beyond a configurable relative threshold (with an
+//! absolute floor to ignore noise on near-zero values). The CI `perf-smoke`
+//! job runs it in advisory mode against the committed baseline.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use fedora_telemetry::json::{self, Json};
+
+/// Schema tag written into (and required of) every trajectory file.
+pub const SCHEMA: &str = "fedora-perf-trajectory/v1";
+
+/// Where the trajectory ran: enough to tell two machines apart, not enough
+/// to deanonymize anyone.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineFingerprint {
+    /// `std::env::consts::OS` (e.g. `linux`).
+    pub os: String,
+    /// `std::env::consts::ARCH` (e.g. `x86_64`).
+    pub arch: String,
+    /// Logical CPUs visible to the process.
+    pub logical_cpus: u64,
+    /// Version of this crate when the file was written.
+    pub crate_version: String,
+}
+
+impl MachineFingerprint {
+    /// Detects the current machine.
+    pub fn detect() -> Self {
+        MachineFingerprint {
+            os: std::env::consts::OS.to_owned(),
+            arch: std::env::consts::ARCH.to_owned(),
+            logical_cpus: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+            crate_version: env!("CARGO_PKG_VERSION").to_owned(),
+        }
+    }
+}
+
+/// One workload-matrix cell and its measured metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    /// Stable cell id, e.g. `entries4096.clients8.fedavg` — the join key
+    /// for [`compare`].
+    pub id: String,
+    /// Metrics in insertion order; every value is larger-is-worse.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Cell {
+    /// Looks up a metric by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// A full trajectory point: schema + date + fingerprint + matrix results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trajectory {
+    /// Always [`SCHEMA`] for files this code writes.
+    pub schema: String,
+    /// ISO date (`YYYY-MM-DD`) of the run.
+    pub date: String,
+    /// Machine the run happened on.
+    pub fingerprint: MachineFingerprint,
+    /// One entry per workload-matrix cell.
+    pub cells: Vec<Cell>,
+}
+
+impl Trajectory {
+    /// An empty trajectory stamped with `date` and the current machine.
+    pub fn new(date: &str) -> Self {
+        Trajectory {
+            schema: SCHEMA.to_owned(),
+            date: date.to_owned(),
+            fingerprint: MachineFingerprint::detect(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Serializes to pretty-ish JSON (one metric per line — the files are
+    /// committed as baselines, so diffs should be line-oriented).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", escape(&self.schema));
+        let _ = writeln!(out, "  \"date\": {},", escape(&self.date));
+        let _ = writeln!(
+            out,
+            "  \"machine\": {{\"os\": {}, \"arch\": {}, \"logical_cpus\": {}, \"crate_version\": {}}},",
+            escape(&self.fingerprint.os),
+            escape(&self.fingerprint.arch),
+            self.fingerprint.logical_cpus,
+            escape(&self.fingerprint.crate_version)
+        );
+        out.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            let _ = writeln!(out, "    {{\"id\": {},", escape(&cell.id));
+            out.push_str("     \"metrics\": {\n");
+            for (j, (name, value)) in cell.metrics.iter().enumerate() {
+                let sep = if j + 1 == cell.metrics.len() { "" } else { "," };
+                let _ = writeln!(out, "       {}: {}{sep}", escape(name), fmt_f64(*value));
+            }
+            let sep = if i + 1 == self.cells.len() { "" } else { "," };
+            let _ = writeln!(out, "     }}}}{sep}");
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes [`Self::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Parses a trajectory file, validating the schema tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON, a missing/foreign schema tag,
+    /// or structurally wrong fields.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let root = json::parse(text).map_err(|e| e.to_string())?;
+        let schema = root
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing \"schema\"")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "schema mismatch: file is '{schema}', this tool reads '{SCHEMA}'"
+            ));
+        }
+        let date = root
+            .get("date")
+            .and_then(Json::as_str)
+            .ok_or("missing \"date\"")?
+            .to_owned();
+        let machine = root.get("machine").ok_or("missing \"machine\"")?;
+        let fingerprint = MachineFingerprint {
+            os: machine
+                .get("os")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            arch: machine
+                .get("arch")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            logical_cpus: machine
+                .get("logical_cpus")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            crate_version: machine
+                .get("crate_version")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+        };
+        let mut cells = Vec::new();
+        for cell in root
+            .get("cells")
+            .and_then(Json::as_array)
+            .ok_or("missing \"cells\"")?
+        {
+            let id = cell
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("cell missing \"id\"")?
+                .to_owned();
+            let metrics = cell
+                .get("metrics")
+                .and_then(Json::as_object)
+                .ok_or("cell missing \"metrics\"")?
+                .iter()
+                .map(|(name, value)| {
+                    value
+                        .as_f64()
+                        .map(|v| (name.clone(), v))
+                        .ok_or_else(|| format!("metric '{name}' is not a number"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            cells.push(Cell { id, metrics });
+        }
+        Ok(Trajectory {
+            schema: schema.to_owned(),
+            date,
+            fingerprint,
+            cells,
+        })
+    }
+}
+
+/// When does a metric delta count as a regression.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Relative growth that counts, e.g. `0.25` = +25%.
+    pub relative: f64,
+    /// Absolute growth floor — deltas smaller than this never count (kills
+    /// noise on near-zero metrics like sub-microsecond phases).
+    pub min_absolute: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            relative: 0.25,
+            min_absolute: 1000.0,
+        }
+    }
+}
+
+/// One metric that regressed beyond the thresholds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Cell id the metric lives in.
+    pub cell: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Candidate value.
+    pub new: f64,
+}
+
+impl Regression {
+    /// Growth factor (`new / base`; infinite when base is 0).
+    pub fn ratio(&self) -> f64 {
+        if self.base == 0.0 {
+            f64::INFINITY
+        } else {
+            self.new / self.base
+        }
+    }
+}
+
+/// The outcome of diffing two trajectories.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CompareReport {
+    /// Metrics that got worse beyond the thresholds.
+    pub regressions: Vec<Regression>,
+    /// Cells/metrics present in the baseline but absent from the candidate
+    /// (coverage loss — also a failure).
+    pub missing: Vec<String>,
+    /// Non-fatal observations (fingerprint drift, new cells).
+    pub notes: Vec<String>,
+}
+
+impl CompareReport {
+    /// True when CI should go red (non-advisory mode).
+    pub fn failed(&self) -> bool {
+        !self.regressions.is_empty() || !self.missing.is_empty()
+    }
+}
+
+/// Diffs `new` against `base` cell-by-cell.
+///
+/// # Errors
+///
+/// Returns a message when the two files carry different schema tags (the
+/// per-file tag is already validated by [`Trajectory::parse`]).
+pub fn compare(
+    base: &Trajectory,
+    new: &Trajectory,
+    thresholds: &Thresholds,
+) -> Result<CompareReport, String> {
+    if base.schema != new.schema {
+        return Err(format!(
+            "schema mismatch: base '{}' vs candidate '{}'",
+            base.schema, new.schema
+        ));
+    }
+    let mut report = CompareReport::default();
+    if base.fingerprint != new.fingerprint {
+        report.notes.push(format!(
+            "machine fingerprint differs (base {}/{} {} cpus v{}, candidate {}/{} {} cpus v{}) — treat deltas with suspicion",
+            base.fingerprint.os,
+            base.fingerprint.arch,
+            base.fingerprint.logical_cpus,
+            base.fingerprint.crate_version,
+            new.fingerprint.os,
+            new.fingerprint.arch,
+            new.fingerprint.logical_cpus,
+            new.fingerprint.crate_version,
+        ));
+    }
+    for base_cell in &base.cells {
+        let Some(new_cell) = new.cells.iter().find(|c| c.id == base_cell.id) else {
+            report.missing.push(base_cell.id.clone());
+            continue;
+        };
+        for (name, base_value) in &base_cell.metrics {
+            let Some(new_value) = new_cell.metric(name) else {
+                report.missing.push(format!("{}::{name}", base_cell.id));
+                continue;
+            };
+            let grew_relatively = new_value > base_value * (1.0 + thresholds.relative);
+            let grew_absolutely = new_value - base_value > thresholds.min_absolute;
+            if grew_relatively && grew_absolutely {
+                report.regressions.push(Regression {
+                    cell: base_cell.id.clone(),
+                    metric: name.clone(),
+                    base: *base_value,
+                    new: new_value,
+                });
+            }
+        }
+    }
+    for new_cell in &new.cells {
+        if !base.cells.iter().any(|c| c.id == new_cell.id) {
+            report
+                .notes
+                .push(format!("new cell '{}' has no baseline", new_cell.id));
+        }
+    }
+    Ok(report)
+}
+
+/// Today's date as `YYYY-MM-DD` (UTC), from the system clock — the civil
+/// date algorithm of Howard Hinnant's `days_from_civil`, inverted.
+pub fn today_iso() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Converts days-since-1970-01-01 to (year, month, day).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        // JSON has no Inf/NaN; clamp (metrics are all non-negative).
+        return "0".to_owned();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(id: &str, latency: f64) -> Cell {
+        Cell {
+            id: id.to_owned(),
+            metrics: vec![
+                ("round.latency_ns.mean".to_owned(), latency),
+                ("ssd.pages_written".to_owned(), 128.0),
+            ],
+        }
+    }
+
+    fn trajectory(latency: f64) -> Trajectory {
+        let mut t = Trajectory::new("2026-08-06");
+        t.cells.push(cell("entries4096.clients8.fedavg", latency));
+        t
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let t = trajectory(1_500_000.0);
+        let parsed = Trajectory::parse(&t.to_json()).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn parse_rejects_foreign_schema() {
+        let text = trajectory(1.0).to_json().replace(SCHEMA, "other/v9");
+        let err = Trajectory::parse(&text).unwrap_err();
+        assert!(err.contains("schema mismatch"), "{err}");
+    }
+
+    #[test]
+    fn compare_flags_injected_regression_beyond_threshold() {
+        let base = trajectory(1_000_000.0);
+        let bad = trajectory(1_600_000.0); // +60% > 25% threshold
+        let report = compare(&base, &bad, &Thresholds::default()).unwrap();
+        assert!(report.failed());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].metric, "round.latency_ns.mean");
+        assert!((report.regressions[0].ratio() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_tolerates_noise_within_threshold() {
+        let base = trajectory(1_000_000.0);
+        let ok = trajectory(1_100_000.0); // +10% < 25% threshold
+        let report = compare(&base, &ok, &Thresholds::default()).unwrap();
+        assert!(!report.failed(), "{:?}", report.regressions);
+    }
+
+    #[test]
+    fn compare_ignores_tiny_absolute_deltas() {
+        // 10ns → 100ns is +900% relative but under the absolute floor.
+        let base = trajectory(10.0);
+        let noisy = trajectory(100.0);
+        let report = compare(&base, &noisy, &Thresholds::default()).unwrap();
+        assert!(!report.failed());
+    }
+
+    #[test]
+    fn compare_reports_missing_cells_as_failures() {
+        let base = trajectory(1_000_000.0);
+        let mut thin = trajectory(1_000_000.0);
+        thin.cells.clear();
+        let report = compare(&base, &thin, &Thresholds::default()).unwrap();
+        assert!(report.failed());
+        assert_eq!(report.missing, vec!["entries4096.clients8.fedavg"]);
+    }
+
+    #[test]
+    fn fingerprint_drift_is_a_note_not_a_failure() {
+        let base = trajectory(1.0);
+        let mut other = trajectory(1.0);
+        other.fingerprint.logical_cpus += 1;
+        let report = compare(&base, &other, &Thresholds::default()).unwrap();
+        assert!(!report.failed());
+        assert_eq!(report.notes.len(), 1);
+    }
+
+    #[test]
+    fn today_iso_is_well_formed() {
+        let d = today_iso();
+        assert_eq!(d.len(), 10);
+        assert_eq!(&d[4..5], "-");
+        // Sanity: the epoch math must not have drifted into the past.
+        assert!(d.as_str() >= "2026-01-01", "{d}");
+    }
+
+    #[test]
+    fn civil_from_days_hits_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year start
+        assert_eq!(civil_from_days(20_671), (2026, 8, 6));
+    }
+}

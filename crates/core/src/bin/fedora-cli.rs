@@ -40,8 +40,10 @@ COMMANDS:
 
 Every command also accepts --metrics-out PATH to write a telemetry
 snapshot (counters, gauges, histogram percentiles, event journal) as
-single-line JSON. For `round` this is the live pipeline's full registry;
-the analytic commands export their computed figures as gauges.
+single-line JSON, and --trace-out PATH to capture causal spans as
+Chrome trace-event JSON (open in https://ui.perfetto.dev). For `round`
+these reflect the live pipeline's full registry; the analytic commands
+export their computed figures as gauges.
 ";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -60,13 +62,30 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     Ok(flags)
 }
 
-/// Writes `snapshot` as JSON when `--metrics-out PATH` was given.
+/// Builds the registry a command reports into, with causal tracing
+/// pre-enabled when `--trace-out` asks for a trace.
+fn registry_for(flags: &HashMap<String, String>) -> Registry {
+    let registry = Registry::new();
+    if flags.contains_key("trace-out") {
+        registry.set_tracing(true);
+    }
+    registry
+}
+
+/// Writes `snapshot` as JSON when `--metrics-out PATH` was given, and as
+/// Chrome trace-event JSON when `--trace-out PATH` was given.
 fn write_metrics(flags: &HashMap<String, String>, snapshot: &Snapshot) -> Result<(), String> {
     if let Some(path) = flags.get("metrics-out") {
         snapshot
             .write_json(std::path::Path::new(path))
             .map_err(|e| format!("--metrics-out {path}: {e}"))?;
         println!("  metrics written to {path}");
+    }
+    if let Some(path) = flags.get("trace-out") {
+        snapshot
+            .write_chrome_trace(std::path::Path::new(path))
+            .map_err(|e| format!("--trace-out {path}: {e}"))?;
+        println!("  trace written to {path} (load in https://ui.perfetto.dev)");
     }
     Ok(())
 }
@@ -131,7 +150,7 @@ fn cmd_lifetime(flags: &HashMap<String, String>) -> Result<(), String> {
         "  FEDORA lifetime:     {fed_life:.2} months  ({:.0}x)",
         fed_life / base_life
     );
-    let registry = Registry::new();
+    let registry = registry_for(flags);
     registry
         .gauge("model.lifetime.path_oram_plus_months")
         .set(base_life);
@@ -179,7 +198,7 @@ fn cmd_latency(flags: &HashMap<String, String>) -> Result<(), String> {
         fed.controller_ns / 1e9,
         fed.eviction_ns / 1e9
     );
-    let registry = Registry::new();
+    let registry = registry_for(flags);
     registry
         .gauge("model.latency.path_oram_plus_s")
         .set(base.total_s());
@@ -218,7 +237,8 @@ fn cmd_round(flags: &HashMap<String, String>) -> Result<(), String> {
     } else {
         PrivacyConfig::with_epsilon(epsilon)
     };
-    let mut server = FedoraServer::new(config, |_| vec![0u8; 32], &mut rng);
+    let mut server =
+        FedoraServer::with_telemetry(config, |_| vec![0u8; 32], registry_for(flags), &mut rng);
     let _report = server
         .begin_round(&requests, &mut rng)
         .map_err(|e| e.to_string())?;
@@ -250,6 +270,17 @@ fn cmd_round(flags: &HashMap<String, String>) -> Result<(), String> {
         "  SSD: {} pages read, {} pages written",
         done.ssd.pages_read, done.ssd.pages_written
     );
+    let phases = done.phases;
+    println!(
+        "  phases: union {:.3} ms, fetch {:.3} ms, serve {:.3} ms, \
+         aggregate {:.3} ms, write {:.3} ms (round {:.3} ms)",
+        phases.union_ns as f64 / 1e6,
+        phases.fetch_ns as f64 / 1e6,
+        phases.serve_ns as f64 / 1e6,
+        phases.aggregate_ns as f64 / 1e6,
+        phases.write_ns as f64 / 1e6,
+        phases.round_ns as f64 / 1e6,
+    );
     write_metrics(flags, &server.metrics_snapshot())
 }
 
@@ -266,7 +297,7 @@ fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("Optimal access-count distinguisher at eps = {epsilon} ({trials} trials):");
     println!("  success rate: {:.2}%", out.success_rate * 100.0);
     println!("  DP bound:     {:.2}%", dp_success_bound(epsilon) * 100.0);
-    let registry = Registry::new();
+    let registry = registry_for(flags);
     registry.gauge("attack.success_rate").set(out.success_rate);
     registry
         .gauge("attack.dp_bound")

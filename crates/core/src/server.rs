@@ -1,6 +1,7 @@
 //! The FEDORA controller: the round pipeline of Figure 4.
 
 use std::collections::HashSet;
+use std::time::Instant;
 
 use fedora_crypto::IntegrityError;
 use fedora_fdp::{ChunkPlan, FdpAccountant};
@@ -12,7 +13,7 @@ use fedora_oram::store::{BucketStore, IntegrityStats, ScrubReport, SsdBucketStor
 use fedora_oram::OramError;
 use fedora_storage::stats::DeviceStats;
 use fedora_storage::{FaultConfig, FaultStats};
-use fedora_telemetry::{Counter, Registry, Snapshot};
+use fedora_telemetry::{Counter, Registry, Snapshot, TraceSpan};
 use rand::Rng;
 
 use crate::config::{FedoraConfig, SelectionStrategy};
@@ -86,6 +87,41 @@ impl core::fmt::Display for FedoraError {
 
 impl std::error::Error for FedoraError {}
 
+/// Host wall-clock time spent in each phase of one round, in nanoseconds.
+///
+/// The five phase fields partition [`PhaseBreakdown::round_ns`] exactly:
+/// `round_ns` accumulates the same measured intervals the phases do, so
+/// `sum_ns() == round_ns` by construction (up to one clock-granularity
+/// rounding in `fetch_ns`, which is derived as read-phase minus union).
+/// Note these are *host* times — the simulated device latencies of the cost
+/// model live in the `DeviceStats` fields and `trace.io` records instead.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Oblivious-union scans across all chunks (step ①).
+    pub union_ns: u64,
+    /// Rest of the read phase: FDP sampling, ordering, main-ORAM fetches
+    /// and buffer loads (steps ②–③).
+    pub fetch_ns: u64,
+    /// Serving user downloads from the buffer ORAM (step ④), summed over
+    /// every `serve` call.
+    pub serve_ns: u64,
+    /// Gradient aggregation into the buffer ORAM (step ⑥), summed over
+    /// every `aggregate` call.
+    pub aggregate_ns: u64,
+    /// Write phase: buffer drain, main-ORAM insertions and EO evictions,
+    /// report finalization (step ⑦).
+    pub write_ns: u64,
+    /// Total measured round time (sum of the intervals above).
+    pub round_ns: u64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of the five phase fields (equals [`PhaseBreakdown::round_ns`]).
+    pub fn sum_ns(&self) -> u64 {
+        self.union_ns + self.fetch_ns + self.serve_ns + self.aggregate_ns + self.write_ns
+    }
+}
+
 /// Everything observable/countable about one round, used by the latency,
 /// lifetime, and cost models.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -113,6 +149,8 @@ pub struct RoundReport {
     /// Integrity events (detections, retries, recoveries, quarantines)
     /// observed on the main ORAM during this round.
     pub integrity: IntegrityStats,
+    /// Host wall-time spent per phase of this round.
+    pub phases: PhaseBreakdown,
     /// Telemetry snapshot at round completion (cumulative registry state:
     /// counters, gauges, histogram summaries — no journal events). Empty
     /// when the server runs with a disabled registry.
@@ -188,6 +226,10 @@ pub struct FedoraServer {
     quarantined_ids: HashSet<u64>,
     registry: Registry,
     telemetry: FlTelemetry,
+    /// Trace span covering the active round (tracing only). Held here
+    /// rather than in `RoundState` so the clonable state stays clonable;
+    /// closed on `end_round`, or on abort with an `aborted` attribute.
+    round_span: Option<TraceSpan>,
 }
 
 impl FedoraServer {
@@ -240,6 +282,7 @@ impl FedoraServer {
             quarantined_ids: HashSet::new(),
             registry,
             telemetry,
+            round_span: None,
         }
     }
 
@@ -386,6 +429,15 @@ impl FedoraServer {
                 ("k_requests", (requests.len() as u64).into()),
             ],
         );
+        // The round's trace span stays open across serve/aggregate calls
+        // until end_round (or abort) closes it.
+        self.round_span = Some(self.registry.trace_span_with(
+            "round",
+            &[
+                ("round", (self.completed.len() as u64).into()),
+                ("k_requests", (requests.len() as u64).into()),
+            ],
+        ));
         let mut state = RoundState {
             report: RoundReport {
                 k_requests: requests.len(),
@@ -400,8 +452,14 @@ impl FedoraServer {
             snapshot,
         };
 
+        let read_started = Instant::now();
         match self.read_phase(requests, &mut state, rng) {
             Ok(()) => {
+                // fetch time = read phase minus the union scans timed inside
+                // it, so the phase fields keep partitioning round_ns exactly.
+                let read_ns = read_started.elapsed().as_nanos() as u64;
+                state.report.phases.fetch_ns = read_ns.saturating_sub(state.report.phases.union_ns);
+                state.report.phases.round_ns += read_ns;
                 let partial = state.report.clone();
                 self.active = Some(state);
                 Ok(partial)
@@ -417,12 +475,20 @@ impl FedoraServer {
         state: &mut RoundState,
         rng: &mut R,
     ) -> Result<(), FedoraError> {
+        let _trace = self.registry.trace_span("round.read");
         for chunk in requests.chunks(self.chunk_plan.chunk_size()) {
             if chunk.is_empty() {
                 continue;
             }
             // ① Oblivious union (data-independent scan over the chunk).
-            let union = oblivious_union(chunk, chunk.len());
+            let union_started = Instant::now();
+            let union = {
+                let _u = self
+                    .registry
+                    .trace_span_with("round.union", &[("chunk_len", chunk.len().into())]);
+                oblivious_union(chunk, chunk.len())
+            };
+            state.report.phases.union_ns += union_started.elapsed().as_nanos() as u64;
             state.report.union_scan_slots +=
                 requests_scan_cost(chunk.len(), self.chunk_plan.chunk_size());
             let k_union = union.len_real();
@@ -492,6 +558,13 @@ impl FedoraServer {
     /// everything else propagates unchanged (non-transactional mode keeps
     /// the cheap fail-fast behaviour).
     fn abort_round(&mut self, mut state: RoundState, err: FedoraError) -> FedoraError {
+        // Any path through here ends the round attempt: close the round's
+        // trace span (mid-round child spans already unwound via their own
+        // drop guards) and mark it so trace consumers can tell an aborted
+        // tree from a completed one.
+        if let Some(mut span) = self.round_span.take() {
+            span.attr("aborted", true);
+        }
         let FedoraError::Oram(OramError::Integrity { kind, node }) = err else {
             return err;
         };
@@ -572,7 +645,23 @@ impl FedoraServer {
     /// [`FedoraError::UnknownEntry`] for ids outside this round's union;
     /// [`FedoraError::NoActiveRound`] outside a round.
     pub fn serve<R: Rng>(&mut self, id: u64, rng: &mut R) -> Result<Option<Vec<u8>>, FedoraError> {
+        let started = Instant::now();
+        let result = self.serve_inner(id, rng);
+        if let Some(state) = self.active.as_mut() {
+            let ns = started.elapsed().as_nanos() as u64;
+            state.report.phases.serve_ns += ns;
+            state.report.phases.round_ns += ns;
+        }
+        result
+    }
+
+    fn serve_inner<R: Rng>(
+        &mut self,
+        id: u64,
+        rng: &mut R,
+    ) -> Result<Option<Vec<u8>>, FedoraError> {
         let state = self.active.as_ref().ok_or(FedoraError::NoActiveRound)?;
+        let _trace = self.registry.trace_span("round.serve");
         if state.lost_ids.contains(&id) {
             self.telemetry.lost_serves.incr();
             return Ok(None);
@@ -602,7 +691,26 @@ impl FedoraServer {
         n_samples: u32,
         rng: &mut R,
     ) -> Result<bool, FedoraError> {
+        let started = Instant::now();
+        let result = self.aggregate_inner(mode, id, gradient, n_samples, rng);
+        if let Some(state) = self.active.as_mut() {
+            let ns = started.elapsed().as_nanos() as u64;
+            state.report.phases.aggregate_ns += ns;
+            state.report.phases.round_ns += ns;
+        }
+        result
+    }
+
+    fn aggregate_inner<M: AggregationMode, R: Rng>(
+        &mut self,
+        mode: &M,
+        id: u64,
+        gradient: &[f32],
+        n_samples: u32,
+        rng: &mut R,
+    ) -> Result<bool, FedoraError> {
         let state = self.active.as_ref().ok_or(FedoraError::NoActiveRound)?;
+        let _trace = self.registry.trace_span("round.aggregate");
         // The client's upload arrived either way — count its bytes even
         // when the entry was lost and the gradient is dropped.
         self.telemetry
@@ -637,7 +745,11 @@ impl FedoraServer {
     ) -> Result<RoundReport, FedoraError> {
         let mut state = self.active.take().ok_or(FedoraError::NoActiveRound)?;
         match self.write_phase(mode, server_lr, &mut state, rng) {
-            Ok(report) => Ok(report),
+            Ok(report) => {
+                // Close the round's trace span (emits trace.end).
+                self.round_span = None;
+                Ok(report)
+            }
             Err(e) => Err(self.abort_round(state, e)),
         }
     }
@@ -650,6 +762,8 @@ impl FedoraServer {
         state: &mut RoundState,
         rng: &mut R,
     ) -> Result<RoundReport, FedoraError> {
+        let write_started = Instant::now();
+        let _trace = self.registry.trace_span("round.write");
         let drained = self.buffer.drain_round(rng)?;
         for entry in drained.entries {
             let mut agg = entry.gradient;
@@ -685,6 +799,10 @@ impl FedoraServer {
         self.accountant
             .record_round(self.config.privacy.mechanism.epsilon());
         self.telemetry.rounds_completed.incr();
+        let write_ns = write_started.elapsed().as_nanos() as u64;
+        state.report.phases.write_ns = write_ns;
+        state.report.phases.round_ns += write_ns;
+        self.publish_phase_gauges(&state.report.phases);
         self.registry.event(
             "round.end",
             &[
@@ -697,6 +815,25 @@ impl FedoraServer {
         state.report.metrics = self.registry.snapshot_lite();
         self.completed.push(state.report.clone());
         Ok(state.report.clone())
+    }
+
+    /// Mirrors the latest round's phase breakdown into `round.phase.*`
+    /// gauges so flat metric consumers (BENCH files, CSV) see it without
+    /// parsing reports.
+    fn publish_phase_gauges(&self, phases: &PhaseBreakdown) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        for (name, ns) in [
+            ("round.phase.union_ns", phases.union_ns),
+            ("round.phase.fetch_ns", phases.fetch_ns),
+            ("round.phase.serve_ns", phases.serve_ns),
+            ("round.phase.aggregate_ns", phases.aggregate_ns),
+            ("round.phase.write_ns", phases.write_ns),
+            ("round.phase.round_ns", phases.round_ns),
+        ] {
+            self.registry.gauge(name).set_u64(ns);
+        }
     }
 
     /// Reads the whole table out of the main ORAM (fetch + reinsert each

@@ -145,14 +145,17 @@ pub fn train_with_fedora_mode<M: AggregationMode, R: Rng>(
     let all_users: Vec<u32> = (0..dataset.users().len() as u32).collect();
     let mut outcome = TrainingOutcome::default();
 
+    let registry = server.registry().clone();
+
     for _ in 0..config.rounds {
+        // ① Client-side sampling: pick the cohort and build the request
+        // stream (every user's possibly-padded history, concatenated).
+        let sample_span = registry.trace_span("client.sample");
         let selected: Vec<u32> = all_users
             .choose_multiple(rng, config.users_per_round)
             .copied()
             .collect();
 
-        // ① Build the request stream: every user's (possibly padded)
-        // history, concatenated.
         let mut per_user_requests: Vec<(u32, Vec<u64>, usize)> = Vec::new();
         for &user in &selected {
             let (reqs, real) = match padded {
@@ -169,6 +172,7 @@ pub fn train_with_fedora_mode<M: AggregationMode, R: Rng>(
             .iter()
             .flat_map(|(_, reqs, _)| reqs.iter().copied())
             .collect();
+        drop(sample_span);
         if requests.is_empty() {
             continue;
         }
@@ -185,6 +189,8 @@ pub fn train_with_fedora_mode<M: AggregationMode, R: Rng>(
         for (user, reqs, real) in &per_user_requests {
             // Serve every request (including padding — the dummy requests
             // cost a buffer access each, like any other).
+            let download_span =
+                registry.trace_span_with("client.download", &[("user", (*user).into())]);
             let mut rows: HashMap<u64, Option<Vec<f32>>> = HashMap::new();
             for (i, &id) in reqs.iter().enumerate() {
                 let served = server.serve(id, rng)?;
@@ -192,20 +198,26 @@ pub fn train_with_fedora_mode<M: AggregationMode, R: Rng>(
                     rows.insert(id, served.map(|b| init_model.row_from_bytes(&b)));
                 }
             }
+            drop(download_span);
             let history: Vec<u64> = reqs[..*real].to_vec();
             let ud = dataset.user(*user);
-            let Some(update) = config
+            let train_span = registry.trace_span_with("client.train", &[("user", (*user).into())]);
+            let trained = config
                 .trainer
-                .train(model, &ud.train, &history, Some(&rows))
-            else {
+                .train(model, &ud.train, &history, Some(&rows));
+            drop(train_span);
+            let Some(update) = trained else {
                 continue;
             };
             let n = update.n_samples;
 
             // Private rows flow through the buffer ORAM.
+            let upload_span =
+                registry.trace_span_with("client.upload", &[("user", (*user).into())]);
             for (id, g) in &update.history_deltas {
                 server.aggregate(mode, *id, g, n, rng)?;
             }
+            drop(upload_span);
             // Public parts: conventional FedAvg outside the ORAM.
             let mut dd = update.dense_delta;
             let scale = n as f32;

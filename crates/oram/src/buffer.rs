@@ -273,6 +273,10 @@ impl BufferOram {
                 capacity: self.capacity,
             });
         }
+        let _trace = self
+            .telemetry
+            .registry
+            .trace_span_with("buffer.load", &[("kind", "entry".into())]);
         let slot = self.loaded.len() as u64;
         let zeros = vec![0f32; self.entry_bytes / 4];
         let block = Self::encode(entry, &zeros, 0.0);
@@ -296,6 +300,10 @@ impl BufferOram {
                 capacity: self.capacity,
             });
         }
+        let _trace = self
+            .telemetry
+            .registry
+            .trace_span_with("buffer.load", &[("kind", "dummy".into())]);
         let slot = self.loaded.len() as u64;
         let zeros = vec![0f32; self.entry_bytes / 4];
         let entry = vec![0u8; self.entry_bytes];
@@ -316,6 +324,7 @@ impl BufferOram {
     /// mechanism this round (callers then apply their lost-entry strategy).
     pub fn serve<R: Rng>(&mut self, id: u64, rng: &mut R) -> Result<Vec<u8>, BufferError> {
         let slot = self.slot_of(id)?;
+        let _trace = self.telemetry.registry.trace_span("buffer.serve");
         let block = self.oram.read(slot, rng)?;
         self.telemetry.serves.incr();
         Ok(block[..self.entry_bytes].to_vec())
@@ -345,6 +354,7 @@ impl BufferOram {
             "gradient size mismatch"
         );
         let slot = self.slot_of(id)?;
+        let _trace = self.telemetry.registry.trace_span("buffer.aggregate");
         let block = self.oram.read(slot, rng)?;
         let mut agg = self.decode(id, &block);
         for (a, g) in agg.gradient.iter_mut().zip(gradient) {
@@ -365,6 +375,10 @@ impl BufferOram {
     ///
     /// Backend ORAM errors propagate.
     pub fn drain_round<R: Rng>(&mut self, rng: &mut R) -> Result<DrainedRound, BufferError> {
+        let _trace = self
+            .telemetry
+            .registry
+            .trace_span_with("buffer.drain", &[("slots", self.loaded.len().into())]);
         let loaded = std::mem::take(&mut self.loaded);
         let mut out = DrainedRound::default();
         for (id, slot) in loaded {

@@ -91,6 +91,12 @@ struct OramTelemetry {
     insertions: Counter,
     stash_len: Gauge,
     stash_high_water: Gauge,
+    /// Eviction-tuning report: suggested eviction period `A` derived from
+    /// the stash high-water mark and the access/eviction latency histograms.
+    suggested_a: Gauge,
+    /// Back-reference for causal trace spans (disabled handle when
+    /// detached, so spans stay free).
+    registry: Registry,
 }
 
 impl OramTelemetry {
@@ -104,6 +110,8 @@ impl OramTelemetry {
             insertions: registry.counter("oram.insertions"),
             stash_len: registry.gauge("oram.stash.len"),
             stash_high_water: registry.gauge("oram.stash.high_water"),
+            suggested_a: registry.gauge("oram.eviction.suggested_a"),
+            registry: registry.clone(),
         }
     }
 }
@@ -214,6 +222,38 @@ impl<S: BucketStore> RawOram<S> {
         self.telemetry = OramTelemetry::attach(registry);
         self.store.set_telemetry(registry);
         self.vtree.set_telemetry(registry);
+        // Until evictions produce data, the configured period is the best
+        // suggestion — registering it eagerly keeps the gauge in every
+        // snapshot (ROADMAP: eviction-tuning report).
+        self.telemetry
+            .suggested_a
+            .set_u64(u64::from(self.config.eviction_period));
+    }
+
+    /// Recomputes `oram.eviction.suggested_a` from the stash high-water mark
+    /// and the observed access/eviction latencies. Two pressures:
+    ///
+    /// * **Backlog**: a stash high-water mark running past `2A` says paths
+    ///   fill faster than evictions drain them — shrink the period; a mark
+    ///   well under `A` says evictions are wastefully frequent — stretch it
+    ///   (bounded to 0.5–2× per report so the suggestion moves smoothly).
+    /// * **Latency floor**: below `mean(eviction) / mean(access)` the
+    ///   amortized per-insertion eviction cost would exceed one access, so
+    ///   suggestions never drop under that ratio.
+    fn update_suggested_a(&self) {
+        if !self.telemetry.registry.is_enabled() {
+            return;
+        }
+        let a = f64::from(self.config.eviction_period);
+        let high_water = self.stash.high_water() as f64;
+        let backlog = (2.0 * a / high_water.max(1.0)).clamp(0.5, 2.0);
+        let mut suggested = (a * backlog).max(1.0);
+        let access = self.telemetry.access_latency.summary();
+        let eviction = self.telemetry.eviction_latency.summary();
+        if access.count > 0 && eviction.count > 0 && access.mean() > 0.0 {
+            suggested = suggested.max((eviction.mean() / access.mean()).max(1.0));
+        }
+        self.telemetry.suggested_a.set(suggested.round());
     }
 
     fn note_stash(&mut self) {
@@ -322,6 +362,10 @@ impl<S: BucketStore> RawOram<S> {
     /// MissingBlock`] if the invariant is broken (corruption).
     pub fn fetch<R: Rng>(&mut self, id: u64, _rng: &mut R) -> Result<Block, OramError> {
         self.check_id(id)?;
+        let _trace = self
+            .telemetry
+            .registry
+            .trace_span_with("oram.access", &[("kind", "ao".into())]);
         let _timer = self.telemetry.access_latency.start_timer();
         self.telemetry.ao_accesses.incr();
         let leaf = self.position.get(id);
@@ -352,6 +396,10 @@ impl<S: BucketStore> RawOram<S> {
     /// A dummy AO access: reads a uniformly random path and discards it.
     /// Used for the FDP mechanism's padding accesses (`k > k_union`).
     pub fn dummy_fetch<R: Rng>(&mut self, rng: &mut R) -> Result<(), OramError> {
+        let _trace = self
+            .telemetry
+            .registry
+            .trace_span_with("oram.access", &[("kind", "dummy".into())]);
         let _timer = self.telemetry.access_latency.start_timer();
         self.telemetry.dummy_accesses.incr();
         let geo = self.store.geometry();
@@ -426,7 +474,8 @@ impl<S: BucketStore> RawOram<S> {
     ///
     /// Store errors propagate.
     pub fn eo_access(&mut self) -> Result<(), OramError> {
-        let _timer = self.telemetry.eviction_latency.start_timer();
+        let _trace = self.telemetry.registry.trace_span("oram.eviction");
+        let timer = self.telemetry.eviction_latency.start_timer();
         self.telemetry.eo_accesses.incr();
         let geo = self.store.geometry();
         let e = self.eo_counter.advance();
@@ -461,7 +510,10 @@ impl<S: BucketStore> RawOram<S> {
             self.vtree.set_bucket(node, &bits);
         }
         self.note_stash();
-        self.store.write_path(leaf, &out_path)
+        let result = self.store.write_path(leaf, &out_path);
+        timer.stop(); // record this eviction before deriving the suggestion
+        self.update_suggested_a();
+        result
     }
 
     /// Vanilla RAW ORAM access (read, or write when `new_payload` is
@@ -724,6 +776,56 @@ mod tests {
         );
         assert!(snap.counter("oram.vtree.lookups").unwrap_or(0) > 0);
         assert!(snap.counter("dram.store.pages_read").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn suggested_eviction_period_reported_in_every_snapshot() {
+        let registry = Registry::new();
+        let (mut o, mut rng) = oram(32, 4, 12);
+        o.set_telemetry(&registry);
+        // Present (at the configured A) before any eviction has run.
+        assert_eq!(
+            registry.snapshot().gauge("oram.eviction.suggested_a"),
+            Some(4.0)
+        );
+        for id in 0..16u64 {
+            let b = o.fetch(id, &mut rng).unwrap();
+            o.insert(b.id, b.payload, &mut rng).unwrap();
+        }
+        let suggested = registry
+            .snapshot()
+            .gauge("oram.eviction.suggested_a")
+            .expect("gauge present after evictions");
+        // The heuristic is bounded: 0.5–2x the configured period, or the
+        // eviction/access latency ratio floor — never zero or negative.
+        assert!(suggested >= 1.0, "suggested A {suggested} below 1");
+    }
+
+    #[test]
+    fn traced_round_emits_oram_spans() {
+        let registry = Registry::new();
+        registry.set_tracing(true);
+        let (mut o, mut rng) = oram(32, 4, 12);
+        o.set_telemetry(&registry);
+        let b = o.fetch(3, &mut rng).unwrap();
+        for _ in 0..4 {
+            o.dummy_fetch(&mut rng).unwrap();
+        }
+        o.insert(b.id, b.payload, &mut rng).unwrap();
+        o.flush(8).unwrap();
+        let events = registry.snapshot().events;
+        let begins: Vec<String> = events
+            .iter()
+            .filter(|e| e.name == "trace.begin")
+            .filter_map(|e| match e.field("name") {
+                Some(fedora_telemetry::Value::Str(s)) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(begins.iter().any(|n| n == "oram.access"));
+        assert!(begins.iter().any(|n| n == "oram.eviction"));
+        // Device I/O records attribute under the spans.
+        assert!(events.iter().any(|e| e.name == "trace.io"));
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub struct VTree {
     dram: SimDram,
     lookups: Counter,
     updates: Counter,
+    registry: Registry,
 }
 
 impl VTree {
@@ -42,6 +43,7 @@ impl VTree {
             dram: SimDram::new(profile, bytes),
             lookups: Counter::noop(),
             updates: Counter::noop(),
+            registry: Registry::disabled(),
         }
     }
 
@@ -51,6 +53,7 @@ impl VTree {
     pub fn set_telemetry(&mut self, registry: &Registry) {
         self.lookups = registry.counter("oram.vtree.lookups");
         self.updates = registry.counter("oram.vtree.updates");
+        self.registry = registry.clone();
         self.dram
             .set_telemetry(DeviceTelemetry::attach(registry, "dram.vtree"));
     }
@@ -115,6 +118,9 @@ impl VTree {
 
     /// Reads the whole bucket's valid bits at once (mirrors a path access).
     pub fn get_bucket(&mut self, node: u64) -> Vec<bool> {
+        let _trace = self
+            .registry
+            .trace_span_with("oram.vtree.bucket", &[("op", "get".into())]);
         (0..self.geometry.z()).map(|s| self.get(node, s)).collect()
     }
 
@@ -125,6 +131,9 @@ impl VTree {
     /// Panics if `bits.len() != Z`.
     pub fn set_bucket(&mut self, node: u64, bits: &[bool]) {
         assert_eq!(bits.len(), self.geometry.z(), "one bit per slot");
+        let _trace = self
+            .registry
+            .trace_span_with("oram.vtree.bucket", &[("op", "set".into())]);
         for (s, &b) in bits.iter().enumerate() {
             self.set(node, s, b);
         }

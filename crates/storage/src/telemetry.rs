@@ -27,6 +27,12 @@ pub struct DeviceTelemetry {
     faults_bitflip: Counter,
     faults_rollback: Counter,
     faults_transient: Counter,
+    /// Back-reference for causal tracing: when tracing is enabled on the
+    /// registry, every record becomes a `trace.io` event attributing the
+    /// *simulated* device latency to the span that caused the I/O.
+    registry: Registry,
+    trace_read: String,
+    trace_write: String,
 }
 
 impl DeviceTelemetry {
@@ -47,6 +53,9 @@ impl DeviceTelemetry {
             faults_bitflip: registry.counter(&format!("{prefix}.faults.bitflip")),
             faults_rollback: registry.counter(&format!("{prefix}.faults.rollback")),
             faults_transient: registry.counter(&format!("{prefix}.faults.transient")),
+            registry: registry.clone(),
+            trace_read: format!("{prefix}.read"),
+            trace_write: format!("{prefix}.write"),
         }
     }
 
@@ -62,6 +71,7 @@ impl DeviceTelemetry {
         self.pages_read.add(pages);
         self.bytes_read.add(bytes);
         self.read_latency.record(ns);
+        self.registry.trace_io(&self.trace_read, ns, pages, bytes);
     }
 
     /// Mirrors a write, as for [`record_read`](Self::record_read).
@@ -69,6 +79,7 @@ impl DeviceTelemetry {
         self.pages_written.add(pages);
         self.bytes_written.add(bytes);
         self.write_latency.record(ns);
+        self.registry.trace_io(&self.trace_write, ns, pages, bytes);
     }
 
     /// Mirrors an injected bit-flip fault surfacing in read traffic.
@@ -126,6 +137,33 @@ mod tests {
         t.record_read(1, 4096, 1);
         t.fault_bitflip();
         // Nothing to observe — this must simply not panic or allocate.
+    }
+
+    #[test]
+    fn tracing_attributes_simulated_latency_per_stream() {
+        let r = Registry::new();
+        r.set_tracing(true);
+        let t = DeviceTelemetry::attach(&r, "storage");
+        {
+            let _span = r.trace_span("oram.eviction");
+            t.record_write(2, 2 * 4096, 50_000);
+        }
+        t.record_read(1, 4096, 25_000); // outside any span → parent 0
+        let events = r.snapshot().events;
+        let ios: Vec<_> = events.iter().filter(|e| e.name == "trace.io").collect();
+        assert_eq!(ios.len(), 2);
+        assert_eq!(
+            ios[0].field("name"),
+            Some(&fedora_telemetry::Value::Str("storage.write".into()))
+        );
+        assert_eq!(
+            ios[0].field("dur"),
+            Some(&fedora_telemetry::Value::U64(50_000))
+        );
+        assert_eq!(
+            ios[1].field("parent"),
+            Some(&fedora_telemetry::Value::U64(0))
+        );
     }
 
     #[test]

@@ -136,6 +136,124 @@ impl Snapshot {
         out
     }
 
+    /// Exports the journal's `trace.*` records as Chrome trace-event JSON,
+    /// loadable in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+    ///
+    /// `trace.begin`/`trace.end` records become `B`/`E` duration events on
+    /// their originating thread's track; `trace.io` records become `X`
+    /// complete events on one synthetic track per I/O stream, whose duration
+    /// is the *simulated* device latency placed at the host timestamp that
+    /// caused it (so modeled I/O time can overhang the causing host-time
+    /// span). Span/parent ids and attributes ride in `args`, preserving the
+    /// causal tree even for viewers that only show flat slices. Timestamps
+    /// are microseconds relative to the registry's epoch.
+    pub fn to_chrome_trace(&self) -> String {
+        // Stable synthetic tracks: spans keep their thread's tid; each I/O
+        // stream gets its own lane well above any real tid.
+        let mut span_tids: Vec<u64> = Vec::new();
+        let mut io_streams: Vec<String> = Vec::new();
+        for e in &self.events {
+            match e.name.as_str() {
+                "trace.begin" | "trace.end" => {
+                    let tid = field_u64(e, "tid");
+                    if !span_tids.contains(&tid) {
+                        span_tids.push(tid);
+                    }
+                }
+                "trace.io" => {
+                    let stream = field_str(e, "name").to_string();
+                    if !io_streams.contains(&stream) {
+                        io_streams.push(stream);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let io_tid = |stream: &str| -> u64 {
+            const IO_TRACK_BASE: u64 = 1_000_000;
+            IO_TRACK_BASE + io_streams.iter().position(|s| s == stream).unwrap_or(0) as u64
+        };
+
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{\"name\":\"fedora\"}}",
+        );
+        for tid in &span_tids {
+            out.push_str(&format!(
+                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"thread-{tid}\"}}}}"
+            ));
+        }
+        for stream in &io_streams {
+            out.push_str(&format!(
+                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":\"io: {}\"}}}}",
+                io_tid(stream),
+                escape_json(stream)
+            ));
+        }
+        for e in &self.events {
+            let known: &[&str] = match e.name.as_str() {
+                "trace.begin" => &["span", "parent", "name", "tid", "t"],
+                "trace.end" => &["span", "name", "tid", "t"],
+                "trace.io" => &["name", "tid", "t", "dur"],
+                _ => continue,
+            };
+            let name = field_str(e, "name");
+            let ts_us = field_u64(e, "t") as f64 / 1000.0;
+            out.push_str(",{\"name\":\"");
+            out.push_str(&escape_json(name));
+            out.push_str("\",\"cat\":\"fedora\",\"ph\":\"");
+            match e.name.as_str() {
+                "trace.begin" => out.push('B'),
+                "trace.end" => out.push('E'),
+                _ => out.push('X'),
+            }
+            out.push_str(&format!("\",\"pid\":1,\"ts\":{ts_us:.3}"));
+            if e.name == "trace.io" {
+                out.push_str(&format!(
+                    ",\"dur\":{:.3},\"tid\":{}",
+                    field_u64(e, "dur") as f64 / 1000.0,
+                    io_tid(name)
+                ));
+            } else {
+                out.push_str(&format!(",\"tid\":{}", field_u64(e, "tid")));
+            }
+            out.push_str(",\"args\":{");
+            let mut first = true;
+            for (k, v) in &e.fields {
+                if known.contains(&k.as_str()) && !matches!(k.as_str(), "span" | "parent") {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push('"');
+                out.push_str(&escape_json(k));
+                out.push_str("\":");
+                out.push_str(&json_value(v));
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the Chrome trace-event export (plus trailing newline) to
+    /// `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_chrome_trace(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_chrome_trace().as_bytes())?;
+        f.write_all(b"\n")
+    }
+
     /// Writes the JSON export (plus trailing newline) to `path`.
     ///
     /// # Errors
@@ -208,6 +326,25 @@ fn escape_json(s: &str) -> String {
         }
     }
     out
+}
+
+/// Numeric field lookup for trace records (0 when absent/mistyped — the
+/// exporter must never panic on a malformed journal).
+fn field_u64(e: &Event, name: &str) -> u64 {
+    match e.field(name) {
+        Some(Value::U64(v)) => *v,
+        Some(Value::I64(v)) => u64::try_from(*v).unwrap_or(0),
+        Some(Value::F64(v)) if *v >= 0.0 => *v as u64,
+        _ => 0,
+    }
+}
+
+/// String field lookup for trace records (empty when absent/mistyped).
+fn field_str<'e>(e: &'e Event, name: &str) -> &'e str {
+    match e.field(name) {
+        Some(Value::Str(s)) => s,
+        _ => "",
+    }
 }
 
 /// Metric names are dot/underscore identifiers, but guard against commas and
@@ -309,5 +446,92 @@ mod tests {
         let j = Snapshot::default().to_json();
         assert!(j.contains("\"counters\":{}"));
         assert!(j.contains("\"events\":[]"));
+    }
+
+    /// Builds a snapshot with a small traced scope plus one io record.
+    fn traced_sample() -> Snapshot {
+        let r = Registry::new();
+        r.set_tracing(true);
+        {
+            let mut outer = r.trace_span_with("round", &[("round", 0u64.into())]);
+            {
+                let _inner = r.trace_span("oram.eviction");
+                r.trace_io("storage.write", 25_000, 2, 8192);
+            }
+            outer.attr("aborted", false);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_roundtrips_through_parser() {
+        use crate::json::{self, Json};
+        let doc = json::parse(&traced_sample().to_chrome_trace()).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        let phase = |e: &Json| e.get("ph").and_then(Json::as_str).unwrap_or("").to_string();
+        let begins = events.iter().filter(|e| phase(e) == "B").count();
+        let ends = events.iter().filter(|e| phase(e) == "E").count();
+        let completes: Vec<&Json> = events.iter().filter(|e| phase(e) == "X").collect();
+        assert_eq!(begins, 2, "two trace.begin records");
+        assert_eq!(begins, ends, "balanced B/E events");
+        assert_eq!(completes.len(), 1, "one trace.io record");
+        // Simulated latency carried as microsecond duration.
+        assert_eq!(completes[0].get("dur").and_then(Json::as_f64), Some(25.0));
+        assert_eq!(
+            completes[0]
+                .get("args")
+                .and_then(|a| a.get("bytes"))
+                .and_then(Json::as_u64),
+            Some(8192)
+        );
+        // Causal ids survive in args: the io's parent is the eviction span.
+        let eviction_span = events
+            .iter()
+            .find(|e| {
+                phase(e) == "B" && e.get("name").and_then(Json::as_str) == Some("oram.eviction")
+            })
+            .and_then(|e| e.get("args"))
+            .and_then(|a| a.get("span"))
+            .and_then(Json::as_u64)
+            .expect("eviction begin span id");
+        assert_eq!(
+            completes[0]
+                .get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(Json::as_u64),
+            Some(eviction_span)
+        );
+        // Metadata names the io lane after its stream.
+        assert!(events.iter().any(|e| {
+            phase(e) == "M"
+                && e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    == Some("io: storage.write")
+        }));
+    }
+
+    #[test]
+    fn chrome_trace_of_traceless_snapshot_is_minimal() {
+        use crate::json::{self, Json};
+        // A snapshot with non-trace events exports metadata only.
+        let doc = json::parse(&sample().to_chrome_trace()).expect("valid JSON");
+        let events = doc.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert!(events
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) == Some("M")));
+    }
+
+    #[test]
+    fn chrome_trace_file_roundtrip() {
+        let path = std::env::temp_dir().join("fedora_telemetry_test.trace.json");
+        traced_sample().write_chrome_trace(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with("}\n"));
+        assert!(crate::json::parse(text.trim_end()).is_ok());
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -17,8 +17,15 @@
 //!   monotonic clock.
 //! * [`Event`] journal — a bounded, ordered log of structured per-round
 //!   events (faults, quarantines, SecAgg dropouts, round boundaries).
+//! * [`TraceSpan`] causal tracing — when enabled via
+//!   [`Registry::set_tracing`], spans emit `trace.begin`/`trace.end` journal
+//!   records with span/parent ids and attributes, forming a per-round causal
+//!   tree exportable as Chrome trace-event JSON
+//!   ([`Snapshot::to_chrome_trace`]) for Perfetto / `chrome://tracing`.
 //! * [`Snapshot`] — a point-in-time copy of everything, exportable as
 //!   `BENCH_*.json`-compatible JSON or CSV.
+//! * [`json`] — a minimal zero-dependency JSON parser for reading the
+//!   exports back (trajectory diffing, round-trip checks).
 //!
 //! # Example
 //!
@@ -47,9 +54,12 @@
 mod export;
 mod histogram;
 mod journal;
+pub mod json;
 mod registry;
+mod trace;
 
 pub use export::Snapshot;
 pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSummary, Timer, NUM_BUCKETS};
 pub use journal::{Event, Value, MAX_JOURNAL_EVENTS};
 pub use registry::{Counter, Gauge, Registry, Span};
+pub use trace::TraceSpan;

@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use crate::export::Snapshot;
 use crate::histogram::{Histogram, HistogramCore, Timer};
 use crate::journal::{Journal, Value};
+use crate::trace::{self, TraceSpan, TracerCore};
 
 /// Locks a mutex, recovering the data from a poisoned lock instead of
 /// panicking (telemetry must never take the host down).
@@ -29,6 +30,7 @@ struct RegistryInner {
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
     journal: Mutex<Journal>,
+    tracer: TracerCore,
 }
 
 /// A handle to a metrics registry, or a no-op sink.
@@ -107,16 +109,58 @@ impl Registry {
     }
 
     /// Opens a hierarchical span named `name`, timing the scope into the
-    /// histogram `"{name}.latency"` when the guard drops.
+    /// histogram `"{name}.latency"` when the guard drops. When tracing is
+    /// enabled (see [`Registry::set_tracing`]) the scope additionally emits
+    /// `trace.begin`/`trace.end` records into the journal.
     ///
     /// Hot paths that run many times should cache the [`Histogram`] handle
     /// and use [`Histogram::start_timer`] instead, skipping the name lookup.
     pub fn span(&self, name: &str) -> Span {
         Span {
             timer: self.histogram(&format!("{name}.latency")).start_timer(),
+            trace: self.trace_span(name),
             name: name.to_string(),
             registry: self.clone(),
         }
+    }
+
+    /// Turns causal span tracing on or off (off by default; a no-op on a
+    /// disabled registry). While on, [`Registry::trace_span`] and
+    /// [`Registry::span`] emit `trace.begin`/`trace.end` journal records and
+    /// instrumented devices emit `trace.io` records.
+    pub fn set_tracing(&self, on: bool) {
+        if let Some(core) = self.tracer_core() {
+            core.set_enabled(on);
+        }
+    }
+
+    /// Whether causal span tracing is currently enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer_core().is_some_and(TracerCore::is_enabled)
+    }
+
+    /// Opens a causal trace span (without the latency histogram of
+    /// [`Registry::span`]). Returns an inert guard when tracing is off, at
+    /// the cost of one relaxed atomic load.
+    pub fn trace_span(&self, name: &str) -> TraceSpan {
+        TraceSpan::begin(self, name, &[])
+    }
+
+    /// Like [`Registry::trace_span`] but with key=value attributes on the
+    /// `trace.begin` record.
+    pub fn trace_span_with(&self, name: &str, attrs: &[(&str, Value)]) -> TraceSpan {
+        TraceSpan::begin(self, name, attrs)
+    }
+
+    /// Records a `trace.io` point event attributing `sim_ns` of *simulated*
+    /// device latency (plus page/byte counts) to the innermost span open on
+    /// this thread. No-op when tracing is off.
+    pub fn trace_io(&self, stream: &str, sim_ns: u64, pages: u64, bytes: u64) {
+        trace::io_event(self, stream, sim_ns, pages, bytes);
+    }
+
+    pub(crate) fn tracer_core(&self) -> Option<&TracerCore> {
+        self.inner.as_deref().map(|inner| &inner.tracer)
     }
 
     /// Appends a structured event to the journal.
@@ -141,7 +185,7 @@ impl Registry {
         let Some(inner) = &self.inner else {
             return Snapshot::default();
         };
-        let counters = lock(&inner.counters)
+        let mut counters: Vec<(String, u64)> = lock(&inner.counters)
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
@@ -154,6 +198,15 @@ impl Registry {
             .map(|(k, v)| (k.clone(), v.summary()))
             .collect();
         let journal = lock(&inner.journal);
+        // Overflow accounting is a first-class counter so trace-based
+        // analyses can tell a complete journal from a truncated one.
+        let dropped_key = "telemetry.journal.dropped";
+        let pos = counters.partition_point(|(k, _)| k.as_str() < dropped_key);
+        if counters.get(pos).is_some_and(|(k, _)| k == dropped_key) {
+            counters[pos].1 = journal.dropped();
+        } else {
+            counters.insert(pos, (dropped_key.to_string(), journal.dropped()));
+        }
         Snapshot {
             counters,
             gauges,
@@ -252,12 +305,14 @@ impl Gauge {
 }
 
 /// A hierarchical timing scope: records its lifetime into
-/// `"{name}.latency"` on drop, and can open children named under it.
+/// `"{name}.latency"` on drop, and can open children named under it. With
+/// tracing enabled it also carries a causal [`TraceSpan`].
 #[derive(Debug)]
 pub struct Span {
     name: String,
     registry: Registry,
     timer: Timer,
+    trace: TraceSpan,
 }
 
 impl Span {
@@ -269,6 +324,12 @@ impl Span {
     /// Opens a child span named `"{parent}.{suffix}"`.
     pub fn child(&self, suffix: &str) -> Span {
         self.registry.span(&format!("{}.{suffix}", self.name))
+    }
+
+    /// Attaches a key=value attribute to the `trace.end` record (a no-op
+    /// when tracing is off).
+    pub fn attr(&mut self, key: &str, value: impl Into<Value>) {
+        self.trace.attr(key, value);
     }
 
     /// Ends the span now (same as dropping it).
