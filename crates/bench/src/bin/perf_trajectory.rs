@@ -187,6 +187,9 @@ fn run_cell_mode<M: AggregationMode>(
     if let Some(h) = snap.histogram("oram.access.latency") {
         metrics.push(("oram.access.latency_ns.p95".to_owned(), h.p95 as f64));
     }
+    let gauge = |name: &str| snap.gauge(name).unwrap_or(0.0);
+    metrics.push(("fdp.total.epsilon".to_owned(), gauge("fdp.total.epsilon")));
+    metrics.push(("fdp.round.epsilon".to_owned(), gauge("fdp.round.epsilon")));
     Cell {
         id: spec.id(),
         metrics,

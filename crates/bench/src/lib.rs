@@ -18,6 +18,7 @@
 //! | `tune_shape` | §3.3 Observation 3 as a tuning tool |
 //! | `fault_campaign` | chaos-injection fault-tolerance campaign (this reproduction's addition) |
 //! | `perf_trajectory` | perf-trajectory harness: `BENCH_<date>.json` writer + regression diff |
+//! | `fedora_audit` | twin-run obliviousness auditor + privacy-ledger check (audit report) |
 //!
 //! Every binary accepts `--metrics-out PATH` (telemetry snapshot JSON) and
 //! `--trace-out PATH` (Chrome trace-event JSON for Perfetto) — see

@@ -1,9 +1,12 @@
 //! Shared `--metrics-out` / `--trace-out` handling for the bench binaries.
 //!
-//! Every binary in `src/bin/` accepts the same two output flags:
+//! Every binary in `src/bin/` accepts the same output flags:
 //!
-//! * `--metrics-out PATH` — write a telemetry [`Snapshot`] as single-line
-//!   JSON (counters, gauges, histogram percentiles, event journal).
+//! * `--metrics-out PATH` — write a telemetry [`Snapshot`] (counters,
+//!   gauges, histogram percentiles, event journal).
+//! * `--metrics-format json|csv|prom` — the serialization for
+//!   `--metrics-out`: single-line JSON (default), flat CSV, or Prometheus
+//!   text exposition. Audit-only series are redacted in every format.
 //! * `--trace-out PATH` — write the causal span journal as Chrome
 //!   trace-event JSON, loadable in <https://ui.perfetto.dev> or
 //!   `chrome://tracing`.
@@ -17,36 +20,92 @@ use std::path::PathBuf;
 
 use fedora_telemetry::{Registry, Snapshot};
 
+/// Serialization format for `--metrics-out`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Single-line JSON (`fedora-telemetry/v1`), the default.
+    #[default]
+    Json,
+    /// Flat `name,value` CSV.
+    Csv,
+    /// Prometheus text exposition (`fedora_*` series).
+    Prom,
+}
+
+impl MetricsFormat {
+    /// Parses a `--metrics-format` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "json" => Ok(MetricsFormat::Json),
+            "csv" => Ok(MetricsFormat::Csv),
+            "prom" | "prometheus" => Ok(MetricsFormat::Prom),
+            other => Err(format!("unknown metrics format '{other}' (json|csv|prom)")),
+        }
+    }
+
+    /// Writes `snapshot` to `path` in this format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write(self, snapshot: &Snapshot, path: &std::path::Path) -> std::io::Result<()> {
+        match self {
+            MetricsFormat::Json => snapshot.write_json(path),
+            MetricsFormat::Csv => snapshot.write_csv(path),
+            MetricsFormat::Prom => snapshot.write_prometheus(path),
+        }
+    }
+}
+
 /// Parsed output flags shared by every bench binary.
 #[derive(Clone, Debug, Default)]
 pub struct OutputOpts {
-    /// Where to write the snapshot JSON, if requested.
+    /// Where to write the metrics snapshot, if requested.
     pub metrics_out: Option<PathBuf>,
+    /// Serialization for `metrics_out` (JSON unless `--metrics-format`).
+    pub metrics_format: MetricsFormat,
     /// Where to write the Chrome trace-event JSON, if requested.
     pub trace_out: Option<PathBuf>,
 }
 
 impl OutputOpts {
-    /// Strips `--metrics-out PATH` and `--trace-out PATH` pairs out of
-    /// `args`, leaving any positional arguments in place.
+    /// Strips `--metrics-out PATH`, `--metrics-format FMT`, and
+    /// `--trace-out PATH` pairs out of `args`, leaving any positional
+    /// arguments in place.
     ///
     /// # Errors
     ///
-    /// Returns a message when either flag is present without a value.
+    /// Returns a message when a flag is present without a value, or the
+    /// format value is unknown.
     pub fn extract(args: &mut Vec<String>) -> Result<Self, String> {
         let mut opts = OutputOpts::default();
-        for (flag, slot) in [
-            ("--metrics-out", &mut opts.metrics_out),
-            ("--trace-out", &mut opts.trace_out),
-        ] {
+        let mut format: Option<String> = None;
+        let take = |args: &mut Vec<String>, flag: &str| -> Result<Option<String>, String> {
             if let Some(pos) = args.iter().position(|a| a == flag) {
                 if pos + 1 >= args.len() {
                     return Err(format!("{flag} needs a value"));
                 }
-                let path = args.remove(pos + 1);
+                let value = args.remove(pos + 1);
                 args.remove(pos);
-                *slot = Some(PathBuf::from(path));
+                return Ok(Some(value));
             }
+            Ok(None)
+        };
+        if let Some(path) = take(args, "--metrics-out")? {
+            opts.metrics_out = Some(PathBuf::from(path));
+        }
+        if let Some(fmt) = take(args, "--metrics-format")? {
+            format = Some(fmt);
+        }
+        if let Some(path) = take(args, "--trace-out")? {
+            opts.trace_out = Some(PathBuf::from(path));
+        }
+        if let Some(fmt) = format {
+            opts.metrics_format = MetricsFormat::parse(&fmt)?;
         }
         Ok(opts)
     }
@@ -88,8 +147,8 @@ impl OutputOpts {
     /// Propagates I/O failures with the offending path in the message.
     pub fn write(&self, snapshot: &Snapshot) -> Result<(), String> {
         if let Some(path) = &self.metrics_out {
-            snapshot
-                .write_json(path)
+            self.metrics_format
+                .write(snapshot, path)
                 .map_err(|e| format!("--metrics-out {}: {e}", path.display()))?;
             println!("metrics written to {}", path.display());
         }
@@ -162,6 +221,49 @@ mod tests {
     fn extract_rejects_dangling_flag() {
         let mut args = vec!["--trace-out".to_owned()];
         assert!(OutputOpts::extract(&mut args).is_err());
+    }
+
+    #[test]
+    fn extract_parses_metrics_format() {
+        let mut args: Vec<String> = ["--metrics-format", "prom", "--metrics-out", "m.prom"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let opts = OutputOpts::extract(&mut args).unwrap();
+        assert!(args.is_empty());
+        assert_eq!(opts.metrics_format, MetricsFormat::Prom);
+        assert_eq!(
+            OutputOpts::extract(&mut vec![]).unwrap().metrics_format,
+            MetricsFormat::Json
+        );
+        let mut bad: Vec<String> = ["--metrics-format", "xml"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert!(OutputOpts::extract(&mut bad).is_err());
+    }
+
+    #[test]
+    fn format_writers_match_exporters() {
+        let r = Registry::new();
+        r.counter("storage.pages_read").add(3);
+        let snap = r.snapshot_lite();
+        let dir = std::env::temp_dir();
+        for (fmt, name, needle) in [
+            (MetricsFormat::Json, "m.json", "\"storage.pages_read\":3"),
+            (
+                MetricsFormat::Csv,
+                "m.csv",
+                "counter,storage.pages_read,value,3",
+            ),
+            (MetricsFormat::Prom, "m.prom", "fedora_storage_pages_read 3"),
+        ] {
+            let path = dir.join(format!("fedora-outopts-{}-{name}", std::process::id()));
+            fmt.write(&snap, &path).unwrap();
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(text.contains(needle), "{fmt:?}: {text}");
+            let _ = std::fs::remove_file(&path);
+        }
     }
 
     #[test]

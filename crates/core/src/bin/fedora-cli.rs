@@ -39,11 +39,13 @@ COMMANDS:
     help       print this message
 
 Every command also accepts --metrics-out PATH to write a telemetry
-snapshot (counters, gauges, histogram percentiles, event journal) as
-single-line JSON, and --trace-out PATH to capture causal spans as
-Chrome trace-event JSON (open in https://ui.perfetto.dev). For `round`
-these reflect the live pipeline's full registry; the analytic commands
-export their computed figures as gauges.
+snapshot (counters, gauges, histogram percentiles, event journal),
+--metrics-format json|csv|prom to pick its serialization (single-line
+JSON by default; audit-only series are redacted in every format), and
+--trace-out PATH to capture causal spans as Chrome trace-event JSON
+(open in https://ui.perfetto.dev). For `round` these reflect the live
+pipeline's full registry; the analytic commands export their computed
+figures as gauges.
 ";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -72,14 +74,28 @@ fn registry_for(flags: &HashMap<String, String>) -> Registry {
     registry
 }
 
-/// Writes `snapshot` as JSON when `--metrics-out PATH` was given, and as
-/// Chrome trace-event JSON when `--trace-out PATH` was given.
+/// Writes `snapshot` when `--metrics-out PATH` was given (in the
+/// `--metrics-format` serialization, JSON by default), and as Chrome
+/// trace-event JSON when `--trace-out PATH` was given.
 fn write_metrics(flags: &HashMap<String, String>, snapshot: &Snapshot) -> Result<(), String> {
     if let Some(path) = flags.get("metrics-out") {
-        snapshot
-            .write_json(std::path::Path::new(path))
-            .map_err(|e| format!("--metrics-out {path}: {e}"))?;
-        println!("  metrics written to {path}");
+        let format = flags
+            .get("metrics-format")
+            .map(String::as_str)
+            .unwrap_or("json");
+        let target = std::path::Path::new(path);
+        match format {
+            "json" => snapshot.write_json(target),
+            "csv" => snapshot.write_csv(target),
+            "prom" | "prometheus" => snapshot.write_prometheus(target),
+            other => {
+                return Err(format!(
+                    "--metrics-format: unknown format '{other}' (json|csv|prom)"
+                ))
+            }
+        }
+        .map_err(|e| format!("--metrics-out {path}: {e}"))?;
+        println!("  metrics written to {path} ({format})");
     }
     if let Some(path) = flags.get("trace-out") {
         snapshot

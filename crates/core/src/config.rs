@@ -1,6 +1,6 @@
 //! System configuration: table presets and the full FEDORA parameter set.
 
-use fedora_fdp::{FdpMechanism, YShape};
+use fedora_fdp::{FdpMechanism, ProtectionMode, YShape};
 use fedora_oram::raw::RawOramConfig;
 use fedora_oram::TreeGeometry;
 use fedora_storage::profile::{SsdProfile, SSD_PAGE_BYTES};
@@ -105,10 +105,16 @@ pub enum SelectionStrategy {
 /// The privacy configuration of a FEDORA deployment.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PrivacyConfig {
-    /// The ε-FDP mechanism (ε and the Y shape).
+    /// The ε-FDP mechanism (ε and the Y shape). Its ε is the *user-facing*
+    /// target; the effective mechanism ε after group privacy is
+    /// [`mechanism_epsilon`](Self::mechanism_epsilon).
     pub mechanism: FdpMechanism,
     /// Oblivious-union chunk size.
     pub chunk_size: usize,
+    /// What the guarantee protects (value vs value-count): under
+    /// [`ProtectionMode::HideValueCount`] group privacy divides the
+    /// mechanism budget by the padded group size (§3.1).
+    pub protection: ProtectionMode,
 }
 
 impl PrivacyConfig {
@@ -122,6 +128,7 @@ impl PrivacyConfig {
         PrivacyConfig {
             mechanism: FdpMechanism::new(epsilon, YShape::Uniform).expect("non-negative epsilon"),
             chunk_size: fedora_fdp::ChunkPlan::PAPER_DEFAULT,
+            protection: ProtectionMode::HideValue,
         }
     }
 
@@ -130,6 +137,7 @@ impl PrivacyConfig {
         PrivacyConfig {
             mechanism: FdpMechanism::vanilla(),
             chunk_size: fedora_fdp::ChunkPlan::PAPER_DEFAULT,
+            protection: ProtectionMode::HideValue,
         }
     }
 
@@ -138,6 +146,48 @@ impl PrivacyConfig {
         PrivacyConfig {
             mechanism: FdpMechanism::no_privacy(),
             chunk_size: fedora_fdp::ChunkPlan::PAPER_DEFAULT,
+            protection: ProtectionMode::HideValue,
+        }
+    }
+
+    /// The effective per-value mechanism ε after group-privacy division:
+    /// `mechanism.epsilon() / protection.group_size()`. Equal to the
+    /// user-facing ε under [`ProtectionMode::HideValue`].
+    pub fn mechanism_epsilon(&self) -> f64 {
+        self.protection.mechanism_epsilon(self.mechanism.epsilon())
+    }
+}
+
+/// Cumulative ε-budget policy: the leakage alarm of the privacy
+/// observability layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PrivacyBudgetConfig {
+    /// Cumulative (sequentially composed) ε ceiling across all completed
+    /// rounds. `None` disables the alarm entirely.
+    pub max_total_epsilon: Option<f64>,
+    /// When `true`, `begin_round` refuses any round whose ε would push the
+    /// cumulative total past the ceiling
+    /// ([`FedoraError::PrivacyBudgetExhausted`](crate::server::FedoraError)).
+    /// When `false`, rounds keep running but crossing the ceiling journals
+    /// a `privacy.budget.exceeded` event (alarm-only mode).
+    pub enforce: bool,
+}
+
+impl PrivacyBudgetConfig {
+    /// Alarm-only: journal `privacy.budget.exceeded` past `max_epsilon`
+    /// but keep serving rounds.
+    pub fn alarm(max_epsilon: f64) -> Self {
+        PrivacyBudgetConfig {
+            max_total_epsilon: Some(max_epsilon),
+            enforce: false,
+        }
+    }
+
+    /// Enforcing: refuse rounds that would overspend `max_epsilon`.
+    pub fn enforcing(max_epsilon: f64) -> Self {
+        PrivacyBudgetConfig {
+            max_total_epsilon: Some(max_epsilon),
+            enforce: true,
         }
     }
 }
@@ -198,6 +248,8 @@ pub struct FedoraConfig {
     pub selection: SelectionStrategy,
     /// Fault-tolerance policy (round transactions, retry budget).
     pub fault_tolerance: FaultToleranceConfig,
+    /// Cumulative ε-budget alarm/enforcement (off by default).
+    pub privacy_budget: PrivacyBudgetConfig,
 }
 
 impl FedoraConfig {
@@ -216,6 +268,7 @@ impl FedoraConfig {
             scratchpad: Scratchpad::paper_default(),
             selection: SelectionStrategy::FirstK,
             fault_tolerance: FaultToleranceConfig::default(),
+            privacy_budget: PrivacyBudgetConfig::default(),
         }
     }
 
@@ -232,6 +285,7 @@ impl FedoraConfig {
             scratchpad: Scratchpad::paper_default(),
             selection: SelectionStrategy::FirstK,
             fault_tolerance: FaultToleranceConfig::default(),
+            privacy_budget: PrivacyBudgetConfig::default(),
         }
     }
 
@@ -306,5 +360,22 @@ mod tests {
         assert_eq!(PrivacyConfig::perfect().mechanism.epsilon(), 0.0);
         assert!(PrivacyConfig::none().mechanism.epsilon().is_infinite());
         assert_eq!(PrivacyConfig::with_epsilon(1.0).mechanism.epsilon(), 1.0);
+    }
+
+    #[test]
+    fn group_privacy_divides_mechanism_epsilon() {
+        let mut p = PrivacyConfig::with_epsilon(1.0);
+        assert_eq!(p.mechanism_epsilon(), 1.0);
+        p.protection = ProtectionMode::hide_count_paper();
+        assert!((p.mechanism_epsilon() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_presets() {
+        assert_eq!(PrivacyBudgetConfig::default().max_total_epsilon, None);
+        let alarm = PrivacyBudgetConfig::alarm(5.0);
+        assert_eq!(alarm.max_total_epsilon, Some(5.0));
+        assert!(!alarm.enforce);
+        assert!(PrivacyBudgetConfig::enforcing(5.0).enforce);
     }
 }

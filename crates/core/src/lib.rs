@@ -44,6 +44,9 @@
 //!   optimal access-count distinguisher vs its DP bound.
 //! * [`multi`] — multiple private tables (one pipeline per sparse
 //!   feature), composing in parallel per feature value.
+//! * [`audit`] — the obliviousness auditor: shadow-mode page-trace
+//!   capture plus a twin-run harness checking the configured privacy
+//!   claim against the physical access sequence.
 //!
 //! # Example
 //!
@@ -77,6 +80,7 @@ pub(crate) mod convert {
 
 pub mod adversary;
 pub mod analytic;
+pub mod audit;
 pub mod baseline;
 pub mod config;
 pub mod cost;

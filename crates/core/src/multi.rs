@@ -10,6 +10,7 @@
 //! argument as request chunks within a table, §4.2).
 
 use fedora_fl::modes::AggregationMode;
+use fedora_telemetry::Snapshot;
 use rand::Rng;
 
 use crate::config::FedoraConfig;
@@ -31,6 +32,11 @@ pub struct MultiTableServer {
 pub struct MultiRoundReport {
     /// One report per table, indexed by [`TableId`].
     pub per_table: Vec<RoundReport>,
+    /// Aggregated telemetry across shards: every table's per-round
+    /// metrics snapshot namespaced as `oram.shard<N>.*` and merged into
+    /// one view (audit-only tags follow their series). Only populated by
+    /// [`MultiTableServer::end_round`]; empty on the begin-round report.
+    pub metrics: Snapshot,
 }
 
 impl MultiRoundReport {
@@ -43,6 +49,11 @@ impl MultiRoundReport {
     pub fn total_requests(&self) -> usize {
         self.per_table.iter().map(|r| r.k_requests).sum()
     }
+}
+
+/// The per-shard namespace prefix: `oram.shard<N>`.
+fn shard_prefix(table: TableId) -> String {
+    format!("oram.shard{table}")
 }
 
 impl MultiTableServer {
@@ -140,10 +151,23 @@ impl MultiTableServer {
         rng: &mut R,
     ) -> Result<MultiRoundReport, FedoraError> {
         let mut out = MultiRoundReport::default();
-        for server in &mut self.tables {
-            out.per_table.push(server.end_round(mode, server_lr, rng)?);
+        for (i, server) in self.tables.iter_mut().enumerate() {
+            let report = server.end_round(mode, server_lr, rng)?;
+            out.metrics
+                .absorb(report.metrics.prefixed(&shard_prefix(i)));
+            out.per_table.push(report);
         }
         Ok(out)
+    }
+
+    /// Aggregated cumulative telemetry across shards: each table's full
+    /// registry snapshot namespaced as `oram.shard<N>.*` and merged.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut out = Snapshot::default();
+        for (i, server) in self.tables.iter().enumerate() {
+            out.absorb(server.metrics_snapshot().prefixed(&shard_prefix(i)));
+        }
+        out
     }
 
     /// Combined SSD statistics across all tables' main ORAMs.
@@ -235,6 +259,28 @@ mod tests {
         assert!((a0 - 1.0).abs() < 1e-6, "table 0 updated: {a0}");
         assert_eq!(b0, 0.0, "table 1 untouched");
         s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+    }
+
+    #[test]
+    fn shard_namespaces_aggregate() {
+        let (mut s, mut rng) = multi(5);
+        s.begin_round(&[vec![1, 2], vec![3]], &mut rng).unwrap();
+        let mut mode = FedAvg;
+        let report = s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        // Per-round aggregated snapshot: one ledger per shard.
+        assert_eq!(
+            report.metrics.gauge("oram.shard0.fdp.total.epsilon"),
+            Some(s.table(0).accountant().total_epsilon())
+        );
+        assert_eq!(report.metrics.gauge("oram.shard1.fdp.rounds"), Some(1.0));
+        // Cumulative aggregated snapshot mirrors both shards too.
+        let m = s.metrics_snapshot();
+        assert_eq!(m.counter("oram.shard0.fl.rounds.completed"), Some(1));
+        assert_eq!(m.counter("oram.shard1.fl.rounds.completed"), Some(1));
+        assert!(m.counter("fl.rounds.completed").is_none());
+        // Secret-derived series stay audit-only through the merge.
+        assert!(m.is_audit_only("oram.shard0.fdp.round.k_union"));
+        assert!(!m.to_json().contains("k_union"));
     }
 
     #[test]

@@ -12,8 +12,9 @@ use fedora_oram::raw::RawOram;
 use fedora_oram::store::{BucketStore, IntegrityStats, ScrubReport, SsdBucketStore};
 use fedora_oram::OramError;
 use fedora_storage::stats::DeviceStats;
+use fedora_storage::AccessTraceRecorder;
 use fedora_storage::{FaultConfig, FaultStats};
-use fedora_telemetry::{Counter, Registry, Snapshot, TraceSpan};
+use fedora_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot, TraceSpan};
 use rand::Rng;
 
 use crate::config::{FedoraConfig, SelectionStrategy};
@@ -50,6 +51,15 @@ pub enum FedoraError {
         /// The bucket (tree node) that failed authentication.
         node: u64,
     },
+    /// The configured cumulative ε budget would be exceeded by running
+    /// another round, and the budget is in enforcing mode. The round was
+    /// refused before any state changed; no budget was consumed.
+    PrivacyBudgetExhausted {
+        /// Cumulative ε already spent (the accountant's total).
+        spent: f64,
+        /// The configured maximum cumulative ε.
+        budget: f64,
+    },
 }
 
 impl From<OramError> for FedoraError {
@@ -79,6 +89,12 @@ impl core::fmt::Display for FedoraError {
                 write!(
                     f,
                     "round aborted and rolled back: bucket {node} failed with {kind}"
+                )
+            }
+            FedoraError::PrivacyBudgetExhausted { spent, budget } => {
+                write!(
+                    f,
+                    "privacy budget exhausted: ε spent {spent} of budget {budget}"
                 )
             }
         }
@@ -211,6 +227,61 @@ impl FlTelemetry {
     }
 }
 
+/// Telemetry handles mirroring the privacy accountant into the registry —
+/// the *privacy ledger* of the observability layer (§3.1 accounting made
+/// visible).
+///
+/// Public series carry only values derivable from the public protocol
+/// parameters and the accountant (ε per round, cumulative ε, round
+/// count). Anything derived from the secret `k_union` — dummy and lost
+/// counts, the per-round union size, and the `k` overhead histogram — is
+/// registered **audit-only** so default exports never leak it; an
+/// operator must opt in via [`Snapshot::audit_view`] to see those series.
+///
+/// [`Snapshot::audit_view`]: fedora_telemetry::Snapshot::audit_view
+#[derive(Clone, Debug, Default)]
+struct PrivacyLedger {
+    round_epsilon: Gauge,
+    total_epsilon: Gauge,
+    mechanism_epsilon: Gauge,
+    rounds: Gauge,
+    poisoned: Counter,
+    budget_max: Gauge,
+    budget_refused: Counter,
+    // Secret-dependent series (derived from k_union): audit-only.
+    dummies: Counter,
+    lost: Counter,
+    k_union: Gauge,
+    k_overhead: Histogram,
+}
+
+impl PrivacyLedger {
+    fn attach(registry: &Registry, config: &FedoraConfig) -> Self {
+        let ledger = PrivacyLedger {
+            round_epsilon: registry.gauge("fdp.round.epsilon"),
+            total_epsilon: registry.gauge("fdp.total.epsilon"),
+            mechanism_epsilon: registry.gauge("fdp.mechanism.epsilon"),
+            rounds: registry.gauge("fdp.rounds"),
+            poisoned: registry.counter("fdp.ledger.poisoned"),
+            budget_max: registry.gauge("fdp.budget.max_epsilon"),
+            budget_refused: registry.counter("fdp.budget.refused_rounds"),
+            dummies: registry.counter_audit("fdp.dummies.total"),
+            lost: registry.counter_audit("fdp.lost.total"),
+            k_union: registry.gauge_audit("fdp.round.k_union"),
+            k_overhead: registry.histogram_audit("fdp.k.overhead"),
+        };
+        // Static per config: the mechanism ε after group-privacy division
+        // (ε/n for HideValueCount{n}), and the budget ceiling if set.
+        ledger
+            .mechanism_epsilon
+            .set(config.privacy.mechanism_epsilon());
+        if let Some(max) = config.privacy_budget.max_total_epsilon {
+            ledger.budget_max.set(max);
+        }
+        ledger
+    }
+}
+
 /// The FEDORA server.
 pub struct FedoraServer {
     config: FedoraConfig,
@@ -226,6 +297,10 @@ pub struct FedoraServer {
     quarantined_ids: HashSet<u64>,
     registry: Registry,
     telemetry: FlTelemetry,
+    ledger: PrivacyLedger,
+    /// Whether the cumulative-ε budget crossing has already been
+    /// journaled (alarm mode fires `privacy.budget.exceeded` once).
+    budget_flagged: bool,
     /// Trace span covering the active round (tracing only). Held here
     /// rather than in `RoundState` so the clonable state stays clonable;
     /// closed on `end_round`, or on abort with an `aborted` attribute.
@@ -270,6 +345,7 @@ impl FedoraServer {
         buffer.set_telemetry(&registry);
         let chunk_plan = ChunkPlan::new(config.privacy.chunk_size);
         let telemetry = FlTelemetry::attach(&registry);
+        let ledger = PrivacyLedger::attach(&registry, &config);
         FedoraServer {
             config,
             main,
@@ -282,6 +358,8 @@ impl FedoraServer {
             quarantined_ids: HashSet::new(),
             registry,
             telemetry,
+            ledger,
+            budget_flagged: false,
             round_span: None,
         }
     }
@@ -337,6 +415,16 @@ impl FedoraServer {
     /// pre-rewind deltas live in [`Self::aborts`].
     pub fn integrity_stats(&self) -> IntegrityStats {
         self.main.store().integrity_stats()
+    }
+
+    /// Attaches a shadow-mode access recorder to the main ORAM's SSD so
+    /// the physical page-access sequence can be audited for obliviousness
+    /// (see [`AccessTraceRecorder`] and [`crate::audit`]). The recorder
+    /// handle is `Arc`-shared: it survives transactional snapshots and
+    /// rollbacks, so aborted rounds keep their (already observable)
+    /// accesses in the trace.
+    pub fn set_access_recorder(&mut self, recorder: AccessTraceRecorder) {
+        self.main.store_mut().set_access_recorder(recorder);
     }
 
     /// Arms seeded fault injection on the main ORAM's SSD.
@@ -413,6 +501,26 @@ impl FedoraServer {
                 got: requests.len(),
                 max: self.config.max_requests_per_round,
             });
+        }
+        // Enforcing budget mode: refuse the round up front — before any
+        // event, span, or state change — when completing it would push the
+        // cumulative ε past the ceiling. A refused round consumes nothing.
+        if self.config.privacy_budget.enforce {
+            if let Some(max) = self.config.privacy_budget.max_total_epsilon {
+                let spent = self.accountant.total_epsilon();
+                if spent + self.config.privacy.mechanism.epsilon() > max {
+                    self.ledger.budget_refused.incr();
+                    self.registry.event(
+                        "privacy.budget.refused",
+                        &[
+                            ("round", (self.completed.len() as u64).into()),
+                            ("spent", spent.into()),
+                            ("budget", max.into()),
+                        ],
+                    );
+                    return Err(FedoraError::PrivacyBudgetExhausted { spent, budget: max });
+                }
+            }
         }
         let snapshot = if self.config.fault_tolerance.transactional {
             Some(Box::new(RoundSnapshot {
@@ -796,8 +904,39 @@ impl FedoraServer {
             .store()
             .integrity_stats()
             .since(&state.integrity_before);
-        self.accountant
-            .record_round(self.config.privacy.mechanism.epsilon());
+        let round_epsilon = self.config.privacy.mechanism.epsilon();
+        if self.accountant.record_round(round_epsilon) {
+            self.ledger.round_epsilon.set(round_epsilon);
+        } else {
+            self.ledger.poisoned.incr();
+        }
+        // Publish the ledger *before* the report snapshot below so
+        // `fdp.total.epsilon` on every RoundReport equals the accountant's
+        // total at that round exactly (the acceptance invariant).
+        self.ledger
+            .total_epsilon
+            .set(self.accountant.total_epsilon());
+        self.ledger.rounds.set_u64(self.accountant.rounds() as u64);
+        self.ledger.dummies.add(state.report.dummies as u64);
+        self.ledger.lost.add(state.report.lost as u64);
+        self.ledger.k_union.set_u64(state.report.k_union as u64);
+        self.ledger.k_overhead.record(state.report.dummies as u64);
+        if !self.budget_flagged {
+            if let Some(max) = self.config.privacy_budget.max_total_epsilon {
+                let spent = self.accountant.total_epsilon();
+                if spent > max {
+                    self.budget_flagged = true;
+                    self.registry.event(
+                        "privacy.budget.exceeded",
+                        &[
+                            ("round", (self.completed.len() as u64).into()),
+                            ("spent", spent.into()),
+                            ("budget", max.into()),
+                        ],
+                    );
+                }
+            }
+        }
         self.telemetry.rounds_completed.incr();
         let write_ns = write_started.elapsed().as_nanos() as u64;
         state.report.phases.write_ns = write_ns;
@@ -1297,6 +1436,107 @@ mod tests {
         assert_eq!(s.metrics_snapshot(), fedora_telemetry::Snapshot::default());
         // The pipeline itself is unaffected.
         assert_eq!(report.k_requests, 2);
+    }
+
+    #[test]
+    fn ledger_tracks_accountant_exactly() {
+        let (mut s, mut rng) = server(Some(0.5));
+        let mut mode = FedAvg;
+        for round in 1..=3u64 {
+            s.begin_round(&[1, 2, 3, 2], &mut rng).unwrap();
+            let report = s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+            let total = report.metrics.gauge("fdp.total.epsilon");
+            assert_eq!(total, Some(s.accountant().total_epsilon()));
+            assert_eq!(report.metrics.gauge("fdp.rounds"), Some(round as f64));
+        }
+        let m = s.metrics_snapshot();
+        assert_eq!(m.gauge("fdp.round.epsilon"), Some(0.5));
+        assert_eq!(m.gauge("fdp.mechanism.epsilon"), Some(0.5));
+        assert_eq!(m.counter("fdp.ledger.poisoned"), Some(0));
+    }
+
+    #[test]
+    fn ledger_secret_series_are_audit_only() {
+        let (mut s, mut rng) = server(Some(0.0)); // perfect: k = K, dummies > 0
+        s.begin_round(&[7, 7, 7, 9], &mut rng).unwrap();
+        let mut mode = FedAvg;
+        let report = s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        let m = &report.metrics;
+        // Lookups always resolve (the tag affects exporters only)…
+        assert_eq!(m.counter("fdp.dummies.total"), Some(2));
+        assert_eq!(m.gauge("fdp.round.k_union"), Some(2.0));
+        // …but every k_union-derived series is tagged audit-only.
+        for name in [
+            "fdp.dummies.total",
+            "fdp.lost.total",
+            "fdp.round.k_union",
+            "fdp.k.overhead",
+        ] {
+            assert!(m.is_audit_only(name), "{name} must be audit-only");
+        }
+        assert!(!m.is_audit_only("fdp.total.epsilon"));
+    }
+
+    #[test]
+    fn budget_alarm_journals_once() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut config = FedoraConfig::for_testing(TableSpec::tiny(128), 64);
+        config.privacy = PrivacyConfig::with_epsilon(1.0);
+        config.privacy_budget = crate::config::PrivacyBudgetConfig::alarm(2.5);
+        let mut s = FedoraServer::new(config, |id| vec![id as u8; 32], &mut rng);
+        let mut mode = FedAvg;
+        for _ in 0..4 {
+            s.begin_round(&[1, 2], &mut rng).unwrap();
+            s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        }
+        // 4 rounds at ε=1.0 cross the 2.5 ceiling at round 3; the alarm
+        // journals exactly once and never refuses a round.
+        let m = s.metrics_snapshot();
+        let crossings: Vec<_> = m
+            .events
+            .iter()
+            .filter(|e| e.name == "privacy.budget.exceeded")
+            .collect();
+        assert_eq!(crossings.len(), 1);
+        assert_eq!(
+            crossings[0].field("round"),
+            Some(&fedora_telemetry::Value::U64(2))
+        );
+        assert_eq!(m.gauge("fdp.budget.max_epsilon"), Some(2.5));
+        assert_eq!(m.counter("fdp.budget.refused_rounds"), Some(0));
+    }
+
+    #[test]
+    fn enforcing_budget_refuses_round_without_consuming() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut config = FedoraConfig::for_testing(TableSpec::tiny(128), 64);
+        config.privacy = PrivacyConfig::with_epsilon(1.0);
+        config.privacy_budget = crate::config::PrivacyBudgetConfig::enforcing(2.5);
+        let mut s = FedoraServer::new(config, |id| vec![id as u8; 32], &mut rng);
+        let mut mode = FedAvg;
+        for _ in 0..2 {
+            s.begin_round(&[1, 2], &mut rng).unwrap();
+            s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        }
+        // Third round would spend 3.0 > 2.5: refused before any state change.
+        let err = s.begin_round(&[1, 2], &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            FedoraError::PrivacyBudgetExhausted {
+                spent: 2.0,
+                budget: 2.5
+            }
+        );
+        assert_eq!(s.accountant().total_epsilon(), 2.0);
+        assert_eq!(s.reports().len(), 2);
+        let m = s.metrics_snapshot();
+        assert_eq!(m.counter("fdp.budget.refused_rounds"), Some(1));
+        assert!(m.events.iter().any(|e| e.name == "privacy.budget.refused"));
+        // A refused round leaves no active round behind.
+        assert!(matches!(
+            s.end_round(&mut mode, 1.0, &mut rng),
+            Err(FedoraError::NoActiveRound)
+        ));
     }
 
     #[test]

@@ -60,6 +60,14 @@ impl ProtectionMode {
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct FdpAccountant {
     per_round: Vec<f64>,
+    /// Cached Σ εᵢ, maintained on every accepted record so
+    /// [`total_epsilon`](Self::total_epsilon) is O(1) instead of re-summing
+    /// the whole history on every ledger publish.
+    #[serde(default)]
+    total: f64,
+    /// Rounds whose ε was rejected as ill-formed (NaN or negative).
+    #[serde(default)]
+    poisoned: u64,
 }
 
 impl FdpAccountant {
@@ -69,14 +77,35 @@ impl FdpAccountant {
     }
 
     /// Records one completed round run at `epsilon` (user-facing value,
-    /// i.e. after any group-privacy scaling).
-    pub fn record_round(&mut self, epsilon: f64) {
+    /// i.e. after any group-privacy scaling). Returns `true` if the value
+    /// was accepted into the ledger.
+    ///
+    /// An ill-formed ε (NaN or negative) is **rejected** and counted in
+    /// [`poisoned_rounds`](Self::poisoned_rounds) instead: admitting one
+    /// NaN would silently corrupt the cumulative total forever, and a
+    /// negative ε has no privacy meaning. `+∞` is legal — it is exactly
+    /// the honest ledger entry for a no-privacy round — and saturates the
+    /// total at `+∞` from then on.
+    pub fn record_round(&mut self, epsilon: f64) -> bool {
+        if epsilon.is_nan() || epsilon < 0.0 {
+            self.poisoned += 1;
+            return false;
+        }
         self.per_round.push(epsilon);
+        // Both operands are non-negative, so the sum cannot produce NaN;
+        // overflow saturates to +∞, which is the correct reading.
+        self.total += epsilon;
+        true
     }
 
     /// Number of recorded rounds.
     pub fn rounds(&self) -> usize {
         self.per_round.len()
+    }
+
+    /// Number of rejected (NaN/negative ε) record attempts.
+    pub fn poisoned_rounds(&self) -> u64 {
+        self.poisoned
     }
 
     /// The strongest (smallest) per-round guarantee seen.
@@ -102,8 +131,11 @@ impl FdpAccountant {
     /// Sequential composition over all recorded rounds: Σ εᵢ. A feature
     /// value that participates in every round is protected at this level
     /// overall (basic composition; tighter accountants are orthogonal).
+    ///
+    /// O(1): returns the running total maintained by
+    /// [`record_round`](Self::record_round).
     pub fn total_epsilon(&self) -> f64 {
-        self.per_round.iter().sum()
+        self.total
     }
 }
 
@@ -137,5 +169,46 @@ mod tests {
         assert_eq!(a.best_round_epsilon(), Some(0.1));
         assert_eq!(a.worst_round_epsilon(), Some(1.0));
         assert!((a.total_epsilon() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_total_matches_resum() {
+        let mut a = FdpAccountant::new();
+        for i in 0..1000 {
+            assert!(a.record_round(0.001 * i as f64));
+        }
+        let resum: f64 = (0..1000).map(|i| 0.001 * i as f64).sum();
+        assert_eq!(a.total_epsilon(), resum);
+    }
+
+    #[test]
+    fn poisoned_epsilon_rejected_not_absorbed() {
+        let mut a = FdpAccountant::new();
+        assert!(a.record_round(0.5));
+        assert!(!a.record_round(f64::NAN));
+        assert!(!a.record_round(-1.0));
+        assert_eq!(a.rounds(), 1);
+        assert_eq!(a.poisoned_rounds(), 2);
+        assert_eq!(a.total_epsilon(), 0.5);
+        assert!(!a.total_epsilon().is_nan());
+    }
+
+    #[test]
+    fn infinite_epsilon_is_legal_and_saturates() {
+        let mut a = FdpAccountant::new();
+        assert!(a.record_round(f64::INFINITY));
+        assert!(a.record_round(1.0));
+        assert_eq!(a.rounds(), 2);
+        assert_eq!(a.total_epsilon(), f64::INFINITY);
+        assert_eq!(a.poisoned_rounds(), 0);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let mut a = FdpAccountant::new();
+        assert!(a.record_round(f64::MAX));
+        assert!(a.record_round(f64::MAX));
+        assert_eq!(a.total_epsilon(), f64::INFINITY);
+        assert!(!a.total_epsilon().is_nan());
     }
 }

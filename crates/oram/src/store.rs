@@ -26,7 +26,7 @@ use fedora_storage::fault::{FaultConfig, FaultStats};
 use fedora_storage::profile::{DramProfile, SsdProfile};
 use fedora_storage::ssd::SsdError;
 use fedora_storage::stats::DeviceStats;
-use fedora_storage::{DeviceTelemetry, SimDram, SimSsd};
+use fedora_storage::{AccessTraceRecorder, DeviceTelemetry, SimDram, SimSsd};
 use fedora_telemetry::{Counter, Registry};
 
 use crate::bucket::Bucket;
@@ -303,6 +303,19 @@ impl SsdBucketStore {
         self.ssd
             .set_telemetry(DeviceTelemetry::attach(registry, "storage"));
         self.aead.set_telemetry(registry);
+    }
+
+    /// Attaches a shadow-mode access recorder to the backing SSD so the
+    /// physical page-access sequence can be audited for obliviousness
+    /// (see [`AccessTraceRecorder`]).
+    pub fn set_access_recorder(&mut self, recorder: AccessTraceRecorder) {
+        self.ssd.set_access_recorder(recorder);
+    }
+
+    /// Pages per bucket in this store's layout — the divisor that maps a
+    /// physical page number back to its tree node for trace analysis.
+    pub fn pages_per_bucket(&self) -> u64 {
+        self.pages_per_bucket
     }
 
     /// Sets how many times a failed bucket read is retried before the

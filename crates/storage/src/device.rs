@@ -12,6 +12,7 @@ use crate::file_ssd::{FileSsd, FileSsdError};
 use crate::ssd::{SimSsd, SsdError};
 use crate::stats::DeviceStats;
 use crate::telemetry::DeviceTelemetry;
+use crate::trace_recorder::AccessTraceRecorder;
 
 /// A page-granular block device with modeled statistics and optional
 /// fault injection.
@@ -71,6 +72,11 @@ pub trait PageDevice {
     /// registry (see [`DeviceTelemetry::attach`]).
     fn set_telemetry(&mut self, telemetry: DeviceTelemetry);
 
+    /// Attaches a shadow-mode recorder capturing this device's physical
+    /// page-access sequence for obliviousness auditing (see
+    /// [`AccessTraceRecorder`]).
+    fn set_access_recorder(&mut self, recorder: AccessTraceRecorder);
+
     /// Arms the seeded fault injector; replaces any previous injector.
     fn arm_faults(&mut self, config: FaultConfig);
 
@@ -118,6 +124,10 @@ impl PageDevice for SimSsd {
 
     fn set_telemetry(&mut self, telemetry: DeviceTelemetry) {
         SimSsd::set_telemetry(self, telemetry)
+    }
+
+    fn set_access_recorder(&mut self, recorder: AccessTraceRecorder) {
+        SimSsd::set_access_recorder(self, recorder)
     }
 
     fn arm_faults(&mut self, config: FaultConfig) {
@@ -170,6 +180,10 @@ impl PageDevice for FileSsd {
 
     fn set_telemetry(&mut self, telemetry: DeviceTelemetry) {
         FileSsd::set_telemetry(self, telemetry)
+    }
+
+    fn set_access_recorder(&mut self, recorder: AccessTraceRecorder) {
+        FileSsd::set_access_recorder(self, recorder)
     }
 
     fn arm_faults(&mut self, config: FaultConfig) {

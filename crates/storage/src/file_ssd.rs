@@ -17,6 +17,7 @@ use crate::profile::SsdProfile;
 use crate::ssd::SsdError;
 use crate::stats::DeviceStats;
 use crate::telemetry::DeviceTelemetry;
+use crate::trace_recorder::AccessTraceRecorder;
 
 /// Errors from file-backed SSD operations.
 #[derive(Debug)]
@@ -59,6 +60,7 @@ pub struct FileSsd {
     num_pages: u64,
     stats: DeviceStats,
     telemetry: DeviceTelemetry,
+    recorder: AccessTraceRecorder,
     injector: Option<Box<FaultInjector>>,
     written_once: Vec<bool>,
 }
@@ -89,6 +91,7 @@ impl FileSsd {
             num_pages,
             stats: DeviceStats::new(),
             telemetry: DeviceTelemetry::noop(),
+            recorder: AccessTraceRecorder::disabled(),
             injector: None,
             written_once: vec![false; num_pages as usize],
         })
@@ -98,6 +101,13 @@ impl FileSsd {
     /// registry (see [`DeviceTelemetry::attach`]).
     pub fn set_telemetry(&mut self, telemetry: DeviceTelemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Attaches a shadow-mode access trace recorder (see
+    /// [`AccessTraceRecorder`]); pass [`AccessTraceRecorder::disabled`] to
+    /// detach.
+    pub fn set_access_recorder(&mut self, recorder: AccessTraceRecorder) {
+        self.recorder = recorder;
     }
 
     /// Arms the seeded fault injector; replaces any previous injector.
@@ -190,6 +200,7 @@ impl FileSsd {
         let mut buf = vec![0u8; pb];
         self.file.seek(SeekFrom::Start(page * pb as u64))?;
         self.file.read_exact(&mut buf)?;
+        self.recorder.record_read(page);
         self.stats
             .record_read(pb as u64, self.profile.read_latency_ns);
         self.telemetry
@@ -238,6 +249,7 @@ impl FileSsd {
         self.written_once[page as usize] = true;
         self.file.seek(SeekFrom::Start(page * pb as u64))?;
         self.file.write_all(data)?;
+        self.recorder.record_write(page);
         self.stats
             .record_write(pb as u64, self.profile.write_latency_ns);
         self.telemetry
@@ -267,6 +279,7 @@ impl FileSsd {
             self.file.seek(SeekFrom::Start(page * pb as u64))?;
             self.file.read_exact(&mut buf)?;
             out.push(buf);
+            self.recorder.record_read(page);
             self.stats.pages_read += 1;
             self.stats.bytes_read += pb as u64;
         }
@@ -319,6 +332,7 @@ impl FileSsd {
             self.written_once[*page as usize] = true;
             self.file.seek(SeekFrom::Start(*page * pb as u64))?;
             self.file.write_all(data)?;
+            self.recorder.record_write(*page);
             self.stats.pages_written += 1;
             self.stats.bytes_written += pb as u64;
         }

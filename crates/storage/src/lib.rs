@@ -46,6 +46,7 @@ pub mod scratchpad;
 pub mod ssd;
 pub mod stats;
 pub mod telemetry;
+pub mod trace_recorder;
 
 pub use device::PageDevice;
 pub use dram::SimDram;
@@ -56,3 +57,4 @@ pub use scratchpad::Scratchpad;
 pub use ssd::SimSsd;
 pub use stats::DeviceStats;
 pub use telemetry::DeviceTelemetry;
+pub use trace_recorder::{AccessOp, AccessRecord, AccessTraceRecorder};

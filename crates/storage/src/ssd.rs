@@ -10,6 +10,7 @@ use crate::fault::{FaultConfig, FaultInjector, FaultStats, InjectedFault};
 use crate::profile::SsdProfile;
 use crate::stats::DeviceStats;
 use crate::telemetry::DeviceTelemetry;
+use crate::trace_recorder::AccessTraceRecorder;
 
 /// Error from SSD operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,6 +76,7 @@ pub struct SimSsd {
     num_pages: u64,
     stats: DeviceStats,
     telemetry: DeviceTelemetry,
+    recorder: AccessTraceRecorder,
     injector: Option<Box<FaultInjector>>,
     /// Pages that have been written at least once (the injector needs to
     /// know whether a pre-write image is a real previous version).
@@ -90,6 +92,7 @@ impl SimSsd {
             profile,
             stats: DeviceStats::new(),
             telemetry: DeviceTelemetry::noop(),
+            recorder: AccessTraceRecorder::disabled(),
             injector: None,
             written_once: vec![false; num_pages as usize],
         }
@@ -100,6 +103,15 @@ impl SimSsd {
     /// handle set; pass [`DeviceTelemetry::noop`] to detach.
     pub fn set_telemetry(&mut self, telemetry: DeviceTelemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Attaches a shadow-mode access trace recorder capturing this device's
+    /// physical page-access sequence (see
+    /// [`AccessTraceRecorder`](crate::trace_recorder::AccessTraceRecorder)).
+    /// Replaces any previous recorder; pass
+    /// [`AccessTraceRecorder::disabled`] to detach.
+    pub fn set_access_recorder(&mut self, recorder: AccessTraceRecorder) {
+        self.recorder = recorder;
     }
 
     /// Arms a fault injector: subsequent operations are perturbed per
@@ -186,6 +198,7 @@ impl SimSsd {
         }
         let pb = self.profile.page_bytes;
         let start = page as usize * pb;
+        self.recorder.record_read(page);
         self.stats
             .record_read(pb as u64, self.profile.read_latency_ns);
         self.telemetry
@@ -229,6 +242,7 @@ impl SimSsd {
         }
         self.written_once[page as usize] = true;
         self.pages[start..start + pb].copy_from_slice(data);
+        self.recorder.record_write(page);
         self.stats
             .record_write(pb as u64, self.profile.write_latency_ns);
         self.telemetry
@@ -258,6 +272,7 @@ impl SimSsd {
             self.check(page, None)?;
             let start = page as usize * pb;
             out.push(self.pages[start..start + pb].to_vec());
+            self.recorder.record_read(page);
             // Count the page; batch time is added below.
             self.stats.pages_read += 1;
             self.stats.bytes_read += pb as u64;
@@ -305,6 +320,7 @@ impl SimSsd {
             }
             self.written_once[*page as usize] = true;
             self.pages[start..start + pb].copy_from_slice(data);
+            self.recorder.record_write(*page);
             self.stats.pages_written += 1;
             self.stats.bytes_written += pb as u64;
         }
@@ -530,6 +546,26 @@ mod tests {
             snap.histogram("storage.read.latency").map(|h| h.count),
             Some(1)
         );
+    }
+
+    #[test]
+    fn access_recorder_sees_bus_order() {
+        use crate::trace_recorder::{AccessOp, AccessTraceRecorder};
+        let mut s = ssd(8);
+        let rec = AccessTraceRecorder::new();
+        s.set_access_recorder(rec.clone());
+        s.write_page(3, &vec![1; 4096]).unwrap();
+        s.read_pages(&[3, 5]).unwrap();
+        let trace = rec.snapshot();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].op, AccessOp::Write);
+        assert_eq!(trace[0].page, 3);
+        assert_eq!(trace[1].op, AccessOp::Read);
+        assert_eq!(trace[1].page, 3);
+        assert_eq!(trace[2].page, 5);
+        // snapshot_page is the adversary's out-of-band peek, not bus traffic.
+        let _ = s.snapshot_page(3).unwrap();
+        assert_eq!(rec.len(), 3);
     }
 
     #[test]

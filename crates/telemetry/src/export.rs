@@ -37,6 +37,12 @@ pub struct Snapshot {
     pub events: Vec<Event>,
     /// Events discarded after the journal hit its bound.
     pub events_dropped: u64,
+    /// Sorted names of audit-only series (values derived from round
+    /// secrets). Lookups still resolve them, but the default exporters
+    /// ([`to_json`](Self::to_json), [`to_csv`](Self::to_csv),
+    /// [`to_prometheus_text`](Self::to_prometheus_text)) redact them; use
+    /// [`audit_view`](Self::audit_view) to export everything.
+    pub audit_only: Vec<String>,
 }
 
 impl Snapshot {
@@ -61,17 +67,75 @@ impl Snapshot {
             .map(|(_, v)| v)
     }
 
-    /// Serializes to a single-line JSON object.
+    /// Whether `name` is tagged audit-only (redacted from default exports).
+    pub fn is_audit_only(&self, name: &str) -> bool {
+        self.audit_only
+            .binary_search_by(|k| k.as_str().cmp(name))
+            .is_ok()
+    }
+
+    /// An un-redacted copy for explicitly-requested audit exports: the
+    /// audit-only tag set is cleared, so every series appears in JSON / CSV /
+    /// Prometheus output. Only hand the result to channels cleared to see
+    /// secret-derived series.
+    pub fn audit_view(&self) -> Snapshot {
+        let mut full = self.clone();
+        full.audit_only.clear();
+        full
+    }
+
+    /// A copy with every series name prefixed as `"{prefix}.{name}"`
+    /// (audit-only tags follow their series; events are left untouched).
+    /// Used by the multi-table server to namespace per-shard registries as
+    /// `oram.shard<N>.*` before aggregation.
+    pub fn prefixed(&self, prefix: &str) -> Snapshot {
+        let pre = |k: &String| format!("{prefix}.{k}");
+        Snapshot {
+            counters: self.counters.iter().map(|(k, v)| (pre(k), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (pre(k), *v)).collect(),
+            histograms: self.histograms.iter().map(|(k, v)| (pre(k), *v)).collect(),
+            events: self.events.clone(),
+            events_dropped: self.events_dropped,
+            audit_only: self.audit_only.iter().map(pre).collect(),
+        }
+    }
+
+    /// Merges another snapshot into this one: series lists are
+    /// concatenated (then re-sorted by name so lookups and exports stay
+    /// deterministic), events appended, drop counts summed, and the
+    /// audit-only tag set re-sorted so [`is_audit_only`] keeps working.
+    /// Combine with [`prefixed`](Self::prefixed) to compose disjoint
+    /// per-shard namespaces into one aggregated view.
+    ///
+    /// [`is_audit_only`]: Self::is_audit_only
+    pub fn absorb(&mut self, other: Snapshot) {
+        self.counters.extend(other.counters);
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.extend(other.gauges);
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.extend(other.histograms);
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        self.events.extend(other.events);
+        self.events_dropped += other.events_dropped;
+        self.audit_only.extend(other.audit_only);
+        self.audit_only.sort();
+        self.audit_only.dedup();
+    }
+
+    /// Serializes to a single-line JSON object. Audit-only series are
+    /// redacted; see [`Snapshot::audit_view`].
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\"schema\":\"fedora-telemetry/v1\",\"counters\":{");
-        push_entries(&mut out, &self.counters, |out, v| {
+        push_entries(self, &mut out, &self.counters, |out, v| {
             out.push_str(&v.to_string())
         });
         out.push_str("},\"gauges\":{");
-        push_entries(&mut out, &self.gauges, |out, v| out.push_str(&json_f64(*v)));
+        push_entries(self, &mut out, &self.gauges, |out, v| {
+            out.push_str(&json_f64(*v))
+        });
         out.push_str("},\"histograms\":{");
-        push_entries(&mut out, &self.histograms, |out, h| {
+        push_entries(self, &mut out, &self.histograms, |out, h| {
             out.push_str(&format!(
                 "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
                 h.count,
@@ -110,16 +174,21 @@ impl Snapshot {
     }
 
     /// Serializes instruments (not events) to CSV with header
-    /// `kind,name,field,value`.
+    /// `kind,name,field,value`. Audit-only series are redacted; see
+    /// [`Snapshot::audit_view`].
     pub fn to_csv(&self) -> String {
         let mut out = String::from("kind,name,field,value\n");
-        for (name, v) in &self.counters {
+        for (name, v) in self.counters.iter().filter(|(k, _)| !self.is_audit_only(k)) {
             out.push_str(&format!("counter,{},value,{v}\n", csv_field(name)));
         }
-        for (name, v) in &self.gauges {
+        for (name, v) in self.gauges.iter().filter(|(k, _)| !self.is_audit_only(k)) {
             out.push_str(&format!("gauge,{},value,{v}\n", csv_field(name)));
         }
-        for (name, h) in &self.histograms {
+        for (name, h) in self
+            .histograms
+            .iter()
+            .filter(|(k, _)| !self.is_audit_only(k))
+        {
             let name = csv_field(name);
             for (field, v) in [
                 ("count", h.count),
@@ -273,17 +342,80 @@ impl Snapshot {
     pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
         std::fs::write(path, self.to_csv())
     }
+
+    /// Serializes instruments to the Prometheus text exposition format
+    /// (version 0.0.4), scrape-ready for a push-gateway or file-based
+    /// collector. Audit-only series are redacted; see
+    /// [`Snapshot::audit_view`].
+    ///
+    /// Dotted names are sanitized to `fedora_<name_with_underscores>`.
+    /// Counters and gauges export directly; each histogram expands to
+    /// `_count` / `_sum` counters plus `_p50` / `_p95` / `_p99` quantile
+    /// gauges (the log-bucket histograms keep summaries, not raw buckets,
+    /// so quantiles rather than `le`-bucket series are the honest export).
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        for (name, v) in self.counters.iter().filter(|(k, _)| !self.is_audit_only(k)) {
+            let p = prom_name(name);
+            out.push_str(&format!(
+                "# HELP {p} FEDORA counter {name}\n# TYPE {p} counter\n{p} {v}\n"
+            ));
+        }
+        for (name, v) in self.gauges.iter().filter(|(k, _)| !self.is_audit_only(k)) {
+            let p = prom_name(name);
+            out.push_str(&format!(
+                "# HELP {p} FEDORA gauge {name}\n# TYPE {p} gauge\n{p} {}\n",
+                prom_f64(*v)
+            ));
+        }
+        for (name, h) in self
+            .histograms
+            .iter()
+            .filter(|(k, _)| !self.is_audit_only(k))
+        {
+            let p = prom_name(name);
+            out.push_str(&format!(
+                "# HELP {p}_count FEDORA histogram {name} sample count\n\
+                 # TYPE {p}_count counter\n{p}_count {}\n",
+                h.count
+            ));
+            out.push_str(&format!(
+                "# HELP {p}_sum FEDORA histogram {name} sample sum\n\
+                 # TYPE {p}_sum counter\n{p}_sum {}\n",
+                h.sum
+            ));
+            for (q, v) in [("p50", h.p50), ("p95", h.p95), ("p99", h.p99)] {
+                out.push_str(&format!(
+                    "# HELP {p}_{q} FEDORA histogram {name} {q} quantile\n\
+                     # TYPE {p}_{q} gauge\n{p}_{q} {v}\n"
+                ));
+            }
+        }
+        out
+    }
+
+    /// Writes the Prometheus text exposition to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_prometheus(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_prometheus_text())
+    }
 }
 
 fn push_entries<T>(
+    snap: &Snapshot,
     out: &mut String,
     entries: &[(String, T)],
     mut emit: impl FnMut(&mut String, &T),
 ) {
-    for (i, (k, v)) in entries.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for (k, v) in entries.iter().filter(|(k, _)| !snap.is_audit_only(k)) {
+        if !first {
             out.push(',');
         }
+        first = false;
         out.push('"');
         out.push_str(&escape_json(k));
         out.push_str("\":");
@@ -344,6 +476,37 @@ fn field_str<'e>(e: &'e Event, name: &str) -> &'e str {
     match e.field(name) {
         Some(Value::Str(s)) => s,
         _ => "",
+    }
+}
+
+/// Sanitizes a dotted series name into a Prometheus metric name:
+/// `storage.pages_read` → `fedora_storage_pages_read`. Any character
+/// outside `[a-zA-Z0-9_:]` becomes `_`; the `fedora_` prefix guarantees a
+/// legal leading character.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("fedora_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Prometheus float formatting: the exposition format spells non-finite
+/// values `+Inf` / `-Inf` / `NaN`.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
     }
 }
 
@@ -439,6 +602,95 @@ mod tests {
             .starts_with("kind,name,field,value"));
         let _ = std::fs::remove_file(jp);
         let _ = std::fs::remove_file(cp);
+    }
+
+    #[test]
+    fn prometheus_text_has_type_help_and_quantiles() {
+        let text = sample().to_prometheus_text();
+        assert!(text.contains("# TYPE fedora_storage_pages_read counter\n"));
+        assert!(
+            text.contains("# HELP fedora_storage_pages_read FEDORA counter storage.pages_read\n")
+        );
+        assert!(text.contains("fedora_storage_pages_read 5\n"));
+        assert!(text.contains("# TYPE fedora_oram_stash_len gauge\n"));
+        assert!(text.contains("fedora_oram_stash_len 3\n"));
+        assert!(text.contains("fedora_oram_access_latency_count 3\n"));
+        assert!(text.contains("# TYPE fedora_oram_access_latency_p95 gauge\n"));
+        assert!(text.contains("fedora_oram_access_latency_p50 "));
+        assert!(text.contains("fedora_oram_access_latency_p99 "));
+    }
+
+    #[test]
+    fn prometheus_nonfinite_gauges_spelled_out() {
+        let r = Registry::new();
+        r.gauge("inf").set(f64::INFINITY);
+        r.gauge("nan").set(f64::NAN);
+        let text = r.snapshot().to_prometheus_text();
+        assert!(text.contains("fedora_inf +Inf\n"));
+        assert!(text.contains("fedora_nan NaN\n"));
+    }
+
+    #[test]
+    fn audit_only_series_redacted_from_default_exports() {
+        let r = Registry::new();
+        r.counter("public.count").add(1);
+        r.gauge_audit("fdp.round.k_union").set(17.0);
+        r.counter_audit("fdp.dummies.total").add(3);
+        r.histogram_audit("fdp.k.overhead").record(4);
+        let s = r.snapshot();
+        // Lookups still resolve the secret-derived series.
+        assert_eq!(s.gauge("fdp.round.k_union"), Some(17.0));
+        assert!(s.is_audit_only("fdp.round.k_union"));
+        assert!(!s.is_audit_only("public.count"));
+        for text in [s.to_json(), s.to_csv(), s.to_prometheus_text()] {
+            assert!(!text.contains("k_union"), "redacted from: {text}");
+            assert!(!text.contains("fdp.dummies"), "redacted from: {text}");
+            assert!(!text.contains("fdp_dummies"), "redacted from: {text}");
+            assert!(!text.contains("overhead"), "redacted from: {text}");
+            assert!(text.contains("public"), "public series kept: {text}");
+        }
+        // The explicit audit view exports everything.
+        let full = s.audit_view();
+        assert!(full.to_json().contains("\"fdp.round.k_union\":17"));
+        assert!(full
+            .to_csv()
+            .contains("counter,fdp.dummies.total,value,3\n"));
+        assert!(full
+            .to_prometheus_text()
+            .contains("fedora_fdp_k_overhead_count 1\n"));
+    }
+
+    #[test]
+    fn prefixed_renames_series_and_audit_tags() {
+        let r = Registry::new();
+        r.counter("storage.pages_read").add(2);
+        r.gauge_audit("fdp.round.k_union").set(9.0);
+        let p = r.snapshot_lite().prefixed("oram.shard3");
+        assert_eq!(p.counter("oram.shard3.storage.pages_read"), Some(2));
+        assert_eq!(p.counter("storage.pages_read"), None);
+        assert!(p.is_audit_only("oram.shard3.fdp.round.k_union"));
+        assert!(!p.to_json().contains("k_union"));
+    }
+
+    #[test]
+    fn absorb_merges_shard_snapshots() {
+        let a = Registry::new();
+        a.counter("storage.pages_read").add(2);
+        a.gauge_audit("fdp.round.k_union").set(9.0);
+        let b = Registry::new();
+        b.counter("storage.pages_read").add(5);
+        let mut merged = a.snapshot_lite().prefixed("oram.shard0");
+        merged.absorb(b.snapshot_lite().prefixed("oram.shard1"));
+        assert_eq!(merged.counter("oram.shard0.storage.pages_read"), Some(2));
+        assert_eq!(merged.counter("oram.shard1.storage.pages_read"), Some(5));
+        // Audit tags stay sorted after the merge so lookups still resolve.
+        assert!(merged.is_audit_only("oram.shard0.fdp.round.k_union"));
+        assert!(!merged.to_json().contains("k_union"));
+        // Names are re-sorted: exports stay deterministic.
+        let names: Vec<&str> = merged.counters.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! eager: a counter exists (at zero) in snapshots from the moment any layer
 //! asks for it, which keeps exported key sets stable across runs.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -31,6 +31,10 @@ struct RegistryInner {
     histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
     journal: Mutex<Journal>,
     tracer: TracerCore,
+    /// Series names whose values derive from round secrets (anything
+    /// computed from `k_union`). Snapshots carry this set so default
+    /// exporters can redact them; see [`Snapshot::audit_view`].
+    audit_only: Mutex<BTreeSet<String>>,
 }
 
 /// A handle to a metrics registry, or a no-op sink.
@@ -106,6 +110,37 @@ impl Registry {
                     .or_insert_with(|| Arc::new(HistogramCore::new())),
             )),
         }
+    }
+
+    /// Marks the series `name` as **audit-only**: its value derives from a
+    /// round secret (in FEDORA, anything computed from `k_union`), so the
+    /// default JSON/CSV/Prometheus exports redact it lest the telemetry
+    /// channel itself become a side channel. Lookups on snapshots still see
+    /// the series; only the exporters filter. No-op on a disabled registry.
+    pub fn mark_audit_only(&self, name: &str) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.audit_only).insert(name.to_string());
+        }
+    }
+
+    /// Returns (registering if needed) the counter `name`, marked
+    /// audit-only. See [`Registry::mark_audit_only`].
+    pub fn counter_audit(&self, name: &str) -> Counter {
+        self.mark_audit_only(name);
+        self.counter(name)
+    }
+
+    /// Returns (registering if needed) the gauge `name`, marked audit-only.
+    pub fn gauge_audit(&self, name: &str) -> Gauge {
+        self.mark_audit_only(name);
+        self.gauge(name)
+    }
+
+    /// Returns (registering if needed) the histogram `name`, marked
+    /// audit-only.
+    pub fn histogram_audit(&self, name: &str) -> Histogram {
+        self.mark_audit_only(name);
+        self.histogram(name)
     }
 
     /// Opens a hierarchical span named `name`, timing the scope into the
@@ -217,6 +252,7 @@ impl Registry {
                 Vec::new()
             },
             events_dropped: journal.dropped(),
+            audit_only: lock(&inner.audit_only).iter().cloned().collect(),
         }
     }
 }
