@@ -20,6 +20,7 @@ fn run<M: AggregationMode>(
     dataset: &Dataset,
     server_lr: f32,
     rounds: usize,
+    threads: usize,
 ) -> TrainingOutcome {
     let mut rng = StdRng::seed_from_u64(404);
     let mut model = DlrmModel::new(
@@ -42,6 +43,7 @@ fn run<M: AggregationMode>(
             ..Default::default()
         },
         protection: Some((ProtectionMode::HideValue, 1.0)),
+        threads,
     };
     let out = train_with_fedora_mode(&mut model, dataset, &cfg, &mut mode, &mut rng)
         .expect("pipeline run");
@@ -60,6 +62,7 @@ fn main() {
     let (opts, args) = OutputOpts::from_env();
     let quick = args.iter().any(|a| a == "--quick");
     let rounds = if quick { 8 } else { 30 };
+    let threads = opts.threads_or_serial();
     let registry = opts.registry();
     let record = |label: &str, out: TrainingOutcome| {
         let prefix = format!("modes.{}", metric_label(label));
@@ -85,12 +88,12 @@ fn main() {
     println!("Operation-mode ablation (MovieLens-like, eps = 1, {rounds} rounds):\n");
     record(
         "FedAvg",
-        run("FedAvg (Eq. 1)", FedAvg, &dataset, 2.0, rounds),
+        run("FedAvg (Eq. 1)", FedAvg, &dataset, 2.0, rounds, threads),
     );
     // Adam's normalized steps want a smaller server LR.
     record(
         "FedAdam",
-        run("FedAdam", FedAdam::new(), &dataset, 0.05, rounds),
+        run("FedAdam", FedAdam::new(), &dataset, 0.05, rounds, threads),
     );
     record(
         "EANA",
@@ -100,6 +103,7 @@ fn main() {
             &dataset,
             2.0,
             rounds,
+            threads,
         ),
     );
     record(
@@ -110,6 +114,7 @@ fn main() {
             &dataset,
             2.0,
             rounds,
+            threads,
         ),
     );
     println!("\nAll four modes run unmodified through the buffer ORAM (Eq. 4);");

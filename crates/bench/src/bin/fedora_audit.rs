@@ -28,7 +28,7 @@ use std::path::PathBuf;
 use fedora::audit::{
     audit_determinism, audit_twin_inputs, twin_inputs, AuditOutcome, AuditVerdict,
 };
-use fedora::config::{FedoraConfig, PrivacyConfig, TableSpec};
+use fedora::config::{FedoraConfig, ParallelismConfig, PrivacyConfig, TableSpec};
 use fedora::server::FedoraServer;
 use fedora_bench::outopts::OutputOpts;
 use fedora_fl::modes::FedAvg;
@@ -41,8 +41,11 @@ fedora_audit — twin-run obliviousness auditor + privacy-ledger check
 
 USAGE:
     fedora_audit [--k N] [--rounds N] [--seed S] [--entries N]
-                 [--epsilon E] [--out PATH]
+                 [--epsilon E] [--out PATH] [--threads N]
                  [--metrics-out PATH] [--metrics-format json|csv|prom]
+
+--threads N runs every audited pipeline with N worker threads; the checks
+must pass identically at any thread count (determinism is the point).
 
 Writes an audit report (schema fedora-privacy-audit/v1) to --out (default
 fedora_audit.json) and exits non-zero when any check fails: an honest
@@ -97,10 +100,18 @@ fn check_json(name: &str, expect_leak: bool, outcome: &AuditOutcome, pass: bool)
 
 /// Ledger check: run a few live rounds and compare `fdp.total.epsilon` on
 /// the final report against the accountant. Returns (total, matches).
-fn ledger_check(entries: u64, k: usize, rounds: usize, seed: u64, epsilon: f64) -> (f64, bool) {
+fn ledger_check(
+    entries: u64,
+    k: usize,
+    rounds: usize,
+    seed: u64,
+    epsilon: f64,
+    threads: usize,
+) -> (f64, bool) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut config = FedoraConfig::for_testing(TableSpec::tiny(entries), k.max(16));
     config.privacy = PrivacyConfig::with_epsilon(epsilon);
+    config.parallelism = ParallelismConfig::with_threads(threads);
     let mut server =
         FedoraServer::with_telemetry(config, |_| vec![0u8; 32], Registry::new(), &mut rng);
     let mut mode = FedAvg;
@@ -182,13 +193,18 @@ fn main() {
     ];
 
     let registry = opts.registry();
+    let threads = opts.threads_or_serial();
     let (req_a, req_b) = twin_inputs(k);
     let mut all_pass = true;
     let mut check_blobs = Vec::new();
-    println!("fedora_audit: K = {k}, {rounds} rounds, seed {seed}, {entries} entries");
+    println!(
+        "fedora_audit: K = {k}, {rounds} rounds, seed {seed}, {entries} entries, \
+         {threads} thread(s)"
+    );
     for check in &checks {
         let mut config = FedoraConfig::for_testing(TableSpec::tiny(entries), k.max(16));
         config.privacy = check.privacy.clone();
+        config.parallelism = ParallelismConfig::with_threads(threads);
         let outcome = match audit_twin_inputs(&config, seed, &req_a, &req_b, rounds) {
             Ok(o) => o,
             Err(e) => {
@@ -220,6 +236,7 @@ fn main() {
 
     let mut det_config = FedoraConfig::for_testing(TableSpec::tiny(entries), k.max(16));
     det_config.privacy = PrivacyConfig::with_epsilon(epsilon);
+    det_config.parallelism = ParallelismConfig::with_threads(threads);
     let deterministic = match audit_determinism(&det_config, seed, &req_a, rounds) {
         Ok(b) => b,
         Err(e) => {
@@ -234,7 +251,7 @@ fn main() {
         if deterministic { "[ok]" } else { "[FAIL]" }
     );
 
-    let (ledger_total, ledger_ok) = ledger_check(entries, k, rounds, seed, epsilon);
+    let (ledger_total, ledger_ok) = ledger_check(entries, k, rounds, seed, epsilon, threads);
     all_pass &= ledger_ok;
     println!(
         "  {:<20} fdp.total.epsilon == accountant ({}) {}",

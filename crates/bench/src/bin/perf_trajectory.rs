@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! perf_trajectory run [--out PATH] [--quick] [--rounds N] [--seed S]
+//!                     [--threads L1,L2,...] [--shards N]
 //!                     [--metrics-out PATH] [--trace-out PATH]
 //! perf_trajectory compare BASE.json NEW.json
 //!                     [--threshold-pct P] [--min-abs N] [--advisory]
@@ -15,13 +16,22 @@
 //! `--quick` shrinks the matrix to the two cells CI's `perf-smoke` job
 //! runs (the committed `BENCH_*.json` baseline uses the same preset).
 //!
+//! `--threads` takes a comma list of worker-thread counts and runs the
+//! whole matrix once per count; cells at N > 1 threads get a `.t<N>` id
+//! suffix (the serial cells keep their unsuffixed ids so historical
+//! baselines still line up). `--shards N` adds a multi-shard cell per
+//! thread count — N independent tables driven through
+//! [`MultiTableServer::round_parallel`], the workload where the shard
+//! fan-out's wall-clock speedup shows up.
+//!
 //! `compare` exits non-zero when any metric regressed beyond the threshold
 //! (default +25% and at least `--min-abs` absolute growth) or baseline
 //! coverage was lost, unless `--advisory` is given.
 
 use std::path::PathBuf;
 
-use fedora::config::{FedoraConfig, PrivacyConfig, TableSpec};
+use fedora::config::{FedoraConfig, ParallelismConfig, PrivacyConfig, TableSpec};
+use fedora::multi::{MultiTableServer, TableInit};
 use fedora::server::{FedoraServer, PhaseBreakdown};
 use fedora_bench::outopts::OutputOpts;
 use fedora_bench::trajectory::{compare, today_iso, Cell, Thresholds, Trajectory};
@@ -36,14 +46,17 @@ perf_trajectory — capture or diff a perf-trajectory point
 
 USAGE:
     perf_trajectory run [--out PATH] [--quick] [--rounds N] [--seed S]
+                        [--threads L1,L2,...] [--shards N]
                         [--metrics-out PATH] [--trace-out PATH]
     perf_trajectory compare BASE.json NEW.json
                         [--threshold-pct P] [--min-abs N] [--advisory]
 
 `run` writes BENCH_<date>.json (schema fedora-perf-trajectory/v1) from a
-fixed workload matrix on the live pipeline. `compare` diffs two such files
-and exits non-zero on regressions beyond the threshold (advisory mode
-always exits 0).
+fixed workload matrix on the live pipeline. --threads runs the matrix once
+per listed worker-thread count (cells get a .t<N> suffix for N > 1);
+--shards N adds one N-table MultiTableServer cell per thread count.
+`compare` diffs two such files and exits non-zero on regressions beyond
+the threshold (advisory mode always exits 0).
 ";
 
 /// One matrix cell's shape.
@@ -51,33 +64,64 @@ struct CellSpec {
     entries: u64,
     clients: usize,
     aggregator: &'static str,
+    /// Independent tables (1 = the classic single-table pipeline; > 1
+    /// drives a [`MultiTableServer`] round per round).
+    shards: usize,
+    /// Worker threads the cell runs with.
+    threads: usize,
 }
 
 impl CellSpec {
     fn id(&self) -> String {
-        format!(
-            "entries{}.clients{}.{}",
-            self.entries, self.clients, self.aggregator
-        )
+        let mut id = if self.shards > 1 {
+            format!(
+                "shards{}.entries{}.clients{}.{}",
+                self.shards, self.entries, self.clients, self.aggregator
+            )
+        } else {
+            format!(
+                "entries{}.clients{}.{}",
+                self.entries, self.clients, self.aggregator
+            )
+        };
+        // Serial cells keep the historical unsuffixed ids so committed
+        // baselines still line up under `compare`.
+        if self.threads > 1 {
+            id.push_str(&format!(".t{}", self.threads));
+        }
+        id
     }
 }
 
-fn matrix(quick: bool) -> Vec<CellSpec> {
+fn matrix(quick: bool, threads_list: &[usize], shards: usize) -> Vec<CellSpec> {
     let (entry_sizes, client_counts): (&[u64], &[usize]) = if quick {
         (&[1024], &[4])
     } else {
         (&[1024, 4096, 16384], &[4, 16])
     };
     let mut cells = Vec::new();
-    for &entries in entry_sizes {
-        for &clients in client_counts {
-            for aggregator in ["fedavg", "fedadam"] {
-                cells.push(CellSpec {
-                    entries,
-                    clients,
-                    aggregator,
-                });
+    for &threads in threads_list {
+        for &entries in entry_sizes {
+            for &clients in client_counts {
+                for aggregator in ["fedavg", "fedadam"] {
+                    cells.push(CellSpec {
+                        entries,
+                        clients,
+                        aggregator,
+                        shards: 1,
+                        threads,
+                    });
+                }
             }
+        }
+        if shards > 1 {
+            cells.push(CellSpec {
+                entries: entry_sizes[0],
+                clients: client_counts[0],
+                aggregator: "fedavg",
+                shards,
+                threads,
+            });
         }
     }
     cells
@@ -87,6 +131,9 @@ fn matrix(quick: bool) -> Vec<CellSpec> {
 /// counters don't bleed between cells) and returns the measured cell plus
 /// the cell's final snapshot.
 fn run_cell(spec: &CellSpec, rounds: usize, seed: u64, tracing: bool) -> (Cell, Snapshot) {
+    if spec.shards > 1 {
+        return run_cell_multishard(spec, rounds, seed);
+    }
     let registry = Registry::new();
     if tracing {
         registry.set_tracing(true);
@@ -96,6 +143,82 @@ fn run_cell(spec: &CellSpec, rounds: usize, seed: u64, tracing: bool) -> (Cell, 
         _ => run_cell_mode(spec, rounds, seed, &registry, &mut FedAvg),
     };
     (cell, registry.snapshot())
+}
+
+/// Multi-shard cell: `spec.shards` independent tables, one complete round
+/// per table fanned out through [`MultiTableServer::round_parallel`]. The
+/// recorded latency is *wall-clock* across the fan-out — the metric the
+/// thread-scaling curve reads.
+fn run_cell_multishard(spec: &CellSpec, rounds: usize, seed: u64) -> (Cell, Snapshot) {
+    const HISTORY_PER_CLIENT: usize = 8;
+    const DIM: usize = 8;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k_total = spec.clients * HISTORY_PER_CLIENT;
+    let configs: Vec<TableInit<'_>> = (0..spec.shards)
+        .map(|_| {
+            let mut config =
+                FedoraConfig::for_testing(TableSpec::tiny(spec.entries), k_total.max(16));
+            config.privacy = PrivacyConfig::with_epsilon(1.0);
+            (
+                config,
+                Box::new(|_| vec![0u8; 4 * DIM]) as Box<dyn FnMut(u64) -> Vec<u8>>,
+            )
+        })
+        .collect();
+    let mut server = MultiTableServer::with_parallelism(
+        configs,
+        ParallelismConfig::with_threads(spec.threads),
+        &mut rng,
+    );
+
+    let mut wall_ns = 0u64;
+    for round in 0..rounds {
+        let requests: Vec<Vec<u64>> = (0..spec.shards)
+            .map(|_| {
+                Workload::Kaggle
+                    .generate(spec.entries, k_total, &mut rng)
+                    .requests
+            })
+            .collect();
+        let mut modes: Vec<FedAvg> = (0..spec.shards).map(|_| FedAvg).collect();
+        let start = std::time::Instant::now();
+        server
+            .round_parallel(
+                &requests,
+                &mut modes,
+                1.0,
+                |t, table, mode, trng| {
+                    for &id in &requests[t] {
+                        if table.serve(id, trng)?.is_some() {
+                            let gradient: Vec<f32> =
+                                (0..DIM).map(|_| trng.gen_range(-0.1..0.1)).collect();
+                            table.aggregate(&*mode, id, &gradient, 1, trng)?;
+                        }
+                    }
+                    Ok(())
+                },
+                &mut rng,
+            )
+            .unwrap_or_else(|e| panic!("cell {}: round {round}: {e}", spec.id()));
+        wall_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    }
+
+    let stats = server.ssd_stats();
+    let metrics = vec![
+        (
+            "round.latency_ns.mean".to_owned(),
+            wall_ns as f64 / rounds as f64,
+        ),
+        ("ssd.pages_read".to_owned(), stats.pages_read as f64),
+        ("ssd.pages_written".to_owned(), stats.pages_written as f64),
+    ];
+    (
+        Cell {
+            id: spec.id(),
+            metrics,
+        },
+        server.metrics_snapshot(),
+    )
 }
 
 fn run_cell_mode<M: AggregationMode>(
@@ -111,6 +234,7 @@ fn run_cell_mode<M: AggregationMode>(
     let k_total = spec.clients * HISTORY_PER_CLIENT;
     let mut config = FedoraConfig::for_testing(TableSpec::tiny(spec.entries), k_total.max(16));
     config.privacy = PrivacyConfig::with_epsilon(1.0);
+    config.parallelism = ParallelismConfig::with_threads(spec.threads);
     let mut server =
         FedoraServer::with_telemetry(config, |_| vec![0u8; 4 * DIM], registry.clone(), &mut rng);
 
@@ -217,7 +341,7 @@ fn flag_present(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-fn cmd_run(opts: &OutputOpts, mut args: Vec<String>) -> i32 {
+fn cmd_run(opts: &OutputOpts, threads_list: &[usize], mut args: Vec<String>) -> i32 {
     let quick = flag_present(&mut args, "--quick");
     let out = flag_value(&mut args, "--out")
         .map(PathBuf::from)
@@ -228,25 +352,29 @@ fn cmd_run(opts: &OutputOpts, mut args: Vec<String>) -> i32 {
     let seed: u64 = flag_value(&mut args, "--seed")
         .map(|v| v.parse().unwrap_or(42))
         .unwrap_or(42);
+    let shards: usize = flag_value(&mut args, "--shards")
+        .map(|v| v.parse().unwrap_or(1))
+        .unwrap_or(1);
     if !args.is_empty() {
         eprintln!("error: unexpected arguments {args:?}\n\n{USAGE}");
         return 2;
     }
 
     let mut trajectory = Trajectory::new(&today_iso());
-    let cells = matrix(quick);
+    let cells = matrix(quick, threads_list, shards);
     println!(
-        "perf_trajectory: {} cells × {rounds} rounds (seed {seed}{})",
+        "perf_trajectory: {} cells × {rounds} rounds (seed {seed}, threads {threads_list:?}{})",
         cells.len(),
         if quick { ", quick preset" } else { "" }
     );
+    println!("  {:<42} {:>7} {:>16}", "cell", "threads", "round mean");
     // --metrics-out / --trace-out export the LAST cell's registry (each
     // cell runs on its own registry so counters don't bleed between cells).
     let mut last_snapshot = None;
     for spec in &cells {
         let (cell, snapshot) = run_cell(spec, rounds, seed, opts.trace_out.is_some());
         let mean_ms = cell.metric("round.latency_ns.mean").unwrap_or(0.0) / 1e6;
-        println!("  {:<34} round mean {mean_ms:.3} ms", cell.id);
+        println!("  {:<42} {:>7} {mean_ms:>13.3} ms", cell.id, spec.threads);
         trajectory.cells.push(cell);
         last_snapshot = Some(snapshot);
     }
@@ -336,10 +464,38 @@ fn cmd_compare(mut args: Vec<String>) -> i32 {
     }
 }
 
+/// Extracts `--threads L1,L2,...` (a comma list of positive integers)
+/// before [`OutputOpts`] sees the arguments — the shared parser only
+/// accepts a single count, while `run` sweeps a whole list.
+fn extract_threads_list(args: &mut Vec<String>) -> Vec<usize> {
+    let Some(value) = flag_value(args, "--threads") else {
+        return vec![1];
+    };
+    let parsed: Option<Vec<usize>> = value
+        .split(',')
+        .map(|part| part.trim().parse::<usize>().ok().filter(|&n| n > 0))
+        .collect();
+    match parsed {
+        Some(list) if !list.is_empty() => list,
+        _ => {
+            eprintln!("error: --threads needs a comma list of positive integers, got '{value}'");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
-    let (opts, args) = OutputOpts::from_env();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads_list = extract_threads_list(&mut args);
+    let opts = match OutputOpts::extract(&mut args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
     let code = match args.split_first() {
-        Some((cmd, rest)) if cmd == "run" => cmd_run(&opts, rest.to_vec()),
+        Some((cmd, rest)) if cmd == "run" => cmd_run(&opts, &threads_list, rest.to_vec()),
         Some((cmd, rest)) if cmd == "compare" => cmd_compare(rest.to_vec()),
         Some((cmd, _)) if cmd == "help" || cmd == "--help" || cmd == "-h" => {
             print!("{USAGE}");

@@ -86,6 +86,7 @@ fn main() {
                 epochs: 2,
                 ..Default::default()
             },
+            threads: opts.threads_or_serial(),
         };
         let pub_auc = *run_reference_fl(&mut pub_model, &dataset, &sim, &mut rng)
             .last()
@@ -136,6 +137,7 @@ fn main() {
                         ..Default::default()
                     },
                     protection: prot,
+                    threads: opts.threads_or_serial(),
                 };
                 let mut model = fresh_model(&dataset, true, 777);
                 let mut rng = StdRng::seed_from_u64(2024);

@@ -10,6 +10,9 @@
 //! * `--trace-out PATH` — write the causal span journal as Chrome
 //!   trace-event JSON, loadable in <https://ui.perfetto.dev> or
 //!   `chrome://tracing`.
+//! * `--threads N` — worker threads for the deterministic parallel
+//!   pipeline (default 1 = serial). Thread count never changes results,
+//!   only wall-clock time.
 //!
 //! [`OutputOpts::extract`] strips both flag pairs from an argument vector
 //! (so positional parsing stays untouched), [`OutputOpts::registry`] builds
@@ -70,6 +73,9 @@ pub struct OutputOpts {
     pub metrics_format: MetricsFormat,
     /// Where to write the Chrome trace-event JSON, if requested.
     pub trace_out: Option<PathBuf>,
+    /// Worker threads (`--threads N`); `None` means the binary's default
+    /// (serial). Thread count never changes results — only wall-clock time.
+    pub threads: Option<usize>,
 }
 
 impl OutputOpts {
@@ -104,10 +110,24 @@ impl OutputOpts {
         if let Some(path) = take(args, "--trace-out")? {
             opts.trace_out = Some(PathBuf::from(path));
         }
+        if let Some(threads) = take(args, "--threads")? {
+            let parsed: usize = threads
+                .parse()
+                .map_err(|_| format!("--threads needs a positive integer, got '{threads}'"))?;
+            if parsed == 0 {
+                return Err("--threads needs a positive integer, got '0'".to_owned());
+            }
+            opts.threads = Some(parsed);
+        }
         if let Some(fmt) = format {
             opts.metrics_format = MetricsFormat::parse(&fmt)?;
         }
         Ok(opts)
+    }
+
+    /// The worker-thread count to use: the `--threads` value, or 1.
+    pub fn threads_or_serial(&self) -> usize {
+        self.threads.unwrap_or(1)
     }
 
     /// Extracts the flags from the process arguments (after the binary
@@ -221,6 +241,23 @@ mod tests {
     fn extract_rejects_dangling_flag() {
         let mut args = vec!["--trace-out".to_owned()];
         assert!(OutputOpts::extract(&mut args).is_err());
+    }
+
+    #[test]
+    fn extract_parses_threads() {
+        let mut args: Vec<String> = ["8", "--threads", "4"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let opts = OutputOpts::extract(&mut args).unwrap();
+        assert_eq!(args, vec!["8".to_owned()]);
+        assert_eq!(opts.threads, Some(4));
+        assert_eq!(opts.threads_or_serial(), 4);
+        assert_eq!(OutputOpts::default().threads_or_serial(), 1);
+        for bad in ["0", "x"] {
+            let mut args: Vec<String> = vec!["--threads".to_owned(), bad.to_owned()];
+            assert!(OutputOpts::extract(&mut args).is_err(), "{bad}");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use fedora::adversary::{count_attack, dp_success_bound};
 use fedora::analytic::{fedora_round, lifetime_months, path_oram_plus_round};
-use fedora::config::{FedoraConfig, PrivacyConfig, TableSpec};
+use fedora::config::{FedoraConfig, ParallelismConfig, PrivacyConfig, TableSpec};
 use fedora::latency::LatencyModel;
 use fedora::server::FedoraServer;
 use fedora_fdp::{FdpMechanism, YShape};
@@ -34,6 +34,8 @@ COMMANDS:
                --table small|medium|large  --updates N  --epsilon E
     round      run one live round on the simulated pipeline
                --entries N  --requests a,b,c,...  --epsilon E
+               --threads N (worker threads for bulk path crypto;
+               default 1 — thread count never changes results)
     attack     optimal access-count distinguisher vs the DP bound
                --epsilon E  --trials N
     help       print this message
@@ -244,8 +246,10 @@ fn cmd_round(flags: &HashMap<String, String>) -> Result<(), String> {
         return Err(format!("request {bad} outside table of {entries} entries"));
     }
 
+    let threads = u64_flag(flags, "threads", 1)?.max(1) as usize;
     let mut rng = StdRng::seed_from_u64(u64_flag(flags, "seed", 42)?);
     let mut config = FedoraConfig::for_testing(TableSpec::tiny(entries), requests.len().max(16));
+    config.parallelism = ParallelismConfig::with_threads(threads);
     config.privacy = if epsilon == 0.0 {
         PrivacyConfig::perfect()
     } else if epsilon.is_infinite() {

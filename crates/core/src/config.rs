@@ -192,6 +192,46 @@ impl PrivacyBudgetConfig {
     }
 }
 
+/// How many worker threads the round pipeline may use.
+///
+/// Parallelism never changes *what* the pipeline computes, only how many
+/// cores compute it: work is partitioned statically by index (see
+/// [`fedora_par::WorkerPool`]) and merged in index order, so any thread
+/// count produces bit-identical gradients, round reports (modulo latency),
+/// and canonical access traces. The default of 1 runs the exact serial
+/// code path — no threads are spawned at all.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelismConfig {
+    /// Worker threads for client training, shard fan-out, and bucket
+    /// crypto (0 is clamped to 1).
+    pub threads: usize,
+}
+
+impl Default for ParallelismConfig {
+    fn default() -> Self {
+        ParallelismConfig { threads: 1 }
+    }
+}
+
+impl ParallelismConfig {
+    /// The serial default.
+    pub fn serial() -> Self {
+        ParallelismConfig::default()
+    }
+
+    /// `threads` workers (0 clamps to 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelismConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker pool this configuration describes.
+    pub fn pool(&self) -> fedora_par::WorkerPool {
+        fedora_par::WorkerPool::new(self.threads)
+    }
+}
+
 /// Fault-tolerance policy for the server's round pipeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultToleranceConfig {
@@ -250,6 +290,8 @@ pub struct FedoraConfig {
     pub fault_tolerance: FaultToleranceConfig,
     /// Cumulative ε-budget alarm/enforcement (off by default).
     pub privacy_budget: PrivacyBudgetConfig,
+    /// Worker-thread budget for the round pipeline (serial by default).
+    pub parallelism: ParallelismConfig,
 }
 
 impl FedoraConfig {
@@ -269,6 +311,7 @@ impl FedoraConfig {
             selection: SelectionStrategy::FirstK,
             fault_tolerance: FaultToleranceConfig::default(),
             privacy_budget: PrivacyBudgetConfig::default(),
+            parallelism: ParallelismConfig::default(),
         }
     }
 
@@ -286,6 +329,7 @@ impl FedoraConfig {
             selection: SelectionStrategy::FirstK,
             fault_tolerance: FaultToleranceConfig::default(),
             privacy_budget: PrivacyBudgetConfig::default(),
+            parallelism: ParallelismConfig::default(),
         }
     }
 

@@ -10,10 +10,12 @@
 //! argument as request chunks within a table, §4.2).
 
 use fedora_fl::modes::AggregationMode;
+use fedora_par::WorkerPool;
 use fedora_telemetry::Snapshot;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use crate::config::FedoraConfig;
+use crate::config::{FedoraConfig, ParallelismConfig};
 use crate::server::{FedoraError, FedoraServer, RoundReport};
 
 /// Identifier of one private table (the sparse-feature index).
@@ -23,8 +25,16 @@ pub type TableId = usize;
 pub type TableInit<'a> = (FedoraConfig, Box<dyn FnMut(u64) -> Vec<u8> + 'a>);
 
 /// Several private tables, each behind its own FEDORA pipeline.
+///
+/// Tables are fully independent (own ORAM, own devices, own registry
+/// namespace `oram.shard<N>.*`), so their rounds can fan out across a
+/// [`WorkerPool`]. To keep every thread count bit-identical, each table's
+/// round always runs on its own [`StdRng`] seeded from one serial draw
+/// per table off the caller's RNG — regardless of whether the table then
+/// executes inline or on a worker.
 pub struct MultiTableServer {
     tables: Vec<FedoraServer>,
+    pool: WorkerPool,
 }
 
 /// Per-round report across all tables.
@@ -57,13 +67,50 @@ fn shard_prefix(table: TableId) -> String {
 }
 
 impl MultiTableServer {
-    /// Builds one pipeline per `(config, init)` pair.
+    /// Builds one pipeline per `(config, init)` pair. Rounds run serially;
+    /// use [`Self::with_parallelism`] or [`Self::set_threads`] to fan out.
     pub fn new<R: Rng>(configs: Vec<TableInit<'_>>, rng: &mut R) -> Self {
+        Self::with_parallelism(configs, ParallelismConfig::serial(), rng)
+    }
+
+    /// Builds one pipeline per `(config, init)` pair with per-table round
+    /// execution fanned out over `parallelism.threads` workers.
+    pub fn with_parallelism<R: Rng>(
+        configs: Vec<TableInit<'_>>,
+        parallelism: ParallelismConfig,
+        rng: &mut R,
+    ) -> Self {
         let tables = configs
             .into_iter()
             .map(|(config, init)| FedoraServer::new(config, init, rng))
             .collect();
-        MultiTableServer { tables }
+        let mut server = MultiTableServer {
+            tables,
+            pool: WorkerPool::serial(),
+        };
+        server.set_threads(parallelism.threads);
+        server
+    }
+
+    /// Changes the worker-thread count for subsequent rounds. The budget
+    /// splits hierarchically: one worker per table for the shard fan-out,
+    /// and the remainder (`threads / num_tables`, at least 1) drives each
+    /// table's bucket crypto. Thread count never changes results — only
+    /// wall-clock time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = WorkerPool::new(threads);
+        let per_table = (threads.max(1) / self.tables.len().max(1)).max(1);
+        for table in &mut self.tables {
+            table.set_threads(per_table);
+        }
+    }
+
+    /// One serially drawn RNG seed per table. Drawing the seeds on the
+    /// caller's RNG (in table order) and handing each table its own
+    /// `StdRng` makes the per-table streams independent of which worker
+    /// runs which table — the determinism anchor for the whole fan-out.
+    fn table_seeds<R: Rng>(&self, rng: &mut R) -> Vec<u64> {
+        self.tables.iter().map(|_| rng.gen()).collect()
     }
 
     /// Number of protected tables.
@@ -80,13 +127,15 @@ impl MultiTableServer {
         &self.tables[table]
     }
 
-    /// Begins a round on every table. `requests[t]` is table `t`'s flat
-    /// request list; tables with no requests this round still run an
-    /// (empty) round so the round counter stays aligned.
+    /// Begins a round on every table, fanned out over the worker pool.
+    /// `requests[t]` is table `t`'s flat request list; tables with no
+    /// requests this round still run an (empty) round so the round counter
+    /// stays aligned.
     ///
     /// # Errors
     ///
-    /// The first table error aborts (configuration bug).
+    /// Every table runs to completion; the first table's error (in table
+    /// order) is then returned (configuration bug).
     ///
     /// # Panics
     ///
@@ -101,9 +150,16 @@ impl MultiTableServer {
             self.tables.len(),
             "one request list per table"
         );
+        let seeds = self.table_seeds(rng);
+        let mut work: Vec<(&mut FedoraServer, &Vec<u64>)> =
+            self.tables.iter_mut().zip(requests).collect();
+        let results = self.pool.map_mut(&mut work, |i, (server, reqs)| {
+            let mut table_rng = StdRng::seed_from_u64(seeds[i]);
+            server.begin_round(reqs, &mut table_rng)
+        });
         let mut out = MultiRoundReport::default();
-        for (server, reqs) in self.tables.iter_mut().zip(requests) {
-            out.per_table.push(server.begin_round(reqs, rng)?);
+        for report in results {
+            out.per_table.push(report?);
         }
         Ok(out)
     }
@@ -141,6 +197,11 @@ impl MultiTableServer {
 
     /// Ends the round on every table.
     ///
+    /// Runs serially even on a parallel pool: the one shared `mode`
+    /// (optimizer state) must observe tables in a fixed order. For a fully
+    /// parallel round give each table its own mode via
+    /// [`Self::round_parallel`].
+    ///
     /// # Errors
     ///
     /// The first table error aborts.
@@ -153,6 +214,67 @@ impl MultiTableServer {
         let mut out = MultiRoundReport::default();
         for (i, server) in self.tables.iter_mut().enumerate() {
             let report = server.end_round(mode, server_lr, rng)?;
+            out.metrics
+                .absorb(report.metrics.prefixed(&shard_prefix(i)));
+            out.per_table.push(report);
+        }
+        Ok(out)
+    }
+
+    /// Runs one complete round on every table, fanned out over the worker
+    /// pool: each shard executes `begin_round` → `client` callback (serve /
+    /// aggregate against that one table) → `end_round` on its own worker,
+    /// with its own aggregation mode (`modes[t]`) and its own
+    /// deterministically seeded RNG. Reports and `oram.shard<N>.*` metrics
+    /// merge in table order, so results are bit-identical for every thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Every table runs to completion; the first table's error (in table
+    /// order) is then returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests.len()` or `modes.len()` differs from
+    /// `num_tables()`.
+    pub fn round_parallel<M, F, R>(
+        &mut self,
+        requests: &[Vec<u64>],
+        modes: &mut [M],
+        server_lr: f32,
+        client: F,
+        rng: &mut R,
+    ) -> Result<MultiRoundReport, FedoraError>
+    where
+        M: AggregationMode + Send,
+        F: Fn(TableId, &mut FedoraServer, &mut M, &mut StdRng) -> Result<(), FedoraError> + Sync,
+        R: Rng,
+    {
+        assert_eq!(
+            requests.len(),
+            self.tables.len(),
+            "one request list per table"
+        );
+        assert_eq!(modes.len(), self.tables.len(), "one mode per table");
+        let seeds = self.table_seeds(rng);
+        let mut work: Vec<((&mut FedoraServer, &mut M), &Vec<u64>)> = self
+            .tables
+            .iter_mut()
+            .zip(modes.iter_mut())
+            .zip(requests)
+            .collect();
+        let results = self.pool.map_mut(&mut work, |i, ((server, mode), reqs)| {
+            let server: &mut FedoraServer = server;
+            let mode: &mut M = mode;
+            let mut table_rng = StdRng::seed_from_u64(seeds[i]);
+            server.begin_round(reqs, &mut table_rng)?;
+            client(i, server, mode, &mut table_rng)?;
+            server.end_round(mode, server_lr, &mut table_rng)
+        });
+        let mut out = MultiRoundReport::default();
+        for (i, report) in results.into_iter().enumerate() {
+            let report = report?;
             out.metrics
                 .absorb(report.metrics.prefixed(&shard_prefix(i)));
             out.per_table.push(report);
@@ -281,6 +403,54 @@ mod tests {
         // Secret-derived series stay audit-only through the merge.
         assert!(m.is_audit_only("oram.shard0.fdp.round.k_union"));
         assert!(!m.to_json().contains("k_union"));
+    }
+
+    /// Runs two `round_parallel` rounds at the given thread count and
+    /// returns rng-independent observables: per-table access counts plus
+    /// the post-round contents of one entry per table.
+    fn parallel_round_outcome(threads: usize) -> (Vec<usize>, Vec<Vec<u8>>) {
+        let (mut s, mut rng) = multi(9);
+        s.set_threads(threads);
+        let reqs = vec![vec![1, 2, 3], vec![4, 5]];
+        let mut counts = Vec::new();
+        for _ in 0..2 {
+            let mut modes = vec![FedAvg, FedAvg];
+            let report = s
+                .round_parallel(
+                    &reqs,
+                    &mut modes,
+                    1.0,
+                    |t, server, mode, trng| {
+                        for &id in &reqs[t] {
+                            assert!(server.serve(id, trng)?.is_some());
+                            server.aggregate(&*mode, id, &[0.25; 8], 1, trng)?;
+                        }
+                        Ok(())
+                    },
+                    &mut rng,
+                )
+                .unwrap();
+            assert_eq!(report.per_table.len(), 2);
+            assert!(report.metrics.gauge("oram.shard1.fdp.rounds").is_some());
+            counts.extend(report.per_table.iter().map(|r| r.k_accesses));
+        }
+        s.begin_round(&[vec![1], vec![4]], &mut rng).unwrap();
+        let a = s.serve(0, 1, &mut rng).unwrap().unwrap();
+        let b = s.serve(1, 4, &mut rng).unwrap().unwrap();
+        let mut mode = FedAvg;
+        s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        (counts, vec![a, b])
+    }
+
+    #[test]
+    fn round_parallel_is_thread_count_invariant() {
+        let serial = parallel_round_outcome(1);
+        for threads in [2, 4] {
+            assert_eq!(serial, parallel_round_outcome(threads), "threads={threads}");
+        }
+        // And the aggregates actually landed.
+        let first = f32::from_le_bytes(serial.1[0][..4].try_into().unwrap());
+        assert!((first - 0.5).abs() < 1e-6, "two rounds of 0.25: {first}");
     }
 
     #[test]

@@ -334,6 +334,7 @@ impl FedoraServer {
             SsdBucketStore::new(config.geometry, key.derive_subkey("main-oram"), config.ssd);
         store.set_retry_limit(config.fault_tolerance.max_read_retries);
         store.set_rollback_window(config.fault_tolerance.rollback_window);
+        store.set_threads(config.parallelism.threads);
         let mut main = RawOram::new(store, config.table.num_entries, config.raw, init, rng);
         main.set_telemetry(&registry);
         let mut buffer = BufferOram::new(
@@ -425,6 +426,14 @@ impl FedoraServer {
     /// accesses in the trace.
     pub fn set_access_recorder(&mut self, recorder: AccessTraceRecorder) {
         self.main.store_mut().set_access_recorder(recorder);
+    }
+
+    /// Changes the worker-thread count for the main ORAM's bulk path
+    /// crypto. Thread count never changes results or the physical access
+    /// trace — only host wall-clock time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.config.parallelism = crate::config::ParallelismConfig::with_threads(threads);
+        self.main.set_threads(threads);
     }
 
     /// Arms seeded fault injection on the main ORAM's SSD.

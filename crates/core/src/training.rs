@@ -35,6 +35,10 @@ pub struct TrainingConfig {
     /// What the run protects and at what budget. `None` means ε = ∞
     /// (Strawman 2 — the accuracy upper bound).
     pub protection: Option<(ProtectionMode, f64)>,
+    /// Worker threads for the per-client local-training fan-out. Any
+    /// value produces bit-identical results (static partitioning, merged
+    /// in client-index order); 1 runs fully serial.
+    pub threads: usize,
 }
 
 impl Default for TrainingConfig {
@@ -49,6 +53,7 @@ impl Default for TrainingConfig {
                 ..Default::default()
             },
             protection: Some((ProtectionMode::HideValue, 1.0)),
+            threads: 1,
         }
     }
 }
@@ -146,6 +151,7 @@ pub fn train_with_fedora_mode<M: AggregationMode, R: Rng>(
     let mut outcome = TrainingOutcome::default();
 
     let registry = server.registry().clone();
+    let pool = fedora_par::WorkerPool::new(config.threads);
 
     for _ in 0..config.rounds {
         // ① Client-side sampling: pick the cohort and build the request
@@ -180,15 +186,15 @@ pub fn train_with_fedora_mode<M: AggregationMode, R: Rng>(
         // ②–③ Read phase.
         server.begin_round(&requests, rng)?;
 
-        // ④–⑥ Serve, train, aggregate.
-        let mut dense_acc: Option<fedora_fl::model::DenseParams> = None;
-        let mut attention_acc: Option<fedora_fl::linalg::Matrix> = None;
-        let mut dense_weight = 0.0f64;
-        let mut item_acc: HashMap<u64, (Vec<f32>, f64)> = HashMap::new();
-
+        // ④ Download: serve every request (including padding — the dummy
+        // requests cost a buffer access each, like any other). The buffer
+        // ORAM is stateful, so serving stays on the caller thread; mid-
+        // round aggregates never change served bytes (they touch only the
+        // gradient half of each buffer block), so serving everything up
+        // front is value-identical to the old interleaved order.
+        let mut client_rows: Vec<HashMap<u64, Option<Vec<f32>>>> =
+            Vec::with_capacity(per_user_requests.len());
         for (user, reqs, real) in &per_user_requests {
-            // Serve every request (including padding — the dummy requests
-            // cost a buffer access each, like any other).
             let download_span =
                 registry.trace_span_with("client.download", &[("user", (*user).into())]);
             let mut rows: HashMap<u64, Option<Vec<f32>>> = HashMap::new();
@@ -199,13 +205,39 @@ pub fn train_with_fedora_mode<M: AggregationMode, R: Rng>(
                 }
             }
             drop(download_span);
-            let history: Vec<u64> = reqs[..*real].to_vec();
-            let ud = dataset.user(*user);
-            let train_span = registry.trace_span_with("client.train", &[("user", (*user).into())]);
-            let trained = config
-                .trainer
-                .train(model, &ud.train, &history, Some(&rows));
-            drop(train_span);
+            client_rows.push(rows);
+        }
+
+        // ⑤ Local training: pure per-client compute fanned out over the
+        // pool (static partitioning) and merged back in client-index
+        // order, so any thread count yields bit-identical updates. Worker
+        // spans root under the captured parent id to keep one causal tree.
+        let train_span = registry.trace_span("clients.train");
+        let train_parent = train_span.id();
+        let global: &DlrmModel = model;
+        let updates = pool.map(&per_user_requests, |i, (user, reqs, real)| {
+            let _span = registry.trace_span_under_with(
+                train_parent,
+                "client.train",
+                &[("user", (*user).into())],
+            );
+            let history = &reqs[..*real];
+            config.trainer.train(
+                global,
+                &dataset.user(*user).train,
+                history,
+                Some(&client_rows[i]),
+            )
+        });
+        drop(train_span);
+
+        // ⑥ Upload/aggregate in client-index order.
+        let mut dense_acc: Option<fedora_fl::model::DenseParams> = None;
+        let mut attention_acc: Option<fedora_fl::linalg::Matrix> = None;
+        let mut dense_weight = 0.0f64;
+        let mut item_acc: HashMap<u64, (Vec<f32>, f64)> = HashMap::new();
+
+        for ((user, _, _), trained) in per_user_requests.iter().zip(updates) {
             let Some(update) = trained else {
                 continue;
             };
@@ -358,6 +390,27 @@ mod tests {
         assert_eq!(out.dummy_rate, 0.0);
         assert_eq!(out.lost_rate, 0.0);
         assert_eq!(out.total_accesses, out.total_union);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_outcome() {
+        let dataset = tiny_dataset();
+        let run = |threads: usize| {
+            let mut model = tiny_model(47);
+            let mut rng = StdRng::seed_from_u64(48);
+            let cfg = TrainingConfig {
+                users_per_round: 8,
+                rounds: 3,
+                threads,
+                ..Default::default()
+            };
+            let out = train_with_fedora(&mut model, &dataset, &cfg, &mut rng).unwrap();
+            (out, model.history_row(5).to_vec())
+        };
+        let serial = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), serial, "threads={threads}");
+        }
     }
 
     #[test]

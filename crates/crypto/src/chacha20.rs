@@ -25,10 +25,10 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
     state[b] = (state[b] ^ state[c]).rotate_left(7);
 }
 
-/// Computes one 64-byte ChaCha20 keystream block.
-///
-/// `counter` is the 32-bit block counter from RFC 8439 §2.3.
-pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+/// Computes one ChaCha20 keystream block as its 16 native `u32` words —
+/// the form [`xor_stream`] consumes directly, skipping the byte
+/// serialization round-trip of [`block`].
+fn block_words(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u32; 16] {
     let mut state = [0u32; 16];
     state[..4].copy_from_slice(&CONSTANTS);
     for i in 0..8 {
@@ -53,9 +53,19 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
         quarter_round(&mut working, 3, 4, 9, 14);
     }
 
+    for (w, s) in working.iter_mut().zip(&state) {
+        *w = w.wrapping_add(*s);
+    }
+    working
+}
+
+/// Computes one 64-byte ChaCha20 keystream block.
+///
+/// `counter` is the 32-bit block counter from RFC 8439 §2.3.
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let words = block_words(key, counter, nonce);
     let mut out = [0u8; BLOCK_LEN];
-    for i in 0..16 {
-        let word = working[i].wrapping_add(state[i]);
+    for (i, word) in words.iter().enumerate() {
         out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
     }
     out
@@ -82,10 +92,26 @@ pub fn xor_stream(
     nonce: &[u8; NONCE_LEN],
     data: &mut [u8],
 ) {
-    for (block_idx, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
-        let counter = initial_counter.wrapping_add(block_idx as u32);
-        let ks = block(key, counter, nonce);
-        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+    let mut chunks = data.chunks_exact_mut(BLOCK_LEN);
+    let mut block_idx = 0u32;
+    // Full blocks: XOR the keystream 64 bits at a time straight from the
+    // block words — no per-block byte serialization, no scratch buffer.
+    // `from_le`/`to_le` keep the lane packing endian-correct everywhere.
+    for chunk in &mut chunks {
+        let ks = block_words(key, initial_counter.wrapping_add(block_idx), nonce);
+        block_idx = block_idx.wrapping_add(1);
+        for (i, pair) in ks.chunks_exact(2).enumerate() {
+            let k = u64::from(pair[0]) | (u64::from(pair[1]) << 32);
+            let off = 8 * i;
+            let d = u64::from_le_bytes(chunk[off..off + 8].try_into().expect("8 bytes"));
+            chunk[off..off + 8].copy_from_slice(&(d ^ k).to_le_bytes());
+        }
+    }
+    // Partial tail block: byte-wise against a stack-serialized keystream.
+    let tail = chunks.into_remainder();
+    if !tail.is_empty() {
+        let ks = block(key, initial_counter.wrapping_add(block_idx), nonce);
+        for (d, k) in tail.iter_mut().zip(ks.iter()) {
             *d ^= *k;
         }
     }
@@ -148,6 +174,45 @@ mod tests {
         assert_ne!(data, original);
         xor_stream(&key, 7, &nonce, &mut data);
         assert_eq!(data, original);
+    }
+
+    #[test]
+    fn wordwise_xor_matches_bytewise_reference() {
+        // The u64-lane fast path must agree with the scalar reference
+        // (block() + byte XOR) for every alignment of the tail.
+        let key = [0x42u8; 32];
+        let nonce = [0x17u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 128, 130, 1000] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+            let mut fast = original.clone();
+            xor_stream(&key, 3, &nonce, &mut fast);
+            let mut reference = original.clone();
+            for (block_idx, chunk) in reference.chunks_mut(BLOCK_LEN).enumerate() {
+                let ks = block(&key, 3u32.wrapping_add(block_idx as u32), &nonce);
+                for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                    *d ^= *k;
+                }
+            }
+            assert_eq!(fast, reference, "len={len}");
+        }
+    }
+
+    /// Assertion-free throughput microbench: `cargo test -p fedora-crypto
+    /// --release -- --ignored --nocapture xor_stream_throughput`.
+    #[test]
+    #[ignore = "microbench; run with --ignored --nocapture for MB/s"]
+    fn xor_stream_throughput() {
+        let key = [7u8; 32];
+        let nonce = [1u8; 12];
+        let mut data = vec![0xA5u8; 4 << 20];
+        let iters = 32u32;
+        let start = std::time::Instant::now();
+        for i in 0..iters {
+            xor_stream(&key, i, &nonce, &mut data);
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let mb = (data.len() as f64 * f64::from(iters)) / (1024.0 * 1024.0);
+        eprintln!("chacha20 xor_stream: {:.1} MB/s", mb / secs);
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct FlSimConfig {
     pub server_lr: f32,
     /// Local trainer settings.
     pub trainer: LocalTrainer,
+    /// Worker threads for the per-client training fan-out. Results are
+    /// merged in client-index order, so any value is bit-identical to the
+    /// serial run; 1 (the default) spawns no threads.
+    pub threads: usize,
 }
 
 impl Default for FlSimConfig {
@@ -40,6 +44,7 @@ impl Default for FlSimConfig {
                 epochs: 2,
                 ..Default::default()
             },
+            threads: 1,
         }
     }
 }
@@ -54,12 +59,22 @@ pub fn run_reference_fl<R: Rng>(
     let mut mode = FedAvg;
     let mut aucs = Vec::with_capacity(config.rounds);
     let all_users: Vec<u32> = (0..dataset.users().len() as u32).collect();
+    let pool = fedora_par::WorkerPool::new(config.threads);
 
     for _ in 0..config.rounds {
         let selected: Vec<u32> = all_users
             .choose_multiple(rng, config.users_per_round)
             .copied()
             .collect();
+
+        // Local training is pure per-client compute: fan it out over the
+        // pool (static partitioning) and merge in client-index order, so
+        // every thread count aggregates in exactly the serial order.
+        let global: &DlrmModel = model;
+        let updates = pool.map(&selected, |_, &user| {
+            let ud = dataset.user(user);
+            config.trainer.train(global, &ud.train, &ud.history, None)
+        });
 
         // Collect client updates.
         let mut dense_acc: Option<crate::model::DenseParams> = None;
@@ -69,9 +84,8 @@ pub fn run_reference_fl<R: Rng>(
         let mut item_acc: std::collections::HashMap<u64, (Vec<f32>, f64)> = Default::default();
         let mut hist_acc: std::collections::HashMap<u64, (Vec<f32>, f64)> = Default::default();
 
-        for &user in &selected {
-            let ud = dataset.user(user);
-            let Some(update) = config.trainer.train(model, &ud.train, &ud.history, None) else {
+        for update in updates {
+            let Some(update) = update else {
                 continue;
             };
             let n = update.n_samples;

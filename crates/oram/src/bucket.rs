@@ -93,6 +93,19 @@ impl Bucket {
         false
     }
 
+    /// Resets every slot to the empty state (`valid = false`, zeroed id,
+    /// leaf, and payload) without reallocating — byte-identical to a fresh
+    /// [`Bucket::empty`] of the same shape, so scratch buckets can be
+    /// reused across evictions.
+    pub fn clear(&mut self) {
+        for slot in &mut self.slots {
+            slot.valid = false;
+            slot.block.id = 0;
+            slot.block.leaf = 0;
+            slot.block.payload.fill(0);
+        }
+    }
+
     /// Removes and returns the block with `id`, if present.
     pub fn take(&mut self, id: u64) -> Option<Block> {
         for slot in &mut self.slots {

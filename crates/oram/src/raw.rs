@@ -133,6 +133,10 @@ pub struct RawOram<S: BucketStore> {
     ao_trace: Vec<u64>,
     eo_trace: Vec<u64>,
     telemetry: OramTelemetry,
+    /// Reused eviction output-path buffer (cleared, not reallocated).
+    scratch_path: Vec<Bucket>,
+    /// Reused valid-bit buffer for VTree bucket updates.
+    scratch_bits: Vec<bool>,
 }
 
 impl<S: BucketStore> RawOram<S> {
@@ -211,7 +215,15 @@ impl<S: BucketStore> RawOram<S> {
             ao_trace: Vec::new(),
             eo_trace: Vec::new(),
             telemetry: OramTelemetry::default(),
+            scratch_path: Vec::new(),
+            scratch_bits: Vec::new(),
         }
+    }
+
+    /// Sets the worker-thread count for the backing store's bulk crypto.
+    /// Thread count never changes results — only wall-clock time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.store.set_threads(threads);
     }
 
     /// Attaches telemetry: ORAM access/eviction latency histograms and
@@ -495,22 +507,34 @@ impl<S: BucketStore> RawOram<S> {
             }
         }
 
-        let mut out_path = vec![Bucket::empty(geo.z(), geo.block_bytes()); nodes.len()];
+        // Rebuild the output path in the reused scratch buffer: clearing
+        // zeroes the slots in place, so the written bytes are identical to
+        // freshly allocated empty buckets without the per-eviction
+        // allocation of `levels · z` blocks.
+        if self.scratch_path.len() != nodes.len() {
+            self.scratch_path = vec![Bucket::empty(geo.z(), geo.block_bytes()); nodes.len()];
+        } else {
+            for bucket in &mut self.scratch_path {
+                bucket.clear();
+            }
+        }
         for level in (0..=geo.depth()).rev() {
             for block in self
                 .stash
                 .drain_for_bucket(leaf, level, geo.depth(), geo.z())
             {
-                let inserted = out_path[level as usize].try_insert(block);
+                let inserted = self.scratch_path[level as usize].try_insert(block);
                 debug_assert!(inserted, "drain_for_bucket respects capacity");
             }
         }
-        for (bucket, &node) in out_path.iter().zip(&nodes) {
-            let bits: Vec<bool> = bucket.slots().iter().map(|s| s.valid).collect();
-            self.vtree.set_bucket(node, &bits);
+        for (bucket, &node) in self.scratch_path.iter().zip(&nodes) {
+            self.scratch_bits.clear();
+            self.scratch_bits
+                .extend(bucket.slots().iter().map(|s| s.valid));
+            self.vtree.set_bucket(node, &self.scratch_bits);
         }
         self.note_stash();
-        let result = self.store.write_path(leaf, &out_path);
+        let result = self.store.write_path(leaf, &self.scratch_path);
         timer.stop(); // record this eviction before deriving the suggestion
         self.update_suggested_a();
         result

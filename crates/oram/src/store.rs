@@ -22,6 +22,7 @@ use std::collections::BTreeSet;
 
 use fedora_crypto::aead::{ChaCha20Poly1305, Key, Nonce, TAG_LEN};
 use fedora_crypto::IntegrityError;
+use fedora_par::WorkerPool;
 use fedora_storage::fault::{FaultConfig, FaultStats};
 use fedora_storage::profile::{DramProfile, SsdProfile};
 use fedora_storage::ssd::SsdError;
@@ -163,6 +164,12 @@ pub trait BucketStore {
     /// no-op for backends without instrumentation.
     fn set_telemetry(&mut self, _registry: &Registry) {}
 
+    /// Sets the worker-thread count for the store's bulk crypto (path
+    /// encrypt/decrypt). Thread count never changes results or the device
+    /// access sequence — only host wall-clock time. The default is a no-op
+    /// for backends without parallel crypto.
+    fn set_threads(&mut self, _threads: usize) {}
+
     /// Counters of integrity events (detections, retries, quarantines).
     fn integrity_stats(&self) -> IntegrityStats {
         IntegrityStats::default()
@@ -239,6 +246,31 @@ fn bucket_aad(node: u64) -> [u8; 8] {
     node.to_le_bytes()
 }
 
+/// Decrypts `raw` as `node`'s bucket at an explicit counter. Free-standing
+/// (no `&self`) so batched path decrypts can fan out across workers while
+/// borrowing only the AEAD and geometry.
+fn decrypt_bucket(
+    aead: &ChaCha20Poly1305,
+    geometry: &TreeGeometry,
+    node: u64,
+    raw: &[u8],
+    count: u64,
+) -> Option<Bucket> {
+    let ct_len = geometry.bucket_plain_bytes() + TAG_LEN;
+    let plain = aead
+        .decrypt(
+            &bucket_nonce(node, count),
+            &raw[..ct_len],
+            &bucket_aad(node),
+        )
+        .ok()?;
+    Some(Bucket::from_bytes(
+        &plain,
+        geometry.z(),
+        geometry.block_bytes(),
+    ))
+}
+
 /// Bucket store over the simulated SSD (page-granular, batched I/O).
 #[derive(Clone, Debug)]
 pub struct SsdBucketStore {
@@ -252,6 +284,9 @@ pub struct SsdBucketStore {
     integrity: IntegrityStats,
     quarantined: BTreeSet<u64>,
     telemetry: IntegrityTelemetry,
+    pool: WorkerPool,
+    /// Reused page-id scratch for path reads (no per-access allocation).
+    scratch_pages: Vec<u64>,
 }
 
 impl SsdBucketStore {
@@ -280,6 +315,8 @@ impl SsdBucketStore {
             integrity: IntegrityStats::default(),
             quarantined: BTreeSet::new(),
             telemetry: IntegrityTelemetry::default(),
+            pool: WorkerPool::serial(),
+            scratch_pages: Vec::new(),
         };
         store.initialize_empty();
         store.ssd.reset_stats();
@@ -322,6 +359,13 @@ impl SsdBucketStore {
     /// bucket is quarantined (0 = fail on the first violation).
     pub fn set_retry_limit(&mut self, retries: u32) {
         self.retry_limit = retries;
+    }
+
+    /// Sets the worker-thread count for path encrypt/decrypt. The device
+    /// I/O stays a single batched call either way, so the physical access
+    /// trace — and every result — is identical for any thread count.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool = WorkerPool::new(threads);
     }
 
     /// Sets how many older counters are probed when classifying a tag
@@ -409,20 +453,7 @@ impl SsdBucketStore {
 
     /// Decrypts `raw` as `node`'s bucket at an explicit counter.
     fn decrypt_at(&self, node: u64, raw: &[u8], count: u64) -> Option<Bucket> {
-        let ct_len = self.geometry.bucket_plain_bytes() + TAG_LEN;
-        let plain = self
-            .aead
-            .decrypt(
-                &bucket_nonce(node, count),
-                &raw[..ct_len],
-                &bucket_aad(node),
-            )
-            .ok()?;
-        Some(Bucket::from_bytes(
-            &plain,
-            self.geometry.z(),
-            self.geometry.block_bytes(),
-        ))
+        decrypt_bucket(&self.aead, &self.geometry, node, raw, count)
     }
 
     /// Classifies a tag mismatch: if the bytes authenticate at a *recent
@@ -469,9 +500,11 @@ impl SsdBucketStore {
         mut last_kind: IntegrityError,
     ) -> Result<Bucket, OramError> {
         let base = self.page_base(node);
-        let pages: Vec<u64> = (0..self.pages_per_bucket).map(|i| base + i).collect();
+        self.scratch_pages.clear();
+        self.scratch_pages
+            .extend((0..self.pages_per_bucket).map(|i| base + i));
         while failures <= self.retry_limit {
-            match self.ssd.read_pages(&pages) {
+            match self.ssd.read_pages(&self.scratch_pages) {
                 Ok(raw_pages) => {
                     let raw: Vec<u8> = raw_pages.concat();
                     let count = self.write_counts[node as usize];
@@ -533,12 +566,13 @@ impl BucketStore for SsdBucketStore {
         // faults heal on re-read); a transient failure of the whole batch
         // falls back to per-bucket resilient reads.
         let nodes = self.geometry.path_nodes(leaf);
-        let mut pages = Vec::with_capacity(nodes.len() * self.pages_per_bucket as usize);
+        self.scratch_pages.clear();
         for &node in &nodes {
             let base = self.page_base(node);
-            pages.extend((0..self.pages_per_bucket).map(|i| base + i));
+            self.scratch_pages
+                .extend((0..self.pages_per_bucket).map(|i| base + i));
         }
-        let raw_pages = match self.ssd.read_pages(&pages) {
+        let raw_pages = match self.ssd.read_pages(&self.scratch_pages) {
             Ok(raw) => raw,
             Err(SsdError::Transient { .. }) => {
                 self.integrity.transient_retries += 1;
@@ -551,13 +585,32 @@ impl BucketStore for SsdBucketStore {
             Err(_) => return Err(OramError::Device),
         };
         let per = self.pages_per_bucket as usize;
+        // The device traffic above is a single batched call; the host-side
+        // cost of a path read is the per-bucket AEAD below, so fan it out.
+        // Workers only verify/decrypt — failures are handled serially
+        // afterwards in node order, identical to the serial code.
+        let decrypted: Vec<Option<Bucket>> = {
+            let pool = self.pool;
+            let aead = &self.aead;
+            let geometry = &self.geometry;
+            let counts = &self.write_counts;
+            pool.map_indices(nodes.len(), |i| {
+                let node = nodes[i];
+                let count = counts[node as usize];
+                if per == 1 {
+                    decrypt_bucket(aead, geometry, node, &raw_pages[i], count)
+                } else {
+                    let raw = raw_pages[i * per..(i + 1) * per].concat();
+                    decrypt_bucket(aead, geometry, node, &raw, count)
+                }
+            })
+        };
         let mut out = Vec::with_capacity(nodes.len());
-        for (i, &node) in nodes.iter().enumerate() {
-            let raw: Vec<u8> = raw_pages[i * per..(i + 1) * per].concat();
-            let count = self.write_counts[node as usize];
-            match self.decrypt_at(node, &raw, count) {
+        for (i, (&node, maybe)) in nodes.iter().zip(decrypted).enumerate() {
+            match maybe {
                 Some(bucket) => out.push(bucket),
                 None => {
+                    let raw: Vec<u8> = raw_pages[i * per..(i + 1) * per].concat();
                     let kind = self.note_violation(node, &raw);
                     out.push(self.read_bucket_resilient(node, 1, kind)?);
                 }
@@ -570,15 +623,35 @@ impl BucketStore for SsdBucketStore {
         let nodes = self.geometry.path_nodes(leaf);
         assert_eq!(buckets.len(), nodes.len(), "one bucket per path level");
         let page_bytes = self.ssd.profile().page_bytes;
-        let mut writes = Vec::with_capacity(nodes.len() * self.pages_per_bucket as usize);
-        for (&node, bucket) in nodes.iter().zip(buckets) {
-            let count = self.write_counts[node as usize] + 1;
-            self.write_counts[node as usize] = count;
-            let plain = bucket.to_bytes();
-            let mut ct = self
-                .aead
-                .encrypt(&bucket_nonce(node, count), &plain, &bucket_aad(node));
-            ct.resize(self.pages_per_bucket as usize * page_bytes, 0);
+        let per = self.pages_per_bucket as usize;
+        // Counters are protocol state: bump them serially in node order.
+        // Each bucket's ciphertext then depends only on its own (node,
+        // counter) pair, so the AEAD work fans out over the pool while the
+        // device write below stays one batched call in node order.
+        let counts: Vec<u64> = nodes
+            .iter()
+            .map(|&node| {
+                let count = self.write_counts[node as usize] + 1;
+                self.write_counts[node as usize] = count;
+                count
+            })
+            .collect();
+        let ciphertexts: Vec<Vec<u8>> = {
+            let pool = self.pool;
+            let aead = &self.aead;
+            pool.map_indices(nodes.len(), |i| {
+                let plain = buckets[i].to_bytes();
+                let mut ct = aead.encrypt(
+                    &bucket_nonce(nodes[i], counts[i]),
+                    &plain,
+                    &bucket_aad(nodes[i]),
+                );
+                ct.resize(per * page_bytes, 0);
+                ct
+            })
+        };
+        let mut writes = Vec::with_capacity(nodes.len() * per);
+        for (&node, ct) in nodes.iter().zip(&ciphertexts) {
             let base = self.page_base(node);
             for (i, chunk) in ct.chunks_exact(page_bytes).enumerate() {
                 writes.push((base + i as u64, chunk.to_vec()));
@@ -606,6 +679,10 @@ impl BucketStore for SsdBucketStore {
 
     fn set_telemetry(&mut self, registry: &Registry) {
         SsdBucketStore::set_telemetry(self, registry);
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        SsdBucketStore::set_threads(self, threads);
     }
 
     fn integrity_stats(&self) -> IntegrityStats {

@@ -187,6 +187,40 @@ impl Registry {
         TraceSpan::begin(self, name, attrs)
     }
 
+    /// Opens a causal trace span under an **explicit** parent span id
+    /// instead of the caller thread's innermost open span. Worker threads
+    /// use this to keep the causal tree connected across a fan-out: the
+    /// dispatching thread captures its span's id ([`TraceSpan::id`] /
+    /// [`Span::trace_id`]) before spawning and each worker roots its spans
+    /// under it, so Perfetto still renders one tree. `parent = 0` opens a
+    /// root span.
+    pub fn trace_span_under(&self, parent: u64, name: &str) -> TraceSpan {
+        TraceSpan::begin_under(self, parent, name, &[])
+    }
+
+    /// Like [`Registry::trace_span_under`] but with key=value attributes on
+    /// the `trace.begin` record.
+    pub fn trace_span_under_with(
+        &self,
+        parent: u64,
+        name: &str,
+        attrs: &[(&str, Value)],
+    ) -> TraceSpan {
+        TraceSpan::begin_under(self, parent, name, attrs)
+    }
+
+    /// Like [`Registry::span`] (latency histogram + causal span) but with
+    /// the causal span rooted under an explicit parent span id; see
+    /// [`Registry::trace_span_under`].
+    pub fn span_under(&self, parent: u64, name: &str) -> Span {
+        Span {
+            timer: self.histogram(&format!("{name}.latency")).start_timer(),
+            trace: self.trace_span_under(parent, name),
+            name: name.to_string(),
+            registry: self.clone(),
+        }
+    }
+
     /// Records a `trace.io` point event attributing `sim_ns` of *simulated*
     /// device latency (plus page/byte counts) to the innermost span open on
     /// this thread. No-op when tracing is off.
@@ -368,6 +402,14 @@ impl Span {
         self.trace.attr(key, value);
     }
 
+    /// Id of the underlying causal trace span (0 when tracing is off).
+    /// Capture this before a fan-out and pass it to
+    /// [`Registry::span_under`] / [`Registry::trace_span_under`] so worker
+    /// spans stay connected to this span's tree.
+    pub fn trace_id(&self) -> u64 {
+        self.trace.id()
+    }
+
     /// Ends the span now (same as dropping it).
     pub fn end(self) {
         self.timer.stop();
@@ -474,5 +516,45 @@ mod tests {
         let r2 = r.clone();
         r2.counter("shared").incr();
         assert_eq!(r.snapshot().counter("shared"), Some(1));
+    }
+
+    #[test]
+    fn concurrent_writers_lose_no_journal_records() {
+        use crate::journal::MAX_JOURNAL_EVENTS;
+        // Worker pools share one Registry handle across threads; the
+        // journal must neither lose nor double-count records under
+        // contention, and the overflow tail must land in `dropped` (and
+        // thus `telemetry.journal.dropped`) exactly.
+        const WRITERS: usize = 8;
+        const PER_WRITER: usize = MAX_JOURNAL_EVENTS / WRITERS + 1_000;
+        let r = Registry::new();
+        let handles: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        r.event("par.tick", &[("w", w.into()), ("i", i.into())]);
+                        r.counter("par.ticks").incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = r.snapshot();
+        let total = (WRITERS * PER_WRITER) as u64;
+        assert_eq!(snap.counter("par.ticks"), Some(total));
+        assert_eq!(snap.events.len(), MAX_JOURNAL_EVENTS);
+        assert_eq!(snap.events_dropped, total - MAX_JOURNAL_EVENTS as u64);
+        assert_eq!(
+            snap.counter("telemetry.journal.dropped"),
+            Some(total - MAX_JOURNAL_EVENTS as u64)
+        );
+        // Sequence numbers stay dense and ordered: concurrent pushes
+        // serialize under the journal lock.
+        for (i, e) in snap.events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
     }
 }

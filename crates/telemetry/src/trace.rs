@@ -155,6 +155,31 @@ impl TraceSpan {
     /// Opens a span, emitting `trace.begin` and pushing the thread-local
     /// stack. Returns an inert guard when tracing is off.
     pub(crate) fn begin(registry: &Registry, name: &str, attrs: &[(&str, Value)]) -> Self {
+        TraceSpan::begin_impl(registry, None, name, attrs)
+    }
+
+    /// Opens a span under an **explicit** parent span id instead of the
+    /// innermost span on this thread. This is how worker threads keep the
+    /// causal tree connected: the dispatching thread captures its open
+    /// span's [`TraceSpan::id`] before fan-out and each worker roots its
+    /// spans under it, so Perfetto still shows one tree. The new span is
+    /// pushed on the *worker's* stack, so spans nested inside it parent
+    /// normally.
+    pub(crate) fn begin_under(
+        registry: &Registry,
+        parent: u64,
+        name: &str,
+        attrs: &[(&str, Value)],
+    ) -> Self {
+        TraceSpan::begin_impl(registry, Some(parent), name, attrs)
+    }
+
+    fn begin_impl(
+        registry: &Registry,
+        parent: Option<u64>,
+        name: &str,
+        attrs: &[(&str, Value)],
+    ) -> Self {
         let Some(core) = registry.tracer_core() else {
             return TraceSpan::inert();
         };
@@ -165,7 +190,10 @@ impl TraceSpan {
         let id = core.next_span_id();
         let mut fields: Vec<(&str, Value)> = Vec::with_capacity(5 + attrs.len());
         fields.push(("span", id.into()));
-        fields.push(("parent", current_parent(tracer).into()));
+        fields.push((
+            "parent",
+            parent.unwrap_or_else(|| current_parent(tracer)).into(),
+        ));
         fields.push(("name", name.into()));
         fields.push(("tid", current_thread_id().into()));
         fields.push(("t", core.now_ns().into()));
@@ -376,6 +404,52 @@ mod tests {
         assert_eq!(tids.len(), 2);
         // Every span closed: 32 begins, 32 ends.
         assert_eq!(events.iter().filter(|e| e.name == "trace.end").count(), 32);
+    }
+
+    #[test]
+    fn explicit_parent_connects_worker_spans_across_threads() {
+        let r = traced_registry();
+        let round = r.trace_span("round");
+        let parent = round.id();
+        let handles: Vec<_> = (0..3)
+            .map(|w| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    let worker = r.trace_span_under(parent, "worker");
+                    // Children opened inside the worker nest under it via
+                    // the worker thread's own stack.
+                    let _inner = r.trace_span("inner");
+                    let _ = (w, worker);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(round);
+        let events = r.snapshot().events;
+        let begins: Vec<_> = events.iter().filter(|e| e.name == "trace.begin").collect();
+        let mut worker_ids = std::collections::HashSet::new();
+        for e in &begins {
+            match e.field("name") {
+                Some(Value::Str(n)) if n == "worker" => {
+                    assert_eq!(field_u64(e, "parent"), parent, "worker roots under round");
+                    worker_ids.insert(field_u64(e, "span"));
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(worker_ids.len(), 3);
+        for e in &begins {
+            if let Some(Value::Str(n)) = e.field("name") {
+                if n == "inner" {
+                    assert!(
+                        worker_ids.contains(&field_u64(e, "parent")),
+                        "inner spans nest under their worker span"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn training_cfg(rounds: usize, protection: Option<(ProtectionMode, f64)>) -> Tra
             ..Default::default()
         },
         protection,
+        threads: 1,
     }
 }
 
@@ -66,6 +67,7 @@ fn pipeline_matches_reference_fl_at_epsilon_infinity() {
             epochs: 1,
             ..Default::default()
         },
+        threads: 1,
     };
     let ref_auc = *run_reference_fl(&mut ref_model, &data, &sim, &mut rng)
         .last()
