@@ -69,11 +69,19 @@ struct CellSpec {
     shards: usize,
     /// Worker threads the cell runs with.
     threads: usize,
+    /// Run with durability on (round journal + per-commit checkpoint to a
+    /// scratch state dir) and record the checkpoint-overhead metrics.
+    durable: bool,
 }
 
 impl CellSpec {
     fn id(&self) -> String {
-        let mut id = if self.shards > 1 {
+        let mut id = if self.durable {
+            format!(
+                "durable.entries{}.clients{}.{}",
+                self.entries, self.clients, self.aggregator
+            )
+        } else if self.shards > 1 {
             format!(
                 "shards{}.entries{}.clients{}.{}",
                 self.shards, self.entries, self.clients, self.aggregator
@@ -110,6 +118,7 @@ fn matrix(quick: bool, threads_list: &[usize], shards: usize) -> Vec<CellSpec> {
                         aggregator,
                         shards: 1,
                         threads,
+                        durable: false,
                     });
                 }
             }
@@ -121,8 +130,20 @@ fn matrix(quick: bool, threads_list: &[usize], shards: usize) -> Vec<CellSpec> {
                 aggregator: "fedavg",
                 shards,
                 threads,
+                durable: false,
             });
         }
+        // One durable cell per thread count: same workload as the first
+        // serial cell, but with the round journal + per-commit checkpoint
+        // on — its extra columns are the checkpoint-overhead trajectory.
+        cells.push(CellSpec {
+            entries: entry_sizes[0],
+            clients: client_counts[0],
+            aggregator: "fedavg",
+            shards: 1,
+            threads,
+            durable: true,
+        });
     }
     cells
 }
@@ -237,6 +258,18 @@ fn run_cell_mode<M: AggregationMode>(
     config.parallelism = ParallelismConfig::with_threads(spec.threads);
     let mut server =
         FedoraServer::with_telemetry(config, |_| vec![0u8; 4 * DIM], registry.clone(), &mut rng);
+    let state_dir = spec.durable.then(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "fedora-perf-durable-{}-{}",
+            std::process::id(),
+            spec.id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        server
+            .enable_durability(&dir)
+            .unwrap_or_else(|e| panic!("cell {}: enable durability: {e}", spec.id()));
+        dir
+    });
 
     let mut phase_sums = PhaseBreakdown::default();
     for round in 0..rounds {
@@ -314,6 +347,19 @@ fn run_cell_mode<M: AggregationMode>(
     let gauge = |name: &str| snap.gauge(name).unwrap_or(0.0);
     metrics.push(("fdp.total.epsilon".to_owned(), gauge("fdp.total.epsilon")));
     metrics.push(("fdp.round.epsilon".to_owned(), gauge("fdp.round.epsilon")));
+    if let Some(dir) = state_dir {
+        // Checkpoint-overhead columns: the last commit's checkpoint size
+        // and sync time (gauges), both larger-is-worse like every metric.
+        metrics.push((
+            "durable.checkpoint.bytes".to_owned(),
+            gauge("durable.checkpoint.bytes"),
+        ));
+        metrics.push((
+            "durable.checkpoint.ns".to_owned(),
+            gauge("durable.checkpoint.ns"),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     Cell {
         id: spec.id(),
         metrics,

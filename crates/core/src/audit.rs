@@ -207,13 +207,43 @@ pub fn traced_run(
     rounds: usize,
 ) -> Result<Vec<AccessRecord>, FedoraError> {
     let entry_bytes = config.table.entry_bytes;
+    let config = config.clone();
+    traced_run_with(
+        &mut move |rng: &mut StdRng| {
+            Ok(FedoraServer::with_telemetry(
+                config.clone(),
+                |id| vec![(id % 251) as u8; entry_bytes],
+                Registry::disabled(),
+                rng,
+            ))
+        },
+        seed,
+        requests,
+        rounds,
+    )
+}
+
+/// Like [`traced_run`], but the server comes from `factory` instead of a
+/// fresh build — the hook that lets the auditor run against a *recovered*
+/// server (build fresh, [`FedoraServer::recover`], return it) and check
+/// that crash recovery preserved the obliviousness claim. The factory
+/// receives the run's seeded RNG; construction happens before the
+/// recorder attaches, so only protocol traffic is captured.
+///
+/// # Errors
+///
+/// Factory and round failures propagate unchanged.
+pub fn traced_run_with<F>(
+    factory: &mut F,
+    seed: u64,
+    requests: &[u64],
+    rounds: usize,
+) -> Result<Vec<AccessRecord>, FedoraError>
+where
+    F: FnMut(&mut StdRng) -> Result<FedoraServer, FedoraError>,
+{
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut server = FedoraServer::with_telemetry(
-        config.clone(),
-        |id| vec![(id % 251) as u8; entry_bytes],
-        Registry::disabled(),
-        &mut rng,
-    );
+    let mut server = factory(&mut rng)?;
     let recorder = AccessTraceRecorder::new();
     server.set_access_recorder(recorder.clone());
     let mut mode = FedAvg;
@@ -239,6 +269,40 @@ pub fn audit_twin_inputs(
 ) -> Result<AuditOutcome, FedoraError> {
     let trace_a = traced_run(config, seed, requests_a, rounds)?;
     let trace_b = traced_run(config, seed, requests_b, rounds)?;
+    judge_traces(config, trace_a, trace_b)
+}
+
+/// Like [`audit_twin_inputs`], but both runs use servers built by
+/// `factory` — e.g. crash-recovered ones. The factory runs once per twin
+/// (same `seed`-derived RNG state each time); the claim judged is the one
+/// `config` declares.
+///
+/// # Errors
+///
+/// Factory and round failures propagate unchanged.
+pub fn audit_twin_inputs_with<F>(
+    config: &FedoraConfig,
+    factory: &mut F,
+    seed: u64,
+    requests_a: &[u64],
+    requests_b: &[u64],
+    rounds: usize,
+) -> Result<AuditOutcome, FedoraError>
+where
+    F: FnMut(&mut StdRng) -> Result<FedoraServer, FedoraError>,
+{
+    let trace_a = traced_run_with(factory, seed, requests_a, rounds)?;
+    let trace_b = traced_run_with(factory, seed, requests_b, rounds)?;
+    judge_traces(config, trace_a, trace_b)
+}
+
+/// Canonicalizes two twin traces and judges them against the configured
+/// privacy claim (shared tail of the `audit_twin_inputs*` pair).
+fn judge_traces(
+    config: &FedoraConfig,
+    trace_a: Vec<AccessRecord>,
+    trace_b: Vec<AccessRecord>,
+) -> Result<AuditOutcome, FedoraError> {
     let ppb = config.geometry.pages_per_bucket(config.ssd.page_bytes);
     let canon_a = canonicalize(&trace_a, ppb);
     let canon_b = canonicalize(&trace_b, ppb);

@@ -36,6 +36,12 @@ COMMANDS:
                --entries N  --requests a,b,c,...  --epsilon E
                --threads N (worker threads for bulk path crypto;
                default 1 — thread count never changes results)
+               --state-dir DIR (durable mode: restore any prior
+               checkpointed state, journal + checkpoint the round)
+    checkpoint write a fresh full-state checkpoint
+               --state-dir DIR  --entries N  --epsilon E
+    restore    recover from a state dir and report what was restored
+               --state-dir DIR  --entries N  --epsilon E
     attack     optimal access-count distinguisher vs the DP bound
                --epsilon E  --trials N
     help       print this message
@@ -130,6 +136,94 @@ fn u64_flag(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<
         None => Ok(default),
         Some(v) => v.parse().map_err(|_| format!("--{key}: bad integer '{v}'")),
     }
+}
+
+/// Attaches `server` to `--state-dir`: recovers when checkpointed state
+/// already exists there, otherwise initialises a fresh durable store
+/// (baseline checkpoint + empty journal). Returns the restored committed
+/// round count (0 when starting fresh).
+fn attach_state_dir(server: &mut FedoraServer, dir: &str) -> Result<u64, String> {
+    let path = std::path::Path::new(dir);
+    let existing = fedora::durable::list_checkpoints(path).map_err(|e| e.to_string())?;
+    if existing.is_empty() {
+        server.enable_durability(path).map_err(|e| e.to_string())?;
+        println!("  state dir {dir}: initialised (no prior checkpoint)");
+        Ok(0)
+    } else {
+        let rounds = server.recover(path).map_err(|e| e.to_string())?;
+        println!(
+            "  state dir {dir}: restored to committed round {rounds} \
+             (eps spent = {:.3})",
+            server.accountant().total_epsilon()
+        );
+        Ok(rounds)
+    }
+}
+
+/// Builds the live pipeline server the durable subcommands operate on.
+/// Geometry and privacy must match the run that wrote the checkpoint.
+fn live_server(
+    flags: &HashMap<String, String>,
+    k_hint: usize,
+) -> Result<(FedoraServer, StdRng), String> {
+    let entries = u64_flag(flags, "entries", 4096)?;
+    let epsilon = f64_flag(flags, "epsilon", 1.0)?;
+    let threads = u64_flag(flags, "threads", 1)?.max(1) as usize;
+    let mut rng = StdRng::seed_from_u64(u64_flag(flags, "seed", 42)?);
+    let mut config = FedoraConfig::for_testing(TableSpec::tiny(entries), k_hint.max(16));
+    config.parallelism = ParallelismConfig::with_threads(threads);
+    config.privacy = if epsilon == 0.0 {
+        PrivacyConfig::perfect()
+    } else if epsilon.is_infinite() {
+        PrivacyConfig::none()
+    } else {
+        PrivacyConfig::with_epsilon(epsilon)
+    };
+    let server =
+        FedoraServer::with_telemetry(config, |_| vec![0u8; 32], registry_for(flags), &mut rng);
+    Ok((server, rng))
+}
+
+fn cmd_checkpoint(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir = flags
+        .get("state-dir")
+        .ok_or("checkpoint needs --state-dir DIR")?;
+    let (mut server, _rng) = live_server(flags, 16)?;
+    let rounds = attach_state_dir(&mut server, dir)?;
+    let stats = server.checkpoint().map_err(|e| e.to_string())?;
+    println!(
+        "  checkpoint generation {} written: {} bytes in {:.3} ms \
+         (committed rounds = {rounds})",
+        stats.generation,
+        stats.bytes,
+        stats.ns as f64 / 1e6
+    );
+    write_metrics(flags, &server.metrics_snapshot())
+}
+
+fn cmd_restore(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir = flags
+        .get("state-dir")
+        .ok_or("restore needs --state-dir DIR")?;
+    let (mut server, _rng) = live_server(flags, 16)?;
+    let path = std::path::Path::new(dir.as_str());
+    let rounds = server.recover(path).map_err(|e| e.to_string())?;
+    let generations = fedora::durable::list_checkpoints(path).map_err(|e| e.to_string())?;
+    println!("Restored from {dir}:");
+    println!("  committed rounds: {rounds}");
+    println!(
+        "  eps spent: {:.3} over {} accounted rounds",
+        server.accountant().total_epsilon(),
+        server.accountant().rounds()
+    );
+    println!("  checkpoint generations on disk: {generations:?}");
+    if let Some(report) = server.last_committed_report() {
+        println!(
+            "  last committed round: K = {}, k_union = {}, k = {}, dummies = {}",
+            report.k_requests, report.k_union, report.k_accesses, report.dummies
+        );
+    }
+    write_metrics(flags, &server.metrics_snapshot())
 }
 
 fn effective_k(k_requests: u64, epsilon: f64) -> u64 {
@@ -259,6 +353,9 @@ fn cmd_round(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let mut server =
         FedoraServer::with_telemetry(config, |_| vec![0u8; 32], registry_for(flags), &mut rng);
+    if let Some(dir) = flags.get("state-dir") {
+        attach_state_dir(&mut server, dir)?;
+    }
     let _report = server
         .begin_round(&requests, &mut rng)
         .map_err(|e| e.to_string())?;
@@ -339,6 +436,8 @@ fn main() {
         "lifetime" => cmd_lifetime(&flags),
         "latency" => cmd_latency(&flags),
         "round" => cmd_round(&flags),
+        "checkpoint" => cmd_checkpoint(&flags),
+        "restore" => cmd_restore(&flags),
         "attack" => cmd_attack(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

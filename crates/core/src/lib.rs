@@ -47,6 +47,9 @@
 //! * [`audit`] — the obliviousness auditor: shadow-mode page-trace
 //!   capture plus a twin-run harness checking the configured privacy
 //!   claim against the physical access sequence.
+//! * [`durable`] — crash recovery: the write-ahead round journal, the
+//!   checkpoint format, and the crash-point vocabulary of the chaos
+//!   harness.
 //!
 //! # Example
 //!
@@ -84,10 +87,12 @@ pub mod audit;
 pub mod baseline;
 pub mod config;
 pub mod cost;
+pub mod durable;
 pub mod latency;
 pub mod multi;
 pub mod server;
 pub mod training;
 
 pub use config::{FedoraConfig, TableSpec};
+pub use durable::{CrashPoint, FaultPlan};
 pub use server::{FedoraServer, RoundReport};

@@ -1,6 +1,7 @@
 //! The FEDORA controller: the round pipeline of Figure 4.
 
 use std::collections::HashSet;
+use std::path::Path;
 use std::time::Instant;
 
 use fedora_crypto::IntegrityError;
@@ -13,11 +14,14 @@ use fedora_oram::store::{BucketStore, IntegrityStats, ScrubReport, SsdBucketStor
 use fedora_oram::OramError;
 use fedora_storage::stats::DeviceStats;
 use fedora_storage::AccessTraceRecorder;
-use fedora_storage::{FaultConfig, FaultStats};
+use fedora_storage::{ByteReader, ByteWriter, CodecError, FaultConfig, FaultStats};
 use fedora_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot, TraceSpan};
 use rand::Rng;
 
 use crate::config::{FedoraConfig, SelectionStrategy};
+use crate::durable::{
+    self, CheckpointStats, CrashPoint, DurableError, DurableState, FaultPlan, JournalRecord,
+};
 
 /// Errors from the FEDORA pipeline.
 #[derive(Clone, Debug, PartialEq)]
@@ -60,6 +64,15 @@ pub enum FedoraError {
         /// The configured maximum cumulative ε.
         budget: f64,
     },
+    /// The chaos harness's armed crash point fired: the server simulated
+    /// a process kill at this instant. The in-memory server is dead;
+    /// recovery proceeds from the state directory on a fresh instance.
+    CrashInjected {
+        /// Which crash point fired.
+        point: CrashPoint,
+    },
+    /// A journal or checkpoint operation failed.
+    Durable(DurableError),
 }
 
 impl From<OramError> for FedoraError {
@@ -71,6 +84,12 @@ impl From<OramError> for FedoraError {
 impl From<BufferError> for FedoraError {
     fn from(e: BufferError) -> Self {
         FedoraError::Buffer(e)
+    }
+}
+
+impl From<DurableError> for FedoraError {
+    fn from(e: DurableError) -> Self {
+        FedoraError::Durable(e)
     }
 }
 
@@ -97,6 +116,10 @@ impl core::fmt::Display for FedoraError {
                     "privacy budget exhausted: ε spent {spent} of budget {budget}"
                 )
             }
+            FedoraError::CrashInjected { point } => {
+                write!(f, "chaos crash injected at {point}")
+            }
+            FedoraError::Durable(e) => write!(f, "durability: {e}"),
         }
     }
 }
@@ -171,6 +194,114 @@ pub struct RoundReport {
     /// counters, gauges, histogram summaries — no journal events). Empty
     /// when the server runs with a disabled registry.
     pub metrics: Snapshot,
+}
+
+fn put_device_stats(w: &mut ByteWriter, s: &DeviceStats) {
+    for v in [
+        s.pages_read,
+        s.pages_written,
+        s.bytes_read,
+        s.bytes_written,
+        s.busy_ns,
+        s.faults_bitflip,
+        s.faults_rollback,
+        s.faults_transient,
+    ] {
+        w.put_u64(v);
+    }
+}
+
+fn get_device_stats(r: &mut ByteReader<'_>) -> Result<DeviceStats, CodecError> {
+    Ok(DeviceStats {
+        pages_read: r.get_u64()?,
+        pages_written: r.get_u64()?,
+        bytes_read: r.get_u64()?,
+        bytes_written: r.get_u64()?,
+        busy_ns: r.get_u64()?,
+        faults_bitflip: r.get_u64()?,
+        faults_rollback: r.get_u64()?,
+        faults_transient: r.get_u64()?,
+    })
+}
+
+impl RoundReport {
+    /// A copy with the host-time-dependent fields (phase wall-clock and
+    /// the telemetry snapshot) zeroed, leaving only the deterministic
+    /// round facts. Two runs of the same round — or a run and its
+    /// crash-recovered twin — produce byte-identical scrubbed reports.
+    pub fn scrubbed(&self) -> RoundReport {
+        RoundReport {
+            phases: PhaseBreakdown::default(),
+            metrics: Snapshot::default(),
+            ..self.clone()
+        }
+    }
+
+    /// Serializes the deterministic round facts (everything but phases
+    /// and metrics, which [`scrubbed`](Self::scrubbed) zeroes) into `w`.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        for v in [
+            self.k_requests,
+            self.k_union,
+            self.k_accesses,
+            self.dummies,
+            self.lost,
+        ] {
+            w.put_u64(v as u64);
+        }
+        w.put_u64(self.union_scan_slots);
+        w.put_u64(self.eo_accesses);
+        put_device_stats(w, &self.ssd);
+        put_device_stats(w, &self.buffer_dram);
+        put_device_stats(w, &self.vtree_dram);
+        for v in [
+            self.integrity.detected_corruption,
+            self.integrity.detected_rollback,
+            self.integrity.transient_retries,
+            self.integrity.recovered,
+            self.integrity.quarantined,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Decodes a report captured by [`encode_state`](Self::encode_state)
+    /// (phases and metrics come back zeroed, i.e. scrubbed).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation.
+    pub fn decode_state(r: &mut ByteReader<'_>) -> Result<RoundReport, CodecError> {
+        Ok(RoundReport {
+            k_requests: r.get_u64()? as usize,
+            k_union: r.get_u64()? as usize,
+            k_accesses: r.get_u64()? as usize,
+            dummies: r.get_u64()? as usize,
+            lost: r.get_u64()? as usize,
+            union_scan_slots: r.get_u64()?,
+            eo_accesses: r.get_u64()?,
+            ssd: get_device_stats(r)?,
+            buffer_dram: get_device_stats(r)?,
+            vtree_dram: get_device_stats(r)?,
+            integrity: IntegrityStats {
+                detected_corruption: r.get_u64()?,
+                detected_rollback: r.get_u64()?,
+                transient_retries: r.get_u64()?,
+                recovered: r.get_u64()?,
+                quarantined: r.get_u64()?,
+            },
+            phases: PhaseBreakdown::default(),
+            metrics: Snapshot::default(),
+        })
+    }
+
+    /// FNV-1a-64 digest of the deterministic round facts (the journal's
+    /// commit records carry this for recovery cross-checks).
+    pub fn digest(&self) -> u64 {
+        let mut w = ByteWriter::new();
+        self.encode_state(&mut w);
+        fedora_storage::fnv1a64(&w.into_bytes())
+    }
 }
 
 /// The record of one aborted (rolled-back) transactional round.
@@ -305,6 +436,29 @@ pub struct FedoraServer {
     /// rather than in `RoundState` so the clonable state stays clonable;
     /// closed on `end_round`, or on abort with an `aborted` attribute.
     round_span: Option<TraceSpan>,
+    /// Durably committed rounds: incremented only once a round's
+    /// checkpoint is on disk (or immediately, when durability is off).
+    /// Doubles as the next round's number — it survives restarts via the
+    /// checkpoint, unlike `completed` (in-memory reports only).
+    committed_rounds: u64,
+    /// Scrubbed report of the last committed round (persisted in the
+    /// checkpoint so a recovered server can prove where it landed).
+    last_committed: Option<RoundReport>,
+    /// The write-ahead journal + checkpoint writer, when durability is
+    /// enabled via [`Self::enable_durability`] / [`Self::recover`].
+    durable: Option<DurableState>,
+    /// The chaos harness's armed crash point, if any.
+    crash_armed: Option<CrashPoint>,
+    /// Restart-stable fault plan: re-arms the injector with a journaled
+    /// per-round seed at every round begin.
+    fault_plan: Option<FaultPlan>,
+    /// Caller RNG seed hint journaled with each round begin (0 = unset).
+    seed_hint: u64,
+    /// Main-ORAM accesses so far in the active round (MidFetch trigger).
+    round_accesses: u64,
+    /// Main-ORAM insertions so far in the write phase (MidEvictionWrite
+    /// trigger).
+    round_inserts: u64,
 }
 
 impl FedoraServer {
@@ -329,7 +483,7 @@ impl FedoraServer {
         registry: Registry,
         rng: &mut R,
     ) -> Self {
-        let key = fedora_crypto::aead::Key::from_bytes([0x5E; 32]);
+        let key = Self::master_key();
         let mut store =
             SsdBucketStore::new(config.geometry, key.derive_subkey("main-oram"), config.ssd);
         store.set_retry_limit(config.fault_tolerance.max_read_retries);
@@ -362,7 +516,22 @@ impl FedoraServer {
             ledger,
             budget_flagged: false,
             round_span: None,
+            committed_rounds: 0,
+            last_committed: None,
+            durable: None,
+            crash_armed: None,
+            fault_plan: None,
+            seed_hint: 0,
+            round_accesses: 0,
+            round_inserts: 0,
         }
+    }
+
+    /// The deployment master key every subsystem key derives from (a
+    /// fixed constant in this simulation; a real deployment would load
+    /// it from a sealed secret store).
+    fn master_key() -> fedora_crypto::aead::Key {
+        fedora_crypto::aead::Key::from_bytes([0x5E; 32])
     }
 
     /// The telemetry registry every layer of this server reports into.
@@ -451,6 +620,187 @@ impl FedoraServer {
         self.main.store().fault_stats()
     }
 
+    /// Installs a restart-stable fault plan: from now on every round
+    /// re-arms the injector with a seed derived from (plan, round
+    /// number), and that seed is journaled in the round's begin record —
+    /// so a chaos campaign resumed after a crash/restore replays the
+    /// same fault stream.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Removes the fault plan and disarms injection.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_plan = None;
+        self.disarm_faults();
+    }
+
+    /// Arms one crash point: the next time execution reaches it, the
+    /// server simulates a process kill by erroring out with
+    /// [`FedoraError::CrashInjected`]. One-shot (disarms on fire).
+    pub fn arm_crash_point(&mut self, point: CrashPoint) {
+        self.crash_armed = Some(point);
+    }
+
+    /// Disarms any armed crash point.
+    pub fn disarm_crash_point(&mut self) {
+        self.crash_armed = None;
+    }
+
+    /// Records the caller's RNG seed for the upcoming rounds; journaled
+    /// in each round-begin record so a recovered campaign can re-derive
+    /// its request stream (0 = unset).
+    pub fn set_round_seed_hint(&mut self, seed: u64) {
+        self.seed_hint = seed;
+    }
+
+    /// Durably committed rounds (checkpoint on disk). Equals
+    /// `reports().len()` when durability is off; survives restarts when
+    /// it is on.
+    pub fn committed_rounds(&self) -> u64 {
+        self.committed_rounds
+    }
+
+    /// Scrubbed report of the last committed round (restored from the
+    /// checkpoint after recovery).
+    pub fn last_committed_report(&self) -> Option<&RoundReport> {
+        self.last_committed.as_ref()
+    }
+
+    /// Attaches a state directory: opens (creating if needed) the
+    /// write-ahead round journal there and, if the directory holds no
+    /// checkpoint yet, writes the baseline (generation 0) checkpoint so a
+    /// crash in the very first round is recoverable.
+    ///
+    /// # Errors
+    ///
+    /// [`FedoraError::Durable`] on I/O failure.
+    pub fn enable_durability(&mut self, dir: &Path) -> Result<(), FedoraError> {
+        let key = Self::master_key().derive_subkey("durable");
+        let state = DurableState::open(dir, key)?;
+        let fresh = state.next_generation() == 0;
+        self.durable = Some(state);
+        if fresh {
+            self.checkpoint_inner()?;
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint of the full server state now (between
+    /// rounds). Rounds also checkpoint automatically as part of their
+    /// commit.
+    ///
+    /// # Errors
+    ///
+    /// [`FedoraError::RoundInProgress`] during a round;
+    /// [`FedoraError::Durable`] when durability is off or the write
+    /// fails.
+    pub fn checkpoint(&mut self) -> Result<CheckpointStats, FedoraError> {
+        if self.active.is_some() {
+            return Err(FedoraError::RoundInProgress);
+        }
+        self.checkpoint_inner()
+    }
+
+    fn checkpoint_inner(&mut self) -> Result<CheckpointStats, FedoraError> {
+        let started = Instant::now();
+        let body = self.encode_checkpoint_body();
+        let Some(d) = self.durable.as_mut() else {
+            return Err(DurableError::NotEnabled.into());
+        };
+        let (generation, bytes) = d.write_checkpoint(&body)?;
+        let ns = started.elapsed().as_nanos() as u64;
+        if self.registry.is_enabled() {
+            self.registry.counter("durable.checkpoints").incr();
+            self.registry
+                .gauge("durable.checkpoint.bytes")
+                .set_u64(bytes);
+            self.registry.gauge("durable.checkpoint.ns").set_u64(ns);
+        }
+        Ok(CheckpointStats {
+            generation,
+            bytes,
+            ns,
+        })
+    }
+
+    /// Recovers this (freshly built, same-configuration) server from the
+    /// state directory: restores the newest loadable checkpoint, then
+    /// replays the journal — every round-begin record at or past the
+    /// restored round is a *torn* round whose ε is charged to the
+    /// accountant anyway. A crash therefore can only over-report
+    /// leakage, never under-report it. Returns the committed round count
+    /// recovery landed on.
+    ///
+    /// # Errors
+    ///
+    /// [`FedoraError::Durable`] with [`DurableError::NoCheckpoint`] when
+    /// the directory holds none; `FedoraError::Oram` with
+    /// [`IntegrityError::Rollback`] when the newest loadable checkpoint
+    /// is *older* than the journal's newest commit (a rolled-back /
+    /// stale checkpoint — restoring it would silently rewind committed
+    /// state); other [`FedoraError::Durable`] values on I/O or
+    /// tampering.
+    pub fn recover(&mut self, dir: &Path) -> Result<u64, FedoraError> {
+        if self.active.is_some() {
+            return Err(FedoraError::RoundInProgress);
+        }
+        let key = Self::master_key().derive_subkey("durable");
+        let records = durable::read_records(dir, &key)?;
+        let Some((generation, body)) = durable::load_latest_checkpoint(dir, &key)? else {
+            return Err(DurableError::NoCheckpoint.into());
+        };
+        self.apply_checkpoint_body(&body)
+            .map_err(DurableError::Codec)?;
+        // Stale-checkpoint detection: a commit record for round r means a
+        // checkpoint with committed_rounds ≥ r+1 was durable before the
+        // record was written. Restoring anything older is a rollback.
+        let newest_commit = records
+            .iter()
+            .filter_map(|rec| match rec {
+                JournalRecord::Commit(c) => Some(c.round),
+                JournalRecord::Begin(_) => None,
+            })
+            .max();
+        if let Some(r) = newest_commit {
+            if self.committed_rounds < r + 1 {
+                return Err(FedoraError::Oram(OramError::Integrity {
+                    kind: IntegrityError::Rollback,
+                    node: 0,
+                }));
+            }
+        }
+        // Conservative ε replay: any begin record at or past the restored
+        // round belongs to a torn (or aborted) round whose in-memory
+        // accounting was lost. Charge each one; over-reporting is safe.
+        let mut torn = 0u64;
+        for rec in &records {
+            if let JournalRecord::Begin(b) = rec {
+                if b.round >= self.committed_rounds {
+                    self.accountant.record_round(b.epsilon);
+                    torn += 1;
+                }
+            }
+        }
+        // Republish the restored accountant into the ledger so the
+        // telemetry high-water marks survive the restart too.
+        self.ledger
+            .total_epsilon
+            .set(self.accountant.total_epsilon());
+        self.ledger.rounds.set_u64(self.accountant.rounds() as u64);
+        self.telemetry.rounds_completed.add(self.committed_rounds);
+        self.registry.event(
+            "durable.recovered",
+            &[
+                ("round", self.committed_rounds.into()),
+                ("generation", generation.into()),
+                ("torn_rounds", torn.into()),
+            ],
+        );
+        self.durable = Some(DurableState::open(dir, key)?);
+        Ok(self.committed_rounds)
+    }
+
     /// Quarantined main-ORAM buckets (failed reads pending repair).
     pub fn quarantined_buckets(&self) -> Vec<u64> {
         self.main.store().quarantined_nodes()
@@ -488,6 +838,114 @@ impl FedoraServer {
         Ok(())
     }
 
+    /// Fires the armed crash point, if it matches: simulates a process
+    /// kill by erroring out of the pipeline. One-shot.
+    fn crash_check(&mut self, point: CrashPoint) -> Result<(), FedoraError> {
+        if self.crash_armed == Some(point) {
+            self.crash_armed = None;
+            self.registry.event(
+                "durable.crash.injected",
+                &[("point", point.name().to_string().into())],
+            );
+            return Err(FedoraError::CrashInjected { point });
+        }
+        Ok(())
+    }
+
+    /// Counts one main-ORAM access of the read phase; the first fires
+    /// the [`CrashPoint::MidFetch`] crash point (which therefore never
+    /// fires on a zero-access round).
+    fn note_read_access(&mut self) -> Result<(), FedoraError> {
+        self.round_accesses += 1;
+        if self.round_accesses == 1 {
+            self.crash_check(CrashPoint::MidFetch)?;
+        }
+        Ok(())
+    }
+
+    /// Counts one main-ORAM insertion of the write phase; the first
+    /// fires the [`CrashPoint::MidEvictionWrite`] crash point.
+    fn note_insert(&mut self) -> Result<(), FedoraError> {
+        self.round_inserts += 1;
+        if self.round_inserts == 1 {
+            self.crash_check(CrashPoint::MidEvictionWrite)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the full server state for a checkpoint: round counter,
+    /// budget flag, accountant, entry quarantine, last committed report,
+    /// main-ORAM controller + store (SSD image, bucket write counters,
+    /// cumulative integrity stats, node quarantine), and the buffer ORAM.
+    fn encode_checkpoint_body(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.committed_rounds);
+        w.put_bool(self.budget_flagged);
+        let per_round = self.accountant.per_round();
+        w.put_u64(per_round.len() as u64);
+        for &e in per_round {
+            w.put_f64(e);
+        }
+        w.put_u64(self.accountant.poisoned_rounds());
+        let mut quarantined: Vec<u64> = self.quarantined_ids.iter().copied().collect();
+        quarantined.sort_unstable();
+        w.put_u64s(&quarantined);
+        w.put_bool(self.last_committed.is_some());
+        if let Some(report) = &self.last_committed {
+            report.encode_state(&mut w);
+        }
+        self.main.encode_controller_state(&mut w);
+        self.main.store().encode_state(&mut w);
+        self.buffer.encode_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Applies a checkpoint body onto this freshly built same-geometry
+    /// server (the inverse of [`Self::encode_checkpoint_body`]).
+    fn apply_checkpoint_body(&mut self, body: &[u8]) -> Result<(), CodecError> {
+        let mut r = ByteReader::new(body);
+        self.committed_rounds = r.get_u64()?;
+        self.budget_flagged = r.get_bool()?;
+        let n = r.get_u64()? as usize;
+        let mut per_round = Vec::new();
+        for _ in 0..n {
+            per_round.push(r.get_f64()?);
+        }
+        let poisoned = r.get_u64()?;
+        self.accountant = FdpAccountant::from_state(&per_round, poisoned);
+        self.quarantined_ids = r.get_u64s()?.into_iter().collect();
+        self.last_committed = if r.get_bool()? {
+            Some(RoundReport::decode_state(&mut r)?)
+        } else {
+            None
+        };
+        self.main.decode_controller_state(&mut r)?;
+        self.main.store_mut().decode_state(&mut r)?;
+        self.buffer.decode_state(&mut r)?;
+        r.expect_end()
+    }
+
+    /// Durably commits the just-finished round: checkpoint first (data
+    /// sync), then the journal commit record (commit marker — classic
+    /// WAL ordering). A crash in the window between the two recovers
+    /// *forward* to the checkpoint, which already holds the round's
+    /// state and ε — never backward past it.
+    fn checkpoint_and_commit(&mut self, report: &RoundReport) -> Result<(), FedoraError> {
+        if self.durable.is_some() {
+            let round = self.committed_rounds - 1;
+            let stats = self.checkpoint_inner()?;
+            self.crash_check(CrashPoint::PostDataSyncPreCommit)?;
+            let digest = report.digest();
+            let total = self.accountant.total_epsilon();
+            if let Some(d) = self.durable.as_mut() {
+                d.append_commit(round, stats.generation, total, digest)?;
+            }
+        } else {
+            self.crash_check(CrashPoint::PostDataSyncPreCommit)?;
+        }
+        Ok(())
+    }
+
     /// Steps ①–④ of Figure 4: oblivious union (chunked), ε-FDP choice of
     /// `k`, and the read phase moving entries into the buffer ORAM.
     /// Returns the partial report (read-side numbers).
@@ -522,7 +980,7 @@ impl FedoraServer {
                     self.registry.event(
                         "privacy.budget.refused",
                         &[
-                            ("round", (self.completed.len() as u64).into()),
+                            ("round", self.committed_rounds.into()),
                             ("spent", spent.into()),
                             ("budget", max.into()),
                         ],
@@ -531,6 +989,30 @@ impl FedoraServer {
                 }
             }
         }
+        // Restart-stable chaos: derive and arm this round's fault seed
+        // before journaling it, so a recovered campaign replays the same
+        // stream for the same round number.
+        let fault_seed = self.fault_plan.map(|plan| {
+            let cfg = plan.config_for_round(self.committed_rounds);
+            let seed = cfg.seed;
+            self.main.store_mut().arm_faults(cfg);
+            seed
+        });
+        // Write-ahead: the round-begin record (ε intent, client-set
+        // digest, chaos seed) is durable before any ORAM state changes.
+        if let Some(d) = self.durable.as_mut() {
+            d.append_begin(
+                self.committed_rounds,
+                self.config.privacy.mechanism.epsilon(),
+                requests.len() as u64,
+                durable::request_digest(requests),
+                fault_seed,
+                self.seed_hint,
+            )?;
+        }
+        self.round_accesses = 0;
+        self.round_inserts = 0;
+        self.crash_check(CrashPoint::PostJournalBegin)?;
         let snapshot = if self.config.fault_tolerance.transactional {
             Some(Box::new(RoundSnapshot {
                 main: self.main.clone(),
@@ -542,7 +1024,7 @@ impl FedoraServer {
         self.registry.event(
             "round.begin",
             &[
-                ("round", (self.completed.len() as u64).into()),
+                ("round", self.committed_rounds.into()),
                 ("k_requests", (requests.len() as u64).into()),
             ],
         );
@@ -551,7 +1033,7 @@ impl FedoraServer {
         self.round_span = Some(self.registry.trace_span_with(
             "round",
             &[
-                ("round", (self.completed.len() as u64).into()),
+                ("round", self.committed_rounds.into()),
                 ("k_requests", (requests.len() as u64).into()),
             ],
         ));
@@ -653,6 +1135,7 @@ impl FedoraServer {
                         Err(e) => return Err(e.into()),
                     }
                 }
+                self.note_read_access()?;
             }
             // Lost entries (k < k_union): not read this round.
             for &id in &ordered[to_fetch..] {
@@ -664,6 +1147,7 @@ impl FedoraServer {
                 state.report.dummies += 1;
                 self.main.dummy_fetch(rng)?;
                 self.buffer.load_dummy(rng)?;
+                self.note_read_access()?;
             }
         }
         Ok(())
@@ -710,7 +1194,7 @@ impl FedoraServer {
         self.registry.event(
             "round.abort",
             &[
-                ("round", (self.completed.len() as u64).into()),
+                ("round", self.committed_rounds.into()),
                 ("node", node.into()),
                 ("kind", format!("{kind:?}").into()),
                 ("persistent", persistent.into()),
@@ -897,9 +1381,11 @@ impl FedoraServer {
             }
             let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
             self.main.insert(entry.id, bytes, rng)?;
+            self.note_insert()?;
         }
         for _ in 0..drained.dummy_count {
             self.main.insert_dummy()?;
+            self.note_insert()?;
         }
         mode.on_round_end();
 
@@ -938,7 +1424,7 @@ impl FedoraServer {
                     self.registry.event(
                         "privacy.budget.exceeded",
                         &[
-                            ("round", (self.completed.len() as u64).into()),
+                            ("round", self.committed_rounds.into()),
                             ("spent", spent.into()),
                             ("budget", max.into()),
                         ],
@@ -954,13 +1440,18 @@ impl FedoraServer {
         self.registry.event(
             "round.end",
             &[
-                ("round", (self.completed.len() as u64).into()),
+                ("round", self.committed_rounds.into()),
                 ("k_accesses", (state.report.k_accesses as u64).into()),
                 ("lost", (state.report.lost as u64).into()),
                 ("eo_accesses", state.report.eo_accesses.into()),
             ],
         );
         state.report.metrics = self.registry.snapshot_lite();
+        // Durable commit: the round counts as committed once its
+        // checkpoint is on disk; the journal commit record then seals it.
+        self.committed_rounds += 1;
+        self.last_committed = Some(state.report.scrubbed());
+        self.checkpoint_and_commit(&state.report)?;
         self.completed.push(state.report.clone());
         Ok(state.report.clone())
     }
@@ -1019,7 +1510,9 @@ impl core::fmt::Debug for FedoraServer {
         f.debug_struct("FedoraServer")
             .field("table", &self.config.table)
             .field("rounds_completed", &self.completed.len())
+            .field("committed_rounds", &self.committed_rounds)
             .field("round_active", &self.active.is_some())
+            .field("durable", &self.durable.is_some())
             .finish()
     }
 }
@@ -1546,6 +2039,237 @@ mod tests {
             s.end_round(&mut mode, 1.0, &mut rng),
             Err(FedoraError::NoActiveRound)
         ));
+    }
+
+    fn temp_state_dir(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "fedora-server-durable-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    /// Builds the durable twin of `server(...)` (same seed/config) and
+    /// runs `rounds` committed rounds against a fixed request stream.
+    fn durable_server_with(
+        epsilon: Option<f64>,
+        dir: &std::path::Path,
+        rounds: u64,
+    ) -> (FedoraServer, StdRng) {
+        let (mut s, mut rng) = server(epsilon);
+        s.enable_durability(dir).unwrap();
+        let mut mode = FedAvg;
+        for round in 0..rounds {
+            let reqs: Vec<u64> = (0..8).map(|i| (i * 5 + round) % 128).collect();
+            s.begin_round(&reqs, &mut rng).unwrap();
+            for &id in &reqs {
+                let _ = s.serve(id, &mut rng).unwrap();
+            }
+            s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        }
+        (s, rng)
+    }
+
+    fn durable_server(dir: &std::path::Path, rounds: u64) -> (FedoraServer, StdRng) {
+        durable_server_with(Some(0.5), dir, rounds)
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrips_full_state() {
+        let dir = temp_state_dir("roundtrip");
+        let (s, _) = durable_server(&dir, 3);
+        let want_eps = s.accountant().total_epsilon();
+        let want_report = s.last_committed_report().cloned().unwrap();
+
+        let (mut t, mut rng) = server(Some(0.5));
+        assert_eq!(t.recover(&dir).unwrap(), 3);
+        assert_eq!(t.committed_rounds(), 3);
+        assert_eq!(t.accountant().total_epsilon(), want_eps);
+        assert_eq!(t.last_committed_report().cloned().unwrap(), want_report);
+        // The recovered server keeps making progress and the table data
+        // survived (same entries as the original initialization).
+        t.begin_round(&[5, 9], &mut rng).unwrap();
+        assert_eq!(t.serve(9, &mut rng).unwrap().unwrap(), vec![9u8; 32]);
+        let mut mode = FedAvg;
+        t.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        assert_eq!(t.committed_rounds(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_crash_point_recovers_to_last_commit() {
+        // Perfect privacy: k = K ≥ 1 and K insertions per round, so every
+        // crash point is guaranteed to fire deterministically.
+        for point in CrashPoint::all() {
+            let dir = temp_state_dir(point.name());
+            let (mut s, mut rng) = durable_server_with(Some(0.0), &dir, 2);
+            let committed_eps = s.accountant().total_epsilon();
+
+            s.arm_crash_point(point);
+            let reqs = [1u64, 2, 3, 4];
+            let mut crashed = false;
+            match s.begin_round(&reqs, &mut rng) {
+                Err(FedoraError::CrashInjected { .. }) => crashed = true,
+                Err(e) => panic!("{point}: unexpected {e}"),
+                Ok(_) => {
+                    let mut mode = FedAvg;
+                    match s.end_round(&mut mode, 1.0, &mut rng) {
+                        Err(FedoraError::CrashInjected { .. }) => crashed = true,
+                        Err(e) => panic!("{point}: unexpected {e}"),
+                        Ok(_) => {}
+                    }
+                }
+            }
+            assert!(crashed, "{point}: crash point never fired");
+            // What the dying server knew it had durably committed.
+            let want_rounds = s.committed_rounds();
+            let want_report = s.last_committed_report().cloned().unwrap();
+            match point {
+                // Pre-commit crash: the round's checkpoint was already
+                // durable, so recovery lands one past the old commit.
+                CrashPoint::PostDataSyncPreCommit => assert_eq!(want_rounds, 3, "{point}"),
+                _ => assert_eq!(want_rounds, 2, "{point}"),
+            }
+            drop(s); // the "kill"
+
+            let (mut t, mut rng2) = server(Some(0.0));
+            assert_eq!(t.recover(&dir).unwrap(), want_rounds, "{point}");
+            assert_eq!(
+                t.last_committed_report().cloned().unwrap(),
+                want_report,
+                "{point}: recovered state must equal the last committed round"
+            );
+            assert!(
+                t.accountant().total_epsilon() >= committed_eps,
+                "{point}: recovery must never under-report ε"
+            );
+            // The recovered server keeps making committed progress.
+            t.begin_round(&[7, 8], &mut rng2).unwrap();
+            let mut mode = FedAvg;
+            t.end_round(&mut mode, 1.0, &mut rng2).unwrap();
+            assert_eq!(t.committed_rounds(), want_rounds + 1, "{point}");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn torn_round_epsilon_charged_conservatively() {
+        let dir = temp_state_dir("torn-eps");
+        let (mut s, mut rng) = durable_server(&dir, 2);
+        let committed_eps = s.accountant().total_epsilon();
+        assert_eq!(committed_eps, 1.0); // 2 rounds × ε=0.5
+        s.arm_crash_point(CrashPoint::PostJournalBegin);
+        let err = s.begin_round(&[1, 2, 3], &mut rng).unwrap_err();
+        assert!(matches!(err, FedoraError::CrashInjected { .. }));
+        drop(s);
+
+        let (mut t, _) = server(Some(0.5));
+        assert_eq!(t.recover(&dir).unwrap(), 2);
+        // The torn round's intended ε was journaled at round-begin and is
+        // charged on recovery even though the round never ran: recovery
+        // over-reports rather than ever under-reporting.
+        assert!(
+            t.accountant().total_epsilon() >= committed_eps + 0.5 - 1e-9,
+            "torn ε must be charged (got {})",
+            t.accountant().total_epsilon()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_checkpoint_restore_detected_as_rollback() {
+        let dir = temp_state_dir("stale");
+        let (_s, _) = durable_server(&dir, 3);
+        // Simulate a rollback attack / stale backup: delete the newer
+        // checkpoints so only generations older than the newest commit
+        // record remain. (Keep-last-2 retains gens 2 and 3 here; commit
+        // records exist for rounds 0..3.)
+        let mut gens = crate::durable::list_checkpoints(&dir).unwrap();
+        let newest = gens.pop().unwrap();
+        std::fs::remove_file(dir.join(format!("ckpt-{newest:020}.bin"))).unwrap();
+        let (mut t, _) = server(Some(0.5));
+        let err = t.recover(&dir).unwrap_err();
+        assert_eq!(
+            err,
+            FedoraError::Oram(OramError::Integrity {
+                kind: IntegrityError::Rollback,
+                node: 0
+            })
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_without_checkpoint_errors() {
+        let dir = temp_state_dir("nockpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (mut t, _) = server(Some(0.5));
+        assert_eq!(
+            t.recover(&dir).unwrap_err(),
+            FedoraError::Durable(crate::durable::DurableError::NoCheckpoint)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_plan_seeds_are_journaled_and_replayed() {
+        let dir = temp_state_dir("faultplan");
+        // Zero rates: the injector arms (and the seed journals) without
+        // perturbing the round itself.
+        let plan = FaultPlan {
+            master_seed: 99,
+            bitflip: 0.0,
+            rollback: 0.0,
+            transient: 0.0,
+        };
+        let (mut s, mut rng) = server(Some(0.5));
+        s.enable_durability(&dir).unwrap();
+        s.set_fault_plan(plan);
+        let mut mode = FedAvg;
+        s.begin_round(&[1, 2, 3], &mut rng).unwrap();
+        s.end_round(&mut mode, 1.0, &mut rng).unwrap();
+        drop(s);
+        // The begin record carries exactly the plan-derived seed.
+        let key = fedora_crypto::aead::Key::from_bytes([0x5E; 32]).derive_subkey("durable");
+        let records = crate::durable::read_records(&dir, &key).unwrap();
+        let begins: Vec<_> = records
+            .iter()
+            .filter_map(|r| match r {
+                crate::durable::JournalRecord::Begin(b) => Some(*b),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(begins.len(), 1);
+        assert_eq!(begins[0].fault_seed, Some(plan.round_seed(0)));
+        assert_eq!(begins[0].k_requests, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_telemetry_series_published() {
+        let dir = temp_state_dir("telemetry");
+        let (s, _) = durable_server(&dir, 2);
+        let m = s.metrics_snapshot();
+        // Baseline checkpoint + one per committed round.
+        assert_eq!(m.counter("durable.checkpoints"), Some(3));
+        assert!(m.gauge("durable.checkpoint.bytes").unwrap_or(0.0) > 0.0);
+        assert!(m.gauge("durable.checkpoint.ns").is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_points_without_durability_still_fire() {
+        let (mut s, mut rng) = server(None);
+        s.arm_crash_point(CrashPoint::MidFetch);
+        let err = s.begin_round(&[1, 2], &mut rng).unwrap_err();
+        assert_eq!(
+            err,
+            FedoraError::CrashInjected {
+                point: CrashPoint::MidFetch
+            }
+        );
     }
 
     #[test]

@@ -111,6 +111,13 @@ impl RootCounter {
         RootCounter(0)
     }
 
+    /// Reconstructs a counter at `count` — the checkpoint-restore path.
+    /// Safe only with the exact persisted EO count: a stale value replays
+    /// nonces, which the AEAD layer then rejects as tampering.
+    pub fn from_count(count: u64) -> Self {
+        RootCounter(count)
+    }
+
     /// Current EO count.
     pub fn get(&self) -> u64 {
         self.0

@@ -128,6 +128,30 @@ impl FdpAccountant {
         })
     }
 
+    /// The per-round ε history, oldest first (the checkpoint path persists
+    /// this verbatim so a restored accountant reports identical bounds).
+    pub fn per_round(&self) -> &[f64] {
+        &self.per_round
+    }
+
+    /// Reconstructs an accountant from persisted state: the full per-round
+    /// history plus the poisoned-round count. The cached total is re-derived
+    /// from the history, so a checkpoint cannot smuggle in an inconsistent
+    /// total. Ill-formed entries (NaN/negative) are rejected exactly as
+    /// [`record_round`](Self::record_round) would reject them, which keeps
+    /// restoration conservative: it can only add to `poisoned`.
+    pub fn from_state(per_round: &[f64], poisoned: u64) -> Self {
+        let mut a = FdpAccountant {
+            per_round: Vec::with_capacity(per_round.len()),
+            total: 0.0,
+            poisoned,
+        };
+        for &e in per_round {
+            a.record_round(e);
+        }
+        a
+    }
+
     /// Sequential composition over all recorded rounds: Σ εᵢ. A feature
     /// value that participates in every round is protected at this level
     /// overall (basic composition; tighter accountants are orthogonal).
@@ -201,6 +225,22 @@ mod tests {
         assert_eq!(a.rounds(), 2);
         assert_eq!(a.total_epsilon(), f64::INFINITY);
         assert_eq!(a.poisoned_rounds(), 0);
+    }
+
+    #[test]
+    fn from_state_rebuilds_total_and_history() {
+        let mut a = FdpAccountant::new();
+        a.record_round(0.5);
+        a.record_round(0.25);
+        assert!(!a.record_round(f64::NAN));
+        let b = FdpAccountant::from_state(a.per_round(), a.poisoned_rounds());
+        assert_eq!(b, a);
+        assert_eq!(b.total_epsilon(), a.total_epsilon());
+        // A tampered history cannot smuggle NaN into the total.
+        let c = FdpAccountant::from_state(&[0.5, f64::NAN], 0);
+        assert_eq!(c.rounds(), 1);
+        assert_eq!(c.poisoned_rounds(), 1);
+        assert_eq!(c.total_epsilon(), 0.5);
     }
 
     #[test]

@@ -55,6 +55,53 @@ pub trait AggregationMode {
 
     /// Hook called once per round for modes that track staleness.
     fn on_round_end(&mut self) {}
+
+    /// Serializes the mode's persistent optimizer state (Adam moments,
+    /// LazyDP staleness) for checkpointing. Stateless modes return an empty
+    /// vector. Little-endian, hand-rolled — the fl crate stays
+    /// dependency-free.
+    fn state_bytes(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`state_bytes`](Self::state_bytes) onto a
+    /// freshly constructed mode of the same kind.
+    ///
+    /// # Errors
+    ///
+    /// A static description when the bytes do not decode as this mode's
+    /// state.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err("mode carries no persistent state")
+        }
+    }
+}
+
+/// Little-endian codec helpers for the mode state blobs.
+mod state_codec {
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+        put_u64(buf, v.to_bits());
+    }
+
+    pub fn get_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, &'static str> {
+        let end = pos.checked_add(8).ok_or("mode state truncated")?;
+        let b = bytes.get(*pos..end).ok_or("mode state truncated")?;
+        *pos = end;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    pub fn get_f64(bytes: &[u8], pos: &mut usize) -> Result<f64, &'static str> {
+        Ok(f64::from_bits(get_u64(bytes, pos)?))
+    }
 }
 
 /// FedAvg (Eq. 1): weighted averaging by sample count.
@@ -142,6 +189,56 @@ impl AggregationMode for FedAdam {
             let v_hat = v[i] / bc2;
             agg[i] = (m_hat / (v_hat.sqrt() + self.eps)) as f32;
         }
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        use state_codec::{put_f64, put_u64};
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.moments.len() as u64);
+        let mut ids: Vec<u64> = self.moments.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let (m, v, t) = &self.moments[&id];
+            put_u64(&mut buf, id);
+            put_u64(&mut buf, *t);
+            put_u64(&mut buf, m.len() as u64);
+            for &x in m {
+                put_f64(&mut buf, x);
+            }
+            for &x in v {
+                put_f64(&mut buf, x);
+            }
+        }
+        buf
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        use state_codec::{get_f64, get_u64};
+        let mut pos = 0usize;
+        let count = get_u64(bytes, &mut pos)?;
+        let mut moments = HashMap::new();
+        for _ in 0..count {
+            let id = get_u64(bytes, &mut pos)?;
+            let t = get_u64(bytes, &mut pos)?;
+            let dim = get_u64(bytes, &mut pos)? as usize;
+            if dim > bytes.len() {
+                return Err("mode state dimension implausible");
+            }
+            let mut m = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                m.push(get_f64(bytes, &mut pos)?);
+            }
+            let mut v = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                v.push(get_f64(bytes, &mut pos)?);
+            }
+            moments.insert(id, (m, v, t));
+        }
+        if pos != bytes.len() {
+            return Err("mode state has trailing bytes");
+        }
+        self.moments = moments;
+        Ok(())
     }
 }
 
@@ -242,6 +339,38 @@ impl AggregationMode for LazyDp {
 
     fn on_round_end(&mut self) {
         self.round += 1;
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        use state_codec::put_u64;
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.round);
+        put_u64(&mut buf, self.last_updated.len() as u64);
+        let mut ids: Vec<u64> = self.last_updated.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            put_u64(&mut buf, id);
+            put_u64(&mut buf, self.last_updated[&id]);
+        }
+        buf
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), &'static str> {
+        use state_codec::get_u64;
+        let mut pos = 0usize;
+        let round = get_u64(bytes, &mut pos)?;
+        let count = get_u64(bytes, &mut pos)?;
+        let mut last_updated = HashMap::new();
+        for _ in 0..count {
+            let id = get_u64(bytes, &mut pos)?;
+            last_updated.insert(id, get_u64(bytes, &mut pos)?);
+        }
+        if pos != bytes.len() {
+            return Err("mode state has trailing bytes");
+        }
+        self.round = round;
+        self.last_updated = last_updated;
+        Ok(())
     }
 }
 
@@ -368,6 +497,51 @@ mod tests {
         }
         assert!((last - 1.0).abs() < 0.1, "adam step {last}");
         assert_eq!(mode.tracked_entries(), 1);
+    }
+
+    #[test]
+    fn fedadam_state_roundtrips_and_continues_identically() {
+        let mut a = FedAdam::new();
+        let mut r = rng();
+        for _ in 0..5 {
+            let mut agg = vec![2.0f32, -1.0];
+            a.post(3, &mut agg, 1.0, &mut r);
+        }
+        let mut b = FedAdam::new();
+        b.restore_state(&a.state_bytes()).unwrap();
+        assert_eq!(b.tracked_entries(), 1);
+        // Same next step from both copies.
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let mut x = vec![2.0f32, -1.0];
+        let mut y = x.clone();
+        a.post(3, &mut x, 1.0, &mut r1);
+        b.post(3, &mut y, 1.0, &mut r2);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn lazydp_state_roundtrips_staleness() {
+        let mut a = LazyDp::new(1.0, 1.0);
+        let mut r = rng();
+        let mut agg = vec![0.0f32];
+        a.post(5, &mut agg, 1.0, &mut r);
+        a.on_round_end();
+        a.on_round_end();
+        let mut b = LazyDp::new(1.0, 1.0);
+        b.restore_state(&a.state_bytes()).unwrap();
+        assert_eq!(b.staleness(5), a.staleness(5));
+        assert_eq!(b.staleness(9), a.staleness(9));
+    }
+
+    #[test]
+    fn stateless_modes_have_empty_state() {
+        let mut avg = FedAvg;
+        assert!(avg.state_bytes().is_empty());
+        avg.restore_state(&[]).unwrap();
+        assert!(avg.restore_state(&[1, 2, 3]).is_err());
+        let mut truncated = FedAdam::new();
+        assert!(truncated.restore_state(&[0u8; 4]).is_err());
     }
 
     #[test]

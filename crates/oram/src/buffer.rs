@@ -15,6 +15,7 @@
 use fedora_crypto::aead::Key;
 use fedora_storage::profile::DramProfile;
 use fedora_storage::stats::DeviceStats;
+use fedora_storage::{ByteReader, ByteWriter, CodecError};
 use fedora_telemetry::{Counter, Registry};
 use rand::Rng;
 
@@ -364,6 +365,62 @@ impl BufferOram {
         let new_block = Self::encode(&agg.entry, &agg.gradient, agg.weight);
         self.oram.write(slot, new_block, rng)?;
         self.telemetry.aggregates.incr();
+        Ok(())
+    }
+
+    /// Serializes the buffer ORAM's full state — round working set,
+    /// controller, and encrypted DRAM store image — into `w` for
+    /// checkpointing. The AEAD key is *not* serialized (it is
+    /// config-derived; checkpoints must not leak key material).
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u64(self.capacity as u64);
+        w.put_u64(self.entry_bytes as u64);
+        w.put_u64(self.loaded.len() as u64);
+        for (id, slot) in &self.loaded {
+            match id {
+                Some(v) => {
+                    w.put_bool(true);
+                    w.put_u64(*v);
+                }
+                None => {
+                    w.put_bool(false);
+                    w.put_u64(0);
+                }
+            }
+            w.put_u64(*slot);
+        }
+        self.oram.encode_controller_state(w);
+        self.oram.store().encode_state(w);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// a buffer ORAM constructed with the same capacity, entry size, and
+    /// key.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a shape mismatch.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        if r.get_u64()? != self.capacity as u64 {
+            return Err(CodecError::Invalid("buffer-oram capacity mismatch"));
+        }
+        if r.get_u64()? != self.entry_bytes as u64 {
+            return Err(CodecError::Invalid("buffer-oram entry size mismatch"));
+        }
+        let count = r.get_u64()? as usize;
+        if count > self.capacity {
+            return Err(CodecError::Invalid("buffer-oram working set over capacity"));
+        }
+        let mut loaded = Vec::with_capacity(count);
+        for _ in 0..count {
+            let is_real = r.get_bool()?;
+            let id = r.get_u64()?;
+            let slot = r.get_u64()?;
+            loaded.push((is_real.then_some(id), slot));
+        }
+        self.loaded = loaded;
+        self.oram.decode_controller_state(r)?;
+        self.oram.store_mut().decode_state(r)?;
         Ok(())
     }
 

@@ -5,6 +5,7 @@
 //! This is the engine inside the paper's `Path ORAM+` baseline; FEDORA's
 //! main ORAM uses the RAW variant in [`crate::raw`] instead.
 
+use fedora_storage::{ByteReader, ByteWriter, CodecError};
 use rand::Rng;
 
 use crate::block::Block;
@@ -92,6 +93,35 @@ impl<S: BucketStore> PathOram<S> {
     /// position-map construction records where its level blocks landed.
     pub(crate) fn position_of(&mut self, id: u64) -> u64 {
         self.position.get(id)
+    }
+
+    /// Serializes the controller state — position map, stash, access
+    /// counter, and pending trace — into `w`. The backing store is encoded
+    /// separately by the caller (it owns the device image).
+    pub fn encode_controller_state(&self, w: &mut ByteWriter) {
+        w.put_u64(self.num_blocks);
+        self.position.encode_state(w);
+        self.stash.encode_state(w);
+        w.put_u64(self.accesses);
+        w.put_u64s(&self.trace);
+    }
+
+    /// Restores controller state captured by
+    /// [`encode_controller_state`](Self::encode_controller_state) onto an
+    /// ORAM of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a shape mismatch.
+    pub fn decode_controller_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        if r.get_u64()? != self.num_blocks {
+            return Err(CodecError::Invalid("path-oram block-count mismatch"));
+        }
+        self.position.decode_state(r)?;
+        self.stash.decode_state(r)?;
+        self.accesses = r.get_u64()?;
+        self.trace = r.get_u64s()?;
+        Ok(())
     }
 
     fn check_id(&self, id: u64) -> Result<(), OramError> {

@@ -8,6 +8,7 @@
 //! optional oblivious mode performs real whole-array scans for small maps.
 
 use fedora_oblivious::scan::{oblivious_read_u64, oblivious_write_u64};
+use fedora_storage::{ByteReader, ByteWriter, CodecError};
 use rand::Rng;
 
 /// Dense position map for `n` blocks.
@@ -93,6 +94,31 @@ impl PositionMap {
         let old = self.get(id);
         self.set(id, new_leaf);
         old
+    }
+
+    /// Serializes the map (assignments, access counter, mode) into `w` for
+    /// checkpointing.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u64s(&self.leaves);
+        w.put_u64(self.accesses);
+        w.put_bool(self.oblivious);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// a map of the same size.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or an entry-count mismatch.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let leaves = r.get_u64s()?;
+        if leaves.len() != self.leaves.len() {
+            return Err(CodecError::Invalid("position-map size mismatch"));
+        }
+        self.leaves = leaves;
+        self.accesses = r.get_u64()?;
+        self.oblivious = r.get_bool()?;
+        Ok(())
     }
 }
 

@@ -26,6 +26,7 @@
 //! design requires.
 
 use fedora_crypto::counter::{EvictionSchedule, RootCounter};
+use fedora_storage::{ByteReader, ByteWriter, CodecError};
 use fedora_telemetry::{Counter, Gauge, Histogram, Registry};
 use rand::Rng;
 
@@ -538,6 +539,61 @@ impl<S: BucketStore> RawOram<S> {
         timer.stop(); // record this eviction before deriving the suggestion
         self.update_suggested_a();
         result
+    }
+
+    /// Serializes the controller state — position map, stash, VTree image,
+    /// root EO counter, eviction cadence, operation counters, and pending
+    /// traces — into `w`. The backing store is encoded separately by the
+    /// caller (it owns the device image and bucket write counters).
+    pub fn encode_controller_state(&self, w: &mut ByteWriter) {
+        w.put_u64(self.num_blocks);
+        self.position.encode_state(w);
+        self.stash.encode_state(w);
+        self.vtree.encode_state(w);
+        w.put_u64(self.eo_counter.get());
+        w.put_u32(self.ao_since_eo);
+        w.put_u32(self.inserts_since_eo);
+        for v in [
+            self.counts.ao_accesses,
+            self.counts.dummy_accesses,
+            self.counts.eo_accesses,
+            self.counts.insertions,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_u64s(&self.ao_trace);
+        w.put_u64s(&self.eo_trace);
+    }
+
+    /// Restores controller state captured by
+    /// [`encode_controller_state`](Self::encode_controller_state) onto an
+    /// ORAM of the same shape. The root EO counter is restored verbatim; a
+    /// stale value would replay bucket nonces, which the AEAD layer then
+    /// rejects — this is the Merkle-free scheme's built-in rollback
+    /// detection.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a shape mismatch.
+    pub fn decode_controller_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        if r.get_u64()? != self.num_blocks {
+            return Err(CodecError::Invalid("raw-oram block-count mismatch"));
+        }
+        self.position.decode_state(r)?;
+        self.stash.decode_state(r)?;
+        self.vtree.decode_state(r)?;
+        self.eo_counter = RootCounter::from_count(r.get_u64()?);
+        self.ao_since_eo = r.get_u32()?;
+        self.inserts_since_eo = r.get_u32()?;
+        self.counts = RawOramCounts {
+            ao_accesses: r.get_u64()?,
+            dummy_accesses: r.get_u64()?,
+            eo_accesses: r.get_u64()?,
+            insertions: r.get_u64()?,
+        };
+        self.ao_trace = r.get_u64s()?;
+        self.eo_trace = r.get_u64s()?;
+        Ok(())
     }
 
     /// Vanilla RAW ORAM access (read, or write when `new_payload` is

@@ -7,6 +7,7 @@
 //! security proofs bound.
 
 use crate::block::Block;
+use fedora_storage::{ByteReader, ByteWriter, CodecError};
 
 /// A stash with occupancy tracking.
 #[derive(Clone, Debug, Default)]
@@ -89,6 +90,42 @@ impl Stash {
     /// Removes every block, returning them.
     pub fn drain_all(&mut self) -> Vec<Block> {
         std::mem::take(&mut self.blocks)
+    }
+
+    /// Serializes the stash (blocks in their current order, plus the
+    /// high-water mark) into `w` for checkpointing. Order is preserved so a
+    /// restored stash drains identically to the original.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u64(self.blocks.len() as u64);
+        for b in &self.blocks {
+            w.put_u64(b.id);
+            w.put_u64(b.leaf);
+            w.put_bytes(&b.payload);
+        }
+        w.put_u64(self.high_water as u64);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state),
+    /// replacing this stash's contents.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let count = r.get_u64()? as usize;
+        if count > r.remaining() {
+            return Err(CodecError::Invalid("stash block count implausible"));
+        }
+        let mut blocks = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = r.get_u64()?;
+            let leaf = r.get_u64()?;
+            let payload = r.get_bytes()?;
+            blocks.push(Block::new(id, leaf, payload));
+        }
+        self.blocks = blocks;
+        self.high_water = r.get_u64()? as usize;
+        Ok(())
     }
 }
 

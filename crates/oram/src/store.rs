@@ -27,7 +27,9 @@ use fedora_storage::fault::{FaultConfig, FaultStats};
 use fedora_storage::profile::{DramProfile, SsdProfile};
 use fedora_storage::ssd::SsdError;
 use fedora_storage::stats::DeviceStats;
-use fedora_storage::{AccessTraceRecorder, DeviceTelemetry, SimDram, SimSsd};
+use fedora_storage::{
+    AccessTraceRecorder, ByteReader, ByteWriter, CodecError, DeviceTelemetry, SimDram, SimSsd,
+};
 use fedora_telemetry::{Counter, Registry};
 
 use crate::bucket::Bucket;
@@ -407,6 +409,61 @@ impl SsdBucketStore {
         node * self.pages_per_bucket
     }
 
+    /// Serializes the store's durable state — per-bucket write counters,
+    /// cumulative integrity statistics, the quarantine set, resilience
+    /// knobs, and the full SSD image — into `w` for checkpointing. The AEAD
+    /// key, telemetry handles, worker pool, and armed fault injector are not
+    /// persisted (recovery re-derives or re-arms them).
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u64s(&self.write_counts);
+        let s = &self.integrity;
+        for v in [
+            s.detected_corruption,
+            s.detected_rollback,
+            s.transient_retries,
+            s.recovered,
+            s.quarantined,
+        ] {
+            w.put_u64(v);
+        }
+        let quarantined: Vec<u64> = self.quarantined.iter().copied().collect();
+        w.put_u64s(&quarantined);
+        w.put_u32(self.retry_limit);
+        w.put_u64(self.rollback_window);
+        self.ssd.encode_state(w);
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// a freshly constructed store of the same geometry. Recovered
+    /// quarantined nodes stay excluded exactly as before the restart.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a geometry mismatch.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let write_counts = r.get_u64s()?;
+        if write_counts.len() != self.write_counts.len() {
+            return Err(CodecError::Invalid("bucket-store node-count mismatch"));
+        }
+        self.write_counts = write_counts;
+        self.integrity = IntegrityStats {
+            detected_corruption: r.get_u64()?,
+            detected_rollback: r.get_u64()?,
+            transient_retries: r.get_u64()?,
+            recovered: r.get_u64()?,
+            quarantined: r.get_u64()?,
+        };
+        let quarantined = r.get_u64s()?;
+        if quarantined.iter().any(|&n| n >= self.geometry.num_nodes()) {
+            return Err(CodecError::Invalid("quarantined node out of range"));
+        }
+        self.quarantined = quarantined.into_iter().collect();
+        self.retry_limit = r.get_u32()?;
+        self.rollback_window = r.get_u64()?;
+        self.ssd.decode_state(r)?;
+        Ok(())
+    }
+
     fn put(&mut self, node: u64, bucket: &Bucket, count: u64) -> Result<(), OramError> {
         let plain = bucket.to_bytes();
         let mut ct = self
@@ -748,6 +805,52 @@ impl DramBucketStore {
     /// The backing DRAM (for capacity/power queries).
     pub fn dram(&self) -> &SimDram {
         &self.dram
+    }
+
+    /// Serializes the store's state — write counters plus the encrypted
+    /// DRAM image and its statistics — into `w` for checkpointing. The AEAD
+    /// key is not persisted.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        w.put_u64s(&self.write_counts);
+        let (bytes, stats) = self.dram.snapshot_state();
+        w.put_bytes(&bytes);
+        for v in [
+            stats.pages_read,
+            stats.pages_written,
+            stats.bytes_read,
+            stats.bytes_written,
+            stats.busy_ns,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// a store of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a geometry mismatch.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let write_counts = r.get_u64s()?;
+        if write_counts.len() != self.write_counts.len() {
+            return Err(CodecError::Invalid("bucket-store node-count mismatch"));
+        }
+        self.write_counts = write_counts;
+        let bytes = r.get_bytes()?;
+        if bytes.len() as u64 != self.dram.capacity_bytes() {
+            return Err(CodecError::Invalid("dram image length mismatch"));
+        }
+        let stats = DeviceStats {
+            pages_read: r.get_u64()?,
+            pages_written: r.get_u64()?,
+            bytes_read: r.get_u64()?,
+            bytes_written: r.get_u64()?,
+            busy_ns: r.get_u64()?,
+            ..DeviceStats::default()
+        };
+        self.dram.restore_state(bytes, stats);
+        Ok(())
     }
 
     #[allow(clippy::expect_used)] // DRAM sized for the tree at construction

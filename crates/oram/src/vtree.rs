@@ -14,7 +14,7 @@
 
 use fedora_storage::profile::DramProfile;
 use fedora_storage::stats::DeviceStats;
-use fedora_storage::{DeviceTelemetry, SimDram};
+use fedora_storage::{ByteReader, ByteWriter, CodecError, DeviceTelemetry, SimDram};
 use fedora_telemetry::{Counter, Registry};
 
 use crate::geometry::TreeGeometry;
@@ -137,6 +137,46 @@ impl VTree {
         for (s, &b) in bits.iter().enumerate() {
             self.set(node, s, b);
         }
+    }
+
+    /// Serializes the valid-bit image and its DRAM statistics into `w` for
+    /// checkpointing (the raw bitmap, captured out-of-band so the snapshot
+    /// itself generates no modeled DRAM traffic).
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        let (bytes, stats) = self.dram.snapshot_state();
+        w.put_bytes(&bytes);
+        for v in [
+            stats.pages_read,
+            stats.pages_written,
+            stats.bytes_read,
+            stats.bytes_written,
+            stats.busy_ns,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Restores state captured by [`encode_state`](Self::encode_state) onto
+    /// a VTree of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncation or a bitmap-size mismatch.
+    pub fn decode_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let bytes = r.get_bytes()?;
+        if bytes.len() as u64 != self.dram.capacity_bytes() {
+            return Err(CodecError::Invalid("vtree bitmap size mismatch"));
+        }
+        let stats = DeviceStats {
+            pages_read: r.get_u64()?,
+            pages_written: r.get_u64()?,
+            bytes_read: r.get_u64()?,
+            bytes_written: r.get_u64()?,
+            busy_ns: r.get_u64()?,
+            ..DeviceStats::default()
+        };
+        self.dram.restore_state(bytes, stats);
+        Ok(())
     }
 
     /// Number of valid slots in the whole tree (test/debug helper).

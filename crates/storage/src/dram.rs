@@ -139,6 +139,30 @@ impl SimDram {
         Ok(())
     }
 
+    /// Captures the raw byte image without touching statistics — the
+    /// checkpoint path's out-of-band snapshot (restore with
+    /// [`restore_state`](Self::restore_state)).
+    pub fn snapshot_state(&self) -> (Vec<u8>, DeviceStats) {
+        (self.bytes.clone(), self.stats)
+    }
+
+    /// Restores a byte image and statistics captured by
+    /// [`snapshot_state`](Self::snapshot_state), bypassing the access
+    /// counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` does not match this module's capacity.
+    pub fn restore_state(&mut self, bytes: Vec<u8>, stats: DeviceStats) {
+        assert_eq!(
+            bytes.len(),
+            self.bytes.len(),
+            "dram image length must match capacity"
+        );
+        self.bytes = bytes;
+        self.stats = stats;
+    }
+
     /// Static power of this module in watts (375 mW/GB by default).
     pub fn static_power_w(&self) -> f64 {
         self.profile.static_power_w_per_gb * (self.bytes.len() as f64 / crate::profile::GB)

@@ -12,6 +12,9 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::durable::{
+    atomic_write_file, open_frame, seal_frame, ByteReader, ByteWriter, CodecError,
+};
 use crate::fault::{FaultConfig, FaultInjector, FaultStats, InjectedFault};
 use crate::profile::SsdProfile;
 use crate::ssd::SsdError;
@@ -26,6 +29,17 @@ pub enum FileSsdError {
     Device(SsdError),
     /// Host I/O failure.
     Io(std::io::Error),
+    /// The metadata sidecar failed to decode (torn, corrupt, or from an
+    /// incompatible version).
+    Metadata(CodecError),
+    /// The metadata sidecar disagrees with the profile or backing file.
+    MetadataMismatch(&'static str),
+}
+
+impl From<CodecError> for FileSsdError {
+    fn from(e: CodecError) -> Self {
+        FileSsdError::Metadata(e)
+    }
 }
 
 impl From<SsdError> for FileSsdError {
@@ -45,11 +59,18 @@ impl core::fmt::Display for FileSsdError {
         match self {
             FileSsdError::Device(e) => write!(f, "device: {e}"),
             FileSsdError::Io(e) => write!(f, "io: {e}"),
+            FileSsdError::Metadata(e) => write!(f, "metadata: {e}"),
+            FileSsdError::MetadataMismatch(what) => write!(f, "metadata mismatch: {what}"),
         }
     }
 }
 
 impl std::error::Error for FileSsdError {}
+
+/// Magic tag of the metadata sidecar frame.
+const META_MAGIC: [u8; 4] = *b"FSSD";
+/// Format version of the metadata sidecar.
+const META_VERSION: u32 = 1;
 
 /// A page-granular SSD persisted in a host file.
 #[derive(Debug)]
@@ -63,6 +84,10 @@ pub struct FileSsd {
     recorder: AccessTraceRecorder,
     injector: Option<Box<FaultInjector>>,
     written_once: Vec<bool>,
+    /// When set, every page write is fsync'd before the call returns, so
+    /// completion implies durability (off by default: simulation runs don't
+    /// pay a sync per write).
+    sync_on_write: bool,
 }
 
 impl FileSsd {
@@ -94,7 +119,138 @@ impl FileSsd {
             recorder: AccessTraceRecorder::disabled(),
             injector: None,
             written_once: vec![false; num_pages as usize],
+            sync_on_write: false,
         })
+    }
+
+    /// Opens a previously-persisted device from its backing file and
+    /// metadata sidecar (written by
+    /// [`persist_metadata`](Self::persist_metadata)). Statistics and the
+    /// written-page map resume from their persisted values.
+    ///
+    /// # Errors
+    ///
+    /// [`FileSsdError::Metadata`] when the sidecar is missing/torn,
+    /// [`FileSsdError::MetadataMismatch`] when it disagrees with `profile`
+    /// or the backing file's size; host I/O errors propagate.
+    pub fn open<P: AsRef<Path>>(path: P, profile: SsdProfile) -> Result<Self, FileSsdError> {
+        let path = path.as_ref().to_owned();
+        let meta_bytes = std::fs::read(Self::meta_path_for(&path))?;
+        let payload = open_frame(&meta_bytes, META_MAGIC, META_VERSION)?;
+        let mut r = ByteReader::new(payload);
+        let num_pages = r.get_u64()?;
+        let page_bytes = r.get_u64()?;
+        if page_bytes != profile.page_bytes as u64 {
+            return Err(FileSsdError::MetadataMismatch("page size"));
+        }
+        let written_bits = r.get_bytes()?;
+        if written_bits.len() != num_pages.div_ceil(8) as usize {
+            return Err(FileSsdError::MetadataMismatch("written-page map length"));
+        }
+        let mut stats = DeviceStats::new();
+        stats.pages_read = r.get_u64()?;
+        stats.pages_written = r.get_u64()?;
+        stats.bytes_read = r.get_u64()?;
+        stats.bytes_written = r.get_u64()?;
+        stats.busy_ns = r.get_u64()?;
+        stats.faults_bitflip = r.get_u64()?;
+        stats.faults_rollback = r.get_u64()?;
+        stats.faults_transient = r.get_u64()?;
+        r.expect_end()?;
+        let file = OpenOptions::new().read(true).write(true).open(&path)?;
+        if file.metadata()?.len() < num_pages * page_bytes {
+            return Err(FileSsdError::MetadataMismatch("backing file too short"));
+        }
+        let written_once = (0..num_pages as usize)
+            .map(|i| written_bits[i / 8] >> (i % 8) & 1 == 1)
+            .collect();
+        Ok(FileSsd {
+            profile,
+            file,
+            path,
+            num_pages,
+            stats,
+            telemetry: DeviceTelemetry::noop(),
+            recorder: AccessTraceRecorder::disabled(),
+            injector: None,
+            written_once,
+            sync_on_write: false,
+        })
+    }
+
+    fn meta_path_for(path: &Path) -> PathBuf {
+        let mut meta = path.to_path_buf();
+        let mut name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        name.push(".meta");
+        meta.set_file_name(name);
+        meta
+    }
+
+    /// The metadata sidecar path (`<backing file>.meta`).
+    pub fn meta_path(&self) -> PathBuf {
+        Self::meta_path_for(&self.path)
+    }
+
+    /// Persists the device metadata (written-page map + statistics) with
+    /// the durable write-ordering discipline: the data file is fsync'd
+    /// *first*, then the sidecar commits atomically (temp file + rename +
+    /// directory fsync) — so the sidecar never describes pages that were
+    /// not yet durable when it was written.
+    ///
+    /// # Errors
+    ///
+    /// Host I/O errors propagate.
+    pub fn persist_metadata(&mut self) -> Result<(), FileSsdError> {
+        // Data before metadata: sync page content first.
+        self.file.sync_all()?;
+        let mut w = ByteWriter::new();
+        w.put_u64(self.num_pages);
+        w.put_u64(self.profile.page_bytes as u64);
+        let mut bits = vec![0u8; (self.num_pages as usize).div_ceil(8)];
+        for (i, &written) in self.written_once.iter().enumerate() {
+            if written {
+                bits[i / 8] |= u8::from(written) << (i % 8);
+            }
+        }
+        w.put_bytes(&bits);
+        for v in [
+            self.stats.pages_read,
+            self.stats.pages_written,
+            self.stats.bytes_read,
+            self.stats.bytes_written,
+            self.stats.busy_ns,
+            self.stats.faults_bitflip,
+            self.stats.faults_rollback,
+            self.stats.faults_transient,
+        ] {
+            w.put_u64(v);
+        }
+        let frame = seal_frame(META_MAGIC, META_VERSION, &w.into_bytes());
+        atomic_write_file(&self.meta_path(), &frame)?;
+        Ok(())
+    }
+
+    /// Enables (or disables) fsync-per-write: when on, [`write_page`] /
+    /// [`write_pages`] sync the file before returning, so a completed write
+    /// is durable.
+    ///
+    /// [`write_page`]: Self::write_page
+    /// [`write_pages`]: Self::write_pages
+    pub fn set_sync_on_write(&mut self, on: bool) {
+        self.sync_on_write = on;
+    }
+
+    /// Flushes all written pages to stable storage (`fsync`).
+    ///
+    /// # Errors
+    ///
+    /// Host I/O errors propagate.
+    pub fn sync(&mut self) -> Result<(), FileSsdError> {
+        self.file.sync_all()?;
+        Ok(())
     }
 
     /// Attaches telemetry handles mirroring this device's traffic into a
@@ -249,6 +405,9 @@ impl FileSsd {
         self.written_once[page as usize] = true;
         self.file.seek(SeekFrom::Start(page * pb as u64))?;
         self.file.write_all(data)?;
+        if self.sync_on_write {
+            self.file.sync_data()?;
+        }
         self.recorder.record_write(page);
         self.stats
             .record_write(pb as u64, self.profile.write_latency_ns);
@@ -336,6 +495,9 @@ impl FileSsd {
             self.stats.pages_written += 1;
             self.stats.bytes_written += pb as u64;
         }
+        if self.sync_on_write && !writes.is_empty() {
+            self.file.sync_data()?;
+        }
         let batch_ns = self.profile.batch_write_ns(writes.len() as u64);
         self.stats.busy_ns += batch_ns;
         self.telemetry.record_write(
@@ -359,8 +521,12 @@ impl FileSsd {
     /// Host I/O errors propagate.
     pub fn remove(self) -> Result<(), FileSsdError> {
         let path = self.path.clone();
+        let meta = self.meta_path();
         drop(self.file);
         std::fs::remove_file(path)?;
+        if meta.exists() {
+            std::fs::remove_file(meta)?;
+        }
         Ok(())
     }
 }
@@ -417,6 +583,109 @@ mod tests {
         );
         assert!(ssd.wear_fraction() > 0.0);
         ssd.remove().unwrap();
+    }
+
+    #[test]
+    fn metadata_roundtrip_via_open() {
+        let path = temp_path("meta-roundtrip");
+        {
+            let mut ssd = FileSsd::create(&path, SsdProfile::pm9a1_like(), 8).unwrap();
+            ssd.set_sync_on_write(true);
+            ssd.write_page(2, &vec![0x33; 4096]).unwrap();
+            ssd.write_page(5, &vec![0x44; 4096]).unwrap();
+            ssd.read_page(2).unwrap();
+            ssd.persist_metadata().unwrap();
+            // Dropped without remove(): simulated crash after the commit.
+        }
+        let mut ssd = FileSsd::open(&path, SsdProfile::pm9a1_like()).unwrap();
+        assert_eq!(ssd.num_pages(), 8);
+        assert_eq!(ssd.read_page(2).unwrap()[0], 0x33);
+        assert_eq!(ssd.read_page(5).unwrap()[0], 0x44);
+        // Stats resumed (2 writes + 1 read persisted, +2 reads since).
+        assert_eq!(ssd.stats().pages_written, 2);
+        assert_eq!(ssd.stats().pages_read, 3);
+        // The written-page map survived: a second write of page 2 is not a
+        // "first write" for the rollback injector.
+        ssd.arm_faults(FaultConfig {
+            rollback_per_read: 1.0,
+            ..FaultConfig::default()
+        });
+        ssd.write_page(2, &vec![0x55; 4096]).unwrap();
+        let got = ssd.read_page(2).unwrap();
+        assert_eq!(got[0], 0x33, "stale image replayed: pre-write recorded");
+        assert_eq!(ssd.fault_stats().rollbacks, 1);
+        ssd.remove().unwrap();
+    }
+
+    #[test]
+    fn metadata_commit_is_atomic() {
+        let path = temp_path("meta-atomic");
+        let mut ssd = FileSsd::create(&path, SsdProfile::pm9a1_like(), 4).unwrap();
+        ssd.write_page(0, &vec![9; 4096]).unwrap();
+        ssd.persist_metadata().unwrap();
+        let meta = ssd.meta_path();
+        assert!(meta.exists());
+        // No temp file left behind by the temp+rename commit.
+        let mut tmp = meta.clone();
+        let mut name = tmp.file_name().unwrap().to_os_string();
+        name.push(".tmp");
+        tmp.set_file_name(name);
+        assert!(!tmp.exists());
+        // A second persist atomically replaces the sidecar.
+        ssd.write_page(1, &vec![8; 4096]).unwrap();
+        ssd.persist_metadata().unwrap();
+        let reopened = FileSsd::open(&path, SsdProfile::pm9a1_like()).unwrap();
+        assert_eq!(reopened.stats().pages_written, 2);
+        reopened.remove().unwrap();
+    }
+
+    #[test]
+    fn open_rejects_torn_or_mismatched_metadata() {
+        let path = temp_path("meta-reject");
+        let mut ssd = FileSsd::create(&path, SsdProfile::pm9a1_like(), 4).unwrap();
+        ssd.persist_metadata().unwrap();
+        let meta = ssd.meta_path();
+        // Wrong profile (different page size) is refused.
+        let mut other = SsdProfile::pm9a1_like();
+        other.page_bytes = 512;
+        assert!(matches!(
+            FileSsd::open(&path, other),
+            Err(FileSsdError::MetadataMismatch("page size"))
+        ));
+        // A flipped metadata bit is caught by the frame checksum.
+        let mut bytes = std::fs::read(&meta).unwrap();
+        bytes[20] ^= 1;
+        std::fs::write(&meta, &bytes).unwrap();
+        assert!(matches!(
+            FileSsd::open(&path, SsdProfile::pm9a1_like()),
+            Err(FileSsdError::Metadata(CodecError::BadChecksum))
+        ));
+        // Missing sidecar is an I/O error, not a silent fresh device.
+        std::fs::remove_file(&meta).unwrap();
+        assert!(matches!(
+            FileSsd::open(&path, SsdProfile::pm9a1_like()),
+            Err(FileSsdError::Io(_))
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sync_on_write_durability_ordering() {
+        // With sync-on-write enabled, page data reaches the backing file
+        // before persist_metadata commits the sidecar: reopening after the
+        // commit always sees data consistent with the metadata.
+        let path = temp_path("sync-order");
+        let mut ssd = FileSsd::create(&path, SsdProfile::pm9a1_like(), 4).unwrap();
+        ssd.set_sync_on_write(true);
+        ssd.write_pages(&[(0, vec![1; 4096]), (3, vec![3; 4096])])
+            .unwrap();
+        ssd.sync().unwrap();
+        ssd.persist_metadata().unwrap();
+        let mut reopened = FileSsd::open(&path, SsdProfile::pm9a1_like()).unwrap();
+        assert_eq!(reopened.read_page(0).unwrap()[0], 1);
+        assert_eq!(reopened.read_page(3).unwrap()[0], 3);
+        assert_eq!(reopened.stats().pages_written, 2);
+        reopened.remove().unwrap();
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //!   allocation failures model the "No Secure SRAM" ablation (Fig. 10).
 //! * [`profile`] — the device constants (latency, power, $/GB) with the
 //!   paper's defaults.
+//! * [`durable`] — atomic-commit file primitives, checksummed frames, and
+//!   the synced append-only journal behind crash recovery (DESIGN.md §8).
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@
 
 pub mod device;
 pub mod dram;
+pub mod durable;
 pub mod fault;
 pub mod file_ssd;
 pub mod profile;
@@ -50,6 +53,10 @@ pub mod trace_recorder;
 
 pub use device::PageDevice;
 pub use dram::SimDram;
+pub use durable::{
+    atomic_write_file, fnv1a64, open_frame, read_journal, seal_frame, ByteReader, ByteWriter,
+    CodecError, JournalWriter,
+};
 pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use file_ssd::FileSsd;
 pub use profile::{DramProfile, SsdProfile};
