@@ -40,8 +40,9 @@ use fedora_storage::FaultConfig;
 
 /// Checkpoint frame magic tag.
 pub const CHECKPOINT_MAGIC: [u8; 4] = *b"FDCK";
-/// Checkpoint frame format version.
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Checkpoint frame format version. v2 added the aggregation-mode
+/// optimizer state to the body.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Journal file name inside a state directory.
 const JOURNAL_FILE: &str = "journal.log";
@@ -443,6 +444,12 @@ impl DurableState {
     /// [`DurableError`] on I/O failure or undecodable existing records.
     pub fn open(dir: &Path, key: Key) -> Result<Self, DurableError> {
         fs::create_dir_all(dir)?;
+        // Open the writer first: it truncates any torn tail a crash
+        // mid-append left behind, so (a) records appended from here on are
+        // never shadowed behind torn bytes, and (b) resuming the sequence
+        // from the intact records below cannot reuse an AEAD nonce against
+        // surviving torn ciphertext — the torn bytes are gone.
+        let journal = JournalWriter::open(&dir.join(JOURNAL_FILE))?;
         // Sequence resume needs only the plaintext headers; tampered
         // ciphertext is caught by read_records at recovery time.
         let mut next_seq = 0;
@@ -455,7 +462,6 @@ impl DurableState {
             .last()
             .map(|g| g.saturating_add(1))
             .unwrap_or(0);
-        let journal = JournalWriter::open(&dir.join(JOURNAL_FILE))?;
         Ok(DurableState {
             dir: dir.to_path_buf(),
             journal,
@@ -623,6 +629,40 @@ mod tests {
         };
         assert_eq!(c.report_digest, 0xABCD);
         assert_eq!(records[2].seq(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_trimmed_and_post_restart_records_stay_visible() {
+        let dir = temp_dir("torn-tail");
+        let mut d = DurableState::open(&dir, key()).unwrap();
+        d.append_begin(0, 0.5, 1, 0, None, 0).unwrap(); // seq 0
+        d.append_commit(0, 0, 0.5, 1).unwrap(); // seq 1
+        d.append_begin(1, 0.5, 1, 0, None, 0).unwrap(); // seq 2 — will be torn
+        drop(d);
+        // Tear the last record mid-ciphertext, as a real crash mid-append
+        // would.
+        let path = dir.join("journal.log");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        // Reopen: the torn tail is truncated away, so seq 2 is reissued
+        // over a clean file (no nonce reuse against surviving torn
+        // ciphertext) and the new record is visible to recovery instead
+        // of being shadowed behind torn bytes.
+        let mut d = DurableState::open(&dir, key()).unwrap();
+        assert_eq!(d.append_begin(1, 0.5, 2, 7, None, 0).unwrap(), 2);
+        d.append_commit(1, 1, 1.0, 9).unwrap(); // seq 3
+        drop(d);
+        let records = read_records(&dir, &key()).unwrap();
+        assert_eq!(records.len(), 4);
+        let JournalRecord::Begin(b) = records[2] else {
+            panic!("expected post-restart begin");
+        };
+        assert_eq!((b.seq, b.round, b.k_requests), (2, 1, 2));
+        let JournalRecord::Commit(c) = records[3] else {
+            panic!("expected post-restart commit");
+        };
+        assert_eq!((c.seq, c.round, c.total_epsilon), (3, 1, 1.0));
         fs::remove_dir_all(&dir).unwrap();
     }
 

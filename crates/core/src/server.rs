@@ -444,6 +444,11 @@ pub struct FedoraServer {
     /// Scrubbed report of the last committed round (persisted in the
     /// checkpoint so a recovered server can prove where it landed).
     last_committed: Option<RoundReport>,
+    /// The aggregation mode's persistent optimizer state (Adam moments,
+    /// LazyDP staleness) captured at each committed round and persisted
+    /// in the checkpoint, so a recovered stateful mode resumes where its
+    /// uncrashed twin would be (empty for stateless modes).
+    mode_state: Vec<u8>,
     /// The write-ahead journal + checkpoint writer, when durability is
     /// enabled via [`Self::enable_durability`] / [`Self::recover`].
     durable: Option<DurableState>,
@@ -518,6 +523,7 @@ impl FedoraServer {
             round_span: None,
             committed_rounds: 0,
             last_committed: None,
+            mode_state: Vec::new(),
             durable: None,
             crash_armed: None,
             fault_plan: None,
@@ -665,6 +671,30 @@ impl FedoraServer {
     /// checkpoint after recovery).
     pub fn last_committed_report(&self) -> Option<&RoundReport> {
         self.last_committed.as_ref()
+    }
+
+    /// The aggregation mode's checkpointed optimizer state as of the last
+    /// committed round (empty for stateless modes or before the first
+    /// committed round). Restored from the checkpoint by
+    /// [`Self::recover`]; apply it with [`Self::restore_mode`].
+    pub fn mode_state(&self) -> &[u8] {
+        &self.mode_state
+    }
+
+    /// Restores the checkpointed optimizer state onto a freshly built
+    /// `mode` of the same kind the server was trained with. Call after
+    /// [`Self::recover`] when running a stateful mode (FedAdam, LazyDP) —
+    /// without it the recovered mode resumes with reset moments/staleness
+    /// and diverges from an uncrashed twin. Stateless modes accept the
+    /// empty state and are a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`FedoraError::Durable`] when the bytes do not decode as `mode`'s
+    /// state (wrong mode kind for this state directory).
+    pub fn restore_mode<M: AggregationMode>(&self, mode: &mut M) -> Result<(), FedoraError> {
+        mode.restore_state(&self.mode_state)
+            .map_err(|what| DurableError::Codec(CodecError::Invalid(what)).into())
     }
 
     /// Attaches a state directory: opens (creating if needed) the
@@ -875,8 +905,9 @@ impl FedoraServer {
 
     /// Serializes the full server state for a checkpoint: round counter,
     /// budget flag, accountant, entry quarantine, last committed report,
-    /// main-ORAM controller + store (SSD image, bucket write counters,
-    /// cumulative integrity stats, node quarantine), and the buffer ORAM.
+    /// aggregation-mode optimizer state, main-ORAM controller + store
+    /// (SSD image, bucket write counters, cumulative integrity stats,
+    /// node quarantine), and the buffer ORAM.
     fn encode_checkpoint_body(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         w.put_u64(self.committed_rounds);
@@ -894,6 +925,7 @@ impl FedoraServer {
         if let Some(report) = &self.last_committed {
             report.encode_state(&mut w);
         }
+        w.put_bytes(&self.mode_state);
         self.main.encode_controller_state(&mut w);
         self.main.store().encode_state(&mut w);
         self.buffer.encode_state(&mut w);
@@ -919,6 +951,7 @@ impl FedoraServer {
         } else {
             None
         };
+        self.mode_state = r.get_bytes()?;
         self.main.decode_controller_state(&mut r)?;
         self.main.store_mut().decode_state(&mut r)?;
         self.buffer.decode_state(&mut r)?;
@@ -930,18 +963,40 @@ impl FedoraServer {
     /// WAL ordering). A crash in the window between the two recovers
     /// *forward* to the checkpoint, which already holds the round's
     /// state and ε — never backward past it.
-    fn checkpoint_and_commit(&mut self, report: &RoundReport) -> Result<(), FedoraError> {
+    ///
+    /// `prev_last` is the last-committed report from before this round:
+    /// when the checkpoint itself never becomes durable, the commit
+    /// counters are unwound to it, so a still-usable in-memory server
+    /// never reports a committed round that is not on disk. A failure
+    /// *after* the checkpoint is durable (lost commit marker) keeps the
+    /// incremented counters — they match what recovery would land on.
+    fn checkpoint_and_commit(
+        &mut self,
+        report: &RoundReport,
+        prev_last: Option<RoundReport>,
+    ) -> Result<(), FedoraError> {
         if self.durable.is_some() {
             let round = self.committed_rounds - 1;
-            let stats = self.checkpoint_inner()?;
+            let stats = match self.checkpoint_inner() {
+                Ok(stats) => stats,
+                Err(e) => {
+                    self.committed_rounds -= 1;
+                    self.last_committed = prev_last;
+                    return Err(e);
+                }
+            };
             self.crash_check(CrashPoint::PostDataSyncPreCommit)?;
             let digest = report.digest();
             let total = self.accountant.total_epsilon();
             if let Some(d) = self.durable.as_mut() {
                 d.append_commit(round, stats.generation, total, digest)?;
             }
-        } else {
-            self.crash_check(CrashPoint::PostDataSyncPreCommit)?;
+        } else if let Err(e) = self.crash_check(CrashPoint::PostDataSyncPreCommit) {
+            // No durable state to recover forward to: the simulated kill
+            // means this round committed nowhere.
+            self.committed_rounds -= 1;
+            self.last_committed = prev_last;
+            return Err(e);
         }
         Ok(())
     }
@@ -1449,9 +1504,15 @@ impl FedoraServer {
         state.report.metrics = self.registry.snapshot_lite();
         // Durable commit: the round counts as committed once its
         // checkpoint is on disk; the journal commit record then seals it.
+        // The mode's optimizer state (Adam moments, LazyDP staleness)
+        // rides in that checkpoint so a recovered stateful mode resumes
+        // exactly where its uncrashed twin would be.
+        if self.durable.is_some() {
+            self.mode_state = mode.state_bytes();
+        }
+        let prev_last = self.last_committed.replace(state.report.scrubbed());
         self.committed_rounds += 1;
-        self.last_committed = Some(state.report.scrubbed());
-        self.checkpoint_and_commit(&state.report)?;
+        self.checkpoint_and_commit(&state.report, prev_last)?;
         self.completed.push(state.report.clone());
         Ok(state.report.clone())
     }
@@ -1521,7 +1582,7 @@ impl core::fmt::Debug for FedoraServer {
 mod tests {
     use super::*;
     use crate::config::{FedoraConfig, PrivacyConfig, TableSpec};
-    use fedora_fl::modes::FedAvg;
+    use fedora_fl::modes::{FedAdam, FedAvg, LazyDp};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -2152,6 +2213,115 @@ mod tests {
             assert_eq!(t.committed_rounds(), want_rounds + 1, "{point}");
             std::fs::remove_dir_all(&dir).unwrap();
         }
+    }
+
+    /// Runs `rounds` committed rounds against `mode` on a durable server
+    /// (perfect privacy so crash points fire deterministically).
+    fn run_rounds<M: AggregationMode>(
+        s: &mut FedoraServer,
+        mode: &mut M,
+        rng: &mut StdRng,
+        rounds: u64,
+    ) {
+        for round in 0..rounds {
+            let reqs: Vec<u64> = (0..4).map(|i| (i * 7 + round) % 128).collect();
+            s.begin_round(&reqs, rng).unwrap();
+            for &id in &reqs {
+                let _ = s.serve(id, rng).unwrap();
+            }
+            s.end_round(mode, 1.0, rng).unwrap();
+        }
+    }
+
+    #[test]
+    fn fedadam_state_resumes_from_checkpoint_after_crash() {
+        let dir = temp_state_dir("adam");
+        let (mut s, mut rng) = server(Some(0.0));
+        s.enable_durability(&dir).unwrap();
+        let mut mode = FedAdam::new();
+        run_rounds(&mut s, &mut mode, &mut rng, 2);
+        let committed_state = mode.state_bytes();
+        assert!(!committed_state.is_empty());
+
+        // Crash mid-write of round 3: the in-memory mode has already
+        // advanced past the committed state when the "process dies".
+        s.arm_crash_point(CrashPoint::MidEvictionWrite);
+        s.begin_round(&[1, 2, 3, 4], &mut rng).unwrap();
+        for id in [1u64, 2, 3, 4] {
+            let _ = s.serve(id, &mut rng).unwrap();
+        }
+        let err = s.end_round(&mut mode, 1.0, &mut rng).unwrap_err();
+        assert!(matches!(err, FedoraError::CrashInjected { .. }));
+        assert_ne!(
+            mode.state_bytes(),
+            committed_state,
+            "the torn round must have advanced the dying mode"
+        );
+        drop(s);
+
+        // Recovery restores the mode state captured at the last commit,
+        // not the torn round's advanced state.
+        let (mut t, _) = server(Some(0.0));
+        assert_eq!(t.recover(&dir).unwrap(), 2);
+        assert_eq!(t.mode_state(), &committed_state[..]);
+        let mut recovered = FedAdam::new();
+        t.restore_mode(&mut recovered).unwrap();
+        assert_eq!(recovered.state_bytes(), committed_state);
+        assert_eq!(recovered.tracked_entries(), mode.tracked_entries());
+        // Restoring onto the wrong mode kind is an error, not silence.
+        let mut wrong = FedAvg;
+        assert!(matches!(
+            t.restore_mode(&mut wrong),
+            Err(FedoraError::Durable(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lazydp_staleness_survives_recovery() {
+        let dir = temp_state_dir("lazydp");
+        let (mut s, mut rng) = server(Some(0.0));
+        s.enable_durability(&dir).unwrap();
+        let mut mode = LazyDp::new(1.0, 0.0);
+        run_rounds(&mut s, &mut mode, &mut rng, 3);
+        let committed_state = mode.state_bytes();
+        drop(s);
+
+        let (mut t, _) = server(Some(0.0));
+        assert_eq!(t.recover(&dir).unwrap(), 3);
+        let mut recovered = LazyDp::new(1.0, 0.0);
+        t.restore_mode(&mut recovered).unwrap();
+        assert_eq!(recovered.state_bytes(), committed_state);
+        // Staleness is answered identically by the recovered twin, for
+        // touched and never-touched entries alike.
+        for id in [0u64, 1, 7, 99] {
+            assert_eq!(recovered.staleness(id), mode.staleness(id), "entry {id}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_checkpoint_does_not_report_commit() {
+        let dir = temp_state_dir("ckpt-fail");
+        let (mut s, mut rng) = durable_server(&dir, 2);
+        let want_report = s.last_committed_report().cloned().unwrap();
+        // Sabotage the state directory so the next checkpoint write fails
+        // with a real I/O error (not a simulated crash). The journal's
+        // open file handle keeps begin-record appends working.
+        std::fs::remove_dir_all(&dir).unwrap();
+        let mut mode = FedAvg;
+        s.begin_round(&[1, 2], &mut rng).unwrap();
+        let err = s.end_round(&mut mode, 1.0, &mut rng).unwrap_err();
+        assert!(
+            matches!(err, FedoraError::Durable(DurableError::Io(_))),
+            "expected durable I/O error, got {err:?}"
+        );
+        // The round is not durable, so the still-usable server must not
+        // report it as committed: counters and the last-committed report
+        // stay at the last state that is actually on disk.
+        assert_eq!(s.committed_rounds(), 2);
+        assert_eq!(s.reports().len(), 2);
+        assert_eq!(s.last_committed_report().cloned().unwrap(), want_report);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //!   binary envelope for whole-file artifacts (checkpoints, metadata).
 //! * [`JournalWriter`] / [`read_journal`] — an append-only record log
 //!   where every append is synced before returning; readers stop at the
-//!   first torn record, so a crash mid-append loses only the tail.
+//!   first torn record, so a crash mid-append loses only the tail. On
+//!   reopen the writer truncates any torn tail away before appending, so
+//!   post-restart records are never shadowed behind torn bytes.
 //! * [`ByteWriter`] / [`ByteReader`] — the hand-rolled little-endian
 //!   codec every persisted structure encodes itself with.
 
@@ -338,11 +340,34 @@ pub struct JournalWriter {
 impl JournalWriter {
     /// Opens (creating if needed) the journal at `path` for appending.
     ///
+    /// Any torn tail left by a crash mid-append is truncated to the end of
+    /// the last intact record (and the truncation synced) before the
+    /// writer returns, so new appends land where readers will see them —
+    /// a record appended after untrimmed torn bytes would be invisible to
+    /// [`read_journal`] forever. When the call creates the file, the
+    /// parent directory is fsync'd so the new directory entry survives a
+    /// power loss (the file's own `sync_data` does not cover it).
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn open(path: &Path) -> io::Result<Self> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let existed = path.exists();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let intact = scan_records(&bytes).1;
+        if intact < bytes.len() {
+            file.set_len(intact as u64)?;
+            file.sync_all()?;
+        }
+        if !existed {
+            fsync_dir(path.parent().unwrap_or_else(|| Path::new(".")))?;
+        }
         Ok(JournalWriter { file })
     }
 
@@ -361,22 +386,10 @@ impl JournalWriter {
     }
 }
 
-/// Reads every intact record of a journal, stopping silently at the first
-/// torn one (truncated length, short payload, or checksum mismatch — the
-/// expected state after a crash mid-append). A missing file reads as empty.
-///
-/// # Errors
-///
-/// Propagates I/O errors other than the file not existing.
-pub fn read_journal(path: &Path) -> io::Result<Vec<Vec<u8>>> {
-    let mut bytes = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
-        }
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e),
-    }
+/// Scans journal bytes, returning every intact payload and the byte
+/// length of the intact prefix (the scan stops at the first torn record:
+/// truncated length, short payload, or checksum mismatch).
+fn scan_records(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
     let mut out = Vec::new();
     let mut pos = 0usize;
     while bytes.len() - pos >= RECORD_HEADER + FRAME_TRAILER {
@@ -398,7 +411,26 @@ pub fn read_journal(path: &Path) -> io::Result<Vec<Vec<u8>>> {
         out.push(payload.to_vec());
         pos = sum_start + FRAME_TRAILER;
     }
-    Ok(out)
+    (out, pos)
+}
+
+/// Reads every intact record of a journal, stopping silently at the first
+/// torn one (truncated length, short payload, or checksum mismatch — the
+/// expected state after a crash mid-append). A missing file reads as empty.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than the file not existing.
+pub fn read_journal(path: &Path) -> io::Result<Vec<Vec<u8>>> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    }
+    Ok(scan_records(&bytes).0)
 }
 
 #[cfg(test)]
@@ -545,6 +577,37 @@ mod tests {
         bytes[in_doomed_payload] ^= 1;
         std::fs::write(&path, &bytes).unwrap();
         assert_eq!(read_journal(&path).unwrap(), vec![b"committed".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_before_appending() {
+        let path = temp_path("torn-reopen");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = JournalWriter::open(&path).unwrap();
+            j.append(b"committed").unwrap();
+            j.append(b"doomed").unwrap();
+        }
+        // Tear the last record mid-payload, as a crash mid-append would.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        // Reopening trims the torn bytes, so the post-restart append is
+        // visible to readers (appended after untrimmed torn bytes, it
+        // would be shadowed forever) and no torn ciphertext stays on disk.
+        {
+            let mut j = JournalWriter::open(&path).unwrap();
+            j.append(b"after-crash").unwrap();
+        }
+        assert_eq!(
+            read_journal(&path).unwrap(),
+            vec![b"committed".to_vec(), b"after-crash".to_vec()]
+        );
+        let intact_record = |payload: &[u8]| RECORD_HEADER + payload.len() + FRAME_TRAILER;
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            (intact_record(b"committed") + intact_record(b"after-crash")) as u64,
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

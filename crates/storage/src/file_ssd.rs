@@ -158,7 +158,13 @@ impl FileSsd {
         stats.faults_transient = r.get_u64()?;
         r.expect_end()?;
         let file = OpenOptions::new().read(true).write(true).open(&path)?;
-        if file.metadata()?.len() < num_pages * page_bytes {
+        // Checked: the FNV frame checksum is not a MAC, so a forged
+        // sidecar could carry a num_pages × page_bytes product that wraps
+        // in release builds and slips past the size check.
+        let expected_len = num_pages
+            .checked_mul(page_bytes)
+            .ok_or(FileSsdError::MetadataMismatch("device size overflows"))?;
+        if file.metadata()?.len() < expected_len {
             return Err(FileSsdError::MetadataMismatch("backing file too short"));
         }
         let written_once = (0..num_pages as usize)
@@ -666,6 +672,33 @@ mod tests {
             FileSsd::open(&path, SsdProfile::pm9a1_like()),
             Err(FileSsdError::Io(_))
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_overflowing_device_size() {
+        // A forged sidecar whose num_pages × page_bytes wraps u64 must be
+        // refused, not wrap past the "backing file too short" check (the
+        // frame checksum is not a MAC, so forged sidecars are in-model).
+        let path = temp_path("meta-overflow");
+        std::fs::write(&path, vec![0u8; 64]).unwrap();
+        let mut profile = SsdProfile::pm9a1_like();
+        profile.page_bytes = 1 << 59;
+        let num_pages = 32u64; // 32 × 2^59 = 2^64 wraps to 0
+        let mut w = ByteWriter::new();
+        w.put_u64(num_pages);
+        w.put_u64(profile.page_bytes as u64);
+        w.put_bytes(&[0u8; 4]); // written-page map: 32 pages / 8
+        for _ in 0..8 {
+            w.put_u64(0); // stats
+        }
+        let frame = seal_frame(META_MAGIC, META_VERSION, &w.into_bytes());
+        std::fs::write(FileSsd::meta_path_for(&path), &frame).unwrap();
+        assert!(matches!(
+            FileSsd::open(&path, profile),
+            Err(FileSsdError::MetadataMismatch("device size overflows"))
+        ));
+        std::fs::remove_file(FileSsd::meta_path_for(&path)).unwrap();
         std::fs::remove_file(&path).unwrap();
     }
 
