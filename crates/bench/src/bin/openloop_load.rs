@@ -1,0 +1,204 @@
+//! Open-loop load generator for the `fedora-net` serving front end.
+//!
+//! ```text
+//! openloop_load [--addr HOST:PORT] [--rate HZ] [--requests N]
+//!               [--connections N] [--entries-per-request N] [--poisson]
+//!               [--seed N] [--timeout-secs N] [--shutdown-after]
+//!               [--entries N] [--queue-depth N]
+//!               [--metrics-out PATH] [--metrics-format json|csv|prom]
+//!               [--trace-out PATH]
+//! ```
+//!
+//! Without `--addr` the binary spawns its own loopback front end (table
+//! size `--entries`, bounded job queue `--queue-depth`) and tears it down
+//! afterwards, folding the server-side `net.*` and `round.phase.*` series
+//! into the exported snapshot. With `--addr` it drives an external
+//! `fedora-cli serve` process, retrying the first connection for a few
+//! seconds so it can be started concurrently (as the CI smoke job does);
+//! `--shutdown-after` then sends the admin shutdown so the server drains
+//! and exits.
+//!
+//! Response latency is measured from each request's *scheduled* arrival
+//! (open-loop; queueing included — see `fedora_bench::netload`) and
+//! reported as p50/p95/p99 plus the shed rate.
+
+use std::time::{Duration, Instant};
+
+use fedora::{FedoraConfig, FedoraServer, TableSpec};
+use fedora_bench::{netload, NetLoadSpec, OutputOpts};
+use fedora_net::{NetClient, NetConfig, NetServer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+fn flag_present(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+fn parsed<T: std::str::FromStr>(value: Option<String>, flag: &str, default: T) -> T {
+    match value {
+        None => default,
+        Some(text) => text.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} got unparsable value '{text}'");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Waits for the server to accept connections (the CI smoke job starts
+/// `fedora-cli serve` concurrently).
+fn await_server(addr: &str, patience: Duration) -> Result<(), String> {
+    let deadline = Instant::now() + patience;
+    loop {
+        match NetClient::connect(addr) {
+            Ok(_probe) => return Ok(()),
+            Err(e) if Instant::now() >= deadline => {
+                return Err(format!("server at {addr} not reachable: {e}"))
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+fn main() {
+    let (opts, mut args) = OutputOpts::from_env();
+    let addr_flag = flag_value(&mut args, "--addr");
+    let shutdown_after = flag_present(&mut args, "--shutdown-after");
+    let spec = NetLoadSpec {
+        rate_hz: parsed(flag_value(&mut args, "--rate"), "--rate", 200.0),
+        requests: parsed(flag_value(&mut args, "--requests"), "--requests", 200),
+        connections: parsed(flag_value(&mut args, "--connections"), "--connections", 4),
+        entries_per_request: parsed(
+            flag_value(&mut args, "--entries-per-request"),
+            "--entries-per-request",
+            4,
+        ),
+        table_entries: parsed(flag_value(&mut args, "--entries"), "--entries", 1024),
+        dim: 8, // TableSpec::tiny entry_bytes / 4, the serve-side layout
+        poisson: flag_present(&mut args, "--poisson"),
+        seed: parsed(flag_value(&mut args, "--seed"), "--seed", 7),
+        timeout: Duration::from_secs(parsed(
+            flag_value(&mut args, "--timeout-secs"),
+            "--timeout-secs",
+            30u64,
+        )),
+    };
+    let queue_depth = parsed(flag_value(&mut args, "--queue-depth"), "--queue-depth", 128);
+    if !args.is_empty() {
+        eprintln!("error: unrecognized arguments: {args:?}");
+        std::process::exit(2);
+    }
+
+    println!("== open-loop load ==");
+    println!(
+        "  {} arrivals at {:.0} req/s ({}), {} connections, {} entries/request",
+        spec.requests,
+        spec.rate_hz,
+        if spec.poisson {
+            "Poisson"
+        } else {
+            "fixed-rate"
+        },
+        spec.connections,
+        spec.entries_per_request,
+    );
+
+    // One registry for the run; the loopback server (when spawned) shares
+    // it, so its server-side net.* and round.phase.* series land in the
+    // same exported snapshot as the client-side latency columns.
+    let registry = opts.registry();
+
+    // Self-spawned loopback front end unless --addr points elsewhere.
+    let mut loopback = None;
+    let addr = match addr_flag {
+        Some(addr) => {
+            if let Err(msg) = await_server(&addr, Duration::from_secs(10)) {
+                eprintln!("error: {msg}");
+                std::process::exit(1);
+            }
+            addr
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(spec.seed);
+            let config = FedoraConfig::for_testing(TableSpec::tiny(spec.table_entries), 64);
+            let server =
+                FedoraServer::with_telemetry(config, |_| vec![0u8; 32], registry.clone(), &mut rng);
+            let net_config = NetConfig {
+                queue_depth,
+                ..NetConfig::default()
+            };
+            let handle = NetServer::spawn(server, spec.seed ^ 0x5EED, "127.0.0.1:0", net_config)
+                .unwrap_or_else(|e| {
+                    eprintln!("error: spawn loopback server: {e}");
+                    std::process::exit(1);
+                });
+            let addr = handle.addr().to_string();
+            println!("  loopback front end on {addr}");
+            loopback = Some(handle);
+            addr
+        }
+    };
+
+    let report = match netload::run(&addr, &spec, &registry) {
+        Ok(report) => report,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    };
+
+    if shutdown_after {
+        match NetClient::connect(&addr) {
+            Ok(mut admin) => match admin.call(&fedora_net::Request::Shutdown) {
+                Ok(_) => println!("  sent shutdown; server draining"),
+                Err(e) => eprintln!("warning: shutdown request failed: {e}"),
+            },
+            Err(e) => eprintln!("warning: could not reconnect for shutdown: {e}"),
+        }
+    }
+
+    if let Some(handle) = loopback {
+        let outcome = handle.shutdown_and_join();
+        println!("  loopback front end stopped: {outcome:?}");
+    }
+    let snapshot = registry.snapshot();
+
+    let lat = &report.latency;
+    println!("== response latency (ns, from scheduled arrival) ==");
+    println!(
+        "  count {:6}  p50 {:>12}  p95 {:>12}  p99 {:>12}  max {:>12}",
+        lat.count, lat.p50, lat.p95, lat.p99, lat.max
+    );
+    println!(
+        "  sent {}  ok {}  overloaded {}  rejected {}  errors {}  shed-rate {:.4}",
+        report.sent,
+        report.ok,
+        report.overloaded,
+        report.rejected,
+        report.errors,
+        report.shed_rate()
+    );
+
+    opts.write_or_die(&snapshot);
+
+    if report.ok == 0 && report.sent > 0 {
+        eprintln!("error: no request succeeded");
+        std::process::exit(1);
+    }
+}

@@ -72,11 +72,20 @@ struct CellSpec {
     /// Run with durability on (round journal + per-commit checkpoint to a
     /// scratch state dir) and record the checkpoint-overhead metrics.
     durable: bool,
+    /// Serve the cell over loopback TCP through the `fedora-net` front
+    /// end under open-loop load, and record SLO response-latency
+    /// percentiles + shed rate instead of the in-process columns.
+    net: bool,
 }
 
 impl CellSpec {
     fn id(&self) -> String {
-        let mut id = if self.durable {
+        let mut id = if self.net {
+            format!(
+                "net.entries{}.clients{}.{}",
+                self.entries, self.clients, self.aggregator
+            )
+        } else if self.durable {
             format!(
                 "durable.entries{}.clients{}.{}",
                 self.entries, self.clients, self.aggregator
@@ -119,6 +128,7 @@ fn matrix(quick: bool, threads_list: &[usize], shards: usize) -> Vec<CellSpec> {
                         shards: 1,
                         threads,
                         durable: false,
+                        net: false,
                     });
                 }
             }
@@ -131,6 +141,7 @@ fn matrix(quick: bool, threads_list: &[usize], shards: usize) -> Vec<CellSpec> {
                 shards,
                 threads,
                 durable: false,
+                net: false,
             });
         }
         // One durable cell per thread count: same workload as the first
@@ -143,6 +154,19 @@ fn matrix(quick: bool, threads_list: &[usize], shards: usize) -> Vec<CellSpec> {
             shards: 1,
             threads,
             durable: true,
+            net: false,
+        });
+        // One network-served cell per thread count: the same pipeline
+        // fronted by the fedora-net TCP server under a short open-loop
+        // burst — its columns are the SLO response-latency trajectory.
+        cells.push(CellSpec {
+            entries: entry_sizes[0],
+            clients: client_counts[0],
+            aggregator: "fedavg",
+            shards: 1,
+            threads,
+            durable: false,
+            net: true,
         });
     }
     cells
@@ -152,6 +176,9 @@ fn matrix(quick: bool, threads_list: &[usize], shards: usize) -> Vec<CellSpec> {
 /// counters don't bleed between cells) and returns the measured cell plus
 /// the cell's final snapshot.
 fn run_cell(spec: &CellSpec, rounds: usize, seed: u64, tracing: bool) -> (Cell, Snapshot) {
+    if spec.net {
+        return run_cell_net(spec, rounds, seed, tracing);
+    }
     if spec.shards > 1 {
         return run_cell_multishard(spec, rounds, seed);
     }
@@ -239,6 +266,85 @@ fn run_cell_multishard(spec: &CellSpec, rounds: usize, seed: u64) -> (Cell, Snap
             metrics,
         },
         server.metrics_snapshot(),
+    )
+}
+
+/// Network-served cell: the same single-table pipeline behind the
+/// `fedora-net` loopback front end, hammered with a short fixed-rate
+/// open-loop burst. The recorded columns are the SLO view — response
+/// latency measured from each request's *scheduled* arrival (queueing
+/// included), shed rate, and the per-phase attribution the server's
+/// tracer spans publish into the `round.phase.*` gauges.
+fn run_cell_net(spec: &CellSpec, rounds: usize, seed: u64, tracing: bool) -> (Cell, Snapshot) {
+    let registry = Registry::new();
+    if tracing {
+        registry.set_tracing(true);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut config = FedoraConfig::for_testing(TableSpec::tiny(spec.entries), 64);
+    config.privacy = PrivacyConfig::with_epsilon(1.0);
+    config.parallelism = ParallelismConfig::with_threads(spec.threads);
+    let server =
+        FedoraServer::with_telemetry(config, |_| vec![0u8; 32], registry.clone(), &mut rng);
+    let handle = fedora_net::NetServer::spawn(
+        server,
+        seed ^ 0x5EED,
+        "127.0.0.1:0",
+        fedora_net::NetConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("cell {}: spawn front end: {e}", spec.id()));
+    let load = fedora_bench::NetLoadSpec {
+        rate_hz: 400.0,
+        requests: (rounds * 25).max(50),
+        connections: spec.clients,
+        entries_per_request: 4,
+        table_entries: spec.entries,
+        dim: 8,
+        poisson: false,
+        seed,
+        timeout: std::time::Duration::from_secs(60),
+    };
+    let report = fedora_bench::netload::run(&handle.addr().to_string(), &load, &registry)
+        .unwrap_or_else(|e| panic!("cell {}: open-loop load: {e}", spec.id()));
+    handle.shutdown_and_join();
+
+    let snap = registry.snapshot();
+    let gauge = |name: &str| snap.gauge(name).unwrap_or(0.0);
+    let mut metrics = vec![
+        (
+            "net.latency.response_ns.p50".to_owned(),
+            report.latency.p50 as f64,
+        ),
+        (
+            "net.latency.response_ns.p95".to_owned(),
+            report.latency.p95 as f64,
+        ),
+        (
+            "net.latency.response_ns.p99".to_owned(),
+            report.latency.p99 as f64,
+        ),
+        ("net.shed.ppm".to_owned(), report.shed_rate() * 1e6),
+        ("net.load.errors".to_owned(), report.errors as f64),
+    ];
+    // Mean round latency over the burst keeps the cell comparable with
+    // the in-process cells' headline column.
+    if let Some(h) = snap.histogram("net.request.service_ns") {
+        metrics.push(("round.latency_ns.mean".to_owned(), h.mean()));
+    }
+    // Per-phase attribution for the last served round, as published by
+    // the pipeline's tracer spans.
+    for phase in ["union", "fetch", "serve", "aggregate", "write"] {
+        metrics.push((
+            format!("net.phase.{phase}_ns"),
+            gauge(&format!("round.phase.{phase}_ns")),
+        ));
+    }
+    (
+        Cell {
+            id: spec.id(),
+            metrics,
+        },
+        snap,
     )
 }
 

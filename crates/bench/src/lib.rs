@@ -19,6 +19,7 @@
 //! | `fault_campaign` | chaos-injection fault-tolerance campaign (this reproduction's addition) |
 //! | `perf_trajectory` | perf-trajectory harness: `BENCH_<date>.json` writer + regression diff |
 //! | `fedora_audit` | twin-run obliviousness auditor + privacy-ledger check (audit report) |
+//! | `openloop_load` | open-loop load generator against a `fedora-net` front end (SLO latency/shed report) |
 //!
 //! Every binary accepts `--metrics-out PATH` (telemetry snapshot JSON) and
 //! `--trace-out PATH` (Chrome trace-event JSON for Perfetto) — see
@@ -26,9 +27,11 @@
 //!
 //! Criterion micro-benches live in `benches/`.
 
+pub mod netload;
 pub mod outopts;
 pub mod trajectory;
 pub mod workload;
 
+pub use netload::{NetLoadReport, NetLoadSpec};
 pub use outopts::OutputOpts;
 pub use workload::{RequestStream, Workload};

@@ -326,11 +326,23 @@ pub fn compare(
             }
         }
     }
+    // Coverage *growth* is the normal shape of a stacked PR sequence: a
+    // candidate adding cells or columns the baseline never measured must
+    // read as progress (advisory notes), never as an error.
     for new_cell in &new.cells {
-        if !base.cells.iter().any(|c| c.id == new_cell.id) {
+        let Some(base_cell) = base.cells.iter().find(|c| c.id == new_cell.id) else {
             report
                 .notes
                 .push(format!("new cell '{}' has no baseline", new_cell.id));
+            continue;
+        };
+        for (name, _) in &new_cell.metrics {
+            if base_cell.metric(name).is_none() {
+                report.notes.push(format!(
+                    "new metric '{}::{name}' has no baseline",
+                    new_cell.id
+                ));
+            }
         }
     }
     Ok(report)
@@ -464,6 +476,38 @@ mod tests {
         let report = compare(&base, &thin, &Thresholds::default()).unwrap();
         assert!(report.failed());
         assert_eq!(report.missing, vec!["entries4096.clients8.fedavg"]);
+    }
+
+    #[test]
+    fn new_cells_and_metrics_are_advisory_not_failures() {
+        // The candidate grows coverage two ways: a brand-new cell, and a
+        // new metric inside an existing cell. Both must surface as notes
+        // while the exit status stays green.
+        let base = trajectory(1_000_000.0);
+        let mut grown = trajectory(1_000_000.0);
+        grown.cells[0]
+            .metrics
+            .push(("net.latency.response_ns.p99".to_owned(), 123.0));
+        grown.cells.push(Cell {
+            id: "net.entries1024.clients4.fedavg".to_owned(),
+            metrics: vec![("net.shed.ppm".to_owned(), 0.0)],
+        });
+        let report = compare(&base, &grown, &Thresholds::default()).unwrap();
+        assert!(!report.failed(), "{report:?}");
+        assert!(report.regressions.is_empty());
+        assert!(report.missing.is_empty());
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.contains("new cell 'net.entries1024.clients4.fedavg'")));
+        assert!(report.notes.iter().any(
+            |n| n.contains("new metric 'entries4096.clients8.fedavg::net.latency.response_ns.p99'")
+        ));
+        // And the growth is one-directional: diffing the grown file
+        // against itself is silent.
+        let clean = compare(&grown, &grown, &Thresholds::default()).unwrap();
+        assert!(!clean.failed());
+        assert!(clean.notes.is_empty());
     }
 
     #[test]

@@ -667,6 +667,15 @@ impl FedoraServer {
         self.committed_rounds
     }
 
+    /// Whether a round is currently open (`begin_round` called, no
+    /// matching `end_round` yet). Serving front ends use this as the
+    /// drain condition: shutdown must not fall between `begin_round` and
+    /// the journal commit inside `end_round`, or recovery will charge the
+    /// torn round's privacy budget for work no client received.
+    pub fn round_active(&self) -> bool {
+        self.active.is_some()
+    }
+
     /// Scrubbed report of the last committed round (restored from the
     /// checkpoint after recovery).
     pub fn last_committed_report(&self) -> Option<&RoundReport> {

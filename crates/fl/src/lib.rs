@@ -41,6 +41,7 @@ pub mod model;
 pub mod modes;
 pub mod secagg;
 pub mod sim;
+pub mod wire;
 
 pub use client::{ClientUpdate, LocalTrainer};
 pub use datasets::{Dataset, DatasetKind, Sample, SyntheticConfig};

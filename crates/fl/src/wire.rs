@@ -1,0 +1,207 @@
+//! Wire codec for FL payloads crossing the network boundary.
+//!
+//! `fedora-net` carries client updates as JSON. The updates themselves are
+//! SecAgg-compatible: the same fixed-point `u64` word representation that
+//! [`SecAggGroup::mask`](crate::secagg::SecAggGroup::mask) produces, so a
+//! masked update and a plaintext update are indistinguishable at the codec
+//! layer and the server-side aggregation path is identical either way.
+//!
+//! JSON numbers are IEEE doubles — exact only up to 2^53 — while masked
+//! words use all 64 bits, so words travel as decimal strings. Everything
+//! here decodes *untrusted* input: every function returns a typed
+//! [`WireError`], never panics, and bounds vector lengths by
+//! [`MAX_WIRE_WORDS`].
+
+use fedora_telemetry::json::Json;
+
+use crate::secagg::{MaskedUpdate, SCALE};
+
+/// Longest word vector a single update may carry (64 KiB of payload); an
+/// adversarial frame cannot make the server allocate beyond this.
+pub const MAX_WIRE_WORDS: usize = 8192;
+
+/// Decode failures on wire payloads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// A structural violation (wrong JSON shape or missing member).
+    Schema(&'static str),
+    /// A word that is not a decimal `u64` string.
+    BadWord(String),
+    /// More words than [`MAX_WIRE_WORDS`].
+    TooManyWords {
+        /// Words in the offending vector.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Schema(what) => write!(f, "malformed wire payload: {what}"),
+            WireError::BadWord(word) => write!(f, "bad fixed-point word '{word}'"),
+            WireError::TooManyWords { got } => {
+                write!(f, "{got} words exceed the wire maximum {MAX_WIRE_WORDS}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Quantizes a gradient to SecAgg fixed-point words (multiples of
+/// `1/SCALE`, two's-complement in `u64`) — bit-identical to what
+/// [`SecAggGroup::mask`](crate::secagg::SecAggGroup::mask) computes before
+/// masking, so wire payloads stay aggregation-compatible with masked ones.
+pub fn quantize(values: &[f32]) -> Vec<u64> {
+    values
+        .iter()
+        .map(|&v| ((v as f64 * SCALE).round() as i64) as u64)
+        .collect()
+}
+
+/// Inverse of [`quantize`] for a single (unmasked, unsummed) update.
+pub fn dequantize(words: &[u64]) -> Vec<f32> {
+    words
+        .iter()
+        .map(|&w| ((w as i64) as f64 / SCALE) as f32)
+        .collect()
+}
+
+/// Encodes fixed-point words as a JSON array of decimal strings.
+pub fn encode_words(words: &[u64]) -> Json {
+    Json::Arr(words.iter().map(|w| Json::Str(w.to_string())).collect())
+}
+
+/// Decodes a word vector produced by [`encode_words`].
+///
+/// # Errors
+///
+/// [`WireError`] on non-array input, non-string elements, non-`u64`
+/// strings, or vectors longer than [`MAX_WIRE_WORDS`].
+pub fn decode_words(json: &Json) -> Result<Vec<u64>, WireError> {
+    let items = json
+        .as_array()
+        .ok_or(WireError::Schema("words must be an array"))?;
+    if items.len() > MAX_WIRE_WORDS {
+        return Err(WireError::TooManyWords { got: items.len() });
+    }
+    items
+        .iter()
+        .map(|item| {
+            let text = item
+                .as_str()
+                .ok_or(WireError::Schema("word must be a decimal string"))?;
+            text.parse::<u64>()
+                .map_err(|_| WireError::BadWord(text.to_owned()))
+        })
+        .collect()
+}
+
+/// Encodes a [`MaskedUpdate`] as `{"client": N, "words": [...]}`.
+pub fn encode_update(update: &MaskedUpdate) -> Json {
+    Json::Obj(vec![
+        ("client".to_owned(), Json::Num(update.client as f64)),
+        ("words".to_owned(), encode_words(&update.words)),
+    ])
+}
+
+/// Decodes an update produced by [`encode_update`].
+///
+/// # Errors
+///
+/// [`WireError`] on any structural or word-level violation.
+pub fn decode_update(json: &Json) -> Result<MaskedUpdate, WireError> {
+    let client = json
+        .get("client")
+        .and_then(Json::as_u64)
+        .and_then(|v| u32::try_from(v).ok())
+        .ok_or(WireError::Schema("client must be a u32"))?;
+    let words = decode_words(
+        json.get("words")
+            .ok_or(WireError::Schema("missing words"))?,
+    )?;
+    Ok(MaskedUpdate { client, words })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::secagg::SecAggGroup;
+
+    #[test]
+    fn quantize_matches_secagg_single_client() {
+        // A one-client group has no pairwise masks: mask() IS quantize().
+        let group = SecAggGroup::new(&[7], 3, [9u8; 32]);
+        let grad = [0.5f32, -1.25, 0.0, 3.75e-3];
+        let masked = group.mask(7, &grad).unwrap();
+        assert_eq!(masked.words, quantize(&grad));
+        let back = dequantize(&masked.words);
+        for (b, g) in back.iter().zip(&grad) {
+            assert!((b - g).abs() < 2.0 / SCALE as f32, "{b} vs {g}");
+        }
+    }
+
+    #[test]
+    fn words_round_trip_through_json_text() {
+        // Full-width words (beyond 2^53) survive the string detour.
+        let words = vec![0, 1, u64::MAX, 1 << 60, (1 << 53) + 1];
+        let json = encode_words(&words);
+        assert_eq!(decode_words(&json).unwrap(), words);
+        // And through an actual serialize/parse cycle.
+        let text = format!(
+            "[{}]",
+            words
+                .iter()
+                .map(|w| format!("\"{w}\""))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let parsed = fedora_telemetry::json::parse(&text).unwrap();
+        assert_eq!(decode_words(&parsed).unwrap(), words);
+    }
+
+    #[test]
+    fn update_round_trips() {
+        let update = MaskedUpdate {
+            client: 42,
+            words: quantize(&[1.0, -2.0, 0.125]),
+        };
+        let decoded = decode_update(&encode_update(&update)).unwrap();
+        assert_eq!(decoded, update);
+    }
+
+    #[test]
+    fn rejects_adversarial_payloads() {
+        use fedora_telemetry::json::parse;
+        // Numeric words (precision-lossy) are rejected outright.
+        let numeric = parse("[1, 2]").unwrap();
+        assert!(matches!(decode_words(&numeric), Err(WireError::Schema(_))));
+        // Overflowing and garbage strings.
+        for bad in ["18446744073709551616", "-1", "0x10", "", "1.5"] {
+            let doc = parse(&format!("[\"{bad}\"]")).unwrap();
+            assert!(
+                matches!(decode_words(&doc), Err(WireError::BadWord(_))),
+                "accepted '{bad}'"
+            );
+        }
+        // Oversized vectors are bounded before allocation of the output.
+        let long = Json::Arr(vec![Json::Str("0".into()); MAX_WIRE_WORDS + 1]);
+        assert_eq!(
+            decode_words(&long),
+            Err(WireError::TooManyWords {
+                got: MAX_WIRE_WORDS + 1
+            })
+        );
+        // Structurally wrong updates.
+        for bad in [
+            "{\"words\": []}",
+            "{\"client\": -1, \"words\": []}",
+            "{\"client\": 4294967296, \"words\": []}",
+            "{\"client\": 1}",
+            "{\"client\": 1, \"words\": 3}",
+        ] {
+            let doc = parse(bad).unwrap();
+            assert!(decode_update(&doc).is_err(), "accepted {bad}");
+        }
+    }
+}

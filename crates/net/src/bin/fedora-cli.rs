@@ -6,7 +6,11 @@
 //! fedora-cli latency  --table medium --updates 100000 --epsilon 1.0
 //! fedora-cli round    --entries 4096 --requests 7,19,7,42 --epsilon 1.0
 //! fedora-cli attack   --epsilon 1.0 --trials 20000
+//! fedora-cli serve    --listen 127.0.0.1:7878 --entries 1024 --state-dir state
 //! ```
+//!
+//! The binary lives in `fedora-net` (not the core crate) so `serve` can
+//! front the TCP serving stack without a dependency cycle.
 
 use std::collections::HashMap;
 
@@ -17,6 +21,7 @@ use fedora::latency::LatencyModel;
 use fedora::server::FedoraServer;
 use fedora_fdp::{FdpMechanism, YShape};
 use fedora_fl::modes::FedAvg;
+use fedora_net::{NetConfig, NetServer};
 use fedora_telemetry::{Registry, Snapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,6 +49,14 @@ COMMANDS:
                --state-dir DIR  --entries N  --epsilon E
     attack     optimal access-count distinguisher vs the DP bound
                --epsilon E  --trials N
+    serve      run the TCP serving front end until a protocol Shutdown
+               --listen HOST:PORT (default 127.0.0.1:0; prints the
+               bound address as 'listening on ADDR' before serving)
+               --entries N  --epsilon E  --seed N  --threads N
+               --state-dir DIR (durable: restore prior state, journal
+               + checkpoint every committed round)
+               --queue-depth N  --max-connections N (admission control:
+               excess load is shed with explicit Overloaded replies)
     help       print this message
 
 Every command also accepts --metrics-out PATH to write a telemetry
@@ -401,6 +414,38 @@ fn cmd_round(flags: &HashMap<String, String>) -> Result<(), String> {
     write_metrics(flags, &server.metrics_snapshot())
 }
 
+/// Runs the `fedora-net` front end over a live pipeline server until a
+/// client sends the protocol `Shutdown` request, then drains to the last
+/// committed round and reports the engine outcome. With `--state-dir`
+/// every committed round is journaled, so killing the process mid-round
+/// loses at most the open (uncommitted) round.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let listen = flags
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    let (mut server, _rng) = live_server(flags, 64)?;
+    if let Some(dir) = flags.get("state-dir") {
+        attach_state_dir(&mut server, dir)?;
+    }
+    let seed = u64_flag(flags, "seed", 42)?;
+    let config = NetConfig {
+        queue_depth: u64_flag(flags, "queue-depth", 128)? as usize,
+        max_connections: u64_flag(flags, "max-connections", 64)? as usize,
+        ..NetConfig::default()
+    };
+    let handle = NetServer::spawn(server, seed ^ 0x5EED, listen, config)
+        .map_err(|e| format!("bind {listen}: {e}"))?;
+    // CI and scripts wait for this exact line to learn the bound port.
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let registry = handle.registry().clone();
+    let outcome = handle.join();
+    println!("serve loop finished: {outcome:?}");
+    write_metrics(flags, &registry.snapshot())
+}
+
 fn cmd_attack(flags: &HashMap<String, String>) -> Result<(), String> {
     let epsilon = f64_flag(flags, "epsilon", 1.0)?;
     let trials = u64_flag(flags, "trials", 20_000)? as u32;
@@ -439,6 +484,7 @@ fn main() {
         "checkpoint" => cmd_checkpoint(&flags),
         "restore" => cmd_restore(&flags),
         "attack" => cmd_attack(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -1,0 +1,205 @@
+//! A small blocking client for the wire protocol.
+//!
+//! [`NetClient::call`] is the simple synchronous path (send one request,
+//! wait for its response). The open-loop load generator needs to keep
+//! *sending* on schedule while responses are still in flight, so
+//! [`NetClient::into_split`] splits the session into an independently
+//! owned [`ClientSender`] / [`ClientReceiver`] pair over the same socket
+//! — responses are matched back to requests by sequence number.
+
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::frame::{self, FrameError};
+use crate::proto::{self, ProtoError, Request, Response};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// Framing violation in a server reply.
+    Frame(FrameError),
+    /// Malformed server reply.
+    Proto(ProtoError),
+    /// The server closed the session.
+    Closed,
+    /// A synchronous call got a reply for a different sequence number.
+    SeqMismatch {
+        /// Sequence number we sent.
+        want: u64,
+        /// Sequence number the reply carried.
+        got: u64,
+    },
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Frame(e) => write!(f, "server frame: {e}"),
+            ClientError::Proto(e) => write!(f, "server reply: {e}"),
+            ClientError::Closed => f.write_str("server closed the session"),
+            ClientError::SeqMismatch { want, got } => {
+                write!(f, "reply for seq {got}, expected {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// A connected protocol session.
+pub struct NetClient {
+    stream: TcpStream,
+    max_frame: usize,
+    next_seq: u64,
+}
+
+impl NetClient {
+    /// Connects to a front end.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as [`ClientError::Io`].
+    pub fn connect(addr: &str) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient {
+            stream,
+            max_frame: frame::MAX_FRAME_BYTES,
+            next_seq: 1,
+        })
+    }
+
+    /// Sets a read timeout for responses (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as [`ClientError::Io`].
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends `req` and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, framing, or protocol violations and
+    /// on out-of-order replies (only possible if requests were also sent
+    /// through a split sender on this socket).
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let payload = proto::encode_request(seq, req);
+        frame::write_frame(&mut self.stream, &payload, self.max_frame)?;
+        let (got, resp) = self.recv()?;
+        if got != seq {
+            return Err(ClientError::SeqMismatch { want: seq, got });
+        }
+        Ok(resp)
+    }
+
+    /// Receives the next response frame, whatever request it answers.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] on clean server close; transport, framing,
+    /// or protocol violations otherwise.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        let payload =
+            frame::read_frame(&mut self.stream, self.max_frame)?.ok_or(ClientError::Closed)?;
+        Ok(proto::decode_response(&payload)?)
+    }
+
+    /// Splits the session into an independently owned sender/receiver
+    /// pair over the same socket, for pipelined use from two threads.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from duplicating the socket handle.
+    pub fn into_split(self) -> Result<(ClientSender, ClientReceiver), ClientError> {
+        let write_half = self.stream.try_clone()?;
+        Ok((
+            ClientSender {
+                stream: write_half,
+                max_frame: self.max_frame,
+                next_seq: self.next_seq,
+            },
+            ClientReceiver {
+                stream: self.stream,
+                max_frame: self.max_frame,
+            },
+        ))
+    }
+}
+
+/// The send half of a split session.
+pub struct ClientSender {
+    stream: TcpStream,
+    max_frame: usize,
+    next_seq: u64,
+}
+
+impl ClientSender {
+    /// The sequence number the *next* [`Self::send`] will use. Pipelined
+    /// callers register their bookkeeping under this seq before sending,
+    /// so a fast response can never arrive unattributable.
+    pub fn peek_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sends `req` without waiting; returns the sequence number its
+    /// response will carry.
+    ///
+    /// # Errors
+    ///
+    /// Transport/framing errors.
+    pub fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let payload = proto::encode_request(seq, req);
+        frame::write_frame(&mut self.stream, &payload, self.max_frame)?;
+        Ok(seq)
+    }
+}
+
+/// The receive half of a split session.
+pub struct ClientReceiver {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl ClientReceiver {
+    /// Receives the next response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Closed`] on clean server close; transport, framing,
+    /// or protocol violations otherwise.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        let payload =
+            frame::read_frame(&mut self.stream, self.max_frame)?.ok_or(ClientError::Closed)?;
+        Ok(proto::decode_response(&payload)?)
+    }
+}

@@ -1,0 +1,243 @@
+//! Length-prefixed frame codec.
+//!
+//! One frame = a 4-byte little-endian payload length followed by that many
+//! payload bytes (the payload is protocol JSON, see [`crate::proto`]). The
+//! codec is the first thing untrusted bytes hit, so every failure mode is a
+//! typed [`FrameError`]:
+//!
+//! * zero-length frames are a protocol violation ([`FrameError::Empty`]) —
+//!   no real message encodes to zero bytes, so an empty frame is either a
+//!   bug or a probe;
+//! * lengths beyond the negotiated maximum are rejected **before** any
+//!   allocation ([`FrameError::TooLarge`]), so a hostile 4-byte header
+//!   cannot make the server reserve gigabytes;
+//! * a connection that dies mid-frame yields [`FrameError::Truncated`],
+//!   distinct from a clean close *between* frames (`Ok(None)`).
+//!
+//! Frames split across arbitrarily many reads are reassembled by
+//! `read_exact`; the codec never requires a frame to arrive in one segment.
+
+use std::io::{self, Read, Write};
+
+/// Default ceiling on a frame's payload size (1 MiB).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// A framing failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// A frame advertised a zero-length payload.
+    Empty,
+    /// A frame advertised more payload than the configured maximum.
+    TooLarge {
+        /// Advertised payload length.
+        len: usize,
+        /// The configured ceiling.
+        max: usize,
+    },
+    /// The connection closed in the middle of a frame (header or payload).
+    Truncated,
+    /// An underlying transport error.
+    Io(io::Error),
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Empty => f.write_str("zero-length frame"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the maximum {max}")
+            }
+            FrameError::Truncated => f.write_str("connection closed mid-frame"),
+            FrameError::Io(e) => write!(f, "transport: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (length header + payload) and flushes.
+///
+/// # Errors
+///
+/// [`FrameError::Empty`] / [`FrameError::TooLarge`] for payloads this
+/// codec would refuse to read back; I/O failures as [`FrameError::Io`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8], max: usize) -> Result<(), FrameError> {
+    if payload.is_empty() {
+        return Err(FrameError::Empty);
+    }
+    if payload.len() > max {
+        return Err(FrameError::TooLarge {
+            len: payload.len(),
+            max,
+        });
+    }
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed cleanly at a frame
+/// boundary; any close mid-frame is [`FrameError::Truncated`].
+///
+/// # Errors
+///
+/// [`FrameError`] on any protocol or transport violation.
+pub fn read_frame<R: Read>(r: &mut R, max: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    // A clean EOF before the first header byte is a normal close; EOF
+    // anywhere later is a torn frame.
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(FrameError::Truncated)
+                };
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 {
+        return Err(FrameError::Empty);
+    }
+    if len > max {
+        return Err(FrameError::TooLarge { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_single_and_back_to_back_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", MAX_FRAME_BYTES).unwrap();
+        write_frame(&mut buf, &[0xAB; 1000], MAX_FRAME_BYTES).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cur, MAX_FRAME_BYTES).unwrap().unwrap(),
+            b"hello"
+        );
+        assert_eq!(
+            read_frame(&mut cur, MAX_FRAME_BYTES).unwrap().unwrap(),
+            vec![0xAB; 1000]
+        );
+        // Clean close at the boundary.
+        assert!(read_frame(&mut cur, MAX_FRAME_BYTES).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_zero_length_frames_both_ways() {
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, b"", MAX_FRAME_BYTES),
+            Err(FrameError::Empty)
+        ));
+        let mut cur = Cursor::new(0u32.to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut cur, MAX_FRAME_BYTES),
+            Err(FrameError::Empty)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_header_before_allocating() {
+        // max-length is fine; max-length + 1 is refused from the header
+        // alone — no payload bytes are even read.
+        let max = 64;
+        let mut ok = Vec::new();
+        write_frame(&mut ok, &[7u8; 64], max).unwrap();
+        assert_eq!(
+            read_frame(&mut Cursor::new(ok), max).unwrap().unwrap(),
+            vec![7u8; 64]
+        );
+        let mut hostile = (65u32).to_le_bytes().to_vec();
+        hostile.extend_from_slice(&[0u8; 65]);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(hostile), max),
+            Err(FrameError::TooLarge { len: 65, max: 64 })
+        ));
+        // A 4 GiB header against the default max: same refusal.
+        let bomb = u32::MAX.to_le_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(bomb), MAX_FRAME_BYTES),
+            Err(FrameError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            write_frame(&mut Vec::new(), &[0u8; 65], max),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn mid_frame_drop_is_truncated_not_clean() {
+        // Header only.
+        let mut partial = (10u32).to_le_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(partial.clone()), MAX_FRAME_BYTES),
+            Err(FrameError::Truncated)
+        ));
+        // Header + half the payload.
+        partial.extend_from_slice(&[1, 2, 3, 4, 5]);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(partial), MAX_FRAME_BYTES),
+            Err(FrameError::Truncated)
+        ));
+        // Half the header.
+        assert!(matches!(
+            read_frame(&mut Cursor::new(vec![9u8, 0]), MAX_FRAME_BYTES),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    /// A reader that returns its bytes in 1-byte dribbles, exercising
+    /// reassembly of frames split across many reads.
+    struct Dribble(Cursor<Vec<u8>>);
+
+    impl Read for Dribble {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            let mut one = [0u8; 1];
+            let n = self.0.read(&mut one)?;
+            if n == 1 {
+                out[0] = one[0];
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn reassembles_frames_split_across_reads() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"split me across many reads", MAX_FRAME_BYTES).unwrap();
+        let mut dribble = Dribble(Cursor::new(buf));
+        assert_eq!(
+            read_frame(&mut dribble, MAX_FRAME_BYTES).unwrap().unwrap(),
+            b"split me across many reads"
+        );
+        assert!(read_frame(&mut dribble, MAX_FRAME_BYTES).unwrap().is_none());
+    }
+}

@@ -1,0 +1,32 @@
+//! Network-facing serving front end for the FEDORA pipeline.
+//!
+//! The paper's server is an always-on service: clients connect over the
+//! network, download their slice of the model, and upload updates that
+//! ride a privacy-budgeted ORAM round. This crate is that front end,
+//! built — like the rest of the workspace — on `std` alone:
+//!
+//! * [`frame`] — length-prefixed frames with typed error handling for
+//!   truncation, oversize, and garbage (the first line of defense against
+//!   untrusted bytes);
+//! * [`proto`] — seq-numbered JSON request/response envelopes carrying
+//!   SecAgg-compatible fixed-point payloads ([`fedora_fl::wire`]);
+//! * [`server`] — the threaded front end: admission-controlled bounded
+//!   queues that shed load with explicit `Overloaded` responses, a single
+//!   engine thread that maps batches of wire requests onto full pipeline
+//!   rounds, and graceful shutdown that drains to the journal commit
+//!   boundary (a round is never torn by a clean stop);
+//! * [`client`] — a small blocking client, splittable for pipelined use
+//!   by the open-loop load generator in `fedora-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientError, ClientReceiver, ClientSender, NetClient};
+pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
+pub use proto::{Request, Response};
+pub use server::{EngineOutcome, NetConfig, NetHandle, NetServer};

@@ -1,0 +1,528 @@
+//! Wire protocol: seq-numbered JSON request/response envelopes.
+//!
+//! Every frame payload (see [`crate::frame`]) is one JSON object with a
+//! `seq` member (echoed verbatim in the response, so clients may pipeline
+//! requests) and a `type` tag selecting the message. Numbers wider than
+//! JSON's exact `f64` range — entry ids and fixed-point update words —
+//! travel as decimal strings via [`fedora_fl::wire`]; serialized ORAM rows
+//! travel as lowercase hex strings.
+//!
+//! The decode half runs against **untrusted** bytes: every failure is a
+//! typed [`ProtoError`], vector lengths are bounded before materializing
+//! them, and nothing here panics on any input.
+
+use fedora_fl::wire::{self, WireError};
+use fedora_telemetry::json::{self, Json, JsonError};
+
+/// Most entries a single `train` request may name. Combined with
+/// [`wire::MAX_WIRE_WORDS`] this bounds a request's decoded size.
+pub const MAX_ENTRIES_PER_TRAIN: usize = 256;
+
+/// A protocol decode failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtoError {
+    /// The payload is not valid JSON.
+    Json(JsonError),
+    /// A word/entry vector failed wire decoding.
+    Wire(WireError),
+    /// A structural violation (wrong shape, unknown type, missing member).
+    Schema(&'static str),
+    /// A `train` request named more entries than [`MAX_ENTRIES_PER_TRAIN`].
+    TooManyEntries {
+        /// Entries in the offending request.
+        got: usize,
+    },
+}
+
+impl core::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProtoError::Json(e) => write!(f, "payload is not JSON: {e}"),
+            ProtoError::Wire(e) => write!(f, "payload wire field: {e}"),
+            ProtoError::Schema(what) => write!(f, "malformed message: {what}"),
+            ProtoError::TooManyEntries { got } => {
+                write!(
+                    f,
+                    "{got} entries exceed the per-request maximum {MAX_ENTRIES_PER_TRAIN}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<JsonError> for ProtoError {
+    fn from(e: JsonError) -> Self {
+        ProtoError::Json(e)
+    }
+}
+
+impl From<WireError> for ProtoError {
+    fn from(e: WireError) -> Self {
+        ProtoError::Wire(e)
+    }
+}
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Register this connection; the server assigns a client id.
+    Hello,
+    /// Participate in the next round: name entries, provide the
+    /// fixed-point update words for each (parallel vectors).
+    Train {
+        /// Client id assigned by [`Response::Welcome`].
+        client: u32,
+        /// Embedding-table entry ids this client touches.
+        entries: Vec<u64>,
+        /// One fixed-point word vector per entry, SecAgg-compatible.
+        updates: Vec<Vec<u64>>,
+    },
+    /// Admin: return a metrics snapshot.
+    Metrics,
+    /// Admin: liveness + round status.
+    Health,
+    /// Admin: force a durable checkpoint.
+    Checkpoint,
+    /// Admin: drain in-flight rounds and stop the server.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Registration acknowledged with the assigned client id.
+    Welcome {
+        /// The id to use in subsequent [`Request::Train`] messages.
+        client: u32,
+    },
+    /// The round this request rode in committed; per-entry row payloads
+    /// (`None` where the oblivious pipeline reported the entry lost).
+    TrainOk {
+        /// Committed round number.
+        round: u64,
+        /// Serialized row bytes per requested entry.
+        rows: Vec<Option<Vec<u8>>>,
+    },
+    /// Metrics snapshot as a JSON document.
+    MetricsOk {
+        /// The snapshot, in the same shape `--metrics-out` writes.
+        metrics: Json,
+    },
+    /// Liveness report.
+    HealthOk {
+        /// Rounds durably committed so far.
+        committed_rounds: u64,
+        /// Whether a round is currently executing.
+        round_active: bool,
+    },
+    /// Checkpoint written.
+    CheckpointOk {
+        /// Checkpoint generation number.
+        generation: u64,
+        /// Bytes written.
+        bytes: u64,
+    },
+    /// The server is draining; no new work is accepted.
+    ShuttingDown,
+    /// Admission control shed this request — retry later.
+    Overloaded,
+    /// The request failed; the session stays usable unless the transport
+    /// itself was violated.
+    Error {
+        /// Coarse machine-readable category (`"proto"`, `"server"`, ...).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn envelope(seq: u64, kind: &str, mut rest: Vec<(String, Json)>) -> Vec<u8> {
+    let mut members = vec![
+        ("seq".to_owned(), Json::Num(seq as f64)),
+        ("type".to_owned(), Json::Str(kind.to_owned())),
+    ];
+    members.append(&mut rest);
+    Json::Obj(members).dump().into_bytes()
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Result<Vec<u8>, ProtoError> {
+    if !text.len().is_multiple_of(2) {
+        return Err(ProtoError::Schema("odd-length hex row"));
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| {
+            text.get(i..i + 2)
+                .and_then(|pair| u8::from_str_radix(pair, 16).ok())
+                .ok_or(ProtoError::Schema("non-hex byte in row"))
+        })
+        .collect()
+}
+
+/// Encodes a request into a frame payload.
+pub fn encode_request(seq: u64, req: &Request) -> Vec<u8> {
+    match req {
+        Request::Hello => envelope(seq, "hello", vec![]),
+        Request::Train {
+            client,
+            entries,
+            updates,
+        } => envelope(
+            seq,
+            "train",
+            vec![
+                ("client".to_owned(), Json::Num(*client as f64)),
+                ("entries".to_owned(), wire::encode_words(entries)),
+                (
+                    "updates".to_owned(),
+                    Json::Arr(updates.iter().map(|w| wire::encode_words(w)).collect()),
+                ),
+            ],
+        ),
+        Request::Metrics => envelope(seq, "metrics", vec![]),
+        Request::Health => envelope(seq, "health", vec![]),
+        Request::Checkpoint => envelope(seq, "checkpoint", vec![]),
+        Request::Shutdown => envelope(seq, "shutdown", vec![]),
+    }
+}
+
+/// Encodes a response into a frame payload.
+pub fn encode_response(seq: u64, resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Welcome { client } => envelope(
+            seq,
+            "welcome",
+            vec![("client".to_owned(), Json::Num(*client as f64))],
+        ),
+        Response::TrainOk { round, rows } => envelope(
+            seq,
+            "train_ok",
+            vec![
+                ("round".to_owned(), Json::Num(*round as f64)),
+                (
+                    "rows".to_owned(),
+                    Json::Arr(
+                        rows.iter()
+                            .map(|row| match row {
+                                Some(bytes) => Json::Str(hex_encode(bytes)),
+                                None => Json::Null,
+                            })
+                            .collect(),
+                    ),
+                ),
+            ],
+        ),
+        Response::MetricsOk { metrics } => envelope(
+            seq,
+            "metrics_ok",
+            vec![("metrics".to_owned(), metrics.clone())],
+        ),
+        Response::HealthOk {
+            committed_rounds,
+            round_active,
+        } => envelope(
+            seq,
+            "health_ok",
+            vec![
+                (
+                    "committed_rounds".to_owned(),
+                    Json::Num(*committed_rounds as f64),
+                ),
+                ("round_active".to_owned(), Json::Bool(*round_active)),
+            ],
+        ),
+        Response::CheckpointOk { generation, bytes } => envelope(
+            seq,
+            "checkpoint_ok",
+            vec![
+                ("generation".to_owned(), Json::Num(*generation as f64)),
+                ("bytes".to_owned(), Json::Num(*bytes as f64)),
+            ],
+        ),
+        Response::ShuttingDown => envelope(seq, "shutting_down", vec![]),
+        Response::Overloaded => envelope(seq, "overloaded", vec![]),
+        Response::Error { kind, message } => envelope(
+            seq,
+            "error",
+            vec![
+                ("kind".to_owned(), Json::Str(kind.clone())),
+                ("message".to_owned(), Json::Str(message.clone())),
+            ],
+        ),
+    }
+}
+
+fn parse_envelope(payload: &[u8]) -> Result<(u64, String, Json), ProtoError> {
+    let doc = json::parse_bytes(payload)?;
+    let seq = doc
+        .get("seq")
+        .and_then(Json::as_u64)
+        .ok_or(ProtoError::Schema("missing or non-integer seq"))?;
+    let kind = doc
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or(ProtoError::Schema("missing type tag"))?
+        .to_owned();
+    Ok((seq, kind, doc))
+}
+
+/// Decodes a request frame payload, returning `(seq, request)`.
+///
+/// # Errors
+///
+/// [`ProtoError`] on any structural, wire, or JSON violation.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtoError> {
+    let (seq, kind, doc) = parse_envelope(payload)?;
+    let req = match kind.as_str() {
+        "hello" => Request::Hello,
+        "train" => {
+            let client = doc
+                .get("client")
+                .and_then(Json::as_u64)
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or(ProtoError::Schema("client must be a u32"))?;
+            let entries = wire::decode_words(
+                doc.get("entries")
+                    .ok_or(ProtoError::Schema("missing entries"))?,
+            )?;
+            if entries.len() > MAX_ENTRIES_PER_TRAIN {
+                return Err(ProtoError::TooManyEntries { got: entries.len() });
+            }
+            let raw_updates = doc
+                .get("updates")
+                .and_then(Json::as_array)
+                .ok_or(ProtoError::Schema("updates must be an array"))?;
+            if raw_updates.len() != entries.len() {
+                return Err(ProtoError::Schema("updates must parallel entries"));
+            }
+            let updates = raw_updates
+                .iter()
+                .map(wire::decode_words)
+                .collect::<Result<Vec<_>, _>>()?;
+            Request::Train {
+                client,
+                entries,
+                updates,
+            }
+        }
+        "metrics" => Request::Metrics,
+        "health" => Request::Health,
+        "checkpoint" => Request::Checkpoint,
+        "shutdown" => Request::Shutdown,
+        _ => return Err(ProtoError::Schema("unknown request type")),
+    };
+    Ok((seq, req))
+}
+
+/// Decodes a response frame payload, returning `(seq, response)`.
+///
+/// # Errors
+///
+/// [`ProtoError`] on any structural, wire, or JSON violation.
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtoError> {
+    let (seq, kind, doc) = parse_envelope(payload)?;
+    let resp = match kind.as_str() {
+        "welcome" => Response::Welcome {
+            client: doc
+                .get("client")
+                .and_then(Json::as_u64)
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or(ProtoError::Schema("client must be a u32"))?,
+        },
+        "train_ok" => {
+            let round = doc
+                .get("round")
+                .and_then(Json::as_u64)
+                .ok_or(ProtoError::Schema("round must be a u64"))?;
+            let raw_rows = doc
+                .get("rows")
+                .and_then(Json::as_array)
+                .ok_or(ProtoError::Schema("rows must be an array"))?;
+            if raw_rows.len() > MAX_ENTRIES_PER_TRAIN {
+                return Err(ProtoError::TooManyEntries {
+                    got: raw_rows.len(),
+                });
+            }
+            let rows = raw_rows
+                .iter()
+                .map(|row| match row {
+                    Json::Null => Ok(None),
+                    Json::Str(hex) => hex_decode(hex).map(Some),
+                    _ => Err(ProtoError::Schema("row must be hex or null")),
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Response::TrainOk { round, rows }
+        }
+        "metrics_ok" => Response::MetricsOk {
+            metrics: doc
+                .get("metrics")
+                .cloned()
+                .ok_or(ProtoError::Schema("missing metrics"))?,
+        },
+        "health_ok" => Response::HealthOk {
+            committed_rounds: doc
+                .get("committed_rounds")
+                .and_then(Json::as_u64)
+                .ok_or(ProtoError::Schema("missing committed_rounds"))?,
+            round_active: match doc.get("round_active") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err(ProtoError::Schema("missing round_active")),
+            },
+        },
+        "checkpoint_ok" => Response::CheckpointOk {
+            generation: doc
+                .get("generation")
+                .and_then(Json::as_u64)
+                .ok_or(ProtoError::Schema("missing generation"))?,
+            bytes: doc
+                .get("bytes")
+                .and_then(Json::as_u64)
+                .ok_or(ProtoError::Schema("missing bytes"))?,
+        },
+        "shutting_down" => Response::ShuttingDown,
+        "overloaded" => Response::Overloaded,
+        "error" => Response::Error {
+            kind: doc
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or(ProtoError::Schema("missing error kind"))?
+                .to_owned(),
+            message: doc
+                .get("message")
+                .and_then(Json::as_str)
+                .ok_or(ProtoError::Schema("missing error message"))?
+                .to_owned(),
+        },
+        _ => return Err(ProtoError::Schema("unknown response type")),
+    };
+    Ok((seq, resp))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = vec![
+            Request::Hello,
+            Request::Train {
+                client: 9,
+                entries: vec![0, u64::MAX, 1 << 60],
+                updates: vec![vec![1, 2], vec![u64::MAX], vec![]],
+            },
+            Request::Metrics,
+            Request::Health,
+            Request::Checkpoint,
+            Request::Shutdown,
+        ];
+        for (seq, req) in cases.into_iter().enumerate() {
+            let payload = encode_request(seq as u64, &req);
+            assert_eq!(decode_request(&payload).unwrap(), (seq as u64, req));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Welcome { client: 3 },
+            Response::TrainOk {
+                round: 12,
+                rows: vec![Some(vec![0x00, 0xff, 0xa5]), None, Some(vec![])],
+            },
+            Response::MetricsOk {
+                metrics: json::parse(r#"{"counters": {"a": 1}}"#).unwrap(),
+            },
+            Response::HealthOk {
+                committed_rounds: 7,
+                round_active: true,
+            },
+            Response::CheckpointOk {
+                generation: 2,
+                bytes: 4096,
+            },
+            Response::ShuttingDown,
+            Response::Overloaded,
+            Response::Error {
+                kind: "proto".into(),
+                message: "nope".into(),
+            },
+        ];
+        for (seq, resp) in cases.into_iter().enumerate() {
+            let payload = encode_response(seq as u64, &resp);
+            assert_eq!(decode_response(&payload).unwrap(), (seq as u64, resp));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_envelopes() {
+        for bad in [
+            &b"not json"[..],
+            b"{}",
+            b"{\"seq\": 1}",
+            b"{\"seq\": -1, \"type\": \"hello\"}",
+            b"{\"seq\": 1.5, \"type\": \"hello\"}",
+            b"{\"seq\": 1, \"type\": \"no_such_type\"}",
+            b"{\"seq\": 1, \"type\": 42}",
+        ] {
+            assert!(
+                decode_request(bad).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(bad)
+            );
+            assert!(decode_response(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_train_requests() {
+        for bad in [
+            // entries/updates length mismatch
+            r#"{"seq":1,"type":"train","client":1,"entries":["1"],"updates":[]}"#.to_string(),
+            // missing client
+            r#"{"seq":1,"type":"train","entries":[],"updates":[]}"#.to_string(),
+            // client out of u32 range
+            r#"{"seq":1,"type":"train","client":4294967296,"entries":[],"updates":[]}"#.to_string(),
+            // numeric entry ids (precision-lossy) are refused
+            r#"{"seq":1,"type":"train","client":1,"entries":[1],"updates":[["0"]]}"#.to_string(),
+            // bad word inside an update vector
+            r#"{"seq":1,"type":"train","client":1,"entries":["1"],"updates":[["x"]]}"#.to_string(),
+        ] {
+            assert!(decode_request(bad.as_bytes()).is_err(), "accepted {bad}");
+        }
+        // Entry-count bound.
+        let ids: Vec<String> = (0..MAX_ENTRIES_PER_TRAIN as u64 + 1)
+            .map(|i| format!("\"{i}\""))
+            .collect();
+        let flood = format!(
+            r#"{{"seq":1,"type":"train","client":1,"entries":[{}],"updates":[{}]}}"#,
+            ids.join(","),
+            ids.iter().map(|_| "[]").collect::<Vec<_>>().join(",")
+        );
+        assert!(matches!(
+            decode_request(flood.as_bytes()),
+            Err(ProtoError::TooManyEntries { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        for bad in [
+            r#"{"seq":1,"type":"train_ok","round":1,"rows":["zz"]}"#,
+            r#"{"seq":1,"type":"train_ok","round":1,"rows":["abc"]}"#,
+            r#"{"seq":1,"type":"train_ok","round":1,"rows":[1]}"#,
+        ] {
+            assert!(decode_response(bad.as_bytes()).is_err(), "accepted {bad}");
+        }
+    }
+}

@@ -1,13 +1,23 @@
 //! A minimal recursive-descent JSON parser (zero dependencies).
 //!
-//! The workspace bans external crates, yet two consumers need to *read*
-//! JSON: the Chrome-trace round-trip check, and the bench `perf_trajectory
-//! compare` subcommand that diffs `BENCH_*.json` files. This parser covers
-//! the full JSON grammar (objects, arrays, strings with escapes, numbers,
-//! booleans, null) with byte offsets on errors; it is not streaming and is
-//! meant for the small, trusted documents this workspace itself produces.
+//! The workspace bans external crates, yet several consumers need to
+//! *read* JSON: the Chrome-trace round-trip check, the bench
+//! `perf_trajectory compare` subcommand that diffs `BENCH_*.json` files,
+//! and — since `fedora-net` — the wire protocol, which parses **untrusted
+//! bytes off a socket**. The parser therefore returns typed errors and
+//! never panics on any input: recursion depth is bounded ([`MAX_DEPTH`]),
+//! numbers that overflow to non-finite values are rejected, trailing
+//! garbage is rejected, and [`parse_bytes`] validates UTF-8 up front
+//! instead of trusting the caller.
 
 use std::fmt;
+
+/// Maximum nesting depth (objects + arrays) before a document is rejected.
+///
+/// Nothing this workspace produces nests deeper than ~10 levels; the bound
+/// exists so adversarial input like `[[[[…` off the wire exhausts a counter
+/// instead of the parser's stack.
+pub const MAX_DEPTH: usize = 64;
 
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -76,6 +86,66 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Serializes to compact JSON text that [`parse`] round-trips.
+    ///
+    /// Non-finite numbers (unrepresentable in JSON) serialize as `null`,
+    /// matching the metric exporters.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_into(&mut out);
+        out
+    }
+
+    fn dump_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) if v.is_finite() => {
+                out.push_str(&format!("{v}"));
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.dump_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).dump_into(out);
+                    out.push(':');
+                    v.dump_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 /// A parse failure with the byte offset where it happened.
@@ -105,6 +175,7 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -115,9 +186,28 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
     Ok(value)
 }
 
+/// Parses a complete JSON document from raw bytes (e.g. a network frame).
+///
+/// Identical to [`parse`] but validates UTF-8 first, turning malformed
+/// encodings into a typed [`JsonError`] at the offending byte offset
+/// instead of requiring the caller to pre-validate.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on invalid UTF-8 or any grammar violation.
+pub fn parse_bytes(input: &[u8]) -> Result<Json, JsonError> {
+    let text = std::str::from_utf8(input).map_err(|e| JsonError {
+        offset: e.valid_up_to(),
+        message: "invalid UTF-8 in document".to_string(),
+    })?;
+    parse(text)
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current object/array nesting depth, bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -169,12 +259,22 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than the supported maximum"));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -189,6 +289,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.err("expected ',' or '}' in object")),
@@ -198,10 +299,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -212,6 +315,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']' in array")),
@@ -318,9 +422,14 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
+        let value: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        // `"1e999"` parses to +inf; an untrusted peer must not be able to
+        // smuggle non-finite values into a grammar that has no spelling
+        // for them.
+        if !value.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(value))
     }
 }
 
@@ -391,6 +500,80 @@ mod tests {
         }
         let err = parse("[1, x]").unwrap_err();
         assert!(err.offset > 0 && err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn dump_round_trips_through_parse() {
+        let doc = parse(
+            r#"{"a": [1, {"b": "c\"\\\n\t"}, null, true, false], "n": -1.5e2, "u": "héllo😀"}"#,
+        )
+        .unwrap();
+        assert_eq!(parse(&doc.dump()).unwrap(), doc);
+        // Control characters escape to \uXXXX and survive the cycle.
+        let ctrl = Json::Str("a\u{01}b".into());
+        assert_eq!(ctrl.dump(), "\"a\\u0001b\"");
+        assert_eq!(parse(&ctrl.dump()).unwrap(), ctrl);
+        // Non-finite numbers degrade to null rather than emitting invalid JSON.
+        assert_eq!(Json::Num(f64::INFINITY).dump(), "null");
+        assert!(parse(&Json::Num(f64::NAN).dump()).is_ok());
+    }
+
+    #[test]
+    fn bounds_nesting_depth() {
+        // Within the bound: fine.
+        let mut ok = "[".repeat(MAX_DEPTH);
+        ok.push_str(&"]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        // One deeper: typed error, not a stack overflow.
+        let mut deep = "[".repeat(MAX_DEPTH + 1);
+        deep.push_str(&"]".repeat(MAX_DEPTH + 1));
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Way deeper (the adversarial case): still a clean error.
+        let hostile = "[".repeat(1_000_000);
+        assert!(parse(&hostile).is_err());
+        // Mixed objects and arrays share the one depth counter.
+        let mixed = "{\"a\":[".repeat(MAX_DEPTH);
+        assert!(parse(&mixed).is_err());
+        // Siblings don't accumulate depth.
+        let wide = format!("[{}]", vec!["[]"; 10_000].join(","));
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn rejects_oversized_numbers() {
+        for bad in ["1e999", "-1e999", "1e309"] {
+            let err = parse(bad).unwrap_err();
+            assert!(err.message.contains("out of range"), "{bad}: {err}");
+        }
+        // Large but representable doubles still parse.
+        assert!(parse("1e308").is_ok());
+        assert!(parse("-1.7976931348623157e308").is_ok());
+    }
+
+    #[test]
+    fn parse_bytes_rejects_invalid_utf8() {
+        let err = parse_bytes(b"\"ab\xff\"").unwrap_err();
+        assert!(err.message.contains("UTF-8"), "{err}");
+        assert_eq!(err.offset, 3);
+        assert_eq!(parse_bytes(b"[1,2]").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_error_cleanly() {
+        for bad in [
+            &b"{\"a\": 1"[..],
+            b"[1, 2",
+            b"\"esc\\",
+            b"\"\\u12",
+            b"123abc",
+            b"{} trailing",
+            b"nul",
+            b"-",
+            b"- 1",
+        ] {
+            assert!(parse_bytes(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]
