@@ -25,6 +25,7 @@
 
 use std::path::PathBuf;
 
+use fedora::audit::empirical::{adjacent_inputs, estimate_twin_inputs};
 use fedora::audit::{
     audit_determinism, audit_twin_inputs, twin_inputs, AuditOutcome, AuditVerdict,
 };
@@ -42,10 +43,19 @@ fedora_audit — twin-run obliviousness auditor + privacy-ledger check
 USAGE:
     fedora_audit [--k N] [--rounds N] [--seed S] [--entries N]
                  [--epsilon E] [--out PATH] [--threads N]
+                 [--empirical] [--empirical-samples N]
                  [--metrics-out PATH] [--metrics-format json|csv|prom]
 
 --threads N runs every audited pipeline with N worker threads; the checks
 must pass identically at any thread count (determinism is the point).
+
+--empirical additionally runs the online empirical-ε estimator
+(fedora::audit::empirical) over N replayed adjacent twin pairs per check
+(default 24, --empirical-samples): the honest mechanisms must NOT trip
+the empirical alarm and the naive-dedup canary MUST. The canary's ε is
+∞ (it claims nothing), so its estimate is judged against the *claimed*
+deployment ε (--epsilon) — the strawman scenario is an implementation
+leaking more than its configuration admits.
 
 Writes an audit report (schema fedora-privacy-audit/v1) to --out (default
 fedora_audit.json) and exits non-zero when any check fails: an honest
@@ -130,6 +140,16 @@ fn ledger_check(
     (total, last_gauge == Some(total))
 }
 
+fn bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
 fn flag_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let pos = args.iter().position(|a| a == flag)?;
     if pos + 1 >= args.len() {
@@ -166,6 +186,10 @@ fn main() {
     let epsilon: f64 = flag_value(&mut args, "--epsilon")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0);
+    let empirical = bool_flag(&mut args, "--empirical");
+    let empirical_samples: usize = flag_value(&mut args, "--empirical-samples")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(24);
     let out = flag_value(&mut args, "--out")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("fedora_audit.json"));
@@ -195,8 +219,10 @@ fn main() {
     let registry = opts.registry();
     let threads = opts.threads_or_serial();
     let (req_a, req_b) = twin_inputs(k);
+    let (adj_a, adj_b) = adjacent_inputs(k);
     let mut all_pass = true;
     let mut check_blobs = Vec::new();
+    let mut emp_blobs = Vec::new();
     println!(
         "fedora_audit: K = {k}, {rounds} rounds, seed {seed}, {entries} entries, \
          {threads} thread(s)"
@@ -232,6 +258,60 @@ fn main() {
             .gauge(&format!("audit.{}.chi_statistic", check.name))
             .set(outcome.chi.statistic);
         check_blobs.push(check_json(check.name, check.expect_leak, &outcome, pass));
+
+        if empirical {
+            let emp = match estimate_twin_inputs(&config, seed, &adj_a, &adj_b, empirical_samples) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: empirical {}: {e}", check.name);
+                    std::process::exit(1);
+                }
+            };
+            let est = emp.estimate;
+            // The canary claims ε = ∞, which no estimate can exceed;
+            // judge it against the *claimed* deployment ε instead.
+            let budget = if emp.mechanism_epsilon.is_finite() {
+                emp.mechanism_epsilon
+            } else {
+                epsilon
+            };
+            let alarm = est.exceeds(budget);
+            let emp_pass = alarm == check.expect_leak;
+            all_pass &= emp_pass;
+            println!(
+                "  {:<20} empirical eps_hat = {:.4} [{:.4}, {:.4}] over {} pairs \
+                 (budget {}, alarm {}) [{}]",
+                format!("{}:eps", check.name),
+                est.eps_hat,
+                est.ci_lo,
+                est.ci_hi,
+                est.samples,
+                json_f64(budget).replace('"', ""),
+                alarm,
+                if emp_pass { "ok" } else { "FAIL" }
+            );
+            registry
+                .gauge(&format!("audit.{}.empirical_eps_hat", check.name))
+                .set(est.eps_hat);
+            registry
+                .gauge(&format!("audit.{}.empirical_alarm", check.name))
+                .set_u64(u64::from(alarm));
+            emp_blobs.push(format!(
+                "{{\"name\":\"{}\",\"eps_hat\":{},\"ci_lo\":{},\"ci_hi\":{},\
+                 \"samples\":{},\"distance\":{},\"mechanism_epsilon\":{},\
+                 \"budget\":{},\"alarm\":{alarm},\"expect_alarm\":{},\
+                 \"pass\":{emp_pass}}}",
+                check.name,
+                json_f64(est.eps_hat),
+                json_f64(est.ci_lo),
+                json_f64(est.ci_hi),
+                est.samples,
+                emp.distance,
+                json_f64(emp.mechanism_epsilon),
+                json_f64(budget),
+                check.expect_leak,
+            ));
+        }
     }
 
     let mut det_config = FedoraConfig::for_testing(TableSpec::tiny(entries), k.max(16));
@@ -269,10 +349,12 @@ fn main() {
     let report = format!(
         "{{\"schema\":\"fedora-privacy-audit/v1\",\"seed\":{seed},\"k\":{k},\
          \"rounds\":{rounds},\"entries\":{entries},\"checks\":[{}],\
+         \"empirical\":[{}],\
          \"determinism\":{{\"byte_identical\":{deterministic}}},\
          \"ledger\":{{\"total_epsilon\":{},\"matches_accountant\":{ledger_ok}}},\
          \"pass\":{all_pass}}}",
         check_blobs.join(","),
+        emp_blobs.join(","),
         json_f64(ledger_total),
     );
     if let Err(e) = std::fs::write(&out, format!("{report}\n")) {

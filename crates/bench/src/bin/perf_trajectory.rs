@@ -30,7 +30,8 @@
 
 use std::path::PathBuf;
 
-use fedora::config::{FedoraConfig, ParallelismConfig, PrivacyConfig, TableSpec};
+use fedora::audit::empirical::{adjacent_inputs, estimate_twin_inputs};
+use fedora::config::{FedoraConfig, ParallelismConfig, PrivacyConfig, TableSpec, WatchConfig};
 use fedora::multi::{MultiTableServer, TableInit};
 use fedora::server::{FedoraServer, PhaseBreakdown};
 use fedora_bench::outopts::OutputOpts;
@@ -362,6 +363,10 @@ fn run_cell_mode<M: AggregationMode>(
     let mut config = FedoraConfig::for_testing(TableSpec::tiny(spec.entries), k_total.max(16));
     config.privacy = PrivacyConfig::with_epsilon(1.0);
     config.parallelism = ParallelismConfig::with_threads(spec.threads);
+    // Watch plane at its most aggressive cadence: the overhead column
+    // below records what sampling every round actually costs.
+    config.watch = WatchConfig::every(1);
+    let estimator_config = config.clone();
     let mut server =
         FedoraServer::with_telemetry(config, |_| vec![0u8; 4 * DIM], registry.clone(), &mut rng);
     let state_dir = spec.durable.then(|| {
@@ -453,6 +458,28 @@ fn run_cell_mode<M: AggregationMode>(
     let gauge = |name: &str| snap.gauge(name).unwrap_or(0.0);
     metrics.push(("fdp.total.epsilon".to_owned(), gauge("fdp.total.epsilon")));
     metrics.push(("fdp.round.epsilon".to_owned(), gauge("fdp.round.epsilon")));
+    // Empirical-ε trajectory: a short adjacent-twin estimation on the
+    // cell's own configuration (replayed on fresh servers; the live
+    // server just records the result so the audit gauges are published).
+    const EMPIRICAL_SAMPLES: usize = 8;
+    let (adj_a, adj_b) = adjacent_inputs(8);
+    match estimate_twin_inputs(&estimator_config, seed, &adj_a, &adj_b, EMPIRICAL_SAMPLES) {
+        Ok(emp) => {
+            server.record_empirical_estimate(emp.estimate);
+            metrics.push(("fdp.empirical.eps_hat".to_owned(), emp.estimate.eps_hat));
+            metrics.push(("fdp.empirical.ci_hi".to_owned(), emp.estimate.ci_hi));
+        }
+        Err(e) => eprintln!("warning: cell {}: empirical estimate: {e}", spec.id()),
+    }
+    // Watch-plane self-cost, in parts-per-million of round wall-time
+    // (larger-is-worse like every column; the <5% claim is 50_000 here).
+    if let Some(w) = snap.histogram("watch.sample.ns") {
+        let round_ns = phase_sums.round_ns.max(1);
+        metrics.push((
+            "watch.overhead_ppm".to_owned(),
+            w.sum as f64 * 1e6 / round_ns as f64,
+        ));
+    }
     if let Some(dir) = state_dir {
         // Checkpoint-overhead columns: the last commit's checkpoint size
         // and sync time (gauges), both larger-is-worse like every metric.

@@ -31,6 +31,8 @@ use rand::SeedableRng;
 use crate::config::FedoraConfig;
 use crate::server::{FedoraError, FedoraServer};
 
+pub mod empirical;
+
 /// One canonicalized access: the operation and the tree level it touched.
 ///
 /// Raw page numbers depend on the (secret, random) leaf positions, so two
@@ -123,20 +125,25 @@ pub fn chi_squared_two_sample(a: &[CanonicalAccess], b: &[CanonicalAccess]) -> C
     }
 }
 
-fn op_key(op: AccessOp) -> u8 {
+pub(crate) fn op_key(op: AccessOp) -> u8 {
     match op {
         AccessOp::Read => 0,
         AccessOp::Write => 1,
     }
 }
 
+/// The auditor's shared confidence level: Φ⁻¹(0.999) ≈ 3.09, i.e.
+/// α ≈ 0.001 one-sided. Both the chi-squared critical value and the
+/// empirical-ε confidence interval ([`empirical`]) use this z so the two
+/// judgements alarm at the same significance.
+pub(crate) const CONFIDENCE_Z: f64 = 3.090_232;
+
 /// Wilson–Hilferty approximation of the chi-squared critical value at
 /// α ≈ 0.001 (z ≈ 3.09): `df·(1 − 2/(9df) + z·√(2/(9df)))³`.
-fn chi_squared_critical(df: usize) -> f64 {
+pub(crate) fn chi_squared_critical(df: usize) -> f64 {
     let k = df as f64;
-    let z = 3.090_232; // Φ⁻¹(0.999)
     let t = 2.0 / (9.0 * k);
-    k * (1.0 - t + z * t.sqrt()).powi(3)
+    k * (1.0 - t + CONFIDENCE_Z * t.sqrt()).powi(3)
 }
 
 /// The auditor's verdict on one twin run.

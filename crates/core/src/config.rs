@@ -192,6 +192,63 @@ impl PrivacyBudgetConfig {
     }
 }
 
+/// The live privacy/SLO watch plane: every `every_rounds` committed
+/// rounds the server snapshots its registry, computes the interval delta
+/// against the previous sample ([`fedora_telemetry::Snapshot::delta`]),
+/// evaluates the configured rules over the *window* (not lifetime
+/// averages), and journals a `watch.alarm.*` event per violated rule. The
+/// latest report is kept in memory for the `fedora-net` `watch` verb.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WatchConfig {
+    /// Sample every N committed rounds (0 disables the watch plane
+    /// entirely — no snapshots, no overhead).
+    pub every_rounds: u64,
+    /// SLO: alarm when the window's `round.latency` p99 exceeds this many
+    /// nanoseconds.
+    pub max_round_p99_ns: Option<u64>,
+    /// SLO: alarm when shed requests exceed this many parts-per-million of
+    /// the window's admitted + shed requests.
+    pub max_shed_ppm: Option<u64>,
+    /// Privacy: alarm when the latest empirical-ε estimate confidently
+    /// exceeds the configured mechanism ε (see
+    /// [`crate::audit::empirical::EpsilonEstimate::exceeds`]).
+    pub alarm_on_empirical: bool,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl WatchConfig {
+    /// Watch plane off: no sampling, no rules, no overhead.
+    pub fn disabled() -> Self {
+        WatchConfig {
+            every_rounds: 0,
+            max_round_p99_ns: None,
+            max_shed_ppm: None,
+            alarm_on_empirical: false,
+        }
+    }
+
+    /// Sample every `every_rounds` rounds with the empirical-ε rule armed
+    /// and no SLO thresholds (add them via struct update).
+    pub fn every(every_rounds: u64) -> Self {
+        WatchConfig {
+            every_rounds,
+            max_round_p99_ns: None,
+            max_shed_ppm: None,
+            alarm_on_empirical: true,
+        }
+    }
+
+    /// Whether the watch plane samples at all.
+    pub fn is_enabled(&self) -> bool {
+        self.every_rounds > 0
+    }
+}
+
 /// How many worker threads the round pipeline may use.
 ///
 /// Parallelism never changes *what* the pipeline computes, only how many
@@ -292,6 +349,8 @@ pub struct FedoraConfig {
     pub privacy_budget: PrivacyBudgetConfig,
     /// Worker-thread budget for the round pipeline (serial by default).
     pub parallelism: ParallelismConfig,
+    /// Live privacy/SLO watch plane (off by default).
+    pub watch: WatchConfig,
 }
 
 impl FedoraConfig {
@@ -312,6 +371,7 @@ impl FedoraConfig {
             fault_tolerance: FaultToleranceConfig::default(),
             privacy_budget: PrivacyBudgetConfig::default(),
             parallelism: ParallelismConfig::default(),
+            watch: WatchConfig::disabled(),
         }
     }
 
@@ -330,6 +390,7 @@ impl FedoraConfig {
             fault_tolerance: FaultToleranceConfig::default(),
             privacy_budget: PrivacyBudgetConfig::default(),
             parallelism: ParallelismConfig::default(),
+            watch: WatchConfig::disabled(),
         }
     }
 

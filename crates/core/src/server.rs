@@ -18,6 +18,7 @@ use fedora_storage::{ByteReader, ByteWriter, CodecError, FaultConfig, FaultStats
 use fedora_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot, TraceSpan};
 use rand::Rng;
 
+use crate::audit::empirical::EpsilonEstimate;
 use crate::config::{FedoraConfig, SelectionStrategy};
 use crate::durable::{
     self, CheckpointStats, CrashPoint, DurableError, DurableState, FaultPlan, JournalRecord,
@@ -344,6 +345,10 @@ struct FlTelemetry {
     download_bytes: Counter,
     upload_bytes: Counter,
     lost_serves: Counter,
+    /// Committed-round wall time, as a histogram so interval views
+    /// ([`Snapshot::delta`]) can report a windowed p99 (the `round.phase.*`
+    /// gauges only carry the latest round).
+    round_latency: Histogram,
 }
 
 impl FlTelemetry {
@@ -354,6 +359,7 @@ impl FlTelemetry {
             download_bytes: registry.counter("fl.round.download_bytes"),
             upload_bytes: registry.counter("fl.round.upload_bytes"),
             lost_serves: registry.counter("fl.round.lost_serves"),
+            round_latency: registry.histogram("round.latency"),
         }
     }
 }
@@ -384,6 +390,13 @@ struct PrivacyLedger {
     lost: Counter,
     k_union: Gauge,
     k_overhead: Histogram,
+    // Empirical-ε estimates come from twin-run audits over recorded
+    // traces; the estimate itself is derived from access patterns, so it
+    // stays audit-only alongside the other trace-derived series.
+    empirical_eps_hat: Gauge,
+    empirical_ci_lo: Gauge,
+    empirical_ci_hi: Gauge,
+    empirical_samples: Gauge,
 }
 
 impl PrivacyLedger {
@@ -400,6 +413,10 @@ impl PrivacyLedger {
             lost: registry.counter_audit("fdp.lost.total"),
             k_union: registry.gauge_audit("fdp.round.k_union"),
             k_overhead: registry.histogram_audit("fdp.k.overhead"),
+            empirical_eps_hat: registry.gauge_audit("fdp.empirical.eps_hat"),
+            empirical_ci_lo: registry.gauge_audit("fdp.empirical.ci_lo"),
+            empirical_ci_hi: registry.gauge_audit("fdp.empirical.ci_hi"),
+            empirical_samples: registry.gauge_audit("fdp.empirical.samples"),
         };
         // Static per config: the mechanism ε after group-privacy division
         // (ε/n for HideValueCount{n}), and the budget ceiling if set.
@@ -464,6 +481,59 @@ pub struct FedoraServer {
     /// Main-ORAM insertions so far in the write phase (MidEvictionWrite
     /// trigger).
     round_inserts: u64,
+    /// Latest empirical-ε estimate fed in via
+    /// [`record_empirical_estimate`](Self::record_empirical_estimate).
+    /// Ephemeral: estimates come from out-of-band twin-run audits, so
+    /// they are not part of the durable checkpoint.
+    empirical: Option<EpsilonEstimate>,
+    /// Whether the empirical-ε exceedance has already been journaled
+    /// (the `watch.alarm.empirical_eps` event fires once per crossing).
+    empirical_flagged: bool,
+    /// Registry snapshot at the previous watch sample, for interval
+    /// deltas. Ephemeral, like the rest of the watch plane.
+    watch_prev: Option<Snapshot>,
+    /// The most recent watch report, if the watch plane is enabled and
+    /// has sampled at least once.
+    watch_last: Option<WatchReport>,
+}
+
+/// One sample of the live privacy/SLO watch plane: interval health over
+/// the last `window_rounds` committed rounds, evaluated against the
+/// thresholds in [`WatchConfig`].
+///
+/// The report deliberately carries only public series (round latency,
+/// shed ratio, cumulative ε from the accountant) plus the empirical-ε
+/// *verdict-level* numbers — the estimate and its sample count — which
+/// the operator already opted into by running the estimator. Alarms are
+/// symbolic names (`round_p99`, `shed_ppm`, `empirical_eps`) so callers
+/// can match on them without parsing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WatchReport {
+    /// Committed-round count when this sample was taken.
+    pub round: u64,
+    /// Rounds committed since the previous sample.
+    pub window_rounds: u64,
+    /// p99 round wall-time over the window, in nanoseconds (0 when the
+    /// window saw no rounds).
+    pub round_p99_ns: u64,
+    /// Served requests over the window (`net.requests` delta; 0 when the
+    /// server runs without a network front end).
+    pub requests: u64,
+    /// Shed parts-per-million over the window: shed requests relative to
+    /// all arrivals (served + shed).
+    pub shed_ppm: u64,
+    /// Cumulative ε spent (accountant total at sample time).
+    pub total_epsilon: f64,
+    /// Latest empirical-ε estimate (0 when no estimate recorded).
+    pub eps_hat: f64,
+    /// Twin pairs behind `eps_hat` (0 when no estimate recorded).
+    pub eps_samples: u64,
+    /// The configured mechanism ε the estimate is judged against.
+    pub eps_budget: f64,
+    /// Alarm names active in this window, in evaluation order.
+    pub alarms: Vec<String>,
+    /// Wall-time this sample itself cost, in nanoseconds.
+    pub overhead_ns: u64,
 }
 
 impl FedoraServer {
@@ -530,6 +600,10 @@ impl FedoraServer {
             seed_hint: 0,
             round_accesses: 0,
             round_inserts: 0,
+            empirical: None,
+            empirical_flagged: false,
+            watch_prev: None,
+            watch_last: None,
         }
     }
 
@@ -1053,6 +1127,32 @@ impl FedoraServer {
                 }
             }
         }
+        // Enforcing budget mode also honors the empirical estimator: a
+        // confident measured exceedance of the mechanism ε means the
+        // implementation is leaking more than the accountant admits, so
+        // refusing further rounds is the only sound response.
+        if self.config.privacy_budget.enforce {
+            if let Some(est) = self.empirical.as_ref() {
+                let budget = self.config.privacy.mechanism.epsilon();
+                if est.exceeds(budget) {
+                    let eps_hat = est.eps_hat;
+                    self.ledger.budget_refused.incr();
+                    self.registry.event(
+                        "privacy.budget.refused",
+                        &[
+                            ("round", self.committed_rounds.into()),
+                            ("spent", eps_hat.into()),
+                            ("budget", budget.into()),
+                            ("empirical", true.into()),
+                        ],
+                    );
+                    return Err(FedoraError::PrivacyBudgetExhausted {
+                        spent: eps_hat,
+                        budget,
+                    });
+                }
+            }
+        }
         // Restart-stable chaos: derive and arm this round's fault seed
         // before journaling it, so a recovered campaign replays the same
         // stream for the same round number.
@@ -1500,6 +1600,9 @@ impl FedoraServer {
         let write_ns = write_started.elapsed().as_nanos() as u64;
         state.report.phases.write_ns = write_ns;
         state.report.phases.round_ns += write_ns;
+        self.telemetry
+            .round_latency
+            .record(state.report.phases.round_ns);
         self.publish_phase_gauges(&state.report.phases);
         self.registry.event(
             "round.end",
@@ -1522,8 +1625,148 @@ impl FedoraServer {
         let prev_last = self.last_committed.replace(state.report.scrubbed());
         self.committed_rounds += 1;
         self.checkpoint_and_commit(&state.report, prev_last)?;
+        self.maybe_watch_sample();
         self.completed.push(state.report.clone());
         Ok(state.report.clone())
+    }
+
+    /// Feeds an out-of-band empirical-ε estimate (from
+    /// [`audit::empirical`](crate::audit::empirical)) into the server's
+    /// privacy ledger and watch plane.
+    ///
+    /// Publishes the `fdp.empirical.*` audit-only gauges, and — if the
+    /// estimate confidently exceeds the configured mechanism ε — journals
+    /// a `watch.alarm.empirical_eps` event once per crossing. When budget
+    /// enforcement is on, subsequent [`begin_round`](Self::begin_round)
+    /// calls are refused while the exceedance stands.
+    pub fn record_empirical_estimate(&mut self, estimate: EpsilonEstimate) {
+        self.ledger.empirical_eps_hat.set(estimate.eps_hat);
+        self.ledger.empirical_ci_lo.set(estimate.ci_lo);
+        self.ledger.empirical_ci_hi.set(estimate.ci_hi);
+        self.ledger
+            .empirical_samples
+            .set_u64(estimate.samples as u64);
+        let budget = self.config.privacy.mechanism.epsilon();
+        if estimate.exceeds(budget) {
+            if !self.empirical_flagged {
+                self.empirical_flagged = true;
+                self.registry.event(
+                    "watch.alarm.empirical_eps",
+                    &[
+                        ("round", self.committed_rounds.into()),
+                        ("eps_hat", estimate.eps_hat.into()),
+                        ("ci_lo", estimate.ci_lo.into()),
+                        ("budget", budget.into()),
+                        ("samples", (estimate.samples as u64).into()),
+                    ],
+                );
+            }
+        } else {
+            self.empirical_flagged = false;
+        }
+        self.empirical = Some(estimate);
+    }
+
+    /// The latest empirical-ε estimate recorded via
+    /// [`record_empirical_estimate`](Self::record_empirical_estimate).
+    pub fn empirical_estimate(&self) -> Option<&EpsilonEstimate> {
+        self.empirical.as_ref()
+    }
+
+    /// The most recent watch-plane report, if the watch plane is enabled
+    /// ([`WatchConfig::every_rounds`] > 0) and has sampled at least once.
+    ///
+    /// [`WatchConfig::every_rounds`]: crate::config::WatchConfig::every_rounds
+    pub fn watch_report(&self) -> Option<&WatchReport> {
+        self.watch_last.as_ref()
+    }
+
+    /// Watch-plane sampler: every `watch.every_rounds` committed rounds,
+    /// snapshot the registry, window it against the previous sample via
+    /// [`Snapshot::delta`], evaluate the SLO/privacy rules, and journal
+    /// one `watch.alarm.*` event per tripped rule. The sample's own cost
+    /// lands in the `watch.sample.ns` histogram so the overhead claim is
+    /// itself measurable.
+    fn maybe_watch_sample(&mut self) {
+        let cfg = self.config.watch;
+        if !cfg.is_enabled() || !self.committed_rounds.is_multiple_of(cfg.every_rounds) {
+            return;
+        }
+        let started = Instant::now();
+        let now = self.registry.snapshot_lite();
+        let windowed = match self.watch_prev.as_ref() {
+            Some(prev) => now.delta(prev),
+            None => now.clone(),
+        };
+        let window_rounds = windowed.counter("fl.rounds.completed").unwrap_or(0);
+        let round_p99_ns = windowed.histogram("round.latency").map_or(0, |h| h.p99);
+        let requests = windowed.counter("net.requests").unwrap_or(0);
+        let shed = windowed.counter("net.shed.requests").unwrap_or(0);
+        let arrivals = requests.saturating_add(shed);
+        let shed_ppm = shed
+            .saturating_mul(1_000_000)
+            .checked_div(arrivals)
+            .unwrap_or(0);
+        let mut alarms = Vec::new();
+        if let Some(max) = cfg.max_round_p99_ns {
+            if window_rounds > 0 && round_p99_ns > max {
+                alarms.push("round_p99".to_string());
+                self.registry.event(
+                    "watch.alarm.round_p99",
+                    &[
+                        ("round", self.committed_rounds.into()),
+                        ("p99_ns", round_p99_ns.into()),
+                        ("max_ns", max.into()),
+                        ("window_rounds", window_rounds.into()),
+                    ],
+                );
+            }
+        }
+        if let Some(max) = cfg.max_shed_ppm {
+            if arrivals > 0 && shed_ppm > max {
+                alarms.push("shed_ppm".to_string());
+                self.registry.event(
+                    "watch.alarm.shed_ppm",
+                    &[
+                        ("round", self.committed_rounds.into()),
+                        ("shed_ppm", shed_ppm.into()),
+                        ("max_ppm", max.into()),
+                        ("requests", requests.into()),
+                    ],
+                );
+            }
+        }
+        // The empirical-ε alarm is journaled at estimate-record time (see
+        // record_empirical_estimate); the watch report lists it while the
+        // exceedance stands so pollers see it without replaying events.
+        if cfg.alarm_on_empirical && self.empirical_flagged {
+            alarms.push("empirical_eps".to_string());
+        }
+        let (eps_hat, eps_samples) = self
+            .empirical
+            .as_ref()
+            .map_or((0.0, 0), |e| (e.eps_hat, e.samples as u64));
+        self.registry
+            .gauge("watch.alarms.active")
+            .set_u64(alarms.len() as u64);
+        let overhead_ns = started.elapsed().as_nanos() as u64;
+        self.registry
+            .histogram("watch.sample.ns")
+            .record(overhead_ns);
+        self.watch_last = Some(WatchReport {
+            round: self.committed_rounds,
+            window_rounds,
+            round_p99_ns,
+            requests,
+            shed_ppm,
+            total_epsilon: self.accountant.total_epsilon(),
+            eps_hat,
+            eps_samples,
+            eps_budget: self.config.privacy.mechanism.epsilon(),
+            alarms,
+            overhead_ns,
+        });
+        self.watch_prev = Some(now);
     }
 
     /// Mirrors the latest round's phase breakdown into `round.phase.*`

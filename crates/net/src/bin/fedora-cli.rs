@@ -16,12 +16,13 @@ use std::collections::HashMap;
 
 use fedora::adversary::{count_attack, dp_success_bound};
 use fedora::analytic::{fedora_round, lifetime_months, path_oram_plus_round};
+use fedora::config::WatchConfig;
 use fedora::config::{FedoraConfig, ParallelismConfig, PrivacyConfig, TableSpec};
 use fedora::latency::LatencyModel;
 use fedora::server::FedoraServer;
 use fedora_fdp::{FdpMechanism, YShape};
 use fedora_fl::modes::FedAvg;
-use fedora_net::{NetConfig, NetServer};
+use fedora_net::{NetClient, NetConfig, NetServer, Request, Response};
 use fedora_telemetry::{Registry, Snapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,6 +58,11 @@ COMMANDS:
                + checkpoint every committed round)
                --queue-depth N  --max-connections N (admission control:
                excess load is shed with explicit Overloaded replies)
+               --watch-every N (sample the privacy/SLO watch plane every
+               N committed rounds; 0 = off)  --watch-max-p99-ms MS
+               --watch-max-shed-ppm PPM (SLO alarm thresholds)
+    watch      poll a live server's watch-plane report
+               --addr HOST:PORT (as printed by serve)
     help       print this message
 
 Every command also accepts --metrics-out PATH to write a telemetry
@@ -192,9 +198,63 @@ fn live_server(
     } else {
         PrivacyConfig::with_epsilon(epsilon)
     };
+    let watch_every = u64_flag(flags, "watch-every", 0)?;
+    if watch_every > 0 {
+        let mut watch = WatchConfig::every(watch_every);
+        if let Some(ms) = flags.get("watch-max-p99-ms") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("--watch-max-p99-ms: bad integer '{ms}'"))?;
+            watch.max_round_p99_ns = Some(ms.saturating_mul(1_000_000));
+        }
+        if flags.contains_key("watch-max-shed-ppm") {
+            watch.max_shed_ppm = Some(u64_flag(flags, "watch-max-shed-ppm", 0)?);
+        }
+        config.watch = watch;
+    }
     let server =
         FedoraServer::with_telemetry(config, |_| vec![0u8; 32], registry_for(flags), &mut rng);
     Ok((server, rng))
+}
+
+/// Polls a live server's watch verb and pretty-prints the report. Scripts
+/// grep the `alarms:` line, so its shape (`alarms: none` or a
+/// comma-joined list) is load-bearing.
+fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags.get("addr").ok_or("watch needs --addr HOST:PORT")?;
+    let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    match client
+        .call(&Request::Watch)
+        .map_err(|e| format!("watch {addr}: {e}"))?
+    {
+        Response::WatchOk { report: Some(r) } => {
+            println!("Watch report at round {}:", r.round);
+            println!(
+                "  window: {} rounds, p99 {:.3} ms, {} requests, shed {} ppm",
+                r.window_rounds,
+                r.round_p99_ns as f64 / 1e6,
+                r.requests,
+                r.shed_ppm
+            );
+            println!(
+                "  privacy: eps total {:.3}, empirical eps_hat {:.4} \
+                 over {} pairs (budget {:.4})",
+                r.total_epsilon, r.eps_hat, r.eps_samples, r.eps_budget
+            );
+            if r.alarms.is_empty() {
+                println!("  alarms: none");
+            } else {
+                println!("  alarms: {}", r.alarms.join(", "));
+            }
+            println!("  sampler overhead: {:.3} ms", r.overhead_ns as f64 / 1e6);
+            Ok(())
+        }
+        Response::WatchOk { report: None } => {
+            println!("watch plane has not sampled yet (enable with serve --watch-every N)");
+            Ok(())
+        }
+        other => Err(format!("unexpected reply: {other:?}")),
+    }
 }
 
 fn cmd_checkpoint(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -485,6 +545,7 @@ fn main() {
         "restore" => cmd_restore(&flags),
         "attack" => cmd_attack(&flags),
         "serve" => cmd_serve(&flags),
+        "watch" => cmd_watch(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -11,12 +11,17 @@
 //! typed [`ProtoError`], vector lengths are bounded before materializing
 //! them, and nothing here panics on any input.
 
+use fedora::server::WatchReport;
 use fedora_fl::wire::{self, WireError};
 use fedora_telemetry::json::{self, Json, JsonError};
 
 /// Most entries a single `train` request may name. Combined with
 /// [`wire::MAX_WIRE_WORDS`] this bounds a request's decoded size.
 pub const MAX_ENTRIES_PER_TRAIN: usize = 256;
+
+/// Most alarm names a `watch_ok` report may carry (untrusted-input bound;
+/// the server only ever emits three distinct alarms today).
+pub const MAX_WATCH_ALARMS: usize = 16;
 
 /// A protocol decode failure.
 #[derive(Clone, Debug, PartialEq)]
@@ -83,6 +88,8 @@ pub enum Request {
     Metrics,
     /// Admin: liveness + round status.
     Health,
+    /// Admin: return the latest watch-plane report.
+    Watch,
     /// Admin: force a durable checkpoint.
     Checkpoint,
     /// Admin: drain in-flight rounds and stop the server.
@@ -116,6 +123,19 @@ pub enum Response {
         committed_rounds: u64,
         /// Whether a round is currently executing.
         round_active: bool,
+        /// Cumulative ε spent (the accountant's `fdp.total.epsilon`;
+        /// infinite when the mechanism runs without privacy).
+        total_epsilon: f64,
+        /// Requests shed by admission control since startup.
+        shed_requests: u64,
+        /// Connections shed by admission control since startup.
+        shed_connections: u64,
+    },
+    /// The latest watch-plane report (`None` until the watch plane has
+    /// sampled at least once, or when it is disabled).
+    WatchOk {
+        /// The report, if one exists.
+        report: Option<WatchReport>,
     },
     /// Checkpoint written.
     CheckpointOk {
@@ -136,6 +156,30 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+}
+
+/// Finite numbers encode as JSON numbers; ±∞/NaN (legal for ε totals when
+/// privacy is off) encode as `null` and decode back to `+∞`.
+fn finite_num(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Num(v)
+    } else {
+        Json::Null
+    }
+}
+
+fn get_u64(doc: &Json, key: &'static str, err: &'static str) -> Result<u64, ProtoError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or(ProtoError::Schema(err))
+}
+
+fn get_f64_or_inf(doc: &Json, key: &'static str, err: &'static str) -> Result<f64, ProtoError> {
+    match doc.get(key) {
+        Some(Json::Null) => Ok(f64::INFINITY),
+        Some(j) => j.as_f64().ok_or(ProtoError::Schema(err)),
+        None => Err(ProtoError::Schema(err)),
+    }
 }
 
 fn envelope(seq: u64, kind: &str, mut rest: Vec<(String, Json)>) -> Vec<u8> {
@@ -191,6 +235,7 @@ pub fn encode_request(seq: u64, req: &Request) -> Vec<u8> {
         ),
         Request::Metrics => envelope(seq, "metrics", vec![]),
         Request::Health => envelope(seq, "health", vec![]),
+        Request::Watch => envelope(seq, "watch", vec![]),
         Request::Checkpoint => envelope(seq, "checkpoint", vec![]),
         Request::Shutdown => envelope(seq, "shutdown", vec![]),
     }
@@ -230,6 +275,9 @@ pub fn encode_response(seq: u64, resp: &Response) -> Vec<u8> {
         Response::HealthOk {
             committed_rounds,
             round_active,
+            total_epsilon,
+            shed_requests,
+            shed_connections,
         } => envelope(
             seq,
             "health_ok",
@@ -239,8 +287,39 @@ pub fn encode_response(seq: u64, resp: &Response) -> Vec<u8> {
                     Json::Num(*committed_rounds as f64),
                 ),
                 ("round_active".to_owned(), Json::Bool(*round_active)),
+                ("total_epsilon".to_owned(), finite_num(*total_epsilon)),
+                ("shed_requests".to_owned(), Json::Num(*shed_requests as f64)),
+                (
+                    "shed_connections".to_owned(),
+                    Json::Num(*shed_connections as f64),
+                ),
             ],
         ),
+        Response::WatchOk { report } => {
+            let body = match report {
+                None => Json::Null,
+                Some(r) => Json::Obj(vec![
+                    ("round".to_owned(), Json::Num(r.round as f64)),
+                    (
+                        "window_rounds".to_owned(),
+                        Json::Num(r.window_rounds as f64),
+                    ),
+                    ("round_p99_ns".to_owned(), Json::Num(r.round_p99_ns as f64)),
+                    ("requests".to_owned(), Json::Num(r.requests as f64)),
+                    ("shed_ppm".to_owned(), Json::Num(r.shed_ppm as f64)),
+                    ("total_epsilon".to_owned(), finite_num(r.total_epsilon)),
+                    ("eps_hat".to_owned(), finite_num(r.eps_hat)),
+                    ("eps_samples".to_owned(), Json::Num(r.eps_samples as f64)),
+                    ("eps_budget".to_owned(), finite_num(r.eps_budget)),
+                    (
+                        "alarms".to_owned(),
+                        Json::Arr(r.alarms.iter().map(|a| Json::Str(a.clone())).collect()),
+                    ),
+                    ("overhead_ns".to_owned(), Json::Num(r.overhead_ns as f64)),
+                ]),
+            };
+            envelope(seq, "watch_ok", vec![("report".to_owned(), body)])
+        }
         Response::CheckpointOk { generation, bytes } => envelope(
             seq,
             "checkpoint_ok",
@@ -317,6 +396,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtoError> {
         }
         "metrics" => Request::Metrics,
         "health" => Request::Health,
+        "watch" => Request::Watch,
         "checkpoint" => Request::Checkpoint,
         "shutdown" => Request::Shutdown,
         _ => return Err(ProtoError::Schema("unknown request type")),
@@ -378,7 +458,51 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtoError> {
                 Some(Json::Bool(b)) => *b,
                 _ => return Err(ProtoError::Schema("missing round_active")),
             },
+            total_epsilon: get_f64_or_inf(&doc, "total_epsilon", "missing total_epsilon")?,
+            shed_requests: get_u64(&doc, "shed_requests", "missing shed_requests")?,
+            shed_connections: get_u64(&doc, "shed_connections", "missing shed_connections")?,
         },
+        "watch_ok" => {
+            let report = match doc.get("report") {
+                None | Some(Json::Null) => None,
+                Some(obj @ Json::Obj(_)) => {
+                    let raw_alarms = obj
+                        .get("alarms")
+                        .and_then(Json::as_array)
+                        .ok_or(ProtoError::Schema("alarms must be an array"))?;
+                    if raw_alarms.len() > MAX_WATCH_ALARMS {
+                        return Err(ProtoError::Schema("too many alarms"));
+                    }
+                    let alarms = raw_alarms
+                        .iter()
+                        .map(|a| {
+                            a.as_str()
+                                .map(str::to_owned)
+                                .ok_or(ProtoError::Schema("alarm must be a string"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Some(WatchReport {
+                        round: get_u64(obj, "round", "missing report round")?,
+                        window_rounds: get_u64(obj, "window_rounds", "missing window_rounds")?,
+                        round_p99_ns: get_u64(obj, "round_p99_ns", "missing round_p99_ns")?,
+                        requests: get_u64(obj, "requests", "missing requests")?,
+                        shed_ppm: get_u64(obj, "shed_ppm", "missing shed_ppm")?,
+                        total_epsilon: get_f64_or_inf(
+                            obj,
+                            "total_epsilon",
+                            "missing report total_epsilon",
+                        )?,
+                        eps_hat: get_f64_or_inf(obj, "eps_hat", "missing eps_hat")?,
+                        eps_samples: get_u64(obj, "eps_samples", "missing eps_samples")?,
+                        eps_budget: get_f64_or_inf(obj, "eps_budget", "missing eps_budget")?,
+                        alarms,
+                        overhead_ns: get_u64(obj, "overhead_ns", "missing overhead_ns")?,
+                    })
+                }
+                Some(_) => return Err(ProtoError::Schema("report must be an object or null")),
+            };
+            Response::WatchOk { report }
+        }
         "checkpoint_ok" => Response::CheckpointOk {
             generation: doc
                 .get("generation")
@@ -423,6 +547,7 @@ mod tests {
             },
             Request::Metrics,
             Request::Health,
+            Request::Watch,
             Request::Checkpoint,
             Request::Shutdown,
         ];
@@ -446,6 +571,34 @@ mod tests {
             Response::HealthOk {
                 committed_rounds: 7,
                 round_active: true,
+                total_epsilon: 1.25,
+                shed_requests: 3,
+                shed_connections: 1,
+            },
+            // ε totals can be infinite when privacy is off; they travel
+            // as null and decode back to +∞.
+            Response::HealthOk {
+                committed_rounds: 0,
+                round_active: false,
+                total_epsilon: f64::INFINITY,
+                shed_requests: 0,
+                shed_connections: 0,
+            },
+            Response::WatchOk { report: None },
+            Response::WatchOk {
+                report: Some(WatchReport {
+                    round: 40,
+                    window_rounds: 10,
+                    round_p99_ns: 1_250_000,
+                    requests: 480,
+                    shed_ppm: 20_833,
+                    total_epsilon: 4.0,
+                    eps_hat: 0.07,
+                    eps_samples: 64,
+                    eps_budget: 0.1,
+                    alarms: vec!["round_p99".into(), "empirical_eps".into()],
+                    overhead_ns: 18_000,
+                }),
             },
             Response::CheckpointOk {
                 generation: 2,

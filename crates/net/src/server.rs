@@ -98,6 +98,12 @@ struct Shared {
     live_conns: AtomicUsize,
     next_client: AtomicU32,
     table_entries: u64,
+    /// Cumulative ε (`f64::to_bits`), mirrored by the engine after each
+    /// committed batch so `health` replies never block on the engine.
+    total_epsilon: AtomicU64,
+    /// Latest watch-plane report, mirrored by the engine after each
+    /// committed batch (stays `None` when the watch plane is disabled).
+    watch: Mutex<Option<fedora::server::WatchReport>>,
 }
 
 /// Front-end instruments, registered eagerly so every counter appears
@@ -210,6 +216,8 @@ impl NetServer {
             live_conns: AtomicUsize::new(0),
             next_client: AtomicU32::new(1),
             table_entries: server.config().table.num_entries,
+            total_epsilon: AtomicU64::new(server.accountant().total_epsilon().to_bits()),
+            watch: Mutex::new(server.watch_report().cloned()),
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
@@ -424,8 +432,18 @@ fn run_reader(
                     &Response::HealthOk {
                         committed_rounds: shared.committed.load(Ordering::SeqCst),
                         round_active: shared.round_active.load(Ordering::SeqCst),
+                        total_epsilon: f64::from_bits(shared.total_epsilon.load(Ordering::SeqCst)),
+                        shed_requests: metrics.shed_requests.get(),
+                        shed_connections: metrics.shed_conns.get(),
                     },
                 );
+            }
+            Request::Watch => {
+                let report = match shared.watch.lock() {
+                    Ok(guard) => guard.clone(),
+                    Err(poisoned) => poisoned.into_inner().clone(),
+                };
+                writer.send(seq, &Response::WatchOk { report });
             }
             Request::Metrics => {
                 let text = registry.snapshot().to_json();
@@ -603,6 +621,17 @@ fn run_engine(
                 shared
                     .committed
                     .store(server.committed_rounds(), Ordering::SeqCst);
+                shared.total_epsilon.store(
+                    server.accountant().total_epsilon().to_bits(),
+                    Ordering::SeqCst,
+                );
+                if let Some(report) = server.watch_report() {
+                    let mut guard = match shared.watch.lock() {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    *guard = Some(report.clone());
+                }
             }
             Err(detail) => {
                 // A crash point fired: behave like the process died —

@@ -80,12 +80,20 @@ fn hello_train_health_round_trip() {
         Response::HealthOk {
             committed_rounds,
             round_active,
+            total_epsilon,
+            shed_requests,
+            shed_connections,
         } => {
             assert!(committed_rounds >= 1);
             assert!(
                 !round_active,
                 "health between batches must see no open round"
             );
+            assert!(
+                total_epsilon > 0.0,
+                "a committed round must have spent ε, got {total_epsilon}"
+            );
+            assert_eq!((shed_requests, shed_connections), (0, 0));
         }
         other => panic!("expected HealthOk, got {other:?}"),
     }

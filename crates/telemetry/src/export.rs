@@ -122,6 +122,52 @@ impl Snapshot {
         self.audit_only.dedup();
     }
 
+    /// Interval view: what happened *after* `earlier` was taken, assuming
+    /// `earlier` is an older snapshot of the same registry.
+    ///
+    /// Counters subtract with saturation (a restarted registry reports the
+    /// post-restart value rather than wrapping); histograms subtract
+    /// per-bucket and recompute interval percentiles
+    /// ([`HistogramSummary::delta`]); gauges are point-in-time, so the
+    /// latest value stands. Events keep only records sequenced after the
+    /// last event `earlier` carried (all of them when `earlier` has no
+    /// events, e.g. a lite snapshot). Audit-only tags are preserved, so
+    /// interval views redact exactly like the snapshots they came from.
+    ///
+    /// This is the watch plane's windowing primitive: SLO rules evaluate
+    /// over `current.delta(&previous_sample)` so a latency spike shows up
+    /// in the interval p99 instead of being averaged away by hours of
+    /// lifetime history.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.saturating_sub(earlier.counter(k).unwrap_or(0))))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let prior = earlier.histogram(k).copied().unwrap_or_default();
+                (k.clone(), h.delta(&prior))
+            })
+            .collect();
+        let next_seq = earlier.events.last().map_or(0, |e| e.seq + 1);
+        Snapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.seq >= next_seq)
+                .cloned()
+                .collect(),
+            events_dropped: self.events_dropped.saturating_sub(earlier.events_dropped),
+            audit_only: self.audit_only.clone(),
+        }
+    }
+
     /// Serializes to a single-line JSON object. Audit-only series are
     /// redacted; see [`Snapshot::audit_view`].
     pub fn to_json(&self) -> String {
@@ -691,6 +737,109 @@ mod tests {
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn delta_windows_counters_histograms_and_events() {
+        use crate::histogram::bucket_index;
+        let r = Registry::new();
+        r.counter("net.requests").add(10);
+        r.histogram("round.latency").record(100);
+        r.event("warmup.tick", &[]);
+        let early = r.snapshot();
+        r.counter("net.requests").add(5);
+        r.counter("net.shed").add(3);
+        r.gauge("fdp.total.epsilon").set(2.5);
+        r.histogram("round.latency").record(1_000_000);
+        r.event("steady.tick", &[]);
+        let d = r.snapshot().delta(&early);
+        assert_eq!(d.counter("net.requests"), Some(5));
+        assert_eq!(d.counter("net.shed"), Some(3));
+        // Gauges are point-in-time: the latest value stands.
+        assert_eq!(d.gauge("fdp.total.epsilon"), Some(2.5));
+        let h = d.histogram("round.latency").expect("windowed histogram");
+        assert_eq!(h.count, 1);
+        assert_eq!(bucket_index(h.p99), bucket_index(1_000_000));
+        // Only events after the earlier snapshot's tail survive.
+        assert_eq!(d.events.len(), 1);
+        assert_eq!(d.events[0].name, "steady.tick");
+    }
+
+    #[test]
+    fn delta_saturates_on_counter_reset() {
+        let old = Registry::new();
+        old.counter("net.requests").add(100);
+        let fresh = Registry::new();
+        fresh.counter("net.requests").add(7);
+        // A restarted process reports post-restart counts, not a wrap.
+        let d = fresh.snapshot().delta(&old.snapshot());
+        assert_eq!(d.counter("net.requests"), Some(0));
+    }
+
+    #[test]
+    fn delta_preserves_audit_redaction() {
+        let r = Registry::new();
+        r.gauge_audit("fdp.empirical.eps_hat").set(0.5);
+        r.counter("public.count").add(1);
+        let early = r.snapshot();
+        r.gauge("fdp.empirical.eps_hat").set(0.9);
+        r.counter("public.count").add(2);
+        let d = r.snapshot().delta(&early);
+        assert!(d.is_audit_only("fdp.empirical.eps_hat"));
+        assert!(!d.to_json().contains("eps_hat"));
+        assert!(d
+            .audit_view()
+            .to_json()
+            .contains("\"fdp.empirical.eps_hat\":0.9"));
+    }
+
+    #[test]
+    fn prometheus_export_parses_back() {
+        use std::collections::{BTreeMap, BTreeSet};
+        let r = Registry::new();
+        r.counter("storage.pages_read").add(5);
+        r.gauge("oram.shard<3>.fdp.total.epsilon").set(1.25);
+        r.gauge("weird-name.with spaces").set(f64::INFINITY);
+        r.histogram("net.round.latency").record(1000);
+        let text = r.snapshot().to_prometheus_text();
+        let mut typed: BTreeMap<String, String> = BTreeMap::new();
+        let mut helped: BTreeSet<String> = BTreeSet::new();
+        let mut samples = 0usize;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().expect("HELP name");
+                assert!(helped.insert(name.to_string()), "duplicate HELP {name}");
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().expect("TYPE name");
+                let kind = it.next().expect("TYPE kind");
+                assert!(matches!(kind, "counter" | "gauge"), "kind {kind}");
+                assert!(
+                    typed.insert(name.to_string(), kind.to_string()).is_none(),
+                    "duplicate TYPE {name}"
+                );
+            } else {
+                let (name, value) = line.split_once(' ').expect("sample line");
+                assert!(typed.contains_key(name), "sample {name} missing TYPE");
+                assert!(helped.contains(name), "sample {name} missing HELP");
+                // Exposition-format metric name grammar.
+                assert!(name
+                    .chars()
+                    .enumerate()
+                    .all(|(i, c)| c.is_ascii_alphabetic()
+                        || c == '_'
+                        || c == ':'
+                        || (i > 0 && c.is_ascii_digit())));
+                assert!(value.parse::<f64>().is_ok(), "unparsable value {value}");
+                samples += 1;
+            }
+        }
+        // 2 counters (pages_read + the implicit journal-dropped counter)
+        // + 2 gauges + histogram (count/sum/p50/p95/p99).
+        assert_eq!(samples, 9);
+        // Name-illegal characters (< > - space .) all sanitize to '_'.
+        assert!(text.contains("fedora_oram_shard_3__fdp_total_epsilon 1.25\n"));
+        assert!(text.contains("fedora_weird_name_with_spaces +Inf\n"));
     }
 
     #[test]

@@ -84,6 +84,7 @@ impl HistogramCore {
             p50: quantile(&buckets, count, min, max, 0.50),
             p95: quantile(&buckets, count, min, max, 0.95),
             p99: quantile(&buckets, count, min, max, 0.99),
+            buckets,
         }
     }
 }
@@ -91,7 +92,13 @@ impl HistogramCore {
 /// Nearest-rank quantile with linear interpolation inside the winning
 /// bucket. The estimate always lands in the same bucket as the exact sample
 /// quantile, so the error is bounded by that bucket's width.
-fn quantile(buckets: &[u64; NUM_BUCKETS], count: u64, min: u64, max: u64, q: f64) -> u64 {
+pub(crate) fn quantile(
+    buckets: &[u64; NUM_BUCKETS],
+    count: u64,
+    min: u64,
+    max: u64,
+    q: f64,
+) -> u64 {
     let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
     let mut cum = 0u64;
     for (i, &c) in buckets.iter().enumerate() {
@@ -109,7 +116,7 @@ fn quantile(buckets: &[u64; NUM_BUCKETS], count: u64, min: u64, max: u64, q: f64
 }
 
 /// Point-in-time summary of one histogram.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HistogramSummary {
     /// Number of recorded values.
     pub count: u64,
@@ -125,6 +132,26 @@ pub struct HistogramSummary {
     pub p95: u64,
     /// Estimated 99th percentile.
     pub p99: u64,
+    /// Raw per-bucket counts (see [`bucket_bounds`]). Carried on the
+    /// summary so interval views ([`HistogramSummary::delta`]) can
+    /// recompute percentiles over just the new samples; the exporters
+    /// serialize only the named summary fields.
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for HistogramSummary {
+    fn default() -> Self {
+        HistogramSummary {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            p50: 0,
+            p95: 0,
+            p99: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
 }
 
 impl HistogramSummary {
@@ -134,6 +161,43 @@ impl HistogramSummary {
             0.0
         } else {
             self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Interval view: the samples recorded *after* `earlier` was taken,
+    /// assuming `earlier` is an older summary of the same histogram.
+    ///
+    /// Per-bucket counts subtract with saturation, so a histogram that was
+    /// reset between the two snapshots degrades to an empty (or partial)
+    /// interval instead of wrapping. Percentiles are recomputed over the
+    /// subtracted buckets; the interval min/max are bounded by the occupied
+    /// delta buckets tightened against the cumulative observed range (the
+    /// exact interval extrema are not recoverable from bucketed state).
+    pub fn delta(&self, earlier: &HistogramSummary) -> HistogramSummary {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            return HistogramSummary::default();
+        }
+        let first = buckets.iter().position(|&c| c > 0).unwrap_or(0);
+        let last = buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(NUM_BUCKETS - 1);
+        let min = bucket_bounds(first).0.max(self.min);
+        let max = bucket_bounds(last).1.min(self.max);
+        HistogramSummary {
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min,
+            max,
+            p50: quantile(&buckets, count, min, max, 0.50),
+            p95: quantile(&buckets, count, min, max, 0.95),
+            p99: quantile(&buckets, count, min, max, 0.99),
+            buckets,
         }
     }
 }
@@ -270,6 +334,52 @@ mod tests {
         assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
         // p50 of 0..10000 is ~5000, within bucket [4096, 8191].
         assert_eq!(bucket_index(s.p50), bucket_index(4999));
+    }
+
+    #[test]
+    fn delta_against_empty_is_identity() {
+        let h = HistogramCore::new();
+        for v in [5u64, 900, 900, 7_000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.delta(&HistogramSummary::default()), s);
+    }
+
+    #[test]
+    fn delta_isolates_interval_samples() {
+        let h = HistogramCore::new();
+        for _ in 0..100 {
+            h.record(10);
+        }
+        let early = h.summary();
+        for _ in 0..100 {
+            h.record(1_000_000);
+        }
+        let d = h.summary().delta(&early);
+        assert_eq!(d.count, 100);
+        assert_eq!(d.sum, 100 * 1_000_000);
+        // The interval view must not see the 100 old fast samples: every
+        // percentile lands in 1e6's bucket, not 10's.
+        for p in [d.p50, d.p95, d.p99] {
+            assert_eq!(bucket_index(p), bucket_index(1_000_000));
+        }
+        assert!(d.min >= bucket_bounds(bucket_index(1_000_000)).0);
+    }
+
+    #[test]
+    fn delta_saturates_on_reset() {
+        let h = HistogramCore::new();
+        h.record(100);
+        h.record(200);
+        let big = h.summary();
+        let fresh = HistogramCore::new();
+        fresh.record(100);
+        // "Later" snapshot from a reset histogram has fewer samples than
+        // the earlier one: subtraction saturates instead of wrapping.
+        let d = fresh.summary().delta(&big);
+        assert_eq!(d.count, 0);
+        assert_eq!(d, HistogramSummary::default());
     }
 
     #[test]
