@@ -5,6 +5,7 @@
 //!               [--connections N] [--entries-per-request N] [--poisson]
 //!               [--seed N] [--timeout-secs N] [--shutdown-after]
 //!               [--entries N] [--queue-depth N]
+//!               [--scrape prom|json] [--scrape-out PATH]
 //!               [--metrics-out PATH] [--metrics-format json|csv|prom]
 //!               [--trace-out PATH]
 //! ```
@@ -18,15 +19,24 @@
 //! `--shutdown-after` then sends the admin shutdown so the server drains
 //! and exits.
 //!
+//! `--scrape prom|json` exercises the ops plane *while the data plane is
+//! under load*: a dedicated connection polls the wire `scrape` verb every
+//! 250 ms for the whole run (chunked bodies reassembled client-side) and
+//! reports poll count, bytes, and per-scrape latency afterwards —
+//! evidence that ops polling rides the reader threads without stalling
+//! rounds. `--scrape-out PATH` writes the final scraped body verbatim.
+//!
 //! Response latency is measured from each request's *scheduled* arrival
 //! (open-loop; queueing included — see `fedora_bench::netload`) and
 //! reported as p50/p95/p99 plus the shed rate.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fedora::{FedoraConfig, FedoraServer, TableSpec};
 use fedora_bench::{netload, NetLoadSpec, OutputOpts};
-use fedora_net::{NetClient, NetConfig, NetServer};
+use fedora_net::{NetClient, NetConfig, NetServer, ScrapeFormat};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -59,6 +69,48 @@ fn parsed<T: std::str::FromStr>(value: Option<String>, flag: &str, default: T) -
             std::process::exit(2);
         }),
     }
+}
+
+/// What the concurrent ops poller saw over a run: successful scrapes,
+/// total body bytes, and the slowest single scrape.
+struct ScrapeStats {
+    polls: u64,
+    bytes: u64,
+    max_ns: u64,
+    last_body: String,
+}
+
+/// Polls the wire `scrape` verb on its own connection until `stop` is
+/// raised, then performs one final scrape so the returned body reflects
+/// end-of-run state. Failures end the loop (the server is shutting down).
+fn scrape_poller(addr: &str, format: ScrapeFormat, stop: &AtomicBool) -> ScrapeStats {
+    let mut stats = ScrapeStats {
+        polls: 0,
+        bytes: 0,
+        max_ns: 0,
+        last_body: String::new(),
+    };
+    let Ok(mut client) = NetClient::connect(addr) else {
+        return stats;
+    };
+    let mut done = false;
+    while !done {
+        done = stop.load(Ordering::SeqCst);
+        let started = Instant::now();
+        match client.scrape(format) {
+            Ok(body) => {
+                stats.polls += 1;
+                stats.bytes += body.len() as u64;
+                stats.max_ns = stats.max_ns.max(started.elapsed().as_nanos() as u64);
+                stats.last_body = body;
+            }
+            Err(_) => break,
+        }
+        if !done {
+            std::thread::sleep(Duration::from_millis(250));
+        }
+    }
+    stats
 }
 
 /// Waits for the server to accept connections (the CI smoke job starts
@@ -100,6 +152,19 @@ fn main() {
         )),
     };
     let queue_depth = parsed(flag_value(&mut args, "--queue-depth"), "--queue-depth", 128);
+    let scrape_format = flag_value(&mut args, "--scrape").map(|f| match f.as_str() {
+        "prom" | "prometheus" => ScrapeFormat::Prom,
+        "json" => ScrapeFormat::Json,
+        other => {
+            eprintln!("error: --scrape got unknown format '{other}' (prom|json)");
+            std::process::exit(2);
+        }
+    });
+    let scrape_out = flag_value(&mut args, "--scrape-out");
+    if scrape_out.is_some() && scrape_format.is_none() {
+        eprintln!("error: --scrape-out needs --scrape prom|json");
+        std::process::exit(2);
+    }
     if !args.is_empty() {
         eprintln!("error: unrecognized arguments: {args:?}");
         std::process::exit(2);
@@ -155,6 +220,15 @@ fn main() {
         }
     };
 
+    // Concurrent ops poller: scrapes on its own connection while the
+    // load below saturates the data plane.
+    let scrape_stop = Arc::new(AtomicBool::new(false));
+    let scrape_thread = scrape_format.map(|format| {
+        let addr = addr.clone();
+        let stop = Arc::clone(&scrape_stop);
+        std::thread::spawn(move || scrape_poller(&addr, format, &stop))
+    });
+
     let report = match netload::run(&addr, &spec, &registry) {
         Ok(report) => report,
         Err(msg) => {
@@ -162,6 +236,33 @@ fn main() {
             std::process::exit(1);
         }
     };
+
+    if let Some(handle) = scrape_thread {
+        scrape_stop.store(true, Ordering::SeqCst);
+        match handle.join() {
+            Ok(stats) => {
+                println!("== concurrent scrape poller ==");
+                println!(
+                    "  {} polls, {} body bytes, slowest scrape {:.3} ms",
+                    stats.polls,
+                    stats.bytes,
+                    stats.max_ns as f64 / 1e6
+                );
+                if let Some(path) = &scrape_out {
+                    if let Err(e) = std::fs::write(path, &stats.last_body) {
+                        eprintln!("error: --scrape-out {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("  final scrape written to {path}");
+                }
+                if stats.polls == 0 {
+                    eprintln!("error: --scrape requested but no scrape succeeded");
+                    std::process::exit(1);
+                }
+            }
+            Err(_) => eprintln!("warning: scrape poller panicked"),
+        }
+    }
 
     if shutdown_after {
         match NetClient::connect(&addr) {

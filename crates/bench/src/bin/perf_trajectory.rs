@@ -471,6 +471,13 @@ fn run_cell_mode<M: AggregationMode>(
         }
         Err(e) => eprintln!("warning: cell {}: empirical estimate: {e}", spec.id()),
     }
+    // Journal pressure: events evicted from the telemetry ring before
+    // any tail could read them. Nonzero means the default capacity is
+    // too small for this workload (serve --journal-capacity raises it).
+    metrics.push((
+        "telemetry.journal.dropped".to_owned(),
+        counter("telemetry.journal.dropped"),
+    ));
     // Watch-plane self-cost, in parts-per-million of round wall-time
     // (larger-is-worse like every column; the <5% claim is 50_000 here).
     if let Some(w) = snap.histogram("watch.sample.ns") {

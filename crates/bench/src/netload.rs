@@ -271,6 +271,7 @@ pub fn run(addr: &str, spec: &NetLoadSpec, registry: &Registry) -> Result<NetLoa
                         client: client_id,
                         entries: arrival.entries,
                         updates: arrival.updates,
+                        trace: Some(tx.next_trace_id()),
                     };
                     match tx.send(&req) {
                         Ok(_) => {

@@ -213,6 +213,14 @@ pub struct WatchConfig {
     /// exceeds the configured mechanism ε (see
     /// [`crate::audit::empirical::EpsilonEstimate::exceeds`]).
     pub alarm_on_empirical: bool,
+    /// Continuous empirical-ε refresh: every N committed rounds the server
+    /// pairs the two most recent live shadow traces (captured via an
+    /// internally attached [`crate::audit::AccessTraceRecorder`]), feeds
+    /// them to the running [`crate::audit::empirical::EpsilonEstimator`],
+    /// and republishes the `fdp.empirical.*` gauges — no on-demand twin
+    /// replay. 0 disables the refresher (no recorder is attached, no
+    /// per-round trace copies are taken).
+    pub empirical_every_rounds: u64,
 }
 
 impl Default for WatchConfig {
@@ -229,6 +237,7 @@ impl WatchConfig {
             max_round_p99_ns: None,
             max_shed_ppm: None,
             alarm_on_empirical: false,
+            empirical_every_rounds: 0,
         }
     }
 
@@ -240,12 +249,18 @@ impl WatchConfig {
             max_round_p99_ns: None,
             max_shed_ppm: None,
             alarm_on_empirical: true,
+            empirical_every_rounds: 0,
         }
     }
 
     /// Whether the watch plane samples at all.
     pub fn is_enabled(&self) -> bool {
         self.every_rounds > 0
+    }
+
+    /// Whether the continuous empirical-ε refresher is on.
+    pub fn empirical_enabled(&self) -> bool {
+        self.empirical_every_rounds > 0
     }
 }
 
@@ -351,6 +366,12 @@ pub struct FedoraConfig {
     pub parallelism: ParallelismConfig,
     /// Live privacy/SLO watch plane (off by default).
     pub watch: WatchConfig,
+    /// Telemetry event-journal capacity: the ring keeps the most recent
+    /// N events and counts the rest in `telemetry.journal.dropped`.
+    /// Defaults to [`fedora_telemetry::MAX_JOURNAL_EVENTS`]; raise it for
+    /// long soak runs whose `tail` consumers poll slowly, lower it to
+    /// bound memory on small deployments.
+    pub journal_capacity: usize,
 }
 
 impl FedoraConfig {
@@ -372,6 +393,7 @@ impl FedoraConfig {
             privacy_budget: PrivacyBudgetConfig::default(),
             parallelism: ParallelismConfig::default(),
             watch: WatchConfig::disabled(),
+            journal_capacity: fedora_telemetry::MAX_JOURNAL_EVENTS,
         }
     }
 
@@ -391,6 +413,7 @@ impl FedoraConfig {
             privacy_budget: PrivacyBudgetConfig::default(),
             parallelism: ParallelismConfig::default(),
             watch: WatchConfig::disabled(),
+            journal_capacity: fedora_telemetry::MAX_JOURNAL_EVENTS,
         }
     }
 

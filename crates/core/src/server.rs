@@ -13,12 +13,12 @@ use fedora_oram::raw::RawOram;
 use fedora_oram::store::{BucketStore, IntegrityStats, ScrubReport, SsdBucketStore};
 use fedora_oram::OramError;
 use fedora_storage::stats::DeviceStats;
-use fedora_storage::AccessTraceRecorder;
+use fedora_storage::{AccessRecord, AccessTraceRecorder};
 use fedora_storage::{ByteReader, ByteWriter, CodecError, FaultConfig, FaultStats};
 use fedora_telemetry::{Counter, Gauge, Histogram, Registry, Snapshot, TraceSpan};
 use rand::Rng;
 
-use crate::audit::empirical::EpsilonEstimate;
+use crate::audit::empirical::{value_distance, EpsilonEstimate, EpsilonEstimator};
 use crate::config::{FedoraConfig, SelectionStrategy};
 use crate::durable::{
     self, CheckpointStats, CrashPoint, DurableError, DurableState, FaultPlan, JournalRecord,
@@ -349,6 +349,10 @@ struct FlTelemetry {
     /// ([`Snapshot::delta`]) can report a windowed p99 (the `round.phase.*`
     /// gauges only carry the latest round).
     round_latency: Histogram,
+    /// Monotonic liveness gauge: the durably committed round count, the
+    /// round-pipeline equivalent of an `uptime_seconds` series (scrape it
+    /// twice; if it moved, the pipeline is alive).
+    uptime_rounds: Gauge,
 }
 
 impl FlTelemetry {
@@ -360,8 +364,33 @@ impl FlTelemetry {
             upload_bytes: registry.counter("fl.round.upload_bytes"),
             lost_serves: registry.counter("fl.round.lost_serves"),
             round_latency: registry.histogram("round.latency"),
+            uptime_rounds: registry.gauge("fedora.uptime.rounds"),
         }
     }
+}
+
+/// Retained-pair cap for the live empirical-ε refresher: enough pairs for
+/// tight intervals (the black-box ceiling is ≈ ln(2n+1) nats), bounded so
+/// a months-long soak holds constant memory and tracks recent behaviour.
+const MAX_REFRESHER_PAIRS: usize = 128;
+
+/// State of the continuous empirical-ε refresher: an internally owned
+/// shadow recorder armed only on capture rounds, the running estimator,
+/// and the first arm of the next pair. Unlike the offline twin audit
+/// ([`crate::audit::empirical::estimate_twin_inputs`]), consecutive live
+/// rounds are not controlled twins — each pair carries its own
+/// [`value_distance`], making the estimate a *drift monitor*: an honest
+/// mechanism keeps overlapping path-count supports and a small ε̂, while
+/// an implementation whose access count tracks its inputs drifts upward.
+struct EmpiricalRefresher {
+    recorder: AccessTraceRecorder,
+    estimator: EpsilonEstimator,
+    /// Whether the recorder is currently attached to the main store.
+    armed: bool,
+    /// Request schedule of the capture round in flight.
+    round_requests: Vec<u64>,
+    /// First arm of the next estimator pair: (requests, trace).
+    pending: Option<(Vec<u64>, Vec<AccessRecord>)>,
 }
 
 /// Telemetry handles mirroring the privacy accountant into the registry —
@@ -495,6 +524,11 @@ pub struct FedoraServer {
     /// The most recent watch report, if the watch plane is enabled and
     /// has sampled at least once.
     watch_last: Option<WatchReport>,
+    /// Continuous empirical-ε refresher state, present when
+    /// [`WatchConfig::empirical_every_rounds`] > 0.
+    ///
+    /// [`WatchConfig::empirical_every_rounds`]: crate::config::WatchConfig::empirical_every_rounds
+    refresher: Option<EmpiricalRefresher>,
 }
 
 /// One sample of the live privacy/SLO watch plane: interval health over
@@ -558,6 +592,8 @@ impl FedoraServer {
         registry: Registry,
         rng: &mut R,
     ) -> Self {
+        registry.set_journal_capacity(config.journal_capacity);
+        Self::publish_build_info(&registry);
         let key = Self::master_key();
         let mut store =
             SsdBucketStore::new(config.geometry, key.derive_subkey("main-oram"), config.ssd);
@@ -576,6 +612,20 @@ impl FedoraServer {
         let chunk_plan = ChunkPlan::new(config.privacy.chunk_size);
         let telemetry = FlTelemetry::attach(&registry);
         let ledger = PrivacyLedger::attach(&registry, &config);
+        let refresher = if config.watch.empirical_enabled() {
+            let ppb = config.geometry.pages_per_bucket(config.ssd.page_bytes);
+            let mut estimator = EpsilonEstimator::new(ppb, 1);
+            estimator.set_max_samples(MAX_REFRESHER_PAIRS);
+            Some(EmpiricalRefresher {
+                recorder: AccessTraceRecorder::new(),
+                estimator,
+                armed: false,
+                round_requests: Vec::new(),
+                pending: None,
+            })
+        } else {
+            None
+        };
         FedoraServer {
             config,
             main,
@@ -604,7 +654,40 @@ impl FedoraServer {
             empirical_flagged: false,
             watch_prev: None,
             watch_last: None,
+            refresher,
         }
+    }
+
+    /// Publishes the build-identity series: a constant `fedora.build_info`
+    /// gauge (value 1, present on every snapshot and scrape) plus numeric
+    /// companions, and one `build.info` journal event carrying the string
+    /// fields — crate version and machine fingerprint — that labelless
+    /// gauges cannot.
+    fn publish_build_info(registry: &Registry) {
+        if !registry.is_enabled() {
+            return;
+        }
+        registry.gauge("fedora.build_info").set(1.0);
+        registry
+            .gauge("fedora.build.checkpoint_version")
+            .set_u64(u64::from(durable::CHECKPOINT_VERSION));
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(1);
+        registry.gauge("fedora.build.logical_cpus").set_u64(cpus);
+        registry.event(
+            "build.info",
+            &[
+                ("crate_version", env!("CARGO_PKG_VERSION").into()),
+                ("os", std::env::consts::OS.into()),
+                ("arch", std::env::consts::ARCH.into()),
+                ("logical_cpus", cpus.into()),
+                (
+                    "checkpoint_version",
+                    u64::from(durable::CHECKPOINT_VERSION).into(),
+                ),
+            ],
+        );
     }
 
     /// The deployment master key every subsystem key derives from (a
@@ -623,6 +706,17 @@ impl FedoraServer {
     /// summaries, and journal events).
     pub fn metrics_snapshot(&self) -> Snapshot {
         self.registry.snapshot()
+    }
+
+    /// The trace-span id of the active round, when a round is open and
+    /// tracing is enabled (`None` otherwise). Network front ends parent
+    /// per-request spans under this id so a request's span is causally
+    /// linked child-of-round in the trace export.
+    pub fn round_span_id(&self) -> Option<u64> {
+        self.round_span
+            .as_ref()
+            .map(fedora_telemetry::TraceSpan::id)
+            .filter(|&id| id != 0)
     }
 
     /// The configuration.
@@ -673,6 +767,13 @@ impl FedoraServer {
     /// handle is `Arc`-shared: it survives transactional snapshots and
     /// rollbacks, so aborted rounds keep their (already observable)
     /// accesses in the trace.
+    ///
+    /// Note: when the continuous empirical-ε refresher is enabled
+    /// ([`WatchConfig::empirical_every_rounds`] > 0) the server re-arms
+    /// its *own* recorder at every capture round, displacing one attached
+    /// here — run offline audits with the refresher off.
+    ///
+    /// [`WatchConfig::empirical_every_rounds`]: crate::config::WatchConfig::empirical_every_rounds
     pub fn set_access_recorder(&mut self, recorder: AccessTraceRecorder) {
         self.main.store_mut().set_access_recorder(recorder);
     }
@@ -1176,6 +1277,27 @@ impl FedoraServer {
         }
         self.round_accesses = 0;
         self.round_inserts = 0;
+        // Continuous empirical-ε refresher: arm the shadow recorder only
+        // on capture rounds (this round commits as committed_rounds + 1),
+        // so every other round pays zero per-access recording overhead.
+        if let Some(r) = self.refresher.as_mut() {
+            let every = self.config.watch.empirical_every_rounds;
+            if every > 0 && (self.committed_rounds + 1).is_multiple_of(every) {
+                r.recorder.clear();
+                r.round_requests = requests.to_vec();
+                if !r.armed {
+                    self.main
+                        .store_mut()
+                        .set_access_recorder(r.recorder.clone());
+                    r.armed = true;
+                }
+            } else if r.armed {
+                self.main
+                    .store_mut()
+                    .set_access_recorder(AccessTraceRecorder::disabled());
+                r.armed = false;
+            }
+        }
         self.crash_check(CrashPoint::PostJournalBegin)?;
         let snapshot = if self.config.fault_tolerance.transactional {
             Some(Box::new(RoundSnapshot {
@@ -1625,6 +1747,10 @@ impl FedoraServer {
         let prev_last = self.last_committed.replace(state.report.scrubbed());
         self.committed_rounds += 1;
         self.checkpoint_and_commit(&state.report, prev_last)?;
+        self.telemetry.uptime_rounds.set_u64(self.committed_rounds);
+        // Refresh before the watch sample so a report taken at the same
+        // commit already sees the new estimate.
+        self.maybe_empirical_refresh();
         self.maybe_watch_sample();
         self.completed.push(state.report.clone());
         Ok(state.report.clone())
@@ -1679,6 +1805,61 @@ impl FedoraServer {
     /// [`WatchConfig::every_rounds`]: crate::config::WatchConfig::every_rounds
     pub fn watch_report(&self) -> Option<&WatchReport> {
         self.watch_last.as_ref()
+    }
+
+    /// Continuous empirical-ε refresher: every
+    /// `watch.empirical_every_rounds` committed rounds, take the shadow
+    /// trace the round just left in the internally armed recorder. Two
+    /// consecutive captures form one estimator pair (scaled by the
+    /// schedules' [`value_distance`]); each completed pair re-estimates
+    /// and republishes the `fdp.empirical.*` gauges via
+    /// [`record_empirical_estimate`](Self::record_empirical_estimate) —
+    /// no on-demand twin replay anywhere. The refresher's own cost lands
+    /// in `watch.sample.ns`, so the watch plane's <5% overhead budget
+    /// covers it too.
+    fn maybe_empirical_refresh(&mut self) {
+        let every = self.config.watch.empirical_every_rounds;
+        if every == 0 || !self.committed_rounds.is_multiple_of(every) || self.refresher.is_none() {
+            return;
+        }
+        let started = Instant::now();
+        let refreshed = match self.refresher.as_mut() {
+            Some(r) => {
+                let trace = r.recorder.take();
+                let requests = std::mem::take(&mut r.round_requests);
+                if trace.is_empty() {
+                    None
+                } else {
+                    match r.pending.take() {
+                        None => {
+                            r.pending = Some((requests, trace));
+                            None
+                        }
+                        Some((reqs_a, trace_a)) => {
+                            let d = value_distance(&reqs_a, &requests);
+                            r.estimator.observe_pair_scaled(&trace_a, &trace, d);
+                            Some((r.estimator.estimate(), d))
+                        }
+                    }
+                }
+            }
+            None => None,
+        };
+        if let Some((estimate, distance)) = refreshed {
+            self.record_empirical_estimate(estimate);
+            self.registry.event(
+                "watch.empirical.refresh",
+                &[
+                    ("round", self.committed_rounds.into()),
+                    ("eps_hat", estimate.eps_hat.into()),
+                    ("samples", (estimate.samples as u64).into()),
+                    ("distance", (distance as u64).into()),
+                ],
+            );
+        }
+        self.registry
+            .histogram("watch.sample.ns")
+            .record(started.elapsed().as_nanos() as u64);
     }
 
     /// Watch-plane sampler: every `watch.every_rounds` committed rounds,

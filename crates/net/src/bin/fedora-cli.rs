@@ -22,7 +22,7 @@ use fedora::latency::LatencyModel;
 use fedora::server::FedoraServer;
 use fedora_fdp::{FdpMechanism, YShape};
 use fedora_fl::modes::FedAvg;
-use fedora_net::{NetClient, NetConfig, NetServer, Request, Response};
+use fedora_net::{NetClient, NetConfig, NetServer, Request, Response, ScrapeFormat};
 use fedora_telemetry::{Registry, Snapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,8 +61,19 @@ COMMANDS:
                --watch-every N (sample the privacy/SLO watch plane every
                N committed rounds; 0 = off)  --watch-max-p99-ms MS
                --watch-max-shed-ppm PPM (SLO alarm thresholds)
+               --watch-empirical-every N (refresh the live empirical-eps
+               estimate every N committed rounds; 0 = off)
+               --journal-capacity N (telemetry event-journal ring size;
+               scrape 'telemetry.journal.dropped' to size it)
     watch      poll a live server's watch-plane report
                --addr HOST:PORT (as printed by serve)
+    scrape     fetch a live server's telemetry snapshot over the wire
+               --addr HOST:PORT  --format prom|json (default prom;
+               audit-only series are redacted server-side; oversized
+               bodies arrive chunked and are reassembled here)
+    tail       stream a live server's journal events from a cursor
+               --addr HOST:PORT  --cursor N (default 0; pass the
+               printed next cursor to resume)  --max N (default 100)
     help       print this message
 
 Every command also accepts --metrics-out PATH to write a telemetry
@@ -212,6 +223,16 @@ fn live_server(
         }
         config.watch = watch;
     }
+    // Independent of the alarm sampler: the refresher only needs the
+    // field, so `--watch-empirical-every` works with `--watch-every 0`.
+    config.watch.empirical_every_rounds = u64_flag(
+        flags,
+        "watch-empirical-every",
+        config.watch.empirical_every_rounds,
+    )?;
+    if flags.contains_key("journal-capacity") {
+        config.journal_capacity = u64_flag(flags, "journal-capacity", 0)?.max(1) as usize;
+    }
     let server =
         FedoraServer::with_telemetry(config, |_| vec![0u8; 32], registry_for(flags), &mut rng);
     Ok((server, rng))
@@ -255,6 +276,55 @@ fn cmd_watch(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         other => Err(format!("unexpected reply: {other:?}")),
     }
+}
+
+/// Fetches a live server's telemetry snapshot over the `scrape` verb and
+/// prints it verbatim (Prometheus text by default). Chunked bodies are
+/// reassembled inside [`NetClient::scrape`], so piping the output to a
+/// file always yields one complete document.
+fn cmd_scrape(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags.get("addr").ok_or("scrape needs --addr HOST:PORT")?;
+    let format = match flags.get("format").map(String::as_str).unwrap_or("prom") {
+        "prom" | "prometheus" => ScrapeFormat::Prom,
+        "json" => ScrapeFormat::Json,
+        other => return Err(format!("--format: unknown format '{other}' (prom|json)")),
+    };
+    let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let body = client
+        .scrape(format)
+        .map_err(|e| format!("scrape {addr}: {e}"))?;
+    print!("{body}");
+    if !body.ends_with('\n') {
+        println!();
+    }
+    Ok(())
+}
+
+/// Streams a live server's journal events from `--cursor` and prints one
+/// line per event plus a trailing `next cursor:` line scripts resume
+/// from. A non-zero dropped delta between polls means the server's ring
+/// evicted events this tail never saw (raise serve --journal-capacity).
+fn cmd_tail(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags.get("addr").ok_or("tail needs --addr HOST:PORT")?;
+    let cursor = u64_flag(flags, "cursor", 0)?;
+    let max = u64_flag(flags, "max", 100)?;
+    let mut client = NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let (events, next_cursor, dropped) = client
+        .tail(cursor, max)
+        .map_err(|e| format!("tail {addr}: {e}"))?;
+    for event in &events {
+        let fields: Vec<String> = event
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        println!("{:>8}  {}  {}", event.seq, event.name, fields.join(" "));
+    }
+    println!(
+        "next cursor: {next_cursor} ({} events, {dropped} dropped)",
+        events.len()
+    );
+    Ok(())
 }
 
 fn cmd_checkpoint(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -546,6 +616,8 @@ fn main() {
         "attack" => cmd_attack(&flags),
         "serve" => cmd_serve(&flags),
         "watch" => cmd_watch(&flags),
+        "scrape" => cmd_scrape(&flags),
+        "tail" => cmd_tail(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

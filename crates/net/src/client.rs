@@ -6,13 +6,21 @@
 //! [`NetClient::into_split`] splits the session into an independently
 //! owned [`ClientSender`] / [`ClientReceiver`] pair over the same socket
 //! — responses are matched back to requests by sequence number.
+//!
+//! Every `train` request leaves this client with a trace id: callers who
+//! want to follow a specific request stamp their own
+//! (`Request::Train { trace: Some(id), .. }`, ids from
+//! [`NetClient::next_trace_id`]); requests sent without one are stamped
+//! automatically so server-side phase exemplars and spans always have an
+//! id to carry. [`NetClient::scrape`] and [`NetClient::tail`] wrap the
+//! ops verbs, reassembling chunked scrape bodies transparently.
 
 use std::io;
 use std::net::TcpStream;
 use std::time::Duration;
 
 use crate::frame::{self, FrameError};
-use crate::proto::{self, ProtoError, Request, Response};
+use crate::proto::{self, ProtoError, Request, Response, ScrapeFormat, TailEvent};
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -68,11 +76,52 @@ impl From<ProtoError> for ClientError {
     }
 }
 
+/// SplitMix64 step, used to derive well-mixed trace ids from a cheap
+/// per-session counter without pulling in an RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeds the trace-id stream from the socket's ephemeral port plus wall
+/// time, so concurrent clients on one host draw disjoint id streams.
+fn trace_seed(stream: &TcpStream) -> u64 {
+    let port = stream.local_addr().map_or(0, |a| u64::from(a.port()));
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    nanos ^ (port << 48) ^ 0x7E1E_5EED_C11E_4751
+}
+
+/// Stamps a fresh trace id onto a `train` request that does not already
+/// carry one, so every request is followable server-side. Non-train
+/// requests and caller-stamped requests pass through borrowed.
+fn stamp_trace<'a>(req: &'a Request, trace_state: &mut u64) -> std::borrow::Cow<'a, Request> {
+    match req {
+        Request::Train {
+            client,
+            entries,
+            updates,
+            trace: None,
+        } => std::borrow::Cow::Owned(Request::Train {
+            client: *client,
+            entries: entries.clone(),
+            updates: updates.clone(),
+            trace: Some(splitmix64(trace_state).max(1)),
+        }),
+        _ => std::borrow::Cow::Borrowed(req),
+    }
+}
+
 /// A connected protocol session.
 pub struct NetClient {
     stream: TcpStream,
     max_frame: usize,
     next_seq: u64,
+    trace_state: u64,
 }
 
 impl NetClient {
@@ -84,11 +133,20 @@ impl NetClient {
     pub fn connect(addr: &str) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let trace_state = trace_seed(&stream);
         Ok(NetClient {
             stream,
             max_frame: frame::MAX_FRAME_BYTES,
             next_seq: 1,
+            trace_state,
         })
+    }
+
+    /// Draws a fresh non-zero trace id from this session's id stream.
+    /// Stamp it on a `train` request to follow that request end to end
+    /// (span, phase exemplars, journal) under a caller-chosen id.
+    pub fn next_trace_id(&mut self) -> u64 {
+        splitmix64(&mut self.trace_state).max(1)
     }
 
     /// Sets a read timeout for responses (`None` blocks forever).
@@ -109,15 +167,72 @@ impl NetClient {
     /// on out-of-order replies (only possible if requests were also sent
     /// through a split sender on this socket).
     pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let req = stamp_trace(req, &mut self.trace_state);
         let seq = self.next_seq;
         self.next_seq += 1;
-        let payload = proto::encode_request(seq, req);
+        let payload = proto::encode_request(seq, &req);
         frame::write_frame(&mut self.stream, &payload, self.max_frame)?;
         let (got, resp) = self.recv()?;
         if got != seq {
             return Err(ClientError::SeqMismatch { want: seq, got });
         }
         Ok(resp)
+    }
+
+    /// Fetches the server's telemetry snapshot in `format`, transparently
+    /// reassembling the chunked [`Response::ScrapeOk`] stream into one
+    /// body. Audit-only series are redacted server-side.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, framing, or protocol violations, on
+    /// out-of-order replies, and on any non-`scrape_ok` response.
+    pub fn scrape(&mut self, format: ScrapeFormat) -> Result<String, ClientError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let payload = proto::encode_request(seq, &Request::Scrape { format });
+        frame::write_frame(&mut self.stream, &payload, self.max_frame)?;
+        let mut out = String::new();
+        loop {
+            let (got, resp) = self.recv()?;
+            if got != seq {
+                return Err(ClientError::SeqMismatch { want: seq, got });
+            }
+            match resp {
+                Response::ScrapeOk { body, done } => {
+                    out.push_str(&body);
+                    if done {
+                        return Ok(out);
+                    }
+                }
+                _ => return Err(ClientError::Proto(ProtoError::Schema("expected scrape_ok"))),
+            }
+        }
+    }
+
+    /// Streams journal events at and after `cursor` (at most `max`,
+    /// further bounded by the server). Returns the events, the cursor to
+    /// resume from, and the server's total count of events evicted from
+    /// its journal ring so far (a jump in that count across polls means
+    /// the tail has gaps).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport, framing, or protocol violations, on
+    /// out-of-order replies, and on any non-`tail_ok` response.
+    pub fn tail(
+        &mut self,
+        cursor: u64,
+        max: u64,
+    ) -> Result<(Vec<TailEvent>, u64, u64), ClientError> {
+        match self.call(&Request::Tail { cursor, max })? {
+            Response::TailOk {
+                events,
+                next_cursor,
+                dropped,
+            } => Ok((events, next_cursor, dropped)),
+            _ => Err(ClientError::Proto(ProtoError::Schema("expected tail_ok"))),
+        }
     }
 
     /// Receives the next response frame, whatever request it answers.
@@ -145,6 +260,7 @@ impl NetClient {
                 stream: write_half,
                 max_frame: self.max_frame,
                 next_seq: self.next_seq,
+                trace_state: self.trace_state,
             },
             ClientReceiver {
                 stream: self.stream,
@@ -159,6 +275,7 @@ pub struct ClientSender {
     stream: TcpStream,
     max_frame: usize,
     next_seq: u64,
+    trace_state: u64,
 }
 
 impl ClientSender {
@@ -169,16 +286,26 @@ impl ClientSender {
         self.next_seq
     }
 
+    /// Draws a fresh non-zero trace id from this session's id stream,
+    /// for callers who want to record the id *before* sending (the
+    /// open-loop load generator stamps arrivals this way so a shed or
+    /// slow request is still attributable in its own logs).
+    pub fn next_trace_id(&mut self) -> u64 {
+        splitmix64(&mut self.trace_state).max(1)
+    }
+
     /// Sends `req` without waiting; returns the sequence number its
-    /// response will carry.
+    /// response will carry. `train` requests without a trace id are
+    /// stamped from this session's id stream before encoding.
     ///
     /// # Errors
     ///
     /// Transport/framing errors.
     pub fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
+        let req = stamp_trace(req, &mut self.trace_state);
         let seq = self.next_seq;
         self.next_seq += 1;
-        let payload = proto::encode_request(seq, req);
+        let payload = proto::encode_request(seq, &req);
         frame::write_frame(&mut self.stream, &payload, self.max_frame)?;
         Ok(seq)
     }

@@ -28,5 +28,5 @@ pub mod server;
 
 pub use client::{ClientError, ClientReceiver, ClientSender, NetClient};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_BYTES};
-pub use proto::{Request, Response};
+pub use proto::{scrape_chunks, Request, Response, ScrapeFormat, TailEvent, MAX_TAIL_EVENTS};
 pub use server::{EngineOutcome, NetConfig, NetHandle, NetServer};

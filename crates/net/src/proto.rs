@@ -10,6 +10,17 @@
 //! The decode half runs against **untrusted** bytes: every failure is a
 //! typed [`ProtoError`], vector lengths are bounded before materializing
 //! them, and nothing here panics on any input.
+//!
+//! Request-scoped tracing rides the same envelopes: a `train` request may
+//! carry an optional `trace` member (a lowercase-hex `u64` id, stamped by
+//! [`crate::NetClient`] when the caller did not provide one). The server
+//! echoes that id into per-request spans, phase-histogram exemplars, and
+//! the `net.request.done` journal event, so one id follows a request from
+//! socket byte to ORAM bucket. The ops verbs `scrape` and `tail` read the
+//! same live registry back out: `scrape` streams a snapshot as one or
+//! more [`Response::ScrapeOk`] chunks (each sized under the frame cap via
+//! [`scrape_chunks`]), `tail` pages journal events from a client-held
+//! cursor.
 
 use fedora::server::WatchReport;
 use fedora_fl::wire::{self, WireError};
@@ -22,6 +33,14 @@ pub const MAX_ENTRIES_PER_TRAIN: usize = 256;
 /// Most alarm names a `watch_ok` report may carry (untrusted-input bound;
 /// the server only ever emits three distinct alarms today).
 pub const MAX_WATCH_ALARMS: usize = 16;
+
+/// Most journal events a single `tail_ok` reply may carry; servers clamp
+/// the request's `max` to this and decoders refuse anything larger.
+pub const MAX_TAIL_EVENTS: usize = 512;
+
+/// Most fields one tailed event may carry (untrusted-input bound; real
+/// journal events today stay under a dozen).
+pub const MAX_TAIL_FIELDS: usize = 32;
 
 /// A protocol decode failure.
 #[derive(Clone, Debug, PartialEq)]
@@ -69,6 +88,31 @@ impl From<WireError> for ProtoError {
     }
 }
 
+/// Serialization of a `scrape` reply body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScrapeFormat {
+    /// Prometheus text exposition format 0.0.4 (wire value `"prom"`).
+    Prom,
+    /// The single-line JSON snapshot, same shape as `--metrics-out`
+    /// (wire value `"json"`).
+    Json,
+}
+
+/// One journal event as carried by [`Response::TailOk`]. Field values are
+/// rendered to display text: `u64`/`i64` values keep full precision as
+/// decimal strings, and the server records trace ids as `0x…` hex strings
+/// so tail output matches exemplar ids verbatim.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TailEvent {
+    /// Journal sequence number (dense from 0 over the registry's life,
+    /// including events since evicted from the bounded buffer).
+    pub seq: u64,
+    /// Event name (`round.commit`, `net.request.done`, ...).
+    pub name: String,
+    /// Field key/value pairs in insertion order, values as display text.
+    pub fields: Vec<(String, String)>,
+}
+
 /// A client-to-server message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -83,6 +127,10 @@ pub enum Request {
         entries: Vec<u64>,
         /// One fixed-point word vector per entry, SecAgg-compatible.
         updates: Vec<Vec<u64>>,
+        /// Optional caller-supplied trace id for request-scoped tracing
+        /// (`None`/0 means "let the server assign one"). Travels as a
+        /// lowercase-hex string.
+        trace: Option<u64>,
     },
     /// Admin: return a metrics snapshot.
     Metrics,
@@ -90,6 +138,21 @@ pub enum Request {
     Health,
     /// Admin: return the latest watch-plane report.
     Watch,
+    /// Ops: stream the current telemetry snapshot (audit-only series
+    /// redacted) as one or more [`Response::ScrapeOk`] chunks.
+    Scrape {
+        /// Requested body serialization.
+        format: ScrapeFormat,
+    },
+    /// Ops: page journal events (plus completed span records, which are
+    /// journal events too) from a client-held cursor.
+    Tail {
+        /// Return events with `seq >= cursor` (0 = from the oldest
+        /// retained event).
+        cursor: u64,
+        /// Most events wanted; the server clamps to [`MAX_TAIL_EVENTS`].
+        max: u64,
+    },
     /// Admin: force a durable checkpoint.
     Checkpoint,
     /// Admin: drain in-flight rounds and stop the server.
@@ -136,6 +199,27 @@ pub enum Response {
     WatchOk {
         /// The report, if one exists.
         report: Option<WatchReport>,
+    },
+    /// One chunk of a `scrape` reply body. Chunks for one request share
+    /// its `seq` and arrive in order; the final chunk carries `done`.
+    ScrapeOk {
+        /// This chunk of the serialized snapshot (UTF-8 text).
+        body: String,
+        /// Whether this is the final chunk of the reply.
+        done: bool,
+    },
+    /// A page of journal events answering [`Request::Tail`].
+    TailOk {
+        /// Events with `seq >= cursor`, oldest first (empty when the
+        /// cursor is already at the journal head).
+        events: Vec<TailEvent>,
+        /// Pass this as the next request's `cursor` to resume where this
+        /// page ended (unchanged when no events were returned).
+        next_cursor: u64,
+        /// Events evicted from the bounded journal since startup — a gap
+        /// detector: a cursor older than `seq` of the first event means
+        /// the window in between is gone.
+        dropped: u64,
     },
     /// Checkpoint written.
     CheckpointOk {
@@ -213,6 +297,70 @@ fn hex_decode(text: &str) -> Result<Vec<u8>, ProtoError> {
         .collect()
 }
 
+/// Trace ids travel as lowercase hex strings (no `0x` prefix) so they
+/// survive JSON's `f64` number range intact.
+fn trace_json(trace: u64) -> Json {
+    Json::Str(format!("{trace:x}"))
+}
+
+fn decode_trace(doc: &Json) -> Result<Option<u64>, ProtoError> {
+    match doc.get("trace") {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) if !s.is_empty() && s.len() <= 16 => u64::from_str_radix(s, 16)
+            .map(Some)
+            .map_err(|_| ProtoError::Schema("trace must be a hex u64")),
+        Some(_) => Err(ProtoError::Schema("trace must be a hex u64")),
+    }
+}
+
+/// Splits a scrape body into [`Response::ScrapeOk`] chunks, each
+/// guaranteed to encode — with any `seq` — within a `max_frame`-byte
+/// frame payload. The final chunk carries `done: true`; an empty body
+/// yields one empty terminal chunk. Splits respect UTF-8 boundaries and
+/// budget for JSON string escaping, so a body full of newlines (the
+/// Prometheus exposition) still frames correctly.
+pub fn scrape_chunks(body: &str, max_frame: usize) -> Vec<Response> {
+    // Fixed envelope cost: `{"seq":<=20 digits>,"type":"scrape_ok",
+    // "body":"…","done":false}` is under 80 bytes outside the body.
+    const ENVELOPE_OVERHEAD: usize = 96;
+    let budget = max_frame.saturating_sub(ENVELOPE_OVERHEAD).max(16);
+    let mut bodies = Vec::new();
+    let mut start = 0;
+    while start < body.len() {
+        let mut used = 0usize;
+        let mut end = start;
+        for c in body[start..].chars() {
+            // Escaped cost mirrors the JSON dumper: the short escapes are
+            // two bytes, other control characters six, everything else
+            // its UTF-8 length.
+            let cost = match c {
+                '"' | '\\' | '\n' | '\r' | '\t' => 2,
+                c if (c as u32) < 0x20 => 6,
+                c => c.len_utf8(),
+            };
+            if used + cost > budget && end > start {
+                break;
+            }
+            used += cost;
+            end += c.len_utf8();
+        }
+        bodies.push(body[start..end].to_owned());
+        start = end;
+    }
+    if bodies.is_empty() {
+        bodies.push(String::new());
+    }
+    let last = bodies.len() - 1;
+    bodies
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| Response::ScrapeOk {
+            body,
+            done: i == last,
+        })
+        .collect()
+}
+
 /// Encodes a request into a frame payload.
 pub fn encode_request(seq: u64, req: &Request) -> Vec<u8> {
     match req {
@@ -221,21 +369,46 @@ pub fn encode_request(seq: u64, req: &Request) -> Vec<u8> {
             client,
             entries,
             updates,
-        } => envelope(
-            seq,
-            "train",
-            vec![
+            trace,
+        } => {
+            let mut members = vec![
                 ("client".to_owned(), Json::Num(*client as f64)),
                 ("entries".to_owned(), wire::encode_words(entries)),
                 (
                     "updates".to_owned(),
                     Json::Arr(updates.iter().map(|w| wire::encode_words(w)).collect()),
                 ),
-            ],
-        ),
+            ];
+            if let Some(trace) = trace {
+                members.push(("trace".to_owned(), trace_json(*trace)));
+            }
+            envelope(seq, "train", members)
+        }
         Request::Metrics => envelope(seq, "metrics", vec![]),
         Request::Health => envelope(seq, "health", vec![]),
         Request::Watch => envelope(seq, "watch", vec![]),
+        Request::Scrape { format } => envelope(
+            seq,
+            "scrape",
+            vec![(
+                "format".to_owned(),
+                Json::Str(
+                    match format {
+                        ScrapeFormat::Prom => "prom",
+                        ScrapeFormat::Json => "json",
+                    }
+                    .to_owned(),
+                ),
+            )],
+        ),
+        Request::Tail { cursor, max } => envelope(
+            seq,
+            "tail",
+            vec![
+                ("cursor".to_owned(), Json::Num(*cursor as f64)),
+                ("max".to_owned(), Json::Num(*max as f64)),
+            ],
+        ),
         Request::Checkpoint => envelope(seq, "checkpoint", vec![]),
         Request::Shutdown => envelope(seq, "shutdown", vec![]),
     }
@@ -320,6 +493,49 @@ pub fn encode_response(seq: u64, resp: &Response) -> Vec<u8> {
             };
             envelope(seq, "watch_ok", vec![("report".to_owned(), body)])
         }
+        Response::ScrapeOk { body, done } => envelope(
+            seq,
+            "scrape_ok",
+            vec![
+                ("body".to_owned(), Json::Str(body.clone())),
+                ("done".to_owned(), Json::Bool(*done)),
+            ],
+        ),
+        Response::TailOk {
+            events,
+            next_cursor,
+            dropped,
+        } => envelope(
+            seq,
+            "tail_ok",
+            vec![
+                (
+                    "events".to_owned(),
+                    Json::Arr(
+                        events
+                            .iter()
+                            .map(|e| {
+                                Json::Obj(vec![
+                                    ("seq".to_owned(), Json::Num(e.seq as f64)),
+                                    ("name".to_owned(), Json::Str(e.name.clone())),
+                                    (
+                                        "fields".to_owned(),
+                                        Json::Obj(
+                                            e.fields
+                                                .iter()
+                                                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("next_cursor".to_owned(), Json::Num(*next_cursor as f64)),
+                ("dropped".to_owned(), Json::Num(*dropped as f64)),
+            ],
+        ),
         Response::CheckpointOk { generation, bytes } => envelope(
             seq,
             "checkpoint_ok",
@@ -392,11 +608,23 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, Request), ProtoError> {
                 client,
                 entries,
                 updates,
+                trace: decode_trace(&doc)?,
             }
         }
         "metrics" => Request::Metrics,
         "health" => Request::Health,
         "watch" => Request::Watch,
+        "scrape" => Request::Scrape {
+            format: match doc.get("format").and_then(Json::as_str) {
+                Some("prom") => ScrapeFormat::Prom,
+                Some("json") => ScrapeFormat::Json,
+                _ => return Err(ProtoError::Schema("format must be prom or json")),
+            },
+        },
+        "tail" => Request::Tail {
+            cursor: get_u64(&doc, "cursor", "missing tail cursor")?,
+            max: get_u64(&doc, "max", "missing tail max")?,
+        },
         "checkpoint" => Request::Checkpoint,
         "shutdown" => Request::Shutdown,
         _ => return Err(ProtoError::Schema("unknown request type")),
@@ -503,6 +731,58 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtoError> {
             };
             Response::WatchOk { report }
         }
+        "scrape_ok" => Response::ScrapeOk {
+            body: doc
+                .get("body")
+                .and_then(Json::as_str)
+                .ok_or(ProtoError::Schema("missing scrape body"))?
+                .to_owned(),
+            done: match doc.get("done") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err(ProtoError::Schema("missing scrape done flag")),
+            },
+        },
+        "tail_ok" => {
+            let raw_events = doc
+                .get("events")
+                .and_then(Json::as_array)
+                .ok_or(ProtoError::Schema("events must be an array"))?;
+            if raw_events.len() > MAX_TAIL_EVENTS {
+                return Err(ProtoError::Schema("too many tailed events"));
+            }
+            let events = raw_events
+                .iter()
+                .map(|e| {
+                    let seq = get_u64(e, "seq", "missing event seq")?;
+                    let name = e
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or(ProtoError::Schema("missing event name"))?
+                        .to_owned();
+                    let raw_fields = match e.get("fields") {
+                        Some(Json::Obj(members)) => members,
+                        _ => return Err(ProtoError::Schema("event fields must be an object")),
+                    };
+                    if raw_fields.len() > MAX_TAIL_FIELDS {
+                        return Err(ProtoError::Schema("too many event fields"));
+                    }
+                    let fields = raw_fields
+                        .iter()
+                        .map(|(k, v)| {
+                            v.as_str()
+                                .map(|v| (k.clone(), v.to_owned()))
+                                .ok_or(ProtoError::Schema("event field must be a string"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(TailEvent { seq, name, fields })
+                })
+                .collect::<Result<Vec<_>, ProtoError>>()?;
+            Response::TailOk {
+                events,
+                next_cursor: get_u64(&doc, "next_cursor", "missing next_cursor")?,
+                dropped: get_u64(&doc, "dropped", "missing dropped")?,
+            }
+        }
         "checkpoint_ok" => Response::CheckpointOk {
             generation: doc
                 .get("generation")
@@ -544,10 +824,28 @@ mod tests {
                 client: 9,
                 entries: vec![0, u64::MAX, 1 << 60],
                 updates: vec![vec![1, 2], vec![u64::MAX], vec![]],
+                trace: None,
+            },
+            // Full-width trace ids must survive the hex round trip.
+            Request::Train {
+                client: 1,
+                entries: vec![7],
+                updates: vec![vec![3]],
+                trace: Some(u64::MAX),
             },
             Request::Metrics,
             Request::Health,
             Request::Watch,
+            Request::Scrape {
+                format: ScrapeFormat::Prom,
+            },
+            Request::Scrape {
+                format: ScrapeFormat::Json,
+            },
+            Request::Tail {
+                cursor: 0,
+                max: 256,
+            },
             Request::Checkpoint,
             Request::Shutdown,
         ];
@@ -599,6 +897,38 @@ mod tests {
                     alarms: vec!["round_p99".into(), "empirical_eps".into()],
                     overhead_ns: 18_000,
                 }),
+            },
+            Response::ScrapeOk {
+                body: "fedora_net_requests 3\n".to_owned(),
+                done: false,
+            },
+            Response::ScrapeOk {
+                body: String::new(),
+                done: true,
+            },
+            Response::TailOk {
+                events: vec![
+                    TailEvent {
+                        seq: 41,
+                        name: "net.request.done".to_owned(),
+                        fields: vec![
+                            ("trace".to_owned(), "0xdeadbeef".to_owned()),
+                            ("round".to_owned(), "12".to_owned()),
+                        ],
+                    },
+                    TailEvent {
+                        seq: 42,
+                        name: "round.commit".to_owned(),
+                        fields: vec![],
+                    },
+                ],
+                next_cursor: 43,
+                dropped: 7,
+            },
+            Response::TailOk {
+                events: vec![],
+                next_cursor: 0,
+                dropped: 0,
             },
             Response::CheckpointOk {
                 generation: 2,
@@ -666,6 +996,95 @@ mod tests {
             decode_request(flood.as_bytes()),
             Err(ProtoError::TooManyEntries { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_malformed_ops_messages() {
+        for bad in [
+            // scrape: unknown / missing format
+            r#"{"seq":1,"type":"scrape"}"#,
+            r#"{"seq":1,"type":"scrape","format":"xml"}"#,
+            r#"{"seq":1,"type":"scrape","format":7}"#,
+            // tail: missing / non-integer members
+            r#"{"seq":1,"type":"tail"}"#,
+            r#"{"seq":1,"type":"tail","cursor":-1,"max":4}"#,
+            r#"{"seq":1,"type":"tail","cursor":0}"#,
+            // train trace: not hex / too wide / wrong type
+            r#"{"seq":1,"type":"train","client":1,"entries":[],"updates":[],"trace":"zz"}"#,
+            r#"{"seq":1,"type":"train","client":1,"entries":[],"updates":[],"trace":"00000000000000000"}"#,
+            r#"{"seq":1,"type":"train","client":1,"entries":[],"updates":[],"trace":12}"#,
+            r#"{"seq":1,"type":"train","client":1,"entries":[],"updates":[],"trace":""}"#,
+        ] {
+            assert!(decode_request(bad.as_bytes()).is_err(), "accepted {bad}");
+        }
+        for bad in [
+            r#"{"seq":1,"type":"scrape_ok","body":"x"}"#,
+            r#"{"seq":1,"type":"scrape_ok","done":true}"#,
+            r#"{"seq":1,"type":"tail_ok","events":"x","next_cursor":0,"dropped":0}"#,
+            r#"{"seq":1,"type":"tail_ok","events":[{"seq":1}],"next_cursor":0,"dropped":0}"#,
+            r#"{"seq":1,"type":"tail_ok","events":[{"seq":1,"name":"e","fields":{"k":1}}],"next_cursor":0,"dropped":0}"#,
+            r#"{"seq":1,"type":"tail_ok","events":[],"next_cursor":0}"#,
+        ] {
+            assert!(decode_response(bad.as_bytes()).is_err(), "accepted {bad}");
+        }
+        // Event-count bound on the reply path.
+        let flood_events: Vec<String> = (0..MAX_TAIL_EVENTS + 1)
+            .map(|i| format!(r#"{{"seq":{i},"name":"e","fields":{{}}}}"#))
+            .collect();
+        let flood = format!(
+            r#"{{"seq":1,"type":"tail_ok","events":[{}],"next_cursor":0,"dropped":0}}"#,
+            flood_events.join(",")
+        );
+        assert!(decode_response(flood.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn scrape_chunks_respect_frame_caps_and_reassemble() {
+        // A body that stresses escaping: newlines double in size when
+        // dumped, exactly like the Prometheus exposition format.
+        let original: String = (0..200)
+            .map(|i| format!("metric_{i} {i}\n"))
+            .collect::<String>();
+        let max_frame = 256;
+        let chunks = scrape_chunks(&original, max_frame);
+        assert!(chunks.len() > 1, "small cap must force multiple chunks");
+        let mut reassembled = String::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let Response::ScrapeOk { body, done } = chunk else {
+                panic!("scrape_chunks produced {chunk:?}");
+            };
+            // Every chunk must actually frame under the cap, worst-case
+            // seq included.
+            let encoded = encode_response(u64::MAX, chunk);
+            assert!(
+                encoded.len() <= max_frame,
+                "chunk {i} encodes to {} > {max_frame}",
+                encoded.len()
+            );
+            assert_eq!(*done, i == chunks.len() - 1, "done only on last chunk");
+            reassembled.push_str(body);
+        }
+        assert_eq!(reassembled, original, "no bytes lost or reordered");
+
+        // Empty body: one terminal chunk.
+        assert_eq!(
+            scrape_chunks("", max_frame),
+            vec![Response::ScrapeOk {
+                body: String::new(),
+                done: true
+            }]
+        );
+        // A cap too small for the envelope still makes progress (one char
+        // minimum per chunk) instead of looping forever.
+        let tiny = scrape_chunks("abcdef", 8);
+        let total: String = tiny
+            .iter()
+            .map(|c| match c {
+                Response::ScrapeOk { body, .. } => body.as_str(),
+                _ => "",
+            })
+            .collect();
+        assert_eq!(total, "abcdef");
     }
 
     #[test]

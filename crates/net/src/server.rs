@@ -41,12 +41,12 @@ use fedora::FedoraServer;
 use fedora_fl::wire;
 use fedora_fl::FedAvg;
 use fedora_telemetry::json::{self, Json};
-use fedora_telemetry::{Counter, Histogram, Registry};
+use fedora_telemetry::{Counter, Event, Histogram, Registry, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::frame::{self, FrameError};
-use crate::proto::{self, Request, Response};
+use crate::proto::{self, Request, Response, ScrapeFormat, TailEvent};
 
 /// Tuning knobs for the front end.
 #[derive(Clone, Debug)]
@@ -104,6 +104,19 @@ struct Shared {
     /// Latest watch-plane report, mirrored by the engine after each
     /// committed batch (stays `None` when the watch plane is disabled).
     watch: Mutex<Option<fedora::server::WatchReport>>,
+    /// splitmix64 counter for server-assigned request trace ids (bare
+    /// clients that send `train` without a `trace` member still get one).
+    next_trace: AtomicU64,
+}
+
+/// `splitmix64` — the same pinned generator the load generator uses, so
+/// server-assigned trace ids are well mixed without an RNG dependency.
+fn splitmix64(seed: u64) -> u64 {
+    let x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Front-end instruments, registered eagerly so every counter appears
@@ -118,6 +131,16 @@ struct NetMetrics {
     requests: Counter,
     rounds: Counter,
     service: Histogram,
+    /// Per-request phase attribution. Each sample is recorded with the
+    /// request's trace id as its bucket exemplar, so a p99 outlier in any
+    /// phase can be followed back to the exact request (see the
+    /// `# EXEMPLAR` lines in the Prometheus scrape and the
+    /// `net.request` span in the Chrome trace export).
+    phase_queue: Histogram,
+    phase_assemble: Histogram,
+    phase_fetch: Histogram,
+    phase_serve: Histogram,
+    phase_reply: Histogram,
 }
 
 impl NetMetrics {
@@ -131,6 +154,11 @@ impl NetMetrics {
             requests: registry.counter("net.requests"),
             rounds: registry.counter("net.rounds"),
             service: registry.histogram("net.request.service_ns"),
+            phase_queue: registry.histogram("net.request.phase.queue_ns"),
+            phase_assemble: registry.histogram("net.request.phase.assemble_ns"),
+            phase_fetch: registry.histogram("net.request.phase.fetch_ns"),
+            phase_serve: registry.histogram("net.request.phase.serve_ns"),
+            phase_reply: registry.histogram("net.request.phase.reply_ns"),
         }
     }
 }
@@ -162,6 +190,9 @@ struct TrainJob {
     client: u32,
     entries: Vec<u64>,
     updates: Vec<Vec<u64>>,
+    /// Request trace id: caller-supplied, or server-assigned for bare
+    /// clients. Never 0 (0 means "no exemplar" in the histograms).
+    trace: u64,
     conn: ConnWriter,
     enqueued: Instant,
 }
@@ -218,6 +249,7 @@ impl NetServer {
             table_entries: server.config().table.num_entries,
             total_epsilon: AtomicU64::new(server.accountant().total_epsilon().to_bits()),
             watch: Mutex::new(server.watch_report().cloned()),
+            next_trace: AtomicU64::new(seed ^ 0xC0DE_F00D_5EED_0001),
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
         let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
@@ -455,6 +487,34 @@ fn run_reader(
                     },
                 );
             }
+            Request::Scrape { format } => {
+                // Served on the reader thread: a snapshot is read-only
+                // against the registry, so scrapes never queue behind (or
+                // stall) the engine. Both serializations redact
+                // audit-only series.
+                let snapshot = registry.snapshot();
+                let body = match format {
+                    ScrapeFormat::Prom => snapshot.to_prometheus_text(),
+                    ScrapeFormat::Json => snapshot.to_json(),
+                };
+                for chunk in proto::scrape_chunks(&body, writer.max_frame) {
+                    writer.send(seq, &chunk);
+                }
+            }
+            Request::Tail { cursor, max } => {
+                let take = usize::try_from(max)
+                    .unwrap_or(usize::MAX)
+                    .min(proto::MAX_TAIL_EVENTS);
+                let (events, next_cursor) = registry.events_since(cursor, take);
+                writer.send(
+                    seq,
+                    &Response::TailOk {
+                        events: events.iter().map(tail_event).collect(),
+                        next_cursor,
+                        dropped: registry.events_dropped(),
+                    },
+                );
+            }
             Request::Shutdown => {
                 shared.shutdown.store(true, Ordering::SeqCst);
                 let _ = tx.send(Job::Shutdown);
@@ -480,6 +540,7 @@ fn run_reader(
                 client,
                 entries,
                 updates,
+                trace,
             } => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     writer.send(seq, &Response::ShuttingDown);
@@ -498,6 +559,15 @@ fn run_reader(
                     );
                     continue;
                 }
+                // Bare clients (no trace member, or the 0 sentinel) get a
+                // server-assigned id so every request is followable.
+                let trace = match trace.filter(|&t| t != 0) {
+                    Some(t) => t,
+                    None => {
+                        let n = shared.next_trace.fetch_add(1, Ordering::Relaxed);
+                        splitmix64(n).max(1)
+                    }
+                };
                 enqueue(
                     &tx,
                     Job::Train(TrainJob {
@@ -505,6 +575,7 @@ fn run_reader(
                         client,
                         entries,
                         updates,
+                        trace,
                         conn: writer.clone(),
                         enqueued: Instant::now(),
                     }),
@@ -522,6 +593,29 @@ fn run_reader(
     // leave the connection half-open until server shutdown.
     let _ = stream.shutdown(Shutdown::Both);
     shared.live_conns.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Renders one journal event for the wire: `u64`/`i64` values keep full
+/// precision as decimal text, floats use their shortest display form,
+/// strings pass through verbatim (trace ids are already `0x…` strings).
+fn tail_event(e: &Event) -> TailEvent {
+    TailEvent {
+        seq: e.seq,
+        name: e.name.clone(),
+        fields: e
+            .fields
+            .iter()
+            .map(|(k, v)| {
+                let rendered = match v {
+                    Value::U64(v) => v.to_string(),
+                    Value::I64(v) => v.to_string(),
+                    Value::F64(v) => format!("{v}"),
+                    Value::Str(s) => s.clone(),
+                };
+                (k.clone(), rendered)
+            })
+            .collect(),
+    }
 }
 
 /// Admission control: bounded queue, explicit shed on overflow.
@@ -593,6 +687,7 @@ fn run_engine(
         // Batch further queued train jobs into this round, up to the
         // pipeline's K. Non-train jobs act as batch barriers so queue
         // order is preserved.
+        let batch_start = Instant::now();
         let mut batch = vec![first];
         let mut total: usize = batch[0].entries.len();
         while let Ok(job) = rx.try_recv() {
@@ -612,6 +707,7 @@ fn run_engine(
             &mut mode,
             &mut rng,
             batch,
+            batch_start,
             dim,
             server_lr,
             &shared,
@@ -646,12 +742,21 @@ fn run_engine(
 
 /// Runs one batch as one full round. `Err` only for injected crashes —
 /// every other failure is reported to the affected clients and absorbed.
+///
+/// Request-scoped observability happens here: each job gets a
+/// `net.request` span opened as a child of the committing round's span
+/// (visible in the Chrome trace export when tracing is on), its wall time
+/// is attributed across the `net.request.phase.*` histograms with the
+/// request's trace id as bucket exemplar, and a `net.request.done`
+/// journal event ties trace id → round → phase timings for the `tail`
+/// verb.
 #[allow(clippy::too_many_arguments)]
 fn run_batch(
     server: &mut FedoraServer,
     mode: &mut FedAvg,
     rng: &mut StdRng,
     batch: Vec<TrainJob>,
+    batch_start: Instant,
     dim: usize,
     server_lr: f32,
     shared: &Shared,
@@ -676,6 +781,7 @@ fn run_batch(
     if jobs.is_empty() {
         return Ok(());
     }
+    let registry = server.registry().clone();
     let requests: Vec<u64> = jobs
         .iter()
         .flat_map(|job| job.entries.iter().copied())
@@ -691,17 +797,41 @@ fn run_batch(
             );
         }
     };
-    // Served rows, outer-indexed by job, inner by that job's entries.
+    // Served rows, outer-indexed by job, inner by that job's entries;
+    // per-job serve-phase nanoseconds alongside.
     type BatchRows = Vec<Vec<Option<Vec<u8>>>>;
     shared.round_active.store(true, Ordering::SeqCst);
+    let fetch_start = Instant::now();
+    let mut serve_ns_per_job = vec![0u64; jobs.len()];
+    let mut fetch_share_ns = 0u64;
     let result = (|| -> Result<Option<BatchRows>, FedoraError> {
         server.begin_round(&requests, rng)?;
+        // The round's ORAM fetch happens inside begin_round; each request
+        // in the batch is charged an equal share of it.
+        fetch_share_ns = (fetch_start.elapsed().as_nanos() as u64) / jobs.len() as u64;
+        let round_span = server.round_span_id().unwrap_or(0);
         let mut rows_per_job = Vec::with_capacity(jobs.len());
-        for job in &jobs {
+        for (idx, job) in jobs.iter().enumerate() {
+            // Child-of-round span covering this request's serve work:
+            // ORAM accesses performed inside `serve` nest under it, so a
+            // phase-histogram exemplar resolves to the exact socket-to-
+            // bucket path in the trace export.
+            let mut span = registry.trace_span_under_with(
+                round_span,
+                "net.request",
+                &[
+                    ("trace", Value::Str(format!("{:#x}", job.trace))),
+                    ("client", Value::U64(u64::from(job.client))),
+                    ("entries", Value::U64(job.entries.len() as u64)),
+                ],
+            );
+            let serve_start = Instant::now();
             let mut rows = Vec::with_capacity(job.entries.len());
             for &id in &job.entries {
                 rows.push(server.serve(id, rng)?);
             }
+            serve_ns_per_job[idx] = serve_start.elapsed().as_nanos() as u64;
+            span.attr("serve_ns", serve_ns_per_job[idx]);
             rows_per_job.push(rows);
         }
         for job in &jobs {
@@ -717,17 +847,55 @@ fn run_batch(
     match result {
         Ok(Some(rows_per_job)) => {
             let round = server.committed_rounds();
-            // Publish the new commit count before any reply leaves: a
-            // client that saw its TrainOk must never read a stale (lower)
-            // committed_rounds from a subsequent Health probe.
+            // Publish the new commit count and spent ε before any reply
+            // leaves: a client that saw its TrainOk must never read a
+            // stale (lower) value from a subsequent Health probe.
             shared.committed.store(round, Ordering::SeqCst);
+            shared.total_epsilon.store(
+                server.accountant().total_epsilon().to_bits(),
+                Ordering::SeqCst,
+            );
             metrics.rounds.incr();
-            for (job, rows) in jobs.iter().zip(rows_per_job) {
-                let _ = job.client; // identity is carried for audit trails
+            let assemble_ns = fetch_start.saturating_duration_since(batch_start);
+            for (idx, (job, rows)) in jobs.iter().zip(rows_per_job).enumerate() {
+                let queue_ns = batch_start
+                    .saturating_duration_since(job.enqueued)
+                    .as_nanos() as u64;
+                let reply_start = Instant::now();
                 job.conn.send(job.seq, &Response::TrainOk { round, rows });
+                let reply_ns = reply_start.elapsed().as_nanos() as u64;
+                let serve_ns = serve_ns_per_job[idx];
+                metrics
+                    .phase_queue
+                    .record_with_exemplar(queue_ns, job.trace);
+                metrics
+                    .phase_assemble
+                    .record_with_exemplar(assemble_ns.as_nanos() as u64, job.trace);
+                metrics
+                    .phase_fetch
+                    .record_with_exemplar(fetch_share_ns, job.trace);
+                metrics
+                    .phase_serve
+                    .record_with_exemplar(serve_ns, job.trace);
+                metrics
+                    .phase_reply
+                    .record_with_exemplar(reply_ns, job.trace);
                 metrics
                     .service
-                    .record(job.enqueued.elapsed().as_nanos() as u64);
+                    .record_with_exemplar(job.enqueued.elapsed().as_nanos() as u64, job.trace);
+                registry.event(
+                    "net.request.done",
+                    &[
+                        ("trace", Value::Str(format!("{:#x}", job.trace))),
+                        ("client", Value::U64(u64::from(job.client))),
+                        ("round", Value::U64(round)),
+                        ("entries", Value::U64(job.entries.len() as u64)),
+                        ("queue_ns", Value::U64(queue_ns)),
+                        ("fetch_ns", Value::U64(fetch_share_ns)),
+                        ("serve_ns", Value::U64(serve_ns)),
+                        ("reply_ns", Value::U64(reply_ns)),
+                    ],
+                );
             }
             Ok(())
         }

@@ -49,6 +49,7 @@ fn train_request(client: u32, entries: &[u64]) -> Request {
         client,
         entries: entries.to_vec(),
         updates,
+        trace: None,
     }
 }
 

@@ -1,0 +1,304 @@
+//! Live-server integration tests for the ops plane: request-scoped trace
+//! ids flowing from the socket into spans, phase exemplars, and the
+//! journal; the `scrape` verb's chunking under a small frame cap; and the
+//! `tail` verb's cursor contract.
+//!
+//! Every test binds to `127.0.0.1:0` so runs never collide.
+
+use std::time::{Duration, Instant};
+
+use fedora::config::{FedoraConfig, TableSpec};
+use fedora::server::FedoraServer;
+use fedora_fl::wire;
+use fedora_net::proto::{decode_response, encode_request};
+use fedora_net::{
+    read_frame, write_frame, NetClient, NetConfig, NetServer, Request, Response, ScrapeFormat,
+};
+use fedora_telemetry::{Event, Registry, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ENTRIES: u64 = 256;
+const DIM: usize = 8; // TableSpec::tiny entry_bytes / 4
+
+/// Spawns a front end over a tracing-enabled registry so `trace.begin` /
+/// `trace.end` events land in the journal.
+fn spawn_traced(seed: u64, config: NetConfig) -> (fedora_net::NetHandle, Registry) {
+    let registry = Registry::new();
+    registry.set_tracing(true);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fedora_config = FedoraConfig::for_testing(TableSpec::tiny(ENTRIES), 64);
+    let server =
+        FedoraServer::with_telemetry(fedora_config, |_| vec![0u8; 32], registry.clone(), &mut rng);
+    let handle = NetServer::spawn(server, seed, "127.0.0.1:0", config).unwrap();
+    (handle, registry)
+}
+
+fn hello(client: &mut NetClient) -> u32 {
+    match client.call(&Request::Hello).unwrap() {
+        Response::Welcome { client } => client,
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+}
+
+fn train_request(client: u32, entries: &[u64], trace: Option<u64>) -> Request {
+    let updates = entries
+        .iter()
+        .map(|_| wire::quantize(&[0.25f32; DIM]))
+        .collect();
+    Request::Train {
+        client,
+        entries: entries.to_vec(),
+        updates,
+        trace,
+    }
+}
+
+fn field_u64(event: &Event, key: &str) -> u64 {
+    match event.field(key) {
+        Some(Value::U64(v)) => *v,
+        other => panic!("event {}: field {key} not a u64: {other:?}", event.name),
+    }
+}
+
+fn field_str<'a>(event: &'a Event, key: &str) -> &'a str {
+    match event.field(key) {
+        Some(Value::Str(s)) => s.as_str(),
+        other => panic!("event {}: field {key} not a string: {other:?}", event.name),
+    }
+}
+
+/// Polls the wire `tail` verb until an event named `name` whose `trace`
+/// field equals `hex` shows up (the engine journals `net.request.done`
+/// *after* the TrainOk reply leaves, so the client must wait for it).
+fn await_done_event(client: &mut NetClient, hex: &str) -> (u64, u64) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (events, next_cursor, _dropped) = client.tail(0, 512).unwrap();
+        if let Some(e) = events.iter().find(|e| {
+            e.name == "net.request.done" && e.fields.iter().any(|(k, v)| k == "trace" && v == hex)
+        }) {
+            let round: u64 = e
+                .fields
+                .iter()
+                .find(|(k, _)| k == "round")
+                .map(|(_, v)| v.parse().unwrap())
+                .unwrap();
+            return (round, next_cursor);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "net.request.done with trace {hex} never journaled"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// A caller-supplied trace id is followable end to end: the journal's
+/// `net.request.done` record (via wire `tail`), a per-request span
+/// causally linked child-of-round in the snapshot and the Chrome trace
+/// export, and the `net.request.phase.*` p99 exemplars in the Prometheus
+/// scrape all carry it — while audit-only series stay redacted.
+#[test]
+fn trace_id_flows_from_wire_to_span_exemplar_and_tail() {
+    let (handle, registry) = spawn_traced(17, NetConfig::default());
+    let mut client = NetClient::connect(&handle.addr().to_string()).unwrap();
+    client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let id = hello(&mut client);
+
+    const TRACE: u64 = 0xABCD_1234_DEAD_BEEF;
+    const TRACE_HEX: &str = "0xabcd1234deadbeef";
+    let round = match client
+        .call(&train_request(id, &[3, 17, 3, 99], Some(TRACE)))
+        .unwrap()
+    {
+        Response::TrainOk { round, rows } => {
+            assert_eq!(rows.len(), 4);
+            round
+        }
+        other => panic!("expected TrainOk, got {other:?}"),
+    };
+
+    // (c) same id retrievable via the wire `tail` verb, tied to the
+    // committing round, with phase attribution alongside.
+    let (done_round, next_cursor) = await_done_event(&mut client, TRACE_HEX);
+    assert_eq!(done_round, round);
+    assert!(next_cursor > 0, "tail cursor must advance past the journal");
+    let (later, resumed_cursor, _) = client.tail(next_cursor, 512).unwrap();
+    assert!(
+        later.iter().all(|e| e.seq >= next_cursor),
+        "resumed tail must only return events at or after the cursor"
+    );
+    assert!(resumed_cursor >= next_cursor);
+
+    // (a) the per-request span is a child of the committing round's span.
+    let snapshot = registry.snapshot();
+    let begins: Vec<&Event> = snapshot
+        .events
+        .iter()
+        .filter(|e| e.name == "trace.begin")
+        .collect();
+    let request_span = begins
+        .iter()
+        .find(|e| field_str(e, "name") == "net.request" && field_str(e, "trace") == TRACE_HEX)
+        .unwrap_or_else(|| panic!("no net.request span for {TRACE_HEX}"));
+    let parent = field_u64(request_span, "parent");
+    assert_ne!(parent, 0, "request span must not be a root");
+    let round_span = begins
+        .iter()
+        .find(|e| field_str(e, "name") == "round" && field_u64(e, "span") == parent)
+        .unwrap_or_else(|| panic!("request span's parent {parent} is not a round span"));
+    assert_eq!(field_u64(round_span, "round") + 1, round);
+    let chrome = snapshot.to_chrome_trace();
+    assert!(chrome.contains("net.request"), "chrome: {chrome}");
+    assert!(chrome.contains(TRACE_HEX), "chrome: {chrome}");
+
+    // (b) the phase histograms' tail buckets carry the id as exemplar
+    // (one request so far, so p99 lands on it in every phase), and the
+    // scrape keeps audit-only series redacted.
+    let prom = client.scrape(ScrapeFormat::Prom).unwrap();
+    for phase in ["queue", "assemble", "fetch", "serve", "reply"] {
+        let line =
+            format!("# EXEMPLAR fedora_net_request_phase_{phase}_ns_p99 trace_id=\"{TRACE_HEX}\"");
+        assert!(prom.contains(&line), "missing {line} in scrape:\n{prom}");
+    }
+    assert!(prom.contains("fedora_fdp_total_epsilon"), "{prom}");
+    assert!(
+        !prom.contains("fdp_round_k_union") && !prom.contains("fdp_dummies_total"),
+        "audit-only series leaked into the wire scrape:\n{prom}"
+    );
+    let json = client.scrape(ScrapeFormat::Json).unwrap();
+    assert!(json.contains(TRACE_HEX), "json scrape: {json}");
+    assert!(!json.contains("fdp.round.k_union"), "json scrape: {json}");
+
+    handle.shutdown_and_join();
+}
+
+/// A bare wire client (raw frames, no `trace` member at all) still gets a
+/// server-assigned id: every committed request is followable.
+#[test]
+fn bare_wire_train_gets_server_assigned_trace() {
+    let (handle, _registry) = spawn_traced(23, NetConfig::default());
+    let addr = handle.addr().to_string();
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    let max = fedora_net::MAX_FRAME_BYTES;
+    write_frame(&mut stream, &encode_request(1, &Request::Hello), max).unwrap();
+    let payload = read_frame(&mut stream, max).unwrap().unwrap();
+    let (_, resp) = decode_response(&payload).unwrap();
+    let id = match resp {
+        Response::Welcome { client } => client,
+        other => panic!("expected Welcome, got {other:?}"),
+    };
+    // `trace: None` encodes to no `trace` member on the wire.
+    write_frame(
+        &mut stream,
+        &encode_request(2, &train_request(id, &[5, 9], None)),
+        max,
+    )
+    .unwrap();
+    let payload = read_frame(&mut stream, max).unwrap().unwrap();
+    let (_, resp) = decode_response(&payload).unwrap();
+    assert!(matches!(resp, Response::TrainOk { .. }), "got {resp:?}");
+
+    // The journal must still carry a non-zero server-assigned id.
+    let mut ops = NetClient::connect(&addr).unwrap();
+    ops.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let trace = loop {
+        let (events, _, _) = ops.tail(0, 512).unwrap();
+        if let Some(e) = events.iter().find(|e| e.name == "net.request.done") {
+            break e
+                .fields
+                .iter()
+                .find(|(k, _)| k == "trace")
+                .map(|(_, v)| v.clone())
+                .unwrap();
+        }
+        assert!(Instant::now() < deadline, "request never journaled");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(trace.starts_with("0x"), "trace {trace}");
+    assert_ne!(trace, "0x0", "server must never assign the 0 sentinel");
+
+    handle.shutdown_and_join();
+}
+
+/// Against a front end with a deliberately tiny frame cap, a scrape body
+/// bigger than one frame arrives as multiple `scrape_ok` chunks — every
+/// raw reply frame within the cap, `done` only on the last — and the
+/// reassembled body is byte-identical to what a large-frame client sees.
+#[test]
+fn oversized_scrape_bodies_arrive_chunked_within_frame_cap() {
+    const SMALL_FRAME: usize = 2048;
+    let config = NetConfig {
+        max_frame_bytes: SMALL_FRAME,
+        ..NetConfig::default()
+    };
+    let (handle, registry) = spawn_traced(29, config);
+    // Inflate the snapshot well past several frames' worth of text.
+    for i in 0..400 {
+        registry
+            .counter(&format!("filler.series.with.a.long.name.{i:04}"))
+            .add(i);
+    }
+    let addr = handle.addr().to_string();
+
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write_frame(
+        &mut stream,
+        &encode_request(
+            1,
+            &Request::Scrape {
+                format: ScrapeFormat::Prom,
+            },
+        ),
+        SMALL_FRAME,
+    )
+    .unwrap();
+    let mut chunks = 0usize;
+    let mut body = String::new();
+    loop {
+        // `read_frame` with the small cap rejects any oversized reply, so
+        // completing this loop proves every chunk obeyed the cap.
+        let payload = read_frame(&mut stream, SMALL_FRAME).unwrap().unwrap();
+        let (seq, resp) = decode_response(&payload).unwrap();
+        assert_eq!(seq, 1);
+        match resp {
+            Response::ScrapeOk { body: piece, done } => {
+                chunks += 1;
+                body.push_str(&piece);
+                if done {
+                    break;
+                }
+            }
+            other => panic!("expected ScrapeOk, got {other:?}"),
+        }
+    }
+    assert!(chunks > 1, "body of {} bytes fit one frame?", body.len());
+    assert!(body.len() > SMALL_FRAME, "test body too small to chunk");
+    for i in 0..400 {
+        let name = format!("fedora_filler_series_with_a_long_name_{i:04} {i}");
+        assert!(body.contains(&name), "reassembly lost series {i:04}");
+    }
+
+    // `NetClient::scrape` reassembles the same chunk stream transparently
+    // (`net.requests` ticks between scrapes, so compare the stable series
+    // rather than the whole document).
+    let mut client = NetClient::connect(&addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let via_client = client.scrape(ScrapeFormat::Prom).unwrap();
+    assert!(via_client.len() > SMALL_FRAME);
+    for i in 0..400 {
+        let name = format!("fedora_filler_series_with_a_long_name_{i:04} {i}");
+        assert!(via_client.contains(&name), "client reassembly lost {i:04}");
+    }
+
+    handle.shutdown_and_join();
+}

@@ -183,7 +183,7 @@ impl Snapshot {
         out.push_str("},\"histograms\":{");
         push_entries(self, &mut out, &self.histograms, |out, h| {
             out.push_str(&format!(
-                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{}",
                 h.count,
                 h.sum,
                 h.min,
@@ -192,7 +192,30 @@ impl Snapshot {
                 h.p50,
                 h.p95,
                 h.p99
-            ))
+            ));
+            // Exemplar ids ride as hex strings (u64 trace ids overflow the
+            // 2^53 JSON-number precision guarantee), keyed by bucket index
+            // and only when present so the schema stays unchanged for
+            // exemplar-free histograms.
+            if h.exemplars.iter().any(|&x| x != 0) {
+                out.push_str(",\"exemplars\":{");
+                let mut first = true;
+                for (i, &x) in h.exemplars.iter().enumerate() {
+                    if x != 0 {
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        out.push_str(&format!("\"{i}\":\"{x:#x}\""));
+                    }
+                }
+                out.push('}');
+                let tail = h.p99_exemplar();
+                if tail != 0 {
+                    out.push_str(&format!(",\"p99_exemplar\":\"{tail:#x}\""));
+                }
+            }
+            out.push('}');
         });
         out.push_str("},\"events\":[");
         for (i, e) in self.events.iter().enumerate() {
@@ -435,6 +458,13 @@ impl Snapshot {
                     "# HELP {p}_{q} FEDORA histogram {name} {q} quantile\n\
                      # TYPE {p}_{q} gauge\n{p}_{q} {v}\n"
                 ));
+            }
+            // Tail exemplar as a comment line: plain-text parsers skip `#`
+            // lines that are not HELP/TYPE, so this is wire-compatible with
+            // exposition format 0.0.4 while still machine-greppable.
+            let tail = h.p99_exemplar();
+            if tail != 0 {
+                out.push_str(&format!("# EXEMPLAR {p}_p99 trace_id=\"{tail:#x}\"\n"));
             }
         }
         out
@@ -774,6 +804,91 @@ mod tests {
         // A restarted process reports post-restart counts, not a wrap.
         let d = fresh.snapshot().delta(&old.snapshot());
         assert_eq!(d.counter("net.requests"), Some(0));
+    }
+
+    #[test]
+    fn delta_empty_window_histograms_are_zero() {
+        // A window in which nothing was recorded must read as an empty
+        // histogram — zero count, zero percentiles — not as stale lifetime
+        // values, and must not panic on the all-zero bucket walk.
+        let r = Registry::new();
+        r.histogram("round.latency").record(500);
+        let early = r.snapshot();
+        let d = r.snapshot().delta(&early);
+        let h = d.histogram("round.latency").expect("series still present");
+        assert_eq!(h.count, 0);
+        assert_eq!(
+            (h.sum, h.min, h.max, h.p50, h.p95, h.p99),
+            (0, 0, 0, 0, 0, 0)
+        );
+        assert_eq!(h.p99_exemplar(), 0);
+    }
+
+    #[test]
+    fn delta_new_metric_mid_window_counts_from_zero() {
+        // A series that first appears after the earlier snapshot was taken
+        // must report its full value in the window (baseline zero), with no
+        // underflow or panic for counters, gauges, or histograms.
+        let r = Registry::new();
+        r.counter("old.counter").add(2);
+        let early = r.snapshot();
+        r.counter("new.counter").add(7);
+        r.gauge("new.gauge").set(1.5);
+        r.histogram("new.latency").record(100);
+        r.histogram("new.latency").record(300);
+        let d = r.snapshot().delta(&early);
+        assert_eq!(d.counter("new.counter"), Some(7));
+        assert_eq!(d.gauge("new.gauge"), Some(1.5));
+        let h = d.histogram("new.latency").expect("new histogram windowed");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 400);
+        assert_eq!(d.counter("old.counter"), Some(0));
+    }
+
+    #[test]
+    fn delta_histogram_reset_saturates_like_counters() {
+        // Histogram "went backwards" (process restart): the window view
+        // degrades to empty instead of wrapping — mirror of the counter
+        // saturation rule, pinned here against the real registry path.
+        let old = Registry::new();
+        for _ in 0..10 {
+            old.histogram("round.latency").record(1000);
+        }
+        let fresh = Registry::new();
+        fresh.histogram("round.latency").record(1000);
+        let d = fresh.snapshot().delta(&old.snapshot());
+        assert_eq!(
+            d.histogram("round.latency").map(|h| h.count),
+            Some(0),
+            "fewer lifetime samples than the baseline must clamp to empty"
+        );
+    }
+
+    #[test]
+    fn exemplars_export_in_json_and_prometheus() {
+        use crate::histogram::bucket_index;
+        let r = Registry::new();
+        let h = r.histogram("net.request.phase.serve_ns");
+        for _ in 0..200 {
+            h.record(1_000);
+        }
+        h.record_with_exemplar(9_000_000, 0xABCD);
+        let s = r.snapshot();
+        let summary = s.histogram("net.request.phase.serve_ns").unwrap();
+        assert_eq!(summary.exemplars[bucket_index(9_000_000)], 0xABCD);
+        assert_eq!(summary.p99_exemplar(), 0xABCD);
+        let j = s.to_json();
+        assert!(j.contains("\"p99_exemplar\":\"0xabcd\""), "json: {j}");
+        let text = s.to_prometheus_text();
+        assert!(
+            text.contains("# EXEMPLAR fedora_net_request_phase_serve_ns_p99 trace_id=\"0xabcd\"\n"),
+            "prom: {text}"
+        );
+        // Exemplar-free histograms keep the original schema exactly.
+        let r2 = Registry::new();
+        r2.histogram("plain").record(5);
+        assert!(!r2.snapshot().to_json().contains("exemplar"));
+        assert!(!r2.snapshot().to_prometheus_text().contains("EXEMPLAR"));
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub fn bucket_bounds(index: usize) -> (u64, u64) {
 #[derive(Debug)]
 pub(crate) struct HistogramCore {
     buckets: [AtomicU64; NUM_BUCKETS],
+    /// Last exemplar id recorded into each bucket (0 = none). Last-writer
+    /// wins: an exemplar is a *representative* sample, not an aggregate.
+    exemplars: [AtomicU64; NUM_BUCKETS],
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
@@ -51,6 +54,7 @@ impl HistogramCore {
     pub(crate) fn new() -> Self {
         HistogramCore {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
@@ -64,6 +68,13 @@ impl HistogramCore {
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_with_exemplar(&self, value: u64, exemplar: u64) {
+        self.record(value);
+        if exemplar != 0 {
+            self.exemplars[bucket_index(value)].store(exemplar, Ordering::Relaxed);
+        }
+    }
+
     /// Point-in-time summary. The bucket array is copied first and the count
     /// derived from the copy, so the percentile walk is self-consistent even
     /// if other threads keep recording.
@@ -74,6 +85,8 @@ impl HistogramCore {
         if count == 0 {
             return HistogramSummary::default();
         }
+        let exemplars: [u64; NUM_BUCKETS] =
+            std::array::from_fn(|i| self.exemplars[i].load(Ordering::Relaxed));
         let min = self.min.load(Ordering::Relaxed);
         let max = self.max.load(Ordering::Relaxed);
         HistogramSummary {
@@ -85,6 +98,7 @@ impl HistogramCore {
             p95: quantile(&buckets, count, min, max, 0.95),
             p99: quantile(&buckets, count, min, max, 0.99),
             buckets,
+            exemplars,
         }
     }
 }
@@ -137,6 +151,11 @@ pub struct HistogramSummary {
     /// recompute percentiles over just the new samples; the exporters
     /// serialize only the named summary fields.
     pub buckets: [u64; NUM_BUCKETS],
+    /// Last exemplar id seen per bucket (0 = none), recorded via
+    /// [`Histogram::record_with_exemplar`]. Exemplar ids are opaque — the
+    /// net layer stores request trace ids here so a tail-latency bucket can
+    /// be followed back to the span that produced it.
+    pub exemplars: [u64; NUM_BUCKETS],
 }
 
 impl Default for HistogramSummary {
@@ -150,6 +169,7 @@ impl Default for HistogramSummary {
             p95: 0,
             p99: 0,
             buckets: [0; NUM_BUCKETS],
+            exemplars: [0; NUM_BUCKETS],
         }
     }
 }
@@ -162,6 +182,22 @@ impl HistogramSummary {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The exemplar id attached to the bucket holding the p99 estimate, or —
+    /// if that bucket carries none — the nearest occupied higher bucket's
+    /// exemplar. Returns 0 when no tail exemplar exists.
+    pub fn p99_exemplar(&self) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let start = bucket_index(self.p99.max(1));
+        for i in start..NUM_BUCKETS {
+            if self.exemplars[i] != 0 {
+                return self.exemplars[i];
+            }
+        }
+        0
     }
 
     /// Interval view: the samples recorded *after* `earlier` was taken,
@@ -182,6 +218,14 @@ impl HistogramSummary {
         if count == 0 {
             return HistogramSummary::default();
         }
+        // Exemplars survive only in buckets that saw interval traffic; the
+        // latest writer is by construction from the later snapshot.
+        let mut exemplars = [0u64; NUM_BUCKETS];
+        for (i, slot) in exemplars.iter_mut().enumerate() {
+            if buckets[i] > 0 {
+                *slot = self.exemplars[i];
+            }
+        }
         let first = buckets.iter().position(|&c| c > 0).unwrap_or(0);
         let last = buckets
             .iter()
@@ -198,6 +242,7 @@ impl HistogramSummary {
             p95: quantile(&buckets, count, min, max, 0.95),
             p99: quantile(&buckets, count, min, max, 0.99),
             buckets,
+            exemplars,
         }
     }
 }
@@ -230,6 +275,14 @@ impl Histogram {
     pub fn record(&self, value: u64) {
         if let Some(core) = &self.core {
             core.record(value);
+        }
+    }
+
+    /// Records one value and tags its bucket with an exemplar id (0 means
+    /// "no exemplar" and leaves any previous tag in place).
+    pub fn record_with_exemplar(&self, value: u64, exemplar: u64) {
+        if let Some(core) = &self.core {
+            core.record_with_exemplar(value, exemplar);
         }
     }
 
@@ -380,6 +433,51 @@ mod tests {
         let d = fresh.summary().delta(&big);
         assert_eq!(d.count, 0);
         assert_eq!(d, HistogramSummary::default());
+    }
+
+    #[test]
+    fn exemplars_tag_buckets_and_survive_delta() {
+        let h = HistogramCore::new();
+        h.record_with_exemplar(10, 0xAAAA);
+        for _ in 0..200 {
+            h.record(100);
+        }
+        h.record_with_exemplar(1_000_000, 0xBEEF);
+        let s = h.summary();
+        assert_eq!(s.exemplars[bucket_index(10)], 0xAAAA);
+        assert_eq!(s.exemplars[bucket_index(1_000_000)], 0xBEEF);
+        // p99 lands in the slow-outlier's bucket: the tail exemplar is it.
+        assert_eq!(s.p99_exemplar(), 0xBEEF);
+
+        // An interval that excludes the fast exemplar's bucket drops it.
+        let mut earlier = HistogramSummary::default();
+        earlier.buckets[bucket_index(10)] = 1;
+        earlier.count = 1;
+        let d = s.delta(&earlier);
+        assert_eq!(d.exemplars[bucket_index(10)], 0);
+        assert_eq!(d.exemplars[bucket_index(1_000_000)], 0xBEEF);
+    }
+
+    #[test]
+    fn exemplar_zero_does_not_clobber() {
+        let h = HistogramCore::new();
+        h.record_with_exemplar(50, 7);
+        h.record_with_exemplar(50, 0);
+        assert_eq!(h.summary().exemplars[bucket_index(50)], 7);
+    }
+
+    #[test]
+    fn p99_exemplar_falls_back_to_higher_bucket() {
+        let h = HistogramCore::new();
+        for _ in 0..100 {
+            h.record(100); // bulk, no exemplar
+        }
+        h.record_with_exemplar(u64::MAX, 42);
+        let s = h.summary();
+        // p99 sits in the bulk bucket (no exemplar) but the occupied bucket
+        // above carries one.
+        assert_eq!(s.p99_exemplar(), 42);
+        assert_eq!(HistogramSummary::default().p99_exemplar(), 0);
     }
 
     #[test]

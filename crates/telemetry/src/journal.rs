@@ -2,11 +2,13 @@
 //!
 //! Events carry a name and a small bag of typed fields, and are stamped with
 //! a registry-wide sequence number so interleavings across layers stay
-//! ordered. The journal is bounded: once [`MAX_JOURNAL_EVENTS`] is reached
-//! new events are counted as dropped instead of growing without bound, so a
-//! long training run cannot OOM the server through its own telemetry.
+//! ordered. The journal is bounded: once its capacity is reached new events
+//! are counted as dropped instead of growing without bound, so a long
+//! training run cannot OOM the server through its own telemetry. The
+//! capacity defaults to [`MAX_JOURNAL_EVENTS`] and is tunable per registry
+//! ([`Registry::set_journal_capacity`](crate::Registry::set_journal_capacity)).
 
-/// Upper bound on retained events per registry.
+/// Default upper bound on retained events per registry.
 pub const MAX_JOURNAL_EVENTS: usize = 65_536;
 
 /// A typed event field value.
@@ -89,18 +91,40 @@ impl Event {
 }
 
 /// Bounded event buffer (lives behind the registry's mutex).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct Journal {
     events: Vec<Event>,
     next_seq: u64,
     dropped: u64,
+    capacity: usize,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal {
+            events: Vec::new(),
+            next_seq: 0,
+            dropped: 0,
+            capacity: MAX_JOURNAL_EVENTS,
+        }
+    }
 }
 
 impl Journal {
+    /// Changes the retention bound. Already-buffered events are kept even if
+    /// they exceed a smaller capacity; only future pushes are affected.
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     pub(crate) fn push(&mut self, name: &str, fields: &[(&str, Value)]) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        if self.events.len() >= MAX_JOURNAL_EVENTS {
+        if self.events.len() >= self.capacity {
             self.dropped += 1;
             return;
         }
@@ -155,6 +179,23 @@ mod tests {
             j.events().last().map(|e| e.seq),
             Some(MAX_JOURNAL_EVENTS as u64 - 1)
         );
+    }
+
+    #[test]
+    fn capacity_is_configurable() {
+        let mut j = Journal::default();
+        assert_eq!(j.capacity(), MAX_JOURNAL_EVENTS);
+        j.set_capacity(4);
+        for _ in 0..10 {
+            j.push("e", &[]);
+        }
+        assert_eq!(j.events().len(), 4);
+        assert_eq!(j.dropped(), 6);
+        // Growing the bound re-enables retention without losing seq density.
+        j.set_capacity(6);
+        j.push("e", &[]);
+        assert_eq!(j.events().len(), 5);
+        assert_eq!(j.events().last().map(|e| e.seq), Some(10));
     }
 
     #[test]

@@ -239,6 +239,54 @@ impl Registry {
         }
     }
 
+    /// Changes the journal's retention bound (default
+    /// [`crate::MAX_JOURNAL_EVENTS`]). Already-buffered events are kept even
+    /// if they exceed a smaller bound; only future pushes are affected.
+    /// No-op on a disabled registry.
+    pub fn set_journal_capacity(&self, capacity: usize) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.journal).set_capacity(capacity);
+        }
+    }
+
+    /// Current journal retention bound (0 when disabled).
+    pub fn journal_capacity(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| lock(&inner.journal).capacity())
+    }
+
+    /// Events evicted from the bounded journal since startup (the live
+    /// value behind the `telemetry.journal.dropped` snapshot counter),
+    /// readable without building a snapshot. The `tail` verb reports this
+    /// so pollers can tell a quiet window from a lost one.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| lock(&inner.journal).dropped())
+    }
+
+    /// Copies journal events with `seq >= cursor`, at most `max` of them,
+    /// without snapshotting instruments. Returns the events plus the cursor
+    /// to resume from (one past the last returned seq; equal to `cursor`
+    /// when nothing new exists). This is the polling primitive behind the
+    /// network `tail` verb: the client holds the cursor, the server keeps
+    /// no per-client state. Sequence numbers are dense, so a gap between
+    /// the requested cursor and the first returned seq can only mean the
+    /// journal hit its retention bound in between.
+    pub fn events_since(&self, cursor: u64, max: usize) -> (Vec<crate::Event>, u64) {
+        let Some(inner) = &self.inner else {
+            return (Vec::new(), cursor);
+        };
+        let journal = lock(&inner.journal);
+        let events = journal.events();
+        // seq is dense from 0 over retained events: index by position.
+        let start = events.partition_point(|e| e.seq < cursor);
+        let out: Vec<crate::Event> = events[start..].iter().take(max).cloned().collect();
+        let next = out.last().map_or(cursor, |e| e.seq + 1);
+        (out, next)
+    }
+
     /// Full point-in-time snapshot, including the event journal.
     pub fn snapshot(&self) -> Snapshot {
         self.snapshot_impl(true)

@@ -379,3 +379,56 @@ fn recovery_is_idempotent_across_independent_restores() {
     assert_eq!(restore(), restore());
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// A scrape-side consumer holding a pre-crash snapshot must survive the
+/// restart: the recovered server's fresh registry restarts most counters
+/// from zero, and `Snapshot::delta` across that reset saturates instead
+/// of underflowing or panicking — the live-ops analogue of the
+/// telemetry-level reset tests.
+#[test]
+fn snapshot_delta_across_recover_saturates_counter_resets() {
+    let dir = state_dir("delta-reset");
+    let config = crash_config(PrivacyConfig::with_epsilon(1.0), 1);
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut server = build(&config, &mut rng);
+    server.enable_durability(&dir).expect("enable durability");
+    for round in 0..4 {
+        run_round(&mut server, round, &mut rng).expect("round");
+    }
+    let pre = server.metrics_snapshot();
+    assert_eq!(
+        pre.histogram("round.latency").map(|h| h.count),
+        Some(4),
+        "pre-crash server recorded four rounds"
+    );
+    drop(server);
+
+    let mut rng2 = StdRng::seed_from_u64(17);
+    let mut recovered = build(&config, &mut rng2);
+    recovered.recover(&dir).expect("recover");
+    run_round(&mut recovered, 99, &mut rng2).expect("post-recover round");
+    let post = recovered.metrics_snapshot();
+    // The histogram restarted: one post-restart round versus four before
+    // the crash — the raw difference would underflow.
+    let post_lat = post.histogram("round.latency").expect("post histogram");
+    assert_eq!(post_lat.count, 1, "fresh registry restarted the histogram");
+
+    let window = post.delta(&pre);
+    // rounds_completed is restored by recover() (it re-adds the committed
+    // count), so its window is exactly the one real post-restart round.
+    assert_eq!(window.counter("fl.rounds.completed"), Some(1));
+    // Every windowed counter saturates — none exceeds its post-restart
+    // total, and none underflowed into a huge wrapped value.
+    for (name, value) in &window.counters {
+        let total = post.counter(name).unwrap_or(0);
+        assert!(
+            *value <= total,
+            "{name}: window {value} exceeds post-restart total {total}"
+        );
+    }
+    // The histogram window saturates bucket-wise to an empty-ish window
+    // rather than panicking.
+    let win_lat = window.histogram("round.latency").expect("window histogram");
+    assert!(win_lat.count <= post_lat.count);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -260,6 +260,7 @@ fn watch_plane_samples_windows_and_alarms() {
             max_round_p99_ns: max_p99,
             max_shed_ppm: Some(100_000),
             alarm_on_empirical: true,
+            empirical_every_rounds: 0,
         };
         let mut server =
             FedoraServer::with_telemetry(config, |_| vec![0u8; 32], Registry::new(), &mut rng);
@@ -296,6 +297,83 @@ fn watch_plane_samples_windows_and_alarms() {
     );
 }
 
+/// The continuous refresher feeds the estimator from live shadow traces:
+/// `fdp.empirical.*` updates across ≥ 3 refresh windows of a live run,
+/// with no on-demand twin replay anywhere, and the honest mechanism never
+/// alarms.
+#[test]
+fn continuous_refresher_updates_estimate_across_live_windows() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut config = estimator_config(PrivacyConfig::with_epsilon(1.0), 1);
+    config.watch = WatchConfig::every(2);
+    config.watch.empirical_every_rounds = 1;
+    let mut server =
+        FedoraServer::with_telemetry(config, |_| vec![0u8; 32], Registry::new(), &mut rng);
+    let requests: Vec<u64> = (0..K as u64).collect();
+    let mut mode = FedAvg;
+    let mut sample_counts = Vec::new();
+    for _ in 0..8 {
+        server.begin_round(&requests, &mut rng).expect("round");
+        server.end_round(&mut mode, 1.0, &mut rng).expect("end");
+        sample_counts.push(
+            server
+                .empirical_estimate()
+                .map_or(0, |estimate| estimate.samples),
+        );
+    }
+    // Capture every round, pair every two: estimates land at rounds
+    // 2, 4, 6, 8 with growing sample counts — at least three distinct
+    // refresh windows updated the estimate.
+    assert_eq!(sample_counts, vec![0, 1, 1, 2, 2, 3, 3, 4]);
+    let estimate = server.empirical_estimate().expect("live estimate");
+    assert!(
+        !estimate.exceeds(1.0),
+        "honest mechanism must not alarm: {estimate:?}"
+    );
+    let snap = server.registry().snapshot();
+    assert_eq!(
+        snap.events
+            .iter()
+            .filter(|e| e.name == "watch.empirical.refresh")
+            .count(),
+        4,
+        "one refresh event per completed pair"
+    );
+    assert!(
+        snap.events
+            .iter()
+            .all(|e| e.name != "watch.alarm.empirical_eps"),
+        "no alarm on an honest run"
+    );
+    // The gauges are live on the audit view, and the watch report taken
+    // at the same commit already sees the refreshed estimate.
+    let audit = server.metrics_snapshot().audit_view();
+    assert_eq!(audit.gauge("fdp.empirical.samples"), Some(4.0));
+    assert_eq!(audit.gauge("fdp.empirical.eps_hat"), Some(estimate.eps_hat));
+    let report = server.watch_report().expect("watch sampled");
+    assert_eq!(report.eps_samples, 4);
+}
+
+/// Rounds between captures pay nothing: with a sparse refresh cadence the
+/// recorder is detached for the off rounds, and estimates still arrive.
+#[test]
+fn sparse_refresher_cadence_still_pairs_captures() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut config = estimator_config(PrivacyConfig::with_epsilon(1.0), 1);
+    config.watch.empirical_every_rounds = 3;
+    let mut server =
+        FedoraServer::with_telemetry(config, |_| vec![0u8; 32], Registry::new(), &mut rng);
+    let requests: Vec<u64> = (0..K as u64).collect();
+    let mut mode = FedAvg;
+    for _ in 0..12 {
+        server.begin_round(&requests, &mut rng).expect("round");
+        server.end_round(&mut mode, 1.0, &mut rng).expect("end");
+    }
+    // Captures at rounds 3, 6, 9, 12 → pairs complete at 6 and 12.
+    let estimate = server.empirical_estimate().expect("estimate");
+    assert_eq!(estimate.samples, 2);
+}
+
 /// The watch sampler's own cost stays under 5% of round wall-time, with
 /// the most aggressive cadence (every round). The bound is asserted in
 /// release builds only — debug-build constant factors are not the claim.
@@ -321,6 +399,45 @@ fn watch_overhead_stays_under_five_percent_of_round_time() {
     assert!(
         cfg!(debug_assertions) || ratio < 0.05,
         "watch overhead {:.2}% of round wall-time (watch {} ns vs rounds {} ns)",
+        ratio * 100.0,
+        watch.sum,
+        rounds.sum
+    );
+}
+
+/// The continuous refresher bills its own cost into `watch.sample.ns`,
+/// and the combined watch + refresher overhead still clears the same <5%
+/// budget at the most aggressive cadence (both every round). Asserted in
+/// release builds only, like the base overhead test.
+#[test]
+fn watch_overhead_with_refresher_stays_under_five_percent() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut config = estimator_config(PrivacyConfig::with_epsilon(1.0), 1);
+    config.watch = WatchConfig::every(1);
+    config.watch.empirical_every_rounds = 1;
+    let mut server =
+        FedoraServer::with_telemetry(config, |_| vec![0u8; 32], Registry::new(), &mut rng);
+    let requests: Vec<u64> = (0..K as u64).collect();
+    let mut mode = FedAvg;
+    for _ in 0..20 {
+        server.begin_round(&requests, &mut rng).expect("round");
+        server.end_round(&mut mode, 1.0, &mut rng).expect("end");
+    }
+    let snap = server.metrics_snapshot();
+    let watch = snap.histogram("watch.sample.ns").expect("watch histogram");
+    let rounds = snap.histogram("round.latency").expect("round histogram");
+    assert_eq!(
+        watch.count, 40,
+        "one watch sample plus one refresher sample per round"
+    );
+    assert!(
+        server.empirical_estimate().is_some(),
+        "refresher produced estimates during the run"
+    );
+    let ratio = watch.sum as f64 / rounds.sum as f64;
+    assert!(
+        cfg!(debug_assertions) || ratio < 0.05,
+        "watch+refresher overhead {:.2}% of round wall-time ({} ns vs {} ns)",
         ratio * 100.0,
         watch.sum,
         rounds.sum
