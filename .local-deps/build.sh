@@ -1,0 +1,10 @@
+#!/bin/sh
+# Offline build wrapper: patch the registry deps with local stubs.
+# Usage: .local-deps/build.sh <cargo subcommand and args...>
+exec cargo \
+  --config 'patch.crates-io.rand.path="/root/repo/.local-deps/rand"' \
+  --config 'patch.crates-io.crossbeam.path="/root/repo/.local-deps/crossbeam"' \
+  --config 'patch.crates-io.proptest.path="/root/repo/.local-deps/proptest"' \
+  --config 'patch.crates-io.serde.path="/root/repo/.local-deps/serde"' \
+  --config 'patch.crates-io.criterion.path="/root/repo/.local-deps/criterion"' \
+  --offline "$@"

@@ -1,0 +1,37 @@
+//! Offline build stub covering the slice of `crossbeam 0.8` this workspace
+//! uses (`crossbeam::thread::scope` + `Scope::spawn`), backed by
+//! `std::thread::scope`. Injected via a local `[patch]` on the cargo command
+//! line when the registry is unreachable; never committed as a dependency.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Mirror of `crossbeam::thread::Scope`, wrapping the std scoped API.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Argument handed to spawned closures (crossbeam passes a nested
+    /// `&Scope`; every call site in this workspace ignores it).
+    pub struct SpawnArg;
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&SpawnArg) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&SpawnArg))
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}

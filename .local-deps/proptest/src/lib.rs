@@ -1,0 +1,531 @@
+//! Offline build stub covering the slice of `proptest 1` this workspace
+//! uses: the `proptest!`/`prop_assert*`/`prop_assume!`/`prop_oneof!` macros,
+//! `any::<T>()`, range strategies, `Just`, tuple strategies,
+//! `collection::vec`, `array::uniform32`, `prop_map`, `prop_filter`, and
+//! `ProptestConfig::with_cases`. No shrinking — failures report the inputs
+//! and panic. Injected via a local `[patch]` on the cargo command line when
+//! the registry is unreachable; never committed as a dependency.
+
+/// Deterministic generator (splitmix64) seeded from the test name.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod test_runner {
+    /// Outcome of one generated case.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// Input rejected (`prop_assume!` or a filter) — retry, don't count.
+        Reject,
+        /// Assertion failure — the test fails.
+        Fail(String),
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// Strategy: something that can generate values (`None` = filtered out).
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<W, F>(self, _whence: W, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// Constant strategy.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Types with a default "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-balanced, wide dynamic range.
+        let mag = rng.unit_f64() * 1e12;
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        <f64 as Arbitrary>::arbitrary(rng) as f32
+    }
+}
+
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                if self.start >= self.end {
+                    return None;
+                }
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                Some(self.start.wrapping_add((rng.next_u64() as u128 % span) as $t))
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (lo, hi) = (*self.start(), *self.end());
+                if lo > hi {
+                    return None;
+                }
+                let span = (hi as u128) - (lo as u128) + 1;
+                Some(lo.wrapping_add((rng.next_u64() as u128 % span) as $t))
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(self.start + (self.end - self.start) * rng.unit_f64() as $t)
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f32, f64);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $idx:tt),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.generate(rng)?,)*))
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Boxed union used by `prop_oneof!`.
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        (**self).generate(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Length specifier for [`vec`]: a fixed size or a half-open range.
+    pub trait VecLen {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl VecLen for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl VecLen for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.start >= self.end {
+                return 0;
+            }
+            self.start + (rng.next_u64() % (self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl VecLen for core::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            if lo > hi {
+                return 0;
+            }
+            lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    pub fn vec<S: Strategy, L: VecLen>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: VecLen> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.len.pick(rng);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.element.generate(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    pub struct Uniform32<S> {
+        element: S,
+    }
+
+    pub fn uniform32<S: Strategy>(element: S) -> Uniform32<S> {
+        Uniform32 { element }
+    }
+
+    impl<S: Strategy> Strategy for Uniform32<S>
+    where
+        S::Value: Copy + Default,
+    {
+        type Value = [S::Value; 32];
+
+        fn generate(&self, rng: &mut TestRng) -> Option<[S::Value; 32]> {
+            let mut out = [S::Value::default(); 32];
+            for slot in out.iter_mut() {
+                *slot = self.element.generate(rng)?;
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} == {:?}", lhs, rhs),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs != rhs) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}", lhs, rhs),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs != rhs) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(::std::boxed::Box::new($arm) as ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,)+
+        ])
+    };
+}
+
+/// Emits `let` bindings for the parameter list inside the per-case closure.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; mut $x:ident in $s:expr) => {
+        $crate::__proptest_bind!($rng; mut $x in $s,);
+    };
+    ($rng:ident; mut $x:ident in $s:expr, $($rest:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $x = match $crate::Strategy::generate(&($s), $rng) {
+            ::core::option::Option::Some(v) => v,
+            ::core::option::Option::None => {
+                return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject)
+            }
+        };
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $x:ident in $s:expr) => {
+        $crate::__proptest_bind!($rng; $x in $s,);
+    };
+    ($rng:ident; $x:ident in $s:expr, $($rest:tt)*) => {
+        let $x = match $crate::Strategy::generate(&($s), $rng) {
+            ::core::option::Option::Some(v) => v,
+            ::core::option::Option::None => {
+                return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject)
+            }
+        };
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $x:ident : $t:ty) => {
+        $crate::__proptest_bind!($rng; $x : $t,);
+    };
+    ($rng:ident; $x:ident : $t:ty, $($rest:tt)*) => {
+        let $x: $t = $crate::Arbitrary::arbitrary($rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    ($cfg:expr; $($(#[$fmeta:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$fmeta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                let mut __ok: u32 = 0;
+                let mut __tries: u32 = 0;
+                let __max_tries = __cfg.cases.saturating_mul(50).max(200);
+                while __ok < __cfg.cases && __tries < __max_tries {
+                    __tries += 1;
+                    let __result = (|__prng: &mut $crate::TestRng|
+                        -> $crate::test_runner::TestCaseResult {
+                        $crate::__proptest_bind!(__prng; $($params)*);
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })(&mut __rng);
+                    match __result {
+                        ::core::result::Result::Ok(()) => __ok += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(m)) => {
+                            panic!("proptest case failed: {}", m)
+                        }
+                    }
+                }
+                assert!(__ok > 0, "proptest: every generated input was rejected");
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_run!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_run!(::core::default::Default::default(); $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy,
+    };
+    pub mod prop {
+        pub use crate::{array, collection};
+    }
+}

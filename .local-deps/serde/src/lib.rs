@@ -1,0 +1,8 @@
+//! Offline build stub for `serde 1` sufficient for derive-only usage.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,16 @@
+//! Offline build stub: no-op `Serialize`/`Deserialize` derives. The
+//! workspace derives these traits but never serializes through them (no
+//! serde_json in-tree), so empty expansions are sufficient for offline
+//! builds.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

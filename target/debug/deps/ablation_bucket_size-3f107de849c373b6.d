@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bucket_size-3f107de849c373b6.d: crates/bench/src/bin/ablation_bucket_size.rs
+
+/root/repo/target/debug/deps/ablation_bucket_size-3f107de849c373b6: crates/bench/src/bin/ablation_bucket_size.rs
+
+crates/bench/src/bin/ablation_bucket_size.rs:

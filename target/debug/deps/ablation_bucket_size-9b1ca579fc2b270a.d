@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_bucket_size-9b1ca579fc2b270a.d: crates/bench/src/bin/ablation_bucket_size.rs
+
+/root/repo/target/debug/deps/ablation_bucket_size-9b1ca579fc2b270a: crates/bench/src/bin/ablation_bucket_size.rs
+
+crates/bench/src/bin/ablation_bucket_size.rs:

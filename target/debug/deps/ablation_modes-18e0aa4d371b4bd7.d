@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_modes-18e0aa4d371b4bd7.d: crates/bench/src/bin/ablation_modes.rs
+
+/root/repo/target/debug/deps/ablation_modes-18e0aa4d371b4bd7: crates/bench/src/bin/ablation_modes.rs
+
+crates/bench/src/bin/ablation_modes.rs:

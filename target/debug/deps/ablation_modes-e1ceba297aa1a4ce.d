@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_modes-e1ceba297aa1a4ce.d: crates/bench/src/bin/ablation_modes.rs
+
+/root/repo/target/debug/deps/ablation_modes-e1ceba297aa1a4ce: crates/bench/src/bin/ablation_modes.rs
+
+crates/bench/src/bin/ablation_modes.rs:

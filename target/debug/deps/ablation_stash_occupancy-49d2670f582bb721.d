@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_stash_occupancy-49d2670f582bb721.d: crates/bench/src/bin/ablation_stash_occupancy.rs
+
+/root/repo/target/debug/deps/ablation_stash_occupancy-49d2670f582bb721: crates/bench/src/bin/ablation_stash_occupancy.rs
+
+crates/bench/src/bin/ablation_stash_occupancy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_stash_occupancy-4a9aee671d25b1b0.d: crates/bench/src/bin/ablation_stash_occupancy.rs
+
+/root/repo/target/debug/deps/ablation_stash_occupancy-4a9aee671d25b1b0: crates/bench/src/bin/ablation_stash_occupancy.rs
+
+crates/bench/src/bin/ablation_stash_occupancy.rs:

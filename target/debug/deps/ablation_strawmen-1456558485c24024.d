@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_strawmen-1456558485c24024.d: crates/bench/src/bin/ablation_strawmen.rs
+
+/root/repo/target/debug/deps/ablation_strawmen-1456558485c24024: crates/bench/src/bin/ablation_strawmen.rs
+
+crates/bench/src/bin/ablation_strawmen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_strawmen-2683aafd4a4be3aa.d: crates/bench/src/bin/ablation_strawmen.rs
+
+/root/repo/target/debug/deps/ablation_strawmen-2683aafd4a4be3aa: crates/bench/src/bin/ablation_strawmen.rs
+
+crates/bench/src/bin/ablation_strawmen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_campaign-351ff56546748a3f.d: crates/bench/src/bin/crash_campaign.rs
+
+/root/repo/target/debug/deps/crash_campaign-351ff56546748a3f: crates/bench/src/bin/crash_campaign.rs
+
+crates/bench/src/bin/crash_campaign.rs:

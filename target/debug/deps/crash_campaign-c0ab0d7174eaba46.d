@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_campaign-c0ab0d7174eaba46.d: crates/bench/src/bin/crash_campaign.rs
+
+/root/repo/target/debug/deps/crash_campaign-c0ab0d7174eaba46: crates/bench/src/bin/crash_campaign.rs
+
+crates/bench/src/bin/crash_campaign.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-e5c699e94675bc6a.d: .local-deps/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e5c699e94675bc6a.rlib: .local-deps/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e5c699e94675bc6a.rmeta: .local-deps/criterion/src/lib.rs
+
+.local-deps/criterion/src/lib.rs:

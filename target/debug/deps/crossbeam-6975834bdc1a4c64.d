@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-6975834bdc1a4c64.d: .local-deps/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-6975834bdc1a4c64.rlib: .local-deps/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-6975834bdc1a4c64.rmeta: .local-deps/crossbeam/src/lib.rs
+
+.local-deps/crossbeam/src/lib.rs:

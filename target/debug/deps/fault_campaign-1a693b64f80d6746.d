@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_campaign-1a693b64f80d6746.d: crates/bench/src/bin/fault_campaign.rs
+
+/root/repo/target/debug/deps/fault_campaign-1a693b64f80d6746: crates/bench/src/bin/fault_campaign.rs
+
+crates/bench/src/bin/fault_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_campaign-dcc6900dd1556092.d: crates/bench/src/bin/fault_campaign.rs
+
+/root/repo/target/debug/deps/fault_campaign-dcc6900dd1556092: crates/bench/src/bin/fault_campaign.rs
+
+crates/bench/src/bin/fault_campaign.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fedora-bf8bac0b36a5f5c5.d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/analytic.rs crates/core/src/audit.rs crates/core/src/audit/empirical.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/durable.rs crates/core/src/latency.rs crates/core/src/multi.rs crates/core/src/server.rs crates/core/src/training.rs
+
+/root/repo/target/debug/deps/fedora-bf8bac0b36a5f5c5: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/analytic.rs crates/core/src/audit.rs crates/core/src/audit/empirical.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/durable.rs crates/core/src/latency.rs crates/core/src/multi.rs crates/core/src/server.rs crates/core/src/training.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adversary.rs:
+crates/core/src/analytic.rs:
+crates/core/src/audit.rs:
+crates/core/src/audit/empirical.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/cost.rs:
+crates/core/src/durable.rs:
+crates/core/src/latency.rs:
+crates/core/src/multi.rs:
+crates/core/src/server.rs:
+crates/core/src/training.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedora_audit-8ee026d2f12adfed.d: crates/bench/src/bin/fedora_audit.rs
+
+/root/repo/target/debug/deps/fedora_audit-8ee026d2f12adfed: crates/bench/src/bin/fedora_audit.rs
+
+crates/bench/src/bin/fedora_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedora_audit-f6b04d9bd23ca232.d: crates/bench/src/bin/fedora_audit.rs
+
+/root/repo/target/debug/deps/fedora_audit-f6b04d9bd23ca232: crates/bench/src/bin/fedora_audit.rs
+
+crates/bench/src/bin/fedora_audit.rs:

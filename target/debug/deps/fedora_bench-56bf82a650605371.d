@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedora_bench-56bf82a650605371.d: crates/bench/src/lib.rs crates/bench/src/netload.rs crates/bench/src/outopts.rs crates/bench/src/trajectory.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libfedora_bench-56bf82a650605371.rlib: crates/bench/src/lib.rs crates/bench/src/netload.rs crates/bench/src/outopts.rs crates/bench/src/trajectory.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/libfedora_bench-56bf82a650605371.rmeta: crates/bench/src/lib.rs crates/bench/src/netload.rs crates/bench/src/outopts.rs crates/bench/src/trajectory.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/netload.rs:
+crates/bench/src/outopts.rs:
+crates/bench/src/trajectory.rs:
+crates/bench/src/workload.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedora_bench-f8cc738594a553cc.d: crates/bench/src/lib.rs crates/bench/src/netload.rs crates/bench/src/outopts.rs crates/bench/src/trajectory.rs crates/bench/src/workload.rs
+
+/root/repo/target/debug/deps/fedora_bench-f8cc738594a553cc: crates/bench/src/lib.rs crates/bench/src/netload.rs crates/bench/src/outopts.rs crates/bench/src/trajectory.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/netload.rs:
+crates/bench/src/outopts.rs:
+crates/bench/src/trajectory.rs:
+crates/bench/src/workload.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

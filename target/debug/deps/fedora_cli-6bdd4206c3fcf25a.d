@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedora_cli-6bdd4206c3fcf25a.d: crates/net/src/bin/fedora-cli.rs
+
+/root/repo/target/debug/deps/fedora_cli-6bdd4206c3fcf25a: crates/net/src/bin/fedora-cli.rs
+
+crates/net/src/bin/fedora-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedora_cli-744005dd5ce72f3d.d: crates/net/src/bin/fedora-cli.rs
+
+/root/repo/target/debug/deps/fedora_cli-744005dd5ce72f3d: crates/net/src/bin/fedora-cli.rs
+
+crates/net/src/bin/fedora-cli.rs:

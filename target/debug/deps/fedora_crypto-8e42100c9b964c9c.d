@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fedora_crypto-8e42100c9b964c9c.d: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/counter.rs crates/crypto/src/flat.rs crates/crypto/src/group.rs crates/crypto/src/integrity.rs crates/crypto/src/poly1305.rs
+
+/root/repo/target/debug/deps/libfedora_crypto-8e42100c9b964c9c.rlib: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/counter.rs crates/crypto/src/flat.rs crates/crypto/src/group.rs crates/crypto/src/integrity.rs crates/crypto/src/poly1305.rs
+
+/root/repo/target/debug/deps/libfedora_crypto-8e42100c9b964c9c.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/counter.rs crates/crypto/src/flat.rs crates/crypto/src/group.rs crates/crypto/src/integrity.rs crates/crypto/src/poly1305.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aead.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/counter.rs:
+crates/crypto/src/flat.rs:
+crates/crypto/src/group.rs:
+crates/crypto/src/integrity.rs:
+crates/crypto/src/poly1305.rs:

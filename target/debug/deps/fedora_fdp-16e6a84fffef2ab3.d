@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fedora_fdp-16e6a84fffef2ab3.d: crates/fdp/src/lib.rs crates/fdp/src/accountant.rs crates/fdp/src/chunking.rs crates/fdp/src/mechanism.rs crates/fdp/src/shape.rs crates/fdp/src/tuning.rs
+
+/root/repo/target/debug/deps/fedora_fdp-16e6a84fffef2ab3: crates/fdp/src/lib.rs crates/fdp/src/accountant.rs crates/fdp/src/chunking.rs crates/fdp/src/mechanism.rs crates/fdp/src/shape.rs crates/fdp/src/tuning.rs
+
+crates/fdp/src/lib.rs:
+crates/fdp/src/accountant.rs:
+crates/fdp/src/chunking.rs:
+crates/fdp/src/mechanism.rs:
+crates/fdp/src/shape.rs:
+crates/fdp/src/tuning.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fedora_fdp-b6d33778e74498eb.d: crates/fdp/src/lib.rs crates/fdp/src/accountant.rs crates/fdp/src/chunking.rs crates/fdp/src/mechanism.rs crates/fdp/src/shape.rs crates/fdp/src/tuning.rs
+
+/root/repo/target/debug/deps/libfedora_fdp-b6d33778e74498eb.rlib: crates/fdp/src/lib.rs crates/fdp/src/accountant.rs crates/fdp/src/chunking.rs crates/fdp/src/mechanism.rs crates/fdp/src/shape.rs crates/fdp/src/tuning.rs
+
+/root/repo/target/debug/deps/libfedora_fdp-b6d33778e74498eb.rmeta: crates/fdp/src/lib.rs crates/fdp/src/accountant.rs crates/fdp/src/chunking.rs crates/fdp/src/mechanism.rs crates/fdp/src/shape.rs crates/fdp/src/tuning.rs
+
+crates/fdp/src/lib.rs:
+crates/fdp/src/accountant.rs:
+crates/fdp/src/chunking.rs:
+crates/fdp/src/mechanism.rs:
+crates/fdp/src/shape.rs:
+crates/fdp/src/tuning.rs:

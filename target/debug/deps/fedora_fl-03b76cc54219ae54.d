@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fedora_fl-03b76cc54219ae54.d: crates/fl/src/lib.rs crates/fl/src/attention.rs crates/fl/src/client.rs crates/fl/src/datasets.rs crates/fl/src/linalg.rs crates/fl/src/metrics.rs crates/fl/src/model.rs crates/fl/src/modes.rs crates/fl/src/secagg.rs crates/fl/src/sim.rs crates/fl/src/wire.rs
+
+/root/repo/target/debug/deps/libfedora_fl-03b76cc54219ae54.rlib: crates/fl/src/lib.rs crates/fl/src/attention.rs crates/fl/src/client.rs crates/fl/src/datasets.rs crates/fl/src/linalg.rs crates/fl/src/metrics.rs crates/fl/src/model.rs crates/fl/src/modes.rs crates/fl/src/secagg.rs crates/fl/src/sim.rs crates/fl/src/wire.rs
+
+/root/repo/target/debug/deps/libfedora_fl-03b76cc54219ae54.rmeta: crates/fl/src/lib.rs crates/fl/src/attention.rs crates/fl/src/client.rs crates/fl/src/datasets.rs crates/fl/src/linalg.rs crates/fl/src/metrics.rs crates/fl/src/model.rs crates/fl/src/modes.rs crates/fl/src/secagg.rs crates/fl/src/sim.rs crates/fl/src/wire.rs
+
+crates/fl/src/lib.rs:
+crates/fl/src/attention.rs:
+crates/fl/src/client.rs:
+crates/fl/src/datasets.rs:
+crates/fl/src/linalg.rs:
+crates/fl/src/metrics.rs:
+crates/fl/src/model.rs:
+crates/fl/src/modes.rs:
+crates/fl/src/secagg.rs:
+crates/fl/src/sim.rs:
+crates/fl/src/wire.rs:

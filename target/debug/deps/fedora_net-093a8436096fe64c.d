@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fedora_net-093a8436096fe64c.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/proto.rs crates/net/src/server.rs
+
+/root/repo/target/debug/deps/fedora_net-093a8436096fe64c: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/proto.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/frame.rs:
+crates/net/src/proto.rs:
+crates/net/src/server.rs:

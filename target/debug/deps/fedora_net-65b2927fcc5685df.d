@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedora_net-65b2927fcc5685df.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/proto.rs crates/net/src/server.rs
+
+/root/repo/target/debug/deps/libfedora_net-65b2927fcc5685df.rlib: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/proto.rs crates/net/src/server.rs
+
+/root/repo/target/debug/deps/libfedora_net-65b2927fcc5685df.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/proto.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/frame.rs:
+crates/net/src/proto.rs:
+crates/net/src/server.rs:

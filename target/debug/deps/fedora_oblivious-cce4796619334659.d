@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fedora_oblivious-cce4796619334659.d: crates/oblivious/src/lib.rs crates/oblivious/src/choice.rs crates/oblivious/src/scan.rs crates/oblivious/src/select.rs crates/oblivious/src/sort.rs crates/oblivious/src/sorted_union.rs crates/oblivious/src/union.rs
+
+/root/repo/target/debug/deps/libfedora_oblivious-cce4796619334659.rlib: crates/oblivious/src/lib.rs crates/oblivious/src/choice.rs crates/oblivious/src/scan.rs crates/oblivious/src/select.rs crates/oblivious/src/sort.rs crates/oblivious/src/sorted_union.rs crates/oblivious/src/union.rs
+
+/root/repo/target/debug/deps/libfedora_oblivious-cce4796619334659.rmeta: crates/oblivious/src/lib.rs crates/oblivious/src/choice.rs crates/oblivious/src/scan.rs crates/oblivious/src/select.rs crates/oblivious/src/sort.rs crates/oblivious/src/sorted_union.rs crates/oblivious/src/union.rs
+
+crates/oblivious/src/lib.rs:
+crates/oblivious/src/choice.rs:
+crates/oblivious/src/scan.rs:
+crates/oblivious/src/select.rs:
+crates/oblivious/src/sort.rs:
+crates/oblivious/src/sorted_union.rs:
+crates/oblivious/src/union.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedora_oblivious-e961481765d42d45.d: crates/oblivious/src/lib.rs crates/oblivious/src/choice.rs crates/oblivious/src/scan.rs crates/oblivious/src/select.rs crates/oblivious/src/sort.rs crates/oblivious/src/sorted_union.rs crates/oblivious/src/union.rs
+
+/root/repo/target/debug/deps/fedora_oblivious-e961481765d42d45: crates/oblivious/src/lib.rs crates/oblivious/src/choice.rs crates/oblivious/src/scan.rs crates/oblivious/src/select.rs crates/oblivious/src/sort.rs crates/oblivious/src/sorted_union.rs crates/oblivious/src/union.rs
+
+crates/oblivious/src/lib.rs:
+crates/oblivious/src/choice.rs:
+crates/oblivious/src/scan.rs:
+crates/oblivious/src/select.rs:
+crates/oblivious/src/sort.rs:
+crates/oblivious/src/sorted_union.rs:
+crates/oblivious/src/union.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fedora_oram-17aadb948832d236.d: crates/oram/src/lib.rs crates/oram/src/block.rs crates/oram/src/bucket.rs crates/oram/src/buffer.rs crates/oram/src/geometry.rs crates/oram/src/path_oram.rs crates/oram/src/position.rs crates/oram/src/raw.rs crates/oram/src/recursive.rs crates/oram/src/ring.rs crates/oram/src/stash.rs crates/oram/src/store.rs crates/oram/src/vtree.rs
+
+/root/repo/target/debug/deps/libfedora_oram-17aadb948832d236.rlib: crates/oram/src/lib.rs crates/oram/src/block.rs crates/oram/src/bucket.rs crates/oram/src/buffer.rs crates/oram/src/geometry.rs crates/oram/src/path_oram.rs crates/oram/src/position.rs crates/oram/src/raw.rs crates/oram/src/recursive.rs crates/oram/src/ring.rs crates/oram/src/stash.rs crates/oram/src/store.rs crates/oram/src/vtree.rs
+
+/root/repo/target/debug/deps/libfedora_oram-17aadb948832d236.rmeta: crates/oram/src/lib.rs crates/oram/src/block.rs crates/oram/src/bucket.rs crates/oram/src/buffer.rs crates/oram/src/geometry.rs crates/oram/src/path_oram.rs crates/oram/src/position.rs crates/oram/src/raw.rs crates/oram/src/recursive.rs crates/oram/src/ring.rs crates/oram/src/stash.rs crates/oram/src/store.rs crates/oram/src/vtree.rs
+
+crates/oram/src/lib.rs:
+crates/oram/src/block.rs:
+crates/oram/src/bucket.rs:
+crates/oram/src/buffer.rs:
+crates/oram/src/geometry.rs:
+crates/oram/src/path_oram.rs:
+crates/oram/src/position.rs:
+crates/oram/src/raw.rs:
+crates/oram/src/recursive.rs:
+crates/oram/src/ring.rs:
+crates/oram/src/stash.rs:
+crates/oram/src/store.rs:
+crates/oram/src/vtree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fedora_par-5e2ab4dba4ee0b13.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/fedora_par-5e2ab4dba4ee0b13: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fedora_par-c8754f0d63b473da.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libfedora_par-c8754f0d63b473da.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libfedora_par-c8754f0d63b473da.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

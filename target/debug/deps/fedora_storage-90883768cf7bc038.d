@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fedora_storage-90883768cf7bc038.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/dram.rs crates/storage/src/durable.rs crates/storage/src/fault.rs crates/storage/src/file_ssd.rs crates/storage/src/profile.rs crates/storage/src/scratchpad.rs crates/storage/src/ssd.rs crates/storage/src/stats.rs crates/storage/src/telemetry.rs crates/storage/src/trace_recorder.rs
+
+/root/repo/target/debug/deps/libfedora_storage-90883768cf7bc038.rlib: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/dram.rs crates/storage/src/durable.rs crates/storage/src/fault.rs crates/storage/src/file_ssd.rs crates/storage/src/profile.rs crates/storage/src/scratchpad.rs crates/storage/src/ssd.rs crates/storage/src/stats.rs crates/storage/src/telemetry.rs crates/storage/src/trace_recorder.rs
+
+/root/repo/target/debug/deps/libfedora_storage-90883768cf7bc038.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/dram.rs crates/storage/src/durable.rs crates/storage/src/fault.rs crates/storage/src/file_ssd.rs crates/storage/src/profile.rs crates/storage/src/scratchpad.rs crates/storage/src/ssd.rs crates/storage/src/stats.rs crates/storage/src/telemetry.rs crates/storage/src/trace_recorder.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/dram.rs:
+crates/storage/src/durable.rs:
+crates/storage/src/fault.rs:
+crates/storage/src/file_ssd.rs:
+crates/storage/src/profile.rs:
+crates/storage/src/scratchpad.rs:
+crates/storage/src/ssd.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/telemetry.rs:
+crates/storage/src/trace_recorder.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fedora_storage-f434a5a4694d422e.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/dram.rs crates/storage/src/durable.rs crates/storage/src/fault.rs crates/storage/src/file_ssd.rs crates/storage/src/profile.rs crates/storage/src/scratchpad.rs crates/storage/src/ssd.rs crates/storage/src/stats.rs crates/storage/src/telemetry.rs crates/storage/src/trace_recorder.rs
+
+/root/repo/target/debug/deps/fedora_storage-f434a5a4694d422e: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/dram.rs crates/storage/src/durable.rs crates/storage/src/fault.rs crates/storage/src/file_ssd.rs crates/storage/src/profile.rs crates/storage/src/scratchpad.rs crates/storage/src/ssd.rs crates/storage/src/stats.rs crates/storage/src/telemetry.rs crates/storage/src/trace_recorder.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/dram.rs:
+crates/storage/src/durable.rs:
+crates/storage/src/fault.rs:
+crates/storage/src/file_ssd.rs:
+crates/storage/src/profile.rs:
+crates/storage/src/scratchpad.rs:
+crates/storage/src/ssd.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/telemetry.rs:
+crates/storage/src/trace_recorder.rs:

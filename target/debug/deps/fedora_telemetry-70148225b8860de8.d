@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fedora_telemetry-70148225b8860de8.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/journal.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/debug/deps/fedora_telemetry-70148225b8860de8: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/journal.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/journal.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:

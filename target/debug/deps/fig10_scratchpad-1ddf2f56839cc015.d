@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_scratchpad-1ddf2f56839cc015.d: crates/bench/src/bin/fig10_scratchpad.rs
+
+/root/repo/target/debug/deps/fig10_scratchpad-1ddf2f56839cc015: crates/bench/src/bin/fig10_scratchpad.rs
+
+crates/bench/src/bin/fig10_scratchpad.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_scratchpad-be0bd74cf88463ce.d: crates/bench/src/bin/fig10_scratchpad.rs
+
+/root/repo/target/debug/deps/fig10_scratchpad-be0bd74cf88463ce: crates/bench/src/bin/fig10_scratchpad.rs
+
+crates/bench/src/bin/fig10_scratchpad.rs:

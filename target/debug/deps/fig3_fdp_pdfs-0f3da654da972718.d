@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_fdp_pdfs-0f3da654da972718.d: crates/bench/src/bin/fig3_fdp_pdfs.rs
+
+/root/repo/target/debug/deps/fig3_fdp_pdfs-0f3da654da972718: crates/bench/src/bin/fig3_fdp_pdfs.rs
+
+crates/bench/src/bin/fig3_fdp_pdfs.rs:

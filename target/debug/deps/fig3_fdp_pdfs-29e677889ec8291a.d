@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_fdp_pdfs-29e677889ec8291a.d: crates/bench/src/bin/fig3_fdp_pdfs.rs
+
+/root/repo/target/debug/deps/fig3_fdp_pdfs-29e677889ec8291a: crates/bench/src/bin/fig3_fdp_pdfs.rs
+
+crates/bench/src/bin/fig3_fdp_pdfs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_ssd_lifetime-d3328dfa7efe78a2.d: crates/bench/src/bin/fig7_ssd_lifetime.rs
+
+/root/repo/target/debug/deps/fig7_ssd_lifetime-d3328dfa7efe78a2: crates/bench/src/bin/fig7_ssd_lifetime.rs
+
+crates/bench/src/bin/fig7_ssd_lifetime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_ssd_lifetime-e038235ba597a142.d: crates/bench/src/bin/fig7_ssd_lifetime.rs
+
+/root/repo/target/debug/deps/fig7_ssd_lifetime-e038235ba597a142: crates/bench/src/bin/fig7_ssd_lifetime.rs
+
+crates/bench/src/bin/fig7_ssd_lifetime.rs:

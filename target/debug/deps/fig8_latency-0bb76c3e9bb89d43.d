@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_latency-0bb76c3e9bb89d43.d: crates/bench/src/bin/fig8_latency.rs
+
+/root/repo/target/debug/deps/fig8_latency-0bb76c3e9bb89d43: crates/bench/src/bin/fig8_latency.rs
+
+crates/bench/src/bin/fig8_latency.rs:

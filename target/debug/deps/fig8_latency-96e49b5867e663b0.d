@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_latency-96e49b5867e663b0.d: crates/bench/src/bin/fig8_latency.rs
+
+/root/repo/target/debug/deps/fig8_latency-96e49b5867e663b0: crates/bench/src/bin/fig8_latency.rs
+
+crates/bench/src/bin/fig8_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_cost_power_energy-bead0c67af411edb.d: crates/bench/src/bin/fig9_cost_power_energy.rs
+
+/root/repo/target/debug/deps/fig9_cost_power_energy-bead0c67af411edb: crates/bench/src/bin/fig9_cost_power_energy.rs
+
+crates/bench/src/bin/fig9_cost_power_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_cost_power_energy-f91c9f55fe657f28.d: crates/bench/src/bin/fig9_cost_power_energy.rs
+
+/root/repo/target/debug/deps/fig9_cost_power_energy-f91c9f55fe657f28: crates/bench/src/bin/fig9_cost_power_energy.rs
+
+crates/bench/src/bin/fig9_cost_power_energy.rs:

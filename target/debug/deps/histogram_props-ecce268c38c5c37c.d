@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/histogram_props-ecce268c38c5c37c.d: crates/telemetry/tests/histogram_props.rs
+
+/root/repo/target/debug/deps/histogram_props-ecce268c38c5c37c: crates/telemetry/tests/histogram_props.rs
+
+crates/telemetry/tests/histogram_props.rs:

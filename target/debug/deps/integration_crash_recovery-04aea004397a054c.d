@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_crash_recovery-04aea004397a054c.d: crates/core/../../tests/integration_crash_recovery.rs
+
+/root/repo/target/debug/deps/integration_crash_recovery-04aea004397a054c: crates/core/../../tests/integration_crash_recovery.rs
+
+crates/core/../../tests/integration_crash_recovery.rs:

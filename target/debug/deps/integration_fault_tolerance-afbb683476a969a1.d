@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_fault_tolerance-afbb683476a969a1.d: crates/core/../../tests/integration_fault_tolerance.rs
+
+/root/repo/target/debug/deps/integration_fault_tolerance-afbb683476a969a1: crates/core/../../tests/integration_fault_tolerance.rs
+
+crates/core/../../tests/integration_fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_fl_training-e7121de1637e60a0.d: crates/core/../../tests/integration_fl_training.rs
+
+/root/repo/target/debug/deps/integration_fl_training-e7121de1637e60a0: crates/core/../../tests/integration_fl_training.rs
+
+crates/core/../../tests/integration_fl_training.rs:

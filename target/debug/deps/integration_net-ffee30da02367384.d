@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_net-ffee30da02367384.d: crates/net/tests/integration_net.rs
+
+/root/repo/target/debug/deps/integration_net-ffee30da02367384: crates/net/tests/integration_net.rs
+
+crates/net/tests/integration_net.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_ops-feb507b9f0943493.d: crates/net/tests/integration_ops.rs
+
+/root/repo/target/debug/deps/integration_ops-feb507b9f0943493: crates/net/tests/integration_ops.rs
+
+crates/net/tests/integration_ops.rs:

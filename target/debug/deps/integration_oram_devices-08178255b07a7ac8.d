@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_oram_devices-08178255b07a7ac8.d: crates/core/../../tests/integration_oram_devices.rs
+
+/root/repo/target/debug/deps/integration_oram_devices-08178255b07a7ac8: crates/core/../../tests/integration_oram_devices.rs
+
+crates/core/../../tests/integration_oram_devices.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_parallel-e7fd67c323c9e6e1.d: crates/core/../../tests/integration_parallel.rs
+
+/root/repo/target/debug/deps/integration_parallel-e7fd67c323c9e6e1: crates/core/../../tests/integration_parallel.rs
+
+crates/core/../../tests/integration_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-142233f6c2ce7cd6.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-142233f6c2ce7cd6: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

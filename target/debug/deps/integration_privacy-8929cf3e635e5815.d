@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_privacy-8929cf3e635e5815.d: crates/core/../../tests/integration_privacy.rs
+
+/root/repo/target/debug/deps/integration_privacy-8929cf3e635e5815: crates/core/../../tests/integration_privacy.rs
+
+crates/core/../../tests/integration_privacy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_privacy_audit-dc854b62e6998191.d: crates/core/../../tests/integration_privacy_audit.rs
+
+/root/repo/target/debug/deps/integration_privacy_audit-dc854b62e6998191: crates/core/../../tests/integration_privacy_audit.rs
+
+crates/core/../../tests/integration_privacy_audit.rs:

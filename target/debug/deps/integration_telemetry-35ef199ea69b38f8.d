@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_telemetry-35ef199ea69b38f8.d: crates/core/../../tests/integration_telemetry.rs
+
+/root/repo/target/debug/deps/integration_telemetry-35ef199ea69b38f8: crates/core/../../tests/integration_telemetry.rs
+
+crates/core/../../tests/integration_telemetry.rs:

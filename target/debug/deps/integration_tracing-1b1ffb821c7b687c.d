@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_tracing-1b1ffb821c7b687c.d: crates/core/../../tests/integration_tracing.rs
+
+/root/repo/target/debug/deps/integration_tracing-1b1ffb821c7b687c: crates/core/../../tests/integration_tracing.rs
+
+crates/core/../../tests/integration_tracing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_watch_empirical-60b2bc41ce559dc6.d: crates/core/../../tests/integration_watch_empirical.rs
+
+/root/repo/target/debug/deps/integration_watch_empirical-60b2bc41ce559dc6: crates/core/../../tests/integration_watch_empirical.rs
+
+crates/core/../../tests/integration_watch_empirical.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_based-8829bcb41a500fb3.d: crates/oram/tests/model_based.rs
+
+/root/repo/target/debug/deps/model_based-8829bcb41a500fb3: crates/oram/tests/model_based.rs
+
+crates/oram/tests/model_based.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/openloop_load-57583b2285a9870f.d: crates/bench/src/bin/openloop_load.rs
+
+/root/repo/target/debug/deps/openloop_load-57583b2285a9870f: crates/bench/src/bin/openloop_load.rs
+
+crates/bench/src/bin/openloop_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/openloop_load-d053168dfa20e900.d: crates/bench/src/bin/openloop_load.rs
+
+/root/repo/target/debug/deps/openloop_load-d053168dfa20e900: crates/bench/src/bin/openloop_load.rs
+
+crates/bench/src/bin/openloop_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_trajectory-4f8d80257198abfc.d: crates/bench/src/bin/perf_trajectory.rs
+
+/root/repo/target/debug/deps/perf_trajectory-4f8d80257198abfc: crates/bench/src/bin/perf_trajectory.rs
+
+crates/bench/src/bin/perf_trajectory.rs:

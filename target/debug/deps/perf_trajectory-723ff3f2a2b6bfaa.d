@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/perf_trajectory-723ff3f2a2b6bfaa.d: crates/bench/src/bin/perf_trajectory.rs
+
+/root/repo/target/debug/deps/perf_trajectory-723ff3f2a2b6bfaa: crates/bench/src/bin/perf_trajectory.rs
+
+crates/bench/src/bin/perf_trajectory.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-0dd2642f31225ead.d: .local-deps/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0dd2642f31225ead.rlib: .local-deps/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-0dd2642f31225ead.rmeta: .local-deps/proptest/src/lib.rs
+
+.local-deps/proptest/src/lib.rs:

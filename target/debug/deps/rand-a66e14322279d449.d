@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-a66e14322279d449.d: .local-deps/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a66e14322279d449.rlib: .local-deps/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-a66e14322279d449.rmeta: .local-deps/rand/src/lib.rs
+
+.local-deps/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-6b3323411fd74249.d: .local-deps/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6b3323411fd74249.rlib: .local-deps/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-6b3323411fd74249.rmeta: .local-deps/serde/src/lib.rs
+
+.local-deps/serde/src/lib.rs:

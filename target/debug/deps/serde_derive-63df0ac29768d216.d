@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-63df0ac29768d216.d: .local-deps/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-63df0ac29768d216.so: .local-deps/serde_derive/src/lib.rs
+
+.local-deps/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_fl_accuracy-505cc8be881d942a.d: crates/bench/src/bin/table1_fl_accuracy.rs
+
+/root/repo/target/debug/deps/table1_fl_accuracy-505cc8be881d942a: crates/bench/src/bin/table1_fl_accuracy.rs
+
+crates/bench/src/bin/table1_fl_accuracy.rs:

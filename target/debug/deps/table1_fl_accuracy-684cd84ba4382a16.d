@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_fl_accuracy-684cd84ba4382a16.d: crates/bench/src/bin/table1_fl_accuracy.rs
+
+/root/repo/target/debug/deps/table1_fl_accuracy-684cd84ba4382a16: crates/bench/src/bin/table1_fl_accuracy.rs
+
+crates/bench/src/bin/table1_fl_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune_shape-8db32539f5c0604b.d: crates/bench/src/bin/tune_shape.rs
+
+/root/repo/target/debug/deps/tune_shape-8db32539f5c0604b: crates/bench/src/bin/tune_shape.rs
+
+crates/bench/src/bin/tune_shape.rs:

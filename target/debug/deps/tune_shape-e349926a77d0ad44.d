@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune_shape-e349926a77d0ad44.d: crates/bench/src/bin/tune_shape.rs
+
+/root/repo/target/debug/deps/tune_shape-e349926a77d0ad44: crates/bench/src/bin/tune_shape.rs
+
+crates/bench/src/bin/tune_shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_demo-413b730cfde47a07.d: crates/core/../../examples/attack_demo.rs
+
+/root/repo/target/debug/examples/attack_demo-413b730cfde47a07: crates/core/../../examples/attack_demo.rs
+
+crates/core/../../examples/attack_demo.rs:

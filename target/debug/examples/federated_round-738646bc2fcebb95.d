@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federated_round-738646bc2fcebb95.d: crates/core/../../examples/federated_round.rs
+
+/root/repo/target/debug/examples/federated_round-738646bc2fcebb95: crates/core/../../examples/federated_round.rs
+
+crates/core/../../examples/federated_round.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/privacy_tradeoff-a4f23a79bb3ca0ff.d: crates/core/../../examples/privacy_tradeoff.rs
+
+/root/repo/target/debug/examples/privacy_tradeoff-a4f23a79bb3ca0ff: crates/core/../../examples/privacy_tradeoff.rs
+
+crates/core/../../examples/privacy_tradeoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-baba43726d864e7c.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-baba43726d864e7c: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

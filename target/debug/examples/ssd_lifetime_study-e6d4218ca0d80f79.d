@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ssd_lifetime_study-e6d4218ca0d80f79.d: crates/core/../../examples/ssd_lifetime_study.rs
+
+/root/repo/target/debug/examples/ssd_lifetime_study-e6d4218ca0d80f79: crates/core/../../examples/ssd_lifetime_study.rs
+
+crates/core/../../examples/ssd_lifetime_study.rs:

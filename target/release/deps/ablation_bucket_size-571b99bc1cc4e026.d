@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bucket_size-571b99bc1cc4e026.d: crates/bench/src/bin/ablation_bucket_size.rs
+
+/root/repo/target/release/deps/ablation_bucket_size-571b99bc1cc4e026: crates/bench/src/bin/ablation_bucket_size.rs
+
+crates/bench/src/bin/ablation_bucket_size.rs:

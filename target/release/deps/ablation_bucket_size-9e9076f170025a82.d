@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_bucket_size-9e9076f170025a82.d: crates/bench/src/bin/ablation_bucket_size.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_bucket_size-9e9076f170025a82.rmeta: crates/bench/src/bin/ablation_bucket_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_bucket_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bucket_size-a85830d11bfb1061.d: crates/bench/src/bin/ablation_bucket_size.rs
+
+/root/repo/target/release/deps/ablation_bucket_size-a85830d11bfb1061: crates/bench/src/bin/ablation_bucket_size.rs
+
+crates/bench/src/bin/ablation_bucket_size.rs:

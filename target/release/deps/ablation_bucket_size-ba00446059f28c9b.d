@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_bucket_size-ba00446059f28c9b.d: crates/bench/src/bin/ablation_bucket_size.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_bucket_size-ba00446059f28c9b.rmeta: crates/bench/src/bin/ablation_bucket_size.rs Cargo.toml
+
+crates/bench/src/bin/ablation_bucket_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_modes-5b11d9775d46f5d2.d: crates/bench/src/bin/ablation_modes.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_modes-5b11d9775d46f5d2.rmeta: crates/bench/src/bin/ablation_modes.rs Cargo.toml
+
+crates/bench/src/bin/ablation_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

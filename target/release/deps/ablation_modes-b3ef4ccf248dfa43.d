@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_modes-b3ef4ccf248dfa43.d: crates/bench/src/bin/ablation_modes.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_modes-b3ef4ccf248dfa43.rmeta: crates/bench/src/bin/ablation_modes.rs Cargo.toml
+
+crates/bench/src/bin/ablation_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_modes-e4bd948e840d0b66.d: crates/bench/src/bin/ablation_modes.rs
+
+/root/repo/target/release/deps/ablation_modes-e4bd948e840d0b66: crates/bench/src/bin/ablation_modes.rs
+
+crates/bench/src/bin/ablation_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_modes-f7504b347cb31ca3.d: crates/bench/src/bin/ablation_modes.rs
+
+/root/repo/target/release/deps/ablation_modes-f7504b347cb31ca3: crates/bench/src/bin/ablation_modes.rs
+
+crates/bench/src/bin/ablation_modes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_stash_occupancy-e3e9ddc9740e4bd8.d: crates/bench/src/bin/ablation_stash_occupancy.rs
+
+/root/repo/target/release/deps/ablation_stash_occupancy-e3e9ddc9740e4bd8: crates/bench/src/bin/ablation_stash_occupancy.rs
+
+crates/bench/src/bin/ablation_stash_occupancy.rs:

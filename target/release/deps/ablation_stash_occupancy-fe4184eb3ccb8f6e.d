@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_stash_occupancy-fe4184eb3ccb8f6e.d: crates/bench/src/bin/ablation_stash_occupancy.rs
+
+/root/repo/target/release/deps/ablation_stash_occupancy-fe4184eb3ccb8f6e: crates/bench/src/bin/ablation_stash_occupancy.rs
+
+crates/bench/src/bin/ablation_stash_occupancy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_stash_occupancy-ff025cd5594da438.d: crates/bench/src/bin/ablation_stash_occupancy.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_stash_occupancy-ff025cd5594da438.rmeta: crates/bench/src/bin/ablation_stash_occupancy.rs Cargo.toml
+
+crates/bench/src/bin/ablation_stash_occupancy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

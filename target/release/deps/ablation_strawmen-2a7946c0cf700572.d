@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation_strawmen-2a7946c0cf700572.d: crates/bench/src/bin/ablation_strawmen.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation_strawmen-2a7946c0cf700572.rmeta: crates/bench/src/bin/ablation_strawmen.rs Cargo.toml
+
+crates/bench/src/bin/ablation_strawmen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_strawmen-afcbc4b6667bfe25.d: crates/bench/src/bin/ablation_strawmen.rs
+
+/root/repo/target/release/deps/ablation_strawmen-afcbc4b6667bfe25: crates/bench/src/bin/ablation_strawmen.rs
+
+crates/bench/src/bin/ablation_strawmen.rs:

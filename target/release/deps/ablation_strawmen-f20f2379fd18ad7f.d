@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_strawmen-f20f2379fd18ad7f.d: crates/bench/src/bin/ablation_strawmen.rs
+
+/root/repo/target/release/deps/ablation_strawmen-f20f2379fd18ad7f: crates/bench/src/bin/ablation_strawmen.rs
+
+crates/bench/src/bin/ablation_strawmen.rs:

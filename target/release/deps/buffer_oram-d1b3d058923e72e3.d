@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/buffer_oram-d1b3d058923e72e3.d: crates/bench/benches/buffer_oram.rs Cargo.toml
+
+/root/repo/target/release/deps/libbuffer_oram-d1b3d058923e72e3.rmeta: crates/bench/benches/buffer_oram.rs Cargo.toml
+
+crates/bench/benches/buffer_oram.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

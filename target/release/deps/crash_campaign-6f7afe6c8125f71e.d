@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crash_campaign-6f7afe6c8125f71e.d: crates/bench/src/bin/crash_campaign.rs
+
+/root/repo/target/release/deps/crash_campaign-6f7afe6c8125f71e: crates/bench/src/bin/crash_campaign.rs
+
+crates/bench/src/bin/crash_campaign.rs:

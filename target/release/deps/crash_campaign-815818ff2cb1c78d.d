@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crash_campaign-815818ff2cb1c78d.d: crates/bench/src/bin/crash_campaign.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrash_campaign-815818ff2cb1c78d.rmeta: crates/bench/src/bin/crash_campaign.rs Cargo.toml
+
+crates/bench/src/bin/crash_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

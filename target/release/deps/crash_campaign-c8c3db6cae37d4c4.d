@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crash_campaign-c8c3db6cae37d4c4.d: crates/bench/src/bin/crash_campaign.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrash_campaign-c8c3db6cae37d4c4.rmeta: crates/bench/src/bin/crash_campaign.rs Cargo.toml
+
+crates/bench/src/bin/crash_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

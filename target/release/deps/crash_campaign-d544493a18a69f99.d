@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crash_campaign-d544493a18a69f99.d: crates/bench/src/bin/crash_campaign.rs
+
+/root/repo/target/release/deps/crash_campaign-d544493a18a69f99: crates/bench/src/bin/crash_campaign.rs
+
+crates/bench/src/bin/crash_campaign.rs:

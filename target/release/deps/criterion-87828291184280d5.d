@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-87828291184280d5.d: .local-deps/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-87828291184280d5.rlib: .local-deps/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-87828291184280d5.rmeta: .local-deps/criterion/src/lib.rs
+
+.local-deps/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-d67eadd34e70a51b.d: .local-deps/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-d67eadd34e70a51b.rmeta: .local-deps/criterion/src/lib.rs
+
+.local-deps/criterion/src/lib.rs:

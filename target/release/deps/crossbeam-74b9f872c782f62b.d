@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-74b9f872c782f62b.d: .local-deps/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-74b9f872c782f62b.rmeta: .local-deps/crossbeam/src/lib.rs
+
+.local-deps/crossbeam/src/lib.rs:

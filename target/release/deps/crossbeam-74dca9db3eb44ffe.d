@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-74dca9db3eb44ffe.d: .local-deps/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-74dca9db3eb44ffe.rlib: .local-deps/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-74dca9db3eb44ffe.rmeta: .local-deps/crossbeam/src/lib.rs
+
+.local-deps/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crypto_aead-b58c121a81827bc6.d: crates/bench/benches/crypto_aead.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrypto_aead-b58c121a81827bc6.rmeta: crates/bench/benches/crypto_aead.rs Cargo.toml
+
+crates/bench/benches/crypto_aead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fault_campaign-58641ef0aeb4d57c.d: crates/bench/src/bin/fault_campaign.rs Cargo.toml
+
+/root/repo/target/release/deps/libfault_campaign-58641ef0aeb4d57c.rmeta: crates/bench/src/bin/fault_campaign.rs Cargo.toml
+
+crates/bench/src/bin/fault_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

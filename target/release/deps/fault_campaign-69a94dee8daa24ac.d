@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_campaign-69a94dee8daa24ac.d: crates/bench/src/bin/fault_campaign.rs
+
+/root/repo/target/release/deps/fault_campaign-69a94dee8daa24ac: crates/bench/src/bin/fault_campaign.rs
+
+crates/bench/src/bin/fault_campaign.rs:

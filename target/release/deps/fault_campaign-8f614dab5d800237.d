@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_campaign-8f614dab5d800237.d: crates/bench/src/bin/fault_campaign.rs
+
+/root/repo/target/release/deps/fault_campaign-8f614dab5d800237: crates/bench/src/bin/fault_campaign.rs
+
+crates/bench/src/bin/fault_campaign.rs:

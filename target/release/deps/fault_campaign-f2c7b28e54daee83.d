@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fault_campaign-f2c7b28e54daee83.d: crates/bench/src/bin/fault_campaign.rs Cargo.toml
+
+/root/repo/target/release/deps/libfault_campaign-f2c7b28e54daee83.rmeta: crates/bench/src/bin/fault_campaign.rs Cargo.toml
+
+crates/bench/src/bin/fault_campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fdp_sampler-1e926d6e166c1e08.d: crates/bench/benches/fdp_sampler.rs Cargo.toml
+
+/root/repo/target/release/deps/libfdp_sampler-1e926d6e166c1e08.rmeta: crates/bench/benches/fdp_sampler.rs Cargo.toml
+
+crates/bench/benches/fdp_sampler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/fedora-5a54a3dfa09303ab.d: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/analytic.rs crates/core/src/audit.rs crates/core/src/audit/empirical.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/durable.rs crates/core/src/latency.rs crates/core/src/multi.rs crates/core/src/server.rs crates/core/src/training.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora-5a54a3dfa09303ab.rmeta: crates/core/src/lib.rs crates/core/src/adversary.rs crates/core/src/analytic.rs crates/core/src/audit.rs crates/core/src/audit/empirical.rs crates/core/src/baseline.rs crates/core/src/config.rs crates/core/src/cost.rs crates/core/src/durable.rs crates/core/src/latency.rs crates/core/src/multi.rs crates/core/src/server.rs crates/core/src/training.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adversary.rs:
+crates/core/src/analytic.rs:
+crates/core/src/audit.rs:
+crates/core/src/audit/empirical.rs:
+crates/core/src/baseline.rs:
+crates/core/src/config.rs:
+crates/core/src/cost.rs:
+crates/core/src/durable.rs:
+crates/core/src/latency.rs:
+crates/core/src/multi.rs:
+crates/core/src/server.rs:
+crates/core/src/training.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fedora_audit-133193e288f783b8.d: crates/bench/src/bin/fedora_audit.rs
+
+/root/repo/target/release/deps/fedora_audit-133193e288f783b8: crates/bench/src/bin/fedora_audit.rs
+
+crates/bench/src/bin/fedora_audit.rs:

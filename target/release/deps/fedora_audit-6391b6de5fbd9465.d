@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fedora_audit-6391b6de5fbd9465.d: crates/bench/src/bin/fedora_audit.rs
+
+/root/repo/target/release/deps/fedora_audit-6391b6de5fbd9465: crates/bench/src/bin/fedora_audit.rs
+
+crates/bench/src/bin/fedora_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fedora_audit-7564008a99006df1.d: crates/bench/src/bin/fedora_audit.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_audit-7564008a99006df1.rmeta: crates/bench/src/bin/fedora_audit.rs Cargo.toml
+
+crates/bench/src/bin/fedora_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

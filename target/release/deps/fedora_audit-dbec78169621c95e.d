@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fedora_audit-dbec78169621c95e.d: crates/bench/src/bin/fedora_audit.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_audit-dbec78169621c95e.rmeta: crates/bench/src/bin/fedora_audit.rs Cargo.toml
+
+crates/bench/src/bin/fedora_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

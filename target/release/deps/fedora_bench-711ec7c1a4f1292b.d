@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fedora_bench-711ec7c1a4f1292b.d: crates/bench/src/lib.rs crates/bench/src/netload.rs crates/bench/src/outopts.rs crates/bench/src/trajectory.rs crates/bench/src/workload.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_bench-711ec7c1a4f1292b.rmeta: crates/bench/src/lib.rs crates/bench/src/netload.rs crates/bench/src/outopts.rs crates/bench/src/trajectory.rs crates/bench/src/workload.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/netload.rs:
+crates/bench/src/outopts.rs:
+crates/bench/src/trajectory.rs:
+crates/bench/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fedora_bench-a15b4e084ef3cab2.d: crates/bench/src/lib.rs crates/bench/src/netload.rs crates/bench/src/outopts.rs crates/bench/src/trajectory.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libfedora_bench-a15b4e084ef3cab2.rlib: crates/bench/src/lib.rs crates/bench/src/netload.rs crates/bench/src/outopts.rs crates/bench/src/trajectory.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/libfedora_bench-a15b4e084ef3cab2.rmeta: crates/bench/src/lib.rs crates/bench/src/netload.rs crates/bench/src/outopts.rs crates/bench/src/trajectory.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/netload.rs:
+crates/bench/src/outopts.rs:
+crates/bench/src/trajectory.rs:
+crates/bench/src/workload.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

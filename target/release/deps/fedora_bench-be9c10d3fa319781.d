@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fedora_bench-be9c10d3fa319781.d: crates/bench/src/lib.rs crates/bench/src/netload.rs crates/bench/src/outopts.rs crates/bench/src/trajectory.rs crates/bench/src/workload.rs
+
+/root/repo/target/release/deps/fedora_bench-be9c10d3fa319781: crates/bench/src/lib.rs crates/bench/src/netload.rs crates/bench/src/outopts.rs crates/bench/src/trajectory.rs crates/bench/src/workload.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/netload.rs:
+crates/bench/src/outopts.rs:
+crates/bench/src/trajectory.rs:
+crates/bench/src/workload.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

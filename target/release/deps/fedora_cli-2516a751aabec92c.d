@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fedora_cli-2516a751aabec92c.d: crates/net/src/bin/fedora-cli.rs
+
+/root/repo/target/release/deps/fedora_cli-2516a751aabec92c: crates/net/src/bin/fedora-cli.rs
+
+crates/net/src/bin/fedora-cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fedora_cli-3d5cb217002ea9d4.d: crates/net/src/bin/fedora-cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_cli-3d5cb217002ea9d4.rmeta: crates/net/src/bin/fedora-cli.rs Cargo.toml
+
+crates/net/src/bin/fedora-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

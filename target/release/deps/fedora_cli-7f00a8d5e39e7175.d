@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fedora_cli-7f00a8d5e39e7175.d: crates/net/src/bin/fedora-cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_cli-7f00a8d5e39e7175.rmeta: crates/net/src/bin/fedora-cli.rs Cargo.toml
+
+crates/net/src/bin/fedora-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

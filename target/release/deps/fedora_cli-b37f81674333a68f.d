@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fedora_cli-b37f81674333a68f.d: crates/net/src/bin/fedora-cli.rs
+
+/root/repo/target/release/deps/fedora_cli-b37f81674333a68f: crates/net/src/bin/fedora-cli.rs
+
+crates/net/src/bin/fedora-cli.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fedora_crypto-6c8deb306ed0122d.d: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/counter.rs crates/crypto/src/flat.rs crates/crypto/src/group.rs crates/crypto/src/integrity.rs crates/crypto/src/poly1305.rs
+
+/root/repo/target/release/deps/fedora_crypto-6c8deb306ed0122d: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/counter.rs crates/crypto/src/flat.rs crates/crypto/src/group.rs crates/crypto/src/integrity.rs crates/crypto/src/poly1305.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aead.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/counter.rs:
+crates/crypto/src/flat.rs:
+crates/crypto/src/group.rs:
+crates/crypto/src/integrity.rs:
+crates/crypto/src/poly1305.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fedora_crypto-d5eba7aa9fb2fa29.d: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/counter.rs crates/crypto/src/flat.rs crates/crypto/src/group.rs crates/crypto/src/integrity.rs crates/crypto/src/poly1305.rs
+
+/root/repo/target/release/deps/libfedora_crypto-d5eba7aa9fb2fa29.rlib: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/counter.rs crates/crypto/src/flat.rs crates/crypto/src/group.rs crates/crypto/src/integrity.rs crates/crypto/src/poly1305.rs
+
+/root/repo/target/release/deps/libfedora_crypto-d5eba7aa9fb2fa29.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/counter.rs crates/crypto/src/flat.rs crates/crypto/src/group.rs crates/crypto/src/integrity.rs crates/crypto/src/poly1305.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aead.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/counter.rs:
+crates/crypto/src/flat.rs:
+crates/crypto/src/group.rs:
+crates/crypto/src/integrity.rs:
+crates/crypto/src/poly1305.rs:

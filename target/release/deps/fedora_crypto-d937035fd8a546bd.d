@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fedora_crypto-d937035fd8a546bd.d: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/counter.rs crates/crypto/src/flat.rs crates/crypto/src/group.rs crates/crypto/src/integrity.rs crates/crypto/src/poly1305.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_crypto-d937035fd8a546bd.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/counter.rs crates/crypto/src/flat.rs crates/crypto/src/group.rs crates/crypto/src/integrity.rs crates/crypto/src/poly1305.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aead.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/counter.rs:
+crates/crypto/src/flat.rs:
+crates/crypto/src/group.rs:
+crates/crypto/src/integrity.rs:
+crates/crypto/src/poly1305.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fedora_fdp-14cd3940f73c026b.d: crates/fdp/src/lib.rs crates/fdp/src/accountant.rs crates/fdp/src/chunking.rs crates/fdp/src/mechanism.rs crates/fdp/src/shape.rs crates/fdp/src/tuning.rs
+
+/root/repo/target/release/deps/fedora_fdp-14cd3940f73c026b: crates/fdp/src/lib.rs crates/fdp/src/accountant.rs crates/fdp/src/chunking.rs crates/fdp/src/mechanism.rs crates/fdp/src/shape.rs crates/fdp/src/tuning.rs
+
+crates/fdp/src/lib.rs:
+crates/fdp/src/accountant.rs:
+crates/fdp/src/chunking.rs:
+crates/fdp/src/mechanism.rs:
+crates/fdp/src/shape.rs:
+crates/fdp/src/tuning.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fedora_fdp-17a10146ab4ff6f8.d: crates/fdp/src/lib.rs crates/fdp/src/accountant.rs crates/fdp/src/chunking.rs crates/fdp/src/mechanism.rs crates/fdp/src/shape.rs crates/fdp/src/tuning.rs
+
+/root/repo/target/release/deps/libfedora_fdp-17a10146ab4ff6f8.rlib: crates/fdp/src/lib.rs crates/fdp/src/accountant.rs crates/fdp/src/chunking.rs crates/fdp/src/mechanism.rs crates/fdp/src/shape.rs crates/fdp/src/tuning.rs
+
+/root/repo/target/release/deps/libfedora_fdp-17a10146ab4ff6f8.rmeta: crates/fdp/src/lib.rs crates/fdp/src/accountant.rs crates/fdp/src/chunking.rs crates/fdp/src/mechanism.rs crates/fdp/src/shape.rs crates/fdp/src/tuning.rs
+
+crates/fdp/src/lib.rs:
+crates/fdp/src/accountant.rs:
+crates/fdp/src/chunking.rs:
+crates/fdp/src/mechanism.rs:
+crates/fdp/src/shape.rs:
+crates/fdp/src/tuning.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fedora_fdp-f1fde37f26f8f306.d: crates/fdp/src/lib.rs crates/fdp/src/accountant.rs crates/fdp/src/chunking.rs crates/fdp/src/mechanism.rs crates/fdp/src/shape.rs crates/fdp/src/tuning.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_fdp-f1fde37f26f8f306.rmeta: crates/fdp/src/lib.rs crates/fdp/src/accountant.rs crates/fdp/src/chunking.rs crates/fdp/src/mechanism.rs crates/fdp/src/shape.rs crates/fdp/src/tuning.rs Cargo.toml
+
+crates/fdp/src/lib.rs:
+crates/fdp/src/accountant.rs:
+crates/fdp/src/chunking.rs:
+crates/fdp/src/mechanism.rs:
+crates/fdp/src/shape.rs:
+crates/fdp/src/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/fedora_fl-7ac99c3e5efd663d.d: crates/fl/src/lib.rs crates/fl/src/attention.rs crates/fl/src/client.rs crates/fl/src/datasets.rs crates/fl/src/linalg.rs crates/fl/src/metrics.rs crates/fl/src/model.rs crates/fl/src/modes.rs crates/fl/src/secagg.rs crates/fl/src/sim.rs crates/fl/src/wire.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_fl-7ac99c3e5efd663d.rmeta: crates/fl/src/lib.rs crates/fl/src/attention.rs crates/fl/src/client.rs crates/fl/src/datasets.rs crates/fl/src/linalg.rs crates/fl/src/metrics.rs crates/fl/src/model.rs crates/fl/src/modes.rs crates/fl/src/secagg.rs crates/fl/src/sim.rs crates/fl/src/wire.rs Cargo.toml
+
+crates/fl/src/lib.rs:
+crates/fl/src/attention.rs:
+crates/fl/src/client.rs:
+crates/fl/src/datasets.rs:
+crates/fl/src/linalg.rs:
+crates/fl/src/metrics.rs:
+crates/fl/src/model.rs:
+crates/fl/src/modes.rs:
+crates/fl/src/secagg.rs:
+crates/fl/src/sim.rs:
+crates/fl/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

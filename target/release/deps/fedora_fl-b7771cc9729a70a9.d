@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/fedora_fl-b7771cc9729a70a9.d: crates/fl/src/lib.rs crates/fl/src/attention.rs crates/fl/src/client.rs crates/fl/src/datasets.rs crates/fl/src/linalg.rs crates/fl/src/metrics.rs crates/fl/src/model.rs crates/fl/src/modes.rs crates/fl/src/secagg.rs crates/fl/src/sim.rs crates/fl/src/wire.rs
+
+/root/repo/target/release/deps/libfedora_fl-b7771cc9729a70a9.rlib: crates/fl/src/lib.rs crates/fl/src/attention.rs crates/fl/src/client.rs crates/fl/src/datasets.rs crates/fl/src/linalg.rs crates/fl/src/metrics.rs crates/fl/src/model.rs crates/fl/src/modes.rs crates/fl/src/secagg.rs crates/fl/src/sim.rs crates/fl/src/wire.rs
+
+/root/repo/target/release/deps/libfedora_fl-b7771cc9729a70a9.rmeta: crates/fl/src/lib.rs crates/fl/src/attention.rs crates/fl/src/client.rs crates/fl/src/datasets.rs crates/fl/src/linalg.rs crates/fl/src/metrics.rs crates/fl/src/model.rs crates/fl/src/modes.rs crates/fl/src/secagg.rs crates/fl/src/sim.rs crates/fl/src/wire.rs
+
+crates/fl/src/lib.rs:
+crates/fl/src/attention.rs:
+crates/fl/src/client.rs:
+crates/fl/src/datasets.rs:
+crates/fl/src/linalg.rs:
+crates/fl/src/metrics.rs:
+crates/fl/src/model.rs:
+crates/fl/src/modes.rs:
+crates/fl/src/secagg.rs:
+crates/fl/src/sim.rs:
+crates/fl/src/wire.rs:

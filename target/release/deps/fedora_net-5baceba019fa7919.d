@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fedora_net-5baceba019fa7919.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/proto.rs crates/net/src/server.rs
+
+/root/repo/target/release/deps/libfedora_net-5baceba019fa7919.rlib: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/proto.rs crates/net/src/server.rs
+
+/root/repo/target/release/deps/libfedora_net-5baceba019fa7919.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/proto.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/frame.rs:
+crates/net/src/proto.rs:
+crates/net/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fedora_net-64602ae74b72628d.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/proto.rs crates/net/src/server.rs
+
+/root/repo/target/release/deps/fedora_net-64602ae74b72628d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/proto.rs crates/net/src/server.rs
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/frame.rs:
+crates/net/src/proto.rs:
+crates/net/src/server.rs:

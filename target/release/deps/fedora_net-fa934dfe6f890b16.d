@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fedora_net-fa934dfe6f890b16.d: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/proto.rs crates/net/src/server.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_net-fa934dfe6f890b16.rmeta: crates/net/src/lib.rs crates/net/src/client.rs crates/net/src/frame.rs crates/net/src/proto.rs crates/net/src/server.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/client.rs:
+crates/net/src/frame.rs:
+crates/net/src/proto.rs:
+crates/net/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fedora_oblivious-96098cfb3e0ec88b.d: crates/oblivious/src/lib.rs crates/oblivious/src/choice.rs crates/oblivious/src/scan.rs crates/oblivious/src/select.rs crates/oblivious/src/sort.rs crates/oblivious/src/sorted_union.rs crates/oblivious/src/union.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_oblivious-96098cfb3e0ec88b.rmeta: crates/oblivious/src/lib.rs crates/oblivious/src/choice.rs crates/oblivious/src/scan.rs crates/oblivious/src/select.rs crates/oblivious/src/sort.rs crates/oblivious/src/sorted_union.rs crates/oblivious/src/union.rs Cargo.toml
+
+crates/oblivious/src/lib.rs:
+crates/oblivious/src/choice.rs:
+crates/oblivious/src/scan.rs:
+crates/oblivious/src/select.rs:
+crates/oblivious/src/sort.rs:
+crates/oblivious/src/sorted_union.rs:
+crates/oblivious/src/union.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fedora_oblivious-b5d6b6f3dfdddf8b.d: crates/oblivious/src/lib.rs crates/oblivious/src/choice.rs crates/oblivious/src/scan.rs crates/oblivious/src/select.rs crates/oblivious/src/sort.rs crates/oblivious/src/sorted_union.rs crates/oblivious/src/union.rs
+
+/root/repo/target/release/deps/libfedora_oblivious-b5d6b6f3dfdddf8b.rlib: crates/oblivious/src/lib.rs crates/oblivious/src/choice.rs crates/oblivious/src/scan.rs crates/oblivious/src/select.rs crates/oblivious/src/sort.rs crates/oblivious/src/sorted_union.rs crates/oblivious/src/union.rs
+
+/root/repo/target/release/deps/libfedora_oblivious-b5d6b6f3dfdddf8b.rmeta: crates/oblivious/src/lib.rs crates/oblivious/src/choice.rs crates/oblivious/src/scan.rs crates/oblivious/src/select.rs crates/oblivious/src/sort.rs crates/oblivious/src/sorted_union.rs crates/oblivious/src/union.rs
+
+crates/oblivious/src/lib.rs:
+crates/oblivious/src/choice.rs:
+crates/oblivious/src/scan.rs:
+crates/oblivious/src/select.rs:
+crates/oblivious/src/sort.rs:
+crates/oblivious/src/sorted_union.rs:
+crates/oblivious/src/union.rs:

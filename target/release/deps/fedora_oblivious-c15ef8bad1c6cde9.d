@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fedora_oblivious-c15ef8bad1c6cde9.d: crates/oblivious/src/lib.rs crates/oblivious/src/choice.rs crates/oblivious/src/scan.rs crates/oblivious/src/select.rs crates/oblivious/src/sort.rs crates/oblivious/src/sorted_union.rs crates/oblivious/src/union.rs
+
+/root/repo/target/release/deps/fedora_oblivious-c15ef8bad1c6cde9: crates/oblivious/src/lib.rs crates/oblivious/src/choice.rs crates/oblivious/src/scan.rs crates/oblivious/src/select.rs crates/oblivious/src/sort.rs crates/oblivious/src/sorted_union.rs crates/oblivious/src/union.rs
+
+crates/oblivious/src/lib.rs:
+crates/oblivious/src/choice.rs:
+crates/oblivious/src/scan.rs:
+crates/oblivious/src/select.rs:
+crates/oblivious/src/sort.rs:
+crates/oblivious/src/sorted_union.rs:
+crates/oblivious/src/union.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/fedora_oram-42e8b0adb4fb2cdb.d: crates/oram/src/lib.rs crates/oram/src/block.rs crates/oram/src/bucket.rs crates/oram/src/buffer.rs crates/oram/src/geometry.rs crates/oram/src/path_oram.rs crates/oram/src/position.rs crates/oram/src/raw.rs crates/oram/src/recursive.rs crates/oram/src/ring.rs crates/oram/src/stash.rs crates/oram/src/store.rs crates/oram/src/vtree.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_oram-42e8b0adb4fb2cdb.rmeta: crates/oram/src/lib.rs crates/oram/src/block.rs crates/oram/src/bucket.rs crates/oram/src/buffer.rs crates/oram/src/geometry.rs crates/oram/src/path_oram.rs crates/oram/src/position.rs crates/oram/src/raw.rs crates/oram/src/recursive.rs crates/oram/src/ring.rs crates/oram/src/stash.rs crates/oram/src/store.rs crates/oram/src/vtree.rs Cargo.toml
+
+crates/oram/src/lib.rs:
+crates/oram/src/block.rs:
+crates/oram/src/bucket.rs:
+crates/oram/src/buffer.rs:
+crates/oram/src/geometry.rs:
+crates/oram/src/path_oram.rs:
+crates/oram/src/position.rs:
+crates/oram/src/raw.rs:
+crates/oram/src/recursive.rs:
+crates/oram/src/ring.rs:
+crates/oram/src/stash.rs:
+crates/oram/src/store.rs:
+crates/oram/src/vtree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/fedora_oram-9b0a9785982f4ade.d: crates/oram/src/lib.rs crates/oram/src/block.rs crates/oram/src/bucket.rs crates/oram/src/buffer.rs crates/oram/src/geometry.rs crates/oram/src/path_oram.rs crates/oram/src/position.rs crates/oram/src/raw.rs crates/oram/src/recursive.rs crates/oram/src/ring.rs crates/oram/src/stash.rs crates/oram/src/store.rs crates/oram/src/vtree.rs
+
+/root/repo/target/release/deps/libfedora_oram-9b0a9785982f4ade.rlib: crates/oram/src/lib.rs crates/oram/src/block.rs crates/oram/src/bucket.rs crates/oram/src/buffer.rs crates/oram/src/geometry.rs crates/oram/src/path_oram.rs crates/oram/src/position.rs crates/oram/src/raw.rs crates/oram/src/recursive.rs crates/oram/src/ring.rs crates/oram/src/stash.rs crates/oram/src/store.rs crates/oram/src/vtree.rs
+
+/root/repo/target/release/deps/libfedora_oram-9b0a9785982f4ade.rmeta: crates/oram/src/lib.rs crates/oram/src/block.rs crates/oram/src/bucket.rs crates/oram/src/buffer.rs crates/oram/src/geometry.rs crates/oram/src/path_oram.rs crates/oram/src/position.rs crates/oram/src/raw.rs crates/oram/src/recursive.rs crates/oram/src/ring.rs crates/oram/src/stash.rs crates/oram/src/store.rs crates/oram/src/vtree.rs
+
+crates/oram/src/lib.rs:
+crates/oram/src/block.rs:
+crates/oram/src/bucket.rs:
+crates/oram/src/buffer.rs:
+crates/oram/src/geometry.rs:
+crates/oram/src/path_oram.rs:
+crates/oram/src/position.rs:
+crates/oram/src/raw.rs:
+crates/oram/src/recursive.rs:
+crates/oram/src/ring.rs:
+crates/oram/src/stash.rs:
+crates/oram/src/store.rs:
+crates/oram/src/vtree.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fedora_par-815c246e86ca5566.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_par-815c246e86ca5566.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fedora_par-a49e4d4effffd1f6.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/fedora_par-a49e4d4effffd1f6: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

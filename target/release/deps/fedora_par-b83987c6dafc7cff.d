@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fedora_par-b83987c6dafc7cff.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libfedora_par-b83987c6dafc7cff.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libfedora_par-b83987c6dafc7cff.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fedora_par-f55fa5d59130d7be.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_par-f55fa5d59130d7be.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/fedora_storage-24ca6d26451b936b.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/dram.rs crates/storage/src/durable.rs crates/storage/src/fault.rs crates/storage/src/file_ssd.rs crates/storage/src/profile.rs crates/storage/src/scratchpad.rs crates/storage/src/ssd.rs crates/storage/src/stats.rs crates/storage/src/telemetry.rs crates/storage/src/trace_recorder.rs Cargo.toml
+
+/root/repo/target/release/deps/libfedora_storage-24ca6d26451b936b.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/dram.rs crates/storage/src/durable.rs crates/storage/src/fault.rs crates/storage/src/file_ssd.rs crates/storage/src/profile.rs crates/storage/src/scratchpad.rs crates/storage/src/ssd.rs crates/storage/src/stats.rs crates/storage/src/telemetry.rs crates/storage/src/trace_recorder.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/dram.rs:
+crates/storage/src/durable.rs:
+crates/storage/src/fault.rs:
+crates/storage/src/file_ssd.rs:
+crates/storage/src/profile.rs:
+crates/storage/src/scratchpad.rs:
+crates/storage/src/ssd.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/telemetry.rs:
+crates/storage/src/trace_recorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

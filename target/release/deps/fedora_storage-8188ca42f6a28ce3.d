@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fedora_storage-8188ca42f6a28ce3.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/dram.rs crates/storage/src/durable.rs crates/storage/src/fault.rs crates/storage/src/file_ssd.rs crates/storage/src/profile.rs crates/storage/src/scratchpad.rs crates/storage/src/ssd.rs crates/storage/src/stats.rs crates/storage/src/telemetry.rs crates/storage/src/trace_recorder.rs
+
+/root/repo/target/release/deps/fedora_storage-8188ca42f6a28ce3: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/dram.rs crates/storage/src/durable.rs crates/storage/src/fault.rs crates/storage/src/file_ssd.rs crates/storage/src/profile.rs crates/storage/src/scratchpad.rs crates/storage/src/ssd.rs crates/storage/src/stats.rs crates/storage/src/telemetry.rs crates/storage/src/trace_recorder.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/dram.rs:
+crates/storage/src/durable.rs:
+crates/storage/src/fault.rs:
+crates/storage/src/file_ssd.rs:
+crates/storage/src/profile.rs:
+crates/storage/src/scratchpad.rs:
+crates/storage/src/ssd.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/telemetry.rs:
+crates/storage/src/trace_recorder.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/fedora_storage-bd045d9fcfb82796.d: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/dram.rs crates/storage/src/durable.rs crates/storage/src/fault.rs crates/storage/src/file_ssd.rs crates/storage/src/profile.rs crates/storage/src/scratchpad.rs crates/storage/src/ssd.rs crates/storage/src/stats.rs crates/storage/src/telemetry.rs crates/storage/src/trace_recorder.rs
+
+/root/repo/target/release/deps/libfedora_storage-bd045d9fcfb82796.rlib: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/dram.rs crates/storage/src/durable.rs crates/storage/src/fault.rs crates/storage/src/file_ssd.rs crates/storage/src/profile.rs crates/storage/src/scratchpad.rs crates/storage/src/ssd.rs crates/storage/src/stats.rs crates/storage/src/telemetry.rs crates/storage/src/trace_recorder.rs
+
+/root/repo/target/release/deps/libfedora_storage-bd045d9fcfb82796.rmeta: crates/storage/src/lib.rs crates/storage/src/device.rs crates/storage/src/dram.rs crates/storage/src/durable.rs crates/storage/src/fault.rs crates/storage/src/file_ssd.rs crates/storage/src/profile.rs crates/storage/src/scratchpad.rs crates/storage/src/ssd.rs crates/storage/src/stats.rs crates/storage/src/telemetry.rs crates/storage/src/trace_recorder.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/device.rs:
+crates/storage/src/dram.rs:
+crates/storage/src/durable.rs:
+crates/storage/src/fault.rs:
+crates/storage/src/file_ssd.rs:
+crates/storage/src/profile.rs:
+crates/storage/src/scratchpad.rs:
+crates/storage/src/ssd.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/telemetry.rs:
+crates/storage/src/trace_recorder.rs:

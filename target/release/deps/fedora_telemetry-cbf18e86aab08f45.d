@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fedora_telemetry-cbf18e86aab08f45.d: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/journal.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libfedora_telemetry-cbf18e86aab08f45.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/journal.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+/root/repo/target/release/deps/libfedora_telemetry-cbf18e86aab08f45.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/export.rs crates/telemetry/src/histogram.rs crates/telemetry/src/journal.rs crates/telemetry/src/json.rs crates/telemetry/src/registry.rs crates/telemetry/src/trace.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/histogram.rs:
+crates/telemetry/src/journal.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig10_scratchpad-38faabe161c43f01.d: crates/bench/src/bin/fig10_scratchpad.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig10_scratchpad-38faabe161c43f01.rmeta: crates/bench/src/bin/fig10_scratchpad.rs Cargo.toml
+
+crates/bench/src/bin/fig10_scratchpad.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

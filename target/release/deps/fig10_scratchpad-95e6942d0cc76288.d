@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_scratchpad-95e6942d0cc76288.d: crates/bench/src/bin/fig10_scratchpad.rs
+
+/root/repo/target/release/deps/fig10_scratchpad-95e6942d0cc76288: crates/bench/src/bin/fig10_scratchpad.rs
+
+crates/bench/src/bin/fig10_scratchpad.rs:

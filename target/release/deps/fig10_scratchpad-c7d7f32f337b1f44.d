@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_scratchpad-c7d7f32f337b1f44.d: crates/bench/src/bin/fig10_scratchpad.rs
+
+/root/repo/target/release/deps/fig10_scratchpad-c7d7f32f337b1f44: crates/bench/src/bin/fig10_scratchpad.rs
+
+crates/bench/src/bin/fig10_scratchpad.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_fdp_pdfs-733511b49399328c.d: crates/bench/src/bin/fig3_fdp_pdfs.rs
+
+/root/repo/target/release/deps/fig3_fdp_pdfs-733511b49399328c: crates/bench/src/bin/fig3_fdp_pdfs.rs
+
+crates/bench/src/bin/fig3_fdp_pdfs.rs:

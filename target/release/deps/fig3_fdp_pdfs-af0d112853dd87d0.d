@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig3_fdp_pdfs-af0d112853dd87d0.d: crates/bench/src/bin/fig3_fdp_pdfs.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig3_fdp_pdfs-af0d112853dd87d0.rmeta: crates/bench/src/bin/fig3_fdp_pdfs.rs Cargo.toml
+
+crates/bench/src/bin/fig3_fdp_pdfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

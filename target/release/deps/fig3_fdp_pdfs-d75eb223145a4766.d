@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig3_fdp_pdfs-d75eb223145a4766.d: crates/bench/src/bin/fig3_fdp_pdfs.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig3_fdp_pdfs-d75eb223145a4766.rmeta: crates/bench/src/bin/fig3_fdp_pdfs.rs Cargo.toml
+
+crates/bench/src/bin/fig3_fdp_pdfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

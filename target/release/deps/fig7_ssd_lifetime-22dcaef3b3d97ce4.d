@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_ssd_lifetime-22dcaef3b3d97ce4.d: crates/bench/src/bin/fig7_ssd_lifetime.rs
+
+/root/repo/target/release/deps/fig7_ssd_lifetime-22dcaef3b3d97ce4: crates/bench/src/bin/fig7_ssd_lifetime.rs
+
+crates/bench/src/bin/fig7_ssd_lifetime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig7_ssd_lifetime-990606cb82be087d.d: crates/bench/src/bin/fig7_ssd_lifetime.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig7_ssd_lifetime-990606cb82be087d.rmeta: crates/bench/src/bin/fig7_ssd_lifetime.rs Cargo.toml
+
+crates/bench/src/bin/fig7_ssd_lifetime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_ssd_lifetime-ceb3db08663b1a60.d: crates/bench/src/bin/fig7_ssd_lifetime.rs
+
+/root/repo/target/release/deps/fig7_ssd_lifetime-ceb3db08663b1a60: crates/bench/src/bin/fig7_ssd_lifetime.rs
+
+crates/bench/src/bin/fig7_ssd_lifetime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig7_ssd_lifetime-e1454d09540ab7cd.d: crates/bench/src/bin/fig7_ssd_lifetime.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig7_ssd_lifetime-e1454d09540ab7cd.rmeta: crates/bench/src/bin/fig7_ssd_lifetime.rs Cargo.toml
+
+crates/bench/src/bin/fig7_ssd_lifetime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

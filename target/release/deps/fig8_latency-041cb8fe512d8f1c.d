@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_latency-041cb8fe512d8f1c.d: crates/bench/src/bin/fig8_latency.rs
+
+/root/repo/target/release/deps/fig8_latency-041cb8fe512d8f1c: crates/bench/src/bin/fig8_latency.rs
+
+crates/bench/src/bin/fig8_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_latency-578e5221d2cbd33e.d: crates/bench/src/bin/fig8_latency.rs
+
+/root/repo/target/release/deps/fig8_latency-578e5221d2cbd33e: crates/bench/src/bin/fig8_latency.rs
+
+crates/bench/src/bin/fig8_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig8_latency-6033b425e2f7315c.d: crates/bench/src/bin/fig8_latency.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig8_latency-6033b425e2f7315c.rmeta: crates/bench/src/bin/fig8_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig8_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

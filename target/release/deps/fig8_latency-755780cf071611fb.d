@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig8_latency-755780cf071611fb.d: crates/bench/src/bin/fig8_latency.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig8_latency-755780cf071611fb.rmeta: crates/bench/src/bin/fig8_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig8_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

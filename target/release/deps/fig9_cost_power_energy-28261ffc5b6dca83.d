@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_cost_power_energy-28261ffc5b6dca83.d: crates/bench/src/bin/fig9_cost_power_energy.rs
+
+/root/repo/target/release/deps/fig9_cost_power_energy-28261ffc5b6dca83: crates/bench/src/bin/fig9_cost_power_energy.rs
+
+crates/bench/src/bin/fig9_cost_power_energy.rs:

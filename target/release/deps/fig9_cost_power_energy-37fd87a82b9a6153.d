@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_cost_power_energy-37fd87a82b9a6153.d: crates/bench/src/bin/fig9_cost_power_energy.rs
+
+/root/repo/target/release/deps/fig9_cost_power_energy-37fd87a82b9a6153: crates/bench/src/bin/fig9_cost_power_energy.rs
+
+crates/bench/src/bin/fig9_cost_power_energy.rs:

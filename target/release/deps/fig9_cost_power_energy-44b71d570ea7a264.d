@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig9_cost_power_energy-44b71d570ea7a264.d: crates/bench/src/bin/fig9_cost_power_energy.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig9_cost_power_energy-44b71d570ea7a264.rmeta: crates/bench/src/bin/fig9_cost_power_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig9_cost_power_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

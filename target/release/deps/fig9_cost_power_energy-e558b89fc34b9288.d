@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig9_cost_power_energy-e558b89fc34b9288.d: crates/bench/src/bin/fig9_cost_power_energy.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig9_cost_power_energy-e558b89fc34b9288.rmeta: crates/bench/src/bin/fig9_cost_power_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig9_cost_power_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

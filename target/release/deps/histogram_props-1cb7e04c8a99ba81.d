@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/histogram_props-1cb7e04c8a99ba81.d: crates/telemetry/tests/histogram_props.rs
+
+/root/repo/target/release/deps/histogram_props-1cb7e04c8a99ba81: crates/telemetry/tests/histogram_props.rs
+
+crates/telemetry/tests/histogram_props.rs:

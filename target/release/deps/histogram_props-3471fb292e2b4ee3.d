@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/histogram_props-3471fb292e2b4ee3.d: crates/telemetry/tests/histogram_props.rs Cargo.toml
+
+/root/repo/target/release/deps/libhistogram_props-3471fb292e2b4ee3.rmeta: crates/telemetry/tests/histogram_props.rs Cargo.toml
+
+crates/telemetry/tests/histogram_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

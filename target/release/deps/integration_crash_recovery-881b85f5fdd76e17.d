@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_crash_recovery-881b85f5fdd76e17.d: crates/core/../../tests/integration_crash_recovery.rs
+
+/root/repo/target/release/deps/integration_crash_recovery-881b85f5fdd76e17: crates/core/../../tests/integration_crash_recovery.rs
+
+crates/core/../../tests/integration_crash_recovery.rs:

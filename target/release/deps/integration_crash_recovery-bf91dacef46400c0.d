@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_crash_recovery-bf91dacef46400c0.d: crates/core/../../tests/integration_crash_recovery.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_crash_recovery-bf91dacef46400c0.rmeta: crates/core/../../tests/integration_crash_recovery.rs Cargo.toml
+
+crates/core/../../tests/integration_crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_fault_tolerance-6b4def5fec95f6c2.d: crates/core/../../tests/integration_fault_tolerance.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_fault_tolerance-6b4def5fec95f6c2.rmeta: crates/core/../../tests/integration_fault_tolerance.rs Cargo.toml
+
+crates/core/../../tests/integration_fault_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_fault_tolerance-e82f51e7438dba55.d: crates/core/../../tests/integration_fault_tolerance.rs
+
+/root/repo/target/release/deps/integration_fault_tolerance-e82f51e7438dba55: crates/core/../../tests/integration_fault_tolerance.rs
+
+crates/core/../../tests/integration_fault_tolerance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_fl_training-098f0110bbcad626.d: crates/core/../../tests/integration_fl_training.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_fl_training-098f0110bbcad626.rmeta: crates/core/../../tests/integration_fl_training.rs Cargo.toml
+
+crates/core/../../tests/integration_fl_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

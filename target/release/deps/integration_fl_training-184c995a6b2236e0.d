@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_fl_training-184c995a6b2236e0.d: crates/core/../../tests/integration_fl_training.rs
+
+/root/repo/target/release/deps/integration_fl_training-184c995a6b2236e0: crates/core/../../tests/integration_fl_training.rs
+
+crates/core/../../tests/integration_fl_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_net-348348921b41379e.d: crates/net/tests/integration_net.rs
+
+/root/repo/target/release/deps/integration_net-348348921b41379e: crates/net/tests/integration_net.rs
+
+crates/net/tests/integration_net.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_net-e4c22433f850b9bf.d: crates/net/tests/integration_net.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_net-e4c22433f850b9bf.rmeta: crates/net/tests/integration_net.rs Cargo.toml
+
+crates/net/tests/integration_net.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_ops-0167a36c307ae538.d: crates/net/tests/integration_ops.rs
+
+/root/repo/target/release/deps/integration_ops-0167a36c307ae538: crates/net/tests/integration_ops.rs
+
+crates/net/tests/integration_ops.rs:

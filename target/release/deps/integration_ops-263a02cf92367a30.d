@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_ops-263a02cf92367a30.d: crates/net/tests/integration_ops.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_ops-263a02cf92367a30.rmeta: crates/net/tests/integration_ops.rs Cargo.toml
+
+crates/net/tests/integration_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

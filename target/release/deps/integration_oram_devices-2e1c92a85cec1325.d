@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_oram_devices-2e1c92a85cec1325.d: crates/core/../../tests/integration_oram_devices.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_oram_devices-2e1c92a85cec1325.rmeta: crates/core/../../tests/integration_oram_devices.rs Cargo.toml
+
+crates/core/../../tests/integration_oram_devices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

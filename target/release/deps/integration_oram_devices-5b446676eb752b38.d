@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_oram_devices-5b446676eb752b38.d: crates/core/../../tests/integration_oram_devices.rs
+
+/root/repo/target/release/deps/integration_oram_devices-5b446676eb752b38: crates/core/../../tests/integration_oram_devices.rs
+
+crates/core/../../tests/integration_oram_devices.rs:

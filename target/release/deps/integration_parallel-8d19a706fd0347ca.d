@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_parallel-8d19a706fd0347ca.d: crates/core/../../tests/integration_parallel.rs
+
+/root/repo/target/release/deps/integration_parallel-8d19a706fd0347ca: crates/core/../../tests/integration_parallel.rs
+
+crates/core/../../tests/integration_parallel.rs:

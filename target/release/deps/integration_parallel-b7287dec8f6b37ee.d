@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_parallel-b7287dec8f6b37ee.d: crates/core/../../tests/integration_parallel.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_parallel-b7287dec8f6b37ee.rmeta: crates/core/../../tests/integration_parallel.rs Cargo.toml
+
+crates/core/../../tests/integration_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_pipeline-41ec946d812e6b3a.d: crates/core/../../tests/integration_pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_pipeline-41ec946d812e6b3a.rmeta: crates/core/../../tests/integration_pipeline.rs Cargo.toml
+
+crates/core/../../tests/integration_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_pipeline-b09e4c5266a606d0.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/release/deps/integration_pipeline-b09e4c5266a606d0: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_privacy-7f873614dfac5726.d: crates/core/../../tests/integration_privacy.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_privacy-7f873614dfac5726.rmeta: crates/core/../../tests/integration_privacy.rs Cargo.toml
+
+crates/core/../../tests/integration_privacy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

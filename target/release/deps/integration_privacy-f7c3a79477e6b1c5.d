@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_privacy-f7c3a79477e6b1c5.d: crates/core/../../tests/integration_privacy.rs
+
+/root/repo/target/release/deps/integration_privacy-f7c3a79477e6b1c5: crates/core/../../tests/integration_privacy.rs
+
+crates/core/../../tests/integration_privacy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_privacy_audit-11bfdc86a7e968af.d: crates/core/../../tests/integration_privacy_audit.rs
+
+/root/repo/target/release/deps/integration_privacy_audit-11bfdc86a7e968af: crates/core/../../tests/integration_privacy_audit.rs
+
+crates/core/../../tests/integration_privacy_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_privacy_audit-398edd3a3d873fad.d: crates/core/../../tests/integration_privacy_audit.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_privacy_audit-398edd3a3d873fad.rmeta: crates/core/../../tests/integration_privacy_audit.rs Cargo.toml
+
+crates/core/../../tests/integration_privacy_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

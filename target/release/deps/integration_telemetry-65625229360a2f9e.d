@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_telemetry-65625229360a2f9e.d: crates/core/../../tests/integration_telemetry.rs
+
+/root/repo/target/release/deps/integration_telemetry-65625229360a2f9e: crates/core/../../tests/integration_telemetry.rs
+
+crates/core/../../tests/integration_telemetry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_telemetry-b346964db466f001.d: crates/core/../../tests/integration_telemetry.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_telemetry-b346964db466f001.rmeta: crates/core/../../tests/integration_telemetry.rs Cargo.toml
+
+crates/core/../../tests/integration_telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_tracing-500b773b7ce010e6.d: crates/core/../../tests/integration_tracing.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_tracing-500b773b7ce010e6.rmeta: crates/core/../../tests/integration_tracing.rs Cargo.toml
+
+crates/core/../../tests/integration_tracing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

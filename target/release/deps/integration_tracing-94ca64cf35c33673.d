@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_tracing-94ca64cf35c33673.d: crates/core/../../tests/integration_tracing.rs
+
+/root/repo/target/release/deps/integration_tracing-94ca64cf35c33673: crates/core/../../tests/integration_tracing.rs
+
+crates/core/../../tests/integration_tracing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_watch_empirical-ce0a1827f3d025e4.d: crates/core/../../tests/integration_watch_empirical.rs
+
+/root/repo/target/release/deps/integration_watch_empirical-ce0a1827f3d025e4: crates/core/../../tests/integration_watch_empirical.rs
+
+crates/core/../../tests/integration_watch_empirical.rs:

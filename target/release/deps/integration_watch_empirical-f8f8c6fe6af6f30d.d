@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_watch_empirical-f8f8c6fe6af6f30d.d: crates/core/../../tests/integration_watch_empirical.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_watch_empirical-f8f8c6fe6af6f30d.rmeta: crates/core/../../tests/integration_watch_empirical.rs Cargo.toml
+
+crates/core/../../tests/integration_watch_empirical.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

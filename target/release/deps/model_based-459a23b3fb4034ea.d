@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_based-459a23b3fb4034ea.d: crates/oram/tests/model_based.rs
+
+/root/repo/target/release/deps/model_based-459a23b3fb4034ea: crates/oram/tests/model_based.rs
+
+crates/oram/tests/model_based.rs:

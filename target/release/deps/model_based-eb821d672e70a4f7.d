@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/model_based-eb821d672e70a4f7.d: crates/oram/tests/model_based.rs Cargo.toml
+
+/root/repo/target/release/deps/libmodel_based-eb821d672e70a4f7.rmeta: crates/oram/tests/model_based.rs Cargo.toml
+
+crates/oram/tests/model_based.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/oblivious_union-f95033f5a0475850.d: crates/bench/benches/oblivious_union.rs Cargo.toml
+
+/root/repo/target/release/deps/liboblivious_union-f95033f5a0475850.rmeta: crates/bench/benches/oblivious_union.rs Cargo.toml
+
+crates/bench/benches/oblivious_union.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/openloop_load-04554e88b40a4706.d: crates/bench/src/bin/openloop_load.rs
+
+/root/repo/target/release/deps/openloop_load-04554e88b40a4706: crates/bench/src/bin/openloop_load.rs
+
+crates/bench/src/bin/openloop_load.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/openloop_load-218c99c2ad336221.d: crates/bench/src/bin/openloop_load.rs Cargo.toml
+
+/root/repo/target/release/deps/libopenloop_load-218c99c2ad336221.rmeta: crates/bench/src/bin/openloop_load.rs Cargo.toml
+
+crates/bench/src/bin/openloop_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

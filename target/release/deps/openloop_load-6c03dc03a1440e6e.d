@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/openloop_load-6c03dc03a1440e6e.d: crates/bench/src/bin/openloop_load.rs Cargo.toml
+
+/root/repo/target/release/deps/libopenloop_load-6c03dc03a1440e6e.rmeta: crates/bench/src/bin/openloop_load.rs Cargo.toml
+
+crates/bench/src/bin/openloop_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

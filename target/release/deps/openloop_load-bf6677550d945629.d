@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/openloop_load-bf6677550d945629.d: crates/bench/src/bin/openloop_load.rs
+
+/root/repo/target/release/deps/openloop_load-bf6677550d945629: crates/bench/src/bin/openloop_load.rs
+
+crates/bench/src/bin/openloop_load.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/oram_access-6bae73710b2e673d.d: crates/bench/benches/oram_access.rs Cargo.toml
+
+/root/repo/target/release/deps/liboram_access-6bae73710b2e673d.rmeta: crates/bench/benches/oram_access.rs Cargo.toml
+
+crates/bench/benches/oram_access.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_trajectory-6b44caff268e554c.d: crates/bench/src/bin/perf_trajectory.rs
+
+/root/repo/target/release/deps/perf_trajectory-6b44caff268e554c: crates/bench/src/bin/perf_trajectory.rs
+
+crates/bench/src/bin/perf_trajectory.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/perf_trajectory-723382cda0b35a58.d: crates/bench/src/bin/perf_trajectory.rs Cargo.toml
+
+/root/repo/target/release/deps/libperf_trajectory-723382cda0b35a58.rmeta: crates/bench/src/bin/perf_trajectory.rs Cargo.toml
+
+crates/bench/src/bin/perf_trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

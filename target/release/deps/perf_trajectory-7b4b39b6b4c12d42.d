@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/perf_trajectory-7b4b39b6b4c12d42.d: crates/bench/src/bin/perf_trajectory.rs Cargo.toml
+
+/root/repo/target/release/deps/libperf_trajectory-7b4b39b6b4c12d42.rmeta: crates/bench/src/bin/perf_trajectory.rs Cargo.toml
+
+crates/bench/src/bin/perf_trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

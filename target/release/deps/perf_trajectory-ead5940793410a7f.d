@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/perf_trajectory-ead5940793410a7f.d: crates/bench/src/bin/perf_trajectory.rs
+
+/root/repo/target/release/deps/perf_trajectory-ead5940793410a7f: crates/bench/src/bin/perf_trajectory.rs
+
+crates/bench/src/bin/perf_trajectory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-4abe1c16b0b0346c.d: .local-deps/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4abe1c16b0b0346c.rmeta: .local-deps/proptest/src/lib.rs
+
+.local-deps/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-e3961beb3961b6bd.d: .local-deps/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e3961beb3961b6bd.rlib: .local-deps/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-e3961beb3961b6bd.rmeta: .local-deps/proptest/src/lib.rs
+
+.local-deps/proptest/src/lib.rs:

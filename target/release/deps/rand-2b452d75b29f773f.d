@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-2b452d75b29f773f.d: .local-deps/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2b452d75b29f773f.rlib: .local-deps/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-2b452d75b29f773f.rmeta: .local-deps/rand/src/lib.rs
+
+.local-deps/rand/src/lib.rs:

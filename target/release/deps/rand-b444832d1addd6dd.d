@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-b444832d1addd6dd.d: .local-deps/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-b444832d1addd6dd.rmeta: .local-deps/rand/src/lib.rs
+
+.local-deps/rand/src/lib.rs:

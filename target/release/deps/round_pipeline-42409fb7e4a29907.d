@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/round_pipeline-42409fb7e4a29907.d: crates/bench/benches/round_pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libround_pipeline-42409fb7e4a29907.rmeta: crates/bench/benches/round_pipeline.rs Cargo.toml
+
+crates/bench/benches/round_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-86355684b12022b4.d: .local-deps/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-86355684b12022b4.rmeta: .local-deps/serde/src/lib.rs
+
+.local-deps/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-b51eb7bcd395d921.d: .local-deps/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b51eb7bcd395d921.rlib: .local-deps/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-b51eb7bcd395d921.rmeta: .local-deps/serde/src/lib.rs
+
+.local-deps/serde/src/lib.rs:

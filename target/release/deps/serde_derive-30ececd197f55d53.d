@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-30ececd197f55d53.d: .local-deps/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-30ececd197f55d53.so: .local-deps/serde_derive/src/lib.rs
+
+.local-deps/serde_derive/src/lib.rs:

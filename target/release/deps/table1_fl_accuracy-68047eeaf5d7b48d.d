@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_fl_accuracy-68047eeaf5d7b48d.d: crates/bench/src/bin/table1_fl_accuracy.rs
+
+/root/repo/target/release/deps/table1_fl_accuracy-68047eeaf5d7b48d: crates/bench/src/bin/table1_fl_accuracy.rs
+
+crates/bench/src/bin/table1_fl_accuracy.rs:

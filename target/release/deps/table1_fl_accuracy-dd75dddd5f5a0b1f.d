@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1_fl_accuracy-dd75dddd5f5a0b1f.d: crates/bench/src/bin/table1_fl_accuracy.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1_fl_accuracy-dd75dddd5f5a0b1f.rmeta: crates/bench/src/bin/table1_fl_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/table1_fl_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

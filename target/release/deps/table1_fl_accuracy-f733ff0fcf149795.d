@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_fl_accuracy-f733ff0fcf149795.d: crates/bench/src/bin/table1_fl_accuracy.rs
+
+/root/repo/target/release/deps/table1_fl_accuracy-f733ff0fcf149795: crates/bench/src/bin/table1_fl_accuracy.rs
+
+crates/bench/src/bin/table1_fl_accuracy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table1_fl_accuracy-fae8c2fdb2184eab.d: crates/bench/src/bin/table1_fl_accuracy.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable1_fl_accuracy-fae8c2fdb2184eab.rmeta: crates/bench/src/bin/table1_fl_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/table1_fl_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune_shape-4779b096503471f7.d: crates/bench/src/bin/tune_shape.rs
+
+/root/repo/target/release/deps/tune_shape-4779b096503471f7: crates/bench/src/bin/tune_shape.rs
+
+crates/bench/src/bin/tune_shape.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tune_shape-47f79cdff4c47a10.d: crates/bench/src/bin/tune_shape.rs Cargo.toml
+
+/root/repo/target/release/deps/libtune_shape-47f79cdff4c47a10.rmeta: crates/bench/src/bin/tune_shape.rs Cargo.toml
+
+crates/bench/src/bin/tune_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tune_shape-798924c882d09b75.d: crates/bench/src/bin/tune_shape.rs Cargo.toml
+
+/root/repo/target/release/deps/libtune_shape-798924c882d09b75.rmeta: crates/bench/src/bin/tune_shape.rs Cargo.toml
+
+crates/bench/src/bin/tune_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune_shape-7f21b86322a8cf58.d: crates/bench/src/bin/tune_shape.rs
+
+/root/repo/target/release/deps/tune_shape-7f21b86322a8cf58: crates/bench/src/bin/tune_shape.rs
+
+crates/bench/src/bin/tune_shape.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/attack_demo-80a89d7d18174fa5.d: crates/core/../../examples/attack_demo.rs Cargo.toml
+
+/root/repo/target/release/examples/libattack_demo-80a89d7d18174fa5.rmeta: crates/core/../../examples/attack_demo.rs Cargo.toml
+
+crates/core/../../examples/attack_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/attack_demo-daa4e2428b8e0bd4.d: crates/core/../../examples/attack_demo.rs
+
+/root/repo/target/release/examples/attack_demo-daa4e2428b8e0bd4: crates/core/../../examples/attack_demo.rs
+
+crates/core/../../examples/attack_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/federated_round-219a253e9deff2be.d: crates/core/../../examples/federated_round.rs Cargo.toml
+
+/root/repo/target/release/examples/libfederated_round-219a253e9deff2be.rmeta: crates/core/../../examples/federated_round.rs Cargo.toml
+
+crates/core/../../examples/federated_round.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

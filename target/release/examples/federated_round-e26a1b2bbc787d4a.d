@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/federated_round-e26a1b2bbc787d4a.d: crates/core/../../examples/federated_round.rs
+
+/root/repo/target/release/examples/federated_round-e26a1b2bbc787d4a: crates/core/../../examples/federated_round.rs
+
+crates/core/../../examples/federated_round.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/privacy_tradeoff-389044813498f638.d: crates/core/../../examples/privacy_tradeoff.rs
+
+/root/repo/target/release/examples/privacy_tradeoff-389044813498f638: crates/core/../../examples/privacy_tradeoff.rs
+
+crates/core/../../examples/privacy_tradeoff.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/privacy_tradeoff-a5f6503a192b09a9.d: crates/core/../../examples/privacy_tradeoff.rs Cargo.toml
+
+/root/repo/target/release/examples/libprivacy_tradeoff-a5f6503a192b09a9.rmeta: crates/core/../../examples/privacy_tradeoff.rs Cargo.toml
+
+crates/core/../../examples/privacy_tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-6eeed0ee9a5727e5.d: crates/core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-6eeed0ee9a5727e5.rmeta: crates/core/../../examples/quickstart.rs Cargo.toml
+
+crates/core/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-dd939a5d2aef9b7d.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-dd939a5d2aef9b7d: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

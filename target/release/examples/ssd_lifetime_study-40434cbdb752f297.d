@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ssd_lifetime_study-40434cbdb752f297.d: crates/core/../../examples/ssd_lifetime_study.rs
+
+/root/repo/target/release/examples/ssd_lifetime_study-40434cbdb752f297: crates/core/../../examples/ssd_lifetime_study.rs
+
+crates/core/../../examples/ssd_lifetime_study.rs:

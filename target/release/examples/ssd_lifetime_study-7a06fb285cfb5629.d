@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/ssd_lifetime_study-7a06fb285cfb5629.d: crates/core/../../examples/ssd_lifetime_study.rs Cargo.toml
+
+/root/repo/target/release/examples/libssd_lifetime_study-7a06fb285cfb5629.rmeta: crates/core/../../examples/ssd_lifetime_study.rs Cargo.toml
+
+crates/core/../../examples/ssd_lifetime_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,1 @@
+/root/repo/target/release/libfedora_par.rlib: /root/repo/crates/par/src/lib.rs
