@@ -31,7 +31,9 @@
 use std::path::PathBuf;
 
 use fedora::audit::empirical::{adjacent_inputs, estimate_twin_inputs};
-use fedora::config::{FedoraConfig, ParallelismConfig, PrivacyConfig, TableSpec, WatchConfig};
+use fedora::config::{
+    FedoraConfig, ParallelismConfig, PipelineConfig, PrivacyConfig, TableSpec, WatchConfig,
+};
 use fedora::multi::{MultiTableServer, TableInit};
 use fedora::server::{FedoraServer, PhaseBreakdown};
 use fedora_bench::outopts::OutputOpts;
@@ -77,6 +79,11 @@ struct CellSpec {
     /// end under open-loop load, and record SLO response-latency
     /// percentiles + shed rate instead of the in-process columns.
     net: bool,
+    /// Run with look-ahead round pipelining on (lookahead 1): the next
+    /// round's oblivious unions prefetch on the dedicated worker and
+    /// eviction writes batch into the write phase. Results are identical
+    /// to serial cells — only wall-clock time moves.
+    pipelined: bool,
 }
 
 impl CellSpec {
@@ -84,6 +91,11 @@ impl CellSpec {
         let mut id = if self.net {
             format!(
                 "net.entries{}.clients{}.{}",
+                self.entries, self.clients, self.aggregator
+            )
+        } else if self.pipelined {
+            format!(
+                "pipelined.entries{}.clients{}.{}",
                 self.entries, self.clients, self.aggregator
             )
         } else if self.durable {
@@ -130,6 +142,7 @@ fn matrix(quick: bool, threads_list: &[usize], shards: usize) -> Vec<CellSpec> {
                         threads,
                         durable: false,
                         net: false,
+                        pipelined: false,
                     });
                 }
             }
@@ -143,6 +156,7 @@ fn matrix(quick: bool, threads_list: &[usize], shards: usize) -> Vec<CellSpec> {
                 threads,
                 durable: false,
                 net: false,
+                pipelined: false,
             });
         }
         // One durable cell per thread count: same workload as the first
@@ -156,6 +170,7 @@ fn matrix(quick: bool, threads_list: &[usize], shards: usize) -> Vec<CellSpec> {
             threads,
             durable: true,
             net: false,
+            pipelined: false,
         });
         // One network-served cell per thread count: the same pipeline
         // fronted by the fedora-net TCP server under a short open-loop
@@ -168,6 +183,21 @@ fn matrix(quick: bool, threads_list: &[usize], shards: usize) -> Vec<CellSpec> {
             threads,
             durable: false,
             net: true,
+            pipelined: false,
+        });
+        // One pipelined cell per thread count: the first serial cell's
+        // workload with look-ahead round pipelining on — its columns are
+        // the overlap-speedup trajectory against the matching serial
+        // cell's `round.latency_ns.mean`.
+        cells.push(CellSpec {
+            entries: entry_sizes[0],
+            clients: client_counts[0],
+            aggregator: "fedavg",
+            shards: 1,
+            threads,
+            durable: false,
+            net: false,
+            pipelined: true,
         });
     }
     cells
@@ -363,6 +393,9 @@ fn run_cell_mode<M: AggregationMode>(
     let mut config = FedoraConfig::for_testing(TableSpec::tiny(spec.entries), k_total.max(16));
     config.privacy = PrivacyConfig::with_epsilon(1.0);
     config.parallelism = ParallelismConfig::with_threads(spec.threads);
+    if spec.pipelined {
+        config.pipeline = PipelineConfig::lookahead_one();
+    }
     // Watch plane at its most aggressive cadence: the overhead column
     // below records what sampling every round actually costs.
     config.watch = WatchConfig::every(1);
@@ -383,11 +416,28 @@ fn run_cell_mode<M: AggregationMode>(
     });
 
     let mut phase_sums = PhaseBreakdown::default();
+    // Pipelined cells draw the next round's workload right after
+    // `begin_round` so its client set can be scheduled on the look-ahead
+    // worker while the current round runs; serial cells keep the
+    // historical draw order so committed baselines still line up.
+    let mut next_stream = spec
+        .pipelined
+        .then(|| Workload::Kaggle.generate(spec.entries, k_total, &mut rng));
     for round in 0..rounds {
-        let stream = Workload::Kaggle.generate(spec.entries, k_total, &mut rng);
+        let stream = match next_stream.take() {
+            Some(s) => s,
+            None => Workload::Kaggle.generate(spec.entries, k_total, &mut rng),
+        };
         server
             .begin_round(&stream.requests, &mut rng)
             .unwrap_or_else(|e| panic!("cell {}: round {round} begin: {e}", spec.id()));
+        if spec.pipelined {
+            let upcoming = Workload::Kaggle.generate(spec.entries, k_total, &mut rng);
+            if round + 1 < rounds {
+                server.schedule_next_round(&upcoming.requests);
+            }
+            next_stream = Some(upcoming);
+        }
         for &id in &stream.requests {
             let served = server
                 .serve(id, &mut rng)
@@ -408,6 +458,7 @@ fn run_cell_mode<M: AggregationMode>(
         phase_sums.aggregate_ns += report.phases.aggregate_ns;
         phase_sums.write_ns += report.phases.write_ns;
         phase_sums.round_ns += report.phases.round_ns;
+        phase_sums.overlap_ns += report.phases.overlap_ns;
     }
 
     let snap = server.metrics_snapshot();
@@ -452,6 +503,15 @@ fn run_cell_mode<M: AggregationMode>(
             counter("fl.round.upload_bytes"),
         ),
     ];
+    if spec.pipelined {
+        // Union work the prefetch worker absorbed off the critical path —
+        // informational (excluded from round_ns), so only the new
+        // pipelined cells carry it.
+        metrics.push((
+            "phase.overlap_ns.mean".to_owned(),
+            per_round(phase_sums.overlap_ns),
+        ));
+    }
     if let Some(h) = snap.histogram("oram.access.latency") {
         metrics.push(("oram.access.latency_ns.p95".to_owned(), h.p95 as f64));
     }

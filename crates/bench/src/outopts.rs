@@ -13,6 +13,11 @@
 //! * `--threads N` — worker threads for the deterministic parallel
 //!   pipeline (default 1 = serial). Thread count never changes results,
 //!   only wall-clock time.
+//! * `--pipeline` — enable look-ahead round pipelining (lookahead 1):
+//!   the next round's oblivious unions prefetch on a dedicated worker and
+//!   eviction writes batch into the write phase. Like `--threads`, this
+//!   never changes results — scrubbed round reports and the access trace
+//!   are byte-identical to serial execution — only wall-clock time.
 //!
 //! [`OutputOpts::extract`] strips both flag pairs from an argument vector
 //! (so positional parsing stays untouched), [`OutputOpts::registry`] builds
@@ -76,6 +81,9 @@ pub struct OutputOpts {
     /// Worker threads (`--threads N`); `None` means the binary's default
     /// (serial). Thread count never changes results — only wall-clock time.
     pub threads: Option<usize>,
+    /// Look-ahead round pipelining (`--pipeline`). Never changes results —
+    /// only wall-clock time.
+    pub pipeline: bool,
 }
 
 impl OutputOpts {
@@ -119,10 +127,25 @@ impl OutputOpts {
             }
             opts.threads = Some(parsed);
         }
+        if let Some(pos) = args.iter().position(|a| a == "--pipeline") {
+            args.remove(pos);
+            opts.pipeline = true;
+        }
         if let Some(fmt) = format {
             opts.metrics_format = MetricsFormat::parse(&fmt)?;
         }
         Ok(opts)
+    }
+
+    /// The [`PipelineConfig`] the `--pipeline` flag asks for.
+    ///
+    /// [`PipelineConfig`]: fedora::config::PipelineConfig
+    pub fn pipeline_config(&self) -> fedora::config::PipelineConfig {
+        if self.pipeline {
+            fedora::config::PipelineConfig::lookahead_one()
+        } else {
+            fedora::config::PipelineConfig::serial()
+        }
     }
 
     /// The worker-thread count to use: the `--threads` value, or 1.
@@ -258,6 +281,21 @@ mod tests {
             let mut args: Vec<String> = vec!["--threads".to_owned(), bad.to_owned()];
             assert!(OutputOpts::extract(&mut args).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn extract_parses_pipeline_flag() {
+        let mut args: Vec<String> = ["8", "--pipeline", "7"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let opts = OutputOpts::extract(&mut args).unwrap();
+        assert_eq!(args, vec!["8".to_owned(), "7".to_owned()]);
+        assert!(opts.pipeline);
+        assert!(opts.pipeline_config().enabled());
+        let plain = OutputOpts::default();
+        assert!(!plain.pipeline);
+        assert!(!plain.pipeline_config().enabled());
     }
 
     #[test]

@@ -304,6 +304,48 @@ impl ParallelismConfig {
     }
 }
 
+/// Look-ahead round pipelining.
+///
+/// With `lookahead ≥ 1` the server accepts the *scheduled* request set
+/// for round N+1 while round N is still running
+/// ([`crate::FedoraServer::schedule_next_round`]): a dedicated
+/// [`fedora_par::PrefetchWorker`] computes the next round's RNG-free
+/// fetch preamble (the per-chunk oblivious unions) off the critical
+/// path, the main ORAM's decrypt window skips re-decrypting
+/// already-authenticated unchanged buckets, and round N's EO path
+/// writes are deferred to the end of its write phase so they overlap
+/// the serve/aggregate work instead of serializing behind each
+/// insertion.
+///
+/// None of this moves the access-trace distribution: every RNG draw
+/// stays on the engine thread in serial order, device page traffic is
+/// identical batch-for-batch, and scrubbed [`crate::RoundReport`]s are
+/// byte-identical to serial mode. `lookahead = 0` (the default) is the
+/// exact serial code path. Depths beyond 1 are accepted but currently
+/// schedule a single round ahead (double buffering).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// How many rounds ahead the engine may schedule (0 = serial).
+    pub lookahead: usize,
+}
+
+impl PipelineConfig {
+    /// The serial default: no look-ahead.
+    pub fn serial() -> Self {
+        PipelineConfig { lookahead: 0 }
+    }
+
+    /// Single-round look-ahead (double buffering).
+    pub fn lookahead_one() -> Self {
+        PipelineConfig { lookahead: 1 }
+    }
+
+    /// True when pipelined execution is on.
+    pub fn enabled(&self) -> bool {
+        self.lookahead > 0
+    }
+}
+
 /// Fault-tolerance policy for the server's round pipeline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultToleranceConfig {
@@ -364,6 +406,8 @@ pub struct FedoraConfig {
     pub privacy_budget: PrivacyBudgetConfig,
     /// Worker-thread budget for the round pipeline (serial by default).
     pub parallelism: ParallelismConfig,
+    /// Look-ahead round pipelining (serial by default).
+    pub pipeline: PipelineConfig,
     /// Live privacy/SLO watch plane (off by default).
     pub watch: WatchConfig,
     /// Telemetry event-journal capacity: the ring keeps the most recent
@@ -392,6 +436,7 @@ impl FedoraConfig {
             fault_tolerance: FaultToleranceConfig::default(),
             privacy_budget: PrivacyBudgetConfig::default(),
             parallelism: ParallelismConfig::default(),
+            pipeline: PipelineConfig::serial(),
             watch: WatchConfig::disabled(),
             journal_capacity: fedora_telemetry::MAX_JOURNAL_EVENTS,
         }
@@ -412,6 +457,7 @@ impl FedoraConfig {
             fault_tolerance: FaultToleranceConfig::default(),
             privacy_budget: PrivacyBudgetConfig::default(),
             parallelism: ParallelismConfig::default(),
+            pipeline: PipelineConfig::serial(),
             watch: WatchConfig::disabled(),
             journal_capacity: fedora_telemetry::MAX_JOURNAL_EVENTS,
         }

@@ -42,6 +42,10 @@ COMMANDS:
                --entries N  --requests a,b,c,...  --epsilon E
                --threads N (worker threads for bulk path crypto;
                default 1 — thread count never changes results)
+               --pipeline 0|1 (look-ahead round pipelining: prefetch
+               the next round's oblivious unions, batch eviction
+               writes; results and access trace stay identical,
+               only wall-clock time changes)
                --state-dir DIR (durable mode: restore any prior
                checkpointed state, journal + checkpoint the round)
     checkpoint write a fresh full-state checkpoint
@@ -54,6 +58,8 @@ COMMANDS:
                --listen HOST:PORT (default 127.0.0.1:0; prints the
                bound address as 'listening on ADDR' before serving)
                --entries N  --epsilon E  --seed N  --threads N
+               --pipeline 0|1 (overlap the next batch's union prefetch
+               with the running round; identical results)
                --state-dir DIR (durable: restore prior state, journal
                + checkpoint every committed round)
                --queue-depth N  --max-connections N (admission control:
@@ -202,6 +208,9 @@ fn live_server(
     let mut rng = StdRng::seed_from_u64(u64_flag(flags, "seed", 42)?);
     let mut config = FedoraConfig::for_testing(TableSpec::tiny(entries), k_hint.max(16));
     config.parallelism = ParallelismConfig::with_threads(threads);
+    if u64_flag(flags, "pipeline", 0)? > 0 {
+        config.pipeline = fedora::config::PipelineConfig::lookahead_one();
+    }
     config.privacy = if epsilon == 0.0 {
         PrivacyConfig::perfect()
     } else if epsilon.is_infinite() {
@@ -487,6 +496,9 @@ fn cmd_round(flags: &HashMap<String, String>) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(u64_flag(flags, "seed", 42)?);
     let mut config = FedoraConfig::for_testing(TableSpec::tiny(entries), requests.len().max(16));
     config.parallelism = ParallelismConfig::with_threads(threads);
+    if u64_flag(flags, "pipeline", 0)? > 0 {
+        config.pipeline = fedora::config::PipelineConfig::lookahead_one();
+    }
     config.privacy = if epsilon == 0.0 {
         PrivacyConfig::perfect()
     } else if epsilon.is_infinite() {
@@ -541,6 +553,12 @@ fn cmd_round(flags: &HashMap<String, String>) -> Result<(), String> {
         phases.write_ns as f64 / 1e6,
         phases.round_ns as f64 / 1e6,
     );
+    if phases.overlap_ns > 0 {
+        println!(
+            "  overlap: {:.3} ms of union work prefetched off the critical path",
+            phases.overlap_ns as f64 / 1e6
+        );
+    }
     write_metrics(flags, &server.metrics_snapshot())
 }
 

@@ -29,6 +29,7 @@
 //! [`EngineOutcome::Crashed`] is returned so tests can recover from the
 //! state dir and check that torn sessions were not counted as commits.
 
+use std::collections::VecDeque;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
@@ -643,9 +644,13 @@ fn run_engine(
     let mut mode = FedAvg;
     let dim = server.config().table.entry_bytes / 4;
     let max_k = server.config().max_requests_per_round;
-    let mut held: Option<Job> = None;
+    // Jobs pulled off the queue but not yet executed: a non-train job
+    // acting as a batch barrier, plus — in pipelined mode — whatever was
+    // drained early so the next round's client set could be handed to
+    // the look-ahead scheduler. Queue order is preserved throughout.
+    let mut pending: VecDeque<Job> = VecDeque::new();
     loop {
-        let first = match held.take() {
+        let first = match pending.pop_front() {
             Some(job) => job,
             None => match rx.recv_timeout(Duration::from_millis(50)) {
                 Ok(job) => job,
@@ -690,16 +695,48 @@ fn run_engine(
         let batch_start = Instant::now();
         let mut batch = vec![first];
         let mut total: usize = batch[0].entries.len();
-        while let Ok(job) = rx.try_recv() {
+        loop {
+            let job = match pending.pop_front() {
+                Some(job) => job,
+                None => match rx.try_recv() {
+                    Ok(job) => job,
+                    Err(_) => break,
+                },
+            };
             match job {
                 Job::Train(train) if total + train.entries.len() <= max_k => {
                     total += train.entries.len();
                     batch.push(train);
                 }
                 other => {
-                    held = Some(other);
+                    pending.push_front(other);
                     break;
                 }
+            }
+        }
+        // Look-ahead: with pipelining on, drain whatever is queued right
+        // now and hand the next round's leading train-run to the
+        // prefetch scheduler, so its oblivious unions compute while this
+        // batch's round runs. Purely advisory — if the next batch turns
+        // out different (late arrivals, barriers), the speculation is
+        // discarded and the round proceeds exactly as in serial mode.
+        if server.pipeline_enabled() {
+            while let Ok(job) = rx.try_recv() {
+                pending.push_back(job);
+            }
+            let mut next: Vec<u64> = Vec::new();
+            let mut next_total: usize = 0;
+            for job in &pending {
+                match job {
+                    Job::Train(train) if next_total + train.entries.len() <= max_k => {
+                        next_total += train.entries.len();
+                        next.extend(train.entries.iter().copied());
+                    }
+                    _ => break,
+                }
+            }
+            if !next.is_empty() {
+                server.schedule_next_round(&next);
             }
         }
         match run_batch(

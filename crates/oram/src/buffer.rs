@@ -177,13 +177,23 @@ impl BufferOram {
         }
         let block_bytes = 2 * self.entry_bytes + AGG_META_BYTES;
         let geo = TreeGeometry::for_blocks(capacity as u64, block_bytes, 4);
+        let window = self.oram.store().decrypt_window_active();
         let store = DramBucketStore::new(geo, self.key.clone(), DramProfile::default());
         self.oram = PathOram::new(store, capacity as u64, rng);
         self.oram
             .store_mut()
             .set_telemetry(&self.telemetry.registry);
+        self.oram.store_mut().set_decrypt_window(window);
         self.capacity = capacity;
         Ok(())
+    }
+
+    /// Enables (or disables) the backing DRAM store's decrypt window — a
+    /// plaintext mirror of already-authenticated buckets that skips the
+    /// AEAD on re-reads without changing a single DRAM access. Survives
+    /// [`reconfigure`](Self::reconfigure) (the mirror restarts empty).
+    pub fn set_decrypt_window(&mut self, enabled: bool) {
+        self.oram.store_mut().set_decrypt_window(enabled);
     }
 
     /// The per-round capacity in entries.

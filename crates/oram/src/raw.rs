@@ -138,6 +138,10 @@ pub struct RawOram<S: BucketStore> {
     scratch_path: Vec<Bucket>,
     /// Reused valid-bit buffer for VTree bucket updates.
     scratch_bits: Vec<bool>,
+    /// When set, EO path writes are staged in the store and flushed at a
+    /// caller-chosen boundary (see [`Self::flush_deferred_evictions`]).
+    /// Execution-mode state, not protocol state — never persisted.
+    defer_evictions: bool,
 }
 
 impl<S: BucketStore> RawOram<S> {
@@ -218,6 +222,7 @@ impl<S: BucketStore> RawOram<S> {
             telemetry: OramTelemetry::default(),
             scratch_path: Vec::new(),
             scratch_bits: Vec::new(),
+            defer_evictions: false,
         }
     }
 
@@ -225,6 +230,37 @@ impl<S: BucketStore> RawOram<S> {
     /// Thread count never changes results — only wall-clock time.
     pub fn set_threads(&mut self, threads: usize) {
         self.store.set_threads(threads);
+    }
+
+    /// Enables (or disables) the backing store's decrypt window — the
+    /// plaintext mirror that lets pipelined rounds skip re-decrypting
+    /// already-authenticated, unchanged ciphertext. Device page traffic is
+    /// identical either way; see
+    /// [`BucketStore::set_decrypt_window`].
+    pub fn set_decrypt_window(&mut self, enabled: bool) {
+        self.store.set_decrypt_window(enabled);
+    }
+
+    /// Enables (or disables) eviction-write deferral: EO accesses still
+    /// read their path, merge the stash, and update the VTree at trigger
+    /// time — only the final [`BucketStore::write_path`] is staged, to be
+    /// flushed in EO order by [`Self::flush_deferred_evictions`]. Stores
+    /// without an active decrypt window ignore the stage and write
+    /// immediately (a reader between stage and flush must never decrypt
+    /// stale device bytes).
+    pub fn set_eviction_deferral(&mut self, enabled: bool) {
+        self.defer_evictions = enabled;
+    }
+
+    /// Flushes EO path writes staged under eviction deferral, in EO order,
+    /// returning how many were flushed. Counters, device statistics, and
+    /// the physical page trace match the undeferred schedule exactly.
+    ///
+    /// # Errors
+    ///
+    /// Store errors propagate.
+    pub fn flush_deferred_evictions(&mut self) -> Result<u64, OramError> {
+        self.store.flush_deferred_writes()
     }
 
     /// Attaches telemetry: ORAM access/eviction latency histograms and
@@ -535,7 +571,11 @@ impl<S: BucketStore> RawOram<S> {
             self.vtree.set_bucket(node, &self.scratch_bits);
         }
         self.note_stash();
-        let result = self.store.write_path(leaf, &self.scratch_path);
+        let result = if self.defer_evictions {
+            self.store.defer_write_path(leaf, &self.scratch_path)
+        } else {
+            self.store.write_path(leaf, &self.scratch_path)
+        };
         timer.stop(); // record this eviction before deriving the suggestion
         self.update_suggested_a();
         result

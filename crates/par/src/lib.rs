@@ -28,7 +28,9 @@
 //! after all siblings finish (no detached threads, no poisoned state).
 
 use std::panic::resume_unwind;
+use std::sync::mpsc;
 use std::thread;
+use std::time::Instant;
 
 /// A handle describing how much parallelism to use.
 ///
@@ -144,6 +146,150 @@ impl WorkerPool {
     }
 }
 
+/// A dedicated look-ahead worker alongside the scoped [`WorkerPool`]:
+/// one long-lived thread that runs **one job at a time** off the caller's
+/// critical path.
+///
+/// Built for round pipelining: while round *N* serves and aggregates, the
+/// worker computes round *N+1*'s deterministic, RNG-free preamble (the
+/// per-chunk oblivious unions). The single-slot discipline — submit one
+/// job, then take (or discard) its result before submitting the next —
+/// keeps the protocol trivially ordered: there is never more than one
+/// speculative computation in flight, so nothing can complete out of
+/// order.
+///
+/// Jobs must be *pure* with respect to protocol state: they receive owned
+/// inputs and return an owned result. Anything stateful (RNG draws,
+/// counters, device access) stays on the caller's thread.
+pub struct PrefetchWorker<T: Send + 'static> {
+    tx: Option<mpsc::Sender<Job<T>>>,
+    rx: mpsc::Receiver<(T, u64)>,
+    handle: Option<thread::JoinHandle<()>>,
+    in_flight: bool,
+}
+
+type Job<T> = Box<dyn FnOnce() -> T + Send>;
+
+impl<T: Send + 'static> PrefetchWorker<T> {
+    /// Spawns the worker thread (named `fedora-par-prefetch`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OS refuses to spawn a thread.
+    #[allow(clippy::expect_used)] // thread spawn failure is unrecoverable
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let (tx, job_rx) = mpsc::channel::<Job<T>>();
+        let (done_tx, rx) = mpsc::channel::<(T, u64)>();
+        let handle = thread::Builder::new()
+            .name("fedora-par-prefetch".into())
+            .spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    let started = Instant::now();
+                    let out = job();
+                    let worked_ns = started.elapsed().as_nanos() as u64;
+                    if done_tx.send((out, worked_ns)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn prefetch worker");
+        PrefetchWorker {
+            tx: Some(tx),
+            rx,
+            handle: Some(handle),
+            in_flight: false,
+        }
+    }
+
+    /// Submits a job. The single-slot discipline is enforced: a result
+    /// still pending from an earlier submit is drained (and dropped)
+    /// first, blocking until that job finishes.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the worker thread.
+    pub fn submit<F: FnOnce() -> T + Send + 'static>(&mut self, job: F) {
+        self.discard();
+        if let Some(tx) = &self.tx {
+            if tx.send(Box::new(job)).is_ok() {
+                self.in_flight = true;
+            } else {
+                self.join_and_reraise();
+            }
+        }
+    }
+
+    /// True when a submitted job's result has not been taken yet.
+    pub fn is_in_flight(&self) -> bool {
+        self.in_flight
+    }
+
+    /// Blocks for the in-flight job and returns `(result, worked_ns)`,
+    /// where `worked_ns` is the wall time the worker spent computing —
+    /// the caller subtracts its own blocked time to credit genuine
+    /// overlap. Returns `None` when nothing is in flight.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the worker thread.
+    pub fn take(&mut self) -> Option<(T, u64)> {
+        if !self.in_flight {
+            return None;
+        }
+        self.in_flight = false;
+        match self.rx.recv() {
+            Ok(done) => Some(done),
+            Err(_) => {
+                self.join_and_reraise();
+                None
+            }
+        }
+    }
+
+    /// Drains and drops the in-flight result, if any (blocking until the
+    /// job finishes — a speculative computation is never left running
+    /// against state the caller is about to change).
+    pub fn discard(&mut self) {
+        let _ = self.take();
+    }
+
+    /// Joins the dead worker thread and re-raises its panic payload.
+    fn join_and_reraise(&mut self) {
+        self.tx = None;
+        if let Some(handle) = self.handle.take() {
+            if let Err(payload) = handle.join() {
+                resume_unwind(payload);
+            }
+        }
+        panic!("prefetch worker exited unexpectedly");
+    }
+}
+
+impl<T: Send + 'static> Drop for PrefetchWorker<T> {
+    fn drop(&mut self) {
+        // Closing the job channel ends the worker loop; drain any pending
+        // result so the worker's send cannot block, then join quietly
+        // (panics during drop would abort).
+        self.tx = None;
+        if self.in_flight {
+            let _ = self.rx.recv();
+            self.in_flight = false;
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> std::fmt::Debug for PrefetchWorker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrefetchWorker")
+            .field("in_flight", &self.in_flight)
+            .finish()
+    }
+}
+
 /// Spawns one scoped worker per chunk, collects each worker's result
 /// vector, and flattens them in chunk (= index) order. `base` passed to
 /// `f` is `chunk_index * chunk_len`, i.e. the first item index of the
@@ -254,6 +400,61 @@ mod tests {
             }
         });
         assert!(seen.load(Ordering::Relaxed) >= 4);
+    }
+
+    #[test]
+    fn prefetch_runs_off_caller_thread_and_returns_in_order() {
+        let caller = std::thread::current().id();
+        let mut worker: PrefetchWorker<(bool, u64)> = PrefetchWorker::new();
+        assert!(!worker.is_in_flight());
+        assert!(worker.take().is_none());
+        for i in 0..3u64 {
+            worker.submit(move || (std::thread::current().id() == caller, i * 7));
+            assert!(worker.is_in_flight());
+            let ((on_caller, value), worked_ns) = worker.take().unwrap();
+            assert!(!on_caller, "job must run on the worker thread");
+            assert_eq!(value, i * 7);
+            let _ = worked_ns; // measured, possibly 0 on coarse clocks
+        }
+    }
+
+    #[test]
+    fn prefetch_submit_drains_stale_result() {
+        let mut worker: PrefetchWorker<u64> = PrefetchWorker::new();
+        worker.submit(|| 1);
+        // Submitting again without taking drops the stale result.
+        worker.submit(|| 2);
+        assert_eq!(worker.take().unwrap().0, 2);
+    }
+
+    #[test]
+    fn prefetch_discard_clears_slot() {
+        let mut worker: PrefetchWorker<u64> = PrefetchWorker::new();
+        worker.submit(|| 41);
+        worker.discard();
+        assert!(!worker.is_in_flight());
+        worker.submit(|| 42);
+        assert_eq!(worker.take().unwrap().0, 42);
+    }
+
+    #[test]
+    fn prefetch_worker_panic_reraises_on_take() {
+        let result = std::panic::catch_unwind(|| {
+            let mut worker: PrefetchWorker<u64> = PrefetchWorker::new();
+            worker.submit(|| panic!("prefetch boom"));
+            worker.take()
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn prefetch_drop_with_in_flight_job_is_clean() {
+        let mut worker: PrefetchWorker<u64> = PrefetchWorker::new();
+        worker.submit(|| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            9
+        });
+        drop(worker); // must not hang or panic
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Look-ahead pipelining integration tests: the tentpole claim is that
+//! pipelined execution changes *wall-clock attribution only*. Scrubbed
+//! round reports and raw main-ORAM access traces must be byte-identical
+//! to serial execution, the twin-run obliviousness auditor must return
+//! the same verdicts, the empirical-ε estimator must produce the same
+//! numbers, and a crash mid-prefetch must recover to the last committed
+//! round with the speculation discarded (never journaled).
+
+use fedora::audit::empirical::{adjacent_inputs, estimate_twin_inputs};
+use fedora::audit::{audit_twin_inputs, twin_inputs};
+use fedora::config::{FedoraConfig, ParallelismConfig, PipelineConfig, PrivacyConfig, TableSpec};
+use fedora::durable::CrashPoint;
+use fedora::server::{FedoraError, FedoraServer, RoundReport};
+use fedora_fl::modes::FedAvg;
+use fedora_storage::{AccessOp, AccessRecord, AccessTraceRecorder};
+use fedora_telemetry::Registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ENTRIES: u64 = 256;
+const DIM: usize = 8;
+
+fn config_with(threads: usize, pipeline: PipelineConfig) -> FedoraConfig {
+    let mut config = FedoraConfig::for_testing(TableSpec::tiny(ENTRIES), 64);
+    config.privacy = PrivacyConfig::with_epsilon(1.0);
+    config.parallelism = ParallelismConfig::with_threads(threads);
+    config.pipeline = pipeline;
+    config
+}
+
+/// Deterministic per-round request batches (duplicates included, so the
+/// oblivious union has real work to do).
+fn batches() -> Vec<Vec<u64>> {
+    (0..4u64)
+        .map(|round| (0..24u64).map(|i| (i * 7 + round * 13) % ENTRIES).collect())
+        .collect()
+}
+
+/// Runs the full round loop (begin, serve + aggregate every request,
+/// end) over `batches`, returning the scrubbed per-round reports and the
+/// raw main-ORAM access trace. When `pipelined`, the next round's client
+/// set is handed to the look-ahead scheduler right after `begin_round`,
+/// exactly as the net engine feeds it.
+fn run(config: &FedoraConfig, seed: u64, pipelined: bool) -> (Vec<RoundReport>, Vec<AccessRecord>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut server = FedoraServer::with_telemetry(
+        config.clone(),
+        |id| vec![(id % 251) as u8; 4 * DIM],
+        Registry::new(),
+        &mut rng,
+    );
+    assert_eq!(server.pipeline_enabled(), pipelined);
+    let recorder = AccessTraceRecorder::new();
+    server.set_access_recorder(recorder.clone());
+    let mut mode = FedAvg;
+    let batches = batches();
+    let mut reports = Vec::new();
+    for (i, batch) in batches.iter().enumerate() {
+        server.begin_round(batch, &mut rng).expect("begin");
+        if pipelined {
+            if let Some(next) = batches.get(i + 1) {
+                assert!(server.schedule_next_round(next));
+            }
+        }
+        for &id in batch {
+            if server.serve(id, &mut rng).expect("serve").is_some() {
+                server
+                    .aggregate(&mode, id, &[0.25f32; DIM], 1, &mut rng)
+                    .expect("aggregate");
+            }
+        }
+        let report = server.end_round(&mut mode, 1.0, &mut rng).expect("end");
+        if !pipelined {
+            assert_eq!(
+                report.phases.overlap_ns, 0,
+                "serial rounds never credit overlap"
+            );
+        }
+        assert_eq!(
+            report.phases.sum_ns(),
+            report.phases.round_ns,
+            "phases partition round_ns exactly (round {i})"
+        );
+        reports.push(report.scrubbed());
+    }
+    (reports, recorder.take())
+}
+
+/// The tentpole invariant, end to end: pipelined execution produces
+/// byte-identical scrubbed round reports AND a byte-identical raw access
+/// trace, at one worker thread and at four.
+#[test]
+fn scrubbed_reports_and_trace_byte_identical_serial_vs_pipelined() {
+    for threads in [1usize, 4] {
+        let serial_cfg = config_with(threads, PipelineConfig::serial());
+        let pipelined_cfg = config_with(threads, PipelineConfig::lookahead_one());
+        let (serial_reports, serial_trace) = run(&serial_cfg, 97, false);
+        let (pipe_reports, pipe_trace) = run(&pipelined_cfg, 97, true);
+        assert_eq!(
+            serial_reports, pipe_reports,
+            "threads {threads}: scrubbed reports diverged"
+        );
+        // Eviction-write deferral moves writes later *within* the round
+        // (that is the overlap), so the raw interleaving legitimately
+        // differs. What must not move: the read sequence, the write
+        // sequence, and hence the per-round canonical trace the adversary
+        // model scores.
+        let reads = |t: &[AccessRecord]| -> Vec<AccessRecord> {
+            t.iter()
+                .filter(|r| r.op == AccessOp::Read)
+                .cloned()
+                .collect()
+        };
+        let writes = |t: &[AccessRecord]| -> Vec<AccessRecord> {
+            t.iter()
+                .filter(|r| r.op != AccessOp::Read)
+                .cloned()
+                .collect()
+        };
+        assert_eq!(serial_trace.len(), pipe_trace.len());
+        assert_eq!(
+            reads(&serial_trace),
+            reads(&pipe_trace),
+            "threads {threads}: read sequences diverged"
+        );
+        assert_eq!(
+            writes(&serial_trace),
+            writes(&pipe_trace),
+            "threads {threads}: write sequences diverged"
+        );
+        assert!(!serial_trace.is_empty(), "trace recorder captured nothing");
+    }
+}
+
+/// The twin-run obliviousness auditor must reach the same verdict on a
+/// pipelined configuration as on the serial one — for the statistically
+/// indistinguishable claim (finite ε) and the exact-equality claim
+/// (ε = 0) alike.
+#[test]
+fn auditor_verdicts_pinned_equal() {
+    let (a, b) = twin_inputs(8);
+    for (threads, privacy) in [
+        (1usize, PrivacyConfig::with_epsilon(1.0)),
+        (4, PrivacyConfig::with_epsilon(1.0)),
+        (1, PrivacyConfig::perfect()),
+    ] {
+        let mut serial_cfg = config_with(threads, PipelineConfig::serial());
+        serial_cfg.privacy = privacy.clone();
+        let mut pipe_cfg = config_with(threads, PipelineConfig::lookahead_one());
+        pipe_cfg.privacy = privacy;
+        let serial = audit_twin_inputs(&serial_cfg, 59, &a, &b, 2).expect("serial audit");
+        let piped = audit_twin_inputs(&pipe_cfg, 59, &a, &b, 2).expect("pipelined audit");
+        assert_eq!(serial.verdict, piped.verdict, "threads {threads}");
+        assert_eq!(serial.canonical_equal, piped.canonical_equal);
+        assert_eq!(serial.len_a, piped.len_a);
+        assert_eq!(serial.len_b, piped.len_b);
+        assert_eq!(serial.chi.pass, piped.chi.pass);
+    }
+}
+
+/// The empirical-ε estimator sees the exact same traces under pipelining,
+/// so its estimate — not just its verdict — must be unchanged.
+#[test]
+fn empirical_estimate_unchanged_by_pipelining() {
+    let (a, b) = adjacent_inputs(8);
+    let serial_cfg = config_with(1, PipelineConfig::serial());
+    let pipe_cfg = config_with(1, PipelineConfig::lookahead_one());
+    let serial = estimate_twin_inputs(&serial_cfg, 31, &a, &b, 4).expect("serial estimate");
+    let piped = estimate_twin_inputs(&pipe_cfg, 31, &a, &b, 4).expect("pipelined estimate");
+    assert_eq!(serial.estimate.eps_hat, piped.estimate.eps_hat);
+    assert_eq!(serial.estimate.ci_lo, piped.estimate.ci_lo);
+    assert_eq!(serial.estimate.ci_hi, piped.estimate.ci_hi);
+    assert_eq!(serial.estimate.samples, piped.estimate.samples);
+    assert_eq!(serial.chi.pass, piped.chi.pass);
+    assert_eq!(serial.alarm, piped.alarm);
+}
+
+/// Durability: a crash while a look-ahead speculation is in flight must
+/// recover to the last committed round — the speculative unions live only
+/// in memory and never reach the journal.
+#[test]
+fn crash_mid_prefetch_recovers_to_last_commit() {
+    let dir = std::env::temp_dir().join(format!("fedora-pipelined-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Perfect privacy so k = K >= 1 and MidFetch fires deterministically.
+    let mut config = config_with(1, PipelineConfig::lookahead_one());
+    config.privacy = PrivacyConfig::perfect();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut server = FedoraServer::with_telemetry(
+        config.clone(),
+        |id| vec![(id % 251) as u8; 4 * DIM],
+        Registry::new(),
+        &mut rng,
+    );
+    server.enable_durability(&dir).expect("durability");
+    let mut mode = FedAvg;
+    let reqs: Vec<Vec<u64>> = (0..3u64)
+        .map(|r| (0..8u64).map(|i| (i * 11 + r) % ENTRIES).collect())
+        .collect();
+
+    // Two committed rounds; round 3's unions speculate during round 2.
+    server.begin_round(&reqs[0], &mut rng).expect("begin 1");
+    server.end_round(&mut mode, 1.0, &mut rng).expect("end 1");
+    server.begin_round(&reqs[1], &mut rng).expect("begin 2");
+    assert!(server.schedule_next_round(&reqs[2]));
+    server.end_round(&mut mode, 1.0, &mut rng).expect("end 2");
+    assert_eq!(server.committed_rounds(), 2);
+
+    // Round 3 consumes the speculation, then dies mid-fetch.
+    server.arm_crash_point(CrashPoint::MidFetch);
+    let err = server.begin_round(&reqs[2], &mut rng).unwrap_err();
+    assert!(matches!(err, FedoraError::CrashInjected { .. }), "{err}");
+    assert_eq!(server.committed_rounds(), 2);
+    let want_report = server.last_committed_report().cloned().expect("report");
+    drop(server); // the "kill"
+
+    // A fresh pipelined server recovers to the pre-crash commit and keeps
+    // going: the discarded speculation left nothing behind.
+    let mut rng2 = StdRng::seed_from_u64(7);
+    let mut recovered = FedoraServer::with_telemetry(
+        config,
+        |id| vec![(id % 251) as u8; 4 * DIM],
+        Registry::new(),
+        &mut rng2,
+    );
+    assert_eq!(recovered.recover(&dir).expect("recover"), 2);
+    assert_eq!(
+        recovered.last_committed_report().cloned().expect("report"),
+        want_report
+    );
+    recovered.begin_round(&reqs[2], &mut rng2).expect("begin 3");
+    recovered
+        .end_round(&mut mode, 1.0, &mut rng2)
+        .expect("end 3");
+    assert_eq!(recovered.committed_rounds(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
